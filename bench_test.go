@@ -1,0 +1,164 @@
+// Figure-level benchmarks: one testing.B benchmark per table/figure of the
+// paper's evaluation. Each iteration regenerates the figure's data at the
+// Quick preset (shapes identical to the paper's operating point; see
+// cmd/lormsim -preset paper for full scale) and reports headline metrics
+// via b.ReportMetric so `go test -bench . -benchmem` doubles as a compact
+// reproduction run.
+package lorm_test
+
+import (
+	"testing"
+
+	"lorm/internal/experiments"
+)
+
+// benchEnv caches one populated Quick environment across benchmarks that
+// only read it (the registration workload dominates setup cost).
+var benchEnv *experiments.Env
+
+func getEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	if benchEnv == nil {
+		env, err := experiments.NewEnv(experiments.Quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchEnv = env
+	}
+	return benchEnv
+}
+
+// BenchmarkFig3aOutlinks regenerates Figure 3(a): per-node outlinks versus
+// network size for Mercury, "Analysis>LORM" and LORM (Theorem 4.1).
+func BenchmarkFig3aOutlinks(b *testing.B) {
+	p := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Fig3a(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := len(tbl.Rows) - 1
+		b.ReportMetric(tbl.Column("mercury")[last], "mercury-outlinks")
+		b.ReportMetric(tbl.Column("lorm")[last], "lorm-outlinks")
+	}
+}
+
+// BenchmarkFig3bDirectoryMAAN regenerates Figure 3(b): directory-size
+// distribution, MAAN versus LORM (Theorems 4.2, 4.3).
+func BenchmarkFig3bDirectoryMAAN(b *testing.B) {
+	env := getEnv(b)
+	for i := 0; i < b.N; i++ {
+		tbl, _, _ := experiments.Fig3bcd(env)
+		b.ReportMetric(tbl.Column("maan")[1], "maan-avg-dir")
+		b.ReportMetric(tbl.Column("lorm")[1], "lorm-avg-dir")
+	}
+}
+
+// BenchmarkFig3cDirectorySWORD regenerates Figure 3(c): directory-size
+// distribution, SWORD versus LORM (Theorems 4.2, 4.4).
+func BenchmarkFig3cDirectorySWORD(b *testing.B) {
+	env := getEnv(b)
+	for i := 0; i < b.N; i++ {
+		_, tbl, _ := experiments.Fig3bcd(env)
+		b.ReportMetric(tbl.Column("sword")[2], "sword-p99-dir")
+		b.ReportMetric(tbl.Column("lorm")[2], "lorm-p99-dir")
+	}
+}
+
+// BenchmarkFig3dDirectoryMercury regenerates Figure 3(d): directory-size
+// distribution, Mercury versus LORM (Theorems 4.2, 4.5).
+func BenchmarkFig3dDirectoryMercury(b *testing.B) {
+	env := getEnv(b)
+	for i := 0; i < b.N; i++ {
+		_, _, tbl := experiments.Fig3bcd(env)
+		b.ReportMetric(tbl.Column("mercury")[2], "mercury-p99-dir")
+		b.ReportMetric(tbl.Column("lorm")[2], "lorm-p99-dir")
+	}
+}
+
+// BenchmarkFig4aHops regenerates Figure 4(a): average logical hops per
+// non-range query versus attribute count (Theorems 4.7, 4.8).
+func BenchmarkFig4aHops(b *testing.B) {
+	env := getEnv(b)
+	for i := 0; i < b.N; i++ {
+		avg, _, err := experiments.Fig4(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(avg.Column("maan")[0], "maan-hops-1attr")
+		b.ReportMetric(avg.Column("lorm")[0], "lorm-hops-1attr")
+	}
+}
+
+// BenchmarkFig4bTotalHops regenerates Figure 4(b): total logical hops for
+// the whole query load versus attribute count.
+func BenchmarkFig4bTotalHops(b *testing.B) {
+	env := getEnv(b)
+	for i := 0; i < b.N; i++ {
+		_, total, err := experiments.Fig4(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := len(total.Rows) - 1
+		b.ReportMetric(total.Column("maan")[last], "maan-total-hops")
+		b.ReportMetric(total.Column("lorm")[last], "lorm-total-hops")
+	}
+}
+
+// BenchmarkFig5aRangeVisitsTotal regenerates Figure 5(a): total visited
+// nodes for range queries, system-wide probers versus LORM (Theorem 4.9).
+func BenchmarkFig5aRangeVisitsTotal(b *testing.B) {
+	env := getEnv(b)
+	for i := 0; i < b.N; i++ {
+		total, _, err := experiments.Fig5(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(total.Column("mercury")[0], "mercury-total-visited")
+		b.ReportMetric(total.Column("lorm")[0], "lorm-total-visited")
+	}
+}
+
+// BenchmarkFig5bRangeVisitsAvg regenerates Figure 5(b): average visited
+// nodes per range query, SWORD versus LORM close-up.
+func BenchmarkFig5bRangeVisitsAvg(b *testing.B) {
+	env := getEnv(b)
+	for i := 0; i < b.N; i++ {
+		_, avg, err := experiments.Fig5(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(avg.Column("lorm")[0], "lorm-visited-1attr")
+		b.ReportMetric(avg.Column("sword")[0], "sword-visited-1attr")
+	}
+}
+
+// BenchmarkFig6aChurnHops regenerates Figure 6(a): average hops per
+// non-range query under churn.
+func BenchmarkFig6aChurnHops(b *testing.B) {
+	p := experiments.Quick()
+	p.ChurnRates = []float64{0.4}
+	for i := 0; i < b.N; i++ {
+		hops, _, err := experiments.Fig6(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(hops.Column("lorm")[0], "lorm-churn-hops")
+		b.ReportMetric(hops.Column("failures")[0], "failures")
+	}
+}
+
+// BenchmarkFig6bChurnVisits regenerates Figure 6(b): average visited nodes
+// per range query under churn.
+func BenchmarkFig6bChurnVisits(b *testing.B) {
+	p := experiments.Quick()
+	p.ChurnRates = []float64{0.4}
+	for i := 0; i < b.N; i++ {
+		_, visited, err := experiments.Fig6(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(visited.Column("lorm")[0], "lorm-churn-visited")
+		b.ReportMetric(visited.Column("mercury")[0], "mercury-churn-visited")
+	}
+}

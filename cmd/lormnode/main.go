@@ -1,0 +1,329 @@
+// Command lormnode runs a grid resource-discovery gateway over real TCP
+// and ships the matching client operations.
+//
+// A gateway hosts a discovery deployment (LORM by default; Mercury, SWORD
+// and MAAN are available for comparison) and serves the wire protocol of
+// internal/transport. Providers announce resources and requesters resolve
+// multi-attribute range queries remotely:
+//
+//	lormnode serve -listen 127.0.0.1:7400 -system lorm -d 8 -nodes 512 \
+//	        -attrs cpu:100:3200,mem:0:8192,disk:1:2000
+//	lormnode register -gateway 127.0.0.1:7400 -attr cpu -value 2000 -owner site-a
+//	lormnode query    -gateway 127.0.0.1:7400 -q "cpu:1500:3200,mem:2048:8192"
+//	lormnode stats    -gateway 127.0.0.1:7400
+//	lormnode addnode  -gateway 127.0.0.1:7400 -node newpeer-01
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"lorm/internal/core"
+	"lorm/internal/discovery"
+	"lorm/internal/maan"
+	"lorm/internal/mercury"
+	"lorm/internal/resource"
+	"lorm/internal/sword"
+	"lorm/internal/transport"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "register":
+		err = cmdRegister(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "addnode":
+		err = cmdMembership(os.Args[2:], true)
+	case "removenode":
+		err = cmdMembership(os.Args[2:], false)
+	case "-h", "--help", "help":
+		usage()
+	default:
+		usage()
+		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lormnode:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: lormnode <serve|register|query|stats|addnode|removenode> [flags]
+
+serve      run a gateway:      -listen ADDR -system lorm|mercury|sword|maan -d N -nodes N -attrs SPEC
+register   announce a resource: -gateway ADDR -attr NAME -value V -owner ADDR
+query      resolve a query:     -gateway ADDR -q "attr:lo:hi,attr:lo:hi" [-requester NAME]
+stats      deployment summary:  -gateway ADDR
+addnode    join a node:         -gateway ADDR -node NAME
+removenode depart a node:       -gateway ADDR -node NAME
+
+attribute spec: name:min:max[,name:min:max...]`)
+}
+
+// parseAttrs parses "cpu:100:3200,mem:0:8192" into a schema.
+func parseAttrs(spec string) (*resource.Schema, error) {
+	var attrs []resource.Attribute
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("attribute spec %q: want name:min:max", part)
+		}
+		min, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("attribute %s: bad min: %w", fields[0], err)
+		}
+		max, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("attribute %s: bad max: %w", fields[0], err)
+		}
+		attrs = append(attrs, resource.Attribute{Name: fields[0], Min: min, Max: max})
+	}
+	return resource.NewSchema(attrs...)
+}
+
+// parseQuery parses "cpu:1500:3200,mem:4096:4096" into sub-queries; a
+// two-field form "cpu:1500" is an exact query.
+func parseQuery(spec string) ([]resource.SubQuery, error) {
+	var subs []resource.SubQuery
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 2 && len(fields) != 3 {
+			return nil, fmt.Errorf("query spec %q: want attr:value or attr:lo:hi", part)
+		}
+		lo, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("query %s: bad bound: %w", fields[0], err)
+		}
+		hi := lo
+		if len(fields) == 3 {
+			hi, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("query %s: bad bound: %w", fields[0], err)
+			}
+		}
+		if lo > hi {
+			return nil, fmt.Errorf("query %s: inverted bounds %g > %g", fields[0], lo, hi)
+		}
+		subs = append(subs, resource.SubQuery{Attr: fields[0], Low: lo, High: hi})
+	}
+	return subs, nil
+}
+
+// fitDimension picks the smallest Cycloid dimension whose capacity d·2^d
+// leaves headroom over the peer count; running far below capacity
+// degenerates the cube-connected-cycles structure.
+func fitDimension(nodes int) int {
+	for d := 2; d <= 20; d++ {
+		if d*(1<<uint(d)) >= nodes*2 {
+			return d
+		}
+	}
+	return 20
+}
+
+func buildSystem(name string, d int, bits uint, schema *resource.Schema, nodes int) (discovery.System, error) {
+	addrs := make([]string, nodes)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("peer-%04d", i)
+	}
+	switch name {
+	case "lorm":
+		sys, err := core.New(core.Config{D: d, Schema: schema})
+		if err != nil {
+			return nil, err
+		}
+		return sys, sys.AddNodes(addrs)
+	case "mercury":
+		sys, err := mercury.New(mercury.Config{Bits: bits, Schema: schema})
+		if err != nil {
+			return nil, err
+		}
+		return sys, sys.AddNodes(addrs)
+	case "sword":
+		sys, err := sword.New(sword.Config{Bits: bits, Schema: schema})
+		if err != nil {
+			return nil, err
+		}
+		return sys, sys.AddNodes(addrs)
+	case "maan":
+		sys, err := maan.New(maan.Config{Bits: bits, Schema: schema})
+		if err != nil {
+			return nil, err
+		}
+		return sys, sys.AddNodes(addrs)
+	}
+	return nil, fmt.Errorf("unknown system %q", name)
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:7400", "TCP listen address")
+	system := fs.String("system", "lorm", "discovery system: lorm, mercury, sword, maan")
+	d := fs.Int("d", 0, "Cycloid dimension (lorm); 0 auto-sizes to the peer count")
+	bits := fs.Uint("bits", 20, "Chord identifier bits (mercury/sword/maan)")
+	nodes := fs.Int("nodes", 256, "number of simulated peers in the deployment")
+	attrs := fs.String("attrs", "cpu:100:3200,mem:0:8192,disk:1:2000", "attribute schema")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	schema, err := parseAttrs(*attrs)
+	if err != nil {
+		return err
+	}
+	if *d == 0 {
+		*d = fitDimension(*nodes)
+	}
+	sys, err := buildSystem(*system, *d, *bits, schema, *nodes)
+	if err != nil {
+		return err
+	}
+	logger := log.New(os.Stderr, "lormnode ", log.LstdFlags)
+	srv, err := transport.NewServer(sys, *listen, logger)
+	if err != nil {
+		return err
+	}
+	logger.Printf("serving %s (%d peers, %d attributes) on %s", sys.Name(), sys.NodeCount(), schema.Len(), srv.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	logger.Printf("shutting down")
+	return srv.Close()
+}
+
+func dial(fs *flag.FlagSet) (*transport.Client, *string) {
+	gateway := fs.String("gateway", "127.0.0.1:7400", "gateway address")
+	return nil, gateway
+}
+
+func cmdRegister(args []string) error {
+	fs := flag.NewFlagSet("register", flag.ContinueOnError)
+	_, gateway := dial(fs)
+	attr := fs.String("attr", "", "attribute name")
+	value := fs.Float64("value", 0, "attribute value")
+	owner := fs.String("owner", "", "owner address to advertise")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *attr == "" || *owner == "" {
+		return fmt.Errorf("register needs -attr and -owner")
+	}
+	cli, err := transport.Dial(*gateway, 3*time.Second)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	cost, err := cli.Register(resource.Info{Attr: *attr, Value: *value, Owner: *owner})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("registered <%s, %g, %s> (%s)\n", *attr, *value, *owner, cost)
+	return nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ContinueOnError)
+	_, gateway := dial(fs)
+	q := fs.String("q", "", "query spec: attr:lo:hi[,attr:lo:hi...]")
+	requester := fs.String("requester", "cli", "requester identity")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *q == "" {
+		return fmt.Errorf("query needs -q")
+	}
+	subs, err := parseQuery(*q)
+	if err != nil {
+		return err
+	}
+	cli, err := transport.Dial(*gateway, 3*time.Second)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	owners, matches, cost, err := cli.Discover(subs, *requester)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("query cost: %s\n", cost)
+	fmt.Printf("matching pieces: %d\n", len(matches))
+	if len(owners) == 0 {
+		fmt.Println("no owner satisfies every sub-query")
+		return nil
+	}
+	fmt.Println("owners satisfying all sub-queries:")
+	for _, o := range owners {
+		fmt.Printf("  %s\n", o)
+	}
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	_, gateway := dial(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cli, err := transport.Dial(*gateway, 3*time.Second)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	st, err := cli.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("system: %s\nnodes: %d\nattributes: %d\npieces stored: %d\navg directory: %.2f\nmax directory: %d\n",
+		st.System, st.Nodes, st.Attributes, st.TotalPieces, st.AvgDir, st.MaxDir)
+	return nil
+}
+
+func cmdMembership(args []string, add bool) error {
+	name := "removenode"
+	if add {
+		name = "addnode"
+	}
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	_, gateway := dial(fs)
+	node := fs.String("node", "", "peer name")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *node == "" {
+		return fmt.Errorf("%s needs -node", name)
+	}
+	cli, err := transport.Dial(*gateway, 3*time.Second)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	if add {
+		if err := cli.AddNode(*node); err != nil {
+			return err
+		}
+		fmt.Printf("node %s joined\n", *node)
+		return nil
+	}
+	if err := cli.RemoveNode(*node); err != nil {
+		return err
+	}
+	fmt.Printf("node %s departed gracefully\n", *node)
+	return nil
+}

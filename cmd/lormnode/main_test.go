@@ -1,0 +1,117 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParseAttrs(t *testing.T) {
+	s, err := parseAttrs("cpu:100:3200,mem:0:8192")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	a, ok := s.Lookup("mem")
+	if !ok || a.Min != 0 || a.Max != 8192 {
+		t.Fatalf("mem = %+v, %v", a, ok)
+	}
+	for _, bad := range []string{
+		"",                // empty
+		"cpu",             // missing bounds
+		"cpu:1",           // missing max
+		"cpu:x:100",       // bad min
+		"cpu:1:y",         // bad max
+		"cpu:100:1",       // inverted
+		"cpu:1:2,cpu:1:2", // duplicate
+	} {
+		if _, err := parseAttrs(bad); err == nil {
+			t.Errorf("parseAttrs(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseQuery(t *testing.T) {
+	subs, err := parseQuery("cpu:1500:3200,mem:4096")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 2 {
+		t.Fatalf("subs = %v", subs)
+	}
+	if !subs[0].IsRange() || subs[0].Low != 1500 || subs[0].High != 3200 {
+		t.Fatalf("range sub = %+v", subs[0])
+	}
+	if subs[1].IsRange() || subs[1].Low != 4096 {
+		t.Fatalf("exact sub = %+v", subs[1])
+	}
+	for _, bad := range []string{"", "cpu", "cpu:a", "cpu:1:2:3", "cpu:1:b"} {
+		if _, err := parseQuery(bad); err == nil {
+			t.Errorf("parseQuery(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFitDimension(t *testing.T) {
+	cases := map[int]int{
+		1:    2, // capacity 8 ≥ 2
+		4:    2, // 8 ≥ 8
+		50:   5, // 5·32 = 160 ≥ 100
+		256:  7, // 7·128 = 896 ≥ 512 (6·64 = 384 is too small)
+		2048: 9, // 9·512 = 4608 ≥ 4096
+	}
+	for nodes, want := range cases {
+		if got := fitDimension(nodes); got != want {
+			t.Errorf("fitDimension(%d) = %d, want %d", nodes, got, want)
+		}
+	}
+	// Always leaves 2× headroom (within the d ≤ 20 cap).
+	for _, nodes := range []int{1, 10, 100, 1000, 10000} {
+		d := fitDimension(nodes)
+		if cap := d * (1 << uint(d)); cap < 2*nodes {
+			t.Errorf("fitDimension(%d) = %d with capacity %d < 2n", nodes, d, cap)
+		}
+	}
+}
+
+func TestBuildSystemVariants(t *testing.T) {
+	schema, err := parseAttrs("cpu:100:3200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"lorm", "mercury", "sword", "maan"} {
+		sys, err := buildSystem(name, 5, 16, schema, 16)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sys.Name() != name {
+			t.Fatalf("built %q, want %q", sys.Name(), name)
+		}
+		if sys.NodeCount() != 16 {
+			t.Fatalf("%s NodeCount = %d", name, sys.NodeCount())
+		}
+	}
+	if _, err := buildSystem("kazaa", 5, 16, schema, 4); err == nil {
+		t.Fatal("unknown system accepted")
+	}
+}
+
+// FuzzParseQuery: arbitrary query specs must never panic, only error.
+func FuzzParseQuery(f *testing.F) {
+	f.Add("cpu:1500:3200,mem:4096")
+	f.Add("::::")
+	f.Add("")
+	f.Add("a:1")
+	f.Add("a:2:1") // inverted bounds must be rejected
+	f.Fuzz(func(t *testing.T, spec string) {
+		subs, err := parseQuery(spec)
+		if err == nil && len(subs) == 0 {
+			t.Fatalf("parseQuery(%q) returned no subs and no error", spec)
+		}
+		for _, s := range subs {
+			if err == nil && s.Low > s.High {
+				t.Fatalf("parseQuery(%q) produced inverted bounds %+v", spec, s)
+			}
+		}
+	})
+}

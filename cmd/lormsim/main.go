@@ -1,0 +1,284 @@
+// Command lormsim regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	lormsim -exp all                 # every figure, standard preset
+//	lormsim -exp fig5 -preset paper  # one figure at full paper scale
+//	lormsim -exp fig3a,fig4 -format csv
+//
+// Experiments: fig3a, fig3b, fig3c, fig3d, fig4a, fig4b, fig5a, fig5b,
+// fig6a, fig6b, all. Presets: quick, standard, paper. Individual knobs
+// (-n, -m, -k, -d, -seed, ...) override the preset.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"lorm/internal/experiments"
+	"lorm/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lormsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("lormsim", flag.ContinueOnError)
+	var (
+		exp    = fs.String("exp", "all", "comma-separated experiments: fig3a fig3b fig3c fig3d fig4a fig4b fig5a fig5b fig6a fig6b all theorems worstcase ablations")
+		preset = fs.String("preset", "standard", "parameter preset: quick, standard, paper")
+		format = fs.String("format", "text", "output format: text, csv")
+		nFlag  = fs.Int("n", 0, "override node count")
+		dFlag  = fs.Int("d", 0, "override Cycloid dimension")
+		mFlag  = fs.Int("m", 0, "override attribute count")
+		kFlag  = fs.Int("k", 0, "override pieces per attribute")
+		rqFlag = fs.Int("range-queries", 0, "override range queries per point")
+		cqFlag = fs.Int("churn-queries", 0, "override churn queries per rate")
+		seed   = fs.Int64("seed", 0, "override RNG seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var p experiments.Params
+	switch *preset {
+	case "quick":
+		p = experiments.Quick()
+	case "standard":
+		p = experiments.Standard()
+	case "paper":
+		p = experiments.Paper()
+	default:
+		return fmt.Errorf("unknown preset %q", *preset)
+	}
+	if *nFlag > 0 {
+		p.N = *nFlag
+	}
+	if *dFlag > 0 {
+		p.D = *dFlag
+	}
+	if *mFlag > 0 {
+		p.M = *mFlag
+	}
+	if *kFlag > 0 {
+		p.K = *kFlag
+	}
+	if *rqFlag > 0 {
+		p.RangeQueries = *rqFlag
+	}
+	if *cqFlag > 0 {
+		p.ChurnQueries = *cqFlag
+	}
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	all := want["all"]
+	need := func(names ...string) bool {
+		if all {
+			return true
+		}
+		for _, n := range names {
+			if want[n] {
+				return true
+			}
+		}
+		return false
+	}
+
+	emit := func(tables ...*stats.Table) {
+		for _, t := range tables {
+			if t == nil {
+				continue
+			}
+			if *format == "csv" {
+				fmt.Fprintf(out, "# %s\n%s\n", t.Title, t.CSV())
+			} else {
+				fmt.Fprintln(out, t.Text())
+			}
+		}
+	}
+	timed := func(name string, fn func() error) error {
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "[lormsim] running %s (preset %s, n=%d, m=%d, k=%d)...\n",
+			name, *preset, p.N, p.M, p.K)
+		if err := fn(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Fprintf(os.Stderr, "[lormsim] %s done in %v\n", name, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	if need("fig3a") {
+		if err := timed("fig3a", func() error {
+			tbl, err := experiments.Fig3a(p)
+			if err != nil {
+				return err
+			}
+			emit(tbl)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	// The remaining static figures share one populated environment.
+	var env *experiments.Env
+	getEnv := func() (*experiments.Env, error) {
+		if env != nil {
+			return env, nil
+		}
+		var err error
+		err = timed("environment build+register", func() error {
+			env, err = experiments.NewEnv(p)
+			return err
+		})
+		return env, err
+	}
+
+	if need("fig3b", "fig3c", "fig3d") {
+		e, err := getEnv()
+		if err != nil {
+			return err
+		}
+		b, c, d := experiments.Fig3bcd(e)
+		if all || want["fig3b"] {
+			emit(b)
+		}
+		if all || want["fig3c"] {
+			emit(c)
+		}
+		if all || want["fig3d"] {
+			emit(d)
+		}
+	}
+
+	if need("fig4a", "fig4b") {
+		e, err := getEnv()
+		if err != nil {
+			return err
+		}
+		if err := timed("fig4", func() error {
+			avg, total, err := experiments.Fig4(e)
+			if err != nil {
+				return err
+			}
+			if all || want["fig4a"] {
+				emit(avg)
+			}
+			if all || want["fig4b"] {
+				emit(total)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	if need("fig5a", "fig5b") {
+		e, err := getEnv()
+		if err != nil {
+			return err
+		}
+		if err := timed("fig5", func() error {
+			total, avg, err := experiments.Fig5(e)
+			if err != nil {
+				return err
+			}
+			if all || want["fig5a"] {
+				emit(total)
+			}
+			if all || want["fig5b"] {
+				emit(avg)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	if need("theorems") && !all { // opt-in: not part of -exp all
+		e, err := getEnv()
+		if err != nil {
+			return err
+		}
+		if err := timed("theorems", func() error {
+			tbl, err := experiments.TheoremCheck(e)
+			if err != nil {
+				return err
+			}
+			emit(tbl)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	if need("worstcase") && !all { // opt-in: not part of -exp all
+		e, err := getEnv()
+		if err != nil {
+			return err
+		}
+		if err := timed("worstcase", func() error {
+			tbl, err := experiments.WorstCase(e)
+			if err != nil {
+				return err
+			}
+			emit(tbl)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	if need("ablations") && !all { // opt-in: not part of -exp all
+		if err := timed("ablations", func() error {
+			dim, err := experiments.AblationDimension(p, nil)
+			if err != nil {
+				return err
+			}
+			width, err := experiments.AblationRangeWidth(p, nil)
+			if err != nil {
+				return err
+			}
+			skew, err := experiments.AblationSkew(p, nil)
+			if err != nil {
+				return err
+			}
+			emit(dim, width, skew)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	if need("fig6a", "fig6b") {
+		if err := timed("fig6", func() error {
+			hops, visited, err := experiments.Fig6(p)
+			if err != nil {
+				return err
+			}
+			if all || want["fig6a"] {
+				emit(hops)
+			}
+			if all || want["fig6b"] {
+				emit(visited)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// run the CLI end to end at the quick preset, capturing stdout through a
+// temp file.
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "lormsim-out-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := run(args, f); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestRunFig3aQuickText(t *testing.T) {
+	out := runCLI(t, "-exp", "fig3a", "-preset", "quick")
+	if !strings.Contains(out, "Figure 3(a)") || !strings.Contains(out, "analysis_gt_lorm") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestRunFig4CSV(t *testing.T) {
+	out := runCLI(t, "-exp", "fig4a", "-preset", "quick", "-format", "csv")
+	if !strings.Contains(out, "attrs,maan,lorm,mercury,sword") {
+		t.Fatalf("CSV header missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("too few CSV lines: %d", len(lines))
+	}
+}
+
+func TestRunOverrides(t *testing.T) {
+	out := runCLI(t, "-exp", "fig5b", "-preset", "quick",
+		"-n", "160", "-d", "5", "-m", "8", "-k", "20", "-range-queries", "10", "-seed", "5")
+	if !strings.Contains(out, "n=160") {
+		t.Fatalf("override not applied:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	f, _ := os.CreateTemp(t.TempDir(), "out")
+	defer f.Close()
+	if err := run([]string{"-preset", "warp9"}, f); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	if err := run([]string{"-badflag"}, f); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunTheoremsQuick(t *testing.T) {
+	out := runCLI(t, "-exp", "theorems", "-preset", "quick")
+	if !strings.Contains(out, "Theorems 4.1-4.10") {
+		t.Fatalf("theorem table missing:\n%s", out)
+	}
+}

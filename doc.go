@@ -1,0 +1,19 @@
+// Package lorm is a from-scratch Go reproduction of "Performance Analysis
+// of DHT Algorithms for Range-Query and Multi-Attribute Resource Discovery
+// in Grids" (Shen and Xu, ICPP 2009).
+//
+// The module implements the paper's primary contribution — LORM, a
+// low-overhead range-query multi-attribute resource discovery service over
+// a single hierarchical Cycloid DHT (internal/core) — together with every
+// substrate and baseline the evaluation depends on: the Cycloid and Chord
+// overlays, the Mercury/SWORD/MAAN comparison systems, consistent and
+// locality-preserving hashing, a Bounded-Pareto workload generator, a
+// Poisson churn driver over a discrete-event simulator, the closed-form
+// analytical model of Theorems 4.1–4.10, a TCP gateway protocol, and an
+// experiment harness that regenerates every figure of Section V.
+//
+// Start with README.md, run experiments with cmd/lormsim, serve discovery
+// over TCP with cmd/lormnode, and see examples/ for runnable scenarios.
+// The root-level benchmarks in bench_test.go regenerate each figure under
+// `go test -bench`.
+package lorm

@@ -1,0 +1,142 @@
+// Comparison: the paper's four systems side by side on one workload.
+//
+// Builds LORM, Mercury, SWORD and MAAN over the same 384 peers, registers
+// an identical Bounded-Pareto workload in each, and prints a compact
+// version of the paper's evaluation: directory balance (Figures 3(b)–(d)),
+// non-range hop costs (Figure 4) and range-query visited nodes (Figure 5),
+// next to the Theorem 4.x predictions.
+//
+//	go run ./examples/comparison
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lorm/internal/analysis"
+	"lorm/internal/discovery"
+	"lorm/internal/stats"
+	"lorm/internal/systemtest"
+	"lorm/internal/workload"
+)
+
+func main() {
+	const (
+		d    = 6
+		n    = 384 // complete Cycloid at d=6
+		m    = 24  // attributes
+		k    = 100 // pieces per attribute
+		seed = 7
+	)
+	schema := workload.ParetoSchema(m, 500, 1.5)
+	dep, err := systemtest.Build(schema, n, systemtest.Options{D: d, Bits: 18, CompleteLORM: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen := workload.NewGenerator(schema, 1.5)
+	fmt.Printf("registering %d pieces in each of 4 systems...\n", m*k)
+	for _, in := range gen.Announcements(workload.Split(seed, 0), k) {
+		if err := dep.RegisterEverywhere(in); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ap := analysis.Params{N: n, M: m, K: k, D: d}
+
+	// Directory balance.
+	tbl := stats.NewTable("Directory size per node (Figures 3(b)-(d))",
+		"avg", "p01", "p99", "max")
+	fmt.Println()
+	fmt.Println("directory size per node        avg     p01     p99     max")
+	for _, sys := range dep.Systems() {
+		s := stats.SummarizeInts(sys.DirectorySizes())
+		fmt.Printf("  %-26s %6.1f  %6.1f  %6.1f  %6.0f\n", sys.Name(), s.Mean, s.P01, s.P99, s.Max)
+		tbl.AddRow(s.Mean, s.P01, s.P99, s.Max)
+	}
+	fmt.Printf("  theorem 4.2: MAAN stores 2× everyone's total; 4.4: SWORD p99 ≈ d× LORM's\n")
+
+	// Query costs over a shared query set.
+	qrng := workload.Split(seed, 1)
+	const queries = 200
+	type agg struct{ hops, visited int }
+	exact := map[string]*agg{}
+	ranged := map[string]*agg{}
+	for _, sys := range dep.Systems() {
+		exact[sys.Name()] = &agg{}
+		ranged[sys.Name()] = &agg{}
+	}
+	for i := 0; i < queries; i++ {
+		eq := gen.ExactQuery(qrng, 3, fmt.Sprintf("req-%d", i))
+		rq := gen.RangeQuery(qrng, 3, 0.5, fmt.Sprintf("req-%d", i))
+		for _, sys := range dep.Systems() {
+			res, err := sys.Discover(eq)
+			if err != nil {
+				log.Fatal(err)
+			}
+			exact[sys.Name()].hops += res.Cost.Hops
+			res, err = sys.Discover(rq)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ranged[sys.Name()].visited += res.Cost.Visited
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("3-attribute queries (200 each)   hops/exact-query    visited/range-query")
+	for _, sys := range dep.Systems() {
+		name := sys.Name()
+		fmt.Printf("  %-26s %12.1f %20.1f\n", name,
+			float64(exact[name].hops)/queries, float64(ranged[name].visited)/queries)
+	}
+	fmt.Println()
+	fmt.Println("theorem predictions for this configuration:")
+	for _, name := range []string{"maan", "lorm", "mercury", "sword"} {
+		fmt.Printf("  %-10s %6.1f hops (non-range), %7.1f visited (range)\n",
+			name, analysis.NonRangeHops(ap, name, 3), analysis.RangeVisitedNodes(ap, name, 3))
+	}
+
+	// Structure overhead.
+	fmt.Println()
+	fmt.Println("outlinks per node (Figure 3(a)):")
+	for _, sys := range dep.Systems() {
+		s := stats.SummarizeInts(sys.OutlinkCounts())
+		fmt.Printf("  %-10s %7.1f\n", sys.Name(), s.Mean)
+	}
+	fmt.Printf("  theorem 4.1: LORM improves Mercury's structure overhead by ≥ m = %d×\n", m)
+
+	// Every system must agree with the brute-force oracle.
+	verify(dep, gen, seed)
+}
+
+func verify(dep *systemtest.Deployment, gen *workload.Generator, seed int64) {
+	qrng := workload.Split(seed, 2)
+	for i := 0; i < 50; i++ {
+		q := gen.RangeQuery(qrng, 2, 0.5, "verifier")
+		want, err := dep.Oracle.Discover(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, sys := range dep.Systems() {
+			got, err := sys.Discover(q)
+			if err != nil {
+				log.Fatalf("%s: %v", sys.Name(), err)
+			}
+			if !sameOwners(got, want) {
+				log.Fatalf("%s disagrees with oracle on %v", sys.Name(), q)
+			}
+		}
+	}
+	fmt.Println("\nverified: all four systems return exactly the brute-force oracle's answers on 50 random range queries")
+}
+
+func sameOwners(a, b *discovery.Result) bool {
+	if len(a.Owners) != len(b.Owners) {
+		return false
+	}
+	for i := range a.Owners {
+		if a.Owners[i] != b.Owners[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,155 @@
+// Gridscheduler: a batch job scheduler on top of LORM resource discovery —
+// the workload the paper's introduction motivates.
+//
+// A fleet of heterogeneous machines announces CPU, memory, disk and
+// bandwidth capacities into the LORM directory. A stream of jobs then
+// arrives, each with multi-attribute range requirements ("≥ 2 GHz CPU,
+// ≥ 4 GB RAM, ≥ 100 Mbit/s"); the scheduler discovers candidate machines
+// through the DHT, places each job on the least-loaded candidate, and
+// reports placement quality and discovery cost.
+//
+//	go run ./examples/gridscheduler
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"lorm/internal/core"
+	"lorm/internal/resource"
+)
+
+type machine struct {
+	addr      string
+	cpu       float64 // MHz
+	memory    float64 // MB
+	disk      float64 // GB
+	bandwidth float64 // Mbit/s
+	jobs      int
+}
+
+type job struct {
+	name                                  string
+	minCPU, minMem, minDisk, minBandwidth float64
+}
+
+func main() {
+	schema := resource.MustSchema(
+		resource.Attribute{Name: "cpu", Min: 100, Max: 4000},
+		resource.Attribute{Name: "memory", Min: 128, Max: 16384},
+		resource.Attribute{Name: "disk", Min: 10, Max: 4000},
+		resource.Attribute{Name: "bandwidth", Min: 10, Max: 1000},
+	)
+	sys, err := core.New(core.Config{D: 7, Schema: schema}) // capacity 896
+	if err != nil {
+		log.Fatal(err)
+	}
+	peers := make([]string, 512)
+	for i := range peers {
+		peers[i] = fmt.Sprintf("dht-peer-%03d", i)
+	}
+	if err := sys.AddNodes(peers); err != nil {
+		log.Fatal(err)
+	}
+
+	// Announce a heterogeneous fleet: three site profiles.
+	rng := rand.New(rand.NewSource(42))
+	fleet := make(map[string]*machine)
+	profile := []struct {
+		prefix             string
+		cpu, mem, disk, bw float64
+		jitter             float64
+		count              int
+	}{
+		{"hpc", 3600, 16384, 2000, 1000, 0.1, 12}, // compute nodes
+		{"std", 2400, 8192, 500, 300, 0.25, 30},   // commodity servers
+		{"edge", 1200, 2048, 100, 50, 0.4, 18},    // edge boxes
+	}
+	totalHops := 0
+	for _, p := range profile {
+		for i := 0; i < p.count; i++ {
+			m := &machine{
+				addr:      fmt.Sprintf("%s-%02d.grid.example", p.prefix, i),
+				cpu:       p.cpu * (1 - p.jitter*rng.Float64()),
+				memory:    p.mem * (1 - p.jitter*rng.Float64()),
+				disk:      p.disk * (1 - p.jitter*rng.Float64()),
+				bandwidth: p.bw * (1 - p.jitter*rng.Float64()),
+			}
+			fleet[m.addr] = m
+			for attr, v := range map[string]float64{
+				"cpu": m.cpu, "memory": m.memory, "disk": m.disk, "bandwidth": m.bandwidth,
+			} {
+				cost, err := sys.Register(resource.Info{Attr: attr, Value: v, Owner: m.addr})
+				if err != nil {
+					log.Fatal(err)
+				}
+				totalHops += cost.Hops
+			}
+		}
+	}
+	fmt.Printf("fleet announced: %d machines × 4 attributes in %d total hops (%.1f per announcement)\n\n",
+		len(fleet), totalHops, float64(totalHops)/float64(4*len(fleet)))
+
+	// Schedule a batch of jobs.
+	jobs := []job{
+		{"genome-assembly", 3000, 12000, 1000, 500},
+		{"mc-simulation", 2000, 4096, 50, 50},
+		{"video-transcode", 1800, 2048, 200, 100},
+		{"web-crawl", 800, 1024, 50, 200},
+		{"matrix-solve", 2800, 8192, 100, 100},
+		{"log-aggregation", 1000, 2048, 400, 300},
+		{"ml-training", 3200, 14000, 500, 400},
+		{"backup-sync", 400, 512, 1500, 150},
+	}
+	placed, failed := 0, 0
+	var discoverHops, discoverVisited int
+	for _, j := range jobs {
+		q := resource.Query{
+			Subs: []resource.SubQuery{
+				{Attr: "cpu", Low: j.minCPU, High: 4000},
+				{Attr: "memory", Low: j.minMem, High: 16384},
+				{Attr: "disk", Low: j.minDisk, High: 4000},
+				{Attr: "bandwidth", Low: j.minBandwidth, High: 1000},
+			},
+			Requester: "scheduler.grid.example",
+		}
+		res, err := sys.Discover(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		discoverHops += res.Cost.Hops
+		discoverVisited += res.Cost.Visited
+		if len(res.Owners) == 0 {
+			fmt.Printf("%-16s NO machine satisfies %v\n", j.name, q)
+			failed++
+			continue
+		}
+		// Least-loaded placement among candidates.
+		best := res.Owners[0]
+		for _, o := range res.Owners[1:] {
+			if fleet[o].jobs < fleet[best].jobs {
+				best = o
+			}
+		}
+		fleet[best].jobs++
+		placed++
+		fmt.Printf("%-16s → %-22s (%d candidates, %d hops, %d directories consulted)\n",
+			j.name, best, len(res.Owners), res.Cost.Hops, res.Cost.Visited)
+	}
+
+	fmt.Printf("\nplaced %d/%d jobs; discovery averaged %.1f hops and %.1f visited directories per job\n",
+		placed, len(jobs), float64(discoverHops)/float64(len(jobs)), float64(discoverVisited)/float64(len(jobs)))
+	fmt.Println("\nload after placement (machines with jobs):")
+	for _, p := range profile {
+		for i := 0; i < p.count; i++ {
+			addr := fmt.Sprintf("%s-%02d.grid.example", p.prefix, i)
+			if m := fleet[addr]; m.jobs > 0 {
+				fmt.Printf("  %-22s %d job(s)\n", addr, m.jobs)
+			}
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("%d job(s) had no feasible machine — as expected for the largest requests\n", failed)
+	}
+}

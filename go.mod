@@ -1,0 +1,3 @@
+module lorm
+
+go 1.22

@@ -1,0 +1,171 @@
+// Package analysis implements the closed-form performance model of Section
+// IV — Theorems 4.1 through 4.10 — exactly as the paper states them. The
+// experiment harness overlays these "Analysis-…" curves on the measured
+// results, reproducing the paper's analysis-vs-experiment figures.
+//
+// Model parameters follow the paper's notation:
+//
+//	n — number of nodes
+//	m — number of resource attributes (or attributes per query)
+//	k — information pieces per attribute
+//	d — Cycloid dimension
+package analysis
+
+import "math"
+
+// Params carries the model parameters of Section IV.
+type Params struct {
+	N int // nodes
+	M int // resource attributes
+	K int // pieces per attribute
+	D int // Cycloid dimension
+}
+
+// Log2N returns log2(n), the Chord routing-table size the theorems use.
+func (p Params) Log2N() float64 { return math.Log2(float64(p.N)) }
+
+// --- Maintenance overhead (Section IV.A) -------------------------------
+
+// Theorem41StructureOverheadRatio returns the factor by which LORM improves
+// the structure maintenance overhead of multi-DHT methods (Mercury):
+// m·log(n)/d ≥ m.
+func Theorem41StructureOverheadRatio(p Params) float64 {
+	return float64(p.M) * p.Log2N() / float64(p.D)
+}
+
+// MercuryOutlinks returns Mercury's per-node neighbor count m·log(n).
+func MercuryOutlinks(p Params) float64 { return float64(p.M) * p.Log2N() }
+
+// LORMOutlinks returns LORM's per-node neighbor count: Cycloid's constant
+// degree (7 links).
+func LORMOutlinks(Params) float64 { return 7 }
+
+// AnalysisGreaterLORMOutlinks is the paper's "Analysis>LORM" curve of
+// Figure 3(a): Mercury's measured outlinks divided by m, the upper bound
+// Theorem 4.1 guarantees LORM improves upon.
+func AnalysisGreaterLORMOutlinks(p Params, mercuryMeasured float64) float64 {
+	return mercuryMeasured / float64(p.M)
+}
+
+// Theorem42TotalInfoRatio returns the ratio of MAAN's total resource
+// information volume to everyone else's: exactly 2 (dual registration).
+func Theorem42TotalInfoRatio(Params) float64 { return 2 }
+
+// Theorem43DirectoryRatioMAAN returns the factor d·(1 + m/n) by which LORM
+// reduces a directory node's information size versus MAAN.
+func Theorem43DirectoryRatioMAAN(p Params) float64 {
+	return float64(p.D) * (1 + float64(p.M)/float64(p.N))
+}
+
+// Theorem44DirectoryRatioSWORD returns the factor d by which LORM reduces
+// a directory node's information size versus SWORD.
+func Theorem44DirectoryRatioSWORD(p Params) float64 { return float64(p.D) }
+
+// Theorem45BalanceRatioMercury returns the factor n/(d·m) by which Mercury
+// achieves more balanced information distribution than LORM.
+func Theorem45BalanceRatioMercury(p Params) float64 {
+	return float64(p.N) / (float64(p.D) * float64(p.M))
+}
+
+// AvgDirectorySize returns the average pieces per node: total/n, where
+// MAAN's total is doubled (Theorem 4.2).
+func AvgDirectorySize(p Params, system string) float64 {
+	total := float64(p.M) * float64(p.K)
+	if system == "maan" {
+		total *= 2
+	}
+	return total / float64(p.N)
+}
+
+// --- Efficiency of resource discovery (Section IV.B) --------------------
+
+// Theorem47ContactedRatioMAANvsLORM returns log(n)/d, the factor by which
+// LORM reduces MAAN's contacted nodes for non-range queries.
+func Theorem47ContactedRatioMAANvsLORM(p Params) float64 {
+	return p.Log2N() / float64(p.D)
+}
+
+// Theorem48ContactedRatioMAANvsChordSystems returns 2, the factor by which
+// Mercury and SWORD reduce MAAN's contacted nodes for non-range queries.
+func Theorem48ContactedRatioMAANvsChordSystems(Params) float64 { return 2 }
+
+// NonRangeHops returns the model's expected logical hops for an mq-attribute
+// non-range query, per the proofs of Theorems 4.7/4.8: one Chord lookup is
+// log(n)/2 hops, one Cycloid lookup d hops, MAAN performs two lookups.
+func NonRangeHops(p Params, system string, mq int) float64 {
+	per := 0.0
+	switch system {
+	case "lorm":
+		per = float64(p.D)
+	case "mercury", "sword":
+		per = p.Log2N() / 2
+	case "maan":
+		per = p.Log2N()
+	}
+	return float64(mq) * per
+}
+
+// AnalysisLORMHopsFromMAAN is the Figure 4 "Analysis-LORM" curve: MAAN's
+// measured hops divided by log(n)/d (Theorem 4.7).
+func AnalysisLORMHopsFromMAAN(p Params, maanMeasured float64) float64 {
+	return maanMeasured / Theorem47ContactedRatioMAANvsLORM(p)
+}
+
+// AnalysisChordHopsFromMAAN is the Figure 4 "Analysis-SWORD/Mercury"
+// curve: MAAN's measured hops divided by 2 (Theorem 4.8).
+func AnalysisChordHopsFromMAAN(_ Params, maanMeasured float64) float64 {
+	return maanMeasured / 2
+}
+
+// RangeVisitedNodes returns the model's visited directory nodes for an
+// mq-attribute range query (proof of Theorem 4.9, average case):
+// Mercury m(1+n/4), MAAN m(2+n/4), LORM m(1+d/4), SWORD m.
+func RangeVisitedNodes(p Params, system string, mq int) float64 {
+	per := 0.0
+	switch system {
+	case "mercury":
+		per = 1 + float64(p.N)/4
+	case "maan":
+		per = 2 + float64(p.N)/4
+	case "lorm":
+		per = 1 + float64(p.D)/4
+	case "sword":
+		per = 1
+	}
+	return float64(mq) * per
+}
+
+// Theorem49SavingsVsSystemWide returns m(n-d)/4, the visited nodes LORM
+// saves versus system-wide range discovery (Mercury, MAAN).
+func Theorem49SavingsVsSystemWide(p Params, mq int) float64 {
+	return float64(mq) * float64(p.N-p.D) / 4
+}
+
+// Theorem49SavingsSWORDvsLORM returns m·d/4, the visited nodes SWORD saves
+// versus LORM.
+func Theorem49SavingsSWORDvsLORM(p Params, mq int) float64 {
+	return float64(mq) * float64(p.D) / 4
+}
+
+// Theorem410WorstCaseSavings returns m·n, the worst-case contacted nodes
+// LORM saves versus system-wide range methods: m(log n + n) - m·log n.
+func Theorem410WorstCaseSavings(p Params, mq int) float64 {
+	return float64(mq) * float64(p.N)
+}
+
+// WorstCaseRangeContacted returns the worst-case contacted nodes of
+// Theorem 4.10's proof: Mercury m(log n + n), MAAN m(2·log n + n),
+// LORM m·d.
+func WorstCaseRangeContacted(p Params, system string, mq int) float64 {
+	switch system {
+	case "mercury":
+		return float64(mq) * (p.Log2N() + float64(p.N))
+	case "maan":
+		return float64(mq) * (2*p.Log2N() + float64(p.N))
+	case "lorm":
+		return float64(mq) * float64(p.D)
+	case "sword":
+		return float64(mq)
+	}
+	return 0
+}

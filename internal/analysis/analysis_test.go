@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+// The paper's operating point: n=2048, m=200, k=500, d=8, log2(n)=11.
+var paper = Params{N: 2048, M: 200, K: 500, D: 8}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestLog2N(t *testing.T) {
+	if !almost(paper.Log2N(), 11) {
+		t.Fatalf("log2(2048) = %v, want 11", paper.Log2N())
+	}
+}
+
+// Section V quotes every one of these constants; assert them exactly.
+func TestPaperQuotedConstants(t *testing.T) {
+	// Theorem 4.1: ≥ m = 200; with log n = 11, d = 8 the ratio is 275.
+	if got := Theorem41StructureOverheadRatio(paper); !almost(got, 200*11.0/8) {
+		t.Errorf("Thm 4.1 ratio = %v, want 275", got)
+	}
+	if Theorem41StructureOverheadRatio(paper) < float64(paper.M) {
+		t.Error("Thm 4.1: ratio must be ≥ m")
+	}
+	// Theorem 4.2: factor 2.
+	if got := Theorem42TotalInfoRatio(paper); got != 2 {
+		t.Errorf("Thm 4.2 = %v", got)
+	}
+	// Theorem 4.3: d(1+m/n) = 8·(1+200/2048) = 8.78125 (paper: 8.78).
+	if got := Theorem43DirectoryRatioMAAN(paper); !almost(got, 8*(1+200.0/2048)) {
+		t.Errorf("Thm 4.3 = %v, want 8.78125", got)
+	}
+	// Theorem 4.4: d = 8.
+	if got := Theorem44DirectoryRatioSWORD(paper); got != 8 {
+		t.Errorf("Thm 4.4 = %v", got)
+	}
+	// Theorem 4.5: n/(dm) = 2048/1600 = 1.28.
+	if got := Theorem45BalanceRatioMercury(paper); !almost(got, 1.28) {
+		t.Errorf("Thm 4.5 = %v, want 1.28", got)
+	}
+	// Theorem 4.7: log(n)/d = 11/8.
+	if got := Theorem47ContactedRatioMAANvsLORM(paper); !almost(got, 11.0/8) {
+		t.Errorf("Thm 4.7 = %v, want 11/8", got)
+	}
+	// Theorem 4.8: 2.
+	if got := Theorem48ContactedRatioMAANvsChordSystems(paper); got != 2 {
+		t.Errorf("Thm 4.8 = %v", got)
+	}
+}
+
+// Section V.B: visited nodes per range query — 513m Mercury, 514m MAAN,
+// 3m LORM, m SWORD.
+func TestRangeVisitedNodesQuotedValues(t *testing.T) {
+	cases := map[string]float64{
+		"mercury": 513,
+		"maan":    514,
+		"lorm":    3,
+		"sword":   1,
+	}
+	for system, want := range cases {
+		if got := RangeVisitedNodes(paper, system, 1); !almost(got, want) {
+			t.Errorf("RangeVisitedNodes(%s, 1) = %v, want %v", system, got, want)
+		}
+		if got := RangeVisitedNodes(paper, system, 5); !almost(got, 5*want) {
+			t.Errorf("RangeVisitedNodes(%s, 5) = %v, want %v", system, got, 5*want)
+		}
+	}
+	if got := RangeVisitedNodes(paper, "unknown", 1); got != 0 {
+		t.Errorf("unknown system = %v, want 0", got)
+	}
+}
+
+func TestTheorem49Savings(t *testing.T) {
+	// m(n-d)/4 with m=1: (2048-8)/4 = 510.
+	if got := Theorem49SavingsVsSystemWide(paper, 1); !almost(got, 510) {
+		t.Errorf("Thm 4.9 system-wide savings = %v, want 510", got)
+	}
+	// Consistency: Mercury's visited minus LORM's visited ≥ savings.
+	diff := RangeVisitedNodes(paper, "mercury", 1) - RangeVisitedNodes(paper, "lorm", 1)
+	if diff < Theorem49SavingsVsSystemWide(paper, 1) {
+		t.Errorf("Mercury-LORM visited diff %v below the theorem's bound", diff)
+	}
+	// SWORD saves m·d/4 = 2 versus LORM.
+	if got := Theorem49SavingsSWORDvsLORM(paper, 1); !almost(got, 2) {
+		t.Errorf("Thm 4.9 SWORD savings = %v, want 2", got)
+	}
+	if got := RangeVisitedNodes(paper, "lorm", 1) - RangeVisitedNodes(paper, "sword", 1); !almost(got, 2) {
+		t.Errorf("LORM-SWORD visited diff = %v, want 2", got)
+	}
+}
+
+func TestTheorem410WorstCase(t *testing.T) {
+	if got := Theorem410WorstCaseSavings(paper, 3); !almost(got, 3*2048) {
+		t.Errorf("Thm 4.10 savings = %v, want 6144", got)
+	}
+	mercury := WorstCaseRangeContacted(paper, "mercury", 1)
+	maan := WorstCaseRangeContacted(paper, "maan", 1)
+	lorm := WorstCaseRangeContacted(paper, "lorm", 1)
+	if !(maan > mercury && mercury > lorm) {
+		t.Errorf("worst-case ordering wrong: maan=%v mercury=%v lorm=%v", maan, mercury, lorm)
+	}
+	// Mercury's worst case minus LORM's is exactly the mn bound:
+	// m(log n + n) - m·d... the theorem states savings vs m·log n.
+	if got := mercury - float64(paper.N); !almost(got, paper.Log2N()) {
+		t.Errorf("mercury worst case = %v, want log n + n", mercury)
+	}
+	if got := WorstCaseRangeContacted(paper, "sword", 4); !almost(got, 4) {
+		t.Errorf("sword worst case = %v, want m", got)
+	}
+	if got := WorstCaseRangeContacted(paper, "unknown", 1); got != 0 {
+		t.Errorf("unknown = %v", got)
+	}
+}
+
+func TestNonRangeHops(t *testing.T) {
+	// Per-attribute: LORM d=8, Chord systems 5.5, MAAN 11.
+	if got := NonRangeHops(paper, "lorm", 1); !almost(got, 8) {
+		t.Errorf("lorm hops = %v, want 8", got)
+	}
+	if got := NonRangeHops(paper, "mercury", 1); !almost(got, 5.5) {
+		t.Errorf("mercury hops = %v, want 5.5", got)
+	}
+	if got := NonRangeHops(paper, "sword", 2); !almost(got, 11) {
+		t.Errorf("sword 2-attr hops = %v, want 11", got)
+	}
+	if got := NonRangeHops(paper, "maan", 1); !almost(got, 11) {
+		t.Errorf("maan hops = %v, want 11", got)
+	}
+	if got := NonRangeHops(paper, "unknown", 1); got != 0 {
+		t.Errorf("unknown = %v", got)
+	}
+	// Ordering of Figure 4: MAAN > LORM > Mercury = SWORD.
+	if !(NonRangeHops(paper, "maan", 3) > NonRangeHops(paper, "lorm", 3) &&
+		NonRangeHops(paper, "lorm", 3) > NonRangeHops(paper, "mercury", 3)) {
+		t.Error("Figure 4 ordering violated by the model")
+	}
+}
+
+func TestAnalysisCurveHelpers(t *testing.T) {
+	// "Analysis>LORM": Mercury's measured outlinks divided by m.
+	if got := AnalysisGreaterLORMOutlinks(paper, 2600); !almost(got, 13) {
+		t.Errorf("Analysis>LORM = %v, want 13", got)
+	}
+	// "Analysis-LORM" hops: MAAN measured / (11/8).
+	if got := AnalysisLORMHopsFromMAAN(paper, 11); !almost(got, 8) {
+		t.Errorf("Analysis-LORM = %v, want 8", got)
+	}
+	if got := AnalysisChordHopsFromMAAN(paper, 11); !almost(got, 5.5) {
+		t.Errorf("Analysis-SWORD/Mercury = %v, want 5.5", got)
+	}
+}
+
+func TestAvgDirectorySize(t *testing.T) {
+	// Total pieces m·k = 100000 over 2048 nodes ≈ 48.83; MAAN doubled.
+	want := 200.0 * 500 / 2048
+	for _, system := range []string{"lorm", "mercury", "sword"} {
+		if got := AvgDirectorySize(paper, system); !almost(got, want) {
+			t.Errorf("AvgDirectorySize(%s) = %v, want %v", system, got, want)
+		}
+	}
+	if got := AvgDirectorySize(paper, "maan"); !almost(got, 2*want) {
+		t.Errorf("AvgDirectorySize(maan) = %v, want %v", got, 2*want)
+	}
+}
+
+func TestOutlinkModels(t *testing.T) {
+	if got := MercuryOutlinks(paper); !almost(got, 2200) {
+		t.Errorf("MercuryOutlinks = %v, want 2200", got)
+	}
+	if got := LORMOutlinks(paper); got != 7 {
+		t.Errorf("LORMOutlinks = %v, want 7", got)
+	}
+}

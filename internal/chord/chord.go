@@ -1,0 +1,239 @@
+// Package chord implements the Chord distributed hash table (Stoica et al.
+// [12]): an m-bit identifier ring with finger tables, successor lists and
+// predecessor pointers, iterative O(log n) lookups with hop accounting,
+// protocol joins, graceful leaves with key handover, and the
+// stabilize/fix-fingers maintenance loop.
+//
+// Chord is the substrate of the three baseline systems the paper compares
+// LORM against: Mercury runs one Chord "hub" per attribute, SWORD and MAAN
+// run a single Chord each. The ring also exposes oracle accessors (computed
+// from authoritative membership) used by static table construction and by
+// tests that verify the routed answer matches ground truth.
+package chord
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"lorm/internal/directory"
+	"lorm/internal/hashing"
+	"lorm/internal/ring"
+)
+
+// Config parameterizes a ring.
+type Config struct {
+	// Bits is the identifier-space width; 2^Bits points. The default 20
+	// comfortably hosts the paper's 2048 nodes with negligible collision
+	// probability while keeping finger tables small.
+	Bits uint
+	// SuccListLen is the successor-list length (default 4); the paper's
+	// "log(n) neighbors" figure counts fingers, and the successor list adds
+	// the constant-size tail every deployed Chord carries.
+	SuccListLen int
+	// Salt namespaces node identifiers, so the same physical addresses get
+	// independent positions in each Mercury hub.
+	Salt string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Bits == 0 {
+		c.Bits = 20
+	}
+	if c.SuccListLen <= 0 {
+		c.SuccListLen = 4
+	}
+	return c
+}
+
+// Node is one Chord peer. All routing-state fields are guarded by the
+// owning Ring's lock: mutations happen under the write lock, lookups under
+// the read lock. The directory has its own internal lock because inserts
+// run concurrently with lookups.
+type Node struct {
+	ID   uint64
+	Addr string
+	Dir  directory.Store
+
+	fingers    []uint64 // fingers[i] ≈ successor(ID + 2^i)
+	succs      []uint64 // successor list, nearest first
+	pred       uint64
+	hasPred    bool
+	nextFinger int // round-robin cursor for incremental FixFingers
+}
+
+// Ring is one Chord overlay instance.
+type Ring struct {
+	cfg   Config
+	space ring.Space
+
+	mu     sync.RWMutex
+	nodes  map[uint64]*Node
+	sorted []uint64 // authoritative membership, ascending IDs
+}
+
+// ErrEmpty is returned by operations that need at least one live node.
+var ErrEmpty = errors.New("chord: ring has no nodes")
+
+// New creates an empty ring.
+func New(cfg Config) *Ring {
+	cfg = cfg.withDefaults()
+	return &Ring{
+		cfg:   cfg,
+		space: ring.NewSpace(cfg.Bits),
+		nodes: make(map[uint64]*Node),
+	}
+}
+
+// Space returns the identifier space of the ring.
+func (r *Ring) Space() ring.Space { return r.space }
+
+// Size returns the current number of nodes.
+func (r *Ring) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.sorted)
+}
+
+// idFor derives a collision-free identifier for an address. Collisions are
+// resolved deterministically by re-hashing with an increasing salt index.
+func (r *Ring) idFor(addr string) uint64 {
+	key := r.cfg.Salt + "|" + addr
+	id := hashing.Consistent(r.space, key)
+	for i := 1; ; i++ {
+		if _, taken := r.nodes[id]; !taken {
+			return id
+		}
+		id = hashing.ConsistentN(r.space, key, i)
+	}
+}
+
+// insertMember adds a node to the authoritative membership (lock held).
+func (r *Ring) insertMember(n *Node) {
+	i := sort.Search(len(r.sorted), func(i int) bool { return r.sorted[i] >= n.ID })
+	r.sorted = append(r.sorted, 0)
+	copy(r.sorted[i+1:], r.sorted[i:])
+	r.sorted[i] = n.ID
+	r.nodes[n.ID] = n
+}
+
+// removeMember drops a node from the authoritative membership (lock held).
+func (r *Ring) removeMember(id uint64) {
+	i := sort.Search(len(r.sorted), func(i int) bool { return r.sorted[i] >= id })
+	if i < len(r.sorted) && r.sorted[i] == id {
+		r.sorted = append(r.sorted[:i], r.sorted[i+1:]...)
+	}
+	delete(r.nodes, id)
+}
+
+// oracleSuccessor returns the first member at or after key in ring order
+// (lock held). This is ground truth, not routed state.
+func (r *Ring) oracleSuccessor(key uint64) uint64 {
+	i := sort.Search(len(r.sorted), func(i int) bool { return r.sorted[i] >= key })
+	if i == len(r.sorted) {
+		i = 0
+	}
+	return r.sorted[i]
+}
+
+// oraclePredecessor returns the last member strictly before key (lock held).
+func (r *Ring) oraclePredecessor(key uint64) uint64 {
+	i := sort.Search(len(r.sorted), func(i int) bool { return r.sorted[i] >= key })
+	if i == 0 {
+		return r.sorted[len(r.sorted)-1]
+	}
+	return r.sorted[i-1]
+}
+
+// AddBulk hashes and inserts the given addresses and then rebuilds every
+// node's routing state from authoritative membership. It is the fast path
+// for constructing the large static overlays the experiments measure;
+// protocol joins produce the same state one node at a time.
+func (r *Ring) AddBulk(addrs []string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, addr := range addrs {
+		if addr == "" {
+			return fmt.Errorf("chord: empty address")
+		}
+		id := r.idFor(addr)
+		r.insertMember(&Node{ID: id, Addr: addr})
+	}
+	r.rebuildAllLocked()
+	return nil
+}
+
+// rebuildAllLocked recomputes pred/succ/fingers for every node from the
+// authoritative membership (lock held).
+func (r *Ring) rebuildAllLocked() {
+	for _, id := range r.sorted {
+		r.rebuildNodeLocked(r.nodes[id])
+	}
+}
+
+// rebuildNodeLocked recomputes one node's routing state (lock held).
+func (r *Ring) rebuildNodeLocked(n *Node) {
+	if len(r.sorted) == 0 {
+		return
+	}
+	n.pred = r.oraclePredecessor(n.ID)
+	n.hasPred = true
+	n.succs = n.succs[:0]
+	next := n.ID
+	for i := 0; i < r.cfg.SuccListLen; i++ {
+		next = r.oracleSuccessor(r.space.Add(next, 1))
+		n.succs = append(n.succs, next)
+		if next == n.ID { // fewer nodes than list slots
+			break
+		}
+	}
+	if n.fingers == nil {
+		n.fingers = make([]uint64, r.cfg.Bits)
+	}
+	for i := uint(0); i < r.cfg.Bits; i++ {
+		n.fingers[i] = r.oracleSuccessor(r.space.Add(n.ID, uint64(1)<<i))
+	}
+}
+
+// successorLocked returns a node's first live successor, repairing the list
+// head in place if the nominal successor has departed (lock held; callers
+// doing repairs hold the write lock, read-only paths tolerate staleness).
+func (r *Ring) successorLocked(n *Node) uint64 {
+	for _, s := range n.succs {
+		if _, alive := r.nodes[s]; alive {
+			return s
+		}
+	}
+	// Successor list entirely stale (can only happen under extreme churn
+	// between stabilization rounds): fall back to ground truth, as a real
+	// deployment would fall back to rejoining.
+	if len(r.sorted) == 0 {
+		return n.ID
+	}
+	return r.oracleSuccessor(r.space.Add(n.ID, 1))
+}
+
+// closestPrecedingLocked returns the live routing-table entry of n that
+// most closely precedes key, or n.ID when none does (lock held).
+func (r *Ring) closestPrecedingLocked(n *Node, key uint64) uint64 {
+	for i := len(n.fingers) - 1; i >= 0; i-- {
+		f := n.fingers[i]
+		if _, alive := r.nodes[f]; !alive {
+			continue
+		}
+		if r.space.Between(f, n.ID, key) {
+			return f
+		}
+	}
+	for i := len(n.succs) - 1; i >= 0; i-- {
+		s := n.succs[i]
+		if _, alive := r.nodes[s]; !alive {
+			continue
+		}
+		if r.space.Between(s, n.ID, key) {
+			return s
+		}
+	}
+	return n.ID
+}

@@ -1,0 +1,489 @@
+package chord
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"lorm/internal/directory"
+	"lorm/internal/resource"
+)
+
+func addrs(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("node-%04d", i)
+	}
+	return out
+}
+
+func buildRing(t testing.TB, n int) *Ring {
+	t.Helper()
+	r := New(Config{Bits: 20, SuccListLen: 4})
+	if err := r.AddBulk(addrs(n)); err != nil {
+		t.Fatalf("AddBulk: %v", err)
+	}
+	return r
+}
+
+func TestAddBulkAndSize(t *testing.T) {
+	r := buildRing(t, 64)
+	if r.Size() != 64 {
+		t.Fatalf("Size = %d, want 64", r.Size())
+	}
+	if err := r.AddBulk([]string{""}); err == nil {
+		t.Fatal("AddBulk with empty address should error")
+	}
+}
+
+func TestIDsAreUnique(t *testing.T) {
+	r := buildRing(t, 2048)
+	seen := map[uint64]bool{}
+	for _, n := range r.Nodes() {
+		if seen[n.ID] {
+			t.Fatalf("duplicate node ID %d", n.ID)
+		}
+		seen[n.ID] = true
+	}
+}
+
+// Every lookup must return the oracle successor of the key, from any start.
+func TestLookupMatchesOracle(t *testing.T) {
+	r := buildRing(t, 200)
+	nodes := r.Nodes()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		key := rng.Uint64() & (r.Space().Size() - 1)
+		from := nodes[rng.Intn(len(nodes))]
+		route, err := r.Lookup(from, key)
+		if err != nil {
+			t.Fatalf("Lookup: %v", err)
+		}
+		want, _ := r.OwnerOf(key)
+		if route.Root != want {
+			t.Fatalf("Lookup(%d) = node %d, oracle says %d", key, route.Root.ID, want.ID)
+		}
+	}
+}
+
+func TestLookupSelfIsZeroHops(t *testing.T) {
+	r := buildRing(t, 50)
+	for _, n := range r.Nodes()[:10] {
+		route, err := r.Lookup(n, n.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if route.Root != n || route.Hops != 0 {
+			t.Fatalf("Lookup(own ID) = root %d hops %d, want self/0", route.Root.ID, route.Hops)
+		}
+	}
+}
+
+func TestLookupEmptyRing(t *testing.T) {
+	r := New(Config{})
+	if _, err := r.Lookup(&Node{}, 1); err == nil {
+		t.Fatal("lookup on empty ring should error")
+	}
+}
+
+func TestLookupFromForeignNode(t *testing.T) {
+	r := buildRing(t, 10)
+	if _, err := r.Lookup(&Node{ID: 12345}, 1); err == nil {
+		t.Fatal("lookup from non-member should error")
+	}
+}
+
+// Average lookup path length should scale like (1/2)·log2(n), the constant
+// Theorem 4.7 relies on.
+func TestLookupHopsScaleLogarithmically(t *testing.T) {
+	for _, n := range []int{128, 1024} {
+		r := buildRing(t, n)
+		nodes := r.Nodes()
+		rng := rand.New(rand.NewSource(2))
+		total, count := 0, 0
+		for i := 0; i < 3000; i++ {
+			key := rng.Uint64() & (r.Space().Size() - 1)
+			route, err := r.Lookup(nodes[rng.Intn(len(nodes))], key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += route.Hops
+			count++
+		}
+		avg := float64(total) / float64(count)
+		want := 0.5 * math.Log2(float64(n))
+		if avg < want*0.7 || avg > want*1.4 {
+			t.Errorf("n=%d: avg hops %.2f, want ≈ %.2f (0.5·log2 n)", n, avg, want)
+		}
+	}
+}
+
+func TestInsertPlacesOnOracleOwner(t *testing.T) {
+	r := buildRing(t, 100)
+	nodes := r.Nodes()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		key := rng.Uint64() & (r.Space().Size() - 1)
+		e := directory.Entry{Key: key, Info: resource.Info{Attr: "cpu", Value: float64(i), Owner: "o"}}
+		if _, err := r.Insert(nodes[rng.Intn(len(nodes))], key, e); err != nil {
+			t.Fatal(err)
+		}
+		want, _ := r.OwnerOf(key)
+		if want.Dir.CountAttr("cpu") == 0 {
+			t.Fatalf("entry for key %d not on oracle owner", key)
+		}
+	}
+	total := 0
+	for _, sz := range r.DirectorySizes() {
+		total += sz
+	}
+	if total != 500 {
+		t.Fatalf("total stored = %d, want 500", total)
+	}
+}
+
+func TestNextNodeWalksRingInOrder(t *testing.T) {
+	r := buildRing(t, 32)
+	nodes := r.Nodes()
+	cur := nodes[0]
+	for i := 1; i <= 32; i++ {
+		next, ok := r.NextNode(cur)
+		if !ok {
+			t.Fatal("NextNode reported single-node ring")
+		}
+		want := nodes[i%32]
+		if next != want {
+			t.Fatalf("walk step %d: got %d, want %d", i, next.ID, want.ID)
+		}
+		cur = next
+	}
+	if cur != nodes[0] {
+		t.Fatal("walking n steps did not return to start")
+	}
+}
+
+func TestNextNodeSingle(t *testing.T) {
+	r := New(Config{})
+	n, err := r.Join("only")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.NextNode(n); ok {
+		t.Fatal("single-node ring should report no next")
+	}
+}
+
+func TestNodeNearDeterministic(t *testing.T) {
+	r := buildRing(t, 64)
+	a, err := r.NodeNear("requester-7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := r.NodeNear("requester-7")
+	if a != b {
+		t.Fatal("NodeNear not deterministic")
+	}
+	if _, err := New(Config{}).NodeNear("x"); err == nil {
+		t.Fatal("NodeNear on empty ring should error")
+	}
+}
+
+func TestNodeByAddr(t *testing.T) {
+	r := buildRing(t, 16)
+	n, ok := r.NodeByAddr("node-0007")
+	if !ok || n.Addr != "node-0007" {
+		t.Fatalf("NodeByAddr = %v, %v", n, ok)
+	}
+	if _, ok := r.NodeByAddr("nope"); ok {
+		t.Fatal("NodeByAddr should miss")
+	}
+}
+
+func TestOutlinkCountsApproxLogN(t *testing.T) {
+	r := buildRing(t, 1024)
+	counts := r.OutlinkCounts()
+	var sum float64
+	for _, c := range counts {
+		sum += float64(c)
+	}
+	avg := sum / float64(len(counts))
+	// Distinct fingers ≈ log2(n) = 10, plus successor list tail.
+	if avg < 8 || avg > 18 {
+		t.Errorf("avg outlinks = %.1f, want ≈ log2(1024)+list", avg)
+	}
+}
+
+// Protocol joins one at a time must produce a ring equivalent to bulk
+// construction: every key's routed owner equals the oracle owner.
+func TestJoinIncremental(t *testing.T) {
+	r := New(Config{Bits: 20})
+	for i := 0; i < 60; i++ {
+		if _, err := r.Join(fmt.Sprintf("node-%04d", i)); err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+	}
+	if r.Size() != 60 {
+		t.Fatalf("Size = %d, want 60", r.Size())
+	}
+	nodes := r.Nodes()
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 500; i++ {
+		key := rng.Uint64() & (r.Space().Size() - 1)
+		route, err := r.Lookup(nodes[rng.Intn(len(nodes))], key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := r.OwnerOf(key)
+		if route.Root != want {
+			t.Fatalf("post-join Lookup(%d) = %d, oracle %d", key, route.Root.ID, want.ID)
+		}
+	}
+}
+
+// A join must take over exactly the keys in (pred, new] from its successor.
+func TestJoinKeyHandover(t *testing.T) {
+	r := buildRing(t, 20)
+	nodes := r.Nodes()
+	rng := rand.New(rand.NewSource(5))
+	keys := make([]uint64, 300)
+	for i := range keys {
+		keys[i] = rng.Uint64() & (r.Space().Size() - 1)
+		e := directory.Entry{Key: keys[i], Info: resource.Info{Attr: "a", Value: 1, Owner: "o"}}
+		if _, err := r.Insert(nodes[0], keys[i], e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.Join("newcomer"); err != nil {
+		t.Fatal(err)
+	}
+	// Every key must now reside on its (new) oracle owner.
+	for _, k := range keys {
+		owner, _ := r.OwnerOf(k)
+		found := false
+		for _, e := range owner.Dir.Snapshot() {
+			if e.Key == k {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("key %d not on oracle owner after join", k)
+		}
+	}
+}
+
+func TestLeaveTransfersKeysAndRepairs(t *testing.T) {
+	r := buildRing(t, 30)
+	nodes := r.Nodes()
+	rng := rand.New(rand.NewSource(6))
+	keys := make([]uint64, 200)
+	for i := range keys {
+		keys[i] = rng.Uint64() & (r.Space().Size() - 1)
+		e := directory.Entry{Key: keys[i], Info: resource.Info{Attr: "a", Value: 1, Owner: "o"}}
+		if _, err := r.Insert(nodes[0], keys[i], e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victim := nodes[7]
+	if err := r.Leave(victim); err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != 29 {
+		t.Fatalf("Size = %d after leave, want 29", r.Size())
+	}
+	if err := r.Leave(victim); err == nil {
+		t.Fatal("double leave should error")
+	}
+	total := 0
+	for _, sz := range r.DirectorySizes() {
+		total += sz
+	}
+	if total != 200 {
+		t.Fatalf("keys lost in departure: %d stored, want 200", total)
+	}
+	// Lookups still match oracle from any surviving node.
+	survivors := r.Nodes()
+	for i := 0; i < 300; i++ {
+		key := rng.Uint64() & (r.Space().Size() - 1)
+		route, err := r.Lookup(survivors[rng.Intn(len(survivors))], key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := r.OwnerOf(key)
+		if route.Root != want {
+			t.Fatalf("post-leave Lookup(%d) = %d, oracle %d", key, route.Root.ID, want.ID)
+		}
+	}
+}
+
+func TestLeaveLastNodeRefused(t *testing.T) {
+	r := New(Config{})
+	n, err := r.Join("only")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Leave(n); err == nil {
+		t.Fatal("removing the last node should be refused")
+	}
+}
+
+// Sustained churn with stabilization: lookups keep matching the oracle.
+func TestChurnWithStabilization(t *testing.T) {
+	r := buildRing(t, 100)
+	rng := rand.New(rand.NewSource(7))
+	joined := 100
+	for round := 0; round < 40; round++ {
+		// One join and one departure per round (paper's churn model).
+		if _, err := r.Join(fmt.Sprintf("churn-%04d", joined)); err != nil {
+			t.Fatalf("round %d join: %v", round, err)
+		}
+		joined++
+		nodes := r.Nodes()
+		if err := r.Leave(nodes[rng.Intn(len(nodes))]); err != nil {
+			t.Fatalf("round %d leave: %v", round, err)
+		}
+		r.Stabilize()
+		r.FixFingers(4)
+
+		nodes = r.Nodes()
+		for i := 0; i < 20; i++ {
+			key := rng.Uint64() & (r.Space().Size() - 1)
+			route, err := r.Lookup(nodes[rng.Intn(len(nodes))], key)
+			if err != nil {
+				t.Fatalf("round %d lookup: %v", round, err)
+			}
+			want, _ := r.OwnerOf(key)
+			if route.Root != want {
+				t.Fatalf("round %d: Lookup(%d) = %d, oracle %d", round, key, route.Root.ID, want.ID)
+			}
+		}
+	}
+}
+
+func TestConcurrentLookups(t *testing.T) {
+	r := buildRing(t, 256)
+	nodes := r.Nodes()
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 400; i++ {
+				key := rng.Uint64() & (r.Space().Size() - 1)
+				if _, err := r.Lookup(nodes[rng.Intn(len(nodes))], key); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for random small rings, routed owner == oracle owner.
+func TestLookupOracleProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30}
+	f := func(seed int64, nNodes uint8, keys [8]uint64) bool {
+		n := int(nNodes%50) + 2
+		r := New(Config{Bits: 16})
+		names := make([]string, n)
+		for i := range names {
+			names[i] = fmt.Sprintf("p%d-%d", seed, i)
+		}
+		if err := r.AddBulk(names); err != nil {
+			return false
+		}
+		nodes := r.Nodes()
+		for _, raw := range keys {
+			key := raw & (r.Space().Size() - 1)
+			route, err := r.Lookup(nodes[int(raw%uint64(len(nodes)))], key)
+			if err != nil {
+				return false
+			}
+			want, _ := r.OwnerOf(key)
+			if route.Root != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLookup2048(b *testing.B) {
+	r := buildRing(b, 2048)
+	nodes := r.Nodes()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := rng.Uint64() & (r.Space().Size() - 1)
+		if _, err := r.Lookup(nodes[i%len(nodes)], key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJoin(b *testing.B) {
+	r := buildRing(b, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Join(fmt.Sprintf("bench-%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Abrupt failures: no handover, no repair — lookups must still converge to
+// the (new) oracle owner via alive-checks and stabilization.
+func TestFailAbruptThenLookupsRecover(t *testing.T) {
+	r := buildRing(t, 80)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 15; i++ {
+		nodes := r.Nodes()
+		if _, err := r.Fail(nodes[rng.Intn(len(nodes))]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Stabilize()
+	r.FixFingers(0)
+	nodes := r.Nodes()
+	if len(nodes) != 65 {
+		t.Fatalf("size = %d after 15 failures, want 65", len(nodes))
+	}
+	for i := 0; i < 400; i++ {
+		key := rng.Uint64() & (r.Space().Size() - 1)
+		route, err := r.Lookup(nodes[rng.Intn(len(nodes))], key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := r.OwnerOf(key)
+		if route.Root != want {
+			t.Fatalf("post-failure Lookup(%d) = %d, oracle %d", key, route.Root.ID, want.ID)
+		}
+	}
+}
+
+func TestFailErrors(t *testing.T) {
+	r := New(Config{})
+	n, err := r.Join("only")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Fail(n); err == nil {
+		t.Fatal("failing the last node should be refused")
+	}
+	if _, err := r.Fail(&Node{ID: 999}); err == nil {
+		t.Fatal("failing a non-member should error")
+	}
+}

@@ -1,0 +1,209 @@
+package chord
+
+import (
+	"fmt"
+
+	"lorm/internal/directory"
+	"lorm/internal/hashing"
+)
+
+// Route is the outcome of one lookup: the root node responsible for the
+// key and the number of logical hops the query traversed to reach it.
+type Route struct {
+	Root *Node
+	Hops int
+}
+
+// Lookup routes iteratively from the node `from` to the successor of key,
+// following fingers exactly as the protocol prescribes and counting one
+// logical hop per node-to-node forward. It takes the ring's read lock, so
+// any number of lookups proceed concurrently; membership changes exclude
+// them briefly.
+func (r *Ring) Lookup(from *Node, key uint64) (Route, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.lookupLocked(from, key)
+}
+
+func (r *Ring) lookupLocked(from *Node, key uint64) (Route, error) {
+	if len(r.sorted) == 0 {
+		return Route{}, ErrEmpty
+	}
+	if from == nil || r.nodes[from.ID] != from {
+		return Route{}, fmt.Errorf("chord: lookup from a node that is not a live member")
+	}
+	cur := from
+	hops := 0
+	// 4×Bits forwards is far beyond any legitimate path (log2 n + slack);
+	// exceeding it means routing state is corrupt.
+	maxHops := int(4*r.cfg.Bits) + len(r.sorted)
+	for ; hops <= maxHops; hops++ {
+		// Does the key belong to cur itself?
+		if cur.hasPred {
+			if _, alive := r.nodes[cur.pred]; alive && r.space.BetweenIncl(key, cur.pred, cur.ID) {
+				return Route{Root: cur, Hops: hops}, nil
+			}
+		}
+		succ := r.successorLocked(cur)
+		if succ == cur.ID { // single-node ring
+			return Route{Root: cur, Hops: hops}, nil
+		}
+		// Key between cur and its successor: the successor is the root.
+		if r.space.BetweenIncl(key, cur.ID, succ) {
+			return Route{Root: r.nodes[succ], Hops: hops + 1}, nil
+		}
+		next := r.closestPrecedingLocked(cur, key)
+		if next == cur.ID {
+			// Stale tables offer no progress; step to the successor, which
+			// always advances clockwise and therefore terminates.
+			next = succ
+		}
+		cur = r.nodes[next]
+	}
+	return Route{}, fmt.Errorf("chord: lookup for %d exceeded %d hops", key, maxHops)
+}
+
+// Insert stores an info entry under key on the responsible node, routing
+// from the given start node. It returns the route taken.
+func (r *Ring) Insert(from *Node, key uint64, e directory.Entry) (Route, error) {
+	route, err := r.Lookup(from, key)
+	if err != nil {
+		return Route{}, err
+	}
+	route.Root.Dir.Add(e)
+	return route, nil
+}
+
+// NextNode returns the live node that immediately follows n in ring order
+// — the "immediate successor" a range query walks to. The second return is
+// false when n is the only node.
+func (r *Ring) NextNode(n *Node) (*Node, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	succ := r.successorLocked(n)
+	if succ == n.ID {
+		return n, false
+	}
+	return r.nodes[succ], true
+}
+
+// NodeByAddr finds a live node by address; O(n), intended for tests and
+// the churn driver's victim selection.
+func (r *Ring) NodeByAddr(addr string) (*Node, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, n := range r.nodes {
+		if n.Addr == addr {
+			return n, true
+		}
+	}
+	return nil, false
+}
+
+// NodeNear deterministically picks the live node whose ID succeeds
+// hash(seed): the experiments use it to choose query start nodes and churn
+// victims without keeping an external index.
+func (r *Ring) NodeNear(seed string) (*Node, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.sorted) == 0 {
+		return nil, ErrEmpty
+	}
+	return r.nodes[r.oracleSuccessor(hashing.Consistent(r.space, seed))], nil
+}
+
+// OwnerOf returns the ground-truth root for a key (oracle, no routing).
+func (r *Ring) OwnerOf(key uint64) (*Node, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.sorted) == 0 {
+		return nil, ErrEmpty
+	}
+	return r.nodes[r.oracleSuccessor(key)], nil
+}
+
+// Nodes returns a snapshot of all live nodes in ascending ID order.
+func (r *Ring) Nodes() []*Node {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Node, len(r.sorted))
+	for i, id := range r.sorted {
+		out[i] = r.nodes[id]
+	}
+	return out
+}
+
+// Addrs returns the addresses of all live nodes in ascending ID order.
+func (r *Ring) Addrs() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, len(r.sorted))
+	for i, id := range r.sorted {
+		out[i] = r.nodes[id].Addr
+	}
+	return out
+}
+
+// DirectorySizes returns each live node's directory size, ascending ID
+// order — the raw sample behind Figures 3(b)–(d).
+func (r *Ring) DirectorySizes() []int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]int, len(r.sorted))
+	for i, id := range r.sorted {
+		out[i] = r.nodes[id].Dir.Len()
+	}
+	return out
+}
+
+// OutlinkCount returns the number of distinct live overlay neighbors
+// (fingers ∪ successor list ∪ predecessor) a node maintains — the
+// per-node structure maintenance overhead of Theorem 4.1 / Figure 3(a).
+func (r *Ring) OutlinkCount(n *Node) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	distinct := make(map[uint64]bool, len(n.fingers)+len(n.succs)+1)
+	add := func(id uint64) {
+		if id == n.ID {
+			return
+		}
+		if _, alive := r.nodes[id]; alive {
+			distinct[id] = true
+		}
+	}
+	for _, f := range n.fingers {
+		add(f)
+	}
+	for _, s := range n.succs {
+		add(s)
+	}
+	if n.hasPred {
+		add(n.pred)
+	}
+	return len(distinct)
+}
+
+// OutlinkCounts returns OutlinkCount for every live node.
+func (r *Ring) OutlinkCounts() []int {
+	nodes := r.Nodes()
+	out := make([]int, len(nodes))
+	for i, n := range nodes {
+		out[i] = r.OutlinkCount(n)
+	}
+	return out
+}
+
+// Owns reports whether n is responsible for key: the node-local test a
+// range walk uses to decide it has reached the end of the queried range.
+func (r *Ring) Owns(n *Node, key uint64) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.sorted) == 1 {
+		return true
+	}
+	pred := n.pred
+	if !n.hasPred || r.deadLocked(pred) {
+		pred = r.oraclePredecessor(n.ID)
+	}
+	return r.space.BetweenIncl(key, pred, n.ID)
+}

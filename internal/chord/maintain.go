@@ -1,0 +1,212 @@
+package chord
+
+import (
+	"fmt"
+
+	"lorm/internal/directory"
+)
+
+// Join adds one node by protocol: the newcomer hashes itself onto the
+// ring, routes to its own successor via an existing node, splices in
+// between that successor and its predecessor, takes over the keys it is
+// now responsible for, and builds its finger table by lookups. Existing
+// nodes' fingers are not touched; FixFingers repairs them over time,
+// exactly as in the protocol.
+func (r *Ring) Join(addr string) (*Node, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if addr == "" {
+		return nil, fmt.Errorf("chord: empty address")
+	}
+	id := r.idFor(addr)
+	n := &Node{ID: id, Addr: addr}
+
+	if len(r.sorted) == 0 { // first node: a ring of one
+		r.insertMember(n)
+		r.rebuildNodeLocked(n)
+		return n, nil
+	}
+
+	bootstrap := r.nodes[r.sorted[0]]
+	route, err := r.lookupLocked(bootstrap, id)
+	if err != nil {
+		return nil, fmt.Errorf("chord: join lookup failed: %w", err)
+	}
+	succ := route.Root
+	r.insertMember(n)
+
+	// Splice pointers: n sits between succ's old predecessor and succ.
+	if succ.hasPred {
+		if p, alive := r.nodes[succ.pred]; alive {
+			p.succs = prependSucc(p.succs, id, r.cfg.SuccListLen)
+		}
+		n.pred, n.hasPred = succ.pred, true
+	}
+	succ.pred, succ.hasPred = id, true
+	n.succs = prependSucc(append([]uint64(nil), succ.succs...), succ.ID, r.cfg.SuccListLen)
+
+	// Key handover: entries in (pred(n), n] now belong to n.
+	if n.hasPred {
+		pred := n.pred
+		moved := succ.Dir.TakeIf(func(e directory.Entry) bool {
+			return r.space.BetweenIncl(e.Key, pred, id)
+		})
+		n.Dir.AddAll(moved)
+	}
+
+	// Build the newcomer's fingers by routed lookups through the ring.
+	n.fingers = make([]uint64, r.cfg.Bits)
+	for i := uint(0); i < r.cfg.Bits; i++ {
+		target := r.space.Add(id, uint64(1)<<i)
+		rt, err := r.lookupLocked(succ, target)
+		if err != nil {
+			return nil, fmt.Errorf("chord: join fix finger %d: %w", i, err)
+		}
+		n.fingers[i] = rt.Root.ID
+	}
+	return n, nil
+}
+
+// Leave removes a node gracefully: its directory entries are handed to its
+// successor and its neighbors' pointers are repaired immediately, matching
+// the paper's churn model in which stored objects survive departures.
+func (r *Ring) Leave(n *Node) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, alive := r.nodes[n.ID]; !alive {
+		return fmt.Errorf("chord: leave of unknown node %s", n.Addr)
+	}
+	if len(r.sorted) == 1 {
+		return fmt.Errorf("chord: refusing to remove the last node")
+	}
+	r.removeMember(n.ID)
+
+	succID := r.oracleSuccessor(n.ID)
+	succ := r.nodes[succID]
+	succ.Dir.AddAll(n.Dir.TakeAll())
+
+	// Repair immediate neighbors.
+	if n.hasPred {
+		if p, alive := r.nodes[n.pred]; alive {
+			p.succs = prependSucc(removeID(p.succs, n.ID), succID, r.cfg.SuccListLen)
+		}
+		if succ.hasPred && succ.pred == n.ID {
+			succ.pred = n.pred
+		}
+	} else if succ.hasPred && succ.pred == n.ID {
+		succ.pred = r.oraclePredecessor(succID)
+	}
+	return nil
+}
+
+// Stabilize runs one stabilization round on every node: adopt the
+// successor's predecessor when it falls between, refresh the successor
+// list, and notify the successor. It repairs the pointer invariants that
+// protocol joins leave eventually-consistent.
+func (r *Ring) Stabilize() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, id := range r.sorted {
+		n := r.nodes[id]
+		succID := r.successorLocked(n)
+		if succID == n.ID {
+			continue
+		}
+		succ := r.nodes[succID]
+		if succ.hasPred {
+			if p, alive := r.nodes[succ.pred]; alive && r.space.Between(p.ID, n.ID, succID) {
+				succID, succ = p.ID, p
+			}
+		}
+		// Refresh successor list from the successor's list.
+		list := make([]uint64, 0, r.cfg.SuccListLen)
+		list = append(list, succID)
+		for _, s := range succ.succs {
+			if len(list) >= r.cfg.SuccListLen {
+				break
+			}
+			if _, alive := r.nodes[s]; alive && s != n.ID {
+				list = append(list, s)
+			}
+		}
+		n.succs = list
+		// Notify.
+		if !succ.hasPred || r.space.Between(n.ID, succ.pred, succID) || r.deadLocked(succ.pred) {
+			succ.pred, succ.hasPred = n.ID, true
+		}
+	}
+}
+
+// FixFingers refreshes `perNode` finger entries on every node using routed
+// lookups, cycling through the table. perNode <= 0 refreshes every entry.
+func (r *Ring) FixFingers(perNode int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if perNode <= 0 || perNode > int(r.cfg.Bits) {
+		perNode = int(r.cfg.Bits)
+	}
+	for _, id := range r.sorted {
+		n := r.nodes[id]
+		if n.fingers == nil {
+			n.fingers = make([]uint64, r.cfg.Bits)
+		}
+		for j := 0; j < perNode; j++ {
+			i := (n.nextFinger + j) % int(r.cfg.Bits)
+			target := r.space.Add(n.ID, uint64(1)<<uint(i))
+			// Oracle repair: periodic fix-fingers converges to ground truth
+			// in the protocol; we jump straight there, which reproduces the
+			// post-convergence state without simulating every probe.
+			n.fingers[i] = r.oracleSuccessor(target)
+		}
+		n.nextFinger = (n.nextFinger + perNode) % int(r.cfg.Bits)
+	}
+}
+
+func (r *Ring) deadLocked(id uint64) bool {
+	_, alive := r.nodes[id]
+	return !alive
+}
+
+// prependSucc puts id at the head of a successor list, dedups, and trims.
+func prependSucc(list []uint64, id uint64, max int) []uint64 {
+	out := make([]uint64, 0, max)
+	out = append(out, id)
+	for _, s := range list {
+		if len(out) >= max {
+			break
+		}
+		if s != id {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// removeID drops an ID from a successor list.
+func removeID(list []uint64, id uint64) []uint64 {
+	out := list[:0]
+	for _, s := range list {
+		if s != id {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Fail removes a node abruptly: no key handover, no pointer repair — the
+// node simply vanishes, as in a crash. Routing state heals through the
+// alive-checks in lookups plus Stabilize/FixFingers; directory entries the
+// node held are lost unless the application replicated them. Returns the
+// number of entries lost with the node.
+func (r *Ring) Fail(n *Node) (lostEntries int, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.nodes[n.ID] != n {
+		return 0, fmt.Errorf("chord: fail of unknown node %s", n.Addr)
+	}
+	if len(r.sorted) == 1 {
+		return 0, fmt.Errorf("chord: refusing to fail the last node")
+	}
+	r.removeMember(n.ID)
+	return n.Dir.Len(), nil
+}

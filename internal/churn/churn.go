@@ -1,0 +1,101 @@
+// Package churn models the paper's dynamic environment (Section V.C): node
+// joins and departures arrive as Poisson processes with rate R — "one
+// resource join and one resource departure every 2.5 seconds with R=0.4" —
+// while the system keeps answering queries. Departures are graceful and a
+// periodic maintenance (stabilization) round repairs routing state, which
+// reproduces the paper's observation of zero query failures under churn.
+package churn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"lorm/internal/discovery"
+	"lorm/internal/sim"
+)
+
+// Config parameterizes a churn process.
+type Config struct {
+	// Rate is R: the expected joins per second AND departures per second.
+	Rate float64
+	// MaintainEvery is the virtual-time interval between stabilization
+	// rounds (default 1s, mirroring Chord's periodic stabilization).
+	MaintainEvery float64
+	// Rng drives the exponential inter-arrival draws; required.
+	Rng *rand.Rand
+}
+
+// Process wires a Dynamic system to a scheduler and keeps its membership
+// churning: exponential inter-arrival joins and departures plus periodic
+// maintenance.
+type Process struct {
+	cfg    Config
+	sys    discovery.Dynamic
+	sched  *sim.Scheduler
+	joined int
+	// Counters for reporting.
+	Joins      int
+	Departures int
+	Maintains  int
+}
+
+// New validates the configuration and attaches a churn process to the
+// system and scheduler (no events are scheduled until Start).
+func New(sys discovery.Dynamic, sched *sim.Scheduler, cfg Config) (*Process, error) {
+	if cfg.Rate < 0 {
+		return nil, fmt.Errorf("churn: negative rate %v", cfg.Rate)
+	}
+	if cfg.Rng == nil {
+		return nil, fmt.Errorf("churn: config needs an Rng")
+	}
+	if cfg.MaintainEvery <= 0 {
+		cfg.MaintainEvery = 1
+	}
+	return &Process{cfg: cfg, sys: sys, sched: sched}, nil
+}
+
+// exp draws an exponential inter-arrival time with the process rate.
+func (p *Process) exp() float64 {
+	u := p.cfg.Rng.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return -math.Log(u) / p.cfg.Rate
+}
+
+// Start schedules the first join, the first departure and the maintenance
+// loop. With Rate == 0 only maintenance is scheduled.
+func (p *Process) Start() {
+	if p.cfg.Rate > 0 {
+		p.sched.After(p.exp(), p.join)
+		p.sched.After(p.exp(), p.depart)
+	}
+	p.sched.After(p.cfg.MaintainEvery, p.maintain)
+}
+
+func (p *Process) join() {
+	addr := fmt.Sprintf("churn-%06d", p.joined)
+	p.joined++
+	if err := p.sys.AddNode(addr); err == nil {
+		p.Joins++
+	}
+	p.sched.After(p.exp(), p.join)
+}
+
+func (p *Process) depart() {
+	addrs := p.sys.NodeAddrs()
+	if len(addrs) > 1 {
+		victim := addrs[p.cfg.Rng.Intn(len(addrs))]
+		if err := p.sys.RemoveNode(victim); err == nil {
+			p.Departures++
+		}
+	}
+	p.sched.After(p.exp(), p.depart)
+}
+
+func (p *Process) maintain() {
+	p.sys.Maintain()
+	p.Maintains++
+	p.sched.After(p.cfg.MaintainEvery, p.maintain)
+}

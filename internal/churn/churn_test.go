@@ -1,0 +1,144 @@
+package churn
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"lorm/internal/core"
+	"lorm/internal/resource"
+	"lorm/internal/sim"
+	"lorm/internal/workload"
+)
+
+func buildLORM(t testing.TB, n int) *core.System {
+	t.Helper()
+	schema := resource.MustSchema(resource.Attribute{Name: "cpu", Min: 100, Max: 3200})
+	s, err := core.New(core.Config{D: 7, Schema: schema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("node-%04d", i)
+	}
+	if err := s.AddNodes(addrs); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	sys := buildLORM(t, 10)
+	var sched sim.Scheduler
+	if _, err := New(sys, &sched, Config{Rate: -1, Rng: workload.Split(1, 0)}); err == nil {
+		t.Fatal("negative rate should error")
+	}
+	if _, err := New(sys, &sched, Config{Rate: 0.1}); err == nil {
+		t.Fatal("missing rng should error")
+	}
+}
+
+// The number of churn events over a horizon must track the Poisson rate.
+func TestEventRateMatchesPoisson(t *testing.T) {
+	sys := buildLORM(t, 100)
+	var sched sim.Scheduler
+	const rate, horizon = 0.4, 500.0
+	p, err := New(sys, &sched, Config{Rate: rate, Rng: workload.Split(2, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	sched.RunUntil(horizon)
+	expected := rate * horizon // 200 joins, 200 departures
+	for name, got := range map[string]int{"joins": p.Joins, "departures": p.Departures} {
+		if math.Abs(float64(got)-expected) > 4*math.Sqrt(expected) {
+			t.Errorf("%s = %d, want ≈ %v (Poisson, ±4σ)", name, got, expected)
+		}
+	}
+	if p.Maintains != int(horizon) {
+		t.Errorf("Maintains = %d, want %d (one per second)", p.Maintains, int(horizon))
+	}
+}
+
+// Membership stays roughly constant: joins and departures have equal rate.
+func TestMembershipStaysBalanced(t *testing.T) {
+	sys := buildLORM(t, 120)
+	var sched sim.Scheduler
+	p, err := New(sys, &sched, Config{Rate: 0.5, Rng: workload.Split(3, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	sched.RunUntil(400)
+	n := sys.NodeCount()
+	if n < 60 || n > 200 {
+		t.Fatalf("node count drifted to %d from 120", n)
+	}
+}
+
+// Queries during churn never fail and never lose information — the
+// paper's "there were no failures in all test cases".
+func TestNoFailuresUnderChurn(t *testing.T) {
+	sys := buildLORM(t, 100)
+	gen := workload.NewGenerator(sys.Schema(), 1.5)
+	rng := workload.Split(4, 0)
+	const pieces = 50
+	for _, in := range gen.Announcements(rng, pieces) {
+		if _, err := sys.Register(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sched sim.Scheduler
+	p, err := New(sys, &sched, Config{Rate: 0.5, Rng: workload.Split(4, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+
+	qrng := workload.Split(4, 2)
+	failures, queries := 0, 0
+	for i := 0; i < 100; i++ {
+		sched.After(float64(i)*2, func() {
+			q := gen.RangeQuery(qrng, 1, 0.5, fmt.Sprintf("r%d", queries))
+			queries++
+			if _, err := sys.Discover(q); err != nil {
+				failures++
+			}
+		})
+	}
+	sched.RunUntil(250)
+	if queries != 100 {
+		t.Fatalf("ran %d queries, want 100", queries)
+	}
+	if failures != 0 {
+		t.Fatalf("%d query failures under churn, want 0", failures)
+	}
+	total := 0
+	for _, sz := range sys.DirectorySizes() {
+		total += sz
+	}
+	if total != pieces {
+		t.Fatalf("information lost under churn: %d stored, want %d", total, pieces)
+	}
+}
+
+func TestZeroRateOnlyMaintains(t *testing.T) {
+	sys := buildLORM(t, 20)
+	var sched sim.Scheduler
+	p, err := New(sys, &sched, Config{Rate: 0, Rng: workload.Split(5, 0), MaintainEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	sched.RunUntil(10)
+	if p.Joins != 0 || p.Departures != 0 {
+		t.Fatalf("zero-rate process churned: %d joins %d departures", p.Joins, p.Departures)
+	}
+	if p.Maintains != 5 {
+		t.Fatalf("Maintains = %d, want 5", p.Maintains)
+	}
+	if sys.NodeCount() != 20 {
+		t.Fatalf("membership changed at zero rate")
+	}
+}

@@ -1,0 +1,235 @@
+// Package core implements LORM — the paper's primary contribution: a
+// Low-Overhead Range-query Multi-attribute resource discovery service on a
+// single hierarchical Cycloid DHT [9].
+//
+// LORM exploits Cycloid's two-level identifier space:
+//
+//   - the cubical index (which cluster) carries the consistent hash H of
+//     the attribute name, so each cluster is the home of one attribute's
+//     resource information;
+//   - the cyclic index (which position inside the cluster) carries the
+//     locality-preserving hash ℋ of the attribute value, so value order is
+//     preserved inside the cluster and a range query resolves by walking a
+//     handful of intra-cluster successors.
+//
+// A resource with attribute a and value δπ_a is announced under
+// rescID = (ℋ(δπ_a), H(a)); a range query [π₁, π₂] routes to
+// root(ℋ(π₁), H(a)) and walks successors until the node owning
+// (ℋ(π₂), H(a)) answers — Proposition 3.1 guarantees every piece in the
+// range lives on that contiguous run of nodes. Multi-attribute queries
+// fan out sub-queries in parallel and join the answers on the owner
+// address.
+package core
+
+import (
+	"fmt"
+
+	"lorm/internal/cycloid"
+	"lorm/internal/directory"
+	"lorm/internal/discovery"
+	"lorm/internal/hashing"
+	"lorm/internal/resource"
+	"lorm/internal/ring"
+)
+
+// Config parameterizes a LORM deployment.
+type Config struct {
+	// D is the Cycloid dimension; the paper's operating point is 8
+	// (capacity d·2^d = 2048 nodes).
+	D int
+	// Schema is the globally known attribute set.
+	Schema *resource.Schema
+	// Salt namespaces node identifiers when several overlays coexist.
+	Salt string
+}
+
+// System is a LORM deployment. It implements discovery.System and
+// discovery.Dynamic.
+type System struct {
+	schema    *resource.Schema
+	overlay   *cycloid.Overlay
+	cubeSpace ring.Space // d-bit space: consistent hash of attribute → cluster
+	replicas  int        // replication factor; < 2 means unreplicated (the paper's model)
+}
+
+var (
+	_ discovery.System  = (*System)(nil)
+	_ discovery.Dynamic = (*System)(nil)
+)
+
+// New creates an empty LORM system; populate it with AddNodes,
+// PopulateComplete, or protocol AddNode calls.
+func New(cfg Config) (*System, error) {
+	if cfg.Schema == nil {
+		return nil, fmt.Errorf("core: config needs a schema")
+	}
+	ov, err := cycloid.New(cycloid.Config{D: cfg.D, Salt: cfg.Salt})
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		schema:    cfg.Schema,
+		overlay:   ov,
+		cubeSpace: ring.NewSpace(uint(cfg.D)),
+	}, nil
+}
+
+// AddNodes bulk-populates the overlay with the given node addresses.
+func (s *System) AddNodes(addrs []string) error { return s.overlay.AddBulk(addrs) }
+
+// PopulateComplete fills every identifier slot — the paper's n = d·2^d
+// operating point.
+func (s *System) PopulateComplete() error { return s.overlay.AddComplete() }
+
+// Overlay exposes the underlying Cycloid for experiments and diagnostics.
+func (s *System) Overlay() *cycloid.Overlay { return s.overlay }
+
+// Name implements discovery.System.
+func (s *System) Name() string { return "lorm" }
+
+// Schema implements discovery.System.
+func (s *System) Schema() *resource.Schema { return s.schema }
+
+// NodeCount implements discovery.System.
+func (s *System) NodeCount() int { return s.overlay.Size() }
+
+// clusterOf returns the cubical index H(attr) — the attribute's home
+// cluster.
+func (s *System) clusterOf(attr string) uint64 {
+	return hashing.Consistent(s.cubeSpace, attr)
+}
+
+// cyclicOf returns the locality-preserving hash ℋ(value) quantized onto
+// the cyclic index space [0, d): monotone in the value (so ranges map to
+// runs of cyclic indices) and quantile-based when the attribute declares
+// its value distribution (so cluster load stays balanced under skew).
+func (s *System) cyclicOf(a resource.Attribute, v float64) int {
+	k := int(a.Frac(v) * float64(s.overlay.D()))
+	if k >= s.overlay.D() {
+		k = s.overlay.D() - 1
+	}
+	return k
+}
+
+// RescID computes the two-level resource identifier (ℋ(value), H(attr))
+// of Section III.
+func (s *System) RescID(attr string, value float64) (cycloid.ID, error) {
+	a, ok := s.schema.Lookup(attr)
+	if !ok {
+		return cycloid.ID{}, fmt.Errorf("core: unknown attribute %q", attr)
+	}
+	return cycloid.ID{K: s.cyclicOf(a, value), A: s.clusterOf(attr)}, nil
+}
+
+// Register implements discovery.System: it announces one piece of
+// available-resource information via Insert(rescID, rescInfo), routing
+// from the node nearest the announcing owner.
+func (s *System) Register(info resource.Info) (discovery.Cost, error) {
+	key, err := s.RescID(info.Attr, info.Value)
+	if err != nil {
+		return discovery.Cost{}, err
+	}
+	from, err := s.overlay.NodeNear(info.Owner)
+	if err != nil {
+		return discovery.Cost{}, err
+	}
+	e := directory.Entry{Key: s.overlay.Pos(key), Info: info}
+	route, err := s.overlay.Insert(from, key, e)
+	if err != nil {
+		return discovery.Cost{}, err
+	}
+	// Replication extension: place copies on the root's ring successors.
+	extra := s.replicate(route.Root, e)
+	return discovery.Cost{Hops: route.Hops + extra, Messages: route.Hops + extra}, nil
+}
+
+// Discover implements discovery.System. Sub-queries run in parallel; each
+// routes to the root of its lower bound and, for ranges, walks
+// intra-cluster successors until the owner of the upper bound has been
+// consulted.
+func (s *System) Discover(q resource.Query) (*discovery.Result, error) {
+	if err := q.Validate(s.schema); err != nil {
+		return nil, err
+	}
+	from, err := s.overlay.NodeNear(q.Requester)
+	if err != nil {
+		return nil, err
+	}
+	return discovery.RunSubs(q, func(sub resource.SubQuery) ([]resource.Info, discovery.Cost, error) {
+		return s.resolveSub(from, sub)
+	})
+}
+
+// resolveSub resolves one sub-query from the given start node.
+func (s *System) resolveSub(from *cycloid.Node, sub resource.SubQuery) ([]resource.Info, discovery.Cost, error) {
+	a, _ := s.schema.Lookup(sub.Attr) // validated by Discover
+	cluster := s.clusterOf(sub.Attr)
+	loKey := cycloid.ID{K: s.cyclicOf(a, sub.Low), A: cluster}
+	hiKey := cycloid.ID{K: s.cyclicOf(a, sub.High), A: cluster}
+
+	route, err := s.overlay.Lookup(from, loKey)
+	if err != nil {
+		return nil, discovery.Cost{}, err
+	}
+	cost := discovery.Cost{Hops: route.Hops, Visited: 1, Messages: route.Hops + 1}
+	cur := route.Root
+	matches := cur.Dir.Match(sub.Attr, sub.Low, sub.High)
+
+	// Range walk: forward along intra-cluster successors until the walk's
+	// cumulative progress through the key space covers the upper bound
+	// (Proposition 3.1: all matching pieces live on this contiguous run of
+	// nodes). Progress is accumulated rather than compared against node
+	// ownership so intervals whose two bounds resolve to the same wrapped
+	// owner still visit the run in between.
+	target := s.overlay.CwDist(s.overlay.Pos(loKey), s.overlay.Pos(hiKey))
+	covered := s.overlay.CwDist(s.overlay.Pos(loKey), cur.Pos)
+	for covered < target {
+		next, ok := s.overlay.NextNode(cur)
+		if !ok || next == route.Root {
+			break // single node, or full circle: everything consulted
+		}
+		covered += s.overlay.CwDist(cur.Pos, next.Pos)
+		cur = next
+		cost.Hops++
+		cost.Visited++
+		cost.Messages += 2 // forward + reply
+		matches = append(matches, cur.Dir.Match(sub.Attr, sub.Low, sub.High)...)
+	}
+	if s.Replicas() > 1 {
+		matches = dedupe(matches)
+	}
+	return matches, cost, nil
+}
+
+// DirectorySizes implements discovery.System.
+func (s *System) DirectorySizes() []int { return s.overlay.DirectorySizes() }
+
+// OutlinkCounts implements discovery.System.
+func (s *System) OutlinkCounts() []int { return s.overlay.OutlinkCounts() }
+
+// AddNode implements discovery.Dynamic via a Cycloid protocol join.
+func (s *System) AddNode(addr string) error {
+	_, err := s.overlay.Join(addr)
+	return err
+}
+
+// RemoveNode implements discovery.Dynamic via a graceful departure.
+func (s *System) RemoveNode(addr string) error {
+	n, ok := s.overlay.NodeByAddr(addr)
+	if !ok {
+		return fmt.Errorf("core: no node with address %q", addr)
+	}
+	return s.overlay.Leave(n)
+}
+
+// NodeAddrs implements discovery.Dynamic.
+func (s *System) NodeAddrs() []string { return s.overlay.Addrs() }
+
+// Maintain implements discovery.Dynamic: one self-organization round,
+// followed by a replica-repair pass when replication is enabled.
+func (s *System) Maintain() {
+	s.overlay.Stabilize()
+	if s.Replicas() > 1 {
+		s.Repair()
+	}
+}

@@ -1,0 +1,329 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"lorm/internal/resource"
+	"lorm/internal/workload"
+)
+
+func testSchema() *resource.Schema {
+	return resource.MustSchema(
+		resource.Attribute{Name: "cpu", Min: 100, Max: 3200},
+		resource.Attribute{Name: "mem", Min: 0, Max: 8192},
+		resource.Attribute{Name: "disk", Min: 1, Max: 2000},
+	)
+}
+
+func buildLORM(t testing.TB, d int, complete bool, n int) *System {
+	t.Helper()
+	s, err := New(Config{D: d, Schema: testSchema()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if complete {
+		if err := s.PopulateComplete(); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		addrs := make([]string, n)
+		for i := range addrs {
+			addrs[i] = fmt.Sprintf("node-%04d", i)
+		}
+		if err := s.AddNodes(addrs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{D: 8}); err == nil {
+		t.Fatal("New without schema should error")
+	}
+	if _, err := New(Config{D: 0, Schema: testSchema()}); err == nil {
+		t.Fatal("New with bad dimension should error")
+	}
+}
+
+func TestRescIDStructure(t *testing.T) {
+	s := buildLORM(t, 8, false, 64)
+	id1, err := s.RescID("cpu", 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, _ := s.RescID("cpu", 3000)
+	if id1.A != id2.A {
+		t.Fatalf("same attribute mapped to different clusters: %v vs %v", id1, id2)
+	}
+	id3, _ := s.RescID("mem", 500)
+	if id3.A == id1.A {
+		t.Logf("cpu and mem share a cluster (possible hash collision): %v", id1.A)
+	}
+	if _, err := s.RescID("gpu", 1); err == nil {
+		t.Fatal("RescID on unknown attribute should error")
+	}
+}
+
+// The cyclic index must be monotone in the value (the locality-preserving
+// property Proposition 3.1 relies on).
+func TestRescIDMonotoneInValue(t *testing.T) {
+	s := buildLORM(t, 8, false, 64)
+	prev := -1
+	for v := 100.0; v <= 3200; v += 25 {
+		id, err := s.RescID("cpu", v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id.K < prev {
+			t.Fatalf("cyclic index not monotone at value %v: %d < %d", v, id.K, prev)
+		}
+		if id.K < 0 || id.K >= 8 {
+			t.Fatalf("cyclic index %d out of range", id.K)
+		}
+		prev = id.K
+	}
+	// Domain endpoints hit the first and last cyclic positions.
+	lo, _ := s.RescID("cpu", 100)
+	hi, _ := s.RescID("cpu", 3200)
+	if lo.K != 0 || hi.K != 7 {
+		t.Fatalf("endpoint cyclic indices = %d, %d; want 0, 7", lo.K, hi.K)
+	}
+}
+
+func TestRegisterAndExactDiscover(t *testing.T) {
+	s := buildLORM(t, 6, true, 0)
+	info := resource.Info{Attr: "cpu", Value: 1800, Owner: "10.0.0.1"}
+	cost, err := s.Register(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.Hops < 0 || cost.Hops > 8*6 {
+		t.Fatalf("register hops = %d out of range", cost.Hops)
+	}
+	res, err := s.Discover(resource.Query{
+		Subs:      []resource.SubQuery{{Attr: "cpu", Low: 1800, High: 1800}},
+		Requester: "requester-1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Owners) != 1 || res.Owners[0] != "10.0.0.1" {
+		t.Fatalf("Owners = %v, want [10.0.0.1]", res.Owners)
+	}
+	if res.Cost.Visited != 1 {
+		t.Fatalf("exact query visited %d nodes, want 1", res.Cost.Visited)
+	}
+}
+
+func TestDiscoverValidates(t *testing.T) {
+	s := buildLORM(t, 6, false, 32)
+	if _, err := s.Discover(resource.Query{}); err == nil {
+		t.Fatal("empty query should error")
+	}
+	q := resource.Query{Subs: []resource.SubQuery{{Attr: "gpu", Low: 1, High: 2}}}
+	if _, err := s.Discover(q); err == nil {
+		t.Fatal("unknown attribute should error")
+	}
+}
+
+func TestRangeDiscoverComplete(t *testing.T) {
+	s := buildLORM(t, 6, true, 0)
+	gen := workload.NewGenerator(testSchema(), 1.5)
+	rng := workload.Split(11, 0)
+	type reg struct {
+		v     float64
+		owner string
+	}
+	var regs []reg
+	for i := 0; i < 300; i++ {
+		a, _ := testSchema().Lookup("cpu")
+		v := gen.Value(rng, a)
+		owner := fmt.Sprintf("owner-%03d", i)
+		if _, err := s.Register(resource.Info{Attr: "cpu", Value: v, Owner: owner}); err != nil {
+			t.Fatal(err)
+		}
+		regs = append(regs, reg{v, owner})
+	}
+	lo, hi := 400.0, 1600.0
+	res, err := s.Discover(resource.Query{
+		Subs:      []resource.SubQuery{{Attr: "cpu", Low: lo, High: hi}},
+		Requester: "r",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{}
+	for _, r := range regs {
+		if r.v >= lo && r.v <= hi {
+			want[r.owner] = true
+		}
+	}
+	got := map[string]bool{}
+	for _, o := range res.Owners {
+		got[o] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("range query returned %d owners, brute force says %d", len(got), len(want))
+	}
+	for o := range want {
+		if !got[o] {
+			t.Fatalf("missing owner %s", o)
+		}
+	}
+	// The walk must stay inside one cluster: at most d visited nodes plus
+	// the root.
+	if res.Cost.Visited > 6+1 {
+		t.Fatalf("range query visited %d nodes, want ≤ d+1 = 7", res.Cost.Visited)
+	}
+}
+
+func TestMultiAttributeJoin(t *testing.T) {
+	s := buildLORM(t, 6, true, 0)
+	// node-a satisfies both attributes, node-b only one.
+	for _, in := range []resource.Info{
+		{Attr: "cpu", Value: 2000, Owner: "node-a"},
+		{Attr: "mem", Value: 4096, Owner: "node-a"},
+		{Attr: "cpu", Value: 2000, Owner: "node-b"},
+		{Attr: "mem", Value: 128, Owner: "node-b"},
+	} {
+		if _, err := s.Register(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := s.Discover(resource.Query{
+		Subs: []resource.SubQuery{
+			{Attr: "cpu", Low: 1500, High: 2500},
+			{Attr: "mem", Low: 2048, High: 8192},
+		},
+		Requester: "r",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Owners) != 1 || res.Owners[0] != "node-a" {
+		t.Fatalf("join = %v, want [node-a]", res.Owners)
+	}
+	if len(res.PerAttr["cpu"]) != 2 || len(res.PerAttr["mem"]) != 1 {
+		t.Fatalf("per-attr sizes: cpu=%d mem=%d", len(res.PerAttr["cpu"]), len(res.PerAttr["mem"]))
+	}
+}
+
+func TestDirectorySizesAccount(t *testing.T) {
+	s := buildLORM(t, 6, false, 100)
+	gen := workload.NewGenerator(testSchema(), 1.5)
+	infos := gen.Announcements(workload.Split(12, 0), 40)
+	for _, in := range infos {
+		if _, err := s.Register(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := 0
+	for _, sz := range s.DirectorySizes() {
+		total += sz
+	}
+	if total != len(infos) {
+		t.Fatalf("stored %d pieces, registered %d", total, len(infos))
+	}
+}
+
+func TestOutlinksConstant(t *testing.T) {
+	s := buildLORM(t, 8, false, 500)
+	for _, c := range s.OutlinkCounts() {
+		if c > 7 {
+			t.Fatalf("outlink count %d exceeds Cycloid's constant degree", c)
+		}
+	}
+}
+
+func TestDynamicChurn(t *testing.T) {
+	s := buildLORM(t, 7, false, 120)
+	gen := workload.NewGenerator(testSchema(), 1.5)
+	infos := gen.Announcements(workload.Split(13, 0), 30)
+	for _, in := range infos {
+		if _, err := s.Register(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Churn: joins and graceful departures with maintenance.
+	for i := 0; i < 25; i++ {
+		if err := s.AddNode(fmt.Sprintf("joiner-%03d", i)); err != nil {
+			t.Fatal(err)
+		}
+		addrs := s.NodeAddrs()
+		if err := s.RemoveNode(addrs[(i*37)%len(addrs)]); err != nil {
+			t.Fatal(err)
+		}
+		s.Maintain()
+	}
+	if err := s.RemoveNode("not-there"); err == nil {
+		t.Fatal("RemoveNode of unknown address should error")
+	}
+	// No information lost, queries still correct.
+	total := 0
+	for _, sz := range s.DirectorySizes() {
+		total += sz
+	}
+	if total != len(infos) {
+		t.Fatalf("churn lost information: %d stored, want %d", total, len(infos))
+	}
+	res, err := s.Discover(resource.Query{
+		Subs:      []resource.SubQuery{{Attr: "cpu", Low: 100, High: 3200}},
+		Requester: "r",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerAttr["cpu"]) != 30 {
+		t.Fatalf("full-domain query found %d cpu pieces, want 30", len(res.PerAttr["cpu"]))
+	}
+}
+
+func TestNameAndSchema(t *testing.T) {
+	s := buildLORM(t, 6, false, 16)
+	if s.Name() != "lorm" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+	if s.Schema().Len() != 3 {
+		t.Fatalf("Schema len = %d", s.Schema().Len())
+	}
+	if s.NodeCount() != 16 {
+		t.Fatalf("NodeCount = %d", s.NodeCount())
+	}
+	if s.Overlay() == nil {
+		t.Fatal("Overlay accessor returned nil")
+	}
+}
+
+func BenchmarkRegister(b *testing.B) {
+	s := buildLORM(b, 8, true, 0)
+	gen := workload.NewGenerator(testSchema(), 1.5)
+	rng := workload.Split(1, 0)
+	a, _ := testSchema().Lookup("cpu")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := resource.Info{Attr: "cpu", Value: gen.Value(rng, a), Owner: fmt.Sprintf("o%d", i)}
+		if _, err := s.Register(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRangeDiscover(b *testing.B) {
+	s := buildLORM(b, 8, true, 0)
+	gen := workload.NewGenerator(testSchema(), 1.5)
+	rng := workload.Split(2, 0)
+	for _, in := range gen.Announcements(rng, 200) {
+		if _, err := s.Register(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := gen.RangeQuery(rng, 2, 0.5, fmt.Sprintf("r%d", i))
+		if _, err := s.Discover(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+// Package cycloid implements the Cycloid overlay network (Shen, Xu, Chen
+// [10]): a constant-degree DHT with capacity n = d·2^d nodes emulating a
+// cube-connected-cycles graph. Each node carries a two-level identifier
+// (k, a): a cyclic index k ∈ [0, d) locating it inside its cluster and a
+// cubical index a ∈ [0, 2^d) locating the cluster on the large cycle.
+//
+// LORM exploits exactly this hierarchy: the cubical index addresses an
+// attribute's cluster and the cyclic index addresses a value position
+// inside the cluster, so one constant-degree DHT serves multi-attribute
+// range discovery.
+//
+// Identifiers are linearized cluster-major (pos = a·d + k) onto a ring of
+// d·2^d positions; a key is owned by the node whose position most closely
+// succeeds it, the successor-rule reading of the paper's "closest ID"
+// assignment (both produce contiguous per-node sectors and a monotone
+// key→owner mapping, the properties Proposition 3.1 needs).
+//
+// Each node maintains the constant-size link set of the Cycloid paper —
+// ring (inside leaf set) predecessor/successor, outside leaf set links to
+// the adjacent clusters, one cubical neighbor, and two cyclic neighbors —
+// seven links regardless of n, which is the constant maintenance overhead
+// Theorem 4.1 compares against Mercury's m·log n.
+package cycloid
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+
+	"lorm/internal/directory"
+	"lorm/internal/hashing"
+	"lorm/internal/ring"
+)
+
+// ID is a Cycloid identifier: cyclic index K in [0, d), cubical index A in
+// [0, 2^d).
+type ID struct {
+	K int
+	A uint64
+}
+
+func (id ID) String() string { return fmt.Sprintf("(%d,%d)", id.K, id.A) }
+
+// noLink marks an absent neighbor.
+const noLink = ^uint64(0)
+
+// Node is one Cycloid peer. Link fields hold linearized positions and are
+// guarded by the owning Overlay's lock (writes under the write lock, reads
+// under the read lock). The directory has its own lock.
+type Node struct {
+	ID   ID
+	Pos  uint64
+	Addr string
+	Dir  directory.Store
+
+	ringPred    uint64 // immediate predecessor on the linearized ring (inside leaf set)
+	ringSucc    uint64 // immediate successor on the linearized ring (inside leaf set)
+	outsidePred uint64 // last node of the preceding non-empty cluster (outside leaf set)
+	outsideSucc uint64 // first node of the succeeding non-empty cluster (outside leaf set)
+	cubical     uint64 // owner of (K, A ^ 2^K): the hypercube dimension-K edge
+	cyclicPred  uint64 // owner of (K-1 mod d, A-1): descending link, preceding cluster
+	cyclicSucc  uint64 // owner of (K-1 mod d, A+1): descending link, succeeding cluster
+}
+
+// Config parameterizes an overlay.
+type Config struct {
+	// D is the Cycloid dimension; capacity is D·2^D nodes. The paper's
+	// operating point is D = 8 (capacity 2048).
+	D int
+	// Salt namespaces node identifiers (parallel overlays in one process).
+	Salt string
+}
+
+// Overlay is one Cycloid instance.
+type Overlay struct {
+	d        int
+	capacity uint64
+	cubes    uint64 // 2^d
+	salt     string
+
+	mu     sync.RWMutex
+	nodes  map[uint64]*Node // by linearized position
+	sorted []uint64         // positions ascending: authoritative membership
+}
+
+// New creates an empty overlay of dimension cfg.D.
+func New(cfg Config) (*Overlay, error) {
+	if cfg.D < 2 || cfg.D > 20 {
+		return nil, fmt.Errorf("cycloid: dimension %d out of range [2, 20]", cfg.D)
+	}
+	cubes := uint64(1) << uint(cfg.D)
+	return &Overlay{
+		d:        cfg.D,
+		capacity: uint64(cfg.D) * cubes,
+		cubes:    cubes,
+		salt:     cfg.Salt,
+		nodes:    make(map[uint64]*Node),
+	}, nil
+}
+
+// MustNew is New that panics on error, for tests and examples.
+func MustNew(cfg Config) *Overlay {
+	o, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// D returns the overlay dimension.
+func (o *Overlay) D() int { return o.d }
+
+// Capacity returns the maximum node count d·2^d.
+func (o *Overlay) Capacity() uint64 { return o.capacity }
+
+// Size returns the current node count.
+func (o *Overlay) Size() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return len(o.sorted)
+}
+
+// Pos linearizes an identifier cluster-major: pos = A·d + K.
+func (o *Overlay) Pos(id ID) uint64 {
+	return (id.A%o.cubes)*uint64(o.d) + uint64(id.K%o.d)
+}
+
+// IDOf unpacks a linearized position.
+func (o *Overlay) IDOf(pos uint64) ID {
+	pos %= o.capacity
+	return ID{K: int(pos % uint64(o.d)), A: pos / uint64(o.d)}
+}
+
+// cwDist is the clockwise distance from a to b on the linearized ring.
+func (o *Overlay) cwDist(a, b uint64) uint64 {
+	return (b + o.capacity - a) % o.capacity
+}
+
+// betweenIncl reports whether pos lies in the clockwise half-open interval
+// (from, to]; from == to denotes the full ring.
+func (o *Overlay) betweenIncl(pos, from, to uint64) bool {
+	if pos == to {
+		return true
+	}
+	if from == to {
+		return pos != from
+	}
+	return pos != from && o.cwDist(from, pos) < o.cwDist(from, to)
+}
+
+// idFor derives a collision-free identifier for an address, deterministic
+// across runs.
+func (o *Overlay) idFor(addr string) (ID, error) {
+	if uint64(len(o.nodes)) >= o.capacity {
+		return ID{}, fmt.Errorf("cycloid: overlay full at capacity %d", o.capacity)
+	}
+	key := o.salt + "|" + addr
+	hashSpace := ring.NewSpace(63)
+	for i := 0; ; i++ {
+		h := hashing.ConsistentN(hashSpace, key, i)
+		pos := h % o.capacity
+		if _, taken := o.nodes[pos]; !taken {
+			return o.IDOf(pos), nil
+		}
+	}
+}
+
+// insertMember adds a node to authoritative membership (lock held).
+func (o *Overlay) insertMember(n *Node) {
+	i := sort.Search(len(o.sorted), func(i int) bool { return o.sorted[i] >= n.Pos })
+	o.sorted = append(o.sorted, 0)
+	copy(o.sorted[i+1:], o.sorted[i:])
+	o.sorted[i] = n.Pos
+	o.nodes[n.Pos] = n
+}
+
+// removeMember drops a node (lock held).
+func (o *Overlay) removeMember(pos uint64) {
+	i := sort.Search(len(o.sorted), func(i int) bool { return o.sorted[i] >= pos })
+	if i < len(o.sorted) && o.sorted[i] == pos {
+		o.sorted = append(o.sorted[:i], o.sorted[i+1:]...)
+	}
+	delete(o.nodes, pos)
+}
+
+// oracleSuccessor returns the first member at or after pos, wrapping (lock
+// held). This is the ground-truth owner of the key at pos.
+func (o *Overlay) oracleSuccessor(pos uint64) uint64 {
+	i := sort.Search(len(o.sorted), func(i int) bool { return o.sorted[i] >= pos })
+	if i == len(o.sorted) {
+		i = 0
+	}
+	return o.sorted[i]
+}
+
+// oraclePredecessor returns the last member strictly before pos (lock held).
+func (o *Overlay) oraclePredecessor(pos uint64) uint64 {
+	i := sort.Search(len(o.sorted), func(i int) bool { return o.sorted[i] >= pos })
+	if i == 0 {
+		return o.sorted[len(o.sorted)-1]
+	}
+	return o.sorted[i-1]
+}
+
+// AddBulk hashes and inserts the given addresses and rebuilds every node's
+// links from authoritative membership — the fast static-construction path.
+func (o *Overlay) AddBulk(addrs []string) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, addr := range addrs {
+		if addr == "" {
+			return fmt.Errorf("cycloid: empty address")
+		}
+		id, err := o.idFor(addr)
+		if err != nil {
+			return err
+		}
+		n := &Node{ID: id, Pos: o.Pos(id), Addr: addr}
+		o.insertMember(n)
+	}
+	o.rebuildAllLocked()
+	return nil
+}
+
+// AddComplete populates every one of the d·2^d identifier slots, the
+// paper's operating point (n = d·2^d = 2048 at d = 8). Addresses are
+// generated as cyc-<pos>.
+func (o *Overlay) AddComplete() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if len(o.sorted) != 0 {
+		return fmt.Errorf("cycloid: AddComplete on a non-empty overlay")
+	}
+	for pos := uint64(0); pos < o.capacity; pos++ {
+		id := o.IDOf(pos)
+		n := &Node{ID: id, Pos: pos, Addr: fmt.Sprintf("cyc-%05d", pos)}
+		o.insertMember(n)
+	}
+	o.rebuildAllLocked()
+	return nil
+}
+
+// rebuildAllLocked recomputes links for every node (lock held).
+func (o *Overlay) rebuildAllLocked() {
+	for _, pos := range o.sorted {
+		o.rebuildNodeLocked(o.nodes[pos])
+	}
+}
+
+// rebuildNodeLocked recomputes one node's seven links from authoritative
+// membership (lock held).
+func (o *Overlay) rebuildNodeLocked(n *Node) {
+	if len(o.sorted) < 2 {
+		n.ringPred, n.ringSucc = n.Pos, n.Pos
+		n.outsidePred, n.outsideSucc = noLink, noLink
+		n.cubical, n.cyclicPred, n.cyclicSucc = noLink, noLink, noLink
+		return
+	}
+	d := uint64(o.d)
+	n.ringPred = o.oraclePredecessor(n.Pos)
+	n.ringSucc = o.oracleSuccessor((n.Pos + 1) % o.capacity)
+	// Outside leaf set: last node before own cluster, first node of the
+	// region after it.
+	clusterStart := n.ID.A * d
+	clusterEnd := (n.ID.A + 1) % o.cubes * d
+	n.outsidePred = o.oraclePredecessor(clusterStart)
+	n.outsideSucc = o.oracleSuccessor(clusterEnd)
+	// Cubical neighbor: flip bit K of the cubical index and step the cyclic
+	// index down, the combined flip-and-descend edge of the original paper.
+	cub := ID{K: (n.ID.K - 1 + o.d) % o.d, A: n.ID.A ^ (uint64(1) << uint(n.ID.K))}
+	n.cubical = o.oracleSuccessor(o.Pos(cub))
+	// Cyclic neighbors: cyclic index K-1 in the adjacent clusters.
+	km1 := (n.ID.K - 1 + o.d) % o.d
+	n.cyclicPred = o.oracleSuccessor(o.Pos(ID{K: km1, A: (n.ID.A + o.cubes - 1) % o.cubes}))
+	n.cyclicSucc = o.oracleSuccessor(o.Pos(ID{K: km1, A: (n.ID.A + 1) % o.cubes}))
+}
+
+// links returns the node's live link positions (lock held).
+func (o *Overlay) linksLocked(n *Node) []uint64 {
+	all := [...]uint64{n.ringSucc, n.ringPred, n.cubical, n.cyclicPred, n.cyclicSucc, n.outsidePred, n.outsideSucc}
+	out := make([]uint64, 0, len(all))
+	for _, p := range all {
+		if p == noLink || p == n.Pos {
+			continue
+		}
+		if _, alive := o.nodes[p]; alive {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// msb returns the index of the highest set bit of x; x must be nonzero.
+func msb(x uint64) int { return 63 - bits.LeadingZeros64(x) }
+
+// CwDist exposes the clockwise distance from position a to position b on
+// the linearized ring; range walks use it to track their progress through
+// key space.
+func (o *Overlay) CwDist(a, b uint64) uint64 { return o.cwDist(a, b) }

@@ -1,0 +1,593 @@
+package cycloid
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"lorm/internal/directory"
+	"lorm/internal/resource"
+)
+
+func addrs(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("node-%04d", i)
+	}
+	return out
+}
+
+func buildSparse(t testing.TB, d, n int) *Overlay {
+	t.Helper()
+	o := MustNew(Config{D: d})
+	if err := o.AddBulk(addrs(n)); err != nil {
+		t.Fatalf("AddBulk: %v", err)
+	}
+	return o
+}
+
+func buildComplete(t testing.TB, d int) *Overlay {
+	t.Helper()
+	o := MustNew(Config{D: d})
+	if err := o.AddComplete(); err != nil {
+		t.Fatalf("AddComplete: %v", err)
+	}
+	return o
+}
+
+func randomID(o *Overlay, rng *rand.Rand) ID {
+	return o.IDOf(rng.Uint64() % o.Capacity())
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, d := range []int{0, 1, 21, -3} {
+		if _, err := New(Config{D: d}); err == nil {
+			t.Errorf("New(D=%d) should error", d)
+		}
+	}
+	if _, err := New(Config{D: 8}); err != nil {
+		t.Errorf("New(D=8): %v", err)
+	}
+}
+
+func TestPosRoundTrip(t *testing.T) {
+	o := MustNew(Config{D: 8})
+	for pos := uint64(0); pos < o.Capacity(); pos += 7 {
+		id := o.IDOf(pos)
+		if id.K < 0 || id.K >= 8 || id.A >= 256 {
+			t.Fatalf("IDOf(%d) = %v out of range", pos, id)
+		}
+		if back := o.Pos(id); back != pos {
+			t.Fatalf("Pos(IDOf(%d)) = %d", pos, back)
+		}
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	o := MustNew(Config{D: 8})
+	if o.Capacity() != 2048 {
+		t.Fatalf("Capacity(d=8) = %d, want 2048", o.Capacity())
+	}
+	if o.D() != 8 {
+		t.Fatalf("D() = %d", o.D())
+	}
+}
+
+func TestAddCompleteFillsEverySlot(t *testing.T) {
+	o := buildComplete(t, 6) // 384 nodes
+	if o.Size() != 384 {
+		t.Fatalf("Size = %d, want 384", o.Size())
+	}
+	if err := o.AddComplete(); err == nil {
+		t.Fatal("second AddComplete should error")
+	}
+	// Every node owns exactly its own slot.
+	for _, n := range o.Nodes() {
+		owner, err := o.OwnerOf(n.ID)
+		if err != nil || owner != n {
+			t.Fatalf("OwnerOf(%v) = %v, %v, want self", n.ID, owner, err)
+		}
+	}
+}
+
+func TestAddBulkCapacityGuard(t *testing.T) {
+	o := MustNew(Config{D: 2}) // capacity 8
+	if err := o.AddBulk(addrs(8)); err != nil {
+		t.Fatalf("filling to capacity: %v", err)
+	}
+	if err := o.AddBulk([]string{"overflow"}); err == nil {
+		t.Fatal("exceeding capacity should error")
+	}
+	if _, err := o.Join("overflow"); err == nil {
+		t.Fatal("join beyond capacity should error")
+	}
+}
+
+func TestLookupMatchesOracleComplete(t *testing.T) {
+	o := buildComplete(t, 6)
+	nodes := o.Nodes()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 3000; i++ {
+		key := randomID(o, rng)
+		from := nodes[rng.Intn(len(nodes))]
+		route, err := o.Lookup(from, key)
+		if err != nil {
+			t.Fatalf("Lookup: %v", err)
+		}
+		want, _ := o.OwnerOf(key)
+		if route.Root != want {
+			t.Fatalf("Lookup(%v) = %v, oracle %v", key, route.Root.ID, want.ID)
+		}
+	}
+}
+
+func TestLookupMatchesOracleSparse(t *testing.T) {
+	for _, n := range []int{3, 17, 100, 300} {
+		o := buildSparse(t, 7, n) // capacity 896, partially populated
+		nodes := o.Nodes()
+		rng := rand.New(rand.NewSource(int64(n)))
+		for i := 0; i < 1000; i++ {
+			key := randomID(o, rng)
+			route, err := o.Lookup(nodes[rng.Intn(len(nodes))], key)
+			if err != nil {
+				t.Fatalf("n=%d Lookup: %v", n, err)
+			}
+			want, _ := o.OwnerOf(key)
+			if route.Root != want {
+				t.Fatalf("n=%d: Lookup(%v) = %v, oracle %v", n, key, route.Root.ID, want.ID)
+			}
+		}
+	}
+}
+
+func TestLookupSelfZeroHops(t *testing.T) {
+	o := buildComplete(t, 5)
+	for _, n := range o.Nodes()[:8] {
+		route, err := o.Lookup(n, n.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if route.Root != n || route.Hops != 0 {
+			t.Fatalf("Lookup(own ID): root %v hops %d", route.Root.ID, route.Hops)
+		}
+	}
+}
+
+func TestLookupErrors(t *testing.T) {
+	o := MustNew(Config{D: 4})
+	if _, err := o.Lookup(&Node{}, ID{}); err == nil {
+		t.Fatal("lookup on empty overlay should error")
+	}
+	if err := o.AddBulk(addrs(4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Lookup(&Node{Pos: 1}, ID{}); err == nil {
+		t.Fatal("lookup from non-member should error")
+	}
+}
+
+// On the complete overlay, path lengths must be O(d): the constant-degree
+// routing the paper's Theorem 4.7 relies on (≈ d hops on average).
+func TestLookupHopsOrderD(t *testing.T) {
+	o := buildComplete(t, 8) // the paper's operating point, 2048 nodes
+	nodes := o.Nodes()
+	rng := rand.New(rand.NewSource(2))
+	total, worst := 0, 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		key := randomID(o, rng)
+		route, err := o.Lookup(nodes[rng.Intn(len(nodes))], key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += route.Hops
+		if route.Hops > worst {
+			worst = route.Hops
+		}
+	}
+	avg := float64(total) / trials
+	if avg < 2 || avg > 16 {
+		t.Errorf("avg hops = %.2f, want O(d) ≈ 8", avg)
+	}
+	if worst > 8*8 {
+		t.Errorf("worst-case hops = %d, want ≤ 8·d", worst)
+	}
+	t.Logf("complete d=8 overlay: avg %.2f hops, worst %d", avg, worst)
+}
+
+func TestInsertPlacesOnOracleOwner(t *testing.T) {
+	o := buildSparse(t, 6, 100)
+	nodes := o.Nodes()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		key := randomID(o, rng)
+		e := directory.Entry{Key: o.Pos(key), Info: resource.Info{Attr: "cpu", Value: 1, Owner: "o"}}
+		if _, err := o.Insert(nodes[rng.Intn(len(nodes))], key, e); err != nil {
+			t.Fatal(err)
+		}
+		want, _ := o.OwnerOf(key)
+		if want.Dir.Len() == 0 {
+			t.Fatalf("entry for %v not on oracle owner", key)
+		}
+	}
+	total := 0
+	for _, sz := range o.DirectorySizes() {
+		total += sz
+	}
+	if total != 500 {
+		t.Fatalf("stored %d entries, want 500", total)
+	}
+}
+
+func TestNextNodeWalksRing(t *testing.T) {
+	o := buildSparse(t, 5, 40)
+	nodes := o.Nodes()
+	cur := nodes[0]
+	for i := 1; i <= len(nodes); i++ {
+		next, ok := o.NextNode(cur)
+		if !ok {
+			t.Fatal("NextNode reported singleton")
+		}
+		want := nodes[i%len(nodes)]
+		if next != want {
+			t.Fatalf("walk step %d: got %v, want %v", i, next.ID, want.ID)
+		}
+		cur = next
+	}
+}
+
+func TestConstantDegree(t *testing.T) {
+	for _, tc := range []struct{ d, n int }{{6, 384}, {8, 500}, {8, 2048}} {
+		var o *Overlay
+		if tc.n == tc.d*(1<<uint(tc.d)) {
+			o = buildComplete(t, tc.d)
+		} else {
+			o = buildSparse(t, tc.d, tc.n)
+		}
+		for _, c := range o.OutlinkCounts() {
+			if c > 7 {
+				t.Fatalf("d=%d n=%d: outlink count %d exceeds the constant degree 7", tc.d, tc.n, c)
+			}
+			if c < 1 {
+				t.Fatalf("d=%d n=%d: node with no outlinks", tc.d, tc.n)
+			}
+		}
+	}
+}
+
+func TestClusterOf(t *testing.T) {
+	o := buildComplete(t, 5)
+	cl := o.ClusterOf(3)
+	if len(cl) != 5 {
+		t.Fatalf("complete cluster size = %d, want 5", len(cl))
+	}
+	for k, n := range cl {
+		if n.ID.K != k || n.ID.A != 3 {
+			t.Fatalf("cluster member %d = %v", k, n.ID)
+		}
+	}
+}
+
+func TestNodeNearAndByAddr(t *testing.T) {
+	o := buildSparse(t, 6, 50)
+	a, err := o.NodeNear("req-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := o.NodeNear("req-1")
+	if a != b {
+		t.Fatal("NodeNear not deterministic")
+	}
+	n, ok := o.NodeByAddr("node-0007")
+	if !ok || n.Addr != "node-0007" {
+		t.Fatalf("NodeByAddr = %v %v", n, ok)
+	}
+	if _, ok := o.NodeByAddr("missing"); ok {
+		t.Fatal("NodeByAddr should miss")
+	}
+}
+
+func TestJoinIncrementalMatchesOracle(t *testing.T) {
+	o := MustNew(Config{D: 6})
+	for i := 0; i < 80; i++ {
+		if _, err := o.Join(fmt.Sprintf("node-%04d", i)); err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+	}
+	if o.Size() != 80 {
+		t.Fatalf("Size = %d, want 80", o.Size())
+	}
+	o.Stabilize()
+	nodes := o.Nodes()
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 800; i++ {
+		key := randomID(o, rng)
+		route, err := o.Lookup(nodes[rng.Intn(len(nodes))], key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := o.OwnerOf(key)
+		if route.Root != want {
+			t.Fatalf("Lookup(%v) = %v, oracle %v", key, route.Root.ID, want.ID)
+		}
+	}
+}
+
+func TestJoinKeyHandover(t *testing.T) {
+	o := buildSparse(t, 6, 30)
+	nodes := o.Nodes()
+	rng := rand.New(rand.NewSource(5))
+	keys := make([]ID, 300)
+	for i := range keys {
+		keys[i] = randomID(o, rng)
+		e := directory.Entry{Key: o.Pos(keys[i]), Info: resource.Info{Attr: "a", Value: 1, Owner: "o"}}
+		if _, err := o.Insert(nodes[0], keys[i], e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := o.Join(fmt.Sprintf("newcomer-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range keys {
+		owner, _ := o.OwnerOf(k)
+		found := false
+		for _, e := range owner.Dir.Snapshot() {
+			if e.Key == o.Pos(k) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("key %v not on oracle owner after joins", k)
+		}
+	}
+}
+
+func TestLeaveTransfersKeysAndRepairs(t *testing.T) {
+	o := buildSparse(t, 6, 40)
+	nodes := o.Nodes()
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 200; i++ {
+		key := randomID(o, rng)
+		e := directory.Entry{Key: o.Pos(key), Info: resource.Info{Attr: "a", Value: 1, Owner: "o"}}
+		if _, err := o.Insert(nodes[0], key, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victim := nodes[11]
+	if err := o.Leave(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Leave(victim); err == nil {
+		t.Fatal("double leave should error")
+	}
+	total := 0
+	for _, sz := range o.DirectorySizes() {
+		total += sz
+	}
+	if total != 200 {
+		t.Fatalf("entries lost on departure: %d, want 200", total)
+	}
+	survivors := o.Nodes()
+	for i := 0; i < 500; i++ {
+		key := randomID(o, rng)
+		route, err := o.Lookup(survivors[rng.Intn(len(survivors))], key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := o.OwnerOf(key)
+		if route.Root != want {
+			t.Fatalf("post-leave Lookup(%v) = %v, oracle %v", key, route.Root.ID, want.ID)
+		}
+	}
+}
+
+func TestLeaveLastNodeRefused(t *testing.T) {
+	o := MustNew(Config{D: 4})
+	n, err := o.Join("only")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Leave(n); err == nil {
+		t.Fatal("removing the last node should be refused")
+	}
+	if _, ok := o.NextNode(n); ok {
+		t.Fatal("singleton NextNode should report false")
+	}
+}
+
+func TestChurnWithStabilization(t *testing.T) {
+	o := buildSparse(t, 7, 120)
+	rng := rand.New(rand.NewSource(7))
+	joined := 120
+	for round := 0; round < 40; round++ {
+		if _, err := o.Join(fmt.Sprintf("churn-%04d", joined)); err != nil {
+			t.Fatalf("round %d join: %v", round, err)
+		}
+		joined++
+		nodes := o.Nodes()
+		if err := o.Leave(nodes[rng.Intn(len(nodes))]); err != nil {
+			t.Fatalf("round %d leave: %v", round, err)
+		}
+		o.Stabilize()
+		nodes = o.Nodes()
+		for i := 0; i < 20; i++ {
+			key := randomID(o, rng)
+			route, err := o.Lookup(nodes[rng.Intn(len(nodes))], key)
+			if err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+			want, _ := o.OwnerOf(key)
+			if route.Root != want {
+				t.Fatalf("round %d: Lookup(%v) = %v, oracle %v", round, key, route.Root.ID, want.ID)
+			}
+		}
+	}
+}
+
+func TestConcurrentLookups(t *testing.T) {
+	o := buildComplete(t, 6)
+	nodes := o.Nodes()
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 300; i++ {
+				key := randomID(o, rng)
+				if _, err := o.Lookup(nodes[rng.Intn(len(nodes))], key); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: routed owner equals oracle owner on random sparse overlays.
+func TestLookupOracleProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 25}
+	f := func(seed int64, nRaw uint8, keys [6]uint64) bool {
+		n := int(nRaw%60) + 2
+		o := MustNew(Config{D: 6})
+		names := make([]string, n)
+		for i := range names {
+			names[i] = fmt.Sprintf("p%d-%d", seed, i)
+		}
+		if err := o.AddBulk(names); err != nil {
+			return false
+		}
+		nodes := o.Nodes()
+		for _, raw := range keys {
+			key := o.IDOf(raw % o.Capacity())
+			route, err := o.Lookup(nodes[int(raw%uint64(len(nodes)))], key)
+			if err != nil {
+				return false
+			}
+			want, _ := o.OwnerOf(key)
+			if route.Root != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (Proposition 3.1 substrate): the key→owner mapping is monotone
+// along the linearized ring, so ranges map to contiguous node runs.
+func TestOwnerMonotone(t *testing.T) {
+	o := buildSparse(t, 6, 50)
+	var prevOwner uint64
+	started := false
+	firstOwner := uint64(0)
+	wraps := 0
+	for pos := uint64(0); pos < o.Capacity(); pos++ {
+		owner, _ := o.OwnerOf(o.IDOf(pos))
+		if !started {
+			prevOwner, firstOwner = owner.Pos, owner.Pos
+			started = true
+			continue
+		}
+		if owner.Pos != prevOwner {
+			// Owner changed: must move strictly forward (allowing one wrap).
+			if owner.Pos < prevOwner {
+				wraps++
+				if wraps > 1 || owner.Pos > firstOwner {
+					t.Fatalf("owner mapping not monotone at pos %d: %d -> %d", pos, prevOwner, owner.Pos)
+				}
+			}
+			prevOwner = owner.Pos
+		}
+	}
+}
+
+func BenchmarkLookupComplete2048(b *testing.B) {
+	o := buildComplete(b, 8)
+	nodes := o.Nodes()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := randomID(o, rng)
+		if _, err := o.Lookup(nodes[i%len(nodes)], key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJoin(b *testing.B) {
+	fresh := func() *Overlay {
+		o := MustNew(Config{D: 10}) // capacity 10240
+		if err := o.AddBulk(addrs(512)); err != nil {
+			b.Fatal(err)
+		}
+		return o
+	}
+	o := fresh()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if uint64(o.Size()) >= o.Capacity()/2 {
+			b.StopTimer()
+			o = fresh() // keep density constant so joins stay comparable
+			b.StartTimer()
+		}
+		if _, err := o.Join(fmt.Sprintf("bench-%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Abrupt failures: lookups must still converge to the new oracle owner.
+func TestFailAbruptThenLookupsRecover(t *testing.T) {
+	o := buildSparse(t, 7, 100)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 15; i++ {
+		nodes := o.Nodes()
+		if _, err := o.Fail(nodes[rng.Intn(len(nodes))]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	o.Stabilize()
+	nodes := o.Nodes()
+	if len(nodes) != 85 {
+		t.Fatalf("size = %d after 15 failures, want 85", len(nodes))
+	}
+	for i := 0; i < 400; i++ {
+		key := randomID(o, rng)
+		route, err := o.Lookup(nodes[rng.Intn(len(nodes))], key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := o.OwnerOf(key)
+		if route.Root != want {
+			t.Fatalf("post-failure Lookup(%v) = %v, oracle %v", key, route.Root.ID, want.ID)
+		}
+	}
+}
+
+func TestFailErrors(t *testing.T) {
+	o := MustNew(Config{D: 4})
+	n, err := o.Join("only")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Fail(n); err == nil {
+		t.Fatal("failing the last node should be refused")
+	}
+	if _, err := o.Fail(&Node{Pos: 3}); err == nil {
+		t.Fatal("failing a non-member should error")
+	}
+}

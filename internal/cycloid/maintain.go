@@ -1,0 +1,110 @@
+package cycloid
+
+import (
+	"fmt"
+
+	"lorm/internal/directory"
+)
+
+// Join adds one node by protocol: the newcomer hashes itself to a free
+// identifier slot, routes to the current owner of that slot through an
+// existing node, splices into the leaf sets, takes over the keys it now
+// owns, and resolves its constant-size link set. This is Cycloid's
+// self-organization path; AddBulk produces the identical converged state.
+func (o *Overlay) Join(addr string) (*Node, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if addr == "" {
+		return nil, fmt.Errorf("cycloid: empty address")
+	}
+	id, err := o.idFor(addr)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{ID: id, Pos: o.Pos(id), Addr: addr}
+
+	if len(o.sorted) == 0 {
+		o.insertMember(n)
+		o.rebuildNodeLocked(n)
+		return n, nil
+	}
+
+	bootstrap := o.nodes[o.sorted[0]]
+	route, err := o.lookupLocked(bootstrap, id)
+	if err != nil {
+		return nil, fmt.Errorf("cycloid: join lookup failed: %w", err)
+	}
+	succ := route.Root
+	o.insertMember(n)
+
+	// Key handover: entries in (pred(n), n] move from the old owner.
+	pred := o.oraclePredecessor(n.Pos)
+	moved := succ.Dir.TakeIf(func(e directory.Entry) bool {
+		return o.betweenIncl(e.Key, pred, n.Pos)
+	})
+	n.Dir.AddAll(moved)
+
+	// Resolve the newcomer's links and eagerly repair the leaf sets of the
+	// immediate neighbors; remaining links converge via Stabilize.
+	o.rebuildNodeLocked(n)
+	if p, ok := o.nodes[pred]; ok {
+		o.rebuildNodeLocked(p)
+	}
+	o.rebuildNodeLocked(succ)
+	return n, nil
+}
+
+// Leave removes a node gracefully: its directory entries are handed to the
+// node that inherits its sector and the neighbors' leaf sets are repaired
+// immediately — Cycloid's self-organization on departure, matching the
+// paper's churn model in which stored objects survive.
+func (o *Overlay) Leave(n *Node) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.nodes[n.Pos] != n {
+		return fmt.Errorf("cycloid: leave of unknown node %s", n.Addr)
+	}
+	if len(o.sorted) == 1 {
+		return fmt.Errorf("cycloid: refusing to remove the last node")
+	}
+	o.removeMember(n.Pos)
+
+	heirPos := o.oracleSuccessor(n.Pos)
+	heir := o.nodes[heirPos]
+	heir.Dir.AddAll(n.Dir.TakeAll())
+
+	if p, ok := o.nodes[o.oraclePredecessor(n.Pos)]; ok {
+		o.rebuildNodeLocked(p)
+	}
+	o.rebuildNodeLocked(heir)
+	return nil
+}
+
+// Stabilize repairs every node's link set to the converged state the
+// protocol's periodic self-organization reaches: leaf sets from current
+// membership, cubical and cyclic neighbors re-resolved. Like
+// chord.FixFingers it jumps directly to the fixed point rather than
+// simulating each probe message.
+func (o *Overlay) Stabilize() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.rebuildAllLocked()
+}
+
+// Fail removes a node abruptly: no key handover, no leaf-set repair — a
+// crash. Lookups keep terminating through alive-checks and oracle
+// fallbacks; Stabilize restores the converged link state. Directory
+// entries the node held are lost unless replicated by the application.
+// Returns the number of entries lost with the node.
+func (o *Overlay) Fail(n *Node) (lostEntries int, err error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.nodes[n.Pos] != n {
+		return 0, fmt.Errorf("cycloid: fail of unknown node %s", n.Addr)
+	}
+	if len(o.sorted) == 1 {
+		return 0, fmt.Errorf("cycloid: refusing to fail the last node")
+	}
+	o.removeMember(n.Pos)
+	return n.Dir.Len(), nil
+}

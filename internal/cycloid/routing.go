@@ -1,0 +1,284 @@
+package cycloid
+
+import (
+	"fmt"
+
+	"lorm/internal/directory"
+	"lorm/internal/hashing"
+	"lorm/internal/ring"
+)
+
+// Route is the outcome of one lookup: the node responsible for the key and
+// the number of logical hops traversed to reach it.
+type Route struct {
+	Root *Node
+	Hops int
+}
+
+// measure is the routing potential: it encodes the ascend/descend/traverse
+// phases of cube-connected-cycles routing as a single strictly decreasing
+// scalar. Lexicographically it is (cubical XOR to the target, cyclic
+// correction distance):
+//
+//   - While the cubical indices differ (x ≠ 0), progress means either
+//     clearing the most significant differing bit (a cubical hop, shrinking
+//     x) or moving the cyclic index toward that bit position (ascending or
+//     descending inside the cluster, shrinking |K - msb(x)|).
+//   - Once in the target cluster (x = 0), progress means closing the
+//     circular cyclic distance to the key's cyclic index.
+//
+// Greedy descent on this measure reproduces the phase algorithm exactly on
+// a dense Cycloid and degrades gracefully on sparse ones; when no link
+// decreases it (possible when clusters are sparsely populated), routing
+// falls back to a clockwise leaf-set walk, which always terminates.
+func (o *Overlay) measure(pos uint64, key ID) uint64 {
+	id := o.IDOf(pos)
+	x := id.A ^ key.A
+	width := uint64(2*o.d + 2)
+	if x == 0 {
+		// Linear (not circular) distance: the linearized leaf set has no
+		// intra-cluster wrap link, so circular distance would report
+		// progress no link can realize.
+		dk := id.K - key.K
+		if dk < 0 {
+			dk = -dk
+		}
+		return uint64(dk)
+	}
+	// Lexicographic (most significant differing bit, cyclic correction
+	// distance). Weighting the bit INDEX rather than the numeric XOR value
+	// is essential: numeric weighting would reward ±1 cluster crawling via
+	// the cyclic links, degenerating into an O(2^d) walk.
+	j := msb(x)
+	dj := id.K - j
+	if dj < 0 {
+		dj = -dj
+	}
+	return uint64(j+1)*width + uint64(dj) + uint64(o.d+1) // +d+1 keeps any x≠0 above every x=0 value
+}
+
+// Lookup routes from `from` to the owner of key, counting one logical hop
+// per forward. It holds the overlay's read lock for the duration, so
+// lookups run concurrently with each other.
+func (o *Overlay) Lookup(from *Node, key ID) (Route, error) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.lookupLocked(from, key)
+}
+
+// ErrEmpty mirrors chord.ErrEmpty for the Cycloid overlay.
+var ErrEmpty = fmt.Errorf("cycloid: overlay has no nodes")
+
+func (o *Overlay) lookupLocked(from *Node, key ID) (Route, error) {
+	if len(o.sorted) == 0 {
+		return Route{}, ErrEmpty
+	}
+	if from == nil || o.nodes[from.Pos] != from {
+		return Route{}, fmt.Errorf("cycloid: lookup from a node that is not a live member")
+	}
+	keyPos := o.Pos(key)
+	cur := from
+	hops := 0
+	maxHops := 8*o.d + len(o.sorted) // phase budget plus a full fallback walk
+	fallback := false
+	for ; hops <= maxHops; hops++ {
+		if o.ownsLocked(cur, keyPos) {
+			return Route{Root: cur, Hops: hops}, nil
+		}
+		var next uint64 = noLink
+		if !fallback && hops > 8*o.d {
+			// Phase routing has overstayed its O(d) budget (deeply sparse
+			// overlay); switch to the always-terminating leaf-set walk.
+			fallback = true
+		}
+		if !fallback {
+			cm := o.measure(cur.Pos, key)
+			best := cm
+			for _, l := range o.linksLocked(cur) {
+				if m := o.measure(l, key); m < best {
+					best, next = m, l
+				}
+			}
+			if next == noLink {
+				fallback = true // no link improves the potential: sparse region
+			}
+		}
+		if fallback {
+			// Greedy clockwise descent: any link that strictly shrinks the
+			// clockwise distance to the key is progress (no overshooting —
+			// wrapped distances are large and lose). The ring successor
+			// always qualifies, so the walk cannot stall, and long links
+			// skip sparse stretches instead of crawling them node by node.
+			cd := o.cwDist(cur.Pos, keyPos)
+			best := cd
+			for _, l := range o.linksLocked(cur) {
+				if d := o.cwDist(l, keyPos); d < best {
+					best, next = d, l
+				}
+			}
+			if next == noLink {
+				succ := cur.ringSucc
+				if _, alive := o.nodes[succ]; !alive || succ == cur.Pos {
+					succ = o.oracleSuccessor((cur.Pos + 1) % o.capacity)
+				}
+				next = succ
+			}
+		}
+		cur = o.nodes[next]
+	}
+	return Route{}, fmt.Errorf("cycloid: lookup for %v exceeded %d hops", key, maxHops)
+}
+
+// ownsLocked reports whether n is the successor-rule owner of keyPos, using
+// n's leaf-set knowledge (lock held).
+func (o *Overlay) ownsLocked(n *Node, keyPos uint64) bool {
+	if len(o.sorted) == 1 {
+		return true
+	}
+	pred := n.ringPred
+	if _, alive := o.nodes[pred]; !alive {
+		pred = o.oraclePredecessor(n.Pos)
+	}
+	return o.betweenIncl(keyPos, pred, n.Pos)
+}
+
+// Insert stores an entry under key on the responsible node, routing from
+// the given start node.
+func (o *Overlay) Insert(from *Node, key ID, e directory.Entry) (Route, error) {
+	route, err := o.Lookup(from, key)
+	if err != nil {
+		return Route{}, err
+	}
+	route.Root.Dir.Add(e)
+	return route, nil
+}
+
+// NextNode returns the live node immediately following n on the linearized
+// ring — the "immediate successor in its own cluster" a LORM range query
+// walks to (crossing a cluster boundary when the cluster is exhausted).
+// The second return is false when n is the only node.
+func (o *Overlay) NextNode(n *Node) (*Node, bool) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	if len(o.sorted) < 2 {
+		return n, false
+	}
+	succ := n.ringSucc
+	if _, alive := o.nodes[succ]; !alive || succ == n.Pos {
+		succ = o.oracleSuccessor((n.Pos + 1) % o.capacity)
+	}
+	return o.nodes[succ], true
+}
+
+// OwnerOf returns the ground-truth owner of a key (oracle, no routing).
+func (o *Overlay) OwnerOf(key ID) (*Node, error) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	if len(o.sorted) == 0 {
+		return nil, ErrEmpty
+	}
+	return o.nodes[o.oracleSuccessor(o.Pos(key))], nil
+}
+
+// NodeNear deterministically picks the live node owning hash(seed), used
+// to choose query start nodes.
+func (o *Overlay) NodeNear(seed string) (*Node, error) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	if len(o.sorted) == 0 {
+		return nil, ErrEmpty
+	}
+	h := hashing.Consistent(ring.NewSpace(63), seed) % o.capacity
+	return o.nodes[o.oracleSuccessor(h)], nil
+}
+
+// NodeByAddr finds a live node by address (O(n), for tests and churn).
+func (o *Overlay) NodeByAddr(addr string) (*Node, bool) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	for _, n := range o.nodes {
+		if n.Addr == addr {
+			return n, true
+		}
+	}
+	return nil, false
+}
+
+// Nodes returns all live nodes in ascending position order.
+func (o *Overlay) Nodes() []*Node {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	out := make([]*Node, len(o.sorted))
+	for i, pos := range o.sorted {
+		out[i] = o.nodes[pos]
+	}
+	return out
+}
+
+// Addrs returns the addresses of all live nodes in position order.
+func (o *Overlay) Addrs() []string {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	out := make([]string, len(o.sorted))
+	for i, pos := range o.sorted {
+		out[i] = o.nodes[pos].Addr
+	}
+	return out
+}
+
+// DirectorySizes returns each node's directory size in position order.
+func (o *Overlay) DirectorySizes() []int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	out := make([]int, len(o.sorted))
+	for i, pos := range o.sorted {
+		out[i] = o.nodes[pos].Dir.Len()
+	}
+	return out
+}
+
+// OutlinkCount returns the number of distinct live neighbors of n — at
+// most seven, the constant degree of the overlay.
+func (o *Overlay) OutlinkCount(n *Node) int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	distinct := make(map[uint64]bool, 7)
+	for _, l := range o.linksLocked(n) {
+		distinct[l] = true
+	}
+	return len(distinct)
+}
+
+// OutlinkCounts returns OutlinkCount for every node.
+func (o *Overlay) OutlinkCounts() []int {
+	nodes := o.Nodes()
+	out := make([]int, len(nodes))
+	for i, n := range nodes {
+		out[i] = o.OutlinkCount(n)
+	}
+	return out
+}
+
+// ClusterOf returns the live nodes of cluster a in cyclic-index order, for
+// diagnostics and tests.
+func (o *Overlay) ClusterOf(a uint64) []*Node {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	var out []*Node
+	start := (a % o.cubes) * uint64(o.d)
+	for k := uint64(0); k < uint64(o.d); k++ {
+		if n, ok := o.nodes[start+k]; ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Owns reports whether n is responsible for key: the node-local test a
+// LORM range walk uses to decide it has reached the end of the queried
+// value range within the cluster.
+func (o *Overlay) Owns(n *Node, key ID) bool {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.ownsLocked(n, o.Pos(key))
+}

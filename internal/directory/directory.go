@@ -1,0 +1,121 @@
+// Package directory implements a node's resource-information directory: the
+// set of ⟨attribute, value, owner⟩ pieces a DHT node is responsible for,
+// each remembered together with the overlay key it was stored under so that
+// churn (node joins and departures) can hand the right entries over to a
+// neighbor.
+package directory
+
+import (
+	"sync"
+
+	"lorm/internal/resource"
+)
+
+// Entry is one stored resource-information piece plus its placement key.
+// Key is the overlay's linearized identifier (a Chord ring position, or a
+// Cycloid position folded onto the cluster-major order); overlays use it to
+// decide which entries migrate when the node set changes.
+type Entry struct {
+	Key  uint64
+	Info resource.Info
+}
+
+// Store is a concurrency-safe directory. The zero value is ready to use.
+// Reads (range scans, size queries) take a shared lock so concurrent query
+// workers do not serialize on each other.
+type Store struct {
+	mu      sync.RWMutex
+	entries []Entry
+}
+
+// Add stores one entry.
+func (s *Store) Add(e Entry) {
+	s.mu.Lock()
+	s.entries = append(s.entries, e)
+	s.mu.Unlock()
+}
+
+// AddAll stores a batch of entries (used by key transfer).
+func (s *Store) AddAll(es []Entry) {
+	if len(es) == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.entries = append(s.entries, es...)
+	s.mu.Unlock()
+}
+
+// Len returns the directory size in information pieces — the quantity the
+// paper's Figures 3(b)–(d) aggregate per node.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries)
+}
+
+// Match returns the stored pieces for the given attribute whose values fall
+// in [lo, hi].
+func (s *Store) Match(attr string, lo, hi float64) []resource.Info {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []resource.Info
+	for _, e := range s.entries {
+		if e.Info.Attr == attr && e.Info.Value >= lo && e.Info.Value <= hi {
+			out = append(out, e.Info)
+		}
+	}
+	return out
+}
+
+// CountAttr returns how many pieces the directory holds for one attribute.
+func (s *Store) CountAttr(attr string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, e := range s.entries {
+		if e.Info.Attr == attr {
+			n++
+		}
+	}
+	return n
+}
+
+// TakeIf removes and returns every entry for which keep reports false —
+// i.e. the entries that should move elsewhere. It is the primitive key
+// transfer is built from: a joining node calls it on its successor with a
+// predicate selecting the keys it now owns.
+func (s *Store) TakeIf(shouldMove func(Entry) bool) []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var moved []Entry
+	kept := s.entries[:0]
+	for _, e := range s.entries {
+		if shouldMove(e) {
+			moved = append(moved, e)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	// Zero the tail so moved entries do not linger in the backing array.
+	for i := len(kept); i < len(s.entries); i++ {
+		s.entries[i] = Entry{}
+	}
+	s.entries = kept
+	return moved
+}
+
+// TakeAll removes and returns everything (used by a departing node).
+func (s *Store) TakeAll() []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	all := s.entries
+	s.entries = nil
+	return all
+}
+
+// Snapshot returns a copy of all entries, for tests and diagnostics.
+func (s *Store) Snapshot() []Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]Entry(nil), s.entries...)
+}

@@ -1,0 +1,96 @@
+// Package discovery defines the common interface of the four resource
+// discovery systems the paper compares — LORM, Mercury, SWORD and MAAN —
+// together with the cost accounting (logical hops, visited directory
+// nodes, messages) every experiment measures.
+//
+// All four systems implement System; the experiment harness and the
+// cross-system equivalence tests are written purely against it.
+package discovery
+
+import (
+	"fmt"
+
+	"lorm/internal/resource"
+)
+
+// Cost accounts for one operation's communication:
+//
+//   - Hops: logical routing hops, i.e. node-to-node forwards during DHT
+//     lookups and range walks (Figures 4 and 6(a)).
+//   - Visited: nodes that received the query and checked their directory
+//     for matching resource information (Figures 5 and 6(b)).
+//   - Messages: total messages, hops plus one reply per visited node.
+type Cost struct {
+	Hops     int
+	Visited  int
+	Messages int
+}
+
+// Add accumulates another operation's cost.
+func (c *Cost) Add(o Cost) {
+	c.Hops += o.Hops
+	c.Visited += o.Visited
+	c.Messages += o.Messages
+}
+
+func (c Cost) String() string {
+	return fmt.Sprintf("hops=%d visited=%d msgs=%d", c.Hops, c.Visited, c.Messages)
+}
+
+// Result is the answer to a multi-attribute query.
+type Result struct {
+	// PerAttr holds each sub-query's matching resource information,
+	// exactly as the directory nodes returned it.
+	PerAttr map[string][]resource.Info
+	// Owners is the database-like join on ip_addr: the addresses whose
+	// resources satisfy every sub-query, sorted.
+	Owners []string
+	// Cost is the query's total communication cost across sub-queries.
+	Cost Cost
+}
+
+// System is a DHT-based grid resource discovery service.
+type System interface {
+	// Name identifies the approach ("lorm", "mercury", "sword", "maan").
+	Name() string
+	// Schema returns the globally known attribute types.
+	Schema() *resource.Schema
+	// NodeCount returns the number of live directory nodes.
+	NodeCount() int
+	// Register announces one piece of available-resource information,
+	// routing it to its directory node(s). It reports the routing cost.
+	Register(info resource.Info) (Cost, error)
+	// Discover resolves a multi-attribute (possibly range) query: each
+	// sub-query is routed to its root, range sub-queries additionally walk
+	// neighboring directory nodes, and the per-attribute results are
+	// joined on the owner address.
+	Discover(q resource.Query) (*Result, error)
+	// DirectorySizes samples every node's directory size (pieces of
+	// resource information), the load-balance metric of Figures 3(b)-(d).
+	DirectorySizes() []int
+	// OutlinkCounts samples every node's distinct overlay neighbors, the
+	// structure maintenance metric of Figure 3(a).
+	OutlinkCounts() []int
+}
+
+// Dynamic is implemented by systems that support churn: node joins and
+// graceful departures plus a periodic maintenance round.
+type Dynamic interface {
+	System
+	// AddNode joins a new physical node under the given address.
+	AddNode(addr string) error
+	// RemoveNode gracefully departs the node with the given address.
+	RemoveNode(addr string) error
+	// NodeAddrs lists live node addresses (for victim selection).
+	NodeAddrs() []string
+	// Maintain runs one stabilization round.
+	Maintain()
+}
+
+// Finish completes a Result: joins owners and validates invariants. The
+// systems call it at the end of Discover so join semantics stay identical
+// across implementations.
+func Finish(res *Result) *Result {
+	res.Owners = resource.JoinOwners(res.PerAttr)
+	return res
+}

@@ -1,0 +1,72 @@
+package discovery
+
+import (
+	"sync"
+
+	"lorm/internal/resource"
+)
+
+// Oracle is a centralized brute-force reference implementation: it stores
+// every registered piece in one flat list and answers queries by linear
+// scan. It costs nothing to route (Cost is always zero) and exists solely
+// as ground truth — the equivalence tests require every DHT-based system
+// to return exactly the Oracle's answer on identical workloads.
+type Oracle struct {
+	schema *resource.Schema
+	mu     sync.RWMutex
+	infos  []resource.Info
+}
+
+// NewOracle builds an empty oracle over the schema.
+func NewOracle(schema *resource.Schema) *Oracle {
+	return &Oracle{schema: schema}
+}
+
+// Name implements System.
+func (o *Oracle) Name() string { return "oracle" }
+
+// Schema implements System.
+func (o *Oracle) Schema() *resource.Schema { return o.schema }
+
+// NodeCount implements System; the oracle is a single logical node.
+func (o *Oracle) NodeCount() int { return 1 }
+
+// Register implements System.
+func (o *Oracle) Register(info resource.Info) (Cost, error) {
+	o.mu.Lock()
+	o.infos = append(o.infos, info)
+	o.mu.Unlock()
+	return Cost{}, nil
+}
+
+// Discover implements System by exhaustive scan.
+func (o *Oracle) Discover(q resource.Query) (*Result, error) {
+	if err := q.Validate(o.schema); err != nil {
+		return nil, err
+	}
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	res := &Result{PerAttr: make(map[string][]resource.Info, len(q.Subs))}
+	for _, sub := range q.Subs {
+		var matches []resource.Info
+		for _, in := range o.infos {
+			if in.Attr == sub.Attr && sub.Matches(in.Value) {
+				matches = append(matches, in)
+			}
+		}
+		res.PerAttr[sub.Attr] = matches
+	}
+	return Finish(res), nil
+}
+
+// DirectorySizes implements System.
+func (o *Oracle) DirectorySizes() []int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return []int{len(o.infos)}
+}
+
+// OutlinkCounts implements System; the oracle has no overlay.
+func (o *Oracle) OutlinkCounts() []int { return []int{0} }
+
+var _ System = (*Oracle)(nil)

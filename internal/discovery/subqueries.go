@@ -1,0 +1,46 @@
+package discovery
+
+import (
+	"lorm/internal/resource"
+)
+
+// RunSubs resolves a multi-attribute query by executing each sub-query
+// concurrently — the paper's "multi-attribute query is composed of a set
+// of sub-queries on each attribute, which are processed in parallel" — and
+// merging the per-attribute matches and communication costs. The first
+// error aborts the query.
+//
+// fn must be safe for concurrent use; every System implements it over
+// overlay lookups that take read locks only.
+func RunSubs(q resource.Query, fn func(resource.SubQuery) ([]resource.Info, Cost, error)) (*Result, error) {
+	type subResult struct {
+		attr    string
+		matches []resource.Info
+		cost    Cost
+		err     error
+	}
+	ch := make(chan subResult, len(q.Subs))
+	for _, sub := range q.Subs {
+		go func(sub resource.SubQuery) {
+			matches, cost, err := fn(sub)
+			ch <- subResult{attr: sub.Attr, matches: matches, cost: cost, err: err}
+		}(sub)
+	}
+	res := &Result{PerAttr: make(map[string][]resource.Info, len(q.Subs))}
+	var firstErr error
+	for range q.Subs {
+		sr := <-ch
+		if sr.err != nil {
+			if firstErr == nil {
+				firstErr = sr.err
+			}
+			continue
+		}
+		res.PerAttr[sr.attr] = sr.matches
+		res.Cost.Add(sr.cost)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return Finish(res), nil
+}

@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lorm/internal/resource"
+	"lorm/internal/stats"
+	"lorm/internal/workload"
+)
+
+// AblationDimension sweeps the Cycloid dimension d at (approximately)
+// fixed node count and reports LORM's two sides of the tradeoff that
+// Theorems 4.3–4.5 and 4.9 quantify: larger d spreads each attribute's
+// information over more nodes (lower 99th-percentile directory size) but
+// lengthens both the lookup path (O(d) hops) and the intra-cluster range
+// walk (d/4 visited nodes).
+func AblationDimension(p Params, dims []int) (*stats.Table, error) {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(dims) == 0 {
+		dims = []int{5, 6, 7, 8, 9, 10}
+	}
+	tbl := stats.NewTable("Ablation: Cycloid dimension vs balance and cost",
+		"d", "n", "avg_dir", "p99_dir", "hops_per_lookup", "visited_per_range")
+	tbl.Notes = append(tbl.Notes,
+		fmt.Sprintf("m=%d attributes, k=%d pieces; complete overlays n=d*2^d", p.M, p.K),
+		"tradeoff: larger d balances directories but lengthens lookups and walks (Thms 4.3-4.5, 4.9)")
+
+	for _, d := range dims {
+		q := p
+		q.D = d
+		q.N = d * (1 << uint(d))
+		q.Sizes = nil
+		row, err := lormOnlyRun(q)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(float64(d), float64(q.N), row.avgDir, row.p99Dir, row.hops, row.visited)
+	}
+	return tbl, nil
+}
+
+// AblationRangeWidth sweeps the expected quantile width of range queries
+// and reports visited nodes per query for LORM and the analytical
+// prediction 1 + d·w̄ where w̄ is the expected covered mass — validating
+// the ¼-width modeling choice behind Figure 5.
+func AblationRangeWidth(p Params, widthFracs []float64) (*stats.Table, error) {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(widthFracs) == 0 {
+		widthFracs = []float64{0.1, 0.25, 0.5, 0.75, 1.0}
+	}
+	env, err := NewEnv(p)
+	if err != nil {
+		return nil, err
+	}
+	tbl := stats.NewTable("Ablation: range width vs visited nodes (LORM)",
+		"width_frac", "expected_mass", "lorm_visited", "analysis")
+	tbl.Notes = append(tbl.Notes,
+		"width_frac w: query width uniform on (0, w] of the value mass; expected covered mass w/2",
+		"analysis: 1 + d*(w/2) visited nodes per single-attribute range query")
+
+	for wi, w := range widthFracs {
+		qrng := workload.Split(p.Seed, 500+wi)
+		queries := make([]resource.Query, p.RangeQueries)
+		for i := range queries {
+			queries[i] = env.Gen.RangeQuery(qrng, 1, w, fmt.Sprintf("req-%d", i))
+		}
+		_, visited, err := runQueries(env.Dep.LORM, queries, p.Workers)
+		if err != nil {
+			return nil, err
+		}
+		mass := w / 2
+		tbl.AddRow(w, mass, visited.Summary().Mean, 1+float64(p.D)*mass)
+	}
+	return tbl, nil
+}
+
+// AblationSkew sweeps the Bounded Pareto shape (plus a uniform control)
+// and reports LORM's directory balance with and without the
+// distribution-aware ("uniform") locality-preserving hash — the mechanism
+// that keeps the 99th percentile near the analysis in Figures 3(b)-(d)
+// despite skewed values.
+func AblationSkew(p Params, alphas []float64) (*stats.Table, error) {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(alphas) == 0 {
+		alphas = []float64{0.8, 1.5, 3.0}
+	}
+	tbl := stats.NewTable("Ablation: value skew vs LORM directory balance",
+		"alpha", "p99_cdf_hash", "p99_linear_hash", "avg")
+	tbl.Notes = append(tbl.Notes,
+		"alpha: Bounded Pareto shape (smaller = heavier skew); avg is hash-independent",
+		"cdf hash = MAAN's uniform locality-preserving hashing; linear hash collapses under skew")
+
+	for _, alpha := range alphas {
+		cdf, err := lormDirStats(p, alpha, true)
+		if err != nil {
+			return nil, err
+		}
+		lin, err := lormDirStats(p, alpha, false)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(alpha, cdf.P99, lin.P99, cdf.Mean)
+	}
+	return tbl, nil
+}
+
+// lormDirStats registers the workload into a standalone LORM system using
+// either the distribution-aware or the plain linear locality hash and
+// summarizes directory sizes.
+func lormDirStats(p Params, alpha float64, cdfHash bool) (stats.Summary, error) {
+	var schema *resource.Schema
+	if cdfHash {
+		schema = workload.ParetoSchema(p.M, p.Span, alpha)
+	} else {
+		schema = resource.SyntheticSchema(p.M, p.Span)
+	}
+	sys, err := newLORM(p, schema)
+	if err != nil {
+		return stats.Summary{}, err
+	}
+	gen := workload.NewGenerator(schema, alpha)
+	for _, in := range gen.Announcements(workload.Split(p.Seed, 600), p.K) {
+		if _, err := sys.Register(in); err != nil {
+			return stats.Summary{}, err
+		}
+	}
+	return stats.SummarizeInts(sys.DirectorySizes()), nil
+}
+
+// lormRunResult carries one dimension-sweep row.
+type lormRunResult struct {
+	avgDir, p99Dir, hops, visited float64
+}
+
+// lormOnlyRun builds a complete LORM overlay, registers the workload and
+// measures lookup hops plus range-walk visits.
+func lormOnlyRun(p Params) (lormRunResult, error) {
+	schema := workload.ParetoSchema(p.M, p.Span, p.Alpha)
+	sys, err := newLORM(p, schema)
+	if err != nil {
+		return lormRunResult{}, err
+	}
+	gen := workload.NewGenerator(schema, p.Alpha)
+	for _, in := range gen.Announcements(workload.Split(p.Seed, 700), p.K) {
+		if _, err := sys.Register(in); err != nil {
+			return lormRunResult{}, err
+		}
+	}
+	dirs := stats.SummarizeInts(sys.DirectorySizes())
+
+	qrng := workload.Split(p.Seed, 701)
+	exact := make([]resource.Query, p.RangeQueries)
+	ranged := make([]resource.Query, p.RangeQueries)
+	for i := range exact {
+		exact[i] = gen.ExactQuery(qrng, 1, fmt.Sprintf("r%d", i))
+		ranged[i] = gen.RangeQuery(qrng, 1, 0.5, fmt.Sprintf("r%d", i))
+	}
+	hops, _, err := runQueries(sys, exact, p.Workers)
+	if err != nil {
+		return lormRunResult{}, err
+	}
+	_, visited, err := runQueries(sys, ranged, p.Workers)
+	if err != nil {
+		return lormRunResult{}, err
+	}
+	return lormRunResult{
+		avgDir:  dirs.Mean,
+		p99Dir:  dirs.P99,
+		hops:    hops.Summary().Mean,
+		visited: visited.Summary().Mean,
+	}, nil
+}

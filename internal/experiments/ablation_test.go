@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// Larger d must yield lower (or equal) 99th-percentile directory size and
+// higher range-walk cost — the tradeoff the ablation exists to show.
+func TestAblationDimensionTradeoff(t *testing.T) {
+	p := Quick()
+	p.RangeQueries = 40
+	tbl, err := AblationDimension(p, []int{5, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	p99 := tbl.Column("p99_dir")
+	visited := tbl.Column("visited_per_range")
+	if !(p99[1] <= p99[0]*1.1) {
+		t.Errorf("p99 directory did not improve with d: %v -> %v", p99[0], p99[1])
+	}
+	if !(visited[1] > visited[0]) {
+		t.Errorf("range-walk cost did not grow with d: %v -> %v", visited[0], visited[1])
+	}
+	// Larger d also means a larger complete overlay: avg directory drops.
+	avg := tbl.Column("avg_dir")
+	if !(avg[1] < avg[0]) {
+		t.Errorf("avg directory did not drop with n: %v -> %v", avg[0], avg[1])
+	}
+}
+
+// Visited nodes must track the analytical 1 + d·w/2 within tolerance.
+func TestAblationRangeWidthTracksAnalysis(t *testing.T) {
+	p := Quick()
+	p.RangeQueries = 80
+	tbl, err := AblationRangeWidth(p, []float64{0.2, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas := tbl.Column("lorm_visited")
+	ana := tbl.Column("analysis")
+	for i := range tbl.Rows {
+		if meas[i] < ana[i]*0.5 || meas[i] > ana[i]*1.5 {
+			t.Errorf("row %d: measured %v far from analysis %v", i, meas[i], ana[i])
+		}
+	}
+	if !(meas[1] > meas[0]) {
+		t.Errorf("wider ranges should visit more nodes: %v -> %v", meas[0], meas[1])
+	}
+}
+
+// The CDF hash must dominate the linear hash under skew, and the margin
+// must grow as the distribution gets heavier (smaller alpha).
+func TestAblationSkewShowsCDFAdvantage(t *testing.T) {
+	p := Quick()
+	p.M, p.K = 10, 40 // keep the double registration cheap
+	tbl, err := AblationSkew(p, []float64{0.8, 3.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdf := tbl.Column("p99_cdf_hash")
+	lin := tbl.Column("p99_linear_hash")
+	for i := range tbl.Rows {
+		if cdf[i] > lin[i] {
+			t.Errorf("alpha row %d: CDF hash p99 %v worse than linear %v", i, cdf[i], lin[i])
+		}
+	}
+	// Heavy skew (alpha=0.8) should show a clear gap.
+	if lin[0] < cdf[0]*1.5 {
+		t.Errorf("heavy skew: linear p99 %v not clearly above CDF p99 %v", lin[0], cdf[0])
+	}
+}

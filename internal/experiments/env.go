@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"lorm/internal/analysis"
+	"lorm/internal/core"
+	"lorm/internal/discovery"
+	"lorm/internal/resource"
+	"lorm/internal/systemtest"
+	"lorm/internal/workload"
+)
+
+// Env is a fully constructed and populated evaluation environment: the
+// four systems over identical node populations with the synthetic
+// announcement workload registered everywhere. The static-figure drivers
+// (3(b)–(d), 4, 5) share one Env; Figure 3(a) and the churn sweep build
+// their own deployments.
+type Env struct {
+	P      Params
+	Schema *resource.Schema
+	Dep    *systemtest.Deployment
+	Gen    *workload.Generator
+}
+
+// NewEnv builds the deployment and registers M×K announcement pieces in
+// every system.
+func NewEnv(p Params) (*Env, error) {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	// Pareto-aware schema: every system's locality-preserving hash becomes
+	// quantile-based, the "uniform locality preserving hashing" of MAAN [3]
+	// that keeps value-keyed storage balanced under the skewed workload.
+	schema := workload.ParetoSchema(p.M, p.Span, p.Alpha)
+	complete := p.N == p.D*(1<<uint(p.D))
+	dep, err := systemtest.Build(schema, p.N, systemtest.Options{
+		D: p.D, Bits: p.Bits, CompleteLORM: complete,
+	})
+	if err != nil {
+		return nil, err
+	}
+	env := &Env{P: p, Schema: schema, Dep: dep, Gen: workload.NewGenerator(schema, p.Alpha)}
+	if err := env.registerAll(); err != nil {
+		return nil, err
+	}
+	return env, nil
+}
+
+// registerAll announces the workload in every system, fanning out over the
+// worker pool (registrations are independent; each system's internals are
+// concurrency-safe).
+func (e *Env) registerAll() error {
+	infos := e.Gen.Announcements(workload.Split(e.P.Seed, 0), e.P.K)
+	systems := e.Dep.Systems()
+	var (
+		wg       sync.WaitGroup
+		firstErr error
+		errOnce  sync.Once
+	)
+	work := make(chan resource.Info)
+	for w := 0; w < e.P.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for in := range work {
+				for _, s := range systems {
+					if _, err := s.Register(in); err != nil {
+						errOnce.Do(func() { firstErr = fmt.Errorf("%s: %w", s.Name(), err) })
+					}
+				}
+			}
+		}()
+	}
+	for _, in := range infos {
+		work <- in
+	}
+	close(work)
+	wg.Wait()
+	return firstErr
+}
+
+// AnalysisParams translates the experiment parameters into the closed-form
+// model's parameters.
+func (e *Env) AnalysisParams() analysis.Params {
+	return analysis.Params{N: e.P.N, M: e.P.M, K: e.P.K, D: e.P.D}
+}
+
+// systemsByName returns the systems keyed by name for table assembly.
+func (e *Env) systemsByName() map[string]discovery.System {
+	out := make(map[string]discovery.System)
+	for _, s := range e.Dep.Systems() {
+		out[s.Name()] = s
+	}
+	return out
+}
+
+// newLORM builds a standalone LORM system for the single-system ablation
+// runs, complete when p.N equals the Cycloid capacity.
+func newLORM(p Params, schema *resource.Schema) (*core.System, error) {
+	sys, err := core.New(core.Config{D: p.D, Schema: schema})
+	if err != nil {
+		return nil, err
+	}
+	if p.N == p.D*(1<<uint(p.D)) {
+		return sys, sys.PopulateComplete()
+	}
+	return sys, sys.AddNodes(systemtest.Addresses(p.N))
+}

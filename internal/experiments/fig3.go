@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lorm/internal/analysis"
+	"lorm/internal/core"
+	"lorm/internal/mercury"
+	"lorm/internal/resource"
+	"lorm/internal/stats"
+	"lorm/internal/systemtest"
+)
+
+// Fig3a regenerates Figure 3(a): the number of outlinks maintained per
+// node versus network size, for Mercury (m hubs × log n fingers each),
+// LORM (Cycloid's constant 7), and the paper's "Analysis>LORM" curve
+// (Mercury's measured count divided by m, the bound of Theorem 4.1).
+//
+// Network sizes are the complete Cycloid sizes d·2^d for each d in
+// p.Sizes. Mercury's per-node total is measured over HubSample physically
+// built hubs and scaled by m/HubSample — per-hub routing state is i.i.d.
+// across hubs, so the scaling preserves the expectation exactly.
+func Fig3a(p Params) (*stats.Table, error) {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	tbl := stats.NewTable("Figure 3(a): outlinks per node vs network size",
+		"n", "mercury", "analysis_gt_lorm", "lorm")
+	tbl.Notes = append(tbl.Notes,
+		fmt.Sprintf("m=%d attributes; Mercury measured over %d sample hubs and scaled", p.M, hubSample(p)),
+		"analysis_gt_lorm = Mercury / m (Theorem 4.1)")
+
+	for _, d := range p.Sizes {
+		n := d * (1 << uint(d))
+
+		// LORM: complete Cycloid of dimension d.
+		lorm, err := core.New(core.Config{D: d, Schema: resource.SyntheticSchema(1, p.Span)})
+		if err != nil {
+			return nil, err
+		}
+		if err := lorm.PopulateComplete(); err != nil {
+			return nil, err
+		}
+		lormAvg := stats.SummarizeInts(lorm.OutlinkCounts()).Mean
+
+		// Mercury: hubSample hubs over the same node count, scaled to m.
+		hs := hubSample(p)
+		merc, err := mercury.New(mercury.Config{
+			Bits:   p.Bits,
+			Schema: resource.SyntheticSchema(hs, p.Span),
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := merc.AddNodes(systemtest.Addresses(n)); err != nil {
+			return nil, err
+		}
+		scale := float64(p.M) / float64(hs)
+		mercAvg := stats.SummarizeInts(merc.OutlinkCounts()).Mean * scale
+
+		ap := analysis.Params{N: n, M: p.M, K: p.K, D: d}
+		tbl.AddRow(float64(n), mercAvg, analysis.AnalysisGreaterLORMOutlinks(ap, mercAvg), lormAvg)
+	}
+	return tbl, nil
+}
+
+func hubSample(p Params) int {
+	if p.HubSample <= 0 || p.HubSample > p.M {
+		return p.M
+	}
+	return p.HubSample
+}
+
+// directoryRow condenses one system's directory-size distribution into the
+// triple the paper plots: 1st percentile, average, 99th percentile.
+type directoryRow struct {
+	P01, Avg, P99 float64
+}
+
+func summarizeDirs(sizes []int) directoryRow {
+	s := stats.SummarizeInts(sizes)
+	return directoryRow{P01: s.P01, Avg: s.Mean, P99: s.P99}
+}
+
+// Fig3bcd regenerates Figures 3(b), 3(c) and 3(d) from one populated
+// environment: per-node directory-size distributions (1st percentile,
+// average, 99th percentile) of MAAN, SWORD and Mercury, each against LORM
+// and against the analysis curves of Theorems 4.2–4.5.
+//
+// Each table has one row per statistic; the `stat` column encodes it:
+// 1 = 1st percentile, 0 = average, 99 = 99th percentile.
+func Fig3bcd(env *Env) (b, c, d *stats.Table) {
+	ap := env.AnalysisParams()
+	byName := env.systemsByName()
+	lorm := summarizeDirs(byName["lorm"].DirectorySizes())
+	maan := summarizeDirs(byName["maan"].DirectorySizes())
+	sword := summarizeDirs(byName["sword"].DirectorySizes())
+	merc := summarizeDirs(byName["mercury"].DirectorySizes())
+
+	note := "rows: stat 1 = 1st percentile, 0 = average, 99 = 99th percentile"
+
+	// Figure 3(b): MAAN vs LORM. Analysis: average = MAAN/2 (Thm 4.2),
+	// percentiles = MAAN / d(1+m/n) (Thm 4.3).
+	b = stats.NewTable("Figure 3(b): directory size per node, MAAN vs LORM",
+		"stat", "maan", "lorm", "analysis_lorm")
+	b.Notes = append(b.Notes, note,
+		fmt.Sprintf("Thm 4.3 factor d(1+m/n) = %.2f; Thm 4.2 factor 2", analysis.Theorem43DirectoryRatioMAAN(ap)))
+	r43 := analysis.Theorem43DirectoryRatioMAAN(ap)
+	b.AddRow(1, maan.P01, lorm.P01, maan.P01/r43)
+	b.AddRow(0, maan.Avg, lorm.Avg, maan.Avg/analysis.Theorem42TotalInfoRatio(ap))
+	b.AddRow(99, maan.P99, lorm.P99, maan.P99/r43)
+
+	// Figure 3(c): SWORD vs LORM. Analysis: average = SWORD (same total,
+	// Thm 4.2), percentiles = SWORD / d (Thm 4.4).
+	c = stats.NewTable("Figure 3(c): directory size per node, SWORD vs LORM",
+		"stat", "sword", "lorm", "analysis_lorm")
+	c.Notes = append(c.Notes, note,
+		fmt.Sprintf("Thm 4.4 factor d = %.0f", analysis.Theorem44DirectoryRatioSWORD(ap)))
+	r44 := analysis.Theorem44DirectoryRatioSWORD(ap)
+	c.AddRow(1, sword.P01, lorm.P01, sword.P01/r44)
+	c.AddRow(0, sword.Avg, lorm.Avg, sword.Avg)
+	c.AddRow(99, sword.P99, lorm.P99, sword.P99/r44)
+
+	// Figure 3(d): Mercury vs LORM. Analysis: average = Mercury (same
+	// total), 99th percentile = Mercury × n/(dm), 1st = Mercury ÷ n/(dm)
+	// (Thm 4.5: Mercury is more balanced by that factor).
+	d = stats.NewTable("Figure 3(d): directory size per node, Mercury vs LORM",
+		"stat", "mercury", "lorm", "analysis_lorm")
+	d.Notes = append(d.Notes, note,
+		fmt.Sprintf("Thm 4.5 factor n/(dm) = %.2f", analysis.Theorem45BalanceRatioMercury(ap)))
+	r45 := analysis.Theorem45BalanceRatioMercury(ap)
+	d.AddRow(1, merc.P01, lorm.P01, merc.P01/r45)
+	d.AddRow(0, merc.Avg, lorm.Avg, merc.Avg)
+	d.AddRow(99, merc.P99, lorm.P99, merc.P99*r45)
+	return b, c, d
+}

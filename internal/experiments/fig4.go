@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lorm/internal/analysis"
+	"lorm/internal/resource"
+	"lorm/internal/stats"
+	"lorm/internal/workload"
+)
+
+// Fig4 regenerates Figures 4(a) and 4(b): the average and total logical
+// hops for multi-attribute NON-RANGE queries versus the number of
+// attributes per query (1..MaxAttrs). The paper's setup — 100 randomly
+// chosen requesters sending 10 queries each — is reproduced per point.
+//
+// The returned tables carry measured series for MAAN, LORM, Mercury and
+// SWORD plus the two analysis curves derived from MAAN's measurement:
+// "Analysis-LORM" = MAAN / (log n / d) (Theorem 4.7) and
+// "Analysis-SWORD/Mercury" = MAAN / 2 (Theorem 4.8).
+func Fig4(env *Env) (avg, total *stats.Table, err error) {
+	p := env.P
+	ap := env.AnalysisParams()
+	cols := []string{"attrs", "maan", "lorm", "mercury", "sword", "analysis_lorm", "analysis_chord"}
+	avg = stats.NewTable("Figure 4(a): average hops per non-range query vs attributes", cols...)
+	total = stats.NewTable("Figure 4(b): total hops for all non-range queries vs attributes", cols...)
+	for _, t := range []*stats.Table{avg, total} {
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("n=%d, %d requesters × %d queries per point", p.N, p.Requesters, p.QueriesPerRequester),
+			"analysis_lorm = maan ÷ (log n/d) (Thm 4.7); analysis_chord = maan ÷ 2 (Thm 4.8)")
+	}
+
+	numQueries := p.Requesters * p.QueriesPerRequester
+	for mq := 1; mq <= p.MaxAttrs; mq++ {
+		// Pre-generate the identical query set for every system.
+		qrng := workload.Split(p.Seed, 100+mq)
+		queries := make([]resource.Query, 0, numQueries)
+		for r := 0; r < p.Requesters; r++ {
+			requester := fmt.Sprintf("requester-%03d", r)
+			for j := 0; j < p.QueriesPerRequester; j++ {
+				queries = append(queries, env.Gen.ExactQuery(qrng, mq, requester))
+			}
+		}
+
+		means := map[string]float64{}
+		sums := map[string]float64{}
+		for name, sys := range env.systemsByName() {
+			hops, _, err := runQueries(sys, queries, p.Workers)
+			if err != nil {
+				return nil, nil, err
+			}
+			means[name] = hops.Summary().Mean
+			sums[name] = hops.Sum()
+		}
+		avg.AddRow(float64(mq), means["maan"], means["lorm"], means["mercury"], means["sword"],
+			analysis.AnalysisLORMHopsFromMAAN(ap, means["maan"]),
+			analysis.AnalysisChordHopsFromMAAN(ap, means["maan"]))
+		total.AddRow(float64(mq), sums["maan"], sums["lorm"], sums["mercury"], sums["sword"],
+			analysis.AnalysisLORMHopsFromMAAN(ap, sums["maan"]),
+			analysis.AnalysisChordHopsFromMAAN(ap, sums["maan"]))
+	}
+	return avg, total, nil
+}

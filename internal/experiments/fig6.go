@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lorm/internal/analysis"
+	"lorm/internal/churn"
+	"lorm/internal/discovery"
+	"lorm/internal/sim"
+	"lorm/internal/stats"
+	"lorm/internal/workload"
+)
+
+// Fig6Attrs is the number of attributes per query in the dynamic
+// experiment (the paper leaves it unstated; 3 is representative of the
+// Figure 4/5 sweeps).
+const Fig6Attrs = 3
+
+// Fig6 regenerates Figures 6(a) and 6(b): query efficiency in a highly
+// dynamic environment. For each churn rate R (a Poisson process of node
+// joins and, independently, node departures, each at rate R per second)
+// every system answers ChurnQueries requests arriving at QueryRate per
+// second of virtual time while churning; departures are graceful and
+// stabilization runs once per virtual second.
+//
+// Figure 6(a) reports the average logical hops of non-range queries;
+// Figure 6(b) the average visited nodes of range queries. The analysis
+// series are the static closed forms — the paper's observation is exactly
+// that churn leaves the measured curves at those levels, with zero
+// failures.
+func Fig6(p Params) (hopsTbl, visitedTbl *stats.Table, err error) {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	ap := analysis.Params{N: p.N, M: p.M, K: p.K, D: p.D}
+	hopsTbl = stats.NewTable("Figure 6(a): average hops per non-range query vs churn rate R",
+		"rate", "maan", "lorm", "mercury", "sword", "analysis_lorm", "analysis_chord", "failures")
+	visitedTbl = stats.NewTable("Figure 6(b): average visited nodes per range query vs churn rate R",
+		"rate", "mercury", "maan", "lorm", "sword",
+		"analysis_mercury", "analysis_maan", "analysis_lorm", "analysis_sword", "failures")
+	for _, t := range []*stats.Table{hopsTbl, visitedTbl} {
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("n=%d, %d queries per rate at %g/s virtual time, %d attributes per query",
+				p.N, p.ChurnQueries, p.QueryRate, Fig6Attrs),
+			"departures graceful, stabilization every 1s — zero failures expected")
+	}
+
+	for ri, rate := range p.ChurnRates {
+		env, err := NewEnv(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		hopMeans := map[string]float64{}
+		visitMeans := map[string]float64{}
+		failures := 0
+		for name, sys := range env.systemsByName() {
+			dyn, ok := sys.(discovery.Dynamic)
+			if !ok {
+				return nil, nil, fmt.Errorf("experiments: %s does not support churn", name)
+			}
+			h, v, f, err := churnRun(env, dyn, rate, ri)
+			if err != nil {
+				return nil, nil, err
+			}
+			hopMeans[name] = h
+			visitMeans[name] = v
+			failures += f
+		}
+		hopsTbl.AddRow(rate, hopMeans["maan"], hopMeans["lorm"], hopMeans["mercury"], hopMeans["sword"],
+			analysis.NonRangeHops(ap, "lorm", Fig6Attrs),
+			analysis.NonRangeHops(ap, "mercury", Fig6Attrs),
+			float64(failures))
+		visitedTbl.AddRow(rate,
+			visitMeans["mercury"], visitMeans["maan"], visitMeans["lorm"], visitMeans["sword"],
+			analysis.RangeVisitedNodes(ap, "mercury", Fig6Attrs),
+			analysis.RangeVisitedNodes(ap, "maan", Fig6Attrs),
+			analysis.RangeVisitedNodes(ap, "lorm", Fig6Attrs),
+			analysis.RangeVisitedNodes(ap, "sword", Fig6Attrs),
+			float64(failures))
+	}
+	return hopsTbl, visitedTbl, nil
+}
+
+// churnRun churns one system at the given rate while it serves the query
+// load, returning the mean non-range hops, mean range visited nodes and
+// the number of failed queries.
+func churnRun(env *Env, sys discovery.Dynamic, rate float64, rateIdx int) (hops, visited float64, failures int, err error) {
+	p := env.P
+	var sched sim.Scheduler
+	proc, err := churn.New(sys, &sched, churn.Config{
+		Rate: rate,
+		Rng:  workload.Split(p.Seed, 300+rateIdx),
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	proc.Start()
+
+	qrng := workload.Split(p.Seed, 400+rateIdx)
+	hopsC, visitedC := &stats.Collector{}, &stats.Collector{}
+	// Queries arrive at QueryRate per second; each arrival issues one
+	// non-range query (Figure 6(a)) and one range query (Figure 6(b)).
+	for i := 0; i < p.ChurnQueries; i++ {
+		at := float64(i) / p.QueryRate
+		req := fmt.Sprintf("requester-%05d", i)
+		exact := env.Gen.ExactQuery(qrng, Fig6Attrs, req)
+		rng := env.Gen.RangeQuery(qrng, Fig6Attrs, 0.5, req)
+		sched.At(at, func() {
+			if res, qerr := sys.Discover(exact); qerr != nil {
+				failures++
+			} else {
+				hopsC.AddInt(res.Cost.Hops)
+			}
+			if res, qerr := sys.Discover(rng); qerr != nil {
+				failures++
+			} else {
+				visitedC.AddInt(res.Cost.Visited)
+			}
+		})
+	}
+	horizon := float64(p.ChurnQueries)/p.QueryRate + 1
+	sched.RunUntil(horizon)
+	return hopsC.Summary().Mean, visitedC.Summary().Mean, failures, nil
+}

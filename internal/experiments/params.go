@@ -1,0 +1,137 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (Section V): one driver per figure, each returning a stats.Table with
+// exactly the rows/series the paper plots — measured results for LORM,
+// Mercury, SWORD and MAAN side by side with the "Analysis-…" curves
+// derived from Theorems 4.1–4.10.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Params bundles every knob of the evaluation setup.
+type Params struct {
+	// D is the Cycloid dimension; the Chord-based systems run with the
+	// same number of nodes N. The paper sets D=8 and N=2048 (= d·2^d, the
+	// complete Cycloid).
+	D int
+	// N is the node count for all systems.
+	N int
+	// Bits is the Chord identifier width.
+	Bits uint
+	// M is the number of resource attributes (paper: 200).
+	M int
+	// K is the number of information pieces per attribute (paper: 500).
+	K int
+	// Alpha is the Bounded Pareto shape for resource values (default 1.5).
+	Alpha float64
+	// Span is each synthetic attribute's value-domain width.
+	Span float64
+	// Requesters and QueriesPerRequester parameterize the non-range hop
+	// experiment (paper: 100 nodes × 10 queries each).
+	Requesters          int
+	QueriesPerRequester int
+	// RangeQueries is the number of range queries per figure-5 point
+	// (paper: 1000).
+	RangeQueries int
+	// MaxAttrs is the largest attributes-per-query (paper: 10).
+	MaxAttrs int
+	// ChurnQueries is the number of requests in the dynamic experiment
+	// (paper: 10000) and ChurnRates the Poisson rates swept (paper:
+	// 0.1..0.5).
+	ChurnQueries int
+	ChurnRates   []float64
+	// QueryRate is the virtual-time arrival rate of queries in the churn
+	// experiment (queries per second); the paper leaves it unstated.
+	QueryRate float64
+	// HubSample bounds how many Mercury hubs are physically built for the
+	// outlink experiment (per-hub routing state is i.i.d. across hubs, so
+	// the per-node total is measured over HubSample hubs and scaled by
+	// M/HubSample). 0 builds every hub.
+	HubSample int
+	// Sizes is the network-size sweep of Figure 3(a): pairs of Cycloid
+	// dimension and the matching complete size d·2^d.
+	Sizes []int
+	// Seed makes every run reproducible.
+	Seed int64
+	// Workers is the query-fanout concurrency (default NumCPU).
+	Workers int
+}
+
+func (p Params) withDefaults() Params {
+	if p.Workers <= 0 {
+		p.Workers = runtime.NumCPU()
+	}
+	if p.Alpha <= 0 {
+		p.Alpha = 1.5
+	}
+	if p.Span <= 0 {
+		p.Span = 500
+	}
+	if p.QueryRate <= 0 {
+		p.QueryRate = 100
+	}
+	return p
+}
+
+// Validate rejects configurations the drivers cannot honor.
+func (p Params) Validate() error {
+	if p.D < 2 {
+		return fmt.Errorf("experiments: dimension %d too small", p.D)
+	}
+	if p.N < 2 {
+		return fmt.Errorf("experiments: need at least 2 nodes, got %d", p.N)
+	}
+	if p.M < 1 || p.K < 1 {
+		return fmt.Errorf("experiments: need M ≥ 1 and K ≥ 1 (got %d, %d)", p.M, p.K)
+	}
+	if p.MaxAttrs < 1 {
+		return fmt.Errorf("experiments: MaxAttrs must be ≥ 1")
+	}
+	return nil
+}
+
+// Paper returns the paper's full-scale parameters: d=8, n=2048, m=200
+// attributes, k=500 values, 100×10 non-range queries, 1000 range queries,
+// 10000 churn requests at R ∈ {0.1..0.5}.
+func Paper() Params {
+	return Params{
+		D: 8, N: 2048, Bits: 20,
+		M: 200, K: 500, Alpha: 1.5, Span: 500,
+		Requesters: 100, QueriesPerRequester: 10,
+		RangeQueries: 1000, MaxAttrs: 10,
+		ChurnQueries: 10000, ChurnRates: []float64{0.1, 0.2, 0.3, 0.4, 0.5},
+		QueryRate: 100,
+		HubSample: 20,
+		Sizes:     []int{6, 7, 8, 9}, // d values: complete sizes 384, 896, 2048, 4608
+		Seed:      20090922,          // ICPP 2009
+	}.withDefaults()
+}
+
+// Standard returns the CLI default: the paper's operating point with
+// trimmed query counts, producing the same shapes in a fraction of the
+// time on one core.
+func Standard() Params {
+	p := Paper()
+	p.RangeQueries = 300
+	p.ChurnQueries = 2000
+	p.HubSample = 10
+	return p.withDefaults()
+}
+
+// Quick returns a scaled-down configuration for unit tests and benchmarks:
+// every shape survives, every run finishes in well under a second.
+func Quick() Params {
+	return Params{
+		D: 6, N: 384, Bits: 18,
+		M: 20, K: 50, Alpha: 1.5, Span: 500,
+		Requesters: 20, QueriesPerRequester: 5,
+		RangeQueries: 50, MaxAttrs: 5,
+		ChurnQueries: 200, ChurnRates: []float64{0.2, 0.4},
+		QueryRate: 100,
+		HubSample: 5,
+		Sizes:     []int{5, 6},
+		Seed:      1,
+	}.withDefaults()
+}

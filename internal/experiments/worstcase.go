@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lorm/internal/resource"
+	"lorm/internal/stats"
+	"lorm/internal/workload"
+)
+
+// WorstCase measures Theorem 4.10's scenario: range queries whose interval
+// spans the entire value domain, so the system-wide probers (Mercury,
+// MAAN) must visit every node that can hold a matching piece — n per
+// attribute in Mercury's case — while LORM stays inside the attribute's
+// d-node cluster and SWORD still answers from one node. The paper proves
+// LORM saves at least m·n contacted nodes here; this driver measures it.
+func WorstCase(env *Env) (*stats.Table, error) {
+	p := env.P
+	tbl := stats.NewTable("Theorem 4.10: worst-case (full-domain) range queries",
+		"attrs", "mercury", "maan", "lorm", "sword", "wc_mercury", "wc_maan", "wc_lorm_bound")
+	tbl.Notes = append(tbl.Notes,
+		fmt.Sprintf("n=%d; visited nodes per query whose range covers the whole domain", p.N),
+		"wc_* are the Theorem 4.10 worst-case contacted-node terms (probing only, routing excluded)")
+
+	// A modest query count suffices: full-domain walks are deterministic in
+	// the visited count (every holder is consulted).
+	queries := p.RangeQueries / 10
+	if queries < 10 {
+		queries = 10
+	}
+	for _, mq := range []int{1, 2, 4} {
+		if mq > p.MaxAttrs {
+			break
+		}
+		qrng := workload.Split(p.Seed, 800+mq)
+		qs := make([]resource.Query, queries)
+		for i := range qs {
+			// Random attributes, full-domain interval on each.
+			q := env.Gen.ExactQuery(qrng, mq, fmt.Sprintf("wc-%d", i))
+			for j, sub := range q.Subs {
+				a, _ := env.Schema.Lookup(sub.Attr)
+				q.Subs[j].Low, q.Subs[j].High = a.Min, a.Max
+			}
+			qs[i] = q
+		}
+		means := map[string]float64{}
+		for name, sys := range env.systemsByName() {
+			_, visited, err := runQueries(sys, qs, p.Workers)
+			if err != nil {
+				return nil, err
+			}
+			means[name] = visited.Summary().Mean
+		}
+		tbl.AddRow(float64(mq),
+			means["mercury"], means["maan"], means["lorm"], means["sword"],
+			float64(mq)*float64(p.N),   // Mercury probes all n per attribute
+			float64(mq)*float64(p.N+1), // MAAN adds the attribute root
+			float64(mq)*float64(p.D+1)) // LORM bounded by the cluster
+	}
+	return tbl, nil
+}

@@ -1,0 +1,177 @@
+package hashing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lorm/internal/resource"
+	"lorm/internal/ring"
+)
+
+func TestConsistentDeterministic(t *testing.T) {
+	s := ring.NewSpace(32)
+	if Consistent(s, "cpu") != Consistent(s, "cpu") {
+		t.Fatal("Consistent is not deterministic")
+	}
+	if Consistent(s, "cpu") == Consistent(s, "memory") {
+		t.Fatal("distinct keys hash identically (vanishingly unlikely)")
+	}
+}
+
+func TestConsistentInSpace(t *testing.T) {
+	s := ring.NewSpace(11)
+	for _, key := range []string{"cpu", "memory", "disk", "os", "bandwidth"} {
+		if id := Consistent(s, key); !s.Contains(id) {
+			t.Errorf("Consistent(%q) = %d outside 11-bit space", key, id)
+		}
+	}
+}
+
+// Consistent hashing must spread keys roughly uniformly: over 2000 keys into
+// 16 buckets, each bucket should get 125 ± 60%.
+func TestConsistentUniformity(t *testing.T) {
+	s := ring.NewSpace(32)
+	const keys, buckets = 2000, 16
+	counts := make([]int, buckets)
+	per := uint64(s.Size() / buckets)
+	for i := 0; i < keys; i++ {
+		id := ConsistentN(s, "attr", i)
+		counts[id/per]++
+	}
+	for b, c := range counts {
+		if c < keys/buckets*2/5 || c > keys/buckets*8/5 {
+			t.Errorf("bucket %d has %d keys, want about %d", b, c, keys/buckets)
+		}
+	}
+}
+
+func TestConsistentNIndependent(t *testing.T) {
+	s := ring.NewSpace(32)
+	if ConsistentN(s, "node-1", 0) == ConsistentN(s, "node-1", 1) {
+		t.Fatal("ConsistentN derived hashes should differ per index")
+	}
+}
+
+func TestNewLocalityPanicsOnBadDomain(t *testing.T) {
+	s := ring.NewSpace(16)
+	for _, d := range []struct{ min, max float64 }{{1, 1}, {2, 1}, {math.NaN(), 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewLocality(%v, %v) did not panic", d.min, d.max)
+				}
+			}()
+			NewLocality(s, d.min, d.max)
+		}()
+	}
+}
+
+func TestLocalityEndpoints(t *testing.T) {
+	s := ring.NewSpace(11)
+	l := NewLocality(s, 100, 3200) // e.g. CPU MHz
+	if got := l.Hash(100); got != 0 {
+		t.Errorf("Hash(min) = %d, want 0", got)
+	}
+	if got := l.Hash(3200); got != s.Size()-1 {
+		t.Errorf("Hash(max) = %d, want %d", got, s.Size()-1)
+	}
+	if got := l.Hash(50); got != 0 {
+		t.Errorf("Hash below min = %d, want clamped to 0", got)
+	}
+	if got := l.Hash(5000); got != s.Size()-1 {
+		t.Errorf("Hash above max = %d, want clamped to top", got)
+	}
+}
+
+// The defining property: the hash preserves order.
+func TestLocalityMonotone(t *testing.T) {
+	s := ring.NewSpace(24)
+	l := NewLocality(s, 0, 1000)
+	f := func(a, b uint16) bool {
+		va, vb := float64(a%1000), float64(b%1000)
+		if va > vb {
+			va, vb = vb, va
+		}
+		return l.Hash(va) <= l.Hash(vb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Value() must invert Hash() to within one ring step of value resolution.
+func TestLocalityRoundTrip(t *testing.T) {
+	s := ring.NewSpace(24)
+	l := NewLocality(s, -50, 450)
+	step := (l.Max() - l.Min()) / float64(s.Size())
+	f := func(raw uint16) bool {
+		v := l.Min() + float64(raw)/65535*(l.Max()-l.Min())
+		back := l.Value(l.Hash(v))
+		return math.Abs(back-v) <= step*1.01
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocalityAccessors(t *testing.T) {
+	s := ring.NewSpace(8)
+	l := NewLocality(s, 1, 2)
+	if l.Min() != 1 || l.Max() != 2 || l.Space().Bits() != 8 {
+		t.Fatalf("accessors wrong: min=%v max=%v bits=%d", l.Min(), l.Max(), l.Space().Bits())
+	}
+}
+
+func BenchmarkConsistent(b *testing.B) {
+	s := ring.NewSpace(32)
+	for i := 0; i < b.N; i++ {
+		Consistent(s, "available-memory")
+	}
+}
+
+func BenchmarkLocalityHash(b *testing.B) {
+	s := ring.NewSpace(32)
+	l := NewLocality(s, 0, 4096)
+	for i := 0; i < b.N; i++ {
+		l.Hash(float64(i % 4096))
+	}
+}
+
+// NewLocalityFrom with a CDF-declaring attribute must hash by quantile:
+// the median of the distribution lands mid-ring.
+func TestLocalityFromCDF(t *testing.T) {
+	s := ring.NewSpace(20)
+	a := resource.Attribute{
+		Name: "p", Min: 0, Max: 100,
+		CDF: func(v float64) float64 { return math.Sqrt(v / 100) },
+	}
+	l := NewLocalityFrom(s, a)
+	// Median of sqrt-CDF is at v = 25.
+	mid := l.Hash(25)
+	if frac := float64(mid) / float64(s.Size()); math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("Hash(median) at ring fraction %v, want 0.5", frac)
+	}
+	// Monotone and endpoint-exact.
+	if l.Hash(0) != 0 || l.Hash(100) != s.Size()-1 {
+		t.Fatalf("endpoints wrong: %d, %d", l.Hash(0), l.Hash(100))
+	}
+	// Value() inverts through the quantile.
+	v := l.Value(mid)
+	if math.Abs(v-25) > 0.1 {
+		t.Fatalf("Value(Hash(25)) = %v", v)
+	}
+}
+
+// Without a CDF, NewLocalityFrom behaves exactly like NewLocality.
+func TestLocalityFromLinearFallback(t *testing.T) {
+	s := ring.NewSpace(16)
+	a := resource.Attribute{Name: "lin", Min: 0, Max: 100}
+	lf := NewLocalityFrom(s, a)
+	ll := NewLocality(s, 0, 100)
+	for v := 0.0; v <= 100; v += 7 {
+		if lf.Hash(v) != ll.Hash(v) {
+			t.Fatalf("Hash(%v) differs: %d vs %d", v, lf.Hash(v), ll.Hash(v))
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Package maan implements the single-DHT-based decentralized baseline of
+// the paper, modeled on MAAN (Cai, Frank et al. [3]): a single Chord ring
+// in which every piece of resource information is registered TWICE —
+// once under the consistent hash of its attribute name and once under the
+// locality-preserving hash of its value — and every sub-query performs two
+// lookups, one per index.
+//
+// The dual registration doubles the total resource-information volume
+// (Theorem 4.2) and the attribute-keyed copies concentrate k pieces on one
+// node per attribute; the value-keyed copies spread over the whole ring,
+// so range queries walk about n/4 successors on average in addition to the
+// two lookups (Theorem 4.9's m(2 + n/4)).
+package maan
+
+import (
+	"fmt"
+
+	"lorm/internal/chord"
+	"lorm/internal/directory"
+	"lorm/internal/discovery"
+	"lorm/internal/hashing"
+	"lorm/internal/resource"
+)
+
+// Config parameterizes a MAAN deployment.
+type Config struct {
+	// Bits is the identifier width of the ring (default 20).
+	Bits uint
+	// SuccListLen is the successor-list length.
+	SuccListLen int
+	// Schema is the globally known attribute set.
+	Schema *resource.Schema
+}
+
+// System is a MAAN deployment: one Chord ring, dual-keyed placement.
+type System struct {
+	schema *resource.Schema
+	ring   *chord.Ring
+	lph    []hashing.Locality // per-attribute value hash over the full ring
+}
+
+var (
+	_ discovery.System  = (*System)(nil)
+	_ discovery.Dynamic = (*System)(nil)
+)
+
+// New creates an empty MAAN system.
+func New(cfg Config) (*System, error) {
+	if cfg.Schema == nil {
+		return nil, fmt.Errorf("maan: config needs a schema")
+	}
+	r := chord.New(chord.Config{Bits: cfg.Bits, SuccListLen: cfg.SuccListLen, Salt: "maan"})
+	s := &System{schema: cfg.Schema, ring: r}
+	for _, a := range cfg.Schema.Attributes() {
+		s.lph = append(s.lph, hashing.NewLocalityFrom(r.Space(), a))
+	}
+	return s, nil
+}
+
+// AddNodes bulk-populates the ring.
+func (s *System) AddNodes(addrs []string) error { return s.ring.AddBulk(addrs) }
+
+// Ring exposes the underlying Chord ring for experiments and tests.
+func (s *System) Ring() *chord.Ring { return s.ring }
+
+// Name implements discovery.System.
+func (s *System) Name() string { return "maan" }
+
+// Schema implements discovery.System.
+func (s *System) Schema() *resource.Schema { return s.schema }
+
+// NodeCount implements discovery.System.
+func (s *System) NodeCount() int { return s.ring.Size() }
+
+// attrKey returns H(attr), the attribute-index key.
+func (s *System) attrKey(attr string) uint64 {
+	return hashing.Consistent(s.ring.Space(), attr)
+}
+
+// valueKey returns ℋ(value) for the attribute, the value-index key.
+func (s *System) valueKey(idx int, v float64) uint64 {
+	return s.lph[idx].Hash(v)
+}
+
+// Register implements discovery.System: the information piece is split and
+// stored under both indices — two routed inserts.
+func (s *System) Register(info resource.Info) (discovery.Cost, error) {
+	idx := s.schema.Index(info.Attr)
+	if idx < 0 {
+		return discovery.Cost{}, fmt.Errorf("maan: unknown attribute %q", info.Attr)
+	}
+	from, err := s.ring.NodeNear(info.Owner)
+	if err != nil {
+		return discovery.Cost{}, err
+	}
+	var cost discovery.Cost
+	akey := s.attrKey(info.Attr)
+	r1, err := s.ring.Insert(from, akey, directory.Entry{Key: akey, Info: info})
+	if err != nil {
+		return discovery.Cost{}, err
+	}
+	cost.Hops += r1.Hops
+	cost.Messages += r1.Hops
+	vkey := s.valueKey(idx, info.Value)
+	r2, err := s.ring.Insert(from, vkey, directory.Entry{Key: vkey, Info: info})
+	if err != nil {
+		return discovery.Cost{}, err
+	}
+	cost.Hops += r2.Hops
+	cost.Messages += r2.Hops
+	return cost, nil
+}
+
+// Discover implements discovery.System: every sub-query performs the two
+// lookups of the MAAN design — one on the attribute index and one on the
+// value index (the latter walking successors for ranges) — and merges the
+// answers.
+func (s *System) Discover(q resource.Query) (*discovery.Result, error) {
+	if err := q.Validate(s.schema); err != nil {
+		return nil, err
+	}
+	return discovery.RunSubs(q, func(sub resource.SubQuery) ([]resource.Info, discovery.Cost, error) {
+		return s.resolveSub(q.Requester, sub)
+	})
+}
+
+func (s *System) resolveSub(requester string, sub resource.SubQuery) ([]resource.Info, discovery.Cost, error) {
+	idx := s.schema.Index(sub.Attr)
+	from, err := s.ring.NodeNear(requester)
+	if err != nil {
+		return nil, discovery.Cost{}, err
+	}
+	var cost discovery.Cost
+
+	// Lookup 1: attribute index. The attribute root pools the
+	// attribute-keyed copy of every piece and answers from it.
+	r1, err := s.ring.Lookup(from, s.attrKey(sub.Attr))
+	if err != nil {
+		return nil, discovery.Cost{}, err
+	}
+	cost.Hops += r1.Hops
+	cost.Visited++
+	cost.Messages += r1.Hops + 1
+	seen := make(map[string]bool)
+	var matches []resource.Info
+	for _, in := range r1.Root.Dir.Match(sub.Attr, sub.Low, sub.High) {
+		if k := in.Owner + "\x00" + fmt.Sprint(in.Value); !seen[k] {
+			seen[k] = true
+			matches = append(matches, in)
+		}
+	}
+
+	// Lookup 2: value index, walking the ring for range queries.
+	loKey := s.valueKey(idx, sub.Low)
+	hiKey := s.valueKey(idx, sub.High)
+	r2, err := s.ring.Lookup(from, loKey)
+	if err != nil {
+		return nil, discovery.Cost{}, err
+	}
+	cost.Hops += r2.Hops
+	cost.Visited++
+	cost.Messages += r2.Hops + 1
+	cur := r2.Root
+	collect := func(n *chord.Node) {
+		for _, in := range n.Dir.Match(sub.Attr, sub.Low, sub.High) {
+			if k := in.Owner + "\x00" + fmt.Sprint(in.Value); !seen[k] {
+				seen[k] = true
+				matches = append(matches, in)
+			}
+		}
+	}
+	collect(cur)
+	// Cumulative-progress walk, as in Mercury: terminate once the visited
+	// sectors cover the key interval, robust to wrapped intervals.
+	space := s.ring.Space()
+	target := space.Clockwise(loKey, hiKey)
+	covered := space.Clockwise(loKey, cur.ID)
+	for covered < target {
+		next, ok := s.ring.NextNode(cur)
+		if !ok || next == r2.Root {
+			break // full circle: every node already consulted
+		}
+		covered += space.Clockwise(cur.ID, next.ID)
+		cur = next
+		cost.Hops++
+		cost.Visited++
+		cost.Messages += 2
+		collect(cur)
+	}
+	return matches, cost, nil
+}
+
+// DirectorySizes implements discovery.System. Sizes include both copies of
+// every piece, reflecting MAAN's doubled information volume.
+func (s *System) DirectorySizes() []int { return s.ring.DirectorySizes() }
+
+// OutlinkCounts implements discovery.System.
+func (s *System) OutlinkCounts() []int { return s.ring.OutlinkCounts() }
+
+// AddNode implements discovery.Dynamic.
+func (s *System) AddNode(addr string) error {
+	_, err := s.ring.Join(addr)
+	return err
+}
+
+// RemoveNode implements discovery.Dynamic.
+func (s *System) RemoveNode(addr string) error {
+	n, ok := s.ring.NodeByAddr(addr)
+	if !ok {
+		return fmt.Errorf("maan: no node with address %q", addr)
+	}
+	return s.ring.Leave(n)
+}
+
+// NodeAddrs implements discovery.Dynamic.
+func (s *System) NodeAddrs() []string { return s.ring.Addrs() }
+
+// Maintain implements discovery.Dynamic.
+func (s *System) Maintain() {
+	s.ring.Stabilize()
+	s.ring.FixFingers(0)
+}

@@ -1,0 +1,298 @@
+// Package mercury implements the multi-DHT-based baseline of the paper,
+// modeled on Mercury (Bharambe, Agrawal, Seshan [2]): one DHT "hub" per
+// resource attribute, with the attribute's value — through the
+// locality-preserving hash — as the key inside its hub. Per the paper's
+// comparative setup the hubs are Chord rings, every physical node joins
+// every hub, and the pointer-record optimization is disabled.
+//
+// Range queries route to the hub node owning the range's lower bound and
+// walk ring successors until the upper bound's owner has answered; because
+// an attribute's values spread over the hub's whole ring, a range covering
+// a fraction f of the value domain visits about f·n nodes — the n/4
+// average-case term of Theorem 4.9.
+package mercury
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"lorm/internal/chord"
+	"lorm/internal/directory"
+	"lorm/internal/discovery"
+	"lorm/internal/hashing"
+	"lorm/internal/resource"
+)
+
+// Config parameterizes a Mercury deployment.
+type Config struct {
+	// Bits is the identifier width of every hub ring (default 20).
+	Bits uint
+	// SuccListLen is each hub's successor-list length.
+	SuccListLen int
+	// Schema is the globally known attribute set; one hub is created per
+	// attribute.
+	Schema *resource.Schema
+}
+
+// System is a Mercury deployment: m parallel Chord hubs.
+type System struct {
+	schema *resource.Schema
+	bits   uint
+
+	mu     sync.RWMutex
+	hubs   []*chord.Ring            // parallel to schema order
+	lph    []hashing.Locality       // per-attribute value hash
+	byAddr []map[string]*chord.Node // per-hub address index
+	addrs  map[string]bool          // physical membership
+}
+
+var (
+	_ discovery.System  = (*System)(nil)
+	_ discovery.Dynamic = (*System)(nil)
+)
+
+// New creates an empty Mercury system with one hub per schema attribute.
+func New(cfg Config) (*System, error) {
+	if cfg.Schema == nil {
+		return nil, fmt.Errorf("mercury: config needs a schema")
+	}
+	if cfg.Bits == 0 {
+		cfg.Bits = 20
+	}
+	s := &System{
+		schema: cfg.Schema,
+		bits:   cfg.Bits,
+		addrs:  make(map[string]bool),
+	}
+	for _, a := range cfg.Schema.Attributes() {
+		hub := chord.New(chord.Config{Bits: cfg.Bits, SuccListLen: cfg.SuccListLen, Salt: "hub:" + a.Name})
+		s.hubs = append(s.hubs, hub)
+		s.lph = append(s.lph, hashing.NewLocalityFrom(hub.Space(), a))
+		s.byAddr = append(s.byAddr, make(map[string]*chord.Node))
+	}
+	return s, nil
+}
+
+// AddNodes bulk-populates every hub with the given physical addresses.
+func (s *System) AddNodes(addrs []string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, addr := range addrs {
+		if s.addrs[addr] {
+			return fmt.Errorf("mercury: duplicate address %q", addr)
+		}
+		s.addrs[addr] = true
+	}
+	for h, hub := range s.hubs {
+		if err := hub.AddBulk(addrs); err != nil {
+			return err
+		}
+		for _, n := range hub.Nodes() {
+			s.byAddr[h][n.Addr] = n
+		}
+	}
+	return nil
+}
+
+// hubOf returns the hub index for an attribute, or -1.
+func (s *System) hubOf(attr string) int { return s.schema.Index(attr) }
+
+// Name implements discovery.System.
+func (s *System) Name() string { return "mercury" }
+
+// Schema implements discovery.System.
+func (s *System) Schema() *resource.Schema { return s.schema }
+
+// NodeCount implements discovery.System (physical nodes, not hub slots).
+func (s *System) NodeCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.addrs)
+}
+
+// Register implements discovery.System: one insert, into the attribute's
+// hub, keyed by the locality-preserving hash of the value.
+func (s *System) Register(info resource.Info) (discovery.Cost, error) {
+	h := s.hubOf(info.Attr)
+	if h < 0 {
+		return discovery.Cost{}, fmt.Errorf("mercury: unknown attribute %q", info.Attr)
+	}
+	hub := s.hubs[h]
+	key := s.lph[h].Hash(info.Value)
+	from, err := hub.NodeNear(info.Owner)
+	if err != nil {
+		return discovery.Cost{}, err
+	}
+	route, err := hub.Insert(from, key, directory.Entry{Key: key, Info: info})
+	if err != nil {
+		return discovery.Cost{}, err
+	}
+	return discovery.Cost{Hops: route.Hops, Messages: route.Hops}, nil
+}
+
+// Discover implements discovery.System: each sub-query resolves in its own
+// hub, in parallel, and the results join on the owner address.
+func (s *System) Discover(q resource.Query) (*discovery.Result, error) {
+	if err := q.Validate(s.schema); err != nil {
+		return nil, err
+	}
+	return discovery.RunSubs(q, func(sub resource.SubQuery) ([]resource.Info, discovery.Cost, error) {
+		return s.resolveSub(q.Requester, sub)
+	})
+}
+
+func (s *System) resolveSub(requester string, sub resource.SubQuery) ([]resource.Info, discovery.Cost, error) {
+	h := s.hubOf(sub.Attr)
+	hub := s.hubs[h]
+	loKey := s.lph[h].Hash(sub.Low)
+	hiKey := s.lph[h].Hash(sub.High)
+
+	from, err := hub.NodeNear(requester)
+	if err != nil {
+		return nil, discovery.Cost{}, err
+	}
+	route, err := hub.Lookup(from, loKey)
+	if err != nil {
+		return nil, discovery.Cost{}, err
+	}
+	cost := discovery.Cost{Hops: route.Hops, Visited: 1, Messages: route.Hops + 1}
+	cur := route.Root
+	matches := cur.Dir.Match(sub.Attr, sub.Low, sub.High)
+
+	// Range walk across the hub ring, tracking cumulative progress through
+	// the key interval so wrapped intervals terminate correctly.
+	space := hub.Space()
+	target := space.Clockwise(loKey, hiKey)
+	covered := space.Clockwise(loKey, cur.ID)
+	for covered < target {
+		next, ok := hub.NextNode(cur)
+		if !ok || next == route.Root {
+			break // full circle: every node already consulted
+		}
+		covered += space.Clockwise(cur.ID, next.ID)
+		cur = next
+		cost.Hops++
+		cost.Visited++
+		cost.Messages += 2
+		matches = append(matches, cur.Dir.Match(sub.Attr, sub.Low, sub.High)...)
+	}
+	return matches, cost, nil
+}
+
+// DirectorySizes implements discovery.System: a physical node's directory
+// is the union of its per-hub directories.
+func (s *System) DirectorySizes() []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	totals := make(map[string]int, len(s.addrs))
+	for addr := range s.addrs {
+		totals[addr] = 0
+	}
+	for h := range s.hubs {
+		for addr, n := range s.byAddr[h] {
+			totals[addr] += n.Dir.Len()
+		}
+	}
+	out := make([]int, 0, len(totals))
+	for _, v := range totals {
+		out = append(out, v)
+	}
+	return out
+}
+
+// OutlinkCounts implements discovery.System: a physical node maintains the
+// union of its per-hub routing tables — the m·log n structure overhead of
+// Theorem 4.1.
+func (s *System) OutlinkCounts() []int {
+	s.mu.RLock()
+	hubs := append([]*chord.Ring(nil), s.hubs...)
+	indexes := append([]map[string]*chord.Node(nil), s.byAddr...)
+	addrs := make([]string, 0, len(s.addrs))
+	for a := range s.addrs {
+		addrs = append(addrs, a)
+	}
+	s.mu.RUnlock()
+
+	out := make([]int, len(addrs))
+	for i, addr := range addrs {
+		total := 0
+		for h, hub := range hubs {
+			if n, ok := indexes[h][addr]; ok {
+				total += hub.OutlinkCount(n)
+			}
+		}
+		out[i] = total
+	}
+	return out
+}
+
+// AddNode implements discovery.Dynamic: the newcomer joins every hub.
+func (s *System) AddNode(addr string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.addrs[addr] {
+		return fmt.Errorf("mercury: duplicate address %q", addr)
+	}
+	for h, hub := range s.hubs {
+		n, err := hub.Join(addr)
+		if err != nil {
+			return err
+		}
+		s.byAddr[h][addr] = n
+	}
+	s.addrs[addr] = true
+	return nil
+}
+
+// RemoveNode implements discovery.Dynamic: graceful departure from every hub.
+func (s *System) RemoveNode(addr string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.addrs[addr] {
+		return fmt.Errorf("mercury: no node with address %q", addr)
+	}
+	for h, hub := range s.hubs {
+		if n, ok := s.byAddr[h][addr]; ok {
+			if err := hub.Leave(n); err != nil {
+				return err
+			}
+			delete(s.byAddr[h], addr)
+		}
+	}
+	delete(s.addrs, addr)
+	return nil
+}
+
+// NodeAddrs implements discovery.Dynamic. The slice is sorted so victim
+// selection in churn experiments is deterministic.
+func (s *System) NodeAddrs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.addrs))
+	for a := range s.addrs {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Maintain implements discovery.Dynamic: one stabilization round per hub.
+func (s *System) Maintain() {
+	s.mu.RLock()
+	hubs := append([]*chord.Ring(nil), s.hubs...)
+	s.mu.RUnlock()
+	for _, hub := range hubs {
+		hub.Stabilize()
+		hub.FixFingers(0)
+	}
+}
+
+// Hub exposes one attribute's hub ring, for experiments and tests.
+func (s *System) Hub(attr string) (*chord.Ring, bool) {
+	h := s.hubOf(attr)
+	if h < 0 {
+		return nil, false
+	}
+	return s.hubs[h], true
+}

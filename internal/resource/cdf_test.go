@@ -1,0 +1,75 @@
+package resource
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// A toy power-law CDF over [0, 100]: F(v) = sqrt(v/100).
+func powAttr() Attribute {
+	return Attribute{
+		Name: "p", Min: 0, Max: 100,
+		CDF: func(v float64) float64 { return math.Sqrt(v / 100) },
+	}
+}
+
+func TestFracLinearWithoutCDF(t *testing.T) {
+	a := Attribute{Name: "x", Min: 100, Max: 300}
+	cases := map[float64]float64{100: 0, 200: 0.5, 300: 1, 50: 0, 400: 1}
+	for v, want := range cases {
+		if got := a.Frac(v); math.Abs(got-want) > 1e-12 {
+			t.Errorf("Frac(%v) = %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestFracUsesCDF(t *testing.T) {
+	a := powAttr()
+	if got := a.Frac(25); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Frac(25) = %v, want 0.5 (sqrt CDF)", got)
+	}
+	if a.Frac(-5) != 0 || a.Frac(200) != 1 {
+		t.Error("Frac must clamp outside the domain")
+	}
+}
+
+func TestQuantileInvertsFrac(t *testing.T) {
+	for _, a := range []Attribute{powAttr(), {Name: "lin", Min: -10, Max: 10}} {
+		for f := 0.0; f <= 1.0; f += 0.05 {
+			v := a.Quantile(f)
+			if v < a.Min || v > a.Max {
+				t.Fatalf("%s: Quantile(%v) = %v outside domain", a.Name, f, v)
+			}
+			back := a.Frac(v)
+			if math.Abs(back-f) > 1e-6 {
+				t.Fatalf("%s: Frac(Quantile(%v)) = %v", a.Name, f, back)
+			}
+		}
+	}
+}
+
+func TestQuantileEndpoints(t *testing.T) {
+	a := powAttr()
+	if a.Quantile(0) != a.Min || a.Quantile(-1) != a.Min {
+		t.Error("Quantile at/below 0 should be Min")
+	}
+	if a.Quantile(1) != a.Max || a.Quantile(2) != a.Max {
+		t.Error("Quantile at/above 1 should be Max")
+	}
+}
+
+// Property: Frac is monotone for both linear and CDF attributes.
+func TestFracMonotoneProperty(t *testing.T) {
+	a := powAttr()
+	f := func(x, y uint16) bool {
+		vx, vy := float64(x)/655.35, float64(y)/655.35 // [0, 100]
+		if vx > vy {
+			vx, vy = vy, vx
+		}
+		return a.Frac(vx) <= a.Frac(vy)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

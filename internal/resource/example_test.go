@@ -1,0 +1,44 @@
+package resource_test
+
+import (
+	"fmt"
+
+	"lorm/internal/resource"
+)
+
+// The database-like "join" of Section III: owners that satisfy every
+// attribute's sub-query.
+func ExampleJoinOwners() {
+	perAttr := map[string][]resource.Info{
+		"cpu": {
+			{Attr: "cpu", Value: 1800, Owner: "10.0.0.1"},
+			{Attr: "cpu", Value: 2400, Owner: "10.0.0.2"},
+		},
+		"memory": {
+			{Attr: "memory", Value: 4096, Owner: "10.0.0.2"},
+			{Attr: "memory", Value: 8192, Owner: "10.0.0.3"},
+		},
+	}
+	fmt.Println(resource.JoinOwners(perAttr))
+	// Output: [10.0.0.2]
+}
+
+// String-described attributes ("OS=Linux") ride the numeric machinery: the
+// sorted domain turns prefix queries into contiguous ordinal ranges.
+func ExampleStringDomain() {
+	osDom := resource.MustStringDomain("os",
+		"windows", "linux-ubuntu", "linux-fedora", "macos")
+	sub, _ := osDom.Prefix("linux-")
+	fmt.Printf("%s covers ordinals %g..%g\n", sub, sub.Low, sub.High)
+	fmt.Println(osDom.Decode(osDom.MustEncode("macos")))
+	// Output:
+	// 0<=os<=1 covers ordinals 0..1
+	// macos
+}
+
+func ExampleQuery_Validate() {
+	schema := resource.MustSchema(resource.Attribute{Name: "cpu", Min: 100, Max: 3200})
+	q := resource.Query{Subs: []resource.SubQuery{{Attr: "cpu", Low: 1000, High: 1800}}}
+	fmt.Println(q.Validate(schema), q.IsRange())
+	// Output: <nil> true
+}

@@ -1,0 +1,143 @@
+package resource
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// StringDomain supports the paper's string-described attributes
+// ("OS=Linux"): an enumerated, totally ordered set of descriptions is
+// embedded into a numeric value domain, so the same locality-preserving
+// machinery — and hence the same range walks — works for strings. The
+// paper folds both cases together: "we use attribute value to represent
+// the locality preserving hash value of both attribute value and attribute
+// string description".
+//
+// Descriptions are sorted lexicographically and mapped to the ordinals
+// 0..len-1; prefix range queries ("every linux-* variant") become ordinary
+// numeric ranges over a contiguous ordinal run.
+type StringDomain struct {
+	attr   Attribute
+	values []string
+	index  map[string]int
+}
+
+// NewStringDomain builds a domain over the given descriptions. Duplicates
+// are rejected; order of the input does not matter (the domain sorts).
+func NewStringDomain(name string, descriptions []string) (*StringDomain, error) {
+	if name == "" {
+		return nil, fmt.Errorf("resource: string domain with empty name")
+	}
+	if len(descriptions) < 2 {
+		return nil, fmt.Errorf("resource: string domain %q needs at least 2 descriptions", name)
+	}
+	sorted := append([]string(nil), descriptions...)
+	sort.Strings(sorted)
+	index := make(map[string]int, len(sorted))
+	for i, s := range sorted {
+		if s == "" {
+			return nil, fmt.Errorf("resource: string domain %q has an empty description", name)
+		}
+		if _, dup := index[s]; dup {
+			return nil, fmt.Errorf("resource: string domain %q has duplicate description %q", name, s)
+		}
+		index[s] = i
+	}
+	return &StringDomain{
+		// The numeric domain is padded by ±0.5 so every ordinal sits strictly
+		// inside it and Clamp never moves a legitimate encoding.
+		attr:   Attribute{Name: name, Min: -0.5, Max: float64(len(sorted)-1) + 0.5},
+		values: sorted,
+		index:  index,
+	}, nil
+}
+
+// MustStringDomain is NewStringDomain that panics on error.
+func MustStringDomain(name string, descriptions ...string) *StringDomain {
+	d, err := NewStringDomain(name, descriptions)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Attribute returns the numeric attribute to register in a schema.
+func (d *StringDomain) Attribute() Attribute { return d.attr }
+
+// Len returns the number of descriptions.
+func (d *StringDomain) Len() int { return len(d.values) }
+
+// Values returns the descriptions in domain order (shared slice; do not
+// modify).
+func (d *StringDomain) Values() []string { return d.values }
+
+// Encode maps a description to its numeric value.
+func (d *StringDomain) Encode(s string) (float64, error) {
+	i, ok := d.index[s]
+	if !ok {
+		return 0, fmt.Errorf("resource: %q is not in string domain %q", s, d.attr.Name)
+	}
+	return float64(i), nil
+}
+
+// MustEncode is Encode that panics on unknown descriptions.
+func (d *StringDomain) MustEncode(s string) float64 {
+	v, err := d.Encode(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Decode maps a numeric value back to the nearest description.
+func (d *StringDomain) Decode(v float64) string {
+	i := int(math.Round(v))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(d.values) {
+		i = len(d.values) - 1
+	}
+	return d.values[i]
+}
+
+// Exact builds a sub-query matching exactly one description.
+func (d *StringDomain) Exact(s string) (SubQuery, error) {
+	v, err := d.Encode(s)
+	if err != nil {
+		return SubQuery{}, err
+	}
+	return SubQuery{Attr: d.attr.Name, Low: v, High: v}, nil
+}
+
+// Range builds a sub-query matching every description in the inclusive
+// lexicographic interval [from, to].
+func (d *StringDomain) Range(from, to string) (SubQuery, error) {
+	lo, err := d.Encode(from)
+	if err != nil {
+		return SubQuery{}, err
+	}
+	hi, err := d.Encode(to)
+	if err != nil {
+		return SubQuery{}, err
+	}
+	if lo > hi {
+		return SubQuery{}, fmt.Errorf("resource: string range %q..%q is inverted", from, to)
+	}
+	return SubQuery{Attr: d.attr.Name, Low: lo, High: hi}, nil
+}
+
+// Prefix builds a sub-query matching every description with the given
+// prefix — the contiguous ordinal run property of the sorted domain.
+func (d *StringDomain) Prefix(prefix string) (SubQuery, error) {
+	lo := sort.SearchStrings(d.values, prefix)
+	hi := lo
+	for hi < len(d.values) && len(d.values[hi]) >= len(prefix) && d.values[hi][:len(prefix)] == prefix {
+		hi++
+	}
+	if lo == hi {
+		return SubQuery{}, fmt.Errorf("resource: no description in domain %q has prefix %q", d.attr.Name, prefix)
+	}
+	return SubQuery{Attr: d.attr.Name, Low: float64(lo), High: float64(hi - 1)}, nil
+}

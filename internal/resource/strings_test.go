@@ -1,0 +1,135 @@
+package resource
+
+import (
+	"testing"
+)
+
+func osDomain(t *testing.T) *StringDomain {
+	t.Helper()
+	d, err := NewStringDomain("os", []string{"windows", "linux-ubuntu", "linux-fedora", "macos", "freebsd"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewStringDomainValidation(t *testing.T) {
+	if _, err := NewStringDomain("", []string{"a", "b"}); err == nil {
+		t.Error("empty name should error")
+	}
+	if _, err := NewStringDomain("os", []string{"solo"}); err == nil {
+		t.Error("single description should error")
+	}
+	if _, err := NewStringDomain("os", []string{"a", "a"}); err == nil {
+		t.Error("duplicate description should error")
+	}
+	if _, err := NewStringDomain("os", []string{"a", ""}); err == nil {
+		t.Error("empty description should error")
+	}
+}
+
+func TestStringDomainOrderAndRoundTrip(t *testing.T) {
+	d := osDomain(t)
+	if d.Len() != 5 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	// Sorted lexicographically.
+	vals := d.Values()
+	for i := 1; i < len(vals); i++ {
+		if vals[i-1] >= vals[i] {
+			t.Fatalf("values not sorted: %v", vals)
+		}
+	}
+	for _, s := range vals {
+		v, err := d.Encode(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := d.Decode(v); got != s {
+			t.Fatalf("Decode(Encode(%q)) = %q", s, got)
+		}
+	}
+	if _, err := d.Encode("plan9"); err == nil {
+		t.Fatal("unknown description should error")
+	}
+	if got := d.Decode(-10); got != vals[0] {
+		t.Fatalf("Decode below domain = %q", got)
+	}
+	if got := d.Decode(99); got != vals[len(vals)-1] {
+		t.Fatalf("Decode above domain = %q", got)
+	}
+}
+
+func TestStringDomainAttributeValid(t *testing.T) {
+	d := osDomain(t)
+	a := d.Attribute()
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every encoding lies strictly inside the domain (Clamp is identity).
+	for _, s := range d.Values() {
+		v := d.MustEncode(s)
+		if a.Clamp(v) != v {
+			t.Fatalf("encoding of %q clamped", s)
+		}
+	}
+}
+
+func TestStringExactAndRange(t *testing.T) {
+	d := osDomain(t)
+	sub, err := d.Exact("macos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.IsRange() || !sub.Matches(d.MustEncode("macos")) || sub.Matches(d.MustEncode("freebsd")) {
+		t.Fatalf("Exact sub-query wrong: %+v", sub)
+	}
+	rng, err := d.Range("freebsd", "linux-ubuntu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for _, s := range d.Values() {
+		if rng.Matches(d.MustEncode(s)) {
+			hits++
+		}
+	}
+	if hits != 3 { // freebsd, linux-fedora, linux-ubuntu
+		t.Fatalf("range matched %d descriptions, want 3", hits)
+	}
+	if _, err := d.Range("macos", "freebsd"); err == nil {
+		t.Fatal("inverted range should error")
+	}
+	if _, err := d.Range("plan9", "macos"); err == nil {
+		t.Fatal("unknown bound should error")
+	}
+}
+
+func TestStringPrefix(t *testing.T) {
+	d := osDomain(t)
+	sub, err := d.Prefix("linux-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var matched []string
+	for _, s := range d.Values() {
+		if sub.Matches(d.MustEncode(s)) {
+			matched = append(matched, s)
+		}
+	}
+	if len(matched) != 2 || matched[0] != "linux-fedora" || matched[1] != "linux-ubuntu" {
+		t.Fatalf("prefix matched %v", matched)
+	}
+	if _, err := d.Prefix("plan9"); err == nil {
+		t.Fatal("unmatched prefix should error")
+	}
+}
+
+func TestMustStringDomainPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustStringDomain should panic on invalid input")
+		}
+	}()
+	MustStringDomain("os", "only-one")
+}

@@ -1,0 +1,106 @@
+// Package ring provides modular arithmetic on a circular identifier space
+// of 2^bits points. Chord, MAAN, Mercury and SWORD all place nodes and keys
+// on such a ring; the helpers here implement the distance and interval tests
+// those protocols are defined in terms of.
+//
+// All identifiers are uint64 values; a Space restricts them to the low
+// `bits` bits. The zero value is not useful: construct a Space with
+// NewSpace.
+package ring
+
+import "fmt"
+
+// MaxBits is the widest supported identifier space. Using 63 rather than 64
+// keeps every distance representable in a signed 64-bit integer, which the
+// experiment code uses for deltas.
+const MaxBits = 63
+
+// Space describes a circular identifier space with 2^Bits points.
+type Space struct {
+	bits uint
+	mask uint64 // 2^bits - 1
+}
+
+// NewSpace returns a ring of 2^bits identifiers. It panics if bits is 0 or
+// exceeds MaxBits; ring sizes are static configuration, so a bad value is a
+// programming error rather than a runtime condition.
+func NewSpace(bits uint) Space {
+	if bits == 0 || bits > MaxBits {
+		panic(fmt.Sprintf("ring: invalid bit width %d (want 1..%d)", bits, MaxBits))
+	}
+	return Space{bits: bits, mask: (uint64(1) << bits) - 1}
+}
+
+// Bits returns the configured identifier width.
+func (s Space) Bits() uint { return s.bits }
+
+// Size returns the number of points on the ring, 2^bits.
+func (s Space) Size() uint64 { return s.mask + 1 }
+
+// Contains reports whether id is a valid identifier in this space.
+func (s Space) Contains(id uint64) bool { return id <= s.mask }
+
+// Fold maps an arbitrary uint64 onto the ring by truncation.
+func (s Space) Fold(id uint64) uint64 { return id & s.mask }
+
+// Add returns (a + b) mod 2^bits.
+func (s Space) Add(a, b uint64) uint64 { return (a + b) & s.mask }
+
+// Sub returns (a - b) mod 2^bits.
+func (s Space) Sub(a, b uint64) uint64 { return (a - b) & s.mask }
+
+// Clockwise returns the clockwise (increasing-id) distance from a to b.
+func (s Space) Clockwise(a, b uint64) uint64 { return s.Sub(b, a) }
+
+// Distance returns the minimal circular distance between a and b,
+// i.e. min(clockwise, counterclockwise).
+func (s Space) Distance(a, b uint64) uint64 {
+	cw := s.Clockwise(a, b)
+	ccw := s.Clockwise(b, a)
+	if cw < ccw {
+		return cw
+	}
+	return ccw
+}
+
+// Between reports whether id lies on the open interval (from, to) walking
+// clockwise. When from == to the interval covers the whole ring except the
+// single point from, which is the convention Chord's lookup expects.
+func (s Space) Between(id, from, to uint64) bool {
+	if from == to {
+		return id != from
+	}
+	return id != from && s.Clockwise(from, id) < s.Clockwise(from, to)
+}
+
+// BetweenIncl reports whether id lies on the half-open interval (from, to]
+// walking clockwise. This is the "does key belong to successor" test.
+func (s Space) BetweenIncl(id, from, to uint64) bool {
+	if id == to {
+		return true
+	}
+	return s.Between(id, from, to)
+}
+
+// Scale maps a fraction f in [0, 1] onto the ring: 0 → 0, 1 → last id.
+// Fractions outside [0, 1] are clamped. It is the backbone of the
+// locality-preserving hash.
+func (s Space) Scale(f float64) uint64 {
+	if f <= 0 {
+		return 0
+	}
+	if f >= 1 {
+		return s.mask
+	}
+	id := uint64(f * float64(s.mask+1))
+	if id > s.mask {
+		id = s.mask
+	}
+	return id
+}
+
+// Fraction is the inverse of Scale: it maps an identifier to its position
+// in [0, 1) around the ring.
+func (s Space) Fraction(id uint64) float64 {
+	return float64(s.Fold(id)) / float64(s.mask+1)
+}

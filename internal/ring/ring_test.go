@@ -1,0 +1,194 @@
+package ring
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSpacePanics(t *testing.T) {
+	for _, bits := range []uint{0, 64, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSpace(%d) did not panic", bits)
+				}
+			}()
+			NewSpace(bits)
+		}()
+	}
+}
+
+func TestSizeAndMask(t *testing.T) {
+	s := NewSpace(11)
+	if got, want := s.Size(), uint64(2048); got != want {
+		t.Fatalf("Size() = %d, want %d", got, want)
+	}
+	if !s.Contains(2047) || s.Contains(2048) {
+		t.Fatalf("Contains boundary wrong: Contains(2047)=%v Contains(2048)=%v",
+			s.Contains(2047), s.Contains(2048))
+	}
+	if got := s.Fold(2048); got != 0 {
+		t.Fatalf("Fold(2048) = %d, want 0", got)
+	}
+}
+
+func TestAddSubWrap(t *testing.T) {
+	s := NewSpace(8)
+	if got := s.Add(200, 100); got != 44 {
+		t.Fatalf("Add(200,100) = %d, want 44", got)
+	}
+	if got := s.Sub(10, 20); got != 246 {
+		t.Fatalf("Sub(10,20) = %d, want 246", got)
+	}
+}
+
+func TestClockwiseAndDistance(t *testing.T) {
+	s := NewSpace(8)
+	cases := []struct {
+		a, b     uint64
+		cw, dist uint64
+	}{
+		{0, 0, 0, 0},
+		{0, 1, 1, 1},
+		{1, 0, 255, 1},
+		{10, 250, 240, 16},
+		{250, 10, 16, 16},
+		{0, 128, 128, 128},
+	}
+	for _, c := range cases {
+		if got := s.Clockwise(c.a, c.b); got != c.cw {
+			t.Errorf("Clockwise(%d,%d) = %d, want %d", c.a, c.b, got, c.cw)
+		}
+		if got := s.Distance(c.a, c.b); got != c.dist {
+			t.Errorf("Distance(%d,%d) = %d, want %d", c.a, c.b, got, c.dist)
+		}
+	}
+}
+
+func TestBetween(t *testing.T) {
+	s := NewSpace(8)
+	cases := []struct {
+		id, from, to uint64
+		open, incl   bool
+	}{
+		{5, 0, 10, true, true},
+		{0, 0, 10, false, false},   // from excluded
+		{10, 0, 10, false, true},   // to excluded from open, included in incl
+		{11, 0, 10, false, false},  // outside
+		{250, 240, 10, true, true}, // wrapping interval
+		{5, 240, 10, true, true},   // wrapping interval, after zero
+		{100, 240, 10, false, false},
+		{7, 7, 7, false, true}, // full-ring convention: only `from` outside open
+		{8, 7, 7, true, true},  // everything else inside
+		{6, 7, 7, true, true},  // wraps almost all the way
+	}
+	for _, c := range cases {
+		if got := s.Between(c.id, c.from, c.to); got != c.open {
+			t.Errorf("Between(%d, %d, %d) = %v, want %v", c.id, c.from, c.to, got, c.open)
+		}
+		if got := s.BetweenIncl(c.id, c.from, c.to); got != c.incl {
+			t.Errorf("BetweenIncl(%d, %d, %d) = %v, want %v", c.id, c.from, c.to, got, c.incl)
+		}
+	}
+}
+
+func TestScaleEndpoints(t *testing.T) {
+	s := NewSpace(11)
+	if got := s.Scale(0); got != 0 {
+		t.Errorf("Scale(0) = %d, want 0", got)
+	}
+	if got := s.Scale(1); got != 2047 {
+		t.Errorf("Scale(1) = %d, want 2047", got)
+	}
+	if got := s.Scale(-0.5); got != 0 {
+		t.Errorf("Scale(-0.5) = %d, want 0 (clamped)", got)
+	}
+	if got := s.Scale(1.5); got != 2047 {
+		t.Errorf("Scale(1.5) = %d, want 2047 (clamped)", got)
+	}
+	if got := s.Scale(0.5); got != 1024 {
+		t.Errorf("Scale(0.5) = %d, want 1024", got)
+	}
+}
+
+func TestScaleMonotone(t *testing.T) {
+	s := NewSpace(16)
+	prev := uint64(0)
+	for i := 0; i <= 1000; i++ {
+		f := float64(i) / 1000
+		id := s.Scale(f)
+		if id < prev {
+			t.Fatalf("Scale not monotone at f=%v: %d < %d", f, id, prev)
+		}
+		prev = id
+	}
+}
+
+// Property: distance is symmetric and bounded by half the ring size.
+func TestDistanceProperties(t *testing.T) {
+	s := NewSpace(20)
+	f := func(a, b uint64) bool {
+		a, b = s.Fold(a), s.Fold(b)
+		d1, d2 := s.Distance(a, b), s.Distance(b, a)
+		return d1 == d2 && d1 <= s.Size()/2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Add and Sub are inverses.
+func TestAddSubInverse(t *testing.T) {
+	s := NewSpace(32)
+	f := func(a, b uint64) bool {
+		a = s.Fold(a)
+		return s.Sub(s.Add(a, b), b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for any distinct from != to, exactly one of Between(id, from, to)
+// and BetweenIncl(id, to, from) holds for ids other than the endpoints
+// (the two arcs partition the ring).
+func TestArcsPartitionRing(t *testing.T) {
+	s := NewSpace(10)
+	f := func(id, from, to uint64) bool {
+		id, from, to = s.Fold(id), s.Fold(from), s.Fold(to)
+		if from == to || id == from || id == to {
+			return true // skip degenerate cases
+		}
+		a := s.Between(id, from, to)
+		b := s.Between(id, to, from)
+		return a != b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Fraction(Scale(f)) is within one ring-point of f.
+func TestScaleFractionRoundTrip(t *testing.T) {
+	s := NewSpace(24)
+	step := 1 / float64(s.Size())
+	f := func(raw uint16) bool {
+		frac := float64(raw) / 65536
+		got := s.Fraction(s.Scale(frac))
+		diff := got - frac
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= step
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBetween(b *testing.B) {
+	s := NewSpace(32)
+	for i := 0; i < b.N; i++ {
+		s.Between(uint64(i)*2654435761, 12345, 987654321)
+	}
+}

@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	var s Scheduler
+	var order []int
+	s.At(3, func() { order = append(order, 3) })
+	s.At(1, func() { order = append(order, 1) })
+	s.At(2, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("Now = %v, want 3", s.Now())
+	}
+	if s.Ran() != 3 {
+		t.Fatalf("Ran = %d", s.Ran())
+	}
+}
+
+func TestTieBreakByInsertion(t *testing.T) {
+	var s Scheduler
+	var order []string
+	s.At(1, func() { order = append(order, "first") })
+	s.At(1, func() { order = append(order, "second") })
+	s.Run()
+	if order[0] != "first" || order[1] != "second" {
+		t.Fatalf("same-time events reordered: %v", order)
+	}
+}
+
+func TestAfterIsRelative(t *testing.T) {
+	var s Scheduler
+	var at []float64
+	s.At(5, func() {
+		s.After(2, func() { at = append(at, s.Now()) })
+	})
+	s.Run()
+	if len(at) != 1 || at[0] != 7 {
+		t.Fatalf("After fired at %v, want [7]", at)
+	}
+}
+
+func TestAfterNegativeClamps(t *testing.T) {
+	var s Scheduler
+	fired := false
+	s.After(-3, func() { fired = true })
+	s.Run()
+	if !fired || s.Now() != 0 {
+		t.Fatalf("negative After mishandled: fired=%v now=%v", fired, s.Now())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	var s Scheduler
+	s.At(5, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(past) did not panic")
+		}
+	}()
+	s.At(1, func() {})
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	var s Scheduler
+	var ran []float64
+	reschedule := func() {}
+	reschedule = func() {
+		ran = append(ran, s.Now())
+		s.After(1, reschedule) // self-perpetuating chain
+	}
+	s.At(0, reschedule)
+	s.RunUntil(4.5)
+	if len(ran) != 5 { // t = 0,1,2,3,4
+		t.Fatalf("ran %d events, want 5 (%v)", len(ran), ran)
+	}
+	if s.Now() != 4.5 {
+		t.Fatalf("Now = %v, want 4.5", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", s.Pending())
+	}
+}
+
+func TestStepEmpty(t *testing.T) {
+	var s Scheduler
+	if s.Step() {
+		t.Fatal("Step on empty scheduler returned true")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	var s Scheduler
+	total := 0
+	s.At(1, func() {
+		total++
+		s.At(s.Now(), func() { total++ }) // same-time nested event
+	})
+	s.Run()
+	if total != 2 {
+		t.Fatalf("total = %d, want 2", total)
+	}
+}

@@ -1,0 +1,160 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness reports with: means, exact percentiles (the paper plots the 1st
+// and 99th), distribution summaries, and accumulation helpers that are safe
+// to use from concurrent query workers.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Summary condenses a sample of observations the way the paper's figures
+// do: average plus 1st/99th percentiles, with min/max and stddev for good
+// measure.
+type Summary struct {
+	N      int
+	Mean   float64
+	Stddev float64
+	Min    float64
+	Max    float64
+	P01    float64 // 1st percentile
+	P50    float64
+	P99    float64 // 99th percentile
+}
+
+// Summarize computes a Summary over the sample. An empty sample yields the
+// zero Summary.
+func Summarize(sample []float64) Summary {
+	if len(sample) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), sample...)
+	sort.Float64s(sorted)
+	var sum, sq float64
+	for _, v := range sorted {
+		sum += v
+		sq += v * v
+	}
+	n := float64(len(sorted))
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if variance < 0 {
+		variance = 0 // guard against rounding
+	}
+	return Summary{
+		N:      len(sorted),
+		Mean:   mean,
+		Stddev: math.Sqrt(variance),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		P01:    percentileSorted(sorted, 0.01),
+		P50:    percentileSorted(sorted, 0.50),
+		P99:    percentileSorted(sorted, 0.99),
+	}
+}
+
+// SummarizeInts is Summarize for integer observations (hop counts,
+// directory sizes).
+func SummarizeInts(sample []int) Summary {
+	fs := make([]float64, len(sample))
+	for i, v := range sample {
+		fs[i] = float64(v)
+	}
+	return Summarize(fs)
+}
+
+// Percentile returns the p-quantile (p in [0, 1]) of the sample using
+// nearest-rank interpolation. It copies and sorts the input.
+func Percentile(sample []float64, p float64) float64 {
+	if len(sample) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), sample...)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+// percentileSorted computes a linearly interpolated quantile over an
+// already sorted sample.
+func percentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean, 0 for an empty sample.
+func Mean(sample []float64) float64 {
+	if len(sample) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range sample {
+		sum += v
+	}
+	return sum / float64(len(sample))
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f p01=%.2f p50=%.2f p99=%.2f min=%.0f max=%.0f",
+		s.N, s.Mean, s.P01, s.P50, s.P99, s.Min, s.Max)
+}
+
+// Collector accumulates float64 observations from concurrent goroutines.
+// The zero value is ready to use.
+type Collector struct {
+	mu     sync.Mutex
+	sample []float64
+}
+
+// Add records one observation.
+func (c *Collector) Add(v float64) {
+	c.mu.Lock()
+	c.sample = append(c.sample, v)
+	c.mu.Unlock()
+}
+
+// AddInt records one integer observation.
+func (c *Collector) AddInt(v int) { c.Add(float64(v)) }
+
+// Len returns the number of recorded observations.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.sample)
+}
+
+// Sum returns the total of all observations.
+func (c *Collector) Sum() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var sum float64
+	for _, v := range c.sample {
+		sum += v
+	}
+	return sum
+}
+
+// Summary summarizes the observations collected so far.
+func (c *Collector) Summary() Summary {
+	c.mu.Lock()
+	sample := append([]float64(nil), c.sample...)
+	c.mu.Unlock()
+	return Summarize(sample)
+}

@@ -1,0 +1,178 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if !almostEqual(s.Stddev, math.Sqrt(2), 1e-9) {
+		t.Fatalf("stddev = %v, want sqrt(2)", s.Stddev)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+func TestSummarizeInts(t *testing.T) {
+	s := SummarizeInts([]int{10, 20, 30})
+	if s.Mean != 20 || s.N != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestPercentileKnownValues(t *testing.T) {
+	sample := make([]float64, 101) // 0..100
+	for i := range sample {
+		sample[i] = float64(i)
+	}
+	cases := map[float64]float64{0: 0, 0.01: 1, 0.5: 50, 0.99: 99, 1: 100}
+	for p, want := range cases {
+		if got := Percentile(sample, p); !almostEqual(got, want, 1e-9) {
+			t.Errorf("Percentile(p=%v) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	if got := Percentile([]float64{0, 10}, 0.25); !almostEqual(got, 2.5, 1e-9) {
+		t.Errorf("Percentile = %v, want 2.5", got)
+	}
+	if got := Percentile([]float64{7}, 0.5); got != 7 {
+		t.Errorf("single-element percentile = %v, want 7", got)
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %v, want 0", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{2, 4}); got != 3 {
+		t.Errorf("Mean = %v, want 3", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestPercentileMonotone(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		sample := make([]float64, len(raw))
+		for i, v := range raw {
+			sample[i] = float64(v)
+		}
+		sorted := append([]float64(nil), sample...)
+		sort.Float64s(sorted)
+		prev := sorted[0] - 1
+		for p := 0.0; p <= 1.0; p += 0.05 {
+			q := Percentile(sample, p)
+			if q < prev || q < sorted[0] || q > sorted[len(sorted)-1] {
+				return false
+			}
+			prev = q
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	var c Collector
+	var wg sync.WaitGroup
+	const workers, per = 8, 250
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.AddInt(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Len() != workers*per {
+		t.Fatalf("Len = %d, want %d", c.Len(), workers*per)
+	}
+	if c.Sum() != workers*per {
+		t.Fatalf("Sum = %v, want %d", c.Sum(), workers*per)
+	}
+	if s := c.Summary(); s.Mean != 1 {
+		t.Fatalf("Mean = %v, want 1", s.Mean)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if got := s.String(); !strings.Contains(got, "n=3") || !strings.Contains(got, "mean=2.00") {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestTableTextAndCSV(t *testing.T) {
+	tbl := NewTable("Fig X", "n", "lorm", "mercury")
+	tbl.Notes = append(tbl.Notes, "m=200 k=500")
+	tbl.AddRow(2048, 7, 2600.5)
+	text := tbl.Text()
+	if !strings.Contains(text, "Fig X") || !strings.Contains(text, "m=200 k=500") {
+		t.Errorf("Text missing title/notes:\n%s", text)
+	}
+	if !strings.Contains(text, "2600.500") {
+		t.Errorf("Text missing float cell:\n%s", text)
+	}
+	csv := tbl.CSV()
+	want := "n,lorm,mercury\n2048,7,2600.500\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestTableColumn(t *testing.T) {
+	tbl := NewTable("t", "a", "b")
+	tbl.AddRow(1, 2)
+	tbl.AddRow(3, 4)
+	b := tbl.Column("b")
+	if len(b) != 2 || b[0] != 2 || b[1] != 4 {
+		t.Fatalf("Column(b) = %v", b)
+	}
+	if tbl.Column("zz") != nil {
+		t.Fatal("Column(zz) should be nil")
+	}
+}
+
+func TestTableAddRowPanicsOnArity(t *testing.T) {
+	tbl := NewTable("t", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddRow with wrong arity did not panic")
+		}
+	}()
+	tbl.AddRow(1)
+}

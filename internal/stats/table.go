@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple column-oriented result table, the common output format
+// of every experiment driver. It renders either as aligned text (for the
+// terminal) or CSV (for plotting), always with the same rows/series the
+// paper's figure reports.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]float64
+	// Notes holds free-form caption lines (workload parameters, units).
+	Notes []string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends one row; the number of cells must match the header.
+func (t *Table) AddRow(cells ...float64) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("stats: row has %d cells, table %q has %d columns",
+			len(cells), t.Title, len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Column returns the values of the named column, or nil if absent.
+func (t *Table) Column(name string) []float64 {
+	for i, c := range t.Columns {
+		if c == name {
+			col := make([]float64, len(t.Rows))
+			for r, row := range t.Rows {
+				col[r] = row[i]
+			}
+			return col
+		}
+	}
+	return nil
+}
+
+// Text renders the table as aligned, human-readable text.
+func (t *Table) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "   %s\n", n)
+	}
+	widths := make([]int, len(t.Columns))
+	cells := make([][]string, len(t.Rows))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for r, row := range t.Rows {
+		cells[r] = make([]string, len(row))
+		for i, v := range row {
+			cells[r][i] = formatCell(v)
+			if len(cells[r][i]) > widths[i] {
+				widths[i] = len(cells[r][i])
+			}
+		}
+	}
+	for i, c := range t.Columns {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%*s", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-ish CSV with a header row.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		for i, v := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(formatCell(v))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// formatCell prints integers without a decimal point and everything else
+// with limited precision, keeping tables readable.
+func formatCell(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.3f", v)
+}

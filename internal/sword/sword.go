@@ -1,0 +1,140 @@
+// Package sword implements the single-DHT-based centralized baseline of
+// the paper, modeled on SWORD (Oppenheimer et al. [6], with Chord standing
+// in for Bamboo per the paper's comparative setup): a single DHT in which
+// the consistent hash of the attribute name is the key, so one node pools
+// ALL resource information of a given attribute.
+//
+// Range queries are answered entirely by that attribute root — no
+// successor walking, hence the m visited nodes of Theorem 4.9 — at the
+// price of the worst load balance in the comparison: k pieces concentrate
+// on a single directory node (Theorem 4.4).
+package sword
+
+import (
+	"fmt"
+
+	"lorm/internal/chord"
+	"lorm/internal/directory"
+	"lorm/internal/discovery"
+	"lorm/internal/hashing"
+	"lorm/internal/resource"
+)
+
+// Config parameterizes a SWORD deployment.
+type Config struct {
+	// Bits is the identifier width of the ring (default 20).
+	Bits uint
+	// SuccListLen is the successor-list length.
+	SuccListLen int
+	// Schema is the globally known attribute set.
+	Schema *resource.Schema
+}
+
+// System is a SWORD deployment: one Chord ring, attribute-keyed placement.
+type System struct {
+	schema *resource.Schema
+	ring   *chord.Ring
+}
+
+var (
+	_ discovery.System  = (*System)(nil)
+	_ discovery.Dynamic = (*System)(nil)
+)
+
+// New creates an empty SWORD system.
+func New(cfg Config) (*System, error) {
+	if cfg.Schema == nil {
+		return nil, fmt.Errorf("sword: config needs a schema")
+	}
+	r := chord.New(chord.Config{Bits: cfg.Bits, SuccListLen: cfg.SuccListLen, Salt: "sword"})
+	return &System{schema: cfg.Schema, ring: r}, nil
+}
+
+// AddNodes bulk-populates the ring.
+func (s *System) AddNodes(addrs []string) error { return s.ring.AddBulk(addrs) }
+
+// Ring exposes the underlying Chord ring for experiments and tests.
+func (s *System) Ring() *chord.Ring { return s.ring }
+
+// Name implements discovery.System.
+func (s *System) Name() string { return "sword" }
+
+// Schema implements discovery.System.
+func (s *System) Schema() *resource.Schema { return s.schema }
+
+// NodeCount implements discovery.System.
+func (s *System) NodeCount() int { return s.ring.Size() }
+
+// attrKey returns the ring key of an attribute: H(attr).
+func (s *System) attrKey(attr string) uint64 {
+	return hashing.Consistent(s.ring.Space(), attr)
+}
+
+// Register implements discovery.System: one insert under H(attr); the
+// attribute root accumulates every piece of the attribute.
+func (s *System) Register(info resource.Info) (discovery.Cost, error) {
+	if _, ok := s.schema.Lookup(info.Attr); !ok {
+		return discovery.Cost{}, fmt.Errorf("sword: unknown attribute %q", info.Attr)
+	}
+	key := s.attrKey(info.Attr)
+	from, err := s.ring.NodeNear(info.Owner)
+	if err != nil {
+		return discovery.Cost{}, err
+	}
+	route, err := s.ring.Insert(from, key, directory.Entry{Key: key, Info: info})
+	if err != nil {
+		return discovery.Cost{}, err
+	}
+	return discovery.Cost{Hops: route.Hops, Messages: route.Hops}, nil
+}
+
+// Discover implements discovery.System: each sub-query is one lookup; the
+// attribute root scans its pooled directory for the value range and the
+// search stops there ("in SWORD, the resource searching stops").
+func (s *System) Discover(q resource.Query) (*discovery.Result, error) {
+	if err := q.Validate(s.schema); err != nil {
+		return nil, err
+	}
+	return discovery.RunSubs(q, func(sub resource.SubQuery) ([]resource.Info, discovery.Cost, error) {
+		from, err := s.ring.NodeNear(q.Requester)
+		if err != nil {
+			return nil, discovery.Cost{}, err
+		}
+		route, err := s.ring.Lookup(from, s.attrKey(sub.Attr))
+		if err != nil {
+			return nil, discovery.Cost{}, err
+		}
+		matches := route.Root.Dir.Match(sub.Attr, sub.Low, sub.High)
+		return matches, discovery.Cost{Hops: route.Hops, Visited: 1, Messages: route.Hops + 1}, nil
+	})
+}
+
+// DirectorySizes implements discovery.System.
+func (s *System) DirectorySizes() []int { return s.ring.DirectorySizes() }
+
+// OutlinkCounts implements discovery.System.
+func (s *System) OutlinkCounts() []int { return s.ring.OutlinkCounts() }
+
+// AddNode implements discovery.Dynamic.
+func (s *System) AddNode(addr string) error {
+	_, err := s.ring.Join(addr)
+	return err
+}
+
+// RemoveNode implements discovery.Dynamic.
+func (s *System) RemoveNode(addr string) error {
+	n, ok := s.ring.NodeByAddr(addr)
+	if !ok {
+		return fmt.Errorf("sword: no node with address %q", addr)
+	}
+	return s.ring.Leave(n)
+}
+
+// NodeAddrs implements discovery.Dynamic.
+func (s *System) NodeAddrs() []string { return s.ring.Addrs() }
+
+// Maintain implements discovery.Dynamic.
+func (s *System) Maintain() {
+	s.ring.Stabilize()
+	s.ring.FixFingers(0)
+}

@@ -1,0 +1,132 @@
+// Package systemtest provides shared construction helpers for spinning up
+// all four discovery systems — LORM, Mercury, SWORD, MAAN — over identical
+// node populations, plus the brute-force oracle. The cross-system
+// equivalence tests, the experiment harness's smoke tests and the examples
+// all build deployments through these helpers.
+package systemtest
+
+import (
+	"fmt"
+
+	"lorm/internal/core"
+	"lorm/internal/discovery"
+	"lorm/internal/maan"
+	"lorm/internal/mercury"
+	"lorm/internal/resource"
+	"lorm/internal/sword"
+)
+
+// Deployment bundles the four systems plus the oracle, built over the same
+// schema and node count.
+type Deployment struct {
+	Schema  *resource.Schema
+	N       int
+	LORM    *core.System
+	Mercury *mercury.System
+	SWORD   *sword.System
+	MAAN    *maan.System
+	Oracle  *discovery.Oracle
+}
+
+// Addresses returns the canonical synthetic node addresses node-0000…
+func Addresses(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("node-%04d", i)
+	}
+	return out
+}
+
+// Options tunes a deployment.
+type Options struct {
+	// D is the Cycloid dimension for LORM (default 8).
+	D int
+	// Bits is the Chord identifier width (default 20).
+	Bits uint
+	// CompleteLORM populates every Cycloid slot instead of hashing the
+	// shared addresses; n is then forced to d·2^d.
+	CompleteLORM bool
+	// SkipMercury elides the (m-ring) Mercury deployment when an
+	// experiment does not need it — constructing m rings dominates setup
+	// time for large m.
+	SkipMercury bool
+}
+
+// Build constructs all systems over n shared node addresses.
+func Build(schema *resource.Schema, n int, opts Options) (*Deployment, error) {
+	if opts.D == 0 {
+		opts.D = 8
+	}
+	if opts.Bits == 0 {
+		opts.Bits = 20
+	}
+	d := &Deployment{Schema: schema, N: n, Oracle: discovery.NewOracle(schema)}
+	addrs := Addresses(n)
+
+	l, err := core.New(core.Config{D: opts.D, Schema: schema})
+	if err != nil {
+		return nil, err
+	}
+	if opts.CompleteLORM {
+		if err := l.PopulateComplete(); err != nil {
+			return nil, err
+		}
+	} else if err := l.AddNodes(addrs); err != nil {
+		return nil, err
+	}
+	d.LORM = l
+
+	if !opts.SkipMercury {
+		m, err := mercury.New(mercury.Config{Bits: opts.Bits, Schema: schema})
+		if err != nil {
+			return nil, err
+		}
+		if err := m.AddNodes(addrs); err != nil {
+			return nil, err
+		}
+		d.Mercury = m
+	}
+
+	s, err := sword.New(sword.Config{Bits: opts.Bits, Schema: schema})
+	if err != nil {
+		return nil, err
+	}
+	if err := s.AddNodes(addrs); err != nil {
+		return nil, err
+	}
+	d.SWORD = s
+
+	a, err := maan.New(maan.Config{Bits: opts.Bits, Schema: schema})
+	if err != nil {
+		return nil, err
+	}
+	if err := a.AddNodes(addrs); err != nil {
+		return nil, err
+	}
+	d.MAAN = a
+	return d, nil
+}
+
+// Systems returns the constructed systems (excluding the oracle), skipping
+// any that were elided.
+func (d *Deployment) Systems() []discovery.System {
+	out := []discovery.System{d.LORM}
+	if d.Mercury != nil {
+		out = append(out, d.Mercury)
+	}
+	out = append(out, d.SWORD, d.MAAN)
+	return out
+}
+
+// RegisterEverywhere registers the info in every system and the oracle.
+func (d *Deployment) RegisterEverywhere(info resource.Info) error {
+	if _, err := d.Oracle.Register(info); err != nil {
+		return err
+	}
+	for _, s := range d.Systems() {
+		if _, err := s.Register(info); err != nil {
+			return fmt.Errorf("%s: %w", s.Name(), err)
+		}
+	}
+	return nil
+}

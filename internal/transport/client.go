@@ -1,0 +1,104 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"lorm/internal/discovery"
+	"lorm/internal/resource"
+)
+
+// Client is a synchronous connection to a gateway server. It is safe for
+// concurrent use: calls are serialized over the single connection (the
+// protocol is strict request/response per connection; open several clients
+// for parallelism).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	next uint64
+}
+
+// Dial connects to a gateway with the given timeout.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// call performs one round trip.
+func (c *Client) call(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.next++
+	req.ID = c.next
+	req.Version = Version
+	if err := writeFrame(c.conn, req); err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := readFrame(c.conn, &resp); err != nil {
+		return nil, err
+	}
+	if resp.ID != req.ID {
+		return nil, fmt.Errorf("transport: response id %d for request %d", resp.ID, req.ID)
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("transport: server error: %s", resp.Error)
+	}
+	return &resp, nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	_, err := c.call(&Request{Op: OpPing})
+	return err
+}
+
+// Register announces one piece of resource information.
+func (c *Client) Register(info resource.Info) (discovery.Cost, error) {
+	resp, err := c.call(&Request{Op: OpRegister, Info: &info})
+	if err != nil {
+		return discovery.Cost{}, err
+	}
+	return resp.Cost, nil
+}
+
+// Discover resolves a multi-attribute (range) query remotely.
+func (c *Client) Discover(subs []resource.SubQuery, requester string) (owners []string, matches []resource.Info, cost discovery.Cost, err error) {
+	resp, err := c.call(&Request{Op: OpDiscover, Subs: subs, Requester: requester})
+	if err != nil {
+		return nil, nil, discovery.Cost{}, err
+	}
+	return resp.Owners, resp.Matches, resp.Cost, nil
+}
+
+// Stats fetches the gateway's deployment summary.
+func (c *Client) Stats() (Stats, error) {
+	resp, err := c.call(&Request{Op: OpStats})
+	if err != nil {
+		return Stats{}, err
+	}
+	if resp.Stats == nil {
+		return Stats{}, fmt.Errorf("transport: stats response without payload")
+	}
+	return *resp.Stats, nil
+}
+
+// AddNode joins a new node into the gateway's deployment.
+func (c *Client) AddNode(addr string) error {
+	_, err := c.call(&Request{Op: OpAddNode, Addr: addr})
+	return err
+}
+
+// RemoveNode gracefully departs a node from the gateway's deployment.
+func (c *Client) RemoveNode(addr string) error {
+	_, err := c.call(&Request{Op: OpRemove, Addr: addr})
+	return err
+}

@@ -1,0 +1,113 @@
+// Package transport exposes a discovery system over real TCP (stdlib net):
+// a length-prefixed JSON wire protocol, a concurrent server that fronts
+// any discovery.System, and a client. A grid site runs one gateway process
+// (cmd/lormnode) next to its LORM deployment; providers and requesters
+// register and query over the network.
+//
+// The protocol is deliberately simple and version-tagged:
+//
+//	frame  := uint32 big-endian length | payload
+//	payload:= JSON-encoded Request or Response
+//
+// Frames are capped at MaxFrame to bound memory under malformed input.
+package transport
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"lorm/internal/discovery"
+	"lorm/internal/resource"
+)
+
+// Version is the protocol version; mismatches are rejected.
+const Version = 1
+
+// MaxFrame bounds a single frame's payload (16 MiB).
+const MaxFrame = 16 << 20
+
+// Op enumerates the remote operations.
+type Op string
+
+// Remote operations.
+const (
+	OpPing     Op = "ping"
+	OpRegister Op = "register"
+	OpDiscover Op = "discover"
+	OpStats    Op = "stats"
+	OpAddNode  Op = "addnode"
+	OpRemove   Op = "removenode"
+)
+
+// Request is the client→server message.
+type Request struct {
+	Version   int                 `json:"v"`
+	ID        uint64              `json:"id"`
+	Op        Op                  `json:"op"`
+	Info      *resource.Info      `json:"info,omitempty"`      // register
+	Subs      []resource.SubQuery `json:"subs,omitempty"`      // discover
+	Requester string              `json:"requester,omitempty"` // discover
+	Addr      string              `json:"addr,omitempty"`      // addnode / removenode
+}
+
+// Stats is the server-state summary returned by OpStats.
+type Stats struct {
+	System      string  `json:"system"`
+	Nodes       int     `json:"nodes"`
+	Attributes  int     `json:"attributes"`
+	TotalPieces int     `json:"total_pieces"`
+	AvgDir      float64 `json:"avg_directory"`
+	MaxDir      int     `json:"max_directory"`
+}
+
+// Response is the server→client message.
+type Response struct {
+	Version int             `json:"v"`
+	ID      uint64          `json:"id"`
+	OK      bool            `json:"ok"`
+	Error   string          `json:"error,omitempty"`
+	Cost    discovery.Cost  `json:"cost,omitempty"`
+	Matches []resource.Info `json:"matches,omitempty"` // discover: flattened per-attr matches
+	Owners  []string        `json:"owners,omitempty"`  // discover: joined owners
+	Stats   *Stats          `json:"stats,omitempty"`   // stats
+}
+
+// writeFrame encodes v as JSON and writes one length-prefixed frame.
+func writeFrame(w io.Writer, v interface{}) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("transport: encode: %w", err)
+	}
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds cap", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed frame and decodes it into v.
+func readFrame(r io.Reader, v interface{}) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err // io.EOF signals orderly close
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return fmt.Errorf("transport: incoming frame of %d bytes exceeds cap", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return fmt.Errorf("transport: short frame: %w", err)
+	}
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("transport: decode: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"lorm/internal/discovery"
+	"lorm/internal/resource"
+)
+
+// Server fronts a discovery.System on a TCP listener. Each connection is
+// served by its own goroutine; requests on one connection are handled
+// sequentially (the protocol is request/response), while separate
+// connections proceed concurrently — the System implementations are
+// concurrency-safe by construction.
+type Server struct {
+	sys discovery.System
+	ln  net.Listener
+	log *log.Logger
+
+	mu     sync.Mutex
+	conns  map[net.Conn]bool
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer starts serving sys on addr (e.g. "127.0.0.1:7400"); addr with
+// port 0 picks a free port, available via Addr.
+func NewServer(sys discovery.System, addr string, logger *log.Logger) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	s := &Server{sys: sys, ln: ln, log: logger, conns: make(map[net.Conn]bool)}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and terminates open connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.log != nil {
+		s.log.Printf(format, args...)
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			s.logf("accept: %v", err)
+			continue
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	for {
+		var req Request
+		if err := readFrame(conn, &req); err != nil {
+			return // EOF or protocol error: drop the connection
+		}
+		resp := s.handle(&req)
+		if err := writeFrame(conn, resp); err != nil {
+			s.logf("write to %s: %v", conn.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+// handle executes one request against the system.
+func (s *Server) handle(req *Request) *Response {
+	resp := &Response{Version: Version, ID: req.ID}
+	fail := func(format string, args ...interface{}) *Response {
+		resp.OK = false
+		resp.Error = fmt.Sprintf(format, args...)
+		return resp
+	}
+	if req.Version != Version {
+		return fail("protocol version %d unsupported (want %d)", req.Version, Version)
+	}
+	switch req.Op {
+	case OpPing:
+		resp.OK = true
+
+	case OpRegister:
+		if req.Info == nil {
+			return fail("register without info")
+		}
+		cost, err := s.sys.Register(*req.Info)
+		if err != nil {
+			return fail("register: %v", err)
+		}
+		resp.OK = true
+		resp.Cost = cost
+
+	case OpDiscover:
+		if len(req.Subs) == 0 {
+			return fail("discover without sub-queries")
+		}
+		res, err := s.sys.Discover(resource.Query{Subs: req.Subs, Requester: req.Requester})
+		if err != nil {
+			return fail("discover: %v", err)
+		}
+		resp.OK = true
+		resp.Cost = res.Cost
+		resp.Owners = res.Owners
+		for _, infos := range res.PerAttr {
+			resp.Matches = append(resp.Matches, infos...)
+		}
+
+	case OpStats:
+		sizes := s.sys.DirectorySizes()
+		total, max := 0, 0
+		for _, sz := range sizes {
+			total += sz
+			if sz > max {
+				max = sz
+			}
+		}
+		avg := 0.0
+		if len(sizes) > 0 {
+			avg = float64(total) / float64(len(sizes))
+		}
+		resp.OK = true
+		resp.Stats = &Stats{
+			System:      s.sys.Name(),
+			Nodes:       s.sys.NodeCount(),
+			Attributes:  s.sys.Schema().Len(),
+			TotalPieces: total,
+			AvgDir:      avg,
+			MaxDir:      max,
+		}
+
+	case OpAddNode:
+		dyn, ok := s.sys.(discovery.Dynamic)
+		if !ok {
+			return fail("system %s does not support membership changes", s.sys.Name())
+		}
+		if req.Addr == "" {
+			return fail("addnode without addr")
+		}
+		if err := dyn.AddNode(req.Addr); err != nil {
+			return fail("addnode: %v", err)
+		}
+		resp.OK = true
+
+	case OpRemove:
+		dyn, ok := s.sys.(discovery.Dynamic)
+		if !ok {
+			return fail("system %s does not support membership changes", s.sys.Name())
+		}
+		if req.Addr == "" {
+			return fail("removenode without addr")
+		}
+		if err := dyn.RemoveNode(req.Addr); err != nil {
+			return fail("removenode: %v", err)
+		}
+		resp.OK = true
+
+	default:
+		return fail("unknown op %q", req.Op)
+	}
+	return resp
+}

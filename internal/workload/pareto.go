@@ -1,0 +1,92 @@
+// Package workload generates the paper's synthetic workload: resource
+// values drawn from a Bounded Pareto distribution, resource announcements
+// (k pieces of information per attribute), and multi-attribute exact and
+// range queries with randomly chosen attributes.
+//
+// Every generator is driven by an explicit *rand.Rand so experiments are
+// reproducible; Split derives independent deterministic sub-streams for
+// each purpose (values, query attributes, churn arrivals).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// BoundedPareto is a Pareto distribution truncated to [L, H] with shape
+// parameter Alpha, the distribution the paper uses "to generate resource
+// values owned by a node and requested by a node". Smaller Alpha means a
+// heavier tail (more mass near L on an inverted scale — concretely, samples
+// concentrate near L and occasionally reach H).
+type BoundedPareto struct {
+	L, H  float64
+	Alpha float64
+}
+
+// NewBoundedPareto validates the parameters and returns the distribution.
+func NewBoundedPareto(l, h, alpha float64) (BoundedPareto, error) {
+	if !(l > 0) || !(h > l) {
+		return BoundedPareto{}, fmt.Errorf("workload: bounded pareto needs 0 < L < H, got L=%v H=%v", l, h)
+	}
+	if !(alpha > 0) {
+		return BoundedPareto{}, fmt.Errorf("workload: bounded pareto needs alpha > 0, got %v", alpha)
+	}
+	return BoundedPareto{L: l, H: h, Alpha: alpha}, nil
+}
+
+// Sample draws one value in [L, H] by inverse-transform sampling:
+//
+//	F(x) = (1 - L^a x^-a) / (1 - (L/H)^a)
+func (p BoundedPareto) Sample(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	la := math.Pow(p.L, p.Alpha)
+	ha := math.Pow(p.H, p.Alpha)
+	// Invert the CDF. The standard closed form:
+	//   x = ( -(u*H^a - u*L^a - H^a) / (H^a * L^a) )^(-1/a)
+	x := math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/p.Alpha)
+	if x < p.L {
+		x = p.L
+	}
+	if x > p.H {
+		x = p.H
+	}
+	return x
+}
+
+// Mean returns the analytic mean of the distribution.
+func (p BoundedPareto) Mean() float64 {
+	a := p.Alpha
+	if a == 1 {
+		// lim a->1 of the general form.
+		return p.L * p.H / (p.H - p.L) * math.Log(p.H/p.L)
+	}
+	la := math.Pow(p.L, a)
+	return la / (1 - math.Pow(p.L/p.H, a)) * (a / (a - 1)) *
+		(1/math.Pow(p.L, a-1) - 1/math.Pow(p.H, a-1))
+}
+
+// CDF returns P[X <= x].
+func (p BoundedPareto) CDF(x float64) float64 {
+	if x <= p.L {
+		return 0
+	}
+	if x >= p.H {
+		return 1
+	}
+	la := math.Pow(p.L, p.Alpha)
+	return (1 - la*math.Pow(x, -p.Alpha)) / (1 - math.Pow(p.L/p.H, p.Alpha))
+}
+
+// Split derives the i-th independent deterministic PRNG stream from a base
+// seed. Distinct purposes in an experiment (values, queries, churn) use
+// distinct stream indices so adding draws to one stream does not perturb
+// the others.
+func Split(seed int64, i int) *rand.Rand {
+	// SplitMix64-style avalanche over (seed, i) to decorrelate the streams.
+	z := uint64(seed) + uint64(i)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return rand.New(rand.NewSource(int64(z)))
+}
