@@ -7,9 +7,13 @@
 package lorm_test
 
 import (
+	"math/rand"
 	"testing"
 
+	"lorm/internal/chord"
+	"lorm/internal/cycloid"
 	"lorm/internal/experiments"
+	"lorm/internal/systemtest"
 )
 
 // benchEnv caches one populated Quick environment across benchmarks that
@@ -131,6 +135,49 @@ func BenchmarkFig5bRangeVisitsAvg(b *testing.B) {
 		b.ReportMetric(avg.Column("lorm")[0], "lorm-visited-1attr")
 		b.ReportMetric(avg.Column("sword")[0], "sword-visited-1attr")
 	}
+}
+
+// BenchmarkLookupParallel measures raw concurrent lookup throughput on the
+// two overlays: every worker routes from a random start node to a random
+// key with no system logic on top. This is the contention benchmark for the
+// overlays' read path — membership is static, so any time not spent routing
+// is synchronization overhead.
+func BenchmarkLookupParallel(b *testing.B) {
+	b.Run("chord", func(b *testing.B) {
+		r := chord.New(chord.Config{Bits: 18})
+		if err := r.AddBulk(systemtest.Addresses(1024)); err != nil {
+			b.Fatal(err)
+		}
+		nodes := r.Nodes()
+		mask := uint64(1)<<18 - 1
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			rng := rand.New(rand.NewSource(int64(b.N)))
+			for pb.Next() {
+				key := rng.Uint64() & mask
+				if _, err := r.Lookup(nodes[rng.Intn(len(nodes))], key); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+	b.Run("cycloid", func(b *testing.B) {
+		o := cycloid.MustNew(cycloid.Config{D: 8})
+		if err := o.AddComplete(); err != nil {
+			b.Fatal(err)
+		}
+		nodes := o.Nodes()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			rng := rand.New(rand.NewSource(int64(b.N)))
+			for pb.Next() {
+				key := o.IDOf(rng.Uint64() % o.Capacity())
+				if _, err := o.Lookup(nodes[rng.Intn(len(nodes))], key); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
 }
 
 // BenchmarkFig6aChurnHops regenerates Figure 6(a): average hops per

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"lorm/internal/experiments"
+	"lorm/internal/routing"
 	"lorm/internal/stats"
 )
 
@@ -42,6 +43,7 @@ func run(args []string, out *os.File) error {
 		rqFlag = fs.Int("range-queries", 0, "override range queries per point")
 		cqFlag = fs.Int("churn-queries", 0, "override churn queries per rate")
 		seed   = fs.Int64("seed", 0, "override RNG seed")
+		trace  = fs.String("trace", "", "write per-discover hop-path trace lines to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,6 +80,22 @@ func run(args []string, out *os.File) error {
 	}
 	if *seed != 0 {
 		p.Seed = *seed
+	}
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		defer f.Close()
+		sink := routing.NewTraceSink(f, routing.OpDiscover)
+		p.TraceObserver = sink
+		defer func() {
+			fmt.Fprintf(os.Stderr, "[lormsim] trace: %d discover operations written to %s\n",
+				sink.Lines(), *trace)
+			if err := sink.Err(); err != nil {
+				fmt.Fprintf(os.Stderr, "[lormsim] trace write error: %v\n", err)
+			}
+		}()
 	}
 
 	want := map[string]bool{}

@@ -2,6 +2,9 @@ package main
 
 import (
 	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -48,6 +51,60 @@ func TestRunOverrides(t *testing.T) {
 		"-n", "160", "-d", "5", "-m", "8", "-k", "20", "-range-queries", "10", "-seed", "5")
 	if !strings.Contains(out, "n=160") {
 		t.Fatalf("override not applied:\n%s", out)
+	}
+}
+
+// TestTraceConsistency runs fig4a with -trace and verifies, for every
+// traced operation of every system, that the recorded hop path re-derives
+// the reported cost: forwards (f/w/r steps) sum to hops, visits (v steps)
+// to visited, and msgs = hops + visited.
+func TestTraceConsistency(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "trace.txt")
+	runCLI(t, "-exp", "fig4a", "-preset", "quick", "-trace", tracePath)
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("empty trace")
+	}
+	systems := map[string]bool{}
+	re := regexp.MustCompile(`^system=(\S+) op=discover tag=\S+ hops=(\d+) visited=(\d+) msgs=(\d+) path=(\S*)$`)
+	for _, line := range lines {
+		m := re.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed trace line: %q", line)
+		}
+		systems[m[1]] = true
+		hops, _ := strconv.Atoi(m[2])
+		visited, _ := strconv.Atoi(m[3])
+		msgs, _ := strconv.Atoi(m[4])
+		if msgs != hops+visited {
+			t.Fatalf("msgs %d != hops %d + visited %d: %q", msgs, hops, visited, line)
+		}
+		forwards, visits := 0, 0
+		if m[5] != "" {
+			for _, step := range strings.Split(m[5], ",") {
+				switch step[0] {
+				case 'f', 'w', 'r':
+					forwards++
+				case 'v':
+					visits++
+				default:
+					t.Fatalf("unknown step kind %q in %q", step, line)
+				}
+			}
+		}
+		if forwards != hops || visits != visited {
+			t.Fatalf("path sums (f=%d v=%d) disagree with header (hops=%d visited=%d): %q",
+				forwards, visits, hops, visited, line)
+		}
+	}
+	for _, want := range []string{"lorm", "mercury", "sword", "maan"} {
+		if !systems[want] {
+			t.Errorf("no trace lines from system %q", want)
+		}
 	}
 }
 

@@ -9,6 +9,14 @@
 // run a single Chord each. The ring also exposes oracle accessors (computed
 // from authoritative membership) used by static table construction and by
 // tests that verify the routed answer matches ground truth.
+//
+// Concurrency model: lookups are lock-free. All routing state lives in an
+// immutable snapshot published through an atomic pointer; a lookup loads
+// the pointer once and routes over one consistent view, so it can never
+// observe a half-applied membership change and never contends with other
+// lookups. Writers (join, leave, fail, stabilize, fix-fingers) serialize on
+// a mutex, build a copy-on-write draft of the snapshot, and publish it with
+// a single pointer swap.
 package chord
 
 import (
@@ -16,6 +24,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"lorm/internal/directory"
 	"lorm/internal/hashing"
@@ -47,20 +56,64 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Node is one Chord peer. All routing-state fields are guarded by the
-// owning Ring's lock: mutations happen under the write lock, lookups under
-// the read lock. The directory has its own internal lock because inserts
-// run concurrently with lookups.
+// Node is one Chord peer: its stable identity plus its directory. Routing
+// state (fingers, successor list, predecessor) lives in the ring's current
+// snapshot, not on the node, so Node pointers stay valid across membership
+// changes and lookups read consistent state without locking. The directory
+// has its own internal lock because inserts run concurrently with lookups.
 type Node struct {
 	ID   uint64
 	Addr string
 	Dir  directory.Store
 
-	fingers    []uint64 // fingers[i] ≈ successor(ID + 2^i)
-	succs      []uint64 // successor list, nearest first
-	pred       uint64
-	hasPred    bool
-	nextFinger int // round-robin cursor for incremental FixFingers
+	nextFinger int // round-robin cursor for FixFingers; writer-only, under Ring.mu
+}
+
+// nodeState is one node's routing state inside a snapshot. It is immutable
+// once the snapshot publishes; writers that need to change it clone it into
+// their draft first.
+type nodeState struct {
+	fingers []uint64 // fingers[i] ≈ successor(ID + 2^i)
+	succs   []uint64 // successor list, nearest first
+	pred    uint64
+	hasPred bool
+}
+
+var emptyState = &nodeState{}
+
+// member pairs a node with its routing state so the lookup hot path fetches
+// both with a single map access — alive-check, node and state in one probe.
+type member struct {
+	node  *Node
+	state *nodeState
+}
+
+// st returns the member's routing state, tolerating entries whose state has
+// not been built yet (a draft mid-join).
+func (m member) st() *nodeState {
+	if m.state == nil {
+		return emptyState
+	}
+	return m.state
+}
+
+// snapshot is one immutable view of the ring: membership, node objects and
+// per-node routing state. Lookups load it once and never see it change.
+type snapshot struct {
+	members map[uint64]member
+	sorted  []uint64 // authoritative membership, ascending IDs
+}
+
+// stateOf returns a node's routing state in the snapshot, or an empty state
+// for nodes the snapshot no longer contains (e.g. a range walk holding a
+// *Node that failed mid-walk).
+func stateOf(s *snapshot, id uint64) *nodeState {
+	return s.members[id].st()
+}
+
+func aliveIn(s *snapshot, id uint64) bool {
+	_, ok := s.members[id]
+	return ok
 }
 
 // Ring is one Chord overlay instance.
@@ -68,9 +121,8 @@ type Ring struct {
 	cfg   Config
 	space ring.Space
 
-	mu     sync.RWMutex
-	nodes  map[uint64]*Node
-	sorted []uint64 // authoritative membership, ascending IDs
+	mu   sync.Mutex // serializes writers; lookups never take it
+	snap atomic.Pointer[snapshot]
 }
 
 // ErrEmpty is returned by operations that need at least one live node.
@@ -79,71 +131,125 @@ var ErrEmpty = errors.New("chord: ring has no nodes")
 // New creates an empty ring.
 func New(cfg Config) *Ring {
 	cfg = cfg.withDefaults()
-	return &Ring{
+	r := &Ring{
 		cfg:   cfg,
 		space: ring.NewSpace(cfg.Bits),
-		nodes: make(map[uint64]*Node),
 	}
+	r.snap.Store(&snapshot{members: make(map[uint64]member)})
+	return r
 }
+
+// view returns the current immutable snapshot.
+func (r *Ring) view() *snapshot { return r.snap.Load() }
 
 // Space returns the identifier space of the ring.
 func (r *Ring) Space() ring.Space { return r.space }
 
 // Size returns the current number of nodes.
-func (r *Ring) Size() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return len(r.sorted)
-}
+func (r *Ring) Size() int { return len(r.view().sorted) }
 
 // idFor derives a collision-free identifier for an address. Collisions are
 // resolved deterministically by re-hashing with an increasing salt index.
-func (r *Ring) idFor(addr string) uint64 {
+func (r *Ring) idFor(members map[uint64]member, addr string) uint64 {
 	key := r.cfg.Salt + "|" + addr
 	id := hashing.Consistent(r.space, key)
 	for i := 1; ; i++ {
-		if _, taken := r.nodes[id]; !taken {
+		if _, taken := members[id]; !taken {
 			return id
 		}
 		id = hashing.ConsistentN(r.space, key, i)
 	}
 }
 
-// insertMember adds a node to the authoritative membership (lock held).
-func (r *Ring) insertMember(n *Node) {
-	i := sort.Search(len(r.sorted), func(i int) bool { return r.sorted[i] >= n.ID })
-	r.sorted = append(r.sorted, 0)
-	copy(r.sorted[i+1:], r.sorted[i:])
-	r.sorted[i] = n.ID
-	r.nodes[n.ID] = n
+// draft is a writer's private copy-on-write working view. The member map
+// is fresh (so inserts and deletes never touch the published snapshot) but
+// nodeState values start shared with the parent snapshot and are cloned
+// lazily on first mutation.
+type draft struct {
+	s       *snapshot
+	mutated map[uint64]bool // state entries already private to this draft
 }
 
-// removeMember drops a node from the authoritative membership (lock held).
-func (r *Ring) removeMember(id uint64) {
-	i := sort.Search(len(r.sorted), func(i int) bool { return r.sorted[i] >= id })
-	if i < len(r.sorted) && r.sorted[i] == id {
-		r.sorted = append(r.sorted[:i], r.sorted[i+1:]...)
+// beginDraft snapshots the current view into a mutable draft (Ring.mu held).
+func (r *Ring) beginDraft() *draft {
+	cur := r.view()
+	s := &snapshot{
+		members: make(map[uint64]member, len(cur.members)+1),
+		sorted:  append(make([]uint64, 0, len(cur.sorted)+1), cur.sorted...),
 	}
-	delete(r.nodes, id)
+	for id, m := range cur.members {
+		s.members[id] = m
+	}
+	return &draft{s: s, mutated: make(map[uint64]bool)}
 }
 
-// oracleSuccessor returns the first member at or after key in ring order
-// (lock held). This is ground truth, not routed state.
-func (r *Ring) oracleSuccessor(key uint64) uint64 {
-	i := sort.Search(len(r.sorted), func(i int) bool { return r.sorted[i] >= key })
-	if i == len(r.sorted) {
+// mutState returns a state entry private to the draft, cloning the shared
+// one on first touch.
+func (d *draft) mutState(id uint64) *nodeState {
+	m := d.s.members[id]
+	if d.mutated[id] {
+		return m.state
+	}
+	st := &nodeState{}
+	if old := m.state; old != nil {
+		st.fingers = append([]uint64(nil), old.fingers...)
+		st.succs = append([]uint64(nil), old.succs...)
+		st.pred = old.pred
+		st.hasPred = old.hasPred
+	}
+	m.state = st
+	d.s.members[id] = m
+	d.mutated[id] = true
+	return st
+}
+
+// setState replaces a member's routing state wholesale.
+func (d *draft) setState(id uint64, st *nodeState) {
+	m := d.s.members[id]
+	m.state = st
+	d.s.members[id] = m
+	d.mutated[id] = true
+}
+
+// insert adds a node to the draft's membership.
+func (d *draft) insert(n *Node) {
+	i := sort.Search(len(d.s.sorted), func(i int) bool { return d.s.sorted[i] >= n.ID })
+	d.s.sorted = append(d.s.sorted, 0)
+	copy(d.s.sorted[i+1:], d.s.sorted[i:])
+	d.s.sorted[i] = n.ID
+	d.s.members[n.ID] = member{node: n}
+}
+
+// remove drops a node from the draft's membership and routing state.
+func (d *draft) remove(id uint64) {
+	i := sort.Search(len(d.s.sorted), func(i int) bool { return d.s.sorted[i] >= id })
+	if i < len(d.s.sorted) && d.s.sorted[i] == id {
+		d.s.sorted = append(d.s.sorted[:i], d.s.sorted[i+1:]...)
+	}
+	delete(d.s.members, id)
+	delete(d.mutated, id)
+}
+
+// publish swaps the draft in as the ring's current snapshot (Ring.mu held).
+func (r *Ring) publish(d *draft) { r.snap.Store(d.s) }
+
+// oracleSuccessorIn returns the first member at or after key in ring order.
+// This is ground truth from membership, not routed state.
+func (r *Ring) oracleSuccessorIn(s *snapshot, key uint64) uint64 {
+	i := sort.Search(len(s.sorted), func(i int) bool { return s.sorted[i] >= key })
+	if i == len(s.sorted) {
 		i = 0
 	}
-	return r.sorted[i]
+	return s.sorted[i]
 }
 
-// oraclePredecessor returns the last member strictly before key (lock held).
-func (r *Ring) oraclePredecessor(key uint64) uint64 {
-	i := sort.Search(len(r.sorted), func(i int) bool { return r.sorted[i] >= key })
+// oraclePredecessorIn returns the last member strictly before key.
+func (r *Ring) oraclePredecessorIn(s *snapshot, key uint64) uint64 {
+	i := sort.Search(len(s.sorted), func(i int) bool { return s.sorted[i] >= key })
 	if i == 0 {
-		return r.sorted[len(r.sorted)-1]
+		return s.sorted[len(s.sorted)-1]
 	}
-	return r.sorted[i-1]
+	return s.sorted[i-1]
 }
 
 // AddBulk hashes and inserts the given addresses and then rebuilds every
@@ -153,87 +259,96 @@ func (r *Ring) oraclePredecessor(key uint64) uint64 {
 func (r *Ring) AddBulk(addrs []string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	d := r.beginDraft()
 	for _, addr := range addrs {
 		if addr == "" {
 			return fmt.Errorf("chord: empty address")
 		}
-		id := r.idFor(addr)
-		r.insertMember(&Node{ID: id, Addr: addr})
+		id := r.idFor(d.s.members, addr)
+		d.insert(&Node{ID: id, Addr: addr})
 	}
-	r.rebuildAllLocked()
+	for _, id := range d.s.sorted {
+		r.rebuildNode(d, d.s.members[id].node)
+	}
+	r.publish(d)
 	return nil
 }
 
-// rebuildAllLocked recomputes pred/succ/fingers for every node from the
-// authoritative membership (lock held).
-func (r *Ring) rebuildAllLocked() {
-	for _, id := range r.sorted {
-		r.rebuildNodeLocked(r.nodes[id])
-	}
-}
-
-// rebuildNodeLocked recomputes one node's routing state (lock held).
-func (r *Ring) rebuildNodeLocked(n *Node) {
-	if len(r.sorted) == 0 {
+// rebuildNode recomputes one node's routing state from the draft's
+// membership, replacing its state entry wholesale.
+func (r *Ring) rebuildNode(d *draft, n *Node) {
+	if len(d.s.sorted) == 0 {
 		return
 	}
-	n.pred = r.oraclePredecessor(n.ID)
-	n.hasPred = true
-	n.succs = n.succs[:0]
+	st := &nodeState{
+		pred:    r.oraclePredecessorIn(d.s, n.ID),
+		hasPred: true,
+		fingers: make([]uint64, r.cfg.Bits),
+	}
 	next := n.ID
 	for i := 0; i < r.cfg.SuccListLen; i++ {
-		next = r.oracleSuccessor(r.space.Add(next, 1))
-		n.succs = append(n.succs, next)
+		next = r.oracleSuccessorIn(d.s, r.space.Add(next, 1))
+		st.succs = append(st.succs, next)
 		if next == n.ID { // fewer nodes than list slots
 			break
 		}
 	}
-	if n.fingers == nil {
-		n.fingers = make([]uint64, r.cfg.Bits)
-	}
 	for i := uint(0); i < r.cfg.Bits; i++ {
-		n.fingers[i] = r.oracleSuccessor(r.space.Add(n.ID, uint64(1)<<i))
+		st.fingers[i] = r.oracleSuccessorIn(d.s, r.space.Add(n.ID, uint64(1)<<i))
 	}
+	d.setState(n.ID, st)
 }
 
-// successorLocked returns a node's first live successor, repairing the list
-// head in place if the nominal successor has departed (lock held; callers
-// doing repairs hold the write lock, read-only paths tolerate staleness).
-func (r *Ring) successorLocked(n *Node) uint64 {
-	for _, s := range n.succs {
-		if _, alive := r.nodes[s]; alive {
-			return s
+// successorIn returns a node's first live successor in the given view,
+// falling back to ground truth when the whole list is stale (extreme churn
+// between stabilization rounds — a real deployment would rejoin). The
+// second return is the successor's member entry.
+func (r *Ring) successorIn(s *snapshot, cur member) (uint64, member) {
+	id := cur.node.ID
+	for _, c := range cur.st().succs {
+		if m, ok := s.members[c]; ok {
+			return c, m
 		}
 	}
-	// Successor list entirely stale (can only happen under extreme churn
-	// between stabilization rounds): fall back to ground truth, as a real
-	// deployment would fall back to rejoining.
-	if len(r.sorted) == 0 {
-		return n.ID
+	if len(s.sorted) == 0 {
+		return id, cur
 	}
-	return r.oracleSuccessor(r.space.Add(n.ID, 1))
+	succ := r.oracleSuccessorIn(s, r.space.Add(id, 1))
+	return succ, s.members[succ]
 }
 
-// closestPrecedingLocked returns the live routing-table entry of n that
-// most closely precedes key, or n.ID when none does (lock held).
-func (r *Ring) closestPrecedingLocked(n *Node, key uint64) uint64 {
-	for i := len(n.fingers) - 1; i >= 0; i-- {
-		f := n.fingers[i]
-		if _, alive := r.nodes[f]; !alive {
+// memberOf resolves a *Node held by a caller to its member entry in the
+// given view. Nodes the view no longer contains resolve to a state-less
+// member, which routes via oracle fallbacks.
+func memberOf(s *snapshot, n *Node) member {
+	if m, ok := s.members[n.ID]; ok && m.node == n {
+		return m
+	}
+	return member{node: n}
+}
+
+// closestPrecedingIn returns the live routing-table entry of cur that most
+// closely precedes key in the given view; ok is false when none does.
+func (r *Ring) closestPrecedingIn(s *snapshot, cur member, key uint64) (uint64, member, bool) {
+	st := cur.st()
+	id := cur.node.ID
+	for i := len(st.fingers) - 1; i >= 0; i-- {
+		f := st.fingers[i]
+		if !r.space.Between(f, id, key) {
 			continue
 		}
-		if r.space.Between(f, n.ID, key) {
-			return f
+		if m, ok := s.members[f]; ok {
+			return f, m, true
 		}
 	}
-	for i := len(n.succs) - 1; i >= 0; i-- {
-		s := n.succs[i]
-		if _, alive := r.nodes[s]; !alive {
+	for i := len(st.succs) - 1; i >= 0; i-- {
+		c := st.succs[i]
+		if !r.space.Between(c, id, key) {
 			continue
 		}
-		if r.space.Between(s, n.ID, key) {
-			return s
+		if m, ok := s.members[c]; ok {
+			return c, m, true
 		}
 	}
-	return n.ID
+	return 0, member{}, false
 }

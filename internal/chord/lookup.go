@@ -5,6 +5,7 @@ import (
 
 	"lorm/internal/directory"
 	"lorm/internal/hashing"
+	"lorm/internal/routing"
 )
 
 // Route is the outcome of one lookup: the root node responsible for the
@@ -14,59 +15,76 @@ type Route struct {
 	Hops int
 }
 
-// Lookup routes iteratively from the node `from` to the successor of key,
-// following fingers exactly as the protocol prescribes and counting one
-// logical hop per node-to-node forward. It takes the ring's read lock, so
-// any number of lookups proceed concurrently; membership changes exclude
-// them briefly.
+// Lookup routes iteratively from the node `from` to the successor of key
+// without accounting; overlay tests and internal maintenance use it.
 func (r *Ring) Lookup(from *Node, key uint64) (Route, error) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return r.lookupLocked(from, key)
+	return r.LookupOp(nil, from, key)
 }
 
-func (r *Ring) lookupLocked(from *Node, key uint64) (Route, error) {
-	if len(r.sorted) == 0 {
+// LookupOp routes iteratively from the node `from` to the successor of key,
+// following fingers exactly as the protocol prescribes, and records each
+// node-to-node forward into op (nil op: count-free routing). Lookups are
+// lock-free: the whole walk runs over one immutable snapshot, so concurrent
+// membership changes can neither block it nor corrupt it.
+func (r *Ring) LookupOp(op *routing.Op, from *Node, key uint64) (Route, error) {
+	return r.lookupOn(r.view(), op, from, key)
+}
+
+func (r *Ring) lookupOn(s *snapshot, op *routing.Op, from *Node, key uint64) (Route, error) {
+	if len(s.sorted) == 0 {
 		return Route{}, ErrEmpty
 	}
-	if from == nil || r.nodes[from.ID] != from {
+	if from == nil {
 		return Route{}, fmt.Errorf("chord: lookup from a node that is not a live member")
 	}
-	cur := from
+	cur, ok := s.members[from.ID]
+	if !ok || cur.node != from {
+		return Route{}, fmt.Errorf("chord: lookup from a node that is not a live member")
+	}
 	hops := 0
 	// 4×Bits forwards is far beyond any legitimate path (log2 n + slack);
 	// exceeding it means routing state is corrupt.
-	maxHops := int(4*r.cfg.Bits) + len(r.sorted)
+	maxHops := int(4*r.cfg.Bits) + len(s.sorted)
 	for ; hops <= maxHops; hops++ {
 		// Does the key belong to cur itself?
-		if cur.hasPred {
-			if _, alive := r.nodes[cur.pred]; alive && r.space.BetweenIncl(key, cur.pred, cur.ID) {
-				return Route{Root: cur, Hops: hops}, nil
+		st := cur.st()
+		if st.hasPred {
+			if _, alive := s.members[st.pred]; alive && r.space.BetweenIncl(key, st.pred, cur.node.ID) {
+				return Route{Root: cur.node, Hops: hops}, nil
 			}
 		}
-		succ := r.successorLocked(cur)
-		if succ == cur.ID { // single-node ring
-			return Route{Root: cur, Hops: hops}, nil
+		succ, succM := r.successorIn(s, cur)
+		if succ == cur.node.ID { // single-node ring
+			return Route{Root: cur.node, Hops: hops}, nil
 		}
 		// Key between cur and its successor: the successor is the root.
-		if r.space.BetweenIncl(key, cur.ID, succ) {
-			return Route{Root: r.nodes[succ], Hops: hops + 1}, nil
+		if r.space.BetweenIncl(key, cur.node.ID, succ) {
+			op.Forward(succM.node.Addr, succ, routing.ReasonFingerForward)
+			return Route{Root: succM.node, Hops: hops + 1}, nil
 		}
-		next := r.closestPrecedingLocked(cur, key)
-		if next == cur.ID {
+		_, next, ok := r.closestPrecedingIn(s, cur, key)
+		if !ok {
 			// Stale tables offer no progress; step to the successor, which
 			// always advances clockwise and therefore terminates.
-			next = succ
+			next = succM
 		}
-		cur = r.nodes[next]
+		cur = next
+		op.Forward(cur.node.Addr, cur.node.ID, routing.ReasonFingerForward)
 	}
 	return Route{}, fmt.Errorf("chord: lookup for %d exceeded %d hops", key, maxHops)
 }
 
-// Insert stores an info entry under key on the responsible node, routing
-// from the given start node. It returns the route taken.
+// Insert stores an info entry under key on the responsible node without
+// accounting; see InsertOp.
 func (r *Ring) Insert(from *Node, key uint64, e directory.Entry) (Route, error) {
-	route, err := r.Lookup(from, key)
+	return r.InsertOp(nil, from, key, e)
+}
+
+// InsertOp stores an info entry under key on the responsible node, routing
+// from the given start node and recording the forwards into op. It returns
+// the route taken.
+func (r *Ring) InsertOp(op *routing.Op, from *Node, key uint64, e directory.Entry) (Route, error) {
+	route, err := r.LookupOp(op, from, key)
 	if err != nil {
 		return Route{}, err
 	}
@@ -76,25 +94,24 @@ func (r *Ring) Insert(from *Node, key uint64, e directory.Entry) (Route, error) 
 
 // NextNode returns the live node that immediately follows n in ring order
 // — the "immediate successor" a range query walks to. The second return is
-// false when n is the only node.
+// false when n is the only node. Callers record the walk step into their
+// own routing.Op (the reason — range walk versus replica placement — is
+// theirs to know).
 func (r *Ring) NextNode(n *Node) (*Node, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	succ := r.successorLocked(n)
+	s := r.view()
+	succ, succM := r.successorIn(s, memberOf(s, n))
 	if succ == n.ID {
 		return n, false
 	}
-	return r.nodes[succ], true
+	return succM.node, true
 }
 
 // NodeByAddr finds a live node by address; O(n), intended for tests and
 // the churn driver's victim selection.
 func (r *Ring) NodeByAddr(addr string) (*Node, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	for _, n := range r.nodes {
-		if n.Addr == addr {
-			return n, true
+	for _, m := range r.view().members {
+		if m.node.Addr == addr {
+			return m.node, true
 		}
 	}
 	return nil, false
@@ -104,42 +121,38 @@ func (r *Ring) NodeByAddr(addr string) (*Node, bool) {
 // hash(seed): the experiments use it to choose query start nodes and churn
 // victims without keeping an external index.
 func (r *Ring) NodeNear(seed string) (*Node, error) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	if len(r.sorted) == 0 {
+	s := r.view()
+	if len(s.sorted) == 0 {
 		return nil, ErrEmpty
 	}
-	return r.nodes[r.oracleSuccessor(hashing.Consistent(r.space, seed))], nil
+	return s.members[r.oracleSuccessorIn(s, hashing.Consistent(r.space, seed))].node, nil
 }
 
 // OwnerOf returns the ground-truth root for a key (oracle, no routing).
 func (r *Ring) OwnerOf(key uint64) (*Node, error) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	if len(r.sorted) == 0 {
+	s := r.view()
+	if len(s.sorted) == 0 {
 		return nil, ErrEmpty
 	}
-	return r.nodes[r.oracleSuccessor(key)], nil
+	return s.members[r.oracleSuccessorIn(s, key)].node, nil
 }
 
 // Nodes returns a snapshot of all live nodes in ascending ID order.
 func (r *Ring) Nodes() []*Node {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]*Node, len(r.sorted))
-	for i, id := range r.sorted {
-		out[i] = r.nodes[id]
+	s := r.view()
+	out := make([]*Node, len(s.sorted))
+	for i, id := range s.sorted {
+		out[i] = s.members[id].node
 	}
 	return out
 }
 
 // Addrs returns the addresses of all live nodes in ascending ID order.
 func (r *Ring) Addrs() []string {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]string, len(r.sorted))
-	for i, id := range r.sorted {
-		out[i] = r.nodes[id].Addr
+	s := r.view()
+	out := make([]string, len(s.sorted))
+	for i, id := range s.sorted {
+		out[i] = s.members[id].node.Addr
 	}
 	return out
 }
@@ -147,11 +160,10 @@ func (r *Ring) Addrs() []string {
 // DirectorySizes returns each live node's directory size, ascending ID
 // order — the raw sample behind Figures 3(b)–(d).
 func (r *Ring) DirectorySizes() []int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]int, len(r.sorted))
-	for i, id := range r.sorted {
-		out[i] = r.nodes[id].Dir.Len()
+	s := r.view()
+	out := make([]int, len(s.sorted))
+	for i, id := range s.sorted {
+		out[i] = s.members[id].node.Dir.Len()
 	}
 	return out
 }
@@ -160,25 +172,25 @@ func (r *Ring) DirectorySizes() []int {
 // (fingers ∪ successor list ∪ predecessor) a node maintains — the
 // per-node structure maintenance overhead of Theorem 4.1 / Figure 3(a).
 func (r *Ring) OutlinkCount(n *Node) int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	distinct := make(map[uint64]bool, len(n.fingers)+len(n.succs)+1)
+	s := r.view()
+	st := stateOf(s, n.ID)
+	distinct := make(map[uint64]bool, len(st.fingers)+len(st.succs)+1)
 	add := func(id uint64) {
 		if id == n.ID {
 			return
 		}
-		if _, alive := r.nodes[id]; alive {
+		if aliveIn(s, id) {
 			distinct[id] = true
 		}
 	}
-	for _, f := range n.fingers {
+	for _, f := range st.fingers {
 		add(f)
 	}
-	for _, s := range n.succs {
-		add(s)
+	for _, c := range st.succs {
+		add(c)
 	}
-	if n.hasPred {
-		add(n.pred)
+	if st.hasPred {
+		add(st.pred)
 	}
 	return len(distinct)
 }
@@ -196,14 +208,14 @@ func (r *Ring) OutlinkCounts() []int {
 // Owns reports whether n is responsible for key: the node-local test a
 // range walk uses to decide it has reached the end of the queried range.
 func (r *Ring) Owns(n *Node, key uint64) bool {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	if len(r.sorted) == 1 {
+	s := r.view()
+	if len(s.sorted) <= 1 {
 		return true
 	}
-	pred := n.pred
-	if !n.hasPred || r.deadLocked(pred) {
-		pred = r.oraclePredecessor(n.ID)
+	st := stateOf(s, n.ID)
+	pred := st.pred
+	if !st.hasPred || !aliveIn(s, pred) {
+		pred = r.oraclePredecessorIn(s, n.ID)
 	}
 	return r.space.BetweenIncl(key, pred, n.ID)
 }

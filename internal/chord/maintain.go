@@ -11,59 +11,67 @@ import (
 // between that successor and its predecessor, takes over the keys it is
 // now responsible for, and builds its finger table by lookups. Existing
 // nodes' fingers are not touched; FixFingers repairs them over time,
-// exactly as in the protocol.
+// exactly as in the protocol. The whole join builds on a private draft and
+// publishes with one pointer swap, so concurrent lookups see either the
+// old ring or the fully spliced one.
 func (r *Ring) Join(addr string) (*Node, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if addr == "" {
 		return nil, fmt.Errorf("chord: empty address")
 	}
-	id := r.idFor(addr)
+	d := r.beginDraft()
+	id := r.idFor(d.s.members, addr)
 	n := &Node{ID: id, Addr: addr}
 
-	if len(r.sorted) == 0 { // first node: a ring of one
-		r.insertMember(n)
-		r.rebuildNodeLocked(n)
+	if len(d.s.sorted) == 0 { // first node: a ring of one
+		d.insert(n)
+		r.rebuildNode(d, n)
+		r.publish(d)
 		return n, nil
 	}
 
-	bootstrap := r.nodes[r.sorted[0]]
-	route, err := r.lookupLocked(bootstrap, id)
+	bootstrap := d.s.members[d.s.sorted[0]].node
+	route, err := r.lookupOn(d.s, nil, bootstrap, id)
 	if err != nil {
 		return nil, fmt.Errorf("chord: join lookup failed: %w", err)
 	}
 	succ := route.Root
-	r.insertMember(n)
+	d.insert(n)
 
 	// Splice pointers: n sits between succ's old predecessor and succ.
-	if succ.hasPred {
-		if p, alive := r.nodes[succ.pred]; alive {
-			p.succs = prependSucc(p.succs, id, r.cfg.SuccListLen)
+	succSt := d.mutState(succ.ID)
+	nSt := d.mutState(id)
+	if succSt.hasPred {
+		if aliveIn(d.s, succSt.pred) {
+			pSt := d.mutState(succSt.pred)
+			pSt.succs = prependSucc(pSt.succs, id, r.cfg.SuccListLen)
 		}
-		n.pred, n.hasPred = succ.pred, true
+		nSt.pred, nSt.hasPred = succSt.pred, true
 	}
-	succ.pred, succ.hasPred = id, true
-	n.succs = prependSucc(append([]uint64(nil), succ.succs...), succ.ID, r.cfg.SuccListLen)
+	nSt.succs = prependSucc(append([]uint64(nil), succSt.succs...), succ.ID, r.cfg.SuccListLen)
+	succSt.pred, succSt.hasPred = id, true
 
 	// Key handover: entries in (pred(n), n] now belong to n.
-	if n.hasPred {
-		pred := n.pred
+	if nSt.hasPred {
+		pred := nSt.pred
 		moved := succ.Dir.TakeIf(func(e directory.Entry) bool {
 			return r.space.BetweenIncl(e.Key, pred, id)
 		})
 		n.Dir.AddAll(moved)
 	}
 
-	// Build the newcomer's fingers by routed lookups through the ring.
-	n.fingers = make([]uint64, r.cfg.Bits)
+	// Build the newcomer's fingers by routed lookups through the draft.
+	nSt.fingers = make([]uint64, r.cfg.Bits)
 	for i := uint(0); i < r.cfg.Bits; i++ {
 		target := r.space.Add(id, uint64(1)<<i)
-		rt, err := r.lookupLocked(succ, target)
+		rt, err := r.lookupOn(d.s, nil, succ, target)
 		if err != nil {
 			return nil, fmt.Errorf("chord: join fix finger %d: %w", i, err)
 		}
-		n.fingers[i] = rt.Root.ID
+		nSt.fingers[i] = rt.Root.ID
 	}
+	r.publish(d)
 	return n, nil
 }
 
@@ -73,68 +81,78 @@ func (r *Ring) Join(addr string) (*Node, error) {
 func (r *Ring) Leave(n *Node) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, alive := r.nodes[n.ID]; !alive {
+	d := r.beginDraft()
+	if !aliveIn(d.s, n.ID) {
 		return fmt.Errorf("chord: leave of unknown node %s", n.Addr)
 	}
-	if len(r.sorted) == 1 {
+	if len(d.s.sorted) == 1 {
 		return fmt.Errorf("chord: refusing to remove the last node")
 	}
-	r.removeMember(n.ID)
+	nSt := stateOf(d.s, n.ID)
+	d.remove(n.ID)
 
-	succID := r.oracleSuccessor(n.ID)
-	succ := r.nodes[succID]
+	succID := r.oracleSuccessorIn(d.s, n.ID)
+	succ := d.s.members[succID].node
 	succ.Dir.AddAll(n.Dir.TakeAll())
 
 	// Repair immediate neighbors.
-	if n.hasPred {
-		if p, alive := r.nodes[n.pred]; alive {
-			p.succs = prependSucc(removeID(p.succs, n.ID), succID, r.cfg.SuccListLen)
+	succSt := d.mutState(succID)
+	if nSt.hasPred {
+		if aliveIn(d.s, nSt.pred) {
+			pSt := d.mutState(nSt.pred)
+			pSt.succs = prependSucc(removeID(pSt.succs, n.ID), succID, r.cfg.SuccListLen)
 		}
-		if succ.hasPred && succ.pred == n.ID {
-			succ.pred = n.pred
+		if succSt.hasPred && succSt.pred == n.ID {
+			succSt.pred = nSt.pred
 		}
-	} else if succ.hasPred && succ.pred == n.ID {
-		succ.pred = r.oraclePredecessor(succID)
+	} else if succSt.hasPred && succSt.pred == n.ID {
+		succSt.pred = r.oraclePredecessorIn(d.s, succID)
 	}
+	r.publish(d)
 	return nil
 }
 
 // Stabilize runs one stabilization round on every node: adopt the
 // successor's predecessor when it falls between, refresh the successor
 // list, and notify the successor. It repairs the pointer invariants that
-// protocol joins leave eventually-consistent.
+// protocol joins leave eventually-consistent. The round runs on a draft
+// and publishes once, so lookups never see a half-stabilized ring.
 func (r *Ring) Stabilize() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for _, id := range r.sorted {
-		n := r.nodes[id]
-		succID := r.successorLocked(n)
+	d := r.beginDraft()
+	for _, id := range d.s.sorted {
+		n := d.s.members[id].node
+		succID, _ := r.successorIn(d.s, d.s.members[id])
 		if succID == n.ID {
 			continue
 		}
-		succ := r.nodes[succID]
-		if succ.hasPred {
-			if p, alive := r.nodes[succ.pred]; alive && r.space.Between(p.ID, n.ID, succID) {
-				succID, succ = p.ID, p
+		succSt := stateOf(d.s, succID)
+		if succSt.hasPred {
+			if aliveIn(d.s, succSt.pred) && r.space.Between(succSt.pred, n.ID, succID) {
+				succID = succSt.pred
+				succSt = stateOf(d.s, succID)
 			}
 		}
 		// Refresh successor list from the successor's list.
 		list := make([]uint64, 0, r.cfg.SuccListLen)
 		list = append(list, succID)
-		for _, s := range succ.succs {
+		for _, c := range succSt.succs {
 			if len(list) >= r.cfg.SuccListLen {
 				break
 			}
-			if _, alive := r.nodes[s]; alive && s != n.ID {
-				list = append(list, s)
+			if aliveIn(d.s, c) && c != n.ID {
+				list = append(list, c)
 			}
 		}
-		n.succs = list
+		d.mutState(id).succs = list
 		// Notify.
-		if !succ.hasPred || r.space.Between(n.ID, succ.pred, succID) || r.deadLocked(succ.pred) {
-			succ.pred, succ.hasPred = n.ID, true
+		succMut := d.mutState(succID)
+		if !succMut.hasPred || r.space.Between(n.ID, succMut.pred, succID) || !aliveIn(d.s, succMut.pred) {
+			succMut.pred, succMut.hasPred = n.ID, true
 		}
 	}
+	r.publish(d)
 }
 
 // FixFingers refreshes `perNode` finger entries on every node using routed
@@ -145,10 +163,14 @@ func (r *Ring) FixFingers(perNode int) {
 	if perNode <= 0 || perNode > int(r.cfg.Bits) {
 		perNode = int(r.cfg.Bits)
 	}
-	for _, id := range r.sorted {
-		n := r.nodes[id]
-		if n.fingers == nil {
-			n.fingers = make([]uint64, r.cfg.Bits)
+	d := r.beginDraft()
+	for _, id := range d.s.sorted {
+		n := d.s.members[id].node
+		st := d.mutState(id)
+		if len(st.fingers) < int(r.cfg.Bits) {
+			fingers := make([]uint64, r.cfg.Bits)
+			copy(fingers, st.fingers)
+			st.fingers = fingers
 		}
 		for j := 0; j < perNode; j++ {
 			i := (n.nextFinger + j) % int(r.cfg.Bits)
@@ -156,15 +178,11 @@ func (r *Ring) FixFingers(perNode int) {
 			// Oracle repair: periodic fix-fingers converges to ground truth
 			// in the protocol; we jump straight there, which reproduces the
 			// post-convergence state without simulating every probe.
-			n.fingers[i] = r.oracleSuccessor(target)
+			st.fingers[i] = r.oracleSuccessorIn(d.s, target)
 		}
 		n.nextFinger = (n.nextFinger + perNode) % int(r.cfg.Bits)
 	}
-}
-
-func (r *Ring) deadLocked(id uint64) bool {
-	_, alive := r.nodes[id]
-	return !alive
+	r.publish(d)
 }
 
 // prependSucc puts id at the head of a successor list, dedups, and trims.
@@ -201,12 +219,14 @@ func removeID(list []uint64, id uint64) []uint64 {
 func (r *Ring) Fail(n *Node) (lostEntries int, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.nodes[n.ID] != n {
+	d := r.beginDraft()
+	if d.s.members[n.ID].node != n {
 		return 0, fmt.Errorf("chord: fail of unknown node %s", n.Addr)
 	}
-	if len(r.sorted) == 1 {
+	if len(d.s.sorted) == 1 {
 		return 0, fmt.Errorf("chord: refusing to fail the last node")
 	}
-	r.removeMember(n.ID)
+	d.remove(n.ID)
+	r.publish(d)
 	return n.Dir.Len(), nil
 }

@@ -30,6 +30,7 @@ import (
 	"lorm/internal/hashing"
 	"lorm/internal/resource"
 	"lorm/internal/ring"
+	"lorm/internal/routing"
 )
 
 // Config parameterizes a LORM deployment.
@@ -50,11 +51,13 @@ type System struct {
 	overlay   *cycloid.Overlay
 	cubeSpace ring.Space // d-bit space: consistent hash of attribute → cluster
 	replicas  int        // replication factor; < 2 means unreplicated (the paper's model)
+	fabric    *routing.Fabric
 }
 
 var (
-	_ discovery.System  = (*System)(nil)
-	_ discovery.Dynamic = (*System)(nil)
+	_ discovery.System     = (*System)(nil)
+	_ discovery.Dynamic    = (*System)(nil)
+	_ routing.Instrumented = (*System)(nil)
 )
 
 // New creates an empty LORM system; populate it with AddNodes,
@@ -71,8 +74,12 @@ func New(cfg Config) (*System, error) {
 		schema:    cfg.Schema,
 		overlay:   ov,
 		cubeSpace: ring.NewSpace(uint(cfg.D)),
+		fabric:    routing.NewFabric("lorm"),
 	}, nil
 }
+
+// RoutingFabric implements routing.Instrumented.
+func (s *System) RoutingFabric() *routing.Fabric { return s.fabric }
 
 // AddNodes bulk-populates the overlay with the given node addresses.
 func (s *System) AddNodes(addrs []string) error { return s.overlay.AddBulk(addrs) }
@@ -124,23 +131,25 @@ func (s *System) RescID(attr string, value float64) (cycloid.ID, error) {
 // Register implements discovery.System: it announces one piece of
 // available-resource information via Insert(rescID, rescInfo), routing
 // from the node nearest the announcing owner.
-func (s *System) Register(info resource.Info) (discovery.Cost, error) {
+func (s *System) Register(info resource.Info) (cost discovery.Cost, err error) {
 	key, err := s.RescID(info.Attr, info.Value)
 	if err != nil {
-		return discovery.Cost{}, err
+		return cost, err
 	}
 	from, err := s.overlay.NodeNear(info.Owner)
 	if err != nil {
-		return discovery.Cost{}, err
+		return cost, err
 	}
+	op := s.fabric.Begin(routing.OpRegister, info.Owner)
 	e := directory.Entry{Key: s.overlay.Pos(key), Info: info}
-	route, err := s.overlay.Insert(from, key, e)
+	route, err := s.overlay.InsertOp(op, from, key, e)
 	if err != nil {
-		return discovery.Cost{}, err
+		op.Finish()
+		return cost, err
 	}
 	// Replication extension: place copies on the root's ring successors.
-	extra := s.replicate(route.Root, e)
-	return discovery.Cost{Hops: route.Hops + extra, Messages: route.Hops + extra}, nil
+	s.replicate(op, route.Root, e)
+	return op.Finish(), nil
 }
 
 // Discover implements discovery.System. Sub-queries run in parallel; each
@@ -155,24 +164,32 @@ func (s *System) Discover(q resource.Query) (*discovery.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return discovery.RunSubs(q, func(sub resource.SubQuery) ([]resource.Info, discovery.Cost, error) {
-		return s.resolveSub(from, sub)
+	op := s.fabric.Begin(routing.OpDiscover, q.Requester)
+	defer op.Finish()
+	res, err := discovery.RunSubs(q, func(sub resource.SubQuery) ([]resource.Info, error) {
+		return s.resolveSub(op, from, sub)
 	})
+	if err != nil {
+		return nil, err
+	}
+	res.Cost = op.Cost()
+	return res, nil
 }
 
-// resolveSub resolves one sub-query from the given start node.
-func (s *System) resolveSub(from *cycloid.Node, sub resource.SubQuery) ([]resource.Info, discovery.Cost, error) {
+// resolveSub resolves one sub-query from the given start node, recording
+// forwards and directory visits into the shared per-query op.
+func (s *System) resolveSub(op *routing.Op, from *cycloid.Node, sub resource.SubQuery) ([]resource.Info, error) {
 	a, _ := s.schema.Lookup(sub.Attr) // validated by Discover
 	cluster := s.clusterOf(sub.Attr)
 	loKey := cycloid.ID{K: s.cyclicOf(a, sub.Low), A: cluster}
 	hiKey := cycloid.ID{K: s.cyclicOf(a, sub.High), A: cluster}
 
-	route, err := s.overlay.Lookup(from, loKey)
+	route, err := s.overlay.LookupOp(op, from, loKey)
 	if err != nil {
-		return nil, discovery.Cost{}, err
+		return nil, err
 	}
-	cost := discovery.Cost{Hops: route.Hops, Visited: 1, Messages: route.Hops + 1}
 	cur := route.Root
+	op.Visit(cur.Addr, cur.Pos)
 	matches := cur.Dir.Match(sub.Attr, sub.Low, sub.High)
 
 	// Range walk: forward along intra-cluster successors until the walk's
@@ -190,15 +207,14 @@ func (s *System) resolveSub(from *cycloid.Node, sub resource.SubQuery) ([]resour
 		}
 		covered += s.overlay.CwDist(cur.Pos, next.Pos)
 		cur = next
-		cost.Hops++
-		cost.Visited++
-		cost.Messages += 2 // forward + reply
+		op.Forward(cur.Addr, cur.Pos, routing.ReasonRangeWalk)
+		op.Visit(cur.Addr, cur.Pos)
 		matches = append(matches, cur.Dir.Match(sub.Attr, sub.Low, sub.High)...)
 	}
 	if s.Replicas() > 1 {
 		matches = dedupe(matches)
 	}
-	return matches, cost, nil
+	return matches, nil
 }
 
 // DirectorySizes implements discovery.System.

@@ -6,6 +6,7 @@ import (
 	"lorm/internal/cycloid"
 	"lorm/internal/directory"
 	"lorm/internal/resource"
+	"lorm/internal/routing"
 )
 
 // Replication is a LORM extension beyond the paper's evaluation: the paper
@@ -38,9 +39,10 @@ func (s *System) Replicas() int {
 	return s.replicas
 }
 
-// replicate stores e on up to r-1 distinct successors of root, returning
-// the number of copies placed.
-func (s *System) replicate(root *cycloid.Node, e directory.Entry) int {
+// replicate stores e on up to r-1 distinct successors of root, recording
+// each placement as a replicate-forward into op. Returns the number of
+// copies placed.
+func (s *System) replicate(op *routing.Op, root *cycloid.Node, e directory.Entry) int {
 	placed := 0
 	cur := root
 	for i := 1; i < s.Replicas(); i++ {
@@ -50,6 +52,7 @@ func (s *System) replicate(root *cycloid.Node, e directory.Entry) int {
 		}
 		cur = next
 		cur.Dir.Add(e)
+		op.Forward(cur.Addr, cur.Pos, routing.ReasonReplicate)
 		placed++
 	}
 	return placed

@@ -20,6 +20,11 @@
 // the adjacent clusters, one cubical neighbor, and two cyclic neighbors —
 // seven links regardless of n, which is the constant maintenance overhead
 // Theorem 4.1 compares against Mercury's m·log n.
+//
+// Concurrency model: identical to chord. Link state lives in immutable
+// snapshots behind an atomic pointer; lookups load one snapshot and route
+// lock-free over it, writers serialize on a mutex, rebuild state in a
+// private draft and publish with a pointer swap.
 package cycloid
 
 import (
@@ -27,6 +32,7 @@ import (
 	"math/bits"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"lorm/internal/directory"
 	"lorm/internal/hashing"
@@ -45,15 +51,21 @@ func (id ID) String() string { return fmt.Sprintf("(%d,%d)", id.K, id.A) }
 // noLink marks an absent neighbor.
 const noLink = ^uint64(0)
 
-// Node is one Cycloid peer. Link fields hold linearized positions and are
-// guarded by the owning Overlay's lock (writes under the write lock, reads
-// under the read lock). The directory has its own lock.
+// Node is one Cycloid peer: stable identity plus its directory. The seven
+// links live in the overlay's current snapshot, not on the node, so Node
+// pointers stay valid across membership changes and lookups read them
+// without locking. The directory has its own lock.
 type Node struct {
 	ID   ID
 	Pos  uint64
 	Addr string
 	Dir  directory.Store
+}
 
+// nodeState is one node's link set inside a snapshot, immutable once the
+// snapshot publishes. Writers always rebuild a node's links wholesale, so
+// drafts replace entries rather than editing them.
+type nodeState struct {
 	ringPred    uint64 // immediate predecessor on the linearized ring (inside leaf set)
 	ringSucc    uint64 // immediate successor on the linearized ring (inside leaf set)
 	outsidePred uint64 // last node of the preceding non-empty cluster (outside leaf set)
@@ -61,6 +73,51 @@ type Node struct {
 	cubical     uint64 // owner of (K, A ^ 2^K): the hypercube dimension-K edge
 	cyclicPred  uint64 // owner of (K-1 mod d, A-1): descending link, preceding cluster
 	cyclicSucc  uint64 // owner of (K-1 mod d, A+1): descending link, succeeding cluster
+}
+
+var emptyState = &nodeState{
+	ringPred: noLink, ringSucc: noLink,
+	outsidePred: noLink, outsideSucc: noLink,
+	cubical: noLink, cyclicPred: noLink, cyclicSucc: noLink,
+}
+
+// member pairs a node with its link state so the lookup hot path fetches
+// both with a single map access — alive-check, node and state in one probe.
+type member struct {
+	node  *Node
+	state *nodeState
+}
+
+// st returns the member's link state, tolerating entries whose state has
+// not been built yet (a draft mid-join).
+func (m member) st() *nodeState {
+	if m.state == nil {
+		return emptyState
+	}
+	return m.state
+}
+
+// snapshot is one immutable view of the overlay. The identifier space is
+// dense (capacity = d·2^d positions), so membership is a flat slice indexed
+// by linearized position — the lookup hot path is pure array indexing, no
+// hashing. Cloning it per membership change is one memcpy of
+// capacity × 16 bytes (32 KiB at the paper's d = 8).
+type snapshot struct {
+	members []member // indexed by position; node == nil marks an empty slot
+	sorted  []uint64 // positions ascending: authoritative membership
+}
+
+// stateOf returns a node's link state in the snapshot, or a no-link state
+// for nodes the snapshot no longer contains.
+func stateOf(s *snapshot, pos uint64) *nodeState {
+	if pos < uint64(len(s.members)) {
+		return s.members[pos].st()
+	}
+	return emptyState
+}
+
+func aliveIn(s *snapshot, pos uint64) bool {
+	return pos < uint64(len(s.members)) && s.members[pos].node != nil
 }
 
 // Config parameterizes an overlay.
@@ -79,9 +136,8 @@ type Overlay struct {
 	cubes    uint64 // 2^d
 	salt     string
 
-	mu     sync.RWMutex
-	nodes  map[uint64]*Node // by linearized position
-	sorted []uint64         // positions ascending: authoritative membership
+	mu   sync.Mutex // serializes writers; lookups never take it
+	snap atomic.Pointer[snapshot]
 }
 
 // New creates an empty overlay of dimension cfg.D.
@@ -90,13 +146,14 @@ func New(cfg Config) (*Overlay, error) {
 		return nil, fmt.Errorf("cycloid: dimension %d out of range [2, 20]", cfg.D)
 	}
 	cubes := uint64(1) << uint(cfg.D)
-	return &Overlay{
+	o := &Overlay{
 		d:        cfg.D,
 		capacity: uint64(cfg.D) * cubes,
 		cubes:    cubes,
 		salt:     cfg.Salt,
-		nodes:    make(map[uint64]*Node),
-	}, nil
+	}
+	o.snap.Store(&snapshot{members: make([]member, o.capacity)})
+	return o, nil
 }
 
 // MustNew is New that panics on error, for tests and examples.
@@ -108,6 +165,9 @@ func MustNew(cfg Config) *Overlay {
 	return o
 }
 
+// view returns the current immutable snapshot.
+func (o *Overlay) view() *snapshot { return o.snap.Load() }
+
 // D returns the overlay dimension.
 func (o *Overlay) D() int { return o.d }
 
@@ -115,11 +175,7 @@ func (o *Overlay) D() int { return o.d }
 func (o *Overlay) Capacity() uint64 { return o.capacity }
 
 // Size returns the current node count.
-func (o *Overlay) Size() int {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	return len(o.sorted)
-}
+func (o *Overlay) Size() int { return len(o.view().sorted) }
 
 // Pos linearizes an identifier cluster-major: pos = A·d + K.
 func (o *Overlay) Pos(id ID) uint64 {
@@ -151,8 +207,8 @@ func (o *Overlay) betweenIncl(pos, from, to uint64) bool {
 
 // idFor derives a collision-free identifier for an address, deterministic
 // across runs.
-func (o *Overlay) idFor(addr string) (ID, error) {
-	if uint64(len(o.nodes)) >= o.capacity {
+func (o *Overlay) idFor(s *snapshot, addr string) (ID, error) {
+	if uint64(len(s.sorted)) >= o.capacity {
 		return ID{}, fmt.Errorf("cycloid: overlay full at capacity %d", o.capacity)
 	}
 	key := o.salt + "|" + addr
@@ -160,47 +216,74 @@ func (o *Overlay) idFor(addr string) (ID, error) {
 	for i := 0; ; i++ {
 		h := hashing.ConsistentN(hashSpace, key, i)
 		pos := h % o.capacity
-		if _, taken := o.nodes[pos]; !taken {
+		if s.members[pos].node == nil {
 			return o.IDOf(pos), nil
 		}
 	}
 }
 
-// insertMember adds a node to authoritative membership (lock held).
-func (o *Overlay) insertMember(n *Node) {
-	i := sort.Search(len(o.sorted), func(i int) bool { return o.sorted[i] >= n.Pos })
-	o.sorted = append(o.sorted, 0)
-	copy(o.sorted[i+1:], o.sorted[i:])
-	o.sorted[i] = n.Pos
-	o.nodes[n.Pos] = n
+// draft is a writer's private copy-on-write working view.
+type draft struct {
+	s *snapshot
 }
 
-// removeMember drops a node (lock held).
-func (o *Overlay) removeMember(pos uint64) {
-	i := sort.Search(len(o.sorted), func(i int) bool { return o.sorted[i] >= pos })
-	if i < len(o.sorted) && o.sorted[i] == pos {
-		o.sorted = append(o.sorted[:i], o.sorted[i+1:]...)
+// beginDraft snapshots the current view into a mutable draft (Overlay.mu
+// held). The member slice is a fresh copy; state values are replaced
+// (never edited) by rebuildNode, so sharing them with the parent is safe.
+func (o *Overlay) beginDraft() *draft {
+	cur := o.view()
+	s := &snapshot{
+		members: append(make([]member, 0, len(cur.members)), cur.members...),
+		sorted:  append(make([]uint64, 0, len(cur.sorted)+1), cur.sorted...),
 	}
-	delete(o.nodes, pos)
+	return &draft{s: s}
 }
 
-// oracleSuccessor returns the first member at or after pos, wrapping (lock
-// held). This is the ground-truth owner of the key at pos.
-func (o *Overlay) oracleSuccessor(pos uint64) uint64 {
-	i := sort.Search(len(o.sorted), func(i int) bool { return o.sorted[i] >= pos })
-	if i == len(o.sorted) {
+// insert adds a node to the draft's membership.
+func (d *draft) insert(n *Node) {
+	i := sort.Search(len(d.s.sorted), func(i int) bool { return d.s.sorted[i] >= n.Pos })
+	d.s.sorted = append(d.s.sorted, 0)
+	copy(d.s.sorted[i+1:], d.s.sorted[i:])
+	d.s.sorted[i] = n.Pos
+	d.s.members[n.Pos] = member{node: n}
+}
+
+// remove drops a node from the draft's membership and link state.
+func (d *draft) remove(pos uint64) {
+	i := sort.Search(len(d.s.sorted), func(i int) bool { return d.s.sorted[i] >= pos })
+	if i < len(d.s.sorted) && d.s.sorted[i] == pos {
+		d.s.sorted = append(d.s.sorted[:i], d.s.sorted[i+1:]...)
+	}
+	d.s.members[pos] = member{}
+}
+
+// setState replaces a member's link state wholesale.
+func (d *draft) setState(pos uint64, st *nodeState) {
+	m := d.s.members[pos]
+	m.state = st
+	d.s.members[pos] = m
+}
+
+// publish swaps the draft in as the overlay's current snapshot (mu held).
+func (o *Overlay) publish(d *draft) { o.snap.Store(d.s) }
+
+// oracleSuccessorIn returns the first member at or after pos, wrapping.
+// This is the ground-truth owner of the key at pos.
+func (o *Overlay) oracleSuccessorIn(s *snapshot, pos uint64) uint64 {
+	i := sort.Search(len(s.sorted), func(i int) bool { return s.sorted[i] >= pos })
+	if i == len(s.sorted) {
 		i = 0
 	}
-	return o.sorted[i]
+	return s.sorted[i]
 }
 
-// oraclePredecessor returns the last member strictly before pos (lock held).
-func (o *Overlay) oraclePredecessor(pos uint64) uint64 {
-	i := sort.Search(len(o.sorted), func(i int) bool { return o.sorted[i] >= pos })
+// oraclePredecessorIn returns the last member strictly before pos.
+func (o *Overlay) oraclePredecessorIn(s *snapshot, pos uint64) uint64 {
+	i := sort.Search(len(s.sorted), func(i int) bool { return s.sorted[i] >= pos })
 	if i == 0 {
-		return o.sorted[len(o.sorted)-1]
+		return s.sorted[len(s.sorted)-1]
 	}
-	return o.sorted[i-1]
+	return s.sorted[i-1]
 }
 
 // AddBulk hashes and inserts the given addresses and rebuilds every node's
@@ -208,18 +291,19 @@ func (o *Overlay) oraclePredecessor(pos uint64) uint64 {
 func (o *Overlay) AddBulk(addrs []string) error {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	d := o.beginDraft()
 	for _, addr := range addrs {
 		if addr == "" {
 			return fmt.Errorf("cycloid: empty address")
 		}
-		id, err := o.idFor(addr)
+		id, err := o.idFor(d.s, addr)
 		if err != nil {
 			return err
 		}
-		n := &Node{ID: id, Pos: o.Pos(id), Addr: addr}
-		o.insertMember(n)
+		d.insert(&Node{ID: id, Pos: o.Pos(id), Addr: addr})
 	}
-	o.rebuildAllLocked()
+	o.rebuildAll(d)
+	o.publish(d)
 	return nil
 }
 
@@ -229,66 +313,82 @@ func (o *Overlay) AddBulk(addrs []string) error {
 func (o *Overlay) AddComplete() error {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	if len(o.sorted) != 0 {
+	d := o.beginDraft()
+	if len(d.s.sorted) != 0 {
 		return fmt.Errorf("cycloid: AddComplete on a non-empty overlay")
 	}
 	for pos := uint64(0); pos < o.capacity; pos++ {
 		id := o.IDOf(pos)
-		n := &Node{ID: id, Pos: pos, Addr: fmt.Sprintf("cyc-%05d", pos)}
-		o.insertMember(n)
+		d.insert(&Node{ID: id, Pos: pos, Addr: fmt.Sprintf("cyc-%05d", pos)})
 	}
-	o.rebuildAllLocked()
+	o.rebuildAll(d)
+	o.publish(d)
 	return nil
 }
 
-// rebuildAllLocked recomputes links for every node (lock held).
-func (o *Overlay) rebuildAllLocked() {
-	for _, pos := range o.sorted {
-		o.rebuildNodeLocked(o.nodes[pos])
+// rebuildAll recomputes links for every node in the draft.
+func (o *Overlay) rebuildAll(d *draft) {
+	for _, pos := range d.s.sorted {
+		o.rebuildNode(d, d.s.members[pos].node)
 	}
 }
 
-// rebuildNodeLocked recomputes one node's seven links from authoritative
-// membership (lock held).
-func (o *Overlay) rebuildNodeLocked(n *Node) {
-	if len(o.sorted) < 2 {
-		n.ringPred, n.ringSucc = n.Pos, n.Pos
-		n.outsidePred, n.outsideSucc = noLink, noLink
-		n.cubical, n.cyclicPred, n.cyclicSucc = noLink, noLink, noLink
+// rebuildNode recomputes one node's seven links from the draft's
+// membership, replacing its state entry wholesale.
+func (o *Overlay) rebuildNode(d *draft, n *Node) {
+	if len(d.s.sorted) < 2 {
+		d.setState(n.Pos, &nodeState{
+			ringPred: n.Pos, ringSucc: n.Pos,
+			outsidePred: noLink, outsideSucc: noLink,
+			cubical: noLink, cyclicPred: noLink, cyclicSucc: noLink,
+		})
 		return
 	}
-	d := uint64(o.d)
-	n.ringPred = o.oraclePredecessor(n.Pos)
-	n.ringSucc = o.oracleSuccessor((n.Pos + 1) % o.capacity)
+	dd := uint64(o.d)
+	st := &nodeState{}
+	st.ringPred = o.oraclePredecessorIn(d.s, n.Pos)
+	st.ringSucc = o.oracleSuccessorIn(d.s, (n.Pos+1)%o.capacity)
 	// Outside leaf set: last node before own cluster, first node of the
 	// region after it.
-	clusterStart := n.ID.A * d
-	clusterEnd := (n.ID.A + 1) % o.cubes * d
-	n.outsidePred = o.oraclePredecessor(clusterStart)
-	n.outsideSucc = o.oracleSuccessor(clusterEnd)
+	clusterStart := n.ID.A * dd
+	clusterEnd := (n.ID.A + 1) % o.cubes * dd
+	st.outsidePred = o.oraclePredecessorIn(d.s, clusterStart)
+	st.outsideSucc = o.oracleSuccessorIn(d.s, clusterEnd)
 	// Cubical neighbor: flip bit K of the cubical index and step the cyclic
 	// index down, the combined flip-and-descend edge of the original paper.
 	cub := ID{K: (n.ID.K - 1 + o.d) % o.d, A: n.ID.A ^ (uint64(1) << uint(n.ID.K))}
-	n.cubical = o.oracleSuccessor(o.Pos(cub))
+	st.cubical = o.oracleSuccessorIn(d.s, o.Pos(cub))
 	// Cyclic neighbors: cyclic index K-1 in the adjacent clusters.
 	km1 := (n.ID.K - 1 + o.d) % o.d
-	n.cyclicPred = o.oracleSuccessor(o.Pos(ID{K: km1, A: (n.ID.A + o.cubes - 1) % o.cubes}))
-	n.cyclicSucc = o.oracleSuccessor(o.Pos(ID{K: km1, A: (n.ID.A + 1) % o.cubes}))
+	st.cyclicPred = o.oracleSuccessorIn(d.s, o.Pos(ID{K: km1, A: (n.ID.A + o.cubes - 1) % o.cubes}))
+	st.cyclicSucc = o.oracleSuccessorIn(d.s, o.Pos(ID{K: km1, A: (n.ID.A + 1) % o.cubes}))
+	d.setState(n.Pos, st)
 }
 
-// links returns the node's live link positions (lock held).
-func (o *Overlay) linksLocked(n *Node) []uint64 {
-	all := [...]uint64{n.ringSucc, n.ringPred, n.cubical, n.cyclicPred, n.cyclicSucc, n.outsidePred, n.outsideSucc}
-	out := make([]uint64, 0, len(all))
-	for _, p := range all {
-		if p == noLink || p == n.Pos {
-			continue
-		}
-		if _, alive := o.nodes[p]; alive {
-			out = append(out, p)
+// memberOf resolves a *Node held by a caller to its member entry in the
+// given view. Nodes the view no longer contains resolve to a state-less
+// member, which routes via oracle fallbacks.
+func memberOf(s *snapshot, n *Node) member {
+	if n.Pos < uint64(len(s.members)) {
+		if m := s.members[n.Pos]; m.node == n {
+			return m
 		}
 	}
-	return out
+	return member{node: n}
+}
+
+// linksIn returns the member's live link positions, dead or absent slots
+// replaced by noLink. Returning a fixed-size array keeps the per-hop link
+// scan allocation-free.
+func (o *Overlay) linksIn(s *snapshot, m member) [7]uint64 {
+	st := m.st()
+	all := [7]uint64{st.ringSucc, st.ringPred, st.cubical, st.cyclicPred, st.cyclicSucc, st.outsidePred, st.outsideSucc}
+	for i, p := range all {
+		if p == m.node.Pos || !aliveIn(s, p) {
+			all[i] = noLink
+		}
+	}
+	return all
 }
 
 // msb returns the index of the highest set bit of x; x must be nonzero.

@@ -11,34 +11,39 @@ import (
 // existing node, splices into the leaf sets, takes over the keys it now
 // owns, and resolves its constant-size link set. This is Cycloid's
 // self-organization path; AddBulk produces the identical converged state.
+// The join builds on a private draft and publishes with one pointer swap,
+// so concurrent lookups see either the old overlay or the fully spliced
+// one.
 func (o *Overlay) Join(addr string) (*Node, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if addr == "" {
 		return nil, fmt.Errorf("cycloid: empty address")
 	}
-	id, err := o.idFor(addr)
+	d := o.beginDraft()
+	id, err := o.idFor(d.s, addr)
 	if err != nil {
 		return nil, err
 	}
 	n := &Node{ID: id, Pos: o.Pos(id), Addr: addr}
 
-	if len(o.sorted) == 0 {
-		o.insertMember(n)
-		o.rebuildNodeLocked(n)
+	if len(d.s.sorted) == 0 {
+		d.insert(n)
+		o.rebuildNode(d, n)
+		o.publish(d)
 		return n, nil
 	}
 
-	bootstrap := o.nodes[o.sorted[0]]
-	route, err := o.lookupLocked(bootstrap, id)
+	bootstrap := d.s.members[d.s.sorted[0]].node
+	route, err := o.lookupOn(d.s, nil, bootstrap, id)
 	if err != nil {
 		return nil, fmt.Errorf("cycloid: join lookup failed: %w", err)
 	}
 	succ := route.Root
-	o.insertMember(n)
+	d.insert(n)
 
 	// Key handover: entries in (pred(n), n] move from the old owner.
-	pred := o.oraclePredecessor(n.Pos)
+	pred := o.oraclePredecessorIn(d.s, n.Pos)
 	moved := succ.Dir.TakeIf(func(e directory.Entry) bool {
 		return o.betweenIncl(e.Key, pred, n.Pos)
 	})
@@ -46,11 +51,12 @@ func (o *Overlay) Join(addr string) (*Node, error) {
 
 	// Resolve the newcomer's links and eagerly repair the leaf sets of the
 	// immediate neighbors; remaining links converge via Stabilize.
-	o.rebuildNodeLocked(n)
-	if p, ok := o.nodes[pred]; ok {
-		o.rebuildNodeLocked(p)
+	o.rebuildNode(d, n)
+	if p := d.s.members[pred]; p.node != nil {
+		o.rebuildNode(d, p.node)
 	}
-	o.rebuildNodeLocked(succ)
+	o.rebuildNode(d, succ)
+	o.publish(d)
 	return n, nil
 }
 
@@ -61,22 +67,24 @@ func (o *Overlay) Join(addr string) (*Node, error) {
 func (o *Overlay) Leave(n *Node) error {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	if o.nodes[n.Pos] != n {
+	d := o.beginDraft()
+	if d.s.members[n.Pos].node != n {
 		return fmt.Errorf("cycloid: leave of unknown node %s", n.Addr)
 	}
-	if len(o.sorted) == 1 {
+	if len(d.s.sorted) == 1 {
 		return fmt.Errorf("cycloid: refusing to remove the last node")
 	}
-	o.removeMember(n.Pos)
+	d.remove(n.Pos)
 
-	heirPos := o.oracleSuccessor(n.Pos)
-	heir := o.nodes[heirPos]
+	heirPos := o.oracleSuccessorIn(d.s, n.Pos)
+	heir := d.s.members[heirPos].node
 	heir.Dir.AddAll(n.Dir.TakeAll())
 
-	if p, ok := o.nodes[o.oraclePredecessor(n.Pos)]; ok {
-		o.rebuildNodeLocked(p)
+	if p := d.s.members[o.oraclePredecessorIn(d.s, n.Pos)]; p.node != nil {
+		o.rebuildNode(d, p.node)
 	}
-	o.rebuildNodeLocked(heir)
+	o.rebuildNode(d, heir)
+	o.publish(d)
 	return nil
 }
 
@@ -84,11 +92,14 @@ func (o *Overlay) Leave(n *Node) error {
 // protocol's periodic self-organization reaches: leaf sets from current
 // membership, cubical and cyclic neighbors re-resolved. Like
 // chord.FixFingers it jumps directly to the fixed point rather than
-// simulating each probe message.
+// simulating each probe message; the round rebuilds a draft and publishes
+// once, so lookups never see a half-stabilized overlay.
 func (o *Overlay) Stabilize() {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	o.rebuildAllLocked()
+	d := o.beginDraft()
+	o.rebuildAll(d)
+	o.publish(d)
 }
 
 // Fail removes a node abruptly: no key handover, no leaf-set repair — a
@@ -99,12 +110,14 @@ func (o *Overlay) Stabilize() {
 func (o *Overlay) Fail(n *Node) (lostEntries int, err error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	if o.nodes[n.Pos] != n {
+	d := o.beginDraft()
+	if d.s.members[n.Pos].node != n {
 		return 0, fmt.Errorf("cycloid: fail of unknown node %s", n.Addr)
 	}
-	if len(o.sorted) == 1 {
+	if len(d.s.sorted) == 1 {
 		return 0, fmt.Errorf("cycloid: refusing to fail the last node")
 	}
-	o.removeMember(n.Pos)
+	d.remove(n.Pos)
+	o.publish(d)
 	return n.Dir.Len(), nil
 }

@@ -6,6 +6,7 @@ import (
 	"lorm/internal/directory"
 	"lorm/internal/hashing"
 	"lorm/internal/ring"
+	"lorm/internal/routing"
 )
 
 // Route is the outcome of one lookup: the node responsible for the key and
@@ -57,33 +58,43 @@ func (o *Overlay) measure(pos uint64, key ID) uint64 {
 	return uint64(j+1)*width + uint64(dj) + uint64(o.d+1) // +d+1 keeps any x≠0 above every x=0 value
 }
 
-// Lookup routes from `from` to the owner of key, counting one logical hop
-// per forward. It holds the overlay's read lock for the duration, so
-// lookups run concurrently with each other.
+// Lookup routes from `from` to the owner of key without accounting;
+// overlay tests and internal maintenance use it.
 func (o *Overlay) Lookup(from *Node, key ID) (Route, error) {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	return o.lookupLocked(from, key)
+	return o.LookupOp(nil, from, key)
+}
+
+// LookupOp routes from `from` to the owner of key, counting one logical hop
+// per forward and recording each forward into op (nil op: count-free
+// routing). The walk is lock-free over one immutable snapshot.
+func (o *Overlay) LookupOp(op *routing.Op, from *Node, key ID) (Route, error) {
+	return o.lookupOn(o.view(), op, from, key)
 }
 
 // ErrEmpty mirrors chord.ErrEmpty for the Cycloid overlay.
 var ErrEmpty = fmt.Errorf("cycloid: overlay has no nodes")
 
-func (o *Overlay) lookupLocked(from *Node, key ID) (Route, error) {
-	if len(o.sorted) == 0 {
+func (o *Overlay) lookupOn(s *snapshot, op *routing.Op, from *Node, key ID) (Route, error) {
+	if len(s.sorted) == 0 {
 		return Route{}, ErrEmpty
 	}
-	if from == nil || o.nodes[from.Pos] != from {
+	if from == nil {
+		return Route{}, fmt.Errorf("cycloid: lookup from a node that is not a live member")
+	}
+	if from.Pos >= uint64(len(s.members)) {
+		return Route{}, fmt.Errorf("cycloid: lookup from a node that is not a live member")
+	}
+	cur := s.members[from.Pos]
+	if cur.node != from {
 		return Route{}, fmt.Errorf("cycloid: lookup from a node that is not a live member")
 	}
 	keyPos := o.Pos(key)
-	cur := from
 	hops := 0
-	maxHops := 8*o.d + len(o.sorted) // phase budget plus a full fallback walk
+	maxHops := 8*o.d + len(s.sorted) // phase budget plus a full fallback walk
 	fallback := false
 	for ; hops <= maxHops; hops++ {
-		if o.ownsLocked(cur, keyPos) {
-			return Route{Root: cur, Hops: hops}, nil
+		if o.ownsIn(s, cur, keyPos) {
+			return Route{Root: cur.node, Hops: hops}, nil
 		}
 		var next uint64 = noLink
 		if !fallback && hops > 8*o.d {
@@ -92,9 +103,12 @@ func (o *Overlay) lookupLocked(from *Node, key ID) (Route, error) {
 			fallback = true
 		}
 		if !fallback {
-			cm := o.measure(cur.Pos, key)
+			cm := o.measure(cur.node.Pos, key)
 			best := cm
-			for _, l := range o.linksLocked(cur) {
+			for _, l := range o.linksIn(s, cur) {
+				if l == noLink {
+					continue
+				}
 				if m := o.measure(l, key); m < best {
 					best, next = m, l
 				}
@@ -109,43 +123,53 @@ func (o *Overlay) lookupLocked(from *Node, key ID) (Route, error) {
 			// wrapped distances are large and lose). The ring successor
 			// always qualifies, so the walk cannot stall, and long links
 			// skip sparse stretches instead of crawling them node by node.
-			cd := o.cwDist(cur.Pos, keyPos)
+			cd := o.cwDist(cur.node.Pos, keyPos)
 			best := cd
-			for _, l := range o.linksLocked(cur) {
-				if d := o.cwDist(l, keyPos); d < best {
-					best, next = d, l
+			for _, l := range o.linksIn(s, cur) {
+				if l == noLink {
+					continue
+				}
+				if dist := o.cwDist(l, keyPos); dist < best {
+					best, next = dist, l
 				}
 			}
 			if next == noLink {
-				succ := cur.ringSucc
-				if _, alive := o.nodes[succ]; !alive || succ == cur.Pos {
-					succ = o.oracleSuccessor((cur.Pos + 1) % o.capacity)
+				succ := cur.st().ringSucc
+				if !aliveIn(s, succ) || succ == cur.node.Pos {
+					succ = o.oracleSuccessorIn(s, (cur.node.Pos+1)%o.capacity)
 				}
 				next = succ
 			}
 		}
-		cur = o.nodes[next]
+		cur = s.members[next]
+		op.Forward(cur.node.Addr, cur.node.Pos, routing.ReasonFingerForward)
 	}
 	return Route{}, fmt.Errorf("cycloid: lookup for %v exceeded %d hops", key, maxHops)
 }
 
-// ownsLocked reports whether n is the successor-rule owner of keyPos, using
-// n's leaf-set knowledge (lock held).
-func (o *Overlay) ownsLocked(n *Node, keyPos uint64) bool {
-	if len(o.sorted) == 1 {
+// ownsIn reports whether m is the successor-rule owner of keyPos, using
+// its leaf-set knowledge in the given view.
+func (o *Overlay) ownsIn(s *snapshot, m member, keyPos uint64) bool {
+	if len(s.sorted) == 1 {
 		return true
 	}
-	pred := n.ringPred
-	if _, alive := o.nodes[pred]; !alive {
-		pred = o.oraclePredecessor(n.Pos)
+	pred := m.st().ringPred
+	if !aliveIn(s, pred) {
+		pred = o.oraclePredecessorIn(s, m.node.Pos)
 	}
-	return o.betweenIncl(keyPos, pred, n.Pos)
+	return o.betweenIncl(keyPos, pred, m.node.Pos)
 }
 
-// Insert stores an entry under key on the responsible node, routing from
-// the given start node.
+// Insert stores an entry under key on the responsible node without
+// accounting; see InsertOp.
 func (o *Overlay) Insert(from *Node, key ID, e directory.Entry) (Route, error) {
-	route, err := o.Lookup(from, key)
+	return o.InsertOp(nil, from, key, e)
+}
+
+// InsertOp stores an entry under key on the responsible node, routing from
+// the given start node and recording the forwards into op.
+func (o *Overlay) InsertOp(op *routing.Op, from *Node, key ID, e directory.Entry) (Route, error) {
+	route, err := o.LookupOp(op, from, key)
 	if err != nil {
 		return Route{}, err
 	}
@@ -156,49 +180,45 @@ func (o *Overlay) Insert(from *Node, key ID, e directory.Entry) (Route, error) {
 // NextNode returns the live node immediately following n on the linearized
 // ring — the "immediate successor in its own cluster" a LORM range query
 // walks to (crossing a cluster boundary when the cluster is exhausted).
-// The second return is false when n is the only node.
+// The second return is false when n is the only node. Callers record the
+// walk step into their own routing.Op.
 func (o *Overlay) NextNode(n *Node) (*Node, bool) {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	if len(o.sorted) < 2 {
+	s := o.view()
+	if len(s.sorted) < 2 {
 		return n, false
 	}
-	succ := n.ringSucc
-	if _, alive := o.nodes[succ]; !alive || succ == n.Pos {
-		succ = o.oracleSuccessor((n.Pos + 1) % o.capacity)
+	succ := stateOf(s, n.Pos).ringSucc
+	if !aliveIn(s, succ) || succ == n.Pos {
+		succ = o.oracleSuccessorIn(s, (n.Pos+1)%o.capacity)
 	}
-	return o.nodes[succ], true
+	return s.members[succ].node, true
 }
 
 // OwnerOf returns the ground-truth owner of a key (oracle, no routing).
 func (o *Overlay) OwnerOf(key ID) (*Node, error) {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	if len(o.sorted) == 0 {
+	s := o.view()
+	if len(s.sorted) == 0 {
 		return nil, ErrEmpty
 	}
-	return o.nodes[o.oracleSuccessor(o.Pos(key))], nil
+	return s.members[o.oracleSuccessorIn(s, o.Pos(key))].node, nil
 }
 
 // NodeNear deterministically picks the live node owning hash(seed), used
 // to choose query start nodes.
 func (o *Overlay) NodeNear(seed string) (*Node, error) {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	if len(o.sorted) == 0 {
+	s := o.view()
+	if len(s.sorted) == 0 {
 		return nil, ErrEmpty
 	}
 	h := hashing.Consistent(ring.NewSpace(63), seed) % o.capacity
-	return o.nodes[o.oracleSuccessor(h)], nil
+	return s.members[o.oracleSuccessorIn(s, h)].node, nil
 }
 
 // NodeByAddr finds a live node by address (O(n), for tests and churn).
 func (o *Overlay) NodeByAddr(addr string) (*Node, bool) {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	for _, n := range o.nodes {
-		if n.Addr == addr {
-			return n, true
+	for _, m := range o.view().members {
+		if m.node != nil && m.node.Addr == addr {
+			return m.node, true
 		}
 	}
 	return nil, false
@@ -206,33 +226,30 @@ func (o *Overlay) NodeByAddr(addr string) (*Node, bool) {
 
 // Nodes returns all live nodes in ascending position order.
 func (o *Overlay) Nodes() []*Node {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	out := make([]*Node, len(o.sorted))
-	for i, pos := range o.sorted {
-		out[i] = o.nodes[pos]
+	s := o.view()
+	out := make([]*Node, len(s.sorted))
+	for i, pos := range s.sorted {
+		out[i] = s.members[pos].node
 	}
 	return out
 }
 
 // Addrs returns the addresses of all live nodes in position order.
 func (o *Overlay) Addrs() []string {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	out := make([]string, len(o.sorted))
-	for i, pos := range o.sorted {
-		out[i] = o.nodes[pos].Addr
+	s := o.view()
+	out := make([]string, len(s.sorted))
+	for i, pos := range s.sorted {
+		out[i] = s.members[pos].node.Addr
 	}
 	return out
 }
 
 // DirectorySizes returns each node's directory size in position order.
 func (o *Overlay) DirectorySizes() []int {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	out := make([]int, len(o.sorted))
-	for i, pos := range o.sorted {
-		out[i] = o.nodes[pos].Dir.Len()
+	s := o.view()
+	out := make([]int, len(s.sorted))
+	for i, pos := range s.sorted {
+		out[i] = s.members[pos].node.Dir.Len()
 	}
 	return out
 }
@@ -240,11 +257,12 @@ func (o *Overlay) DirectorySizes() []int {
 // OutlinkCount returns the number of distinct live neighbors of n — at
 // most seven, the constant degree of the overlay.
 func (o *Overlay) OutlinkCount(n *Node) int {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
+	s := o.view()
 	distinct := make(map[uint64]bool, 7)
-	for _, l := range o.linksLocked(n) {
-		distinct[l] = true
+	for _, l := range o.linksIn(s, memberOf(s, n)) {
+		if l != noLink {
+			distinct[l] = true
+		}
 	}
 	return len(distinct)
 }
@@ -262,13 +280,12 @@ func (o *Overlay) OutlinkCounts() []int {
 // ClusterOf returns the live nodes of cluster a in cyclic-index order, for
 // diagnostics and tests.
 func (o *Overlay) ClusterOf(a uint64) []*Node {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
+	s := o.view()
 	var out []*Node
 	start := (a % o.cubes) * uint64(o.d)
 	for k := uint64(0); k < uint64(o.d); k++ {
-		if n, ok := o.nodes[start+k]; ok {
-			out = append(out, n)
+		if m := s.members[start+k]; m.node != nil {
+			out = append(out, m.node)
 		}
 	}
 	return out
@@ -278,7 +295,6 @@ func (o *Overlay) ClusterOf(a uint64) []*Node {
 // LORM range walk uses to decide it has reached the end of the queried
 // value range within the cluster.
 func (o *Overlay) Owns(n *Node, key ID) bool {
-	o.mu.RLock()
-	defer o.mu.RUnlock()
-	return o.ownsLocked(n, o.Pos(key))
+	s := o.view()
+	return o.ownsIn(s, memberOf(s, n), o.Pos(key))
 }

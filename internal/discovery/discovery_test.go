@@ -76,20 +76,19 @@ func TestOracleMetadata(t *testing.T) {
 	}
 }
 
-func TestRunSubsMergesCostsAndResults(t *testing.T) {
+func TestRunSubsMergesResults(t *testing.T) {
 	q := resource.Query{Subs: []resource.SubQuery{
 		{Attr: "cpu", Low: 1, High: 2},
 		{Attr: "mem", Low: 3, High: 4},
 	}}
-	res, err := RunSubs(q, func(sub resource.SubQuery) ([]resource.Info, Cost, error) {
-		return []resource.Info{{Attr: sub.Attr, Value: sub.Low, Owner: "shared"}},
-			Cost{Hops: 5, Visited: 1, Messages: 6}, nil
+	res, err := RunSubs(q, func(sub resource.SubQuery) ([]resource.Info, error) {
+		return []resource.Info{{Attr: sub.Attr, Value: sub.Low, Owner: "shared"}}, nil
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Cost.Hops != 10 || res.Cost.Visited != 2 || res.Cost.Messages != 12 {
-		t.Fatalf("merged cost = %+v", res.Cost)
+	if res.Cost != (Cost{}) {
+		t.Fatalf("RunSubs must not account cost (the routing op does), got %+v", res.Cost)
 	}
 	if !reflect.DeepEqual(res.Owners, []string{"shared"}) {
 		t.Fatalf("Owners = %v", res.Owners)
@@ -105,11 +104,11 @@ func TestRunSubsPropagatesError(t *testing.T) {
 		{Attr: "mem", Low: 3, High: 4},
 	}}
 	boom := errors.New("boom")
-	_, err := RunSubs(q, func(sub resource.SubQuery) ([]resource.Info, Cost, error) {
+	_, err := RunSubs(q, func(sub resource.SubQuery) ([]resource.Info, error) {
 		if sub.Attr == "mem" {
-			return nil, Cost{}, boom
+			return nil, boom
 		}
-		return nil, Cost{}, nil
+		return nil, nil
 	})
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)

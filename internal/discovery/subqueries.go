@@ -7,23 +7,26 @@ import (
 // RunSubs resolves a multi-attribute query by executing each sub-query
 // concurrently — the paper's "multi-attribute query is composed of a set
 // of sub-queries on each attribute, which are processed in parallel" — and
-// merging the per-attribute matches and communication costs. The first
-// error aborts the query.
+// merging the per-attribute matches. The first error aborts the query.
+//
+// Communication cost is not accumulated here: the systems thread one
+// routing.Op through every sub-query (the Op is safe for concurrent use)
+// and set Result.Cost from it after RunSubs returns, so cost derivation
+// stays in the routing fabric.
 //
 // fn must be safe for concurrent use; every System implements it over
-// overlay lookups that take read locks only.
-func RunSubs(q resource.Query, fn func(resource.SubQuery) ([]resource.Info, Cost, error)) (*Result, error) {
+// lock-free snapshot lookups.
+func RunSubs(q resource.Query, fn func(resource.SubQuery) ([]resource.Info, error)) (*Result, error) {
 	type subResult struct {
 		attr    string
 		matches []resource.Info
-		cost    Cost
 		err     error
 	}
 	ch := make(chan subResult, len(q.Subs))
 	for _, sub := range q.Subs {
 		go func(sub resource.SubQuery) {
-			matches, cost, err := fn(sub)
-			ch <- subResult{attr: sub.Attr, matches: matches, cost: cost, err: err}
+			matches, err := fn(sub)
+			ch <- subResult{attr: sub.Attr, matches: matches, err: err}
 		}(sub)
 	}
 	res := &Result{PerAttr: make(map[string][]resource.Info, len(q.Subs))}
@@ -37,7 +40,6 @@ func RunSubs(q resource.Query, fn func(resource.SubQuery) ([]resource.Info, Cost
 			continue
 		}
 		res.PerAttr[sr.attr] = sr.matches
-		res.Cost.Add(sr.cost)
 	}
 	if firstErr != nil {
 		return nil, firstErr

@@ -2,12 +2,12 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"lorm/internal/analysis"
 	"lorm/internal/core"
 	"lorm/internal/discovery"
 	"lorm/internal/resource"
+	"lorm/internal/routing"
 	"lorm/internal/systemtest"
 	"lorm/internal/workload"
 )
@@ -43,10 +43,25 @@ func NewEnv(p Params) (*Env, error) {
 		return nil, err
 	}
 	env := &Env{P: p, Schema: schema, Dep: dep, Gen: workload.NewGenerator(schema, p.Alpha)}
+	for _, s := range dep.Systems() {
+		attachTrace(p, s)
+	}
 	if err := env.registerAll(); err != nil {
 		return nil, err
 	}
 	return env, nil
+}
+
+// attachTrace hooks the run-wide trace observer (if any) into a system's
+// routing fabric. Drivers that construct systems outside NewEnv call it
+// themselves so -trace covers every deployment of a run.
+func attachTrace(p Params, s discovery.System) {
+	if p.TraceObserver == nil {
+		return
+	}
+	if inst, ok := s.(routing.Instrumented); ok {
+		inst.RoutingFabric().Observe(p.TraceObserver)
+	}
 }
 
 // registerAll announces the workload in every system, fanning out over the
@@ -55,31 +70,14 @@ func NewEnv(p Params) (*Env, error) {
 func (e *Env) registerAll() error {
 	infos := e.Gen.Announcements(workload.Split(e.P.Seed, 0), e.P.K)
 	systems := e.Dep.Systems()
-	var (
-		wg       sync.WaitGroup
-		firstErr error
-		errOnce  sync.Once
-	)
-	work := make(chan resource.Info)
-	for w := 0; w < e.P.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for in := range work {
-				for _, s := range systems {
-					if _, err := s.Register(in); err != nil {
-						errOnce.Do(func() { firstErr = fmt.Errorf("%s: %w", s.Name(), err) })
-					}
-				}
+	return forEachParallel(infos, e.P.Workers, func(in resource.Info) error {
+		for _, s := range systems {
+			if _, err := s.Register(in); err != nil {
+				return fmt.Errorf("%s: %w", s.Name(), err)
 			}
-		}()
-	}
-	for _, in := range infos {
-		work <- in
-	}
-	close(work)
-	wg.Wait()
-	return firstErr
+		}
+		return nil
+	})
 }
 
 // AnalysisParams translates the experiment parameters into the closed-form
@@ -104,6 +102,7 @@ func newLORM(p Params, schema *resource.Schema) (*core.System, error) {
 	if err != nil {
 		return nil, err
 	}
+	attachTrace(p, sys)
 	if p.N == p.D*(1<<uint(p.D)) {
 		return sys, sys.PopulateComplete()
 	}

@@ -1,0 +1,37 @@
+package experiments
+
+import "sync"
+
+// forEachParallel feeds items to fn over a bounded worker pool and returns
+// the first error fn produced. All items are processed even after an error
+// (matching the experiment drivers' semantics: one failing query must not
+// starve the collectors of the rest), and fn must be safe for concurrent
+// use. workers < 1 runs sequentially.
+func forEachParallel[T any](items []T, workers int, fn func(T) error) error {
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		first   error
+	)
+	work := make(chan T)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := range work {
+				if err := fn(it); err != nil {
+					errOnce.Do(func() { first = err })
+				}
+			}
+		}()
+	}
+	for _, it := range items {
+		work <- it
+	}
+	close(work)
+	wg.Wait()
+	return first
+}

@@ -8,6 +8,8 @@ package experiments
 import (
 	"fmt"
 	"runtime"
+
+	"lorm/internal/routing"
 )
 
 // Params bundles every knob of the evaluation setup.
@@ -57,6 +59,11 @@ type Params struct {
 	Seed int64
 	// Workers is the query-fanout concurrency (default NumCPU).
 	Workers int
+	// TraceObserver, when non-nil, is attached to the routing fabric of
+	// every system an experiment constructs (including environments drivers
+	// build internally, like the churn sweep's per-rate deployments), so
+	// cmd/lormsim -trace sees every operation of a run.
+	TraceObserver routing.Observer
 }
 
 func (p Params) withDefaults() Params {

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"lorm/internal/discovery"
 	"lorm/internal/resource"
@@ -15,34 +14,17 @@ import (
 // perturbs the workload itself, only the execution interleaving.
 func runQueries(sys discovery.System, queries []resource.Query, workers int) (hops, visited *stats.Collector, err error) {
 	hops, visited = &stats.Collector{}, &stats.Collector{}
-	var (
-		wg      sync.WaitGroup
-		errOnce sync.Once
-		first   error
-	)
-	work := make(chan resource.Query)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for q := range work {
-				res, qerr := sys.Discover(q)
-				if qerr != nil {
-					errOnce.Do(func() { first = fmt.Errorf("%s: %w", sys.Name(), qerr) })
-					continue
-				}
-				hops.AddInt(res.Cost.Hops)
-				visited.AddInt(res.Cost.Visited)
-			}
-		}()
-	}
-	for _, q := range queries {
-		work <- q
-	}
-	close(work)
-	wg.Wait()
-	if first != nil {
-		return nil, nil, first
+	err = forEachParallel(queries, workers, func(q resource.Query) error {
+		res, qerr := sys.Discover(q)
+		if qerr != nil {
+			return fmt.Errorf("%s: %w", sys.Name(), qerr)
+		}
+		hops.AddInt(res.Cost.Hops)
+		visited.AddInt(res.Cost.Visited)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return hops, visited, nil
 }

@@ -20,6 +20,7 @@ import (
 	"lorm/internal/discovery"
 	"lorm/internal/hashing"
 	"lorm/internal/resource"
+	"lorm/internal/routing"
 )
 
 // Config parameterizes a MAAN deployment.
@@ -37,11 +38,13 @@ type System struct {
 	schema *resource.Schema
 	ring   *chord.Ring
 	lph    []hashing.Locality // per-attribute value hash over the full ring
+	fabric *routing.Fabric
 }
 
 var (
-	_ discovery.System  = (*System)(nil)
-	_ discovery.Dynamic = (*System)(nil)
+	_ discovery.System     = (*System)(nil)
+	_ discovery.Dynamic    = (*System)(nil)
+	_ routing.Instrumented = (*System)(nil)
 )
 
 // New creates an empty MAAN system.
@@ -50,12 +53,15 @@ func New(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("maan: config needs a schema")
 	}
 	r := chord.New(chord.Config{Bits: cfg.Bits, SuccListLen: cfg.SuccListLen, Salt: "maan"})
-	s := &System{schema: cfg.Schema, ring: r}
+	s := &System{schema: cfg.Schema, ring: r, fabric: routing.NewFabric("maan")}
 	for _, a := range cfg.Schema.Attributes() {
 		s.lph = append(s.lph, hashing.NewLocalityFrom(r.Space(), a))
 	}
 	return s, nil
 }
+
+// RoutingFabric implements routing.Instrumented.
+func (s *System) RoutingFabric() *routing.Fabric { return s.fabric }
 
 // AddNodes bulk-populates the ring.
 func (s *System) AddNodes(addrs []string) error { return s.ring.AddBulk(addrs) }
@@ -84,31 +90,27 @@ func (s *System) valueKey(idx int, v float64) uint64 {
 
 // Register implements discovery.System: the information piece is split and
 // stored under both indices — two routed inserts.
-func (s *System) Register(info resource.Info) (discovery.Cost, error) {
+func (s *System) Register(info resource.Info) (cost discovery.Cost, err error) {
 	idx := s.schema.Index(info.Attr)
 	if idx < 0 {
-		return discovery.Cost{}, fmt.Errorf("maan: unknown attribute %q", info.Attr)
+		return cost, fmt.Errorf("maan: unknown attribute %q", info.Attr)
 	}
 	from, err := s.ring.NodeNear(info.Owner)
 	if err != nil {
-		return discovery.Cost{}, err
+		return cost, err
 	}
-	var cost discovery.Cost
+	op := s.fabric.Begin(routing.OpRegister, info.Owner)
 	akey := s.attrKey(info.Attr)
-	r1, err := s.ring.Insert(from, akey, directory.Entry{Key: akey, Info: info})
-	if err != nil {
-		return discovery.Cost{}, err
+	if _, err := s.ring.InsertOp(op, from, akey, directory.Entry{Key: akey, Info: info}); err != nil {
+		op.Finish()
+		return cost, err
 	}
-	cost.Hops += r1.Hops
-	cost.Messages += r1.Hops
 	vkey := s.valueKey(idx, info.Value)
-	r2, err := s.ring.Insert(from, vkey, directory.Entry{Key: vkey, Info: info})
-	if err != nil {
-		return discovery.Cost{}, err
+	if _, err := s.ring.InsertOp(op, from, vkey, directory.Entry{Key: vkey, Info: info}); err != nil {
+		op.Finish()
+		return cost, err
 	}
-	cost.Hops += r2.Hops
-	cost.Messages += r2.Hops
-	return cost, nil
+	return op.Finish(), nil
 }
 
 // Discover implements discovery.System: every sub-query performs the two
@@ -119,28 +121,32 @@ func (s *System) Discover(q resource.Query) (*discovery.Result, error) {
 	if err := q.Validate(s.schema); err != nil {
 		return nil, err
 	}
-	return discovery.RunSubs(q, func(sub resource.SubQuery) ([]resource.Info, discovery.Cost, error) {
-		return s.resolveSub(q.Requester, sub)
+	op := s.fabric.Begin(routing.OpDiscover, q.Requester)
+	defer op.Finish()
+	res, err := discovery.RunSubs(q, func(sub resource.SubQuery) ([]resource.Info, error) {
+		return s.resolveSub(op, q.Requester, sub)
 	})
+	if err != nil {
+		return nil, err
+	}
+	res.Cost = op.Cost()
+	return res, nil
 }
 
-func (s *System) resolveSub(requester string, sub resource.SubQuery) ([]resource.Info, discovery.Cost, error) {
+func (s *System) resolveSub(op *routing.Op, requester string, sub resource.SubQuery) ([]resource.Info, error) {
 	idx := s.schema.Index(sub.Attr)
 	from, err := s.ring.NodeNear(requester)
 	if err != nil {
-		return nil, discovery.Cost{}, err
+		return nil, err
 	}
-	var cost discovery.Cost
 
 	// Lookup 1: attribute index. The attribute root pools the
 	// attribute-keyed copy of every piece and answers from it.
-	r1, err := s.ring.Lookup(from, s.attrKey(sub.Attr))
+	r1, err := s.ring.LookupOp(op, from, s.attrKey(sub.Attr))
 	if err != nil {
-		return nil, discovery.Cost{}, err
+		return nil, err
 	}
-	cost.Hops += r1.Hops
-	cost.Visited++
-	cost.Messages += r1.Hops + 1
+	op.Visit(r1.Root.Addr, r1.Root.ID)
 	seen := make(map[string]bool)
 	var matches []resource.Info
 	for _, in := range r1.Root.Dir.Match(sub.Attr, sub.Low, sub.High) {
@@ -153,13 +159,11 @@ func (s *System) resolveSub(requester string, sub resource.SubQuery) ([]resource
 	// Lookup 2: value index, walking the ring for range queries.
 	loKey := s.valueKey(idx, sub.Low)
 	hiKey := s.valueKey(idx, sub.High)
-	r2, err := s.ring.Lookup(from, loKey)
+	r2, err := s.ring.LookupOp(op, from, loKey)
 	if err != nil {
-		return nil, discovery.Cost{}, err
+		return nil, err
 	}
-	cost.Hops += r2.Hops
-	cost.Visited++
-	cost.Messages += r2.Hops + 1
+	op.Visit(r2.Root.Addr, r2.Root.ID)
 	cur := r2.Root
 	collect := func(n *chord.Node) {
 		for _, in := range n.Dir.Match(sub.Attr, sub.Low, sub.High) {
@@ -182,12 +186,11 @@ func (s *System) resolveSub(requester string, sub resource.SubQuery) ([]resource
 		}
 		covered += space.Clockwise(cur.ID, next.ID)
 		cur = next
-		cost.Hops++
-		cost.Visited++
-		cost.Messages += 2
+		op.Forward(cur.Addr, cur.ID, routing.ReasonRangeWalk)
+		op.Visit(cur.Addr, cur.ID)
 		collect(cur)
 	}
-	return matches, cost, nil
+	return matches, nil
 }
 
 // DirectorySizes implements discovery.System. Sizes include both copies of

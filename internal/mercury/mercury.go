@@ -22,6 +22,7 @@ import (
 	"lorm/internal/discovery"
 	"lorm/internal/hashing"
 	"lorm/internal/resource"
+	"lorm/internal/routing"
 )
 
 // Config parameterizes a Mercury deployment.
@@ -39,6 +40,7 @@ type Config struct {
 type System struct {
 	schema *resource.Schema
 	bits   uint
+	fabric *routing.Fabric
 
 	mu     sync.RWMutex
 	hubs   []*chord.Ring            // parallel to schema order
@@ -48,8 +50,9 @@ type System struct {
 }
 
 var (
-	_ discovery.System  = (*System)(nil)
-	_ discovery.Dynamic = (*System)(nil)
+	_ discovery.System     = (*System)(nil)
+	_ discovery.Dynamic    = (*System)(nil)
+	_ routing.Instrumented = (*System)(nil)
 )
 
 // New creates an empty Mercury system with one hub per schema attribute.
@@ -63,6 +66,7 @@ func New(cfg Config) (*System, error) {
 	s := &System{
 		schema: cfg.Schema,
 		bits:   cfg.Bits,
+		fabric: routing.NewFabric("mercury"),
 		addrs:  make(map[string]bool),
 	}
 	for _, a := range cfg.Schema.Attributes() {
@@ -95,6 +99,9 @@ func (s *System) AddNodes(addrs []string) error {
 	return nil
 }
 
+// RoutingFabric implements routing.Instrumented.
+func (s *System) RoutingFabric() *routing.Fabric { return s.fabric }
+
 // hubOf returns the hub index for an attribute, or -1.
 func (s *System) hubOf(attr string) int { return s.schema.Index(attr) }
 
@@ -113,22 +120,23 @@ func (s *System) NodeCount() int {
 
 // Register implements discovery.System: one insert, into the attribute's
 // hub, keyed by the locality-preserving hash of the value.
-func (s *System) Register(info resource.Info) (discovery.Cost, error) {
+func (s *System) Register(info resource.Info) (cost discovery.Cost, err error) {
 	h := s.hubOf(info.Attr)
 	if h < 0 {
-		return discovery.Cost{}, fmt.Errorf("mercury: unknown attribute %q", info.Attr)
+		return cost, fmt.Errorf("mercury: unknown attribute %q", info.Attr)
 	}
 	hub := s.hubs[h]
 	key := s.lph[h].Hash(info.Value)
 	from, err := hub.NodeNear(info.Owner)
 	if err != nil {
-		return discovery.Cost{}, err
+		return cost, err
 	}
-	route, err := hub.Insert(from, key, directory.Entry{Key: key, Info: info})
-	if err != nil {
-		return discovery.Cost{}, err
+	op := s.fabric.Begin(routing.OpRegister, info.Owner)
+	if _, err := hub.InsertOp(op, from, key, directory.Entry{Key: key, Info: info}); err != nil {
+		op.Finish()
+		return cost, err
 	}
-	return discovery.Cost{Hops: route.Hops, Messages: route.Hops}, nil
+	return op.Finish(), nil
 }
 
 // Discover implements discovery.System: each sub-query resolves in its own
@@ -137,12 +145,19 @@ func (s *System) Discover(q resource.Query) (*discovery.Result, error) {
 	if err := q.Validate(s.schema); err != nil {
 		return nil, err
 	}
-	return discovery.RunSubs(q, func(sub resource.SubQuery) ([]resource.Info, discovery.Cost, error) {
-		return s.resolveSub(q.Requester, sub)
+	op := s.fabric.Begin(routing.OpDiscover, q.Requester)
+	defer op.Finish()
+	res, err := discovery.RunSubs(q, func(sub resource.SubQuery) ([]resource.Info, error) {
+		return s.resolveSub(op, q.Requester, sub)
 	})
+	if err != nil {
+		return nil, err
+	}
+	res.Cost = op.Cost()
+	return res, nil
 }
 
-func (s *System) resolveSub(requester string, sub resource.SubQuery) ([]resource.Info, discovery.Cost, error) {
+func (s *System) resolveSub(op *routing.Op, requester string, sub resource.SubQuery) ([]resource.Info, error) {
 	h := s.hubOf(sub.Attr)
 	hub := s.hubs[h]
 	loKey := s.lph[h].Hash(sub.Low)
@@ -150,14 +165,14 @@ func (s *System) resolveSub(requester string, sub resource.SubQuery) ([]resource
 
 	from, err := hub.NodeNear(requester)
 	if err != nil {
-		return nil, discovery.Cost{}, err
+		return nil, err
 	}
-	route, err := hub.Lookup(from, loKey)
+	route, err := hub.LookupOp(op, from, loKey)
 	if err != nil {
-		return nil, discovery.Cost{}, err
+		return nil, err
 	}
-	cost := discovery.Cost{Hops: route.Hops, Visited: 1, Messages: route.Hops + 1}
 	cur := route.Root
+	op.Visit(cur.Addr, cur.ID)
 	matches := cur.Dir.Match(sub.Attr, sub.Low, sub.High)
 
 	// Range walk across the hub ring, tracking cumulative progress through
@@ -172,12 +187,11 @@ func (s *System) resolveSub(requester string, sub resource.SubQuery) ([]resource
 		}
 		covered += space.Clockwise(cur.ID, next.ID)
 		cur = next
-		cost.Hops++
-		cost.Visited++
-		cost.Messages += 2
+		op.Forward(cur.Addr, cur.ID, routing.ReasonRangeWalk)
+		op.Visit(cur.Addr, cur.ID)
 		matches = append(matches, cur.Dir.Match(sub.Attr, sub.Low, sub.High)...)
 	}
-	return matches, cost, nil
+	return matches, nil
 }
 
 // DirectorySizes implements discovery.System: a physical node's directory

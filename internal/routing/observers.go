@@ -1,0 +1,209 @@
+package routing
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"lorm/internal/discovery"
+)
+
+// TraceSink writes one line per finished operation: the system, kind, tag,
+// derived cost and the full hop path in compact `reason:addr` form, e.g.
+//
+//	system=lorm op=discover tag=requester-007 hops=9 visited=3 msgs=12 path=f:cyc-00120,f:cyc-00515,v:cyc-00515,w:cyc-00516,v:cyc-00516
+//
+// Reasons are encoded by Reason.Letter: f = finger-forward, w = range-walk,
+// r = replicate, v = directory-visit. The number of non-v steps equals the
+// reported Hops and the number of v steps equals Visited — consumers can
+// (and the CLI test does) re-derive the cost from the path.
+type TraceSink struct {
+	mu    sync.Mutex
+	w     io.Writer
+	kinds map[Kind]bool // nil: trace every kind
+	lines int
+	err   error
+}
+
+// NewTraceSink traces finished ops to w. With no kinds, every operation is
+// traced; otherwise only the listed kinds are.
+func NewTraceSink(w io.Writer, kinds ...Kind) *TraceSink {
+	t := &TraceSink{w: w}
+	if len(kinds) > 0 {
+		t.kinds = make(map[Kind]bool, len(kinds))
+		for _, k := range kinds {
+			t.kinds[k] = true
+		}
+	}
+	return t
+}
+
+// OpStep implements Observer (path assembly happens at finish).
+func (t *TraceSink) OpStep(*Op, Step) {}
+
+// OpFinished implements Observer.
+func (t *TraceSink) OpFinished(op *Op, cost discovery.Cost) {
+	if t.kinds != nil && !t.kinds[op.Kind] {
+		return
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "system=%s op=%s tag=%s hops=%d visited=%d msgs=%d path=",
+		op.System, op.Kind, op.Tag, cost.Hops, cost.Visited, cost.Messages)
+	for i, st := range op.Path() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteByte(st.Reason.Letter())
+		b.WriteByte(':')
+		b.WriteString(st.Addr)
+	}
+	b.WriteByte('\n')
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err == nil {
+		_, t.err = io.WriteString(t.w, b.String())
+	}
+	t.lines++
+}
+
+// Lines returns the number of operations traced so far.
+func (t *TraceSink) Lines() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lines
+}
+
+// Err returns the first write error, if any.
+func (t *TraceSink) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Clock is the virtual-time source a Latency observer stamps operations
+// with; sim.Scheduler satisfies it.
+type Clock interface {
+	Now() float64
+}
+
+// Latency accumulates per-hop virtual latency: every logical forward costs
+// PerHop virtual seconds, so a finished operation's latency is
+// Cost.Hops × PerHop — the network delay a real deployment would pay for
+// the same path. When a Clock is supplied (the churn experiments pass their
+// sim.Scheduler), each finished op is also stamped with the virtual time it
+// completed at, giving a (time, latency) series over the run.
+type Latency struct {
+	perHop float64
+	clock  Clock
+
+	mu      sync.Mutex
+	ops     int
+	total   float64
+	stamps  []float64 // virtual completion times, when a clock is attached
+	perOpNs []float64 // per-op latencies, same order as stamps when clocked
+}
+
+// NewLatency creates an accumulator charging perHop virtual seconds per
+// logical hop. clock may be nil.
+func NewLatency(clock Clock, perHop float64) *Latency {
+	return &Latency{clock: clock, perHop: perHop}
+}
+
+// OpStep implements Observer; latency is derived at finish from the hop
+// count, so steps need no work.
+func (l *Latency) OpStep(*Op, Step) {}
+
+// OpFinished implements Observer.
+func (l *Latency) OpFinished(op *Op, cost discovery.Cost) {
+	lat := float64(cost.Hops) * l.perHop
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ops++
+	l.total += lat
+	l.perOpNs = append(l.perOpNs, lat)
+	if l.clock != nil {
+		l.stamps = append(l.stamps, l.clock.Now())
+	}
+}
+
+// Ops returns the number of finished operations observed.
+func (l *Latency) Ops() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ops
+}
+
+// Total returns the accumulated virtual latency (seconds).
+func (l *Latency) Total() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Mean returns the average per-operation virtual latency, 0 with no ops.
+func (l *Latency) Mean() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.ops == 0 {
+		return 0
+	}
+	return l.total / float64(l.ops)
+}
+
+// Series returns copies of the (completion time, latency) observations;
+// times are empty when no Clock was attached.
+func (l *Latency) Series() (times, latencies []float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]float64(nil), l.stamps...), append([]float64(nil), l.perOpNs...)
+}
+
+// Record is one finished operation as seen by a Recorder.
+type Record struct {
+	System string
+	Kind   Kind
+	Tag    string
+	Cost   discovery.Cost
+	Path   []Step
+}
+
+// Recorder collects every finished operation with its full path — the
+// test-facing observer used to audit that reported costs equal the recorded
+// paths.
+type Recorder struct {
+	mu   sync.Mutex
+	recs []Record
+}
+
+// OpStep implements Observer.
+func (r *Recorder) OpStep(*Op, Step) {}
+
+// OpFinished implements Observer.
+func (r *Recorder) OpFinished(op *Op, cost discovery.Cost) {
+	r.mu.Lock()
+	r.recs = append(r.recs, Record{System: op.System, Kind: op.Kind, Tag: op.Tag, Cost: cost, Path: op.Path()})
+	r.mu.Unlock()
+}
+
+// Records returns a copy of everything observed so far.
+func (r *Recorder) Records() []Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Record(nil), r.recs...)
+}
+
+// CostOfPath re-derives a cost from a recorded path; tests compare it to
+// the reported cost to prove the two can never diverge.
+func CostOfPath(path []Step) discovery.Cost {
+	var c discovery.Cost
+	for _, st := range path {
+		if st.Reason.Forwards() {
+			c.Hops++
+		} else {
+			c.Visited++
+		}
+	}
+	c.Messages = c.Hops + c.Visited
+	return c
+}

@@ -1,0 +1,275 @@
+// Package routing is the unified routing fabric every discovery system
+// accounts through: a per-operation Op context that records the full hop
+// path of one Register or Discover operation — which nodes the query was
+// forwarded through and why (finger forward, range walk, replica placement,
+// directory visit) — and derives the paper's communication cost
+// (discovery.Cost: hops, visited directory nodes, messages) in exactly one
+// audited place.
+//
+// Before this layer existed, each of the four systems (LORM, Mercury,
+// SWORD, MAAN) re-derived Cost by hand around every overlay call, ~15 call
+// sites of ad-hoc arithmetic. Now the overlays record forwards as they
+// route, the systems record walks and directory visits, and Cost falls out
+// of the recorded path:
+//
+//	Hops     = forwards (finger + range-walk + replica placements)
+//	Visited  = directory visits
+//	Messages = Hops + Visited (one forward per hop, one reply per visit)
+//
+// A Fabric (one per system instance) owns pluggable Observers: a trace sink
+// emitting per-query hop paths (cmd/lormsim -trace), a virtual-latency
+// accumulator driven by sim.Scheduler time, or anything test code attaches.
+// When no observer is attached, an Op keeps counters only and records no
+// path, so the uninstrumented fast path stays allocation-light.
+package routing
+
+import (
+	"sync"
+
+	"lorm/internal/discovery"
+)
+
+// Reason classifies one step of an operation's path.
+type Reason uint8
+
+const (
+	// ReasonFingerForward is an overlay routing forward: a Chord finger /
+	// successor step or a Cycloid phase-routing step during a Lookup.
+	ReasonFingerForward Reason = iota
+	// ReasonRangeWalk is a forward to the next directory node along the
+	// ring while resolving a range sub-query.
+	ReasonRangeWalk
+	// ReasonReplicate is a forward placing a replica copy on a successor
+	// (the LORM replication extension).
+	ReasonReplicate
+	// ReasonDirectoryVisit is a directory consult: the node received the
+	// query, checked its directory and replied. It counts toward Visited
+	// (and one reply message), not toward Hops.
+	ReasonDirectoryVisit
+)
+
+// Forwards reports whether the reason counts as a logical routing hop.
+func (r Reason) Forwards() bool { return r != ReasonDirectoryVisit }
+
+func (r Reason) String() string {
+	switch r {
+	case ReasonFingerForward:
+		return "finger-forward"
+	case ReasonRangeWalk:
+		return "range-walk"
+	case ReasonReplicate:
+		return "replicate"
+	case ReasonDirectoryVisit:
+		return "directory-visit"
+	}
+	return "unknown"
+}
+
+// Letter is the compact single-character encoding trace lines use.
+func (r Reason) Letter() byte {
+	switch r {
+	case ReasonFingerForward:
+		return 'f'
+	case ReasonRangeWalk:
+		return 'w'
+	case ReasonReplicate:
+		return 'r'
+	case ReasonDirectoryVisit:
+		return 'v'
+	}
+	return '?'
+}
+
+// Step is one recorded element of an operation's path: the node it reached
+// (address plus linearized overlay identifier) and why.
+type Step struct {
+	Addr   string
+	ID     uint64
+	Reason Reason
+}
+
+// Kind names the operation class an Op accounts for.
+type Kind string
+
+const (
+	OpRegister Kind = "register"
+	OpDiscover Kind = "discover"
+)
+
+// Op is the accounting context of one operation. The owning system creates
+// it via Fabric.Begin, threads it through every overlay call the operation
+// makes, and reads the derived Cost at the end. It is safe for concurrent
+// use: a multi-attribute query fans its sub-queries out in parallel and all
+// of them record into the same Op.
+type Op struct {
+	// System, Kind and Tag identify the operation in traces: the system
+	// name, the operation class, and a caller-chosen label (the requester
+	// or announcing owner).
+	System string
+	Kind   Kind
+	Tag    string
+
+	observers []Observer
+
+	mu       sync.Mutex
+	forwards int
+	visits   int
+	steps    []Step // recorded only when observers are attached
+	done     bool
+}
+
+// Forward records one logical routing hop to the given node. A nil Op
+// ignores the call, so overlay-internal lookups (joins, finger repair) and
+// tests route without accounting.
+func (op *Op) Forward(addr string, id uint64, reason Reason) {
+	if op == nil {
+		return
+	}
+	op.record(Step{Addr: addr, ID: id, Reason: reason})
+}
+
+// Visit records a directory consult at the given node: the node checked its
+// directory for the query and replied.
+func (op *Op) Visit(addr string, id uint64) {
+	if op == nil {
+		return
+	}
+	op.record(Step{Addr: addr, ID: id, Reason: ReasonDirectoryVisit})
+}
+
+func (op *Op) record(st Step) {
+	op.mu.Lock()
+	if st.Reason.Forwards() {
+		op.forwards++
+	} else {
+		op.visits++
+	}
+	if len(op.observers) > 0 {
+		op.steps = append(op.steps, st)
+	}
+	op.mu.Unlock()
+	for _, o := range op.observers {
+		o.OpStep(op, st)
+	}
+}
+
+// Cost derives the operation's communication cost from the recorded path.
+// This is the single place in the codebase where a discovery.Cost is
+// constructed from routing activity.
+func (op *Op) Cost() discovery.Cost {
+	if op == nil {
+		return discovery.Cost{}
+	}
+	op.mu.Lock()
+	defer op.mu.Unlock()
+	return op.costLocked()
+}
+
+func (op *Op) costLocked() discovery.Cost {
+	return discovery.Cost{
+		Hops:     op.forwards,
+		Visited:  op.visits,
+		Messages: op.forwards + op.visits,
+	}
+}
+
+// Path returns a copy of the recorded steps. It is empty unless an observer
+// was attached when the Op began.
+func (op *Op) Path() []Step {
+	if op == nil {
+		return nil
+	}
+	op.mu.Lock()
+	defer op.mu.Unlock()
+	return append([]Step(nil), op.steps...)
+}
+
+// Finish marks the operation complete, notifies observers exactly once, and
+// returns the derived cost. Subsequent calls return the cost without
+// re-notifying, so `defer op.Finish()` composes with explicit returns of
+// op.Cost().
+func (op *Op) Finish() discovery.Cost {
+	if op == nil {
+		return discovery.Cost{}
+	}
+	op.mu.Lock()
+	cost := op.costLocked()
+	already := op.done
+	op.done = true
+	op.mu.Unlock()
+	if !already {
+		for _, o := range op.observers {
+			o.OpFinished(op, cost)
+		}
+	}
+	return cost
+}
+
+// Observer receives routing activity from every Op of a Fabric. Methods
+// must be safe for concurrent use; OpStep is called outside the Op's lock.
+type Observer interface {
+	// OpStep fires once per recorded step (forward or visit).
+	OpStep(op *Op, st Step)
+	// OpFinished fires exactly once when the operation completes, with the
+	// derived cost.
+	OpFinished(op *Op, cost discovery.Cost)
+}
+
+// Fabric is one system's routing-accounting context: it stamps Ops with the
+// system name and owns the observer set. The zero value is unusable; create
+// one per system instance with NewFabric.
+type Fabric struct {
+	system string
+
+	mu        sync.RWMutex
+	observers []Observer
+}
+
+// NewFabric creates a fabric for the named system.
+func NewFabric(system string) *Fabric {
+	return &Fabric{system: system}
+}
+
+// System returns the owning system's name.
+func (f *Fabric) System() string { return f.system }
+
+// Observe attaches observers to every subsequently begun Op. The observer
+// slice is copy-on-write: live Ops hold the set they began with.
+func (f *Fabric) Observe(obs ...Observer) {
+	f.mu.Lock()
+	next := make([]Observer, 0, len(f.observers)+len(obs))
+	next = append(next, f.observers...)
+	next = append(next, obs...)
+	f.observers = next
+	f.mu.Unlock()
+}
+
+// Detach removes a previously attached observer from subsequently begun
+// Ops; operations already in flight keep reporting to it.
+func (f *Fabric) Detach(o Observer) {
+	f.mu.Lock()
+	next := make([]Observer, 0, len(f.observers))
+	for _, x := range f.observers {
+		if x != o {
+			next = append(next, x)
+		}
+	}
+	f.observers = next
+	f.mu.Unlock()
+}
+
+// Begin starts accounting one operation. The observer set is captured at
+// begin time, so attaching mid-operation affects only later Ops.
+func (f *Fabric) Begin(kind Kind, tag string) *Op {
+	f.mu.RLock()
+	obs := f.observers
+	f.mu.RUnlock()
+	return &Op{System: f.system, Kind: kind, Tag: tag, observers: obs}
+}
+
+// Instrumented is implemented by every system that routes its accounting
+// through a Fabric; the experiment harness uses it to attach observers
+// without depending on concrete system types.
+type Instrumented interface {
+	RoutingFabric() *Fabric
+}

@@ -1,0 +1,221 @@
+package routing
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"lorm/internal/discovery"
+)
+
+func TestCostDerivation(t *testing.T) {
+	f := NewFabric("lorm")
+	op := f.Begin(OpDiscover, "req-1")
+	op.Forward("n1", 1, ReasonFingerForward)
+	op.Forward("n2", 2, ReasonFingerForward)
+	op.Visit("n2", 2)
+	op.Forward("n3", 3, ReasonRangeWalk)
+	op.Visit("n3", 3)
+	got := op.Cost()
+	want := discovery.Cost{Hops: 3, Visited: 2, Messages: 5}
+	if got != want {
+		t.Fatalf("Cost = %+v, want %+v", got, want)
+	}
+	if fin := op.Finish(); fin != want {
+		t.Fatalf("Finish = %+v, want %+v", fin, want)
+	}
+}
+
+func TestRegisterCostMatchesLegacyRule(t *testing.T) {
+	// Register operations never visit directories: Messages must equal Hops,
+	// matching the pre-fabric ad-hoc arithmetic at every register call site.
+	f := NewFabric("sword")
+	op := f.Begin(OpRegister, "owner-3")
+	for i := 0; i < 7; i++ {
+		op.Forward("n", uint64(i), ReasonFingerForward)
+	}
+	op.Forward("n", 8, ReasonReplicate)
+	c := op.Finish()
+	if c.Hops != 8 || c.Visited != 0 || c.Messages != 8 {
+		t.Fatalf("register cost = %+v, want {8 0 8}", c)
+	}
+}
+
+func TestNilOpSafe(t *testing.T) {
+	var op *Op
+	op.Forward("n", 1, ReasonFingerForward) // must not panic
+	op.Visit("n", 1)
+	if c := op.Cost(); c != (discovery.Cost{}) {
+		t.Fatalf("nil op cost = %+v", c)
+	}
+	if c := op.Finish(); c != (discovery.Cost{}) {
+		t.Fatalf("nil op finish = %+v", c)
+	}
+	if p := op.Path(); p != nil {
+		t.Fatalf("nil op path = %v", p)
+	}
+}
+
+func TestConcurrentSubQueriesShareOp(t *testing.T) {
+	f := NewFabric("maan")
+	rec := &Recorder{}
+	f.Observe(rec)
+	op := f.Begin(OpDiscover, "req-9")
+	const workers, per = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				op.Forward("n", uint64(w), ReasonFingerForward)
+				op.Visit("n", uint64(w))
+			}
+		}(w)
+	}
+	wg.Wait()
+	c := op.Finish()
+	if c.Hops != workers*per || c.Visited != workers*per || c.Messages != 2*workers*per {
+		t.Fatalf("concurrent cost = %+v", c)
+	}
+	if got := CostOfPath(op.Path()); got != c {
+		t.Fatalf("CostOfPath = %+v, cost = %+v", got, c)
+	}
+}
+
+func TestFinishIdempotent(t *testing.T) {
+	f := NewFabric("mercury")
+	rec := &Recorder{}
+	f.Observe(rec)
+	op := f.Begin(OpDiscover, "x")
+	op.Forward("n", 1, ReasonFingerForward)
+	op.Finish()
+	op.Finish()
+	op.Finish()
+	if n := len(rec.Records()); n != 1 {
+		t.Fatalf("observer notified %d times, want 1", n)
+	}
+}
+
+func TestObserverCopyOnWrite(t *testing.T) {
+	f := NewFabric("lorm")
+	rec := &Recorder{}
+	op := f.Begin(OpDiscover, "before-attach") // begun with no observers
+	f.Observe(rec)
+	op.Forward("n", 1, ReasonFingerForward)
+	op.Finish()
+	if n := len(rec.Records()); n != 0 {
+		t.Fatalf("observer attached mid-op saw %d records, want 0", n)
+	}
+	op2 := f.Begin(OpDiscover, "after-attach")
+	op2.Visit("n", 2)
+	f.Detach(rec) // in-flight op2 keeps reporting
+	op2.Finish()
+	recs := rec.Records()
+	if len(recs) != 1 || recs[0].Tag != "after-attach" {
+		t.Fatalf("records = %+v", recs)
+	}
+	op3 := f.Begin(OpDiscover, "after-detach")
+	op3.Finish()
+	if n := len(rec.Records()); n != 1 {
+		t.Fatalf("detached observer still notified: %d records", n)
+	}
+}
+
+func TestPathRecordedOnlyWithObservers(t *testing.T) {
+	f := NewFabric("lorm")
+	op := f.Begin(OpDiscover, "bare")
+	op.Forward("n", 1, ReasonFingerForward)
+	if p := op.Path(); len(p) != 0 {
+		t.Fatalf("unobserved op recorded path %v", p)
+	}
+	if c := op.Cost(); c.Hops != 1 {
+		t.Fatalf("counters must still run without observers: %+v", c)
+	}
+}
+
+func TestTraceSinkFormatAndFilter(t *testing.T) {
+	var buf strings.Builder
+	sink := NewTraceSink(&buf, OpDiscover)
+	f := NewFabric("lorm")
+	f.Observe(sink)
+
+	reg := f.Begin(OpRegister, "owner-1")
+	reg.Forward("a", 1, ReasonFingerForward)
+	reg.Finish() // filtered out
+
+	disc := f.Begin(OpDiscover, "req-2")
+	disc.Forward("a", 1, ReasonFingerForward)
+	disc.Visit("a", 1)
+	disc.Forward("b", 2, ReasonRangeWalk)
+	disc.Visit("b", 2)
+	disc.Finish()
+
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	want := "system=lorm op=discover tag=req-2 hops=2 visited=2 msgs=4 path=f:a,v:a,w:b,v:b\n"
+	if out != want {
+		t.Fatalf("trace output:\n%q\nwant:\n%q", out, want)
+	}
+}
+
+type fakeClock struct{ t float64 }
+
+func (c *fakeClock) Now() float64 { return c.t }
+
+func TestLatencyAccumulator(t *testing.T) {
+	clk := &fakeClock{}
+	lat := NewLatency(clk, 0.05)
+	f := NewFabric("lorm")
+	f.Observe(lat)
+
+	clk.t = 1.0
+	op := f.Begin(OpDiscover, "a")
+	op.Forward("n", 1, ReasonFingerForward)
+	op.Forward("n", 2, ReasonFingerForward)
+	op.Finish()
+
+	clk.t = 2.5
+	op2 := f.Begin(OpDiscover, "b")
+	op2.Forward("n", 3, ReasonFingerForward)
+	op2.Finish()
+
+	if lat.Ops() != 2 {
+		t.Fatalf("ops = %d", lat.Ops())
+	}
+	if got, want := lat.Total(), 0.15; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("total = %v, want %v", got, want)
+	}
+	if got, want := lat.Mean(), 0.075; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("mean = %v, want %v", got, want)
+	}
+	times, lats := lat.Series()
+	if len(times) != 2 || times[0] != 1.0 || times[1] != 2.5 {
+		t.Fatalf("times = %v", times)
+	}
+	if len(lats) != 2 || lats[0] != 0.1 || lats[1] != 0.05 {
+		t.Fatalf("latencies = %v", lats)
+	}
+}
+
+func TestReasonEncoding(t *testing.T) {
+	cases := []struct {
+		r       Reason
+		letter  byte
+		name    string
+		forward bool
+	}{
+		{ReasonFingerForward, 'f', "finger-forward", true},
+		{ReasonRangeWalk, 'w', "range-walk", true},
+		{ReasonReplicate, 'r', "replicate", true},
+		{ReasonDirectoryVisit, 'v', "directory-visit", false},
+	}
+	for _, c := range cases {
+		if c.r.Letter() != c.letter || c.r.String() != c.name || c.r.Forwards() != c.forward {
+			t.Fatalf("reason %d: letter=%c string=%s forwards=%v", c.r, c.r.Letter(), c.r, c.r.Forwards())
+		}
+	}
+}

@@ -158,3 +158,12 @@ func (c *Collector) Summary() Summary {
 	c.mu.Unlock()
 	return Summarize(sample)
 }
+
+// Quantile returns the p-quantile (p in [0, 1]) of the observations
+// collected so far, linearly interpolated; 0 for an empty collector.
+func (c *Collector) Quantile(p float64) float64 {
+	c.mu.Lock()
+	sample := append([]float64(nil), c.sample...)
+	c.mu.Unlock()
+	return Percentile(sample, p)
+}

@@ -129,6 +129,54 @@ func TestCollectorConcurrent(t *testing.T) {
 	}
 }
 
+func TestCollectorQuantile(t *testing.T) {
+	var c Collector
+	if got := c.Quantile(0.5); got != 0 {
+		t.Fatalf("empty Quantile = %v, want 0", got)
+	}
+	for i := 1; i <= 100; i++ {
+		c.AddInt(i)
+	}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1},
+		{0.5, 50.5},
+		{0.95, 95.05},
+		{0.99, 99.01},
+		{1, 100},
+	}
+	for _, tc := range cases {
+		if got := c.Quantile(tc.p); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	// Must agree with the package-level Percentile on the same sample.
+	if got, want := c.Quantile(0.25), Percentile(c.sample, 0.25); got != want {
+		t.Errorf("Quantile(0.25) = %v, Percentile = %v", got, want)
+	}
+}
+
+func TestCollectorQuantileConcurrent(t *testing.T) {
+	var c Collector
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.AddInt(i)
+				_ = c.Quantile(0.99)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Quantile(1); got != 99 {
+		t.Fatalf("max = %v, want 99", got)
+	}
+}
+
 func TestSummaryString(t *testing.T) {
 	s := Summarize([]float64{1, 2, 3})
 	if got := s.String(); !strings.Contains(got, "n=3") || !strings.Contains(got, "mean=2.00") {

@@ -18,6 +18,7 @@ import (
 	"lorm/internal/discovery"
 	"lorm/internal/hashing"
 	"lorm/internal/resource"
+	"lorm/internal/routing"
 )
 
 // Config parameterizes a SWORD deployment.
@@ -34,11 +35,13 @@ type Config struct {
 type System struct {
 	schema *resource.Schema
 	ring   *chord.Ring
+	fabric *routing.Fabric
 }
 
 var (
-	_ discovery.System  = (*System)(nil)
-	_ discovery.Dynamic = (*System)(nil)
+	_ discovery.System     = (*System)(nil)
+	_ discovery.Dynamic    = (*System)(nil)
+	_ routing.Instrumented = (*System)(nil)
 )
 
 // New creates an empty SWORD system.
@@ -47,8 +50,11 @@ func New(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("sword: config needs a schema")
 	}
 	r := chord.New(chord.Config{Bits: cfg.Bits, SuccListLen: cfg.SuccListLen, Salt: "sword"})
-	return &System{schema: cfg.Schema, ring: r}, nil
+	return &System{schema: cfg.Schema, ring: r, fabric: routing.NewFabric("sword")}, nil
 }
+
+// RoutingFabric implements routing.Instrumented.
+func (s *System) RoutingFabric() *routing.Fabric { return s.fabric }
 
 // AddNodes bulk-populates the ring.
 func (s *System) AddNodes(addrs []string) error { return s.ring.AddBulk(addrs) }
@@ -72,20 +78,21 @@ func (s *System) attrKey(attr string) uint64 {
 
 // Register implements discovery.System: one insert under H(attr); the
 // attribute root accumulates every piece of the attribute.
-func (s *System) Register(info resource.Info) (discovery.Cost, error) {
+func (s *System) Register(info resource.Info) (cost discovery.Cost, err error) {
 	if _, ok := s.schema.Lookup(info.Attr); !ok {
-		return discovery.Cost{}, fmt.Errorf("sword: unknown attribute %q", info.Attr)
+		return cost, fmt.Errorf("sword: unknown attribute %q", info.Attr)
 	}
 	key := s.attrKey(info.Attr)
 	from, err := s.ring.NodeNear(info.Owner)
 	if err != nil {
-		return discovery.Cost{}, err
+		return cost, err
 	}
-	route, err := s.ring.Insert(from, key, directory.Entry{Key: key, Info: info})
-	if err != nil {
-		return discovery.Cost{}, err
+	op := s.fabric.Begin(routing.OpRegister, info.Owner)
+	if _, err := s.ring.InsertOp(op, from, key, directory.Entry{Key: key, Info: info}); err != nil {
+		op.Finish()
+		return cost, err
 	}
-	return discovery.Cost{Hops: route.Hops, Messages: route.Hops}, nil
+	return op.Finish(), nil
 }
 
 // Discover implements discovery.System: each sub-query is one lookup; the
@@ -95,18 +102,25 @@ func (s *System) Discover(q resource.Query) (*discovery.Result, error) {
 	if err := q.Validate(s.schema); err != nil {
 		return nil, err
 	}
-	return discovery.RunSubs(q, func(sub resource.SubQuery) ([]resource.Info, discovery.Cost, error) {
+	op := s.fabric.Begin(routing.OpDiscover, q.Requester)
+	defer op.Finish()
+	res, err := discovery.RunSubs(q, func(sub resource.SubQuery) ([]resource.Info, error) {
 		from, err := s.ring.NodeNear(q.Requester)
 		if err != nil {
-			return nil, discovery.Cost{}, err
+			return nil, err
 		}
-		route, err := s.ring.Lookup(from, s.attrKey(sub.Attr))
+		route, err := s.ring.LookupOp(op, from, s.attrKey(sub.Attr))
 		if err != nil {
-			return nil, discovery.Cost{}, err
+			return nil, err
 		}
-		matches := route.Root.Dir.Match(sub.Attr, sub.Low, sub.High)
-		return matches, discovery.Cost{Hops: route.Hops, Visited: 1, Messages: route.Hops + 1}, nil
+		op.Visit(route.Root.Addr, route.Root.ID)
+		return route.Root.Dir.Match(sub.Attr, sub.Low, sub.High), nil
 	})
+	if err != nil {
+		return nil, err
+	}
+	res.Cost = op.Cost()
+	return res, nil
 }
 
 // DirectorySizes implements discovery.System.

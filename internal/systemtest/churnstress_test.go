@@ -1,0 +1,142 @@
+package systemtest
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"lorm/internal/discovery"
+	"lorm/internal/resource"
+	"lorm/internal/routing"
+)
+
+// TestChurnStress hammers every Dynamic system with concurrent Discover and
+// Register traffic while a churn goroutine joins, removes and stabilizes
+// nodes. Run under -race it proves the snapshot-based lookup path is safe
+// against concurrent membership writes: lookups may legitimately fail with
+// "not a live member" when their start node departs mid-query, but nothing
+// may race, panic, or corrupt results.
+func TestChurnStress(t *testing.T) {
+	schema := resource.MustSchema(
+		resource.Attribute{Name: "cpu", Min: 0, Max: 100},
+		resource.Attribute{Name: "mem", Min: 0, Max: 100},
+	)
+	dep, err := Build(schema, 64, Options{D: 6, Bits: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		info := resource.Info{
+			Attr:  schema.Attributes()[i%2].Name,
+			Value: float64(i * 2 % 100),
+			Owner: fmt.Sprintf("owner-%02d", i),
+		}
+		if err := dep.RegisterEverywhere(info); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, sys := range dep.Systems() {
+		dyn, ok := sys.(discovery.Dynamic)
+		if !ok {
+			t.Fatalf("%s does not implement discovery.Dynamic", sys.Name())
+		}
+		t.Run(sys.Name(), func(t *testing.T) {
+			// Observers must be safe to drive from concurrent queries too.
+			inst, ok := sys.(routing.Instrumented)
+			if !ok {
+				t.Fatalf("%s does not implement routing.Instrumented", sys.Name())
+			}
+			sink := routing.NewTraceSink(io.Discard)
+			inst.RoutingFabric().Observe(sink)
+			defer inst.RoutingFabric().Detach(sink)
+
+			const (
+				queryWorkers = 4
+				churnCycles  = 25
+			)
+			var (
+				wg        sync.WaitGroup
+				done      = make(chan struct{})
+				succeeded atomic.Int64
+			)
+			tolerable := func(err error) bool {
+				return strings.Contains(err.Error(), "not a live member")
+			}
+			for w := 0; w < queryWorkers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; ; i++ {
+						select {
+						case <-done:
+							return
+						default:
+						}
+						q := resource.Query{
+							Requester: fmt.Sprintf("req-%d-%d", w, i),
+							Subs: []resource.SubQuery{
+								{Attr: "cpu", Low: 10, High: 60},
+								{Attr: "mem", Low: 20, High: 80},
+							},
+						}
+						res, err := dyn.Discover(q)
+						if err != nil {
+							if !tolerable(err) {
+								t.Errorf("Discover: %v", err)
+								return
+							}
+							continue
+						}
+						if res.Cost.Messages != res.Cost.Hops+res.Cost.Visited {
+							t.Errorf("cost invariant broken: %+v", res.Cost)
+							return
+						}
+						succeeded.Add(1)
+						if i%7 == 0 {
+							info := resource.Info{Attr: "cpu", Value: float64(i % 100), Owner: q.Requester}
+							if _, err := dyn.Register(info); err != nil && !tolerable(err) {
+								t.Errorf("Register: %v", err)
+								return
+							}
+						}
+					}
+				}(w)
+			}
+
+			// Churn for a fixed number of cycles, then keep churning until
+			// queries have demonstrably overlapped with it (the workers may
+			// not be scheduled before the first cycles complete).
+			for c := 0; c < churnCycles || succeeded.Load() < queryWorkers; c++ {
+				if c > 10000 {
+					break // workers erred out; their t.Errorf reports why
+				}
+				addr := fmt.Sprintf("churn-%s-%03d", sys.Name(), c)
+				if err := dyn.AddNode(addr); err != nil {
+					t.Errorf("AddNode: %v", err)
+					break
+				}
+				dyn.Maintain()
+				if err := dyn.RemoveNode(addr); err != nil {
+					t.Errorf("RemoveNode: %v", err)
+					break
+				}
+				dyn.Maintain()
+			}
+			close(done)
+			wg.Wait()
+			if succeeded.Load() == 0 {
+				t.Fatal("no query succeeded during churn")
+			}
+			if sink.Err() != nil {
+				t.Fatalf("trace sink error: %v", sink.Err())
+			}
+			if sink.Lines() == 0 {
+				t.Fatal("trace sink observed no operations")
+			}
+		})
+	}
+}

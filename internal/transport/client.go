@@ -62,10 +62,10 @@ func (c *Client) Ping() error {
 }
 
 // Register announces one piece of resource information.
-func (c *Client) Register(info resource.Info) (discovery.Cost, error) {
+func (c *Client) Register(info resource.Info) (cost discovery.Cost, err error) {
 	resp, err := c.call(&Request{Op: OpRegister, Info: &info})
 	if err != nil {
-		return discovery.Cost{}, err
+		return cost, err
 	}
 	return resp.Cost, nil
 }
@@ -74,7 +74,7 @@ func (c *Client) Register(info resource.Info) (discovery.Cost, error) {
 func (c *Client) Discover(subs []resource.SubQuery, requester string) (owners []string, matches []resource.Info, cost discovery.Cost, err error) {
 	resp, err := c.call(&Request{Op: OpDiscover, Subs: subs, Requester: requester})
 	if err != nil {
-		return nil, nil, discovery.Cost{}, err
+		return nil, nil, cost, err
 	}
 	return resp.Owners, resp.Matches, resp.Cost, nil
 }
