@@ -18,6 +18,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -29,6 +32,7 @@ import (
 	"lorm/internal/discovery"
 	"lorm/internal/maan"
 	"lorm/internal/mercury"
+	"lorm/internal/metrics"
 	"lorm/internal/resource"
 	"lorm/internal/sword"
 	"lorm/internal/transport"
@@ -69,6 +73,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: lormnode <serve|register|query|stats|addnode|removenode> [flags]
 
 serve      run a gateway:      -listen ADDR -system lorm|mercury|sword|maan -d N -nodes N -attrs SPEC
+                               [-metrics-listen ADDR]  HTTP: /metrics (Prometheus; ?format=json),
+                                                       /healthz, /debug/pprof/*
 register   announce a resource: -gateway ADDR -attr NAME -value V -owner ADDR
 query      resolve a query:     -gateway ADDR -q "attr:lo:hi,attr:lo:hi" [-requester NAME]
 stats      deployment summary:  -gateway ADDR
@@ -181,6 +187,7 @@ func cmdServe(args []string) error {
 	bits := fs.Uint("bits", 20, "Chord identifier bits (mercury/sword/maan)")
 	nodes := fs.Int("nodes", 256, "number of simulated peers in the deployment")
 	attrs := fs.String("attrs", "cpu:100:3200,mem:0:8192,disk:1:2000", "attribute schema")
+	mlisten := fs.String("metrics-listen", "", "serve /metrics, /healthz and /debug/pprof on this HTTP address")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -201,11 +208,47 @@ func cmdServe(args []string) error {
 		return err
 	}
 	logger.Printf("serving %s (%d peers, %d attributes) on %s", sys.Name(), sys.NodeCount(), schema.Len(), srv.Addr())
+	if *mlisten != "" {
+		msrv, maddr, err := startMetricsServer(*mlisten)
+		if err != nil {
+			srv.Close()
+			return err
+		}
+		defer msrv.Close()
+		logger.Printf("metrics on http://%s/metrics (pprof under /debug/pprof/)", maddr)
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	logger.Printf("shutting down")
 	return srv.Close()
+}
+
+// startMetricsServer binds the observability HTTP endpoint: the process
+// metrics registry (Prometheus text, or JSON via ?format=json), a liveness
+// probe, and the runtime profiler. Returns the server and the bound
+// address (addr may carry port 0).
+func startMetricsServer(addr string) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("metrics listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", metrics.Default().Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	// Mount pprof explicitly: the side-effect registration in net/http/pprof
+	// targets http.DefaultServeMux, which this server does not use.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
 }
 
 func dial(fs *flag.FlagSet) (*transport.Client, *string) {
@@ -292,6 +335,13 @@ func cmdStats(args []string) error {
 	}
 	fmt.Printf("system: %s\nnodes: %d\nattributes: %d\npieces stored: %d\navg directory: %.2f\nmax directory: %d\n",
 		st.System, st.Nodes, st.Attributes, st.TotalPieces, st.AvgDir, st.MaxDir)
+	if st.Metrics != nil {
+		fmt.Printf("routing ops observed: %d\n", st.Metrics.TotalOps)
+		for _, sm := range st.Metrics.Systems {
+			fmt.Printf("  %-8s ops: %-6d p50 hops: %-5.1f p99 hops: %.1f\n",
+				sm.System, sm.Ops, sm.P50Hops, sm.P99Hops)
+		}
+	}
 	return nil
 }
 

@@ -1,7 +1,16 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
 	"testing"
+	"time"
+
+	"lorm/internal/metrics"
+	"lorm/internal/resource"
+	"lorm/internal/transport"
 )
 
 func TestParseAttrs(t *testing.T) {
@@ -114,4 +123,92 @@ func FuzzParseQuery(f *testing.F) {
 			}
 		}
 	})
+}
+
+// TestMetricsEndpoint boots a gateway plus the observability HTTP server
+// and scrapes it the way an operator would with curl: /metrics must be
+// valid Prometheus text carrying series for all four systems, /healthz
+// must answer 200, and pprof must be mounted.
+func TestMetricsEndpoint(t *testing.T) {
+	schema, err := parseAttrs("cpu:100:3200,mem:0:8192")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := buildSystem("lorm", 5, 16, schema, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw, err := transport.NewServer(sys, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+
+	// Push one op through the gateway so counters move.
+	cli, err := transport.Dial(gw.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, err := cli.Register(resource.Info{Attr: "cpu", Value: 2000, Owner: "site-a"}); err != nil {
+		t.Fatal(err)
+	}
+
+	msrv, maddr, err := startMetricsServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer msrv.Close()
+
+	get := func(path string) (int, string, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + maddr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+	}
+
+	code, body, ctype := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(ctype, "text/plain") || !strings.Contains(ctype, "0.0.4") {
+		t.Fatalf("/metrics content type %q", ctype)
+	}
+	if !strings.Contains(body, "# TYPE lorm_ops_total counter") {
+		t.Fatalf("missing TYPE line:\n%s", body)
+	}
+	for _, want := range []string{"lorm", "mercury", "sword", "maan"} {
+		if !strings.Contains(body, `system="`+want+`"`) {
+			t.Errorf("/metrics has no series for system %q", want)
+		}
+	}
+	if !strings.Contains(body, "transport_requests_total") {
+		t.Error("/metrics missing transport families")
+	}
+
+	code, body, ctype = get("/metrics?format=json")
+	if code != http.StatusOK || !strings.Contains(ctype, "application/json") {
+		t.Fatalf("/metrics?format=json status %d type %q", code, ctype)
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("JSON snapshot does not parse: %v", err)
+	}
+	if fam, ok := snap.Family("lorm_ops_total"); !ok || fam.Total() <= 0 {
+		t.Fatalf("JSON snapshot has no recorded ops (ok=%v)", ok)
+	}
+
+	if code, body, _ := get("/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	if code, _, _ := get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status %d", code)
+	}
 }

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"lorm/internal/experiments"
+	"lorm/internal/metrics"
 	"lorm/internal/routing"
 	"lorm/internal/stats"
 )
@@ -44,6 +45,7 @@ func run(args []string, out *os.File) error {
 		cqFlag = fs.Int("churn-queries", 0, "override churn queries per rate")
 		seed   = fs.Int64("seed", 0, "override RNG seed")
 		trace  = fs.String("trace", "", "write per-discover hop-path trace lines to this file")
+		mout   = fs.String("metrics-out", "", "write the final metrics snapshot (JSON) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,6 +97,40 @@ func run(args []string, out *os.File) error {
 			if err := sink.Err(); err != nil {
 				fmt.Fprintf(os.Stderr, "[lormsim] trace write error: %v\n", err)
 			}
+		}()
+	}
+	if *mout != "" {
+		obs := routing.NewMetricsObserver(metrics.Default())
+		p.MetricsObserver = obs
+		// Heartbeat: one stderr line every few seconds with the running op
+		// total, so long paper-scale runs show signs of life.
+		hbDone := make(chan struct{})
+		go func() {
+			tick := time.NewTicker(5 * time.Second)
+			defer tick.Stop()
+			for {
+				select {
+				case <-hbDone:
+					return
+				case <-tick.C:
+					fmt.Fprintf(os.Stderr, "[lormsim] metrics: %d routing ops observed\n", obs.TotalOps())
+				}
+			}
+		}()
+		defer func() {
+			close(hbDone)
+			f, ferr := os.Create(*mout)
+			if ferr != nil {
+				fmt.Fprintf(os.Stderr, "[lormsim] metrics-out: %v\n", ferr)
+				return
+			}
+			defer f.Close()
+			if werr := metrics.Default().WriteJSONSnapshot(f); werr != nil {
+				fmt.Fprintf(os.Stderr, "[lormsim] metrics-out: %v\n", werr)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "[lormsim] metrics: %d routing ops; snapshot written to %s\n",
+				obs.TotalOps(), *mout)
 		}()
 	}
 

@@ -1,12 +1,15 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"regexp"
 	"strconv"
 	"strings"
 	"testing"
+
+	"lorm/internal/metrics"
 )
 
 // run the CLI end to end at the quick preset, capturing stdout through a
@@ -123,5 +126,36 @@ func TestRunTheoremsQuick(t *testing.T) {
 	out := runCLI(t, "-exp", "theorems", "-preset", "quick")
 	if !strings.Contains(out, "Theorems 4.1-4.10") {
 		t.Fatalf("theorem table missing:\n%s", out)
+	}
+}
+
+// TestMetricsOut runs fig4a with -metrics-out and verifies the snapshot
+// parses and carries discover ops for all four systems.
+func TestMetricsOut(t *testing.T) {
+	mpath := filepath.Join(t.TempDir(), "metrics.json")
+	runCLI(t, "-exp", "fig4a", "-preset", "quick", "-metrics-out", mpath)
+	data, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("snapshot does not parse: %v", err)
+	}
+	ops, ok := snap.Family("lorm_ops_total")
+	if !ok {
+		t.Fatal("lorm_ops_total missing from snapshot")
+	}
+	if ops.Total() <= 0 {
+		t.Fatal("no routing ops recorded")
+	}
+	bySystem := map[string]float64{}
+	for _, m := range ops.Metrics {
+		bySystem[m.Labels["system"]] += m.Value
+	}
+	for _, want := range []string{"lorm", "mercury", "sword", "maan"} {
+		if bySystem[want] == 0 {
+			t.Errorf("no ops recorded for system %q", want)
+		}
 	}
 }

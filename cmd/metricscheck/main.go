@@ -1,0 +1,59 @@
+// Command metricscheck validates a metrics snapshot produced by
+// `lormsim -metrics-out`: the JSON must parse into a metrics.Snapshot and
+// the routing op counters must show actual traffic. CI runs it after a
+// short simulation to catch regressions in the observability pipeline.
+//
+// Usage: metricscheck <snapshot.json>
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"lorm/internal/metrics"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "metricscheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: metricscheck <snapshot.json>")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("snapshot does not parse: %w", err)
+	}
+	if len(snap.Families) == 0 {
+		return fmt.Errorf("snapshot has no metric families")
+	}
+	ops, ok := snap.Family("lorm_ops_total")
+	if !ok {
+		return fmt.Errorf("family lorm_ops_total missing")
+	}
+	total := ops.Total()
+	if total <= 0 {
+		return fmt.Errorf("lorm_ops_total is zero: no routing ops were observed")
+	}
+	bySystem := map[string]float64{}
+	for _, m := range ops.Metrics {
+		bySystem[m.Labels["system"]] += m.Value
+	}
+	for _, want := range []string{"lorm", "maan", "mercury", "sword"} {
+		if bySystem[want] == 0 {
+			return fmt.Errorf("no ops recorded for system %q", want)
+		}
+	}
+	fmt.Printf("metricscheck: %d families, %.0f routing ops (lorm=%.0f maan=%.0f mercury=%.0f sword=%.0f)\n",
+		len(snap.Families), total, bySystem["lorm"], bySystem["maan"], bySystem["mercury"], bySystem["sword"])
+	return nil
+}

@@ -231,7 +231,10 @@ func (d *draft) remove(id uint64) {
 }
 
 // publish swaps the draft in as the ring's current snapshot (Ring.mu held).
-func (r *Ring) publish(d *draft) { r.snap.Store(d.s) }
+func (r *Ring) publish(d *draft) {
+	r.snap.Store(d.s)
+	mSnapshotPublishes.Inc()
+}
 
 // oracleSuccessorIn returns the first member at or after key in ring order.
 // This is ground truth from membership, not routed state.

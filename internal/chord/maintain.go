@@ -153,6 +153,7 @@ func (r *Ring) Stabilize() {
 		}
 	}
 	r.publish(d)
+	mStabilizeRounds.Inc()
 }
 
 // FixFingers refreshes `perNode` finger entries on every node using routed
@@ -183,6 +184,7 @@ func (r *Ring) FixFingers(perNode int) {
 		n.nextFinger = (n.nextFinger + perNode) % int(r.cfg.Bits)
 	}
 	r.publish(d)
+	mFingerFixes.Add(uint64(perNode) * uint64(len(d.s.sorted)))
 }
 
 // prependSucc puts id at the head of a successor list, dedups, and trims.
@@ -228,5 +230,6 @@ func (r *Ring) Fail(n *Node) (lostEntries int, err error) {
 	}
 	d.remove(n.ID)
 	r.publish(d)
+	mFailuresDetected.Inc()
 	return n.Dir.Len(), nil
 }

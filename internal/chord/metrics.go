@@ -1,0 +1,18 @@
+package chord
+
+import "lorm/internal/metrics"
+
+// Process-wide maintenance counters, aggregated across every ring in the
+// process (a Mercury deployment runs one ring per attribute hub). Handles
+// are resolved once at init; the increments on the maintenance paths are
+// single atomic adds.
+var (
+	mStabilizeRounds = metrics.Default().Counter("chord_stabilize_rounds_total",
+		"chord stabilization rounds executed")
+	mFingerFixes = metrics.Default().Counter("chord_finger_fixes_total",
+		"chord finger-table entries refreshed by FixFingers")
+	mSnapshotPublishes = metrics.Default().Counter("chord_snapshot_publishes_total",
+		"copy-on-write routing snapshots published by chord writers")
+	mFailuresDetected = metrics.Default().Counter("chord_failures_detected_total",
+		"abrupt chord node failures injected/detected")
+)

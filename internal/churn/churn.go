@@ -12,7 +12,21 @@ import (
 	"math/rand"
 
 	"lorm/internal/discovery"
+	"lorm/internal/metrics"
 	"lorm/internal/sim"
+)
+
+// Process-wide churn counters, aggregated across every churn process (the
+// figure-6 sweep runs one per system per rate).
+var (
+	mJoins = metrics.Default().Counter("churn_joins_total",
+		"successful node joins driven by churn processes")
+	mDepartures = metrics.Default().Counter("churn_departures_total",
+		"successful graceful departures driven by churn processes")
+	mFailedOps = metrics.Default().Counter("churn_failed_ops_total",
+		"churn-driven membership operations the system rejected")
+	mMaintains = metrics.Default().Counter("churn_maintenance_rounds_total",
+		"maintenance (stabilization) rounds triggered by churn processes")
 )
 
 // Config parameterizes a churn process.
@@ -38,6 +52,7 @@ type Process struct {
 	Joins      int
 	Departures int
 	Maintains  int
+	FailedOps  int // membership operations the system rejected
 }
 
 // New validates the configuration and attaches a churn process to the
@@ -79,6 +94,10 @@ func (p *Process) join() {
 	p.joined++
 	if err := p.sys.AddNode(addr); err == nil {
 		p.Joins++
+		mJoins.Inc()
+	} else {
+		p.FailedOps++
+		mFailedOps.Inc()
 	}
 	p.sched.After(p.exp(), p.join)
 }
@@ -89,6 +108,10 @@ func (p *Process) depart() {
 		victim := addrs[p.cfg.Rng.Intn(len(addrs))]
 		if err := p.sys.RemoveNode(victim); err == nil {
 			p.Departures++
+			mDepartures.Inc()
+		} else {
+			p.FailedOps++
+			mFailedOps.Inc()
 		}
 	}
 	p.sched.After(p.exp(), p.depart)
@@ -97,5 +120,6 @@ func (p *Process) depart() {
 func (p *Process) maintain() {
 	p.sys.Maintain()
 	p.Maintains++
+	mMaintains.Inc()
 	p.sched.After(p.cfg.MaintainEvery, p.maintain)
 }

@@ -265,7 +265,10 @@ func (d *draft) setState(pos uint64, st *nodeState) {
 }
 
 // publish swaps the draft in as the overlay's current snapshot (mu held).
-func (o *Overlay) publish(d *draft) { o.snap.Store(d.s) }
+func (o *Overlay) publish(d *draft) {
+	o.snap.Store(d.s)
+	mSnapshotPublishes.Inc()
+}
 
 // oracleSuccessorIn returns the first member at or after pos, wrapping.
 // This is the ground-truth owner of the key at pos.
@@ -336,6 +339,7 @@ func (o *Overlay) rebuildAll(d *draft) {
 // rebuildNode recomputes one node's seven links from the draft's
 // membership, replacing its state entry wholesale.
 func (o *Overlay) rebuildNode(d *draft, n *Node) {
+	mNodeRebuilds.Inc()
 	if len(d.s.sorted) < 2 {
 		d.setState(n.Pos, &nodeState{
 			ringPred: n.Pos, ringSucc: n.Pos,

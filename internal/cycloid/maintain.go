@@ -100,6 +100,7 @@ func (o *Overlay) Stabilize() {
 	d := o.beginDraft()
 	o.rebuildAll(d)
 	o.publish(d)
+	mStabilizeRounds.Inc()
 }
 
 // Fail removes a node abruptly: no key handover, no leaf-set repair — a
@@ -119,5 +120,6 @@ func (o *Overlay) Fail(n *Node) (lostEntries int, err error) {
 	}
 	d.remove(n.Pos)
 	o.publish(d)
+	mFailuresDetected.Inc()
 	return n.Dir.Len(), nil
 }

@@ -1,0 +1,17 @@
+package cycloid
+
+import "lorm/internal/metrics"
+
+// Process-wide maintenance counters, aggregated across every overlay in the
+// process. Handles are resolved once at init; the increments on the
+// maintenance paths are single atomic adds.
+var (
+	mStabilizeRounds = metrics.Default().Counter("cycloid_stabilize_rounds_total",
+		"cycloid self-organization (stabilization) rounds executed")
+	mNodeRebuilds = metrics.Default().Counter("cycloid_node_rebuilds_total",
+		"cycloid per-node link-set rebuilds (the finger-fix analog)")
+	mSnapshotPublishes = metrics.Default().Counter("cycloid_snapshot_publishes_total",
+		"copy-on-write routing snapshots published by cycloid writers")
+	mFailuresDetected = metrics.Default().Counter("cycloid_failures_detected_total",
+		"abrupt cycloid node failures injected/detected")
+)

@@ -52,15 +52,23 @@ func NewEnv(p Params) (*Env, error) {
 	return env, nil
 }
 
-// attachTrace hooks the run-wide trace observer (if any) into a system's
-// routing fabric. Drivers that construct systems outside NewEnv call it
-// themselves so -trace covers every deployment of a run.
+// attachTrace hooks the run-wide trace and metrics observers (if any) into
+// a system's routing fabric. Drivers that construct systems outside NewEnv
+// call it themselves so -trace and -metrics-out cover every deployment of a
+// run.
 func attachTrace(p Params, s discovery.System) {
-	if p.TraceObserver == nil {
+	if p.TraceObserver == nil && p.MetricsObserver == nil {
 		return
 	}
-	if inst, ok := s.(routing.Instrumented); ok {
+	inst, ok := s.(routing.Instrumented)
+	if !ok {
+		return
+	}
+	if p.TraceObserver != nil {
 		inst.RoutingFabric().Observe(p.TraceObserver)
+	}
+	if p.MetricsObserver != nil {
+		inst.RoutingFabric().Observe(p.MetricsObserver)
 	}
 }
 

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"lorm/internal/metrics"
+	"lorm/internal/resource"
+	"lorm/internal/routing"
+	"lorm/internal/workload"
+)
+
+// findSeries picks the labeled series for one (system, kind) out of a
+// family snapshot.
+func findSeries(t *testing.T, snap metrics.Snapshot, family, system, kind string) metrics.MetricSnapshot {
+	t.Helper()
+	fam, ok := snap.Family(family)
+	if !ok {
+		t.Fatalf("family %s missing from snapshot", family)
+	}
+	for _, m := range fam.Metrics {
+		if m.Labels["system"] == system && m.Labels["kind"] == kind {
+			return m
+		}
+	}
+	t.Fatalf("family %s has no series for system=%s kind=%s", family, system, kind)
+	return metrics.MetricSnapshot{}
+}
+
+// TestMetricsMatchFabricCosts is the end-to-end consistency check of the
+// observability pipeline: the hop and visited-node totals accumulated in
+// the metrics histograms must EXACTLY equal the costs the discovery calls
+// themselves report (which runQueries collects), for every system. Any
+// drift would mean the metrics path observes different ops than the
+// fabric accounts.
+func TestMetricsMatchFabricCosts(t *testing.T) {
+	p := Quick()
+	reg := metrics.NewRegistry()
+	obs := routing.NewMetricsObserver(reg)
+	p.MetricsObserver = obs
+
+	env, err := NewEnv(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The same pre-generated query set Fig4 uses for its mq=3 point.
+	const mq = 3
+	qrng := workload.Split(p.Seed, 100+mq)
+	qs := make([]resource.Query, 0, p.Requesters*p.QueriesPerRequester)
+	for r := 0; r < p.Requesters; r++ {
+		requester := fmt.Sprintf("requester-%03d", r)
+		for j := 0; j < p.QueriesPerRequester; j++ {
+			qs = append(qs, env.Gen.ExactQuery(qrng, mq, requester))
+		}
+	}
+
+	type fabricTotals struct {
+		hops, visited float64
+	}
+	got := make(map[string]fabricTotals)
+	for name, sys := range env.systemsByName() {
+		hops, visited, err := runQueries(sys, qs, p.Workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[name] = fabricTotals{hops: hops.Sum(), visited: visited.Sum()}
+	}
+
+	snap := reg.Snapshot()
+	kind := string(routing.OpDiscover)
+	for name, want := range got {
+		hopsSeries := findSeries(t, snap, "lorm_op_hops", name, kind)
+		if hopsSeries.Count != uint64(len(qs)) {
+			t.Errorf("%s: hops histogram count = %d, want %d queries", name, hopsSeries.Count, len(qs))
+		}
+		if hopsSeries.Sum != want.hops {
+			t.Errorf("%s: metrics hops sum = %v, fabric reported %v", name, hopsSeries.Sum, want.hops)
+		}
+		visSeries := findSeries(t, snap, "lorm_op_visited", name, kind)
+		if visSeries.Count != uint64(len(qs)) {
+			t.Errorf("%s: visited histogram count = %d, want %d", name, visSeries.Count, len(qs))
+		}
+		if visSeries.Sum != want.visited {
+			t.Errorf("%s: metrics visited sum = %v, fabric reported %v", name, visSeries.Sum, want.visited)
+		}
+		msgSeries := findSeries(t, snap, "lorm_op_messages", name, kind)
+		if msgSeries.Count != uint64(len(qs)) || msgSeries.Sum <= 0 {
+			t.Errorf("%s: messages histogram count=%d sum=%v, want count=%d and positive sum",
+				name, msgSeries.Count, msgSeries.Sum, len(qs))
+		}
+		opsSeries := findSeries(t, snap, "lorm_ops_total", name, kind)
+		if opsSeries.Value != float64(len(qs)) {
+			t.Errorf("%s: ops counter = %v, want %d", name, opsSeries.Value, len(qs))
+		}
+	}
+
+	// Registrations from NewEnv must have landed under the register kind,
+	// not polluted the discover series above.
+	for name := range got {
+		regSeries := findSeries(t, snap, "lorm_ops_total", name, string(routing.OpRegister))
+		if regSeries.Value == 0 {
+			t.Errorf("%s: no register ops recorded despite registerAll", name)
+		}
+	}
+}

@@ -64,6 +64,10 @@ type Params struct {
 	// build internally, like the churn sweep's per-rate deployments), so
 	// cmd/lormsim -trace sees every operation of a run.
 	TraceObserver routing.Observer
+	// MetricsObserver, when non-nil, is attached alongside TraceObserver and
+	// aggregates per-system op counts and hop/visited/message histograms
+	// into a metrics registry (cmd/lormsim -metrics-out).
+	MetricsObserver *routing.MetricsObserver
 }
 
 func (p Params) withDefaults() Params {

@@ -1,0 +1,207 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+func writeJSON(w io.Writer, v interface{}) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// Snapshot is a structured, JSON-serializable copy of a registry's state.
+type Snapshot struct {
+	Families []FamilySnapshot `json:"families"`
+}
+
+// FamilySnapshot is one family with all of its label combinations.
+type FamilySnapshot struct {
+	Name    string           `json:"name"`
+	Help    string           `json:"help,omitempty"`
+	Type    string           `json:"type"`
+	Metrics []MetricSnapshot `json:"metrics"`
+}
+
+// MetricSnapshot is one labeled series. Counters and gauges fill Value;
+// histograms fill Count, Sum and the cumulative Buckets.
+type MetricSnapshot struct {
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   float64           `json:"value"`
+	Count   uint64            `json:"count,omitempty"`
+	Sum     float64           `json:"sum,omitempty"`
+	Buckets []BucketSnapshot  `json:"buckets,omitempty"`
+}
+
+// BucketSnapshot is one cumulative histogram bucket: the count of
+// observations at or below the bound Le.
+type BucketSnapshot struct {
+	Le    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// Family returns the named family snapshot, if present.
+func (s Snapshot) Family(name string) (FamilySnapshot, bool) {
+	for _, f := range s.Families {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return FamilySnapshot{}, false
+}
+
+// Total sums the family's sample values: counter/gauge values, or histogram
+// sums.
+func (f FamilySnapshot) Total() float64 {
+	var t float64
+	for _, m := range f.Metrics {
+		if f.Type == TypeHistogram.String() {
+			t += m.Sum
+		} else {
+			t += m.Value
+		}
+	}
+	return t
+}
+
+// Snapshot captures every family of the registry. Writers are never
+// blocked; the result is a momentary view.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	for _, f := range r.sortedFamilies() {
+		fs := FamilySnapshot{Name: f.name, Help: f.help, Type: f.typ.String()}
+		for _, c := range f.sortedChildren() {
+			ms := MetricSnapshot{}
+			if len(f.labelNames) > 0 {
+				ms.Labels = make(map[string]string, len(f.labelNames))
+				for i, n := range f.labelNames {
+					ms.Labels[n] = c.values[i]
+				}
+			}
+			switch m := c.metric.(type) {
+			case *Counter:
+				ms.Value = float64(m.Value())
+			case *Gauge:
+				ms.Value = float64(m.Value())
+			case *Histogram:
+				hv := m.Value()
+				ms.Count, ms.Sum = hv.Count, hv.Sum
+				ms.Buckets = cumulativeBuckets(hv)
+			}
+			fs.Metrics = append(fs.Metrics, ms)
+		}
+		s.Families = append(s.Families, fs)
+	}
+	return s
+}
+
+// WriteJSONSnapshot writes the registry's structured snapshot as indented
+// JSON (the same document the HTTP handler serves for ?format=json).
+func (r *Registry) WriteJSONSnapshot(w io.Writer) error {
+	return writeJSON(w, r.Snapshot())
+}
+
+// cumulativeBuckets converts per-bucket counts to the cumulative le-bounded
+// form, trimmed after the highest non-empty bucket (a trailing "+Inf"
+// bucket always carries the total).
+func cumulativeBuckets(hv HistogramValue) []BucketSnapshot {
+	last := -1
+	for i, n := range hv.Buckets {
+		if n > 0 {
+			last = i
+		}
+	}
+	out := make([]BucketSnapshot, 0, last+2)
+	var cum uint64
+	for i := 0; i <= last; i++ {
+		cum += hv.Buckets[i]
+		out = append(out, BucketSnapshot{Le: formatBound(BucketUpperBound(i)), Count: cum})
+	}
+	return append(out, BucketSnapshot{Le: "+Inf", Count: hv.Count})
+}
+
+func formatBound(b float64) string {
+	if math.IsInf(b, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// labelString renders {k="v",...} with an optional extra label appended
+// (used for histogram le labels); empty when there are no labels at all.
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// %q escapes backslash, quote and newline exactly as the Prometheus
+		// text format requires.
+		fmt.Fprintf(&b, `%s=%q`, n, values[i])
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s=%q`, extraName, extraValue)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		for _, c := range f.sortedChildren() {
+			switch m := c.metric.(type) {
+			case *Counter:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, labelString(f.labelNames, c.values, "", ""), m.Value())
+			case *Gauge:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, labelString(f.labelNames, c.values, "", ""), m.Value())
+			case *Histogram:
+				hv := m.Value()
+				for _, b := range cumulativeBuckets(hv) {
+					fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name,
+						labelString(f.labelNames, c.values, "le", b.Le), b.Count)
+				}
+				fmt.Fprintf(bw, "%s_sum%s %s\n", f.name,
+					labelString(f.labelNames, c.values, "", ""),
+					strconv.FormatFloat(hv.Sum, 'g', -1, 64))
+				fmt.Fprintf(bw, "%s_count%s %d\n", f.name,
+					labelString(f.labelNames, c.values, "", ""), hv.Count)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler serves the registry as a Prometheus scrape target with
+// `?format=json` selecting the structured snapshot instead.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			writeJSON(w, r.Snapshot())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

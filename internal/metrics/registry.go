@@ -1,0 +1,225 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Type distinguishes the metric families a Registry holds.
+type Type uint8
+
+// Family types.
+const (
+	TypeCounter Type = iota
+	TypeGauge
+	TypeHistogram
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeCounter:
+		return "counter"
+	case TypeGauge:
+		return "gauge"
+	case TypeHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Registry is a named collection of metric families. Family registration is
+// idempotent: asking for an existing name returns the existing family, so
+// independent subsystems (several transport servers, every chord ring in a
+// Mercury deployment) share one set of process-wide series. Registration
+// and child resolution lock; the returned handles never do.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry that package-level
+// instrumentation (overlay maintenance, churn driver, transport server)
+// records into. Tests that need isolation construct their own registries.
+func Default() *Registry { return defaultRegistry }
+
+// child pairs a metric with the label values it was created under.
+type child struct {
+	values []string
+	metric interface{} // *Counter, *Gauge or *Histogram
+}
+
+// family is one named group of children differing only in label values.
+type family struct {
+	name       string
+	help       string
+	typ        Type
+	labelNames []string
+
+	mu       sync.RWMutex
+	children map[string]*child
+}
+
+// labelKey joins label values into a map key; \x1f cannot appear in a
+// reasonable label value and keeps the join unambiguous.
+func labelKey(values []string) string { return strings.Join(values, "\x1f") }
+
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		letter := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !letter && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// register creates or fetches a family, panicking on a redefinition with a
+// different shape — that is a programming error, caught at init in practice.
+func (r *Registry) register(name, help string, typ Type, labelNames []string) *family {
+	if !validName(name) {
+		panic(fmt.Sprintf("metrics: invalid family name %q", name))
+	}
+	for _, l := range labelNames {
+		if !validName(l) {
+			panic(fmt.Sprintf("metrics: invalid label name %q in family %s", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || labelKey(f.labelNames) != labelKey(labelNames) {
+			panic(fmt.Sprintf("metrics: family %s re-registered as %s%v (was %s%v)",
+				name, typ, labelNames, f.typ, f.labelNames))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, typ: typ,
+		labelNames: append([]string(nil), labelNames...),
+		children:   make(map[string]*child),
+	}
+	r.families[name] = f
+	return f
+}
+
+// resolve fetches or creates the child for the given label values.
+func (f *family) resolve(values []string, make func() interface{}) *child {
+	if len(values) != len(f.labelNames) {
+		panic(fmt.Sprintf("metrics: family %s wants %d label values, got %d",
+			f.name, len(f.labelNames), len(values)))
+	}
+	key := labelKey(values)
+	f.mu.RLock()
+	c, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok = f.children[key]; ok {
+		return c
+	}
+	c = &child{values: append([]string(nil), values...), metric: make()}
+	f.children[key] = c
+	return c
+}
+
+// CounterVec is a family of counters distinguished by label values.
+type CounterVec struct{ fam *family }
+
+// CounterVec creates or fetches the counter family with the given label
+// names.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{fam: r.register(name, help, TypeCounter, labelNames)}
+}
+
+// With resolves the counter for the given label values, creating it on
+// first use. Resolve once and hold the handle on hot paths.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.fam.resolve(values, func() interface{} { return &Counter{} }).metric.(*Counter)
+}
+
+// Counter creates or fetches an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.CounterVec(name, help).With()
+}
+
+// GaugeVec is a family of gauges distinguished by label values.
+type GaugeVec struct{ fam *family }
+
+// GaugeVec creates or fetches the gauge family with the given label names.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{fam: r.register(name, help, TypeGauge, labelNames)}
+}
+
+// With resolves the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.fam.resolve(values, func() interface{} { return &Gauge{} }).metric.(*Gauge)
+}
+
+// Gauge creates or fetches an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.GaugeVec(name, help).With()
+}
+
+// HistogramVec is a family of histograms distinguished by label values.
+type HistogramVec struct{ fam *family }
+
+// HistogramVec creates or fetches the histogram family with the given label
+// names.
+func (r *Registry) HistogramVec(name, help string, labelNames ...string) *HistogramVec {
+	return &HistogramVec{fam: r.register(name, help, TypeHistogram, labelNames)}
+}
+
+// With resolves the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.fam.resolve(values, func() interface{} { return &Histogram{} }).metric.(*Histogram)
+}
+
+// Histogram creates or fetches an unlabeled histogram.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	return r.HistogramVec(name, help).With()
+}
+
+// sortedFamilies returns the families ordered by name, each with its
+// children ordered by label key, so exposition and snapshots are
+// deterministic.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// sortedChildren returns the family's children ordered by label key.
+func (f *family) sortedChildren() []*child {
+	f.mu.RLock()
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*child, len(keys))
+	for i, k := range keys {
+		out[i] = f.children[k]
+	}
+	f.mu.RUnlock()
+	return out
+}

@@ -1,0 +1,156 @@
+package routing
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"lorm/internal/discovery"
+	"lorm/internal/metrics"
+)
+
+// KnownSystems lists the four discovery systems the paper compares; the
+// MetricsObserver pre-initializes every (system, kind) series for them so a
+// scrape shows all four labels at zero before any traffic arrives.
+var KnownSystems = []string{"lorm", "maan", "mercury", "sword"}
+
+// MetricsObserver mirrors every finished operation of the fabrics it is
+// attached to into a metrics.Registry: an op counter plus hop/visited/
+// message histograms, all labeled (system, kind). It never consumes
+// op.Path() (NeedsPath reports false), so attaching it does not switch the
+// fabric into path-recording mode — ops stay counter-only and
+// allocation-light, and OpFinished itself performs only a read-locked map
+// probe plus atomic adds.
+type MetricsObserver struct {
+	ops      *metrics.CounterVec
+	hops     *metrics.HistogramVec
+	visited  *metrics.HistogramVec
+	messages *metrics.HistogramVec
+
+	total atomic.Uint64 // all finished ops, for cheap progress heartbeats
+
+	mu      sync.RWMutex
+	handles map[seriesKey]*seriesHandles
+}
+
+type seriesKey struct {
+	system string
+	kind   Kind
+}
+
+// seriesHandles caches one (system, kind) series' pre-resolved metrics so
+// OpFinished never pays the labeled With lookup.
+type seriesHandles struct {
+	ops      *metrics.Counter
+	hops     *metrics.Histogram
+	visited  *metrics.Histogram
+	messages *metrics.Histogram
+}
+
+// NewMetricsObserver registers the op metric families on reg (idempotently)
+// and pre-initializes series for every known system and kind.
+func NewMetricsObserver(reg *metrics.Registry) *MetricsObserver {
+	m := &MetricsObserver{
+		ops:      reg.CounterVec("lorm_ops_total", "finished register/discover operations", "system", "kind"),
+		hops:     reg.HistogramVec("lorm_op_hops", "logical routing hops per operation", "system", "kind"),
+		visited:  reg.HistogramVec("lorm_op_visited", "directory nodes visited per operation", "system", "kind"),
+		messages: reg.HistogramVec("lorm_op_messages", "messages per operation", "system", "kind"),
+		handles:  make(map[seriesKey]*seriesHandles),
+	}
+	for _, sys := range KnownSystems {
+		for _, kind := range []Kind{OpRegister, OpDiscover} {
+			m.handlesFor(sys, kind)
+		}
+	}
+	return m
+}
+
+// handlesFor resolves (and caches) the series handles for one system/kind.
+func (m *MetricsObserver) handlesFor(system string, kind Kind) *seriesHandles {
+	key := seriesKey{system: system, kind: kind}
+	m.mu.RLock()
+	h, ok := m.handles[key]
+	m.mu.RUnlock()
+	if ok {
+		return h
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h, ok = m.handles[key]; ok {
+		return h
+	}
+	k := string(kind)
+	h = &seriesHandles{
+		ops:      m.ops.With(system, k),
+		hops:     m.hops.With(system, k),
+		visited:  m.visited.With(system, k),
+		messages: m.messages.With(system, k),
+	}
+	m.handles[key] = h
+	return h
+}
+
+// NeedsPath reports that this observer never reads op.Path(), letting the
+// fabric skip step recording when only metrics observers are attached.
+func (m *MetricsObserver) NeedsPath() bool { return false }
+
+// OpStep implements Observer; everything is derived at finish.
+func (m *MetricsObserver) OpStep(*Op, Step) {}
+
+// OpFinished implements Observer.
+func (m *MetricsObserver) OpFinished(op *Op, cost discovery.Cost) {
+	h := m.handlesFor(op.System, op.Kind)
+	h.ops.Inc()
+	h.hops.ObserveInt(cost.Hops)
+	h.visited.ObserveInt(cost.Visited)
+	h.messages.ObserveInt(cost.Messages)
+	m.total.Add(1)
+}
+
+// TotalOps returns the number of finished operations observed so far across
+// all systems and kinds.
+func (m *MetricsObserver) TotalOps() uint64 { return m.total.Load() }
+
+// SystemDigest condenses one system's op metrics for compact remote
+// reporting (the lormnode stats reply).
+type SystemDigest struct {
+	System  string
+	Ops     uint64
+	P50Hops float64
+	P99Hops float64
+}
+
+// Digest summarizes the observed operations: the grand total plus, per
+// system (kinds merged), the op count and estimated p50/p99 hops. Systems
+// are sorted by name; pre-initialized zero-traffic systems are included.
+func (m *MetricsObserver) Digest() (totalOps uint64, systems []SystemDigest) {
+	m.mu.RLock()
+	perSys := make(map[string]*struct {
+		ops  uint64
+		hops metrics.HistogramValue
+	})
+	for key, h := range m.handles {
+		agg := perSys[key.system]
+		if agg == nil {
+			agg = &struct {
+				ops  uint64
+				hops metrics.HistogramValue
+			}{}
+			perSys[key.system] = agg
+		}
+		agg.ops += h.ops.Value()
+		agg.hops.Merge(h.hops.Value())
+	}
+	m.mu.RUnlock()
+	for sys, agg := range perSys {
+		totalOps += agg.ops
+		systems = append(systems, SystemDigest{
+			System:  sys,
+			Ops:     agg.ops,
+			P50Hops: agg.hops.Quantile(0.50),
+			P99Hops: agg.hops.Quantile(0.99),
+		})
+	}
+	sort.Slice(systems, func(i, j int) bool { return systems[i].System < systems[j].System })
+	return totalOps, systems
+}

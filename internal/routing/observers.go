@@ -110,6 +110,10 @@ func NewLatency(clock Clock, perHop float64) *Latency {
 	return &Latency{clock: clock, perHop: perHop}
 }
 
+// NeedsPath reports that latency accounting derives from the cost alone,
+// so this observer never forces step recording.
+func (l *Latency) NeedsPath() bool { return false }
+
 // OpStep implements Observer; latency is derived at finish from the hop
 // count, so steps need no work.
 func (l *Latency) OpStep(*Op, Step) {}

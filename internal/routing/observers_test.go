@@ -1,0 +1,210 @@
+package routing
+
+import (
+	"strings"
+	"testing"
+
+	"lorm/internal/metrics"
+)
+
+// finishOp runs one synthetic op with the given hop/visit counts through a
+// fabric.
+func finishOp(f *Fabric, kind Kind, tag string, hops, visits int) *Op {
+	op := f.Begin(kind, tag)
+	for i := 0; i < hops; i++ {
+		op.Forward("n", uint64(i), ReasonFingerForward)
+	}
+	for i := 0; i < visits; i++ {
+		op.Visit("n", uint64(i))
+	}
+	op.Finish()
+	return op
+}
+
+func TestTraceSinkKindFiltering(t *testing.T) {
+	var buf strings.Builder
+	sink := NewTraceSink(&buf, OpRegister)
+	f := NewFabric("lorm")
+	f.Observe(sink)
+
+	finishOp(f, OpDiscover, "filtered-1", 2, 1)
+	finishOp(f, OpRegister, "kept-1", 3, 0)
+	finishOp(f, OpDiscover, "filtered-2", 1, 1)
+	finishOp(f, OpRegister, "kept-2", 1, 0)
+
+	if got := sink.Lines(); got != 2 {
+		t.Fatalf("Lines() = %d, want 2 (filtered kinds must not count)", got)
+	}
+	out := buf.String()
+	if strings.Contains(out, "op=discover") {
+		t.Fatalf("filtered kind leaked into trace:\n%s", out)
+	}
+	if n := strings.Count(out, "op=register"); n != 2 {
+		t.Fatalf("trace has %d register lines, want 2:\n%s", n, out)
+	}
+}
+
+func TestTraceSinkNoKindsTracesEverything(t *testing.T) {
+	var buf strings.Builder
+	sink := NewTraceSink(&buf) // no kind filter
+	f := NewFabric("maan")
+	f.Observe(sink)
+	finishOp(f, OpDiscover, "a", 1, 1)
+	finishOp(f, OpRegister, "b", 1, 0)
+	if sink.Lines() != 2 {
+		t.Fatalf("Lines() = %d, want 2", sink.Lines())
+	}
+	for _, want := range []string{"op=discover", "op=register"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("unfiltered sink missing %s:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestLatencySeriesWithoutClock(t *testing.T) {
+	lat := NewLatency(nil, 0.02)
+	f := NewFabric("sword")
+	f.Observe(lat)
+	finishOp(f, OpDiscover, "a", 5, 0)
+	finishOp(f, OpDiscover, "b", 2, 0)
+	times, lats := lat.Series()
+	if len(times) != 0 {
+		t.Fatalf("clockless Series times = %v, want empty", times)
+	}
+	if len(lats) != 2 || lats[0] != 0.1 || lats[1] != 0.04 {
+		t.Fatalf("latencies = %v", lats)
+	}
+}
+
+func TestLatencySeriesClockStamping(t *testing.T) {
+	clk := &fakeClock{}
+	lat := NewLatency(clk, 1.0)
+	f := NewFabric("mercury")
+	f.Observe(lat)
+	for i, at := range []float64{0.5, 1.25, 9.75} {
+		clk.t = at
+		finishOp(f, OpDiscover, "q", i+1, 0)
+	}
+	times, lats := lat.Series()
+	if len(times) != 3 || times[0] != 0.5 || times[1] != 1.25 || times[2] != 9.75 {
+		t.Fatalf("times = %v", times)
+	}
+	if len(lats) != 3 || lats[0] != 1 || lats[1] != 2 || lats[2] != 3 {
+		t.Fatalf("latencies = %v", lats)
+	}
+	// Mutating the returned slices must not affect the accumulator.
+	times[0] = -1
+	again, _ := lat.Series()
+	if again[0] != 0.5 {
+		t.Fatal("Series must return copies")
+	}
+}
+
+func TestPathlessObserversSkipStepRecording(t *testing.T) {
+	reg := metrics.NewRegistry()
+	f := NewFabric("lorm")
+	f.Observe(NewMetricsObserver(reg), NewLatency(nil, 0.01)) // both pathless
+	op := f.Begin(OpDiscover, "x")
+	op.Forward("n", 1, ReasonFingerForward)
+	op.Visit("n", 1)
+	if p := op.Path(); len(p) != 0 {
+		t.Fatalf("pathless observers recorded a path: %v", p)
+	}
+	if c := op.Finish(); c.Hops != 1 || c.Visited != 1 {
+		t.Fatalf("cost = %+v", c)
+	}
+
+	// Adding a path-consuming observer flips recording back on.
+	f.Observe(&Recorder{})
+	op2 := f.Begin(OpDiscover, "y")
+	op2.Forward("n", 2, ReasonFingerForward)
+	if p := op2.Path(); len(p) != 1 {
+		t.Fatalf("path-consuming observer got no steps: %v", p)
+	}
+	op2.Finish()
+}
+
+func TestMetricsObserverRecordsOps(t *testing.T) {
+	reg := metrics.NewRegistry()
+	obs := NewMetricsObserver(reg)
+	f := NewFabric("lorm")
+	f.Observe(obs)
+
+	finishOp(f, OpDiscover, "q1", 4, 2)
+	finishOp(f, OpDiscover, "q2", 6, 1)
+	finishOp(f, OpRegister, "r1", 3, 0)
+
+	if obs.TotalOps() != 3 {
+		t.Fatalf("TotalOps = %d, want 3", obs.TotalOps())
+	}
+	snap := reg.Snapshot()
+	ops, ok := snap.Family("lorm_ops_total")
+	if !ok {
+		t.Fatal("missing lorm_ops_total")
+	}
+	// All four known systems are pre-initialized even with no traffic.
+	seen := map[string]bool{}
+	for _, m := range ops.Metrics {
+		seen[m.Labels["system"]] = true
+	}
+	for _, sys := range KnownSystems {
+		if !seen[sys] {
+			t.Fatalf("system %s not pre-initialized: %v", sys, seen)
+		}
+	}
+	var discovers float64
+	for _, m := range ops.Metrics {
+		if m.Labels["system"] == "lorm" && m.Labels["kind"] == "discover" {
+			discovers = m.Value
+		}
+	}
+	if discovers != 2 {
+		t.Fatalf("lorm discover ops = %v, want 2", discovers)
+	}
+	hops, _ := snap.Family("lorm_op_hops")
+	var discoverHops float64
+	for _, m := range hops.Metrics {
+		if m.Labels["system"] == "lorm" && m.Labels["kind"] == "discover" {
+			discoverHops = m.Sum
+		}
+	}
+	if discoverHops != 10 {
+		t.Fatalf("lorm discover hop sum = %v, want 10", discoverHops)
+	}
+
+	total, systems := obs.Digest()
+	if total != 3 {
+		t.Fatalf("digest total = %d", total)
+	}
+	var lorm *SystemDigest
+	for i := range systems {
+		if systems[i].System == "lorm" {
+			lorm = &systems[i]
+		}
+	}
+	if lorm == nil || lorm.Ops != 3 {
+		t.Fatalf("lorm digest = %+v", lorm)
+	}
+	if lorm.P99Hops < lorm.P50Hops {
+		t.Fatalf("p99 %v < p50 %v", lorm.P99Hops, lorm.P50Hops)
+	}
+}
+
+func TestMetricsObserverZeroAllocOnFinish(t *testing.T) {
+	reg := metrics.NewRegistry()
+	obs := NewMetricsObserver(reg)
+	f := NewFabric("lorm")
+	f.Observe(obs)
+	op := f.Begin(OpDiscover, "warm")
+	op.Forward("n", 1, ReasonFingerForward)
+	op.Finish()
+
+	// After handles are warm, the observer's finish path must not allocate.
+	if n := testing.AllocsPerRun(500, func() {
+		o := &Op{System: "lorm", Kind: OpDiscover}
+		o.forwards = 3
+		obs.OpFinished(o, o.Cost())
+	}); n > 1 { // the &Op literal itself is the single tolerated alloc
+		t.Fatalf("OpFinished allocates %v/op", n)
+	}
+}

@@ -110,11 +110,12 @@ type Op struct {
 	Tag    string
 
 	observers []Observer
+	wantPath  bool // some attached observer consumes Path()
 
 	mu       sync.Mutex
 	forwards int
 	visits   int
-	steps    []Step // recorded only when observers are attached
+	steps    []Step // recorded only when an observer wants paths
 	done     bool
 }
 
@@ -144,7 +145,7 @@ func (op *Op) record(st Step) {
 	} else {
 		op.visits++
 	}
-	if len(op.observers) > 0 {
+	if op.wantPath {
 		op.steps = append(op.steps, st)
 	}
 	op.mu.Unlock()
@@ -258,13 +259,33 @@ func (f *Fabric) Detach(o Observer) {
 	f.mu.Unlock()
 }
 
+// PathSkipper is optionally implemented by observers that never read
+// op.Path(). An observer reporting NeedsPath() == false (MetricsObserver,
+// Latency) does not force step recording; observers without the method are
+// assumed to want paths (TraceSink, Recorder). When no attached observer
+// wants paths, Ops stay counter-only and the record path allocation-free,
+// so always-on metrics never tax the lookup fast path.
+type PathSkipper interface {
+	NeedsPath() bool
+}
+
+// wantsPath reports whether any observer in the set consumes op.Path().
+func wantsPath(obs []Observer) bool {
+	for _, o := range obs {
+		if ps, ok := o.(PathSkipper); !ok || ps.NeedsPath() {
+			return true
+		}
+	}
+	return false
+}
+
 // Begin starts accounting one operation. The observer set is captured at
 // begin time, so attaching mid-operation affects only later Ops.
 func (f *Fabric) Begin(kind Kind, tag string) *Op {
 	f.mu.RLock()
 	obs := f.observers
 	f.mu.RUnlock()
-	return &Op{System: f.system, Kind: kind, Tag: tag, observers: obs}
+	return &Op{System: f.system, Kind: kind, Tag: tag, observers: obs, wantPath: wantsPath(obs)}
 }
 
 // Instrumented is implemented by every system that routes its accounting

@@ -33,17 +33,23 @@ func Summarize(sample []float64) Summary {
 	}
 	sorted := append([]float64(nil), sample...)
 	sort.Float64s(sorted)
-	var sum, sq float64
+	var sum float64
 	for _, v := range sorted {
 		sum += v
-		sq += v * v
 	}
 	n := float64(len(sorted))
 	mean := sum / n
-	variance := sq/n - mean*mean
-	if variance < 0 {
-		variance = 0 // guard against rounding
+	// Two-pass mean-centered variance: the textbook E[x²]−E[x]² form
+	// cancels catastrophically when the mean dwarfs the spread (e.g.
+	// timestamp-like samples), which the old `variance < 0` clamp only
+	// papered over. Centering first keeps every term small; the result can
+	// never go negative.
+	var m2 float64
+	for _, v := range sorted {
+		d := v - mean
+		m2 += d * d
 	}
+	variance := m2 / n
 	return Summary{
 		N:      len(sorted),
 		Mean:   mean,
@@ -121,12 +127,14 @@ func (s Summary) String() string {
 type Collector struct {
 	mu     sync.Mutex
 	sample []float64
+	sum    float64
 }
 
 // Add records one observation.
 func (c *Collector) Add(v float64) {
 	c.mu.Lock()
 	c.sample = append(c.sample, v)
+	c.sum += v
 	c.mu.Unlock()
 }
 
@@ -140,15 +148,11 @@ func (c *Collector) Len() int {
 	return len(c.sample)
 }
 
-// Sum returns the total of all observations.
+// Sum returns the total of all observations in O(1) from the running sum.
 func (c *Collector) Sum() float64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	var sum float64
-	for _, v := range c.sample {
-		sum += v
-	}
-	return sum
+	return c.sum
 }
 
 // Summary summarizes the observations collected so far.

@@ -224,3 +224,50 @@ func TestTableAddRowPanicsOnArity(t *testing.T) {
 	}()
 	tbl.AddRow(1)
 }
+
+func TestSummarizeLargeOffsetVariance(t *testing.T) {
+	// Regression: with a mean around 1e9 the old sum-of-squares variance
+	// (E[x²]−E[x]²) cancels catastrophically — the true variance (~0.67)
+	// drowns in the ~1e18 squared terms and came back 0 (after the
+	// negative clamp) or garbage. The two-pass mean-centered form must
+	// recover it to full precision.
+	const offset = 1e9
+	sample := []float64{offset + 1, offset + 2, offset + 3}
+	s := Summarize(sample)
+	want := math.Sqrt(2.0 / 3.0) // population stddev of {1,2,3}
+	if !almostEqual(s.Stddev, want, 1e-6) {
+		t.Fatalf("stddev = %v, want %v (catastrophic cancellation?)", s.Stddev, want)
+	}
+	if !almostEqual(s.Mean, offset+2, 1e-3) {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+
+	// Constant samples at a large offset must report exactly zero spread.
+	flat := Summarize([]float64{offset, offset, offset, offset})
+	if flat.Stddev != 0 {
+		t.Fatalf("constant-sample stddev = %v, want 0", flat.Stddev)
+	}
+}
+
+func TestCollectorRunningSum(t *testing.T) {
+	var c Collector
+	if c.Sum() != 0 {
+		t.Fatalf("empty sum = %v", c.Sum())
+	}
+	var want float64
+	for i := 1; i <= 1000; i++ {
+		c.AddInt(i)
+		want += float64(i)
+	}
+	if c.Sum() != want {
+		t.Fatalf("sum = %v, want %v", c.Sum(), want)
+	}
+	// The running sum must agree with a recompute over the sample.
+	var recompute float64
+	for _, v := range c.sample {
+		recompute += v
+	}
+	if c.Sum() != recompute {
+		t.Fatalf("running sum %v diverged from sample sum %v", c.Sum(), recompute)
+	}
+}

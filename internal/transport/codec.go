@@ -60,6 +60,25 @@ type Stats struct {
 	TotalPieces int     `json:"total_pieces"`
 	AvgDir      float64 `json:"avg_directory"`
 	MaxDir      int     `json:"max_directory"`
+	// Metrics is the gateway's metrics snapshot digest, present when the
+	// served system routes through an instrumented fabric — remote clients
+	// get headline observability without scraping the HTTP endpoint.
+	Metrics *MetricsDigest `json:"metrics,omitempty"`
+}
+
+// MetricsDigest condenses the gateway's op metrics: the grand total plus
+// per-system op counts and estimated hop quantiles.
+type MetricsDigest struct {
+	TotalOps uint64          `json:"total_ops"`
+	Systems  []SystemMetrics `json:"systems,omitempty"`
+}
+
+// SystemMetrics is one system's slice of the digest.
+type SystemMetrics struct {
+	System  string  `json:"system"`
+	Ops     uint64  `json:"ops"`
+	P50Hops float64 `json:"p50_hops"`
+	P99Hops float64 `json:"p99_hops"`
 }
 
 // Response is the server→client message.

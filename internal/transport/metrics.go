@@ -1,0 +1,64 @@
+package transport
+
+import (
+	"net"
+
+	"lorm/internal/metrics"
+)
+
+// Process-wide gateway counters; every Server in the process records into
+// the same families. Request counters are pre-resolved per verb so the
+// request loop never pays a labeled lookup.
+var (
+	mConnections = metrics.Default().Counter("transport_connections_total",
+		"TCP connections accepted by gateway servers")
+	mActiveConns = metrics.Default().Gauge("transport_active_connections",
+		"currently open gateway connections")
+	mBytesRead = metrics.Default().Counter("transport_bytes_read_total",
+		"bytes read from gateway connections")
+	mBytesWritten = metrics.Default().Counter("transport_bytes_written_total",
+		"bytes written to gateway connections")
+	mDecodeErrors = metrics.Default().Counter("transport_decode_errors_total",
+		"malformed or oversized frames received by gateway servers")
+	mRequestVec = metrics.Default().CounterVec("transport_requests_total",
+		"requests handled by gateway servers", "verb")
+	mRequests = map[Op]*metrics.Counter{
+		OpPing:     mRequestVec.With(string(OpPing)),
+		OpRegister: mRequestVec.With(string(OpRegister)),
+		OpDiscover: mRequestVec.With(string(OpDiscover)),
+		OpStats:    mRequestVec.With(string(OpStats)),
+		OpAddNode:  mRequestVec.With(string(OpAddNode)),
+		OpRemove:   mRequestVec.With(string(OpRemove)),
+	}
+	mRequestsUnknown = mRequestVec.With("unknown")
+)
+
+// countRequest bumps the per-verb request counter.
+func countRequest(op Op) {
+	if c, ok := mRequests[op]; ok {
+		c.Inc()
+		return
+	}
+	mRequestsUnknown.Inc()
+}
+
+// countingConn wraps a server-side connection and accounts its traffic.
+type countingConn struct {
+	net.Conn
+}
+
+func (c countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		mBytesRead.Add(uint64(n))
+	}
+	return n, err
+}
+
+func (c countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	if n > 0 {
+		mBytesWritten.Add(uint64(n))
+	}
+	return n, err
+}

@@ -1,0 +1,115 @@
+package transport
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"lorm/internal/resource"
+)
+
+func TestStatsReplyCarriesMetricsDigest(t *testing.T) {
+	_, cli := startPair(t)
+
+	// Drive some traffic through the fabric so the digest is non-trivial.
+	const ops = 8
+	for i := 0; i < ops; i++ {
+		info := resource.Info{
+			Attr:  "cpu",
+			Value: 400 + float64(i)*100,
+			Owner: fmt.Sprintf("owner-%d", i),
+		}
+		if _, err := cli.Register(info); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, _, err := cli.Discover([]resource.SubQuery{
+		{Attr: "cpu", Low: 600, High: 600},
+	}, "req-1"); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := cli.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Metrics == nil {
+		t.Fatal("stats reply has no metrics digest for an instrumented system")
+	}
+	if st.Metrics.TotalOps < ops+1 {
+		t.Fatalf("digest TotalOps = %d, want >= %d", st.Metrics.TotalOps, ops+1)
+	}
+	var found bool
+	for _, sm := range st.Metrics.Systems {
+		if sm.System == st.System {
+			found = true
+			if sm.Ops < ops+1 {
+				t.Fatalf("system %s ops = %d, want >= %d", sm.System, sm.Ops, ops+1)
+			}
+			if sm.P99Hops < sm.P50Hops {
+				t.Fatalf("p99 hops %v below p50 %v", sm.P99Hops, sm.P50Hops)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("digest systems %+v missing served system %q", st.Metrics.Systems, st.System)
+	}
+}
+
+func TestServerCountsRequestsAndTraffic(t *testing.T) {
+	beforeConns := mConnections.Value()
+	beforePings := mRequests[OpPing].Value()
+	beforeRead := mBytesRead.Value()
+	beforeWritten := mBytesWritten.Value()
+
+	srv, cli := startPair(t)
+	for i := 0; i < 3; i++ {
+		if err := cli.Ping(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := mConnections.Value() - beforeConns; got < 1 {
+		t.Fatalf("connections counted = %d, want >= 1", got)
+	}
+	if got := mRequests[OpPing].Value() - beforePings; got != 3 {
+		t.Fatalf("ping requests counted = %d, want 3", got)
+	}
+	if mBytesRead.Value() == beforeRead || mBytesWritten.Value() == beforeWritten {
+		t.Fatal("byte counters did not move")
+	}
+	// Close detaches the fabric observer; a second Close must not panic.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeErrorCounted(t *testing.T) {
+	srv, err := NewServer(testSystem(t), "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	before := mDecodeErrors.Value()
+	cli, err := Dial(srv.Addr(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A frame header claiming more than MaxFrame bytes is a decode error.
+	if _, err := cli.conn.Write([]byte{0xff, 0xff, 0xff, 0xff}); err != nil {
+		t.Fatal(err)
+	}
+	cli.Close()
+	// The server goroutine counts the bad frame asynchronously; closing the
+	// server instead would abort the pending read with net.ErrClosed.
+	deadline := time.Now().Add(2 * time.Second)
+	for mDecodeErrors.Value() == before {
+		if time.Now().After(deadline) {
+			t.Fatal("decode error never counted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := mDecodeErrors.Value() - before; got != 1 {
+		t.Fatalf("decode errors counted = %d, want 1", got)
+	}
+}

@@ -3,12 +3,15 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"sync"
 
 	"lorm/internal/discovery"
+	"lorm/internal/metrics"
 	"lorm/internal/resource"
+	"lorm/internal/routing"
 )
 
 // Server fronts a discovery.System on a TCP listener. Each connection is
@@ -20,6 +23,11 @@ type Server struct {
 	sys discovery.System
 	ln  net.Listener
 	log *log.Logger
+	// obs observes the served system's routing fabric when the system is
+	// routing.Instrumented; it feeds the process /metrics families and the
+	// OpStats digest. fabric keeps the handle for detaching on Close.
+	obs    *routing.MetricsObserver
+	fabric *routing.Fabric
 
 	mu     sync.Mutex
 	conns  map[net.Conn]bool
@@ -35,6 +43,11 @@ func NewServer(sys discovery.System, addr string, logger *log.Logger) (*Server, 
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
 	s := &Server{sys: sys, ln: ln, log: logger, conns: make(map[net.Conn]bool)}
+	if inst, ok := sys.(routing.Instrumented); ok {
+		s.fabric = inst.RoutingFabric()
+		s.obs = routing.NewMetricsObserver(metrics.Default())
+		s.fabric.Observe(s.obs)
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -57,6 +70,9 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	s.wg.Wait()
+	if s.fabric != nil {
+		s.fabric.Detach(s.obs)
+	}
 	return err
 }
 
@@ -88,6 +104,8 @@ func (s *Server) acceptLoop() {
 		}
 		s.conns[conn] = true
 		s.mu.Unlock()
+		mConnections.Inc()
+		mActiveConns.Inc()
 		s.wg.Add(1)
 		go s.serveConn(conn)
 	}
@@ -100,14 +118,21 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 		conn.Close()
+		mActiveConns.Dec()
 	}()
+	cc := countingConn{Conn: conn}
 	for {
 		var req Request
-		if err := readFrame(conn, &req); err != nil {
+		if err := readFrame(cc, &req); err != nil {
+			// EOF (and its torn-connection variants) is an orderly close;
+			// anything else is a malformed frame worth counting.
+			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, net.ErrClosed) {
+				mDecodeErrors.Inc()
+			}
 			return // EOF or protocol error: drop the connection
 		}
 		resp := s.handle(&req)
-		if err := writeFrame(conn, resp); err != nil {
+		if err := writeFrame(cc, resp); err != nil {
 			s.logf("write to %s: %v", conn.RemoteAddr(), err)
 			return
 		}
@@ -125,6 +150,7 @@ func (s *Server) handle(req *Request) *Response {
 	if req.Version != Version {
 		return fail("protocol version %d unsupported (want %d)", req.Version, Version)
 	}
+	countRequest(req.Op)
 	switch req.Op {
 	case OpPing:
 		resp.OK = true
@@ -176,6 +202,7 @@ func (s *Server) handle(req *Request) *Response {
 			TotalPieces: total,
 			AvgDir:      avg,
 			MaxDir:      max,
+			Metrics:     s.metricsDigest(),
 		}
 
 	case OpAddNode:
@@ -208,4 +235,23 @@ func (s *Server) handle(req *Request) *Response {
 		return fail("unknown op %q", req.Op)
 	}
 	return resp
+}
+
+// metricsDigest condenses the fabric observer's view for the OpStats
+// reply; nil when the served system is not instrumented.
+func (s *Server) metricsDigest() *MetricsDigest {
+	if s.obs == nil {
+		return nil
+	}
+	total, systems := s.obs.Digest()
+	d := &MetricsDigest{TotalOps: total}
+	for _, sd := range systems {
+		d.Systems = append(d.Systems, SystemMetrics{
+			System:  sd.System,
+			Ops:     sd.Ops,
+			P50Hops: sd.P50Hops,
+			P99Hops: sd.P99Hops,
+		})
+	}
+	return d
 }
