@@ -341,6 +341,8 @@ func cmdStats(args []string) error {
 			fmt.Printf("  %-8s ops: %-6d p50 hops: %-5.1f p99 hops: %.1f\n",
 				sm.System, sm.Ops, sm.P50Hops, sm.P99Hops)
 		}
+		fmt.Printf("lookup detours: %d\nquery failures: %d\ncrashes injected: %d\nentries lost to crashes: %d\n",
+			st.Metrics.LookupDetours, st.Metrics.QueryFailures, st.Metrics.Crashes, st.Metrics.LostEntries)
 	}
 	return nil
 }

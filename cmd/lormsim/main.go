@@ -5,9 +5,11 @@
 //	lormsim -exp all                 # every figure, standard preset
 //	lormsim -exp fig5 -preset paper  # one figure at full paper scale
 //	lormsim -exp fig3a,fig4 -format csv
+//	lormsim -crash-rate 0.4          # crash-churn sweep (beyond the paper)
 //
 // Experiments: fig3a, fig3b, fig3c, fig3d, fig4a, fig4b, fig5a, fig5b,
-// fig6a, fig6b, all. Presets: quick, standard, paper. Individual knobs
+// fig6a, fig6b, all, plus the opt-in extras theorems, worstcase,
+// ablations and crash. Presets: quick, standard, paper. Individual knobs
 // (-n, -m, -k, -d, -seed, ...) override the preset.
 package main
 
@@ -34,7 +36,7 @@ func main() {
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("lormsim", flag.ContinueOnError)
 	var (
-		exp    = fs.String("exp", "all", "comma-separated experiments: fig3a fig3b fig3c fig3d fig4a fig4b fig5a fig5b fig6a fig6b all theorems worstcase ablations")
+		exp    = fs.String("exp", "all", "comma-separated experiments: fig3a fig3b fig3c fig3d fig4a fig4b fig5a fig5b fig6a fig6b all theorems worstcase ablations crash")
 		preset = fs.String("preset", "standard", "parameter preset: quick, standard, paper")
 		format = fs.String("format", "text", "output format: text, csv")
 		nFlag  = fs.Int("n", 0, "override node count")
@@ -46,6 +48,8 @@ func run(args []string, out *os.File) error {
 		seed   = fs.Int64("seed", 0, "override RNG seed")
 		trace  = fs.String("trace", "", "write per-discover hop-path trace lines to this file")
 		mout   = fs.String("metrics-out", "", "write the final metrics snapshot (JSON) to this file")
+		crRate = fs.Float64("crash-rate", 0, "fault-arrival rate for the crash experiment; setting it implies -exp crash")
+		crFrac = fs.Float64("crash-frac", 0, "probability a fault is an abrupt crash instead of a graceful departure (default 0.5)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,6 +86,12 @@ func run(args []string, out *os.File) error {
 	}
 	if *seed != 0 {
 		p.Seed = *seed
+	}
+	if *crRate > 0 {
+		p.CrashRates = []float64{*crRate}
+	}
+	if *crFrac > 0 {
+		p.CrashFraction = *crFrac
 	}
 	if *trace != "" {
 		f, err := os.Create(*trace)
@@ -134,9 +144,23 @@ func run(args []string, out *os.File) error {
 		}()
 	}
 
+	expSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "exp" {
+			expSet = true
+		}
+	})
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
 		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	if *crRate > 0 {
+		want["crash"] = true
+		if !expSet {
+			// -crash-rate alone means "run the crash experiment", not the
+			// default -exp all on top of it.
+			want = map[string]bool{"crash": true}
+		}
 	}
 	all := want["all"]
 	need := func(names ...string) bool {
@@ -311,6 +335,19 @@ func run(args []string, out *os.File) error {
 				return err
 			}
 			emit(dim, width, skew)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	if need("crash") && !all { // opt-in: not part of -exp all
+		if err := timed("crash", func() error {
+			failTbl, lostTbl, err := experiments.Fig6bCrash(p)
+			if err != nil {
+				return err
+			}
+			emit(failTbl, lostTbl)
 			return nil
 		}); err != nil {
 			return err

@@ -1,13 +1,17 @@
 // Command metricscheck validates a metrics snapshot produced by
 // `lormsim -metrics-out`: the JSON must parse into a metrics.Snapshot and
-// the routing op counters must show actual traffic. CI runs it after a
-// short simulation to catch regressions in the observability pipeline.
+// the routing op counters must show actual traffic. With -crash it
+// additionally requires the failure-injection families (lookup detours,
+// query failures, crash and lost-entry counters) and that crashes actually
+// occurred. CI runs it after short simulations to catch regressions in the
+// observability pipeline.
 //
-// Usage: metricscheck <snapshot.json>
+// Usage: metricscheck [-crash] <snapshot.json>
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 
@@ -22,10 +26,15 @@ func main() {
 }
 
 func run(args []string) error {
-	if len(args) != 1 {
-		return fmt.Errorf("usage: metricscheck <snapshot.json>")
+	fs := flag.NewFlagSet("metricscheck", flag.ContinueOnError)
+	crash := fs.Bool("crash", false, "require the crash-churn failure counters (snapshot from lormsim -crash-rate)")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	data, err := os.ReadFile(args[0])
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: metricscheck [-crash] <snapshot.json>")
+	}
+	data, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
 		return err
 	}
@@ -55,5 +64,42 @@ func run(args []string) error {
 	}
 	fmt.Printf("metricscheck: %d families, %.0f routing ops (lorm=%.0f maan=%.0f mercury=%.0f sword=%.0f)\n",
 		len(snap.Families), total, bySystem["lorm"], bySystem["maan"], bySystem["mercury"], bySystem["sword"])
+	if *crash {
+		return checkCrash(&snap)
+	}
+	return nil
+}
+
+// checkCrash validates the failure-injection families a crash-churn run
+// must produce: every counter family exists, crashes were actually applied
+// and entries actually lost (the experiment is pointless otherwise).
+func checkCrash(snap *metrics.Snapshot) error {
+	for _, name := range []string{
+		"chord_lookup_detours_total",
+		"cycloid_lookup_detours_total",
+		"chord_query_failures_total",
+		"cycloid_query_failures_total",
+		"churn_crashes_total",
+		"churn_lost_entries_total",
+	} {
+		if _, ok := snap.Family(name); !ok {
+			return fmt.Errorf("failure counter family %s missing", name)
+		}
+	}
+	value := func(name string) float64 {
+		f, _ := snap.Family(name)
+		return f.Total()
+	}
+	crashes := value("churn_crashes_total")
+	if crashes <= 0 {
+		return fmt.Errorf("churn_crashes_total is zero: no crashes were injected")
+	}
+	lost := value("churn_lost_entries_total")
+	if lost <= 0 {
+		return fmt.Errorf("churn_lost_entries_total is zero: crashes destroyed nothing")
+	}
+	detours := value("chord_lookup_detours_total") + value("cycloid_lookup_detours_total")
+	fmt.Printf("metricscheck: crash counters ok (%.0f crashes, %.0f entries lost, %.0f lookup detours)\n",
+		crashes, lost, detours)
 	return nil
 }

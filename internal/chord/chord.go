@@ -305,19 +305,22 @@ func (r *Ring) rebuildNode(d *draft, n *Node) {
 // successorIn returns a node's first live successor in the given view,
 // falling back to ground truth when the whole list is stale (extreme churn
 // between stabilization rounds — a real deployment would rejoin). The
-// second return is the successor's member entry.
-func (r *Ring) successorIn(s *snapshot, cur member) (uint64, member) {
+// second return is the successor's member entry; detoured reports that one
+// or more dead successor-list entries were skipped (or the oracle fallback
+// fired) to find it — the hop the caller takes is a failure detour, not the
+// node's preferred neighbor.
+func (r *Ring) successorIn(s *snapshot, cur member) (succ uint64, m member, detoured bool) {
 	id := cur.node.ID
-	for _, c := range cur.st().succs {
+	for i, c := range cur.st().succs {
 		if m, ok := s.members[c]; ok {
-			return c, m
+			return c, m, i > 0
 		}
 	}
 	if len(s.sorted) == 0 {
-		return id, cur
+		return id, cur, false
 	}
-	succ := r.oracleSuccessorIn(s, r.space.Add(id, 1))
-	return succ, s.members[succ]
+	succ = r.oracleSuccessorIn(s, r.space.Add(id, 1))
+	return succ, s.members[succ], len(cur.st().succs) > 0
 }
 
 // memberOf resolves a *Node held by a caller to its member entry in the
@@ -332,26 +335,31 @@ func memberOf(s *snapshot, n *Node) member {
 
 // closestPrecedingIn returns the live routing-table entry of cur that most
 // closely precedes key in the given view; ok is false when none does.
-func (r *Ring) closestPrecedingIn(s *snapshot, cur member, key uint64) (uint64, member, bool) {
+// detoured reports that a better-placed but dead finger (or successor) was
+// skipped on the way to the returned entry: the hop the caller takes routes
+// around a failure rather than down the preferred finger.
+func (r *Ring) closestPrecedingIn(s *snapshot, cur member, key uint64) (id uint64, m member, ok, detoured bool) {
 	st := cur.st()
-	id := cur.node.ID
+	self := cur.node.ID
 	for i := len(st.fingers) - 1; i >= 0; i-- {
 		f := st.fingers[i]
-		if !r.space.Between(f, id, key) {
+		if !r.space.Between(f, self, key) {
 			continue
 		}
-		if m, ok := s.members[f]; ok {
-			return f, m, true
+		if m, live := s.members[f]; live {
+			return f, m, true, detoured
 		}
+		detoured = true
 	}
 	for i := len(st.succs) - 1; i >= 0; i-- {
 		c := st.succs[i]
-		if !r.space.Between(c, id, key) {
+		if !r.space.Between(c, self, key) {
 			continue
 		}
-		if m, ok := s.members[c]; ok {
-			return c, m, true
+		if m, live := s.members[c]; live {
+			return c, m, true, detoured
 		}
+		detoured = true
 	}
-	return 0, member{}, false
+	return 0, member{}, false, detoured
 }

@@ -1,0 +1,107 @@
+package chord
+
+import (
+	"math/rand"
+	"testing"
+
+	"lorm/internal/routing"
+)
+
+// failSome abruptly fails `k` deterministic victims and returns the set of
+// failed addresses.
+func failSome(t *testing.T, r *Ring, k int, seed int64) map[string]bool {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	failed := make(map[string]bool, k)
+	for i := 0; i < k; i++ {
+		nodes := r.Nodes()
+		n := nodes[rng.Intn(len(nodes))]
+		if _, err := r.Fail(n); err != nil {
+			t.Fatalf("Fail(%s): %v", n.Addr, err)
+		}
+		failed[n.Addr] = true
+	}
+	return failed
+}
+
+// After abrupt crashes and NO stabilization, every lookup must still resolve
+// to a live node — the stale fingers pointing at the dead nodes force
+// detours, which must be recorded as ReasonDetour hops so the
+// Messages = Hops + Visited invariant keeps holding under failures.
+func TestCrashLookupDetoursAroundDeadFingers(t *testing.T) {
+	r := buildRing(t, 128)
+	failed := failSome(t, r, 16, 42)
+
+	fab := routing.NewFabric("chord-test")
+	rec := &routing.Recorder{}
+	fab.Observe(rec)
+
+	rng := rand.New(rand.NewSource(7))
+	nodes := r.Nodes()
+	for i := 0; i < 500; i++ {
+		key := rng.Uint64() & (r.Space().Size() - 1)
+		from := nodes[rng.Intn(len(nodes))]
+		op := fab.Begin(routing.OpDiscover, "crash-test")
+		route, err := r.LookupOp(op, from, key)
+		op.Finish()
+		if err != nil {
+			t.Fatalf("lookup %d from %s: %v", key, from.Addr, err)
+		}
+		if failed[route.Root.Addr] {
+			t.Fatalf("lookup %d returned dead node %s", key, route.Root.Addr)
+		}
+		if want, err := r.OwnerOf(key); err != nil || route.Root != want {
+			t.Fatalf("lookup %d: root %s, oracle %s (err %v)", key, route.Root.Addr, want.Addr, err)
+		}
+	}
+
+	detours := 0
+	for _, rc := range rec.Records() {
+		for _, st := range rc.Path {
+			if st.Reason == routing.ReasonDetour {
+				detours++
+				if failed[st.Addr] {
+					t.Fatalf("detour hop landed on dead node %s", st.Addr)
+				}
+			}
+		}
+		if got := routing.CostOfPath(rc.Path); got != rc.Cost {
+			t.Fatalf("cost %+v disagrees with path-derived %+v", rc.Cost, got)
+		}
+	}
+	if detours == 0 {
+		t.Fatal("no detour hops recorded despite 16 unrepaired crashes")
+	}
+}
+
+// Stabilization must heal the detours away: after enough maintenance
+// rounds, lookups route on refreshed tables with no dead entries left.
+func TestCrashStabilizeHealsDetours(t *testing.T) {
+	r := buildRing(t, 96)
+	failSome(t, r, 12, 9)
+	for i := 0; i < 4; i++ {
+		r.Stabilize()
+		r.FixFingers(0)
+	}
+
+	fab := routing.NewFabric("chord-test")
+	rec := &routing.Recorder{}
+	fab.Observe(rec)
+	rng := rand.New(rand.NewSource(5))
+	nodes := r.Nodes()
+	for i := 0; i < 300; i++ {
+		key := rng.Uint64() & (r.Space().Size() - 1)
+		op := fab.Begin(routing.OpDiscover, "healed")
+		if _, err := r.LookupOp(op, nodes[rng.Intn(len(nodes))], key); err != nil {
+			t.Fatalf("lookup after repair: %v", err)
+		}
+		op.Finish()
+	}
+	for _, rc := range rec.Records() {
+		for _, st := range rc.Path {
+			if st.Reason == routing.ReasonDetour {
+				t.Fatalf("detour hop via %s after full repair", st.Addr)
+			}
+		}
+	}
+}

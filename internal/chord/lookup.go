@@ -25,9 +25,41 @@ func (r *Ring) Lookup(from *Node, key uint64) (Route, error) {
 // following fingers exactly as the protocol prescribes, and records each
 // node-to-node forward into op (nil op: count-free routing). Lookups are
 // lock-free: the whole walk runs over one immutable snapshot, so concurrent
-// membership changes can neither block it nor corrupt it.
+// membership changes can neither block it nor corrupt it. A node that
+// failed before the lookup began is absent from the loaded snapshot (the
+// failure's publish happens-before the snapshot load), so it can never be
+// returned as root; if the root crashes mid-lookup, the resolved root is
+// re-validated against a fresh view and the walk retried a bounded number
+// of times on the newer snapshot.
 func (r *Ring) LookupOp(op *routing.Op, from *Node, key uint64) (Route, error) {
-	return r.lookupOn(r.view(), op, from, key)
+	const attempts = 3
+	var (
+		route Route
+		err   error
+	)
+	for i := 0; i < attempts; i++ {
+		route, err = r.lookupOn(r.view(), op, from, key)
+		if err != nil {
+			return Route{}, err
+		}
+		if m, ok := r.view().members[route.Root.ID]; ok && m.node == route.Root {
+			return route, nil
+		}
+		// Root crashed between snapshot load and now; route again on a view
+		// that excludes it.
+	}
+	return route, err
+}
+
+// forwardReason classifies one routing forward, counting detour hops: a
+// forward is a detour when the preferred next hop (best finger or first
+// successor) was dead and the lookup routed around it.
+func forwardReason(detoured bool) routing.Reason {
+	if detoured {
+		mLookupDetours.Inc()
+		return routing.ReasonDetour
+	}
+	return routing.ReasonFingerForward
 }
 
 func (r *Ring) lookupOn(s *snapshot, op *routing.Op, from *Node, key uint64) (Route, error) {
@@ -53,24 +85,28 @@ func (r *Ring) lookupOn(s *snapshot, op *routing.Op, from *Node, key uint64) (Ro
 				return Route{Root: cur.node, Hops: hops}, nil
 			}
 		}
-		succ, succM := r.successorIn(s, cur)
+		succ, succM, succDetour := r.successorIn(s, cur)
 		if succ == cur.node.ID { // single-node ring
 			return Route{Root: cur.node, Hops: hops}, nil
 		}
 		// Key between cur and its successor: the successor is the root.
 		if r.space.BetweenIncl(key, cur.node.ID, succ) {
-			op.Forward(succM.node.Addr, succ, routing.ReasonFingerForward)
+			op.Forward(succM.node.Addr, succ, forwardReason(succDetour))
 			return Route{Root: succM.node, Hops: hops + 1}, nil
 		}
-		_, next, ok := r.closestPrecedingIn(s, cur, key)
-		if !ok {
+		next, detour := succM, succDetour
+		if _, m, ok, fDetour := r.closestPrecedingIn(s, cur, key); ok {
+			next, detour = m, fDetour
+		} else if fDetour {
 			// Stale tables offer no progress; step to the successor, which
-			// always advances clockwise and therefore terminates.
-			next = succM
+			// always advances clockwise and therefore terminates. Every
+			// in-range finger was dead, so this successor step is a detour.
+			detour = true
 		}
 		cur = next
-		op.Forward(cur.node.Addr, cur.node.ID, routing.ReasonFingerForward)
+		op.Forward(cur.node.Addr, cur.node.ID, forwardReason(detour))
 	}
+	mQueryFailures.Inc()
 	return Route{}, fmt.Errorf("chord: lookup for %d exceeded %d hops", key, maxHops)
 }
 
@@ -99,7 +135,7 @@ func (r *Ring) InsertOp(op *routing.Op, from *Node, key uint64, e directory.Entr
 // theirs to know).
 func (r *Ring) NextNode(n *Node) (*Node, bool) {
 	s := r.view()
-	succ, succM := r.successorIn(s, memberOf(s, n))
+	succ, succM, _ := r.successorIn(s, memberOf(s, n))
 	if succ == n.ID {
 		return n, false
 	}

@@ -123,7 +123,7 @@ func (r *Ring) Stabilize() {
 	d := r.beginDraft()
 	for _, id := range d.s.sorted {
 		n := d.s.members[id].node
-		succID, _ := r.successorIn(d.s, d.s.members[id])
+		succID, _, _ := r.successorIn(d.s, d.s.members[id])
 		if succID == n.ID {
 			continue
 		}

@@ -15,4 +15,8 @@ var (
 		"copy-on-write routing snapshots published by chord writers")
 	mFailuresDetected = metrics.Default().Counter("chord_failures_detected_total",
 		"abrupt chord node failures injected/detected")
+	mLookupDetours = metrics.Default().Counter("chord_lookup_detours_total",
+		"chord lookup hops that detoured around a dead preferred finger")
+	mQueryFailures = metrics.Default().Counter("chord_query_failures_total",
+		"chord lookups that failed to resolve a root")
 )

@@ -4,6 +4,14 @@
 // while the system keeps answering queries. Departures are graceful and a
 // periodic maintenance (stabilization) round repairs routing state, which
 // reproduces the paper's observation of zero query failures under churn.
+//
+// The crash extension replaces the graceful-departure stream with a
+// faults.Plan: departure timing and kind (crash versus graceful) come from
+// the plan, crashes lose the victim's directory entries abruptly, and an
+// optional post-crash Repair hook (LORM replica repair) runs before the
+// next query can observe the hole. Without a plan the process is draw-for-
+// draw identical to the original graceful model, so figure-6 runs
+// reproduce unchanged.
 package churn
 
 import (
@@ -12,6 +20,7 @@ import (
 	"math/rand"
 
 	"lorm/internal/discovery"
+	"lorm/internal/faults"
 	"lorm/internal/metrics"
 	"lorm/internal/sim"
 )
@@ -27,6 +36,10 @@ var (
 		"churn-driven membership operations the system rejected")
 	mMaintains = metrics.Default().Counter("churn_maintenance_rounds_total",
 		"maintenance (stabilization) rounds triggered by churn processes")
+	mCrashes = metrics.Default().Counter("churn_crashes_total",
+		"abrupt crash failures injected by churn processes")
+	mLostEntries = metrics.Default().Counter("churn_lost_entries_total",
+		"directory entries lost to crash failures injected by churn processes")
 )
 
 // Config parameterizes a churn process.
@@ -38,6 +51,16 @@ type Config struct {
 	MaintainEvery float64
 	// Rng drives the exponential inter-arrival draws; required.
 	Rng *rand.Rand
+	// Faults, when non-nil, replaces the graceful-departure stream: event
+	// timing and kind (crash versus graceful) come from the plan's own
+	// seeded stream, so a run with CrashFraction 0 still reproduces a
+	// distinct trajectory from the legacy path only in its timing source,
+	// never in the join stream or victim selection (both stay on Rng).
+	Faults *faults.Plan
+	// Repair, when non-nil, runs immediately after every applied crash —
+	// the post-crash repair hook (LORM replica repair) that restores the
+	// replication invariant before the next query can observe the hole.
+	Repair func()
 }
 
 // Process wires a Dynamic system to a scheduler and keeps its membership
@@ -48,11 +71,15 @@ type Process struct {
 	sys    discovery.Dynamic
 	sched  *sim.Scheduler
 	joined int
-	// Counters for reporting.
-	Joins      int
-	Departures int
-	Maintains  int
-	FailedOps  int // membership operations the system rejected
+	// Counters for reporting. Crashes are counted separately from graceful
+	// Departures — folding them together would hide the failure injection
+	// the crash experiments sweep over.
+	Joins       int
+	Departures  int
+	Crashes     int
+	LostEntries int // directory entries lost to crashes
+	Maintains   int
+	FailedOps   int // membership operations the system rejected
 }
 
 // New validates the configuration and attaches a churn process to the
@@ -79,12 +106,19 @@ func (p *Process) exp() float64 {
 	return -math.Log(u) / p.cfg.Rate
 }
 
-// Start schedules the first join, the first departure and the maintenance
-// loop. With Rate == 0 only maintenance is scheduled.
+// Start schedules the first join, the first departure (or fault-plan
+// event) and the maintenance loop. With Rate == 0 and no fault plan, only
+// maintenance is scheduled.
 func (p *Process) Start() {
 	if p.cfg.Rate > 0 {
 		p.sched.After(p.exp(), p.join)
-		p.sched.After(p.exp(), p.depart)
+		if p.cfg.Faults == nil {
+			p.sched.After(p.exp(), p.depart)
+		}
+	}
+	if p.cfg.Faults != nil {
+		ev := p.cfg.Faults.Next()
+		p.sched.After(ev.After, func() { p.fail(ev.Kind) })
 	}
 	p.sched.After(p.cfg.MaintainEvery, p.maintain)
 }
@@ -115,6 +149,36 @@ func (p *Process) depart() {
 		}
 	}
 	p.sched.After(p.exp(), p.depart)
+}
+
+// fail applies one fault-plan event: a graceful departure or an abrupt
+// crash (falling back to graceful when the system is not Crashable), then
+// schedules the next plan event. Victim selection draws from cfg.Rng
+// exactly like the legacy departure path.
+func (p *Process) fail(kind faults.Kind) {
+	addrs := p.sys.NodeAddrs()
+	if len(addrs) > 1 {
+		victim := addrs[p.cfg.Rng.Intn(len(addrs))]
+		applied, lost, err := faults.Apply(p.sys, kind, victim)
+		switch {
+		case err != nil:
+			p.FailedOps++
+			mFailedOps.Inc()
+		case applied == faults.Crash:
+			p.Crashes++
+			mCrashes.Inc()
+			p.LostEntries += lost
+			mLostEntries.Add(uint64(lost))
+			if p.cfg.Repair != nil {
+				p.cfg.Repair()
+			}
+		default:
+			p.Departures++
+			mDepartures.Inc()
+		}
+	}
+	ev := p.cfg.Faults.Next()
+	p.sched.After(ev.After, func() { p.fail(ev.Kind) })
 }
 
 func (p *Process) maintain() {

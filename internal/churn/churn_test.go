@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"lorm/internal/core"
+	"lorm/internal/faults"
 	"lorm/internal/resource"
 	"lorm/internal/sim"
 	"lorm/internal/workload"
@@ -120,6 +121,74 @@ func TestNoFailuresUnderChurn(t *testing.T) {
 	}
 	if total != pieces {
 		t.Fatalf("information lost under churn: %d stored, want %d", total, pieces)
+	}
+}
+
+// With a fault plan attached, crashes are reported on their own counter —
+// not folded into Departures — and the post-crash Repair hook fires once
+// per applied crash.
+func TestCrashModeCountsCrashesSeparately(t *testing.T) {
+	sys := buildLORM(t, 150)
+	var sched sim.Scheduler
+	plan, err := faults.New(faults.Config{Rate: 0.4, CrashFraction: 0.5, Rng: workload.Split(6, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repairs := 0
+	p, err := New(sys, &sched, Config{
+		Rate:   0.4,
+		Rng:    workload.Split(6, 0),
+		Faults: plan,
+		Repair: func() { repairs++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	const horizon = 400.0
+	sched.RunUntil(horizon)
+
+	if p.Crashes == 0 {
+		t.Fatal("no crashes applied at CrashFraction 0.5")
+	}
+	if p.Departures == 0 {
+		t.Fatal("no graceful departures applied at CrashFraction 0.5")
+	}
+	if repairs != p.Crashes {
+		t.Fatalf("Repair ran %d times for %d crashes", repairs, p.Crashes)
+	}
+	events := float64(p.Crashes + p.Departures + p.FailedOps)
+	expected := 0.4 * horizon
+	if math.Abs(events-expected) > 4*math.Sqrt(expected) {
+		t.Errorf("fault events = %v, want ≈ %v (Poisson, ±4σ)", events, expected)
+	}
+	// Crash fraction should track the plan's.
+	frac := float64(p.Crashes) / events
+	if frac < 0.35 || frac > 0.65 {
+		t.Errorf("observed crash fraction %v, want ≈ 0.5", frac)
+	}
+}
+
+// A fault plan with CrashFraction 0 degenerates to graceful-only churn:
+// zero crashes, zero lost entries, departures on the departure counter.
+func TestCrashModeGracefulOnly(t *testing.T) {
+	sys := buildLORM(t, 100)
+	var sched sim.Scheduler
+	plan, err := faults.New(faults.Config{Rate: 0.4, CrashFraction: 0, Rng: workload.Split(7, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(sys, &sched, Config{Rate: 0.4, Rng: workload.Split(7, 0), Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	sched.RunUntil(300)
+	if p.Crashes != 0 || p.LostEntries != 0 {
+		t.Fatalf("graceful-only plan produced %d crashes, %d lost entries", p.Crashes, p.LostEntries)
+	}
+	if p.Departures == 0 {
+		t.Fatal("no departures applied")
 	}
 }
 

@@ -57,6 +57,7 @@ type System struct {
 var (
 	_ discovery.System     = (*System)(nil)
 	_ discovery.Dynamic    = (*System)(nil)
+	_ discovery.Crashable  = (*System)(nil)
 	_ routing.Instrumented = (*System)(nil)
 )
 

@@ -1,0 +1,99 @@
+package cycloid
+
+import (
+	"math/rand"
+	"testing"
+
+	"lorm/internal/routing"
+)
+
+// After abrupt crashes and NO stabilization, every lookup must still resolve
+// to the oracle owner among live nodes, and hops routed around a dead
+// preferred link must be recorded as ReasonDetour so path-derived costs
+// keep matching reported costs under failures.
+func TestCrashLookupDetoursAroundDeadLinks(t *testing.T) {
+	o := buildComplete(t, 6) // 384 nodes
+	rng := rand.New(rand.NewSource(21))
+	failed := make(map[string]bool)
+	for i := 0; i < 40; i++ {
+		nodes := o.Nodes()
+		n := nodes[rng.Intn(len(nodes))]
+		if _, err := o.Fail(n); err != nil {
+			t.Fatalf("Fail(%s): %v", n.Addr, err)
+		}
+		failed[n.Addr] = true
+	}
+
+	fab := routing.NewFabric("cycloid-test")
+	rec := &routing.Recorder{}
+	fab.Observe(rec)
+
+	nodes := o.Nodes()
+	for i := 0; i < 500; i++ {
+		key := randomID(o, rng)
+		from := nodes[rng.Intn(len(nodes))]
+		op := fab.Begin(routing.OpDiscover, "crash-test")
+		route, err := o.LookupOp(op, from, key)
+		op.Finish()
+		if err != nil {
+			t.Fatalf("lookup %v from %s: %v", key, from.Addr, err)
+		}
+		if failed[route.Root.Addr] {
+			t.Fatalf("lookup %v returned dead node %s", key, route.Root.Addr)
+		}
+		if want, err := o.OwnerOf(key); err != nil || route.Root != want {
+			t.Fatalf("lookup %v: root %s, oracle %s (err %v)", key, route.Root.Addr, want.Addr, err)
+		}
+	}
+
+	detours := 0
+	for _, rc := range rec.Records() {
+		for _, st := range rc.Path {
+			if st.Reason == routing.ReasonDetour {
+				detours++
+				if failed[st.Addr] {
+					t.Fatalf("detour hop landed on dead node %s", st.Addr)
+				}
+			}
+		}
+		if got := routing.CostOfPath(rc.Path); got != rc.Cost {
+			t.Fatalf("cost %+v disagrees with path-derived %+v", rc.Cost, got)
+		}
+	}
+	if detours == 0 {
+		t.Fatal("no detour hops recorded despite 40 unrepaired crashes")
+	}
+}
+
+// Stabilization rebuilds link sets from live membership, so after a round
+// no lookup should need a detour any more.
+func TestCrashStabilizeHealsDetours(t *testing.T) {
+	o := buildComplete(t, 6)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 24; i++ {
+		nodes := o.Nodes()
+		if _, err := o.Fail(nodes[rng.Intn(len(nodes))]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	o.Stabilize()
+
+	fab := routing.NewFabric("cycloid-test")
+	rec := &routing.Recorder{}
+	fab.Observe(rec)
+	nodes := o.Nodes()
+	for i := 0; i < 300; i++ {
+		op := fab.Begin(routing.OpDiscover, "healed")
+		if _, err := o.LookupOp(op, nodes[rng.Intn(len(nodes))], randomID(o, rng)); err != nil {
+			t.Fatalf("lookup after repair: %v", err)
+		}
+		op.Finish()
+	}
+	for _, rc := range rec.Records() {
+		for _, st := range rc.Path {
+			if st.Reason == routing.ReasonDetour {
+				t.Fatalf("detour hop via %s after stabilization", st.Addr)
+			}
+		}
+	}
+}

@@ -395,6 +395,21 @@ func (o *Overlay) linksIn(s *snapshot, m member) [7]uint64 {
 	return all
 }
 
+// linksRawIn returns the member's link positions with only self-links
+// masked — dead neighbors stay visible, so the lookup can tell a detour
+// (a dead link would have been the preferred hop) from plain greedy
+// routing. linksIn is the live-only view for callers that never detour.
+func linksRawIn(m member) [7]uint64 {
+	st := m.st()
+	all := [7]uint64{st.ringSucc, st.ringPred, st.cubical, st.cyclicPred, st.cyclicSucc, st.outsidePred, st.outsideSucc}
+	for i, p := range all {
+		if p == m.node.Pos {
+			all[i] = noLink
+		}
+	}
+	return all
+}
+
 // msb returns the index of the highest set bit of x; x must be nonzero.
 func msb(x uint64) int { return 63 - bits.LeadingZeros64(x) }
 

@@ -14,4 +14,8 @@ var (
 		"copy-on-write routing snapshots published by cycloid writers")
 	mFailuresDetected = metrics.Default().Counter("cycloid_failures_detected_total",
 		"abrupt cycloid node failures injected/detected")
+	mLookupDetours = metrics.Default().Counter("cycloid_lookup_detours_total",
+		"cycloid lookup hops that detoured around a dead preferred link")
+	mQueryFailures = metrics.Default().Counter("cycloid_query_failures_total",
+		"cycloid lookups that failed to resolve a root")
 )

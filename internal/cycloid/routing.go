@@ -66,9 +66,38 @@ func (o *Overlay) Lookup(from *Node, key ID) (Route, error) {
 
 // LookupOp routes from `from` to the owner of key, counting one logical hop
 // per forward and recording each forward into op (nil op: count-free
-// routing). The walk is lock-free over one immutable snapshot.
+// routing). The walk is lock-free over one immutable snapshot. A node that
+// failed before the lookup began is absent from the loaded snapshot, so it
+// can never be returned as root; a root that crashes mid-lookup is caught
+// by re-validation against a fresh view and the walk retried a bounded
+// number of times on the newer snapshot.
 func (o *Overlay) LookupOp(op *routing.Op, from *Node, key ID) (Route, error) {
-	return o.lookupOn(o.view(), op, from, key)
+	const attempts = 3
+	var (
+		route Route
+		err   error
+	)
+	for i := 0; i < attempts; i++ {
+		route, err = o.lookupOn(o.view(), op, from, key)
+		if err != nil {
+			return Route{}, err
+		}
+		if s := o.view(); route.Root.Pos < uint64(len(s.members)) && s.members[route.Root.Pos].node == route.Root {
+			return route, nil
+		}
+	}
+	return route, err
+}
+
+// forwardReason classifies one routing forward, counting detour hops: a
+// forward is a detour when a dead link offered strictly better progress
+// than the hop actually taken — the lookup is routing around a failure.
+func forwardReason(detoured bool) routing.Reason {
+	if detoured {
+		mLookupDetours.Inc()
+		return routing.ReasonDetour
+	}
+	return routing.ReasonFingerForward
 }
 
 // ErrEmpty mirrors chord.ErrEmpty for the Cycloid overlay.
@@ -97,6 +126,7 @@ func (o *Overlay) lookupOn(s *snapshot, op *routing.Op, from *Node, key ID) (Rou
 			return Route{Root: cur.node, Hops: hops}, nil
 		}
 		var next uint64 = noLink
+		detour := false
 		if !fallback && hops > 8*o.d {
 			// Phase routing has overstayed its O(d) budget (deeply sparse
 			// overlay); switch to the always-terminating leaf-set walk.
@@ -104,17 +134,26 @@ func (o *Overlay) lookupOn(s *snapshot, op *routing.Op, from *Node, key ID) (Rou
 		}
 		if !fallback {
 			cm := o.measure(cur.node.Pos, key)
-			best := cm
-			for _, l := range o.linksIn(s, cur) {
+			// best tracks the chosen live link; deadBest the best progress a
+			// dead link would have offered — when the latter wins, the hop
+			// actually taken is a detour around that failure.
+			best, deadBest := cm, cm
+			for _, l := range linksRawIn(cur) {
 				if l == noLink {
 					continue
 				}
-				if m := o.measure(l, key); m < best {
-					best, next = m, l
+				m := o.measure(l, key)
+				if aliveIn(s, l) {
+					if m < best {
+						best, next = m, l
+					}
+				} else if m < deadBest {
+					deadBest = m
 				}
 			}
+			detour = deadBest < best
 			if next == noLink {
-				fallback = true // no link improves the potential: sparse region
+				fallback = true // no live link improves the potential
 			}
 		}
 		if fallback {
@@ -124,26 +163,38 @@ func (o *Overlay) lookupOn(s *snapshot, op *routing.Op, from *Node, key ID) (Rou
 			// always qualifies, so the walk cannot stall, and long links
 			// skip sparse stretches instead of crawling them node by node.
 			cd := o.cwDist(cur.node.Pos, keyPos)
-			best := cd
-			for _, l := range o.linksIn(s, cur) {
+			best, deadBest := cd, cd
+			for _, l := range linksRawIn(cur) {
 				if l == noLink {
 					continue
 				}
-				if dist := o.cwDist(l, keyPos); dist < best {
-					best, next = dist, l
+				dist := o.cwDist(l, keyPos)
+				if aliveIn(s, l) {
+					if dist < best {
+						best, next = dist, l
+					}
+				} else if dist < deadBest {
+					deadBest = dist
 				}
+			}
+			if deadBest < best {
+				detour = true
 			}
 			if next == noLink {
 				succ := cur.st().ringSucc
 				if !aliveIn(s, succ) || succ == cur.node.Pos {
+					if succ != cur.node.Pos && succ != noLink {
+						detour = true // ring successor itself is dead
+					}
 					succ = o.oracleSuccessorIn(s, (cur.node.Pos+1)%o.capacity)
 				}
 				next = succ
 			}
 		}
 		cur = s.members[next]
-		op.Forward(cur.node.Addr, cur.node.Pos, routing.ReasonFingerForward)
+		op.Forward(cur.node.Addr, cur.node.Pos, forwardReason(detour))
 	}
+	mQueryFailures.Inc()
 	return Route{}, fmt.Errorf("cycloid: lookup for %v exceeded %d hops", key, maxHops)
 }
 

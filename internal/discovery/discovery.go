@@ -87,6 +87,20 @@ type Dynamic interface {
 	Maintain()
 }
 
+// Crashable is implemented by systems that additionally survive abrupt
+// crash failures: the node vanishes with its directory contents — no key
+// handover, no pointer repair — and routing state heals through subsequent
+// lookups and Maintain rounds. This is the failure model the paper's churn
+// evaluation (Section V.C) deliberately excludes; the crash experiments
+// measure what its graceful-departure assumption hides.
+type Crashable interface {
+	Dynamic
+	// FailNode crashes the node with the given address abruptly. It
+	// returns the number of directory entries that vanished with the node
+	// (replicas of those entries may survive elsewhere).
+	FailNode(addr string) (lostEntries int, err error)
+}
+
 // Finish completes a Result: joins owners and validates invariants. The
 // systems call it at the end of Discover so join semantics stay identical
 // across implementations.

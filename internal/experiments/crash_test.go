@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// The crash experiment's acceptance invariant: LORM's query-failure rate
+// falls monotonically in the replication factor at every crash rate, the
+// unreplicated r=1 run actually loses entries, and replicated runs with
+// post-crash repair lose no answers.
+func TestFig6bCrashShape(t *testing.T) {
+	p := Quick()
+	failTbl, lostTbl, err := Fig6bCrash(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failTbl.Rows) != len(p.CrashRates) {
+		t.Fatalf("rows = %d, want %d", len(failTbl.Rows), len(p.CrashRates))
+	}
+
+	r1, r2, r3 := failTbl.Column("lorm_r1"), failTbl.Column("lorm_r2"), failTbl.Column("lorm_r3")
+	for i := range failTbl.Rows {
+		if !(r1[i] >= r2[i] && r2[i] >= r3[i]) {
+			t.Errorf("row %d: failure rate not monotone in replication: r1=%v r2=%v r3=%v",
+				i, r1[i], r2[i], r3[i])
+		}
+		if r2[i] != 0 || r3[i] != 0 {
+			t.Errorf("row %d: replicated LORM failed queries under single crashes: r2=%v r3=%v",
+				i, r2[i], r3[i])
+		}
+	}
+
+	// Crashes must actually bite somewhere: the unreplicated runs lose
+	// entries and fail queries at the highest crash rate.
+	last := len(failTbl.Rows) - 1
+	if r1[last] == 0 {
+		t.Error("unreplicated LORM shows zero failures at the highest crash rate")
+	}
+	lost1 := lostTbl.Column("lorm_r1")
+	if lost1[last] == 0 {
+		t.Error("unreplicated LORM lost no entries at the highest crash rate")
+	}
+	for _, col := range []string{"mercury", "sword", "maan"} {
+		vals := lostTbl.Column(col)
+		total := 0.0
+		for _, v := range vals {
+			total += v
+		}
+		if total == 0 {
+			t.Errorf("%s lost no entries across the whole crash sweep", col)
+		}
+	}
+}

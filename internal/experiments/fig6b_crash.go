@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lorm/internal/churn"
+	"lorm/internal/core"
+	"lorm/internal/discovery"
+	"lorm/internal/faults"
+	"lorm/internal/sim"
+	"lorm/internal/stats"
+	"lorm/internal/systemtest"
+	"lorm/internal/workload"
+)
+
+// crashReplicas is the LORM replication-factor sweep of the crash
+// experiment: r=1 is the paper's unreplicated model, r=2 and r=3 exercise
+// the replication extension.
+var crashReplicas = []int{1, 2, 3}
+
+// crashHorizon is the virtual duration of one crash-churn run. Unlike the
+// figure-6 sweep — whose horizon follows from ChurnQueries/QueryRate and
+// is a few virtual seconds — the crash experiment must stay up long enough
+// for Poisson fault arrivals at the paper's churn-scale rates (0.1–0.5/s)
+// to accumulate into a measurable failure signal, so queries are spread
+// over a fixed 200 virtual seconds instead.
+const crashHorizon = 200.0
+
+// Fig6bCrash extends the paper's dynamic experiment (Figure 6) with abrupt
+// crash failures, the case the paper's graceful-departure model explicitly
+// excludes. For each fault-arrival rate, every system serves the figure-6
+// query load while a faults.Plan crashes or gracefully departs nodes
+// (CrashFraction decides which); joins arrive at the same rate, and
+// stabilization runs once per virtual second.
+//
+// A query FAILS when Discover errors or its joined owner set differs from
+// the static brute-force oracle — a crash that destroyed the only copy of
+// an entry makes every later query for it silently incomplete, and the
+// oracle comparison is what surfaces that. LORM runs at replication
+// factors 1, 2 and 3 with post-crash replica Repair as the crash hook, so
+// the failure-rate column is expected to fall monotonically in r; the
+// unreplicated baselines (Mercury, SWORD, MAAN) have nothing to repair
+// from and keep losing entries for good.
+func Fig6bCrash(p Params) (failTbl, lostTbl *stats.Table, err error) {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	cols := []string{"rate", "lorm_r1", "lorm_r2", "lorm_r3", "mercury", "sword", "maan"}
+	failTbl = stats.NewTable("Crash churn: query-failure rate vs fault rate R", cols...)
+	lostTbl = stats.NewTable("Crash churn: directory entries lost vs fault rate R", cols...)
+	for _, t := range []*stats.Table{failTbl, lostTbl} {
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("n=%d, %d range queries per rate over %g virtual seconds, crash fraction %g",
+				p.N, p.ChurnQueries, crashHorizon, p.CrashFraction),
+			"failure = Discover error or owner set differing from the static oracle",
+			"lorm_rX = LORM at replication factor X with post-crash replica repair")
+	}
+
+	for ri, rate := range p.CrashRates {
+		schema := workload.ParetoSchema(p.M, p.Span, p.Alpha)
+		complete := p.N == p.D*(1<<uint(p.D))
+		dep, err := systemtest.Build(schema, p.N, systemtest.Options{
+			D: p.D, Bits: p.Bits, CompleteLORM: complete,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		gen := workload.NewGenerator(schema, p.Alpha)
+		infos := gen.Announcements(workload.Split(p.Seed, 0), p.K)
+
+		// The LORM replication sweep: dep.LORM is the r=1 run; r=2 and r=3
+		// are standalone deployments over the same address population.
+		lorms := map[int]*core.System{1: dep.LORM}
+		for _, r := range crashReplicas[1:] {
+			l, err := newLORM(p, schema)
+			if err != nil {
+				return nil, nil, err
+			}
+			if err := l.SetReplicas(r); err != nil {
+				return nil, nil, err
+			}
+			lorms[r] = l
+		}
+		for _, s := range dep.Systems() {
+			attachTrace(p, s)
+		}
+		for _, in := range infos {
+			if err := dep.RegisterEverywhere(in); err != nil {
+				return nil, nil, err
+			}
+			for _, r := range crashReplicas[1:] {
+				if _, err := lorms[r].Register(in); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+
+		failRow := []float64{rate}
+		lostRow := []float64{rate}
+		for _, r := range crashReplicas {
+			l := lorms[r]
+			repair := func() {}
+			if r > 1 {
+				repair = func() { l.Repair() }
+			}
+			fr, lost, err := crashRun(p, gen, dep.Oracle, l, rate, 10*ri+r, repair)
+			if err != nil {
+				return nil, nil, err
+			}
+			failRow = append(failRow, fr)
+			lostRow = append(lostRow, float64(lost))
+		}
+		for _, sys := range []discovery.Dynamic{dep.Mercury, dep.SWORD, dep.MAAN} {
+			fr, lost, err := crashRun(p, gen, dep.Oracle, sys, rate, 10*ri+5, nil)
+			if err != nil {
+				return nil, nil, err
+			}
+			failRow = append(failRow, fr)
+			lostRow = append(lostRow, float64(lost))
+		}
+		failTbl.AddRow(failRow...)
+		lostTbl.AddRow(lostRow...)
+	}
+	return failTbl, lostTbl, nil
+}
+
+// crashRun drives one system through the crash-churn scenario and returns
+// the fraction of queries that failed (error or oracle mismatch) and the
+// number of directory entries lost to crashes.
+func crashRun(p Params, gen *workload.Generator, oracle *discovery.Oracle, sys discovery.Dynamic, rate float64, streamIdx int, repair func()) (failRate float64, lost int, err error) {
+	var sched sim.Scheduler
+	plan, err := faults.New(faults.Config{
+		Rate:          rate,
+		CrashFraction: p.CrashFraction,
+		Rng:           workload.Split(p.Seed, 500+streamIdx),
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	proc, err := churn.New(sys, &sched, churn.Config{
+		Rate: rate, // joins arrive at the fault rate, keeping membership balanced
+		// Stabilize every 5 virtual seconds instead of every second: still
+		// several rounds per expected fault gap at the swept rates, but it
+		// keeps Mercury's m-hub maintenance from dominating the 200-second
+		// horizon at paper scale. Detours cover the window in between, and
+		// replica repair is the crash hook, not a maintain side effect.
+		MaintainEvery: 5,
+		Rng:           workload.Split(p.Seed, 600+streamIdx),
+		Faults:        plan,
+		Repair:        repair,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	proc.Start()
+
+	qrng := workload.Split(p.Seed, 700+streamIdx)
+	qrate := float64(p.ChurnQueries) / crashHorizon
+	failures, queries := 0, 0
+	for i := 0; i < p.ChurnQueries; i++ {
+		at := float64(i) / qrate
+		q := gen.RangeQuery(qrng, Fig6Attrs, 0.5, fmt.Sprintf("crash-req-%05d", i))
+		sched.At(at, func() {
+			queries++
+			res, qerr := sys.Discover(q)
+			if qerr != nil {
+				failures++
+				return
+			}
+			want, oerr := oracle.Discover(q)
+			if oerr != nil || !sameOwners(res.Owners, want.Owners) {
+				failures++
+			}
+		})
+	}
+	sched.RunUntil(crashHorizon + 1)
+	if queries == 0 {
+		return 0, proc.LostEntries, nil
+	}
+	return float64(failures) / float64(queries), proc.LostEntries, nil
+}
+
+// sameOwners compares two sorted owner sets.
+func sameOwners(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -47,6 +47,13 @@ type Params struct {
 	// QueryRate is the virtual-time arrival rate of queries in the churn
 	// experiment (queries per second); the paper leaves it unstated.
 	QueryRate float64
+	// CrashRates is the fault-arrival rates swept by the crash experiment
+	// (events per virtual second; the paper's churn model has no crashes —
+	// this extends it with abrupt failures).
+	CrashRates []float64
+	// CrashFraction is the probability that a fault-plan event is an abrupt
+	// crash rather than a graceful departure (default 0.5).
+	CrashFraction float64
 	// HubSample bounds how many Mercury hubs are physically built for the
 	// outlink experiment (per-hub routing state is i.i.d. across hubs, so
 	// the per-node total is measured over HubSample hubs and scaled by
@@ -82,6 +89,12 @@ func (p Params) withDefaults() Params {
 	}
 	if p.QueryRate <= 0 {
 		p.QueryRate = 100
+	}
+	if p.CrashFraction <= 0 || p.CrashFraction > 1 {
+		p.CrashFraction = 0.5
+	}
+	if len(p.CrashRates) == 0 {
+		p.CrashRates = []float64{0.1, 0.2, 0.4}
 	}
 	return p
 }
@@ -140,7 +153,8 @@ func Quick() Params {
 		Requesters: 20, QueriesPerRequester: 5,
 		RangeQueries: 50, MaxAttrs: 5,
 		ChurnQueries: 200, ChurnRates: []float64{0.2, 0.4},
-		QueryRate: 100,
+		CrashRates: []float64{0.2, 0.4},
+		QueryRate:  100,
 		HubSample: 5,
 		Sizes:     []int{5, 6},
 		Seed:      1,

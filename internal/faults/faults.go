@@ -1,0 +1,143 @@
+// Package faults models crash failures for the discovery systems: a
+// deterministic, seedable plan of node departures arriving as a Poisson
+// process over the sim virtual clock, each departure classified as an
+// abrupt crash or a graceful leave by a configurable ratio.
+//
+// The paper's churn evaluation (Section V.C) models graceful departures
+// only — keys are handed over and nothing is ever lost. A fault plan is the
+// knob that breaks that assumption on purpose: the churn driver draws
+// departure events from it and applies them through discovery.Crashable
+// (crashes) or discovery.Dynamic (graceful leaves), so the same seeded run
+// is reproducible event for event across systems and replication factors.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"lorm/internal/discovery"
+)
+
+// Kind classifies one departure event.
+type Kind uint8
+
+const (
+	// Graceful is the paper's model: the node hands its keys to its
+	// successor and neighbors repair their pointers immediately.
+	Graceful Kind = iota
+	// Crash is an abrupt failure: the node vanishes with its directory
+	// contents; no handover, no repair.
+	Crash
+)
+
+func (k Kind) String() string {
+	if k == Crash {
+		return "crash"
+	}
+	return "graceful"
+}
+
+// Config parameterizes a fault plan.
+type Config struct {
+	// Rate is the Poisson departure rate (events per virtual second),
+	// covering crashes and graceful leaves together.
+	Rate float64
+	// CrashFraction is the probability that a departure is a crash rather
+	// than a graceful leave, in [0, 1]. 0 reproduces the paper's
+	// graceful-only model; 1 makes every departure abrupt.
+	CrashFraction float64
+	// Rng drives both the exponential inter-arrival draws and the kind
+	// classification; required. Give the plan its own Split stream so its
+	// draws never perturb the caller's.
+	Rng *rand.Rand
+}
+
+// Event is one planned departure: the delay since the previous event and
+// its kind.
+type Event struct {
+	After float64
+	Kind  Kind
+}
+
+// Scheduled is one planned departure at an absolute virtual time.
+type Scheduled struct {
+	At   float64
+	Kind Kind
+}
+
+// Plan is a deterministic stream of departure events. It is not safe for
+// concurrent use; the discrete-event simulation is single-threaded.
+type Plan struct {
+	cfg Config
+}
+
+// New validates the configuration and returns a plan.
+func New(cfg Config) (*Plan, error) {
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("faults: rate %v must be positive", cfg.Rate)
+	}
+	if cfg.CrashFraction < 0 || cfg.CrashFraction > 1 {
+		return nil, fmt.Errorf("faults: crash fraction %v outside [0, 1]", cfg.CrashFraction)
+	}
+	if cfg.Rng == nil {
+		return nil, fmt.Errorf("faults: config needs an Rng")
+	}
+	return &Plan{cfg: cfg}, nil
+}
+
+// Rate returns the plan's departure rate.
+func (p *Plan) Rate() float64 { return p.cfg.Rate }
+
+// CrashFraction returns the plan's crash:graceful ratio.
+func (p *Plan) CrashFraction() float64 { return p.cfg.CrashFraction }
+
+// Next draws the next departure: an exponential inter-arrival delay and the
+// event's kind. The kind draw is skipped at the degenerate fractions (0 and
+// 1), so a graceful-only plan consumes exactly one random number per event.
+func (p *Plan) Next() Event {
+	u := p.cfg.Rng.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	ev := Event{After: -math.Log(u) / p.cfg.Rate}
+	switch {
+	case p.cfg.CrashFraction >= 1:
+		ev.Kind = Crash
+	case p.cfg.CrashFraction > 0 && p.cfg.Rng.Float64() < p.cfg.CrashFraction:
+		ev.Kind = Crash
+	}
+	return ev
+}
+
+// Schedule pre-generates every departure with an arrival time within the
+// horizon, for tests and offline inspection. It consumes the same draws
+// Next would, so a schedule and a live run from identically seeded plans
+// agree event for event.
+func (p *Plan) Schedule(horizon float64) []Scheduled {
+	var out []Scheduled
+	at := 0.0
+	for {
+		ev := p.Next()
+		at += ev.After
+		if at > horizon {
+			return out
+		}
+		out = append(out, Scheduled{At: at, Kind: ev.Kind})
+	}
+}
+
+// Apply executes one departure of the given kind against the system: a
+// crash through discovery.Crashable when the system supports it, a graceful
+// RemoveNode otherwise. It returns the kind actually applied (a crash
+// requested of a non-Crashable system degrades to graceful) and, for
+// crashes, the number of directory entries lost with the node.
+func Apply(sys discovery.Dynamic, kind Kind, victim string) (applied Kind, lostEntries int, err error) {
+	if kind == Crash {
+		if c, ok := sys.(discovery.Crashable); ok {
+			lost, err := c.FailNode(victim)
+			return Crash, lost, err
+		}
+	}
+	return Graceful, 0, sys.RemoveNode(victim)
+}

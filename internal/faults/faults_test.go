@@ -1,0 +1,85 @@
+package faults
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPlanValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, cfg := range []Config{
+		{Rate: 0, CrashFraction: 0.5, Rng: rng},
+		{Rate: -1, CrashFraction: 0.5, Rng: rng},
+		{Rate: 1, CrashFraction: -0.1, Rng: rng},
+		{Rate: 1, CrashFraction: 1.1, Rng: rng},
+		{Rate: 1, CrashFraction: 0.5},
+	} {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%+v) accepted an invalid config", cfg)
+		}
+	}
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	mk := func() *Plan {
+		p, err := New(Config{Rate: 0.4, CrashFraction: 0.5, Rng: rand.New(rand.NewSource(7))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a, b := mk().Schedule(200), mk().Schedule(200)
+	if len(a) == 0 {
+		t.Fatal("empty schedule over a 200s horizon at rate 0.4")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("identically seeded plans differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPlanCrashFraction(t *testing.T) {
+	cases := []struct {
+		frac     float64
+		min, max float64 // acceptable observed crash fraction
+	}{
+		{0, 0, 0},
+		{1, 1, 1},
+		{0.5, 0.4, 0.6},
+	}
+	for _, c := range cases {
+		p, err := New(Config{Rate: 1, CrashFraction: c.frac, Rng: rand.New(rand.NewSource(11))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		crashes, total := 0, 2000
+		for i := 0; i < total; i++ {
+			if p.Next().Kind == Crash {
+				crashes++
+			}
+		}
+		got := float64(crashes) / float64(total)
+		if got < c.min || got > c.max {
+			t.Errorf("CrashFraction=%v: observed %v crashes, want within [%v, %v]", c.frac, got, c.min, c.max)
+		}
+	}
+}
+
+func TestPlanInterArrivalMean(t *testing.T) {
+	p, err := New(Config{Rate: 0.4, CrashFraction: 0, Rng: rand.New(rand.NewSource(3))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, n := 0.0, 5000
+	for i := 0; i < n; i++ {
+		sum += p.Next().After
+	}
+	mean := sum / float64(n)
+	if mean < 2.0 || mean > 3.0 { // expectation 1/0.4 = 2.5
+		t.Errorf("mean inter-arrival %v, want ≈2.5", mean)
+	}
+}

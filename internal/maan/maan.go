@@ -44,6 +44,7 @@ type System struct {
 var (
 	_ discovery.System     = (*System)(nil)
 	_ discovery.Dynamic    = (*System)(nil)
+	_ discovery.Crashable  = (*System)(nil)
 	_ routing.Instrumented = (*System)(nil)
 )
 
@@ -213,6 +214,18 @@ func (s *System) RemoveNode(addr string) error {
 		return fmt.Errorf("maan: no node with address %q", addr)
 	}
 	return s.ring.Leave(n)
+}
+
+// FailNode implements discovery.Crashable: the node vanishes abruptly.
+// Both index copies of the entries it held are lost (the attribute-keyed
+// and value-keyed copies of one logical piece live on different nodes, so a
+// single crash usually leaves the other copy answerable).
+func (s *System) FailNode(addr string) (lostEntries int, err error) {
+	n, ok := s.ring.NodeByAddr(addr)
+	if !ok {
+		return 0, fmt.Errorf("maan: no node with address %q", addr)
+	}
+	return s.ring.Fail(n)
 }
 
 // NodeAddrs implements discovery.Dynamic.

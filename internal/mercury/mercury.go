@@ -52,6 +52,7 @@ type System struct {
 var (
 	_ discovery.System     = (*System)(nil)
 	_ discovery.Dynamic    = (*System)(nil)
+	_ discovery.Crashable  = (*System)(nil)
 	_ routing.Instrumented = (*System)(nil)
 )
 
@@ -276,6 +277,31 @@ func (s *System) RemoveNode(addr string) error {
 	}
 	delete(s.addrs, addr)
 	return nil
+}
+
+// FailNode implements discovery.Crashable: the physical node vanishes from
+// every hub at once — a machine crash takes all of its per-attribute
+// directories with it. Lost entries are summed across hubs.
+func (s *System) FailNode(addr string) (lostEntries int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.addrs[addr] {
+		return 0, fmt.Errorf("mercury: no node with address %q", addr)
+	}
+	for h, hub := range s.hubs {
+		n, ok := s.byAddr[h][addr]
+		if !ok {
+			continue
+		}
+		lost, err := hub.Fail(n)
+		if err != nil {
+			return lostEntries, err
+		}
+		lostEntries += lost
+		delete(s.byAddr[h], addr)
+	}
+	delete(s.addrs, addr)
+	return lostEntries, nil
 }
 
 // NodeAddrs implements discovery.Dynamic. The slice is sorted so victim

@@ -15,9 +15,10 @@ import (
 //	system=lorm op=discover tag=requester-007 hops=9 visited=3 msgs=12 path=f:cyc-00120,f:cyc-00515,v:cyc-00515,w:cyc-00516,v:cyc-00516
 //
 // Reasons are encoded by Reason.Letter: f = finger-forward, w = range-walk,
-// r = replicate, v = directory-visit. The number of non-v steps equals the
-// reported Hops and the number of v steps equals Visited — consumers can
-// (and the CLI test does) re-derive the cost from the path.
+// r = replicate, v = directory-visit, d = detour (forward past a dead
+// preferred hop). The number of non-v steps equals the reported Hops and the
+// number of v steps equals Visited — consumers can (and the CLI test does)
+// re-derive the cost from the path.
 type TraceSink struct {
 	mu    sync.Mutex
 	w     io.Writer

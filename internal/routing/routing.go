@@ -46,6 +46,13 @@ const (
 	// query, checked its directory and replied. It counts toward Visited
 	// (and one reply message), not toward Hops.
 	ReasonDirectoryVisit
+	// ReasonDetour is an overlay routing forward taken because the
+	// preferred next hop (the best finger or phase link) was found dead:
+	// the lookup fell back to a live successor-list or ring neighbor. It
+	// is a real message on the wire, so it counts toward Hops exactly like
+	// a finger forward — the Messages = Hops + Visited invariant holds
+	// unchanged under failures.
+	ReasonDetour
 )
 
 // Forwards reports whether the reason counts as a logical routing hop.
@@ -61,6 +68,8 @@ func (r Reason) String() string {
 		return "replicate"
 	case ReasonDirectoryVisit:
 		return "directory-visit"
+	case ReasonDetour:
+		return "detour"
 	}
 	return "unknown"
 }
@@ -76,6 +85,8 @@ func (r Reason) Letter() byte {
 		return 'r'
 	case ReasonDirectoryVisit:
 		return 'v'
+	case ReasonDetour:
+		return 'd'
 	}
 	return '?'
 }

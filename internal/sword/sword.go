@@ -41,6 +41,7 @@ type System struct {
 var (
 	_ discovery.System     = (*System)(nil)
 	_ discovery.Dynamic    = (*System)(nil)
+	_ discovery.Crashable  = (*System)(nil)
 	_ routing.Instrumented = (*System)(nil)
 )
 
@@ -142,6 +143,16 @@ func (s *System) RemoveNode(addr string) error {
 		return fmt.Errorf("sword: no node with address %q", addr)
 	}
 	return s.ring.Leave(n)
+}
+
+// FailNode implements discovery.Crashable: the node vanishes abruptly with
+// its pooled attribute directories — no handover, no repair.
+func (s *System) FailNode(addr string) (lostEntries int, err error) {
+	n, ok := s.ring.NodeByAddr(addr)
+	if !ok {
+		return 0, fmt.Errorf("sword: no node with address %q", addr)
+	}
+	return s.ring.Fail(n)
 }
 
 // NodeAddrs implements discovery.Dynamic.

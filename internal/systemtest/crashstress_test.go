@@ -1,0 +1,217 @@
+package systemtest
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"lorm/internal/discovery"
+	"lorm/internal/resource"
+	"lorm/internal/routing"
+)
+
+// failLedger tracks which node addresses have crashed, stamped with a
+// monotone epoch. The ordering discipline makes the dead-node assertion
+// exact under full concurrency: a crash is recorded AFTER FailNode
+// completes, and a query samples the epoch BEFORE it begins, so
+// failedAt[addr] ≤ startEpoch proves the crash's snapshot publication
+// happened-before the query loaded its view — such an address must never
+// appear in that query's path.
+type failLedger struct {
+	mu       sync.RWMutex
+	epoch    int64
+	failedAt map[string]int64
+}
+
+func newFailLedger() *failLedger {
+	return &failLedger{failedAt: make(map[string]int64)}
+}
+
+// recordCrash stamps addr as failed; call only after FailNode returned.
+func (l *failLedger) recordCrash(addr string) {
+	l.mu.Lock()
+	l.epoch++
+	l.failedAt[addr] = l.epoch
+	l.mu.Unlock()
+}
+
+// now returns the current epoch; call before starting a query.
+func (l *failLedger) now() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.epoch
+}
+
+// deadBefore reports whether addr crashed at or before the given epoch.
+func (l *failLedger) deadBefore(addr string, epoch int64) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	e, ok := l.failedAt[addr]
+	return ok && e <= epoch
+}
+
+// deadNodeObserver checks every routing step of tagged queries against the
+// ledger. Steps of untagged ops (registrations, other tests) are ignored.
+type deadNodeObserver struct {
+	ledger *failLedger
+	starts *sync.Map // query tag → start epoch
+
+	mu         sync.Mutex
+	violations []string
+}
+
+func (o *deadNodeObserver) NeedsPath() bool { return false }
+
+func (o *deadNodeObserver) OpStep(op *routing.Op, st routing.Step) {
+	v, ok := o.starts.Load(op.Tag)
+	if !ok {
+		return
+	}
+	if o.ledger.deadBefore(st.Addr, v.(int64)) {
+		o.mu.Lock()
+		if len(o.violations) < 16 {
+			o.violations = append(o.violations,
+				fmt.Sprintf("%s query %s stepped on dead node %s (%s)",
+					op.System, op.Tag, st.Addr, st.Reason))
+		}
+		o.mu.Unlock()
+	}
+}
+
+func (o *deadNodeObserver) OpFinished(*routing.Op, discovery.Cost) {}
+
+// TestCrashStress hammers every Crashable system with concurrent Discover
+// traffic while the main goroutine crashes nodes abruptly (FailNode — no
+// handover), joins replacements and runs Maintain. Run under -race it
+// proves the crash path is safe against concurrent lookups, and the
+// epoch-tagged observer proves no query ever routes through or resolves to
+// a node that was dead before the query began — the structural guarantee
+// of the snapshot-based lookup path.
+func TestCrashStress(t *testing.T) {
+	schema := resource.MustSchema(
+		resource.Attribute{Name: "cpu", Min: 0, Max: 100},
+		resource.Attribute{Name: "mem", Min: 0, Max: 100},
+	)
+	dep, err := Build(schema, 64, Options{D: 6, Bits: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		info := resource.Info{
+			Attr:  schema.Attributes()[i%2].Name,
+			Value: float64(i * 2 % 100),
+			Owner: fmt.Sprintf("owner-%02d", i),
+		}
+		if err := dep.RegisterEverywhere(info); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, sys := range dep.Systems() {
+		cr, ok := sys.(discovery.Crashable)
+		if !ok {
+			t.Fatalf("%s does not implement discovery.Crashable", sys.Name())
+		}
+		t.Run(sys.Name(), func(t *testing.T) {
+			inst, ok := sys.(routing.Instrumented)
+			if !ok {
+				t.Fatalf("%s does not implement routing.Instrumented", sys.Name())
+			}
+			ledger := newFailLedger()
+			obs := &deadNodeObserver{ledger: ledger, starts: &sync.Map{}}
+			inst.RoutingFabric().Observe(obs)
+			defer inst.RoutingFabric().Detach(obs)
+
+			const (
+				queryWorkers = 4
+				crashCycles  = 20
+			)
+			var (
+				wg        sync.WaitGroup
+				done      = make(chan struct{})
+				succeeded atomic.Int64
+			)
+			tolerable := func(err error) bool {
+				return strings.Contains(err.Error(), "not a live member") ||
+					strings.Contains(err.Error(), "exceeded")
+			}
+			for w := 0; w < queryWorkers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; ; i++ {
+						select {
+						case <-done:
+							return
+						default:
+						}
+						tag := fmt.Sprintf("crashreq-%d-%d", w, i)
+						obs.starts.Store(tag, ledger.now())
+						q := resource.Query{
+							Requester: tag,
+							Subs: []resource.SubQuery{
+								{Attr: "cpu", Low: 10, High: 60},
+								{Attr: "mem", Low: 20, High: 80},
+							},
+						}
+						res, err := cr.Discover(q)
+						obs.starts.Delete(tag)
+						if err != nil {
+							if !tolerable(err) {
+								t.Errorf("Discover: %v", err)
+								return
+							}
+							continue
+						}
+						if res.Cost.Messages != res.Cost.Hops+res.Cost.Visited {
+							t.Errorf("cost invariant broken: %+v", res.Cost)
+							return
+						}
+						succeeded.Add(1)
+					}
+				}(w)
+			}
+
+			// Crash, join a replacement, stabilize; keep going until queries
+			// have demonstrably overlapped with the crashing.
+			for c := 0; c < crashCycles || succeeded.Load() < queryWorkers; c++ {
+				if c > 10000 {
+					break // workers erred out; their t.Errorf reports why
+				}
+				addrs := cr.NodeAddrs()
+				if len(addrs) < 16 {
+					break
+				}
+				victim := addrs[(c*31+7)%len(addrs)]
+				if _, err := cr.FailNode(victim); err != nil {
+					t.Errorf("FailNode(%s): %v", victim, err)
+					break
+				}
+				ledger.recordCrash(victim)
+				cr.Maintain()
+				if err := cr.AddNode(fmt.Sprintf("crash-%s-%03d", sys.Name(), c)); err != nil {
+					t.Errorf("AddNode: %v", err)
+					break
+				}
+				cr.Maintain()
+			}
+			close(done)
+			wg.Wait()
+
+			obs.mu.Lock()
+			violations := obs.violations
+			obs.mu.Unlock()
+			for _, v := range violations {
+				t.Error(v)
+			}
+			if succeeded.Load() == 0 {
+				t.Fatal("no query succeeded during crash churn")
+			}
+			if ledger.now() == 0 {
+				t.Fatal("no node was crashed")
+			}
+		})
+	}
+}

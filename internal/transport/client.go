@@ -1,7 +1,9 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -10,35 +12,206 @@ import (
 	"lorm/internal/resource"
 )
 
+// Options tunes a Client's failure handling. The zero value gets sane
+// defaults from withDefaults; Dial keeps the legacy two-argument shape.
+type Options struct {
+	// DialTimeout bounds one TCP connect attempt (default 3s).
+	DialTimeout time.Duration
+	// CallTimeout is the per-call round-trip deadline covering both the
+	// request write and the response read (default 15s; negative disables).
+	CallTimeout time.Duration
+	// Retries is how many additional attempts a failed dial or call gets
+	// beyond the first (default 2; negative disables). Wire-level call
+	// failures are only retried for idempotent operations — once a
+	// register or membership change may have reached the server, it is
+	// returned to the caller rather than replayed.
+	Retries int
+	// RetryBackoff is the base of the exponential backoff between attempts;
+	// attempt k sleeps around RetryBackoff·2^(k-1) with ±50% jitter, capped
+	// at one second (default 50ms).
+	RetryBackoff time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 3 * time.Second
+	}
+	if o.CallTimeout == 0 {
+		o.CallTimeout = 15 * time.Second
+	}
+	if o.Retries == 0 {
+		o.Retries = 2
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 50 * time.Millisecond
+	}
+	return o
+}
+
 // Client is a synchronous connection to a gateway server. It is safe for
 // concurrent use: calls are serialized over the single connection (the
 // protocol is strict request/response per connection; open several clients
 // for parallelism).
+//
+// The client survives transport faults: a call that fails at the wire
+// level — write error, read error, per-call deadline, response-ID
+// mismatch — poisons the connection, and the next attempt redials instead
+// of reading from a desynchronized stream. Idempotent operations (ping,
+// stats, discover) are retried with exponential backoff; mutating
+// operations fail fast once the request may have been processed.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	next uint64
+	addr string
+	opts Options
+
+	mu     sync.Mutex
+	conn   net.Conn
+	broken bool
+	next   uint64
 }
 
-// Dial connects to a gateway with the given timeout.
+// Dial connects to a gateway with the given dial timeout and default
+// failure handling.
 func Dial(addr string, timeout time.Duration) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
-	if err != nil {
-		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	return DialOptions(addr, Options{DialTimeout: timeout})
+}
+
+// DialOptions connects to a gateway, retrying the dial itself with backoff.
+func DialOptions(addr string, opts Options) (*Client, error) {
+	c := &Client{addr: addr, opts: opts.withDefaults()}
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
+		if attempt > 0 {
+			mClientRetries.Inc()
+			time.Sleep(backoff(c.opts.RetryBackoff, attempt))
+		}
+		c.mu.Lock()
+		err := c.redialLocked()
+		c.mu.Unlock()
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
 	}
-	return &Client{conn: conn}, nil
+	return nil, lastErr
 }
 
 // Close tears down the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	c.broken = false
+	return err
+}
 
-// call performs one round trip.
+// redialLocked replaces the connection; callers hold c.mu.
+func (c *Client) redialLocked() error {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+		mClientRedials.Inc()
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("transport: dial %s: %w", c.addr, err)
+	}
+	c.conn = conn
+	c.broken = false
+	return nil
+}
+
+// serverError is an application-level failure relayed in a well-formed
+// response: the connection is healthy and the request definitively
+// processed, so it is never retried and never poisons the connection.
+type serverError struct{ msg string }
+
+func (e *serverError) Error() string { return "transport: server error: " + e.msg }
+
+// idempotent reports whether op can be safely replayed after the original
+// request may already have been processed by the server.
+func idempotent(op Op) bool {
+	switch op {
+	case OpPing, OpStats, OpDiscover:
+		return true
+	}
+	return false
+}
+
+// isTimeout reports whether err is a network timeout (a missed deadline).
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// backoff returns the sleep before retry attempt k ≥ 1: exponential in k
+// with ±50% jitter, capped at one second so a retry burst stays bounded.
+func backoff(base time.Duration, attempt int) time.Duration {
+	d := base << uint(attempt-1)
+	if d > time.Second {
+		d = time.Second
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// call performs one round trip, redialing poisoned connections and
+// retrying with backoff per the client options.
 func (c *Client) call(req *Request) (*Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if attempt > c.opts.Retries {
+				return nil, lastErr
+			}
+			mClientRetries.Inc()
+			time.Sleep(backoff(c.opts.RetryBackoff, attempt))
+		}
+		if c.conn == nil || c.broken {
+			if err := c.redialLocked(); err != nil {
+				lastErr = err // dial errors are retryable for every op
+				continue
+			}
+		}
+		resp, err := c.roundTrip(req)
+		if err == nil {
+			return resp, nil
+		}
+		var se *serverError
+		if errors.As(err, &se) {
+			return nil, err
+		}
+		// Wire-level failure: the stream can no longer be trusted to pair
+		// requests with responses, so mark it for redial.
+		c.broken = true
+		lastErr = err
+		if isTimeout(err) {
+			mClientTimeouts.Inc()
+		}
+		if !idempotent(req.Op) {
+			return nil, err // request may have been processed: don't replay
+		}
+	}
+}
+
+// roundTrip writes one request and reads its response on the current
+// connection; callers hold c.mu.
+func (c *Client) roundTrip(req *Request) (*Response, error) {
 	c.next++
 	req.ID = c.next
 	req.Version = Version
+	if c.opts.CallTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.opts.CallTimeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	if err := writeFrame(c.conn, req); err != nil {
 		return nil, err
 	}
@@ -50,7 +223,7 @@ func (c *Client) call(req *Request) (*Response, error) {
 		return nil, fmt.Errorf("transport: response id %d for request %d", resp.ID, req.ID)
 	}
 	if !resp.OK {
-		return nil, fmt.Errorf("transport: server error: %s", resp.Error)
+		return nil, &serverError{msg: resp.Error}
 	}
 	return &resp, nil
 }

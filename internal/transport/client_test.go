@@ -1,0 +1,252 @@
+package transport
+
+import (
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fastOpts keeps retry tests snappy.
+func fastOpts() Options {
+	return Options{
+		DialTimeout:  time.Second,
+		CallTimeout:  2 * time.Second,
+		Retries:      2,
+		RetryBackoff: 5 * time.Millisecond,
+	}
+}
+
+// fakeGateway runs a hand-rolled accept loop so tests can misbehave at the
+// wire level. serve is invoked per connection with its 1-based index.
+func fakeGateway(t *testing.T, serve func(conn net.Conn, n int)) (addr string, accepts *atomic.Int64) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	accepts = new(atomic.Int64)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			n := int(accepts.Add(1))
+			go func() {
+				defer conn.Close()
+				serve(conn, n)
+			}()
+		}
+	}()
+	return ln.Addr().String(), accepts
+}
+
+// okPing reads one request and answers it correctly.
+func okPing(conn net.Conn) bool {
+	var req Request
+	if err := readFrame(conn, &req); err != nil {
+		return false
+	}
+	return writeFrame(conn, &Response{Version: Version, ID: req.ID, OK: true}) == nil
+}
+
+// A response carrying the wrong ID poisons the connection: the client must
+// redial rather than keep reading a desynchronized stream, and an
+// idempotent call must succeed on the fresh connection.
+func TestMismatchedResponsePoisonsConnection(t *testing.T) {
+	addr, accepts := fakeGateway(t, func(conn net.Conn, n int) {
+		if n == 1 {
+			var req Request
+			if err := readFrame(conn, &req); err != nil {
+				return
+			}
+			// Answer with a stale ID, then keep the connection open so a
+			// client that does NOT redial would hang or misparse.
+			writeFrame(conn, &Response{Version: Version, ID: req.ID + 1000, OK: true})
+			time.Sleep(5 * time.Second)
+			return
+		}
+		for okPing(conn) {
+		}
+	})
+	cli, err := DialOptions(addr, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.Ping(); err != nil {
+		t.Fatalf("ping across poisoned connection: %v", err)
+	}
+	if got := accepts.Load(); got != 2 {
+		t.Fatalf("gateway saw %d connections, want 2 (original + redial)", got)
+	}
+}
+
+// A connection dropped mid-call is retried for idempotent operations.
+func TestIdempotentCallRetriesAfterDrop(t *testing.T) {
+	addr, accepts := fakeGateway(t, func(conn net.Conn, n int) {
+		if n == 1 {
+			var req Request
+			readFrame(conn, &req)
+			return // close without responding
+		}
+		for okPing(conn) {
+		}
+	})
+	cli, err := DialOptions(addr, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.Ping(); err != nil {
+		t.Fatalf("ping should survive one dropped connection: %v", err)
+	}
+	if got := accepts.Load(); got != 2 {
+		t.Fatalf("gateway saw %d connections, want 2", got)
+	}
+}
+
+// A mutating operation whose request may already have been processed must
+// NOT be replayed: the failure surfaces immediately on one connection.
+func TestMutatingCallFailsFastAfterDrop(t *testing.T) {
+	var reads atomic.Int64
+	addr, accepts := fakeGateway(t, func(conn net.Conn, n int) {
+		var req Request
+		if err := readFrame(conn, &req); err == nil {
+			reads.Add(1)
+		}
+		// close without responding, every time
+	})
+	cli, err := DialOptions(addr, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.AddNode("peer-x"); err == nil {
+		t.Fatal("addnode over a dropping gateway should fail")
+	}
+	if got := reads.Load(); got != 1 {
+		t.Fatalf("gateway read the mutating request %d times, want exactly 1 (no replay)", got)
+	}
+	if got := accepts.Load(); got != 1 {
+		t.Fatalf("gateway saw %d connections, want 1", got)
+	}
+}
+
+// An application-level error in a well-formed response is definitive: no
+// retry, and the connection stays usable.
+func TestServerErrorDoesNotPoisonOrRetry(t *testing.T) {
+	var reqs atomic.Int64
+	addr, accepts := fakeGateway(t, func(conn net.Conn, n int) {
+		for {
+			var req Request
+			if err := readFrame(conn, &req); err != nil {
+				return
+			}
+			reqs.Add(1)
+			ok := req.Op == OpPing
+			writeFrame(conn, &Response{Version: Version, ID: req.ID, OK: ok, Error: "no such attribute"})
+		}
+	})
+	cli, err := DialOptions(addr, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, _, _, err := cli.Discover(nil, "r"); err == nil {
+		t.Fatal("server-reported error should surface")
+	}
+	if err := cli.Ping(); err != nil {
+		t.Fatalf("connection should stay usable after a server error: %v", err)
+	}
+	if got := reqs.Load(); got != 2 {
+		t.Fatalf("gateway handled %d requests, want 2 (no retry of the failed discover)", got)
+	}
+	if got := accepts.Load(); got != 1 {
+		t.Fatalf("gateway saw %d connections, want 1 (no redial)", got)
+	}
+}
+
+// A silent server trips the per-call deadline instead of hanging forever.
+func TestCallTimeout(t *testing.T) {
+	addr, _ := fakeGateway(t, func(conn net.Conn, n int) {
+		time.Sleep(10 * time.Second) // accept, then say nothing
+	})
+	opts := fastOpts()
+	opts.CallTimeout = 100 * time.Millisecond
+	opts.Retries = -1 // disable retries: measure a single attempt
+	cli, err := DialOptions(addr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	before := mClientTimeouts.Value()
+	start := time.Now()
+	if err := cli.Ping(); err == nil {
+		t.Fatal("ping against a silent server should time out")
+	} else if !isTimeout(err) {
+		t.Fatalf("want a timeout error, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v, want ≈100ms", elapsed)
+	}
+	if mClientTimeouts.Value() != before+1 {
+		t.Fatal("transport_client_timeouts_total did not advance")
+	}
+}
+
+// The server reclaims connections whose peers go silent past the read
+// deadline.
+func TestServerIdleDisconnect(t *testing.T) {
+	oldRead := serverReadTimeout
+	serverReadTimeout = 50 * time.Millisecond
+	defer func() { serverReadTimeout = oldRead }()
+
+	srv, err := NewServer(testSystem(t), "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	before := mIdleDisconnects.Value()
+	// Say nothing; the server must close the connection, observed as EOF.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("expected the server to close the idle connection")
+	} else if isTimeout(err) {
+		t.Fatal("server kept the idle connection past its read deadline")
+	}
+	if mIdleDisconnects.Value() != before+1 {
+		t.Fatal("transport_server_idle_disconnects_total did not advance")
+	}
+}
+
+// Redials are visible on the counter.
+func TestRedialCounter(t *testing.T) {
+	addr, _ := fakeGateway(t, func(conn net.Conn, n int) {
+		if n == 1 {
+			return // slam the door on the first connection
+		}
+		for okPing(conn) {
+		}
+	})
+	cli, err := DialOptions(addr, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	before := mClientRedials.Value()
+	if err := cli.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if mClientRedials.Value() <= before {
+		t.Fatal("transport_client_redials_total did not advance")
+	}
+}

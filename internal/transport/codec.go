@@ -67,10 +67,17 @@ type Stats struct {
 }
 
 // MetricsDigest condenses the gateway's op metrics: the grand total plus
-// per-system op counts and estimated hop quantiles.
+// per-system op counts and estimated hop quantiles, and the process
+// failure-injection counters (detours around dead hops, exhausted lookups,
+// crash events and the entries they destroyed) so remote clients see the
+// gateway's fault history without scraping /metrics.
 type MetricsDigest struct {
-	TotalOps uint64          `json:"total_ops"`
-	Systems  []SystemMetrics `json:"systems,omitempty"`
+	TotalOps      uint64          `json:"total_ops"`
+	LookupDetours uint64          `json:"lookup_detours,omitempty"`
+	QueryFailures uint64          `json:"query_failures,omitempty"`
+	Crashes       uint64          `json:"crashes,omitempty"`
+	LostEntries   uint64          `json:"lost_entries,omitempty"`
+	Systems       []SystemMetrics `json:"systems,omitempty"`
 }
 
 // SystemMetrics is one system's slice of the digest.

@@ -31,6 +31,38 @@ var (
 		OpRemove:   mRequestVec.With(string(OpRemove)),
 	}
 	mRequestsUnknown = mRequestVec.With("unknown")
+	mIdleDisconnects = metrics.Default().Counter("transport_server_idle_disconnects_total",
+		"connections closed by gateway servers after the read deadline expired")
+)
+
+// Client-side failure-handling counters (one process often runs both a
+// gateway and remote clients, so these live in the same registry).
+var (
+	mClientRetries = metrics.Default().Counter("transport_client_retries_total",
+		"client dial or call attempts retried after a transport failure")
+	mClientTimeouts = metrics.Default().Counter("transport_client_timeouts_total",
+		"client calls that missed their per-call deadline")
+	mClientRedials = metrics.Default().Counter("transport_client_redials_total",
+		"connections re-established after a broken or poisoned transport")
+)
+
+// Failure-injection counters surfaced in the OpStats digest. Registration
+// is idempotent, so these resolve the same process-wide families the chord,
+// cycloid and churn packages record into; in a gateway that never links
+// those packages the families simply stay at zero.
+var (
+	mdChordDetours = metrics.Default().Counter("chord_lookup_detours_total",
+		"chord lookup hops that detoured around a dead preferred finger")
+	mdCycloidDetours = metrics.Default().Counter("cycloid_lookup_detours_total",
+		"cycloid lookup hops that detoured around a dead preferred link")
+	mdChordFailures = metrics.Default().Counter("chord_query_failures_total",
+		"chord lookups that failed to resolve a root")
+	mdCycloidFailures = metrics.Default().Counter("cycloid_query_failures_total",
+		"cycloid lookups that failed to resolve a root")
+	mdCrashes = metrics.Default().Counter("churn_crashes_total",
+		"abrupt crash failures injected by churn processes")
+	mdLostEntries = metrics.Default().Counter("churn_lost_entries_total",
+		"directory entries lost to crash failures injected by churn processes")
 )
 
 // countRequest bumps the per-verb request counter.

@@ -7,11 +7,21 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"lorm/internal/discovery"
 	"lorm/internal/metrics"
 	"lorm/internal/resource"
 	"lorm/internal/routing"
+)
+
+// Server-side I/O deadlines. The read deadline is an idle cap — how long a
+// connection may sit between requests before the server reclaims it — so it
+// is generous; the write deadline bounds flushing one response to a stalled
+// peer. Package variables rather than constants so tests can shrink them.
+var (
+	serverReadTimeout  = 2 * time.Minute
+	serverWriteTimeout = 15 * time.Second
 )
 
 // Server fronts a discovery.System on a TCP listener. Each connection is
@@ -122,16 +132,26 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	cc := countingConn{Conn: conn}
 	for {
+		if serverReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(serverReadTimeout))
+		}
 		var req Request
 		if err := readFrame(cc, &req); err != nil {
-			// EOF (and its torn-connection variants) is an orderly close;
-			// anything else is a malformed frame worth counting.
-			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, net.ErrClosed) {
+			switch {
+			case isTimeout(err):
+				// Half-open or abandoned peer: reclaim the goroutine and fd.
+				mIdleDisconnects.Inc()
+			case !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, net.ErrClosed):
+				// EOF (and its torn-connection variants) is an orderly close;
+				// anything else is a malformed frame worth counting.
 				mDecodeErrors.Inc()
 			}
-			return // EOF or protocol error: drop the connection
+			return // EOF, deadline or protocol error: drop the connection
 		}
 		resp := s.handle(&req)
+		if serverWriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(serverWriteTimeout))
+		}
 		if err := writeFrame(cc, resp); err != nil {
 			s.logf("write to %s: %v", conn.RemoteAddr(), err)
 			return
@@ -244,7 +264,13 @@ func (s *Server) metricsDigest() *MetricsDigest {
 		return nil
 	}
 	total, systems := s.obs.Digest()
-	d := &MetricsDigest{TotalOps: total}
+	d := &MetricsDigest{
+		TotalOps:      total,
+		LookupDetours: mdChordDetours.Value() + mdCycloidDetours.Value(),
+		QueryFailures: mdChordFailures.Value() + mdCycloidFailures.Value(),
+		Crashes:       mdCrashes.Value(),
+		LostEntries:   mdLostEntries.Value(),
+	}
 	for _, sd := range systems {
 		d.Systems = append(d.Systems, SystemMetrics{
 			System:  sd.System,
