@@ -8,6 +8,7 @@ package lorm_test
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
 	"lorm/internal/chord"
@@ -16,18 +17,30 @@ import (
 	"lorm/internal/systemtest"
 )
 
-// benchEnv caches one populated Quick environment across benchmarks that
-// only read it (the registration workload dominates setup cost).
-var benchEnv *experiments.Env
+// benchEnv caches ONE populated Quick environment, shared by the
+// benchmarks that only read it (the registration workload dominates setup
+// cost, so rebuilding per benchmark would drown the measurement).
+//
+// Sharing contract: the static-figure benchmarks — Fig3bcd, Fig4, Fig5 —
+// run queries against the cached env but never mutate membership or
+// directories, so they may run in any order and any subset. Anything that
+// mutates the environment (churn, joins, crashes) must NOT use getEnv:
+// the Fig6 benchmarks build a private env per iteration inside
+// experiments.Fig6, and Fig3a builds its own envs per network size, so
+// their results cannot leak into (or depend on) the shared instance.
+var (
+	benchEnv     *experiments.Env
+	benchEnvOnce sync.Once
+	benchEnvErr  error
+)
 
 func getEnv(b *testing.B) *experiments.Env {
 	b.Helper()
-	if benchEnv == nil {
-		env, err := experiments.NewEnv(experiments.Quick())
-		if err != nil {
-			b.Fatal(err)
-		}
-		benchEnv = env
+	benchEnvOnce.Do(func() {
+		benchEnv, benchEnvErr = experiments.NewEnv(experiments.Quick())
+	})
+	if benchEnvErr != nil {
+		b.Fatal(benchEnvErr)
 	}
 	return benchEnv
 }
@@ -181,7 +194,9 @@ func BenchmarkLookupParallel(b *testing.B) {
 }
 
 // BenchmarkFig6aChurnHops regenerates Figure 6(a): average hops per
-// non-range query under churn.
+// non-range query under churn. Churn mutates membership and directories,
+// so this benchmark must not touch the shared benchEnv: experiments.Fig6
+// builds a private environment per churn rate, every iteration.
 func BenchmarkFig6aChurnHops(b *testing.B) {
 	p := experiments.Quick()
 	p.ChurnRates = []float64{0.4}
@@ -196,7 +211,8 @@ func BenchmarkFig6aChurnHops(b *testing.B) {
 }
 
 // BenchmarkFig6bChurnVisits regenerates Figure 6(b): average visited nodes
-// per range query under churn.
+// per range query under churn. Like Fig6a it builds private environments
+// inside experiments.Fig6 rather than sharing benchEnv.
 func BenchmarkFig6bChurnVisits(b *testing.B) {
 	p := experiments.Quick()
 	p.ChurnRates = []float64{0.4}

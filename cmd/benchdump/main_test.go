@@ -1,0 +1,80 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: lorm/internal/directory
+BenchmarkDirMatch/100-8     18106612        61.48 ns/op       0 B/op       0 allocs/op
+BenchmarkDirMatch/10k-8      5170892       229.6 ns/op        0 B/op       0 allocs/op
+BenchmarkDirAdd-8             493651      8291 ns/op       6099 B/op       0 allocs/op
+BenchmarkFigX-8                    3      1000 ns/op          4.5 lorm-hops
+PASS
+ok      lorm/internal/directory 18.351s
+`
+	results, err := parseBenchOutput(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("parsed %d results, want 4", len(results))
+	}
+	if results[0].Name != "BenchmarkDirMatch/100-8" || results[0].NsPerOp != 61.48 {
+		t.Fatalf("first result wrong: %+v", results[0])
+	}
+	if results[2].BytesPerOp != 6099 || results[2].AllocsPerOp != 0 {
+		t.Fatalf("memory columns wrong: %+v", results[2])
+	}
+	if results[3].Extra["lorm-hops"] != 4.5 {
+		t.Fatalf("custom metric not captured: %+v", results[3])
+	}
+}
+
+func TestCheckFilesRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	dd := &DirectoryDump{
+		GeneratedBy: "benchdump",
+		Benchmarks: []BenchResult{
+			{Name: "BenchmarkDirMatch/100-8", Iterations: 1, NsPerOp: 61},
+			{Name: "BenchmarkDirMatch/10k-8", Iterations: 1, NsPerOp: 230},
+			{Name: "BenchmarkDirMatch/1M-8", Iterations: 1, NsPerOp: 11646},
+			{Name: "BenchmarkDirAdd-8", Iterations: 1, NsPerOp: 8291},
+			{Name: "BenchmarkDirTakeRange-8", Iterations: 1, NsPerOp: 741162},
+		},
+	}
+	fd := &FiguresDump{
+		GeneratedBy: "benchdump",
+		Preset:      "quick",
+		Figures: []FigureResult{
+			{Figure: "fig3a", Metrics: map[string]float64{"lorm-outlinks": 7}},
+			{Figure: "fig3b", Metrics: map[string]float64{"lorm-avg-dir": 1}},
+			{Figure: "fig4a", Metrics: map[string]float64{"lorm-hops-1attr": 3}},
+			{Figure: "fig5a", Metrics: map[string]float64{"lorm-total-visited": 9}},
+			{Figure: "fig6a", Metrics: map[string]float64{"lorm-churn-hops": 4}},
+		},
+	}
+	dj := filepath.Join(dir, "BENCH_directory.json")
+	fj := filepath.Join(dir, "BENCH_figures.json")
+	if err := writeJSON(dj, dd); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeJSON(fj, fd); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkFiles(dj, fj); err != nil {
+		t.Fatalf("round-trip check failed: %v", err)
+	}
+
+	// A truncated benchmark list must fail the check.
+	dd.Benchmarks = dd.Benchmarks[:2]
+	if err := writeJSON(dj, dd); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkFiles(dj, fj); err == nil {
+		t.Fatal("check passed with missing benchmarks")
+	}
+}

@@ -343,6 +343,8 @@ func cmdStats(args []string) error {
 		}
 		fmt.Printf("lookup detours: %d\nquery failures: %d\ncrashes injected: %d\nentries lost to crashes: %d\n",
 			st.Metrics.LookupDetours, st.Metrics.QueryFailures, st.Metrics.Crashes, st.Metrics.LostEntries)
+		fmt.Printf("directory adds: %d\ndirectory matches: %d\ndirectory entries handed over: %d\n",
+			st.Metrics.DirAdds, st.Metrics.DirMatches, st.Metrics.DirHandovers)
 	}
 	return nil
 }

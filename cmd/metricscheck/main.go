@@ -1,6 +1,7 @@
 // Command metricscheck validates a metrics snapshot produced by
 // `lormsim -metrics-out`: the JSON must parse into a metrics.Snapshot and
-// the routing op counters must show actual traffic. With -crash it
+// the routing op counters and directory index counters must show actual
+// traffic. With -crash it
 // additionally requires the failure-injection families (lookup detours,
 // query failures, crash and lost-entry counters) and that crashes actually
 // occurred. CI runs it after short simulations to catch regressions in the
@@ -64,8 +65,30 @@ func run(args []string) error {
 	}
 	fmt.Printf("metricscheck: %d families, %.0f routing ops (lorm=%.0f maan=%.0f mercury=%.0f sword=%.0f)\n",
 		len(snap.Families), total, bySystem["lorm"], bySystem["maan"], bySystem["mercury"], bySystem["sword"])
+	if err := checkDirectory(&snap); err != nil {
+		return err
+	}
 	if *crash {
 		return checkCrash(&snap)
+	}
+	return nil
+}
+
+// checkDirectory validates the directory-index families: any run that
+// observed routing ops must also have registered pieces into directories
+// and served range matches from them.
+func checkDirectory(snap *metrics.Snapshot) error {
+	for _, name := range []string{
+		"directory_adds_total",
+		"directory_matches_total",
+	} {
+		f, ok := snap.Family(name)
+		if !ok {
+			return fmt.Errorf("directory counter family %s missing", name)
+		}
+		if f.Total() <= 0 {
+			return fmt.Errorf("%s is zero: the directory index saw no traffic", name)
+		}
 	}
 	return nil
 }

@@ -2,8 +2,6 @@ package chord
 
 import (
 	"fmt"
-
-	"lorm/internal/directory"
 )
 
 // Join adds one node by protocol: the newcomer hashes itself onto the
@@ -52,13 +50,13 @@ func (r *Ring) Join(addr string) (*Node, error) {
 	nSt.succs = prependSucc(append([]uint64(nil), succSt.succs...), succ.ID, r.cfg.SuccListLen)
 	succSt.pred, succSt.hasPred = id, true
 
-	// Key handover: entries in (pred(n), n] now belong to n.
+	// Key handover: entries in (pred(n), n] now belong to n. The half-open
+	// ring interval (pred, id] is the closed key range [pred+1, id], wrapped
+	// when it crosses zero — extracted by binary search on the directory's
+	// key-ordered view instead of a full predicate scan.
 	if nSt.hasPred {
-		pred := nSt.pred
-		moved := succ.Dir.TakeIf(func(e directory.Entry) bool {
-			return r.space.BetweenIncl(e.Key, pred, id)
-		})
-		n.Dir.AddAll(moved)
+		lo := r.space.Add(nSt.pred, 1)
+		n.Dir.AddAll(succ.Dir.TakeRange(lo, id, lo > id))
 	}
 
 	// Build the newcomer's fingers by routed lookups through the draft.

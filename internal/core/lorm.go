@@ -191,7 +191,7 @@ func (s *System) resolveSub(op *routing.Op, from *cycloid.Node, sub resource.Sub
 	}
 	cur := route.Root
 	op.Visit(cur.Addr, cur.Pos)
-	matches := cur.Dir.Match(sub.Attr, sub.Low, sub.High)
+	matches := cur.Dir.MatchAppend(nil, sub.Attr, sub.Low, sub.High)
 
 	// Range walk: forward along intra-cluster successors until the walk's
 	// cumulative progress through the key space covers the upper bound
@@ -210,7 +210,7 @@ func (s *System) resolveSub(op *routing.Op, from *cycloid.Node, sub resource.Sub
 		cur = next
 		op.Forward(cur.Addr, cur.Pos, routing.ReasonRangeWalk)
 		op.Visit(cur.Addr, cur.Pos)
-		matches = append(matches, cur.Dir.Match(sub.Attr, sub.Low, sub.High)...)
+		matches = cur.Dir.MatchAppend(matches, sub.Attr, sub.Low, sub.High)
 	}
 	if s.Replicas() > 1 {
 		matches = dedupe(matches)

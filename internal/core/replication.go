@@ -130,7 +130,11 @@ func (s *System) Repair() (added, removed int) {
 		}
 		for n := range held {
 			if !desired[n] {
-				n.Dir.TakeIf(func(x directory.Entry) bool { return identOf(x) == id })
+				// Targeted removal: ident covers every Entry field, so Remove(e)
+				// deletes exactly the copies of this logical piece; loop in case
+				// the node somehow accumulated duplicates.
+				for n.Dir.Remove(e) {
+				}
 				removed++
 			}
 		}

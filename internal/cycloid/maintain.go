@@ -2,8 +2,6 @@ package cycloid
 
 import (
 	"fmt"
-
-	"lorm/internal/directory"
 )
 
 // Join adds one node by protocol: the newcomer hashes itself to a free
@@ -42,12 +40,14 @@ func (o *Overlay) Join(addr string) (*Node, error) {
 	succ := route.Root
 	d.insert(n)
 
-	// Key handover: entries in (pred(n), n] move from the old owner.
+	// Key handover: entries in (pred(n), n] move from the old owner. The
+	// half-open position interval (pred, pos] is the closed key range
+	// [pred+1 mod capacity, pos], wrapped when it crosses zero — extracted
+	// by binary search on the directory's key-ordered view instead of a
+	// full predicate scan.
 	pred := o.oraclePredecessorIn(d.s, n.Pos)
-	moved := succ.Dir.TakeIf(func(e directory.Entry) bool {
-		return o.betweenIncl(e.Key, pred, n.Pos)
-	})
-	n.Dir.AddAll(moved)
+	lo := (pred + 1) % o.capacity
+	n.Dir.AddAll(succ.Dir.TakeRange(lo, n.Pos, lo > n.Pos))
 
 	// Resolve the newcomer's links and eagerly repair the leaf sets of the
 	// immediate neighbors; remaining links converge via Stabilize.

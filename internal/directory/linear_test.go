@@ -1,0 +1,156 @@
+package directory
+
+import (
+	"sort"
+	"sync"
+
+	"lorm/internal/resource"
+)
+
+// linearStore is the seed implementation of the directory — an unordered
+// slice scanned linearly under one RWMutex. It is kept as the comparison
+// oracle: the property and fuzz tests replay every operation sequence
+// against it and require identical multisets, and the benchmarks measure
+// the ordered index against its scans.
+type linearStore struct {
+	mu      sync.RWMutex
+	entries []Entry
+}
+
+func (s *linearStore) Add(e Entry) {
+	s.mu.Lock()
+	s.entries = append(s.entries, e)
+	s.mu.Unlock()
+}
+
+func (s *linearStore) AddAll(es []Entry) {
+	if len(es) == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.entries = append(s.entries, es...)
+	s.mu.Unlock()
+}
+
+func (s *linearStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries)
+}
+
+func (s *linearStore) Match(attr string, lo, hi float64) []resource.Info {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []resource.Info
+	for _, e := range s.entries {
+		if e.Info.Attr == attr && e.Info.Value >= lo && e.Info.Value <= hi {
+			out = append(out, e.Info)
+		}
+	}
+	return out
+}
+
+func (s *linearStore) CountAttr(attr string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, e := range s.entries {
+		if e.Info.Attr == attr {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *linearStore) TakeIf(shouldMove func(Entry) bool) []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var moved []Entry
+	kept := s.entries[:0]
+	for _, e := range s.entries {
+		if shouldMove(e) {
+			moved = append(moved, e)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	for i := len(kept); i < len(s.entries); i++ {
+		s.entries[i] = Entry{}
+	}
+	s.entries = kept
+	return moved
+}
+
+// TakeRange mirrors Store.TakeRange via the predicate scan the overlays
+// used before the key-ordered view existed.
+func (s *linearStore) TakeRange(keyLo, keyHi uint64, wrapped bool) []Entry {
+	return s.TakeIf(func(e Entry) bool {
+		if wrapped {
+			return e.Key >= keyLo || e.Key <= keyHi
+		}
+		return e.Key >= keyLo && e.Key <= keyHi
+	})
+}
+
+// Remove mirrors Store.Remove: delete one entry equal to e.
+func (s *linearStore) Remove(e Entry) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.entries {
+		if s.entries[i] == e {
+			s.entries = append(s.entries[:i], s.entries[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (s *linearStore) TakeAll() []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	all := s.entries
+	s.entries = nil
+	return all
+}
+
+func (s *linearStore) Snapshot() []Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]Entry(nil), s.entries...)
+}
+
+// canonical sorts a copy of entries into one total order so two multisets
+// compare equal iff they hold the same entries.
+func canonical(es []Entry) []Entry {
+	out := append([]Entry(nil), es...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Info.Attr != b.Info.Attr {
+			return a.Info.Attr < b.Info.Attr
+		}
+		if a.Key != b.Key {
+			return a.Key < b.Key
+		}
+		if a.Info.Value != b.Info.Value {
+			return a.Info.Value < b.Info.Value
+		}
+		return a.Info.Owner < b.Info.Owner
+	})
+	return out
+}
+
+// canonicalInfos sorts a copy of match results into one total order.
+func canonicalInfos(is []resource.Info) []resource.Info {
+	out := append([]resource.Info(nil), is...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Attr != b.Attr {
+			return a.Attr < b.Attr
+		}
+		if a.Value != b.Value {
+			return a.Value < b.Value
+		}
+		return a.Owner < b.Owner
+	})
+	return out
+}

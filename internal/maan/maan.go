@@ -148,14 +148,20 @@ func (s *System) resolveSub(op *routing.Op, requester string, sub resource.SubQu
 		return nil, err
 	}
 	op.Visit(r1.Root.Addr, r1.Root.ID)
+	// Dedupe across the attribute-keyed and value-keyed copies; scratch is
+	// reused across nodes so each directory match is allocation-free.
 	seen := make(map[string]bool)
-	var matches []resource.Info
-	for _, in := range r1.Root.Dir.Match(sub.Attr, sub.Low, sub.High) {
-		if k := in.Owner + "\x00" + fmt.Sprint(in.Value); !seen[k] {
-			seen[k] = true
-			matches = append(matches, in)
+	var matches, scratch []resource.Info
+	collect := func(n *chord.Node) {
+		scratch = n.Dir.MatchAppend(scratch[:0], sub.Attr, sub.Low, sub.High)
+		for _, in := range scratch {
+			if k := in.Owner + "\x00" + fmt.Sprint(in.Value); !seen[k] {
+				seen[k] = true
+				matches = append(matches, in)
+			}
 		}
 	}
+	collect(r1.Root)
 
 	// Lookup 2: value index, walking the ring for range queries.
 	loKey := s.valueKey(idx, sub.Low)
@@ -166,14 +172,6 @@ func (s *System) resolveSub(op *routing.Op, requester string, sub resource.SubQu
 	}
 	op.Visit(r2.Root.Addr, r2.Root.ID)
 	cur := r2.Root
-	collect := func(n *chord.Node) {
-		for _, in := range n.Dir.Match(sub.Attr, sub.Low, sub.High) {
-			if k := in.Owner + "\x00" + fmt.Sprint(in.Value); !seen[k] {
-				seen[k] = true
-				matches = append(matches, in)
-			}
-		}
-	}
 	collect(cur)
 	// Cumulative-progress walk, as in Mercury: terminate once the visited
 	// sectors cover the key interval, robust to wrapped intervals.

@@ -174,7 +174,7 @@ func (s *System) resolveSub(op *routing.Op, requester string, sub resource.SubQu
 	}
 	cur := route.Root
 	op.Visit(cur.Addr, cur.ID)
-	matches := cur.Dir.Match(sub.Attr, sub.Low, sub.High)
+	matches := cur.Dir.MatchAppend(nil, sub.Attr, sub.Low, sub.High)
 
 	// Range walk across the hub ring, tracking cumulative progress through
 	// the key interval so wrapped intervals terminate correctly.
@@ -190,7 +190,7 @@ func (s *System) resolveSub(op *routing.Op, requester string, sub resource.SubQu
 		cur = next
 		op.Forward(cur.Addr, cur.ID, routing.ReasonRangeWalk)
 		op.Visit(cur.Addr, cur.ID)
-		matches = append(matches, cur.Dir.Match(sub.Attr, sub.Low, sub.High)...)
+		matches = cur.Dir.MatchAppend(matches, sub.Attr, sub.Low, sub.High)
 	}
 	return matches, nil
 }

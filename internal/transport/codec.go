@@ -72,12 +72,18 @@ type Stats struct {
 // crash events and the entries they destroyed) so remote clients see the
 // gateway's fault history without scraping /metrics.
 type MetricsDigest struct {
-	TotalOps      uint64          `json:"total_ops"`
-	LookupDetours uint64          `json:"lookup_detours,omitempty"`
-	QueryFailures uint64          `json:"query_failures,omitempty"`
-	Crashes       uint64          `json:"crashes,omitempty"`
-	LostEntries   uint64          `json:"lost_entries,omitempty"`
-	Systems       []SystemMetrics `json:"systems,omitempty"`
+	TotalOps      uint64 `json:"total_ops"`
+	LookupDetours uint64 `json:"lookup_detours,omitempty"`
+	QueryFailures uint64 `json:"query_failures,omitempty"`
+	Crashes       uint64 `json:"crashes,omitempty"`
+	LostEntries   uint64 `json:"lost_entries,omitempty"`
+	// Directory index activity: stored pieces, range matches served, and
+	// entries migrated by churn handover, so remote clients see the
+	// gateway's storage workload alongside its routing workload.
+	DirAdds      uint64          `json:"dir_adds,omitempty"`
+	DirMatches   uint64          `json:"dir_matches,omitempty"`
+	DirHandovers uint64          `json:"dir_handovers,omitempty"`
+	Systems      []SystemMetrics `json:"systems,omitempty"`
 }
 
 // SystemMetrics is one system's slice of the digest.

@@ -63,6 +63,12 @@ var (
 		"abrupt crash failures injected by churn processes")
 	mdLostEntries = metrics.Default().Counter("churn_lost_entries_total",
 		"directory entries lost to crash failures injected by churn processes")
+	mdDirAdds = metrics.Default().Counter("directory_adds_total",
+		"Entries stored into node directories (Add and AddAll).")
+	mdDirMatches = metrics.Default().Counter("directory_matches_total",
+		"Range-match operations served by node directories (Match and MatchAppend).")
+	mdDirHandovers = metrics.Default().Counter("directory_entries_handed_over_total",
+		"Entries removed from a directory by handover paths (TakeRange, TakeIf, TakeAll).")
 )
 
 // countRequest bumps the per-verb request counter.

@@ -270,6 +270,9 @@ func (s *Server) metricsDigest() *MetricsDigest {
 		QueryFailures: mdChordFailures.Value() + mdCycloidFailures.Value(),
 		Crashes:       mdCrashes.Value(),
 		LostEntries:   mdLostEntries.Value(),
+		DirAdds:       mdDirAdds.Value(),
+		DirMatches:    mdDirMatches.Value(),
+		DirHandovers:  mdDirHandovers.Value(),
 	}
 	for _, sd := range systems {
 		d.Systems = append(d.Systems, SystemMetrics{
