@@ -274,6 +274,23 @@ func runFigures() (*FiguresDump, error) {
 		FigureResult{Figure: "fig6b", Millis: 0, Metrics: map[string]float64{
 			"lorm-churn-visited": visited6.Column("lorm")[0], "mercury-churn-visited": visited6.Column("mercury")[0]}},
 	)
+
+	start = time.Now()
+	loadTables, err := experiments.LoadBalance(p, true)
+	if err != nil {
+		return nil, fmt.Errorf("load: %w", err)
+	}
+	msLoad := float64(time.Since(start).Microseconds()) / 1000
+	factor := loadTables[0]
+	dump.Figures = append(dump.Figures, FigureResult{
+		Figure: "load",
+		Millis: msLoad,
+		Metrics: map[string]float64{
+			"sword-load-factor":      factor.Column("sword")[0],
+			"lorm-load-factor":       factor.Column("lorm")[0],
+			"lorm-load-factor-rebal": factor.Column("lorm_rebal")[0],
+		},
+	})
 	return dump, nil
 }
 
@@ -297,6 +314,7 @@ func checkFiles(dirJSON, figJSON string) error {
 	}
 	for _, want := range []string{
 		"BenchmarkDirMatch/100", "BenchmarkDirMatch/10k", "BenchmarkDirMatch/1M",
+		"BenchmarkDirMatchInterp/100", "BenchmarkDirMatchInterp/10k", "BenchmarkDirMatchInterp/1M",
 		"BenchmarkDirAdd", "BenchmarkDirTakeRange",
 	} {
 		if !names[want] {
@@ -318,7 +336,7 @@ func checkFiles(dirJSON, figJSON string) error {
 		}
 		figs[f.Figure] = true
 	}
-	for _, want := range []string{"fig3a", "fig3b", "fig4a", "fig5a", "fig6a"} {
+	for _, want := range []string{"fig3a", "fig3b", "fig4a", "fig5a", "fig6a", "load"} {
 		if !figs[want] {
 			return fmt.Errorf("%s: figure %s missing", figJSON, want)
 		}

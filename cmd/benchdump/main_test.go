@@ -42,6 +42,9 @@ func TestCheckFilesRoundTrip(t *testing.T) {
 			{Name: "BenchmarkDirMatch/100-8", Iterations: 1, NsPerOp: 61},
 			{Name: "BenchmarkDirMatch/10k-8", Iterations: 1, NsPerOp: 230},
 			{Name: "BenchmarkDirMatch/1M-8", Iterations: 1, NsPerOp: 11646},
+			{Name: "BenchmarkDirMatchInterp/100-8", Iterations: 1, NsPerOp: 60},
+			{Name: "BenchmarkDirMatchInterp/10k-8", Iterations: 1, NsPerOp: 200},
+			{Name: "BenchmarkDirMatchInterp/1M-8", Iterations: 1, NsPerOp: 9000},
 			{Name: "BenchmarkDirAdd-8", Iterations: 1, NsPerOp: 8291},
 			{Name: "BenchmarkDirTakeRange-8", Iterations: 1, NsPerOp: 741162},
 		},
@@ -55,6 +58,7 @@ func TestCheckFilesRoundTrip(t *testing.T) {
 			{Figure: "fig4a", Metrics: map[string]float64{"lorm-hops-1attr": 3}},
 			{Figure: "fig5a", Metrics: map[string]float64{"lorm-total-visited": 9}},
 			{Figure: "fig6a", Metrics: map[string]float64{"lorm-churn-hops": 4}},
+			{Figure: "load", Metrics: map[string]float64{"sword-load-factor": 25}},
 		},
 	}
 	dj := filepath.Join(dir, "BENCH_directory.json")

@@ -6,11 +6,12 @@
 //	lormsim -exp fig5 -preset paper  # one figure at full paper scale
 //	lormsim -exp fig3a,fig4 -format csv
 //	lormsim -crash-rate 0.4          # crash-churn sweep (beyond the paper)
+//	lormsim -load-out results_load.txt  # load-distribution + rebalance sweep
 //
 // Experiments: fig3a, fig3b, fig3c, fig3d, fig4a, fig4b, fig5a, fig5b,
 // fig6a, fig6b, all, plus the opt-in extras theorems, worstcase,
-// ablations and crash. Presets: quick, standard, paper. Individual knobs
-// (-n, -m, -k, -d, -seed, ...) override the preset.
+// ablations, crash and load. Presets: quick, standard, paper. Individual
+// knobs (-n, -m, -k, -d, -seed, ...) override the preset.
 package main
 
 import (
@@ -36,7 +37,7 @@ func main() {
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("lormsim", flag.ContinueOnError)
 	var (
-		exp    = fs.String("exp", "all", "comma-separated experiments: fig3a fig3b fig3c fig3d fig4a fig4b fig5a fig5b fig6a fig6b all theorems worstcase ablations crash")
+		exp    = fs.String("exp", "all", "comma-separated experiments: fig3a fig3b fig3c fig3d fig4a fig4b fig5a fig5b fig6a fig6b all theorems worstcase ablations crash load")
 		preset = fs.String("preset", "standard", "parameter preset: quick, standard, paper")
 		format = fs.String("format", "text", "output format: text, csv")
 		nFlag  = fs.Int("n", 0, "override node count")
@@ -50,6 +51,8 @@ func run(args []string, out *os.File) error {
 		mout   = fs.String("metrics-out", "", "write the final metrics snapshot (JSON) to this file")
 		crRate = fs.Float64("crash-rate", 0, "fault-arrival rate for the crash experiment; setting it implies -exp crash")
 		crFrac = fs.Float64("crash-frac", 0, "probability a fault is an abrupt crash instead of a graceful departure (default 0.5)")
+		loadOut = fs.String("load-out", "", "write the load-distribution tables to this file; setting it implies -exp load")
+		rebal   = fs.Bool("rebalance", true, "run the item-migration pass in the load experiment and report post-rebalance load factors")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -154,13 +157,16 @@ func run(args []string, out *os.File) error {
 	for _, e := range strings.Split(*exp, ",") {
 		want[strings.TrimSpace(strings.ToLower(e))] = true
 	}
+	if !expSet && (*crRate > 0 || *loadOut != "") {
+		// -crash-rate or -load-out alone means "run that experiment", not
+		// the default -exp all on top of it.
+		want = map[string]bool{}
+	}
 	if *crRate > 0 {
 		want["crash"] = true
-		if !expSet {
-			// -crash-rate alone means "run the crash experiment", not the
-			// default -exp all on top of it.
-			want = map[string]bool{"crash": true}
-		}
+	}
+	if *loadOut != "" {
+		want["load"] = true
 	}
 	all := want["all"]
 	need := func(names ...string) bool {
@@ -348,6 +354,35 @@ func run(args []string, out *os.File) error {
 				return err
 			}
 			emit(failTbl, lostTbl)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	if need("load") && !all { // opt-in: not part of -exp all
+		if err := timed("load", func() error {
+			tables, err := experiments.LoadBalance(p, *rebal)
+			if err != nil {
+				return err
+			}
+			if *loadOut == "" {
+				emit(tables...)
+				return nil
+			}
+			f, err := os.Create(*loadOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			for _, t := range tables {
+				if *format == "csv" {
+					fmt.Fprintf(f, "# %s\n%s\n", t.Title, t.CSV())
+				} else {
+					fmt.Fprintln(f, t.Text())
+				}
+			}
+			fmt.Fprintf(os.Stderr, "[lormsim] load: %d tables written to %s\n", len(tables), *loadOut)
 			return nil
 		}); err != nil {
 			return err

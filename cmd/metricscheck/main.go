@@ -4,10 +4,12 @@
 // traffic. With -crash it
 // additionally requires the failure-injection families (lookup detours,
 // query failures, crash and lost-entry counters) and that crashes actually
-// occurred. CI runs it after short simulations to catch regressions in the
-// observability pipeline.
+// occurred. With -load it requires the loadbalance migration counters and
+// cross-checks them against the directory handover counters they must stay
+// consistent with. CI runs it after short simulations to catch regressions
+// in the observability pipeline.
 //
-// Usage: metricscheck [-crash] <snapshot.json>
+// Usage: metricscheck [-crash] [-load] <snapshot.json>
 package main
 
 import (
@@ -29,11 +31,12 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("metricscheck", flag.ContinueOnError)
 	crash := fs.Bool("crash", false, "require the crash-churn failure counters (snapshot from lormsim -crash-rate)")
+	load := fs.Bool("load", false, "require the load-balance migration counters (snapshot from lormsim -load-out)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: metricscheck [-crash] <snapshot.json>")
+		return fmt.Errorf("usage: metricscheck [-crash] [-load] <snapshot.json>")
 	}
 	data, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
@@ -69,7 +72,12 @@ func run(args []string) error {
 		return err
 	}
 	if *crash {
-		return checkCrash(&snap)
+		if err := checkCrash(&snap); err != nil {
+			return err
+		}
+	}
+	if *load {
+		return checkLoad(&snap)
 	}
 	return nil
 }
@@ -90,6 +98,67 @@ func checkDirectory(snap *metrics.Snapshot) error {
 			return fmt.Errorf("%s is zero: the directory index saw no traffic", name)
 		}
 	}
+	return nil
+}
+
+// checkLoad validates the load-balance migration families a rebalancing
+// run must produce, and cross-checks them against the directory and
+// overlay counters they are definitionally tied to: every migration is
+// exactly one chord/cycloid boundary move, each boundary move performs at
+// most one TakeRange, and every entry the migrator moves was handed over
+// by a directory (other handover paths — churn departures — only add to
+// the directory side).
+func checkLoad(snap *metrics.Snapshot) error {
+	value := func(name string) (float64, error) {
+		f, ok := snap.Family(name)
+		if !ok {
+			return 0, fmt.Errorf("load-balance counter family %s missing", name)
+		}
+		return f.Total(), nil
+	}
+	var vals = map[string]float64{}
+	for _, name := range []string{
+		"loadbalance_passes_total",
+		"loadbalance_migrations_total",
+		"loadbalance_entries_moved_total",
+		"loadbalance_blocked_hotspots_total",
+		"chord_boundary_moves_total",
+		"cycloid_boundary_moves_total",
+		"directory_take_ranges_total",
+		"directory_entries_handed_over_total",
+	} {
+		v, err := value(name)
+		if err != nil {
+			return err
+		}
+		vals[name] = v
+	}
+	passes := vals["loadbalance_passes_total"]
+	migrations := vals["loadbalance_migrations_total"]
+	movedEntries := vals["loadbalance_entries_moved_total"]
+	if passes <= 0 {
+		return fmt.Errorf("loadbalance_passes_total is zero: no rebalance pass ran")
+	}
+	if migrations <= 0 {
+		return fmt.Errorf("loadbalance_migrations_total is zero: the rebalance passes moved nothing")
+	}
+	if movedEntries <= 0 {
+		return fmt.Errorf("loadbalance_entries_moved_total is zero despite %0.f migrations", migrations)
+	}
+	if moves := vals["chord_boundary_moves_total"] + vals["cycloid_boundary_moves_total"]; migrations != moves {
+		return fmt.Errorf("loadbalance_migrations_total (%.0f) != chord+cycloid boundary moves (%.0f): migration accounting out of sync",
+			migrations, moves)
+	}
+	if takes := vals["directory_take_ranges_total"]; migrations > takes {
+		return fmt.Errorf("loadbalance_migrations_total (%.0f) exceeds directory_take_ranges_total (%.0f)",
+			migrations, takes)
+	}
+	if handed := vals["directory_entries_handed_over_total"]; movedEntries > handed {
+		return fmt.Errorf("loadbalance_entries_moved_total (%.0f) exceeds directory_entries_handed_over_total (%.0f)",
+			movedEntries, handed)
+	}
+	fmt.Printf("metricscheck: load counters ok (%.0f passes, %.0f migrations, %.0f entries moved, %.0f blocked hotspots)\n",
+		passes, migrations, movedEntries, vals["loadbalance_blocked_hotspots_total"])
 	return nil
 }
 

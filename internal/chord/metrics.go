@@ -19,4 +19,6 @@ var (
 		"chord lookup hops that detoured around a dead preferred finger")
 	mQueryFailures = metrics.Default().Counter("chord_query_failures_total",
 		"chord lookups that failed to resolve a root")
+	mBoundaryMoves = metrics.Default().Counter("chord_boundary_moves_total",
+		"chord ownership-boundary moves (Advance/Retreat) during rebalancing")
 )

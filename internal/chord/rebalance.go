@@ -1,0 +1,102 @@
+package chord
+
+import (
+	"fmt"
+)
+
+// Advance and Retreat are the two ownership-boundary moves the
+// load-balancing subsystem (internal/loadbalance) is built on. Chord's
+// successor rule ties an entry's placement to the identifier of the node
+// that owns its key, so migrating entries between neighbors without breaking
+// exact lookups and range walks requires moving the boundary itself: the
+// node's identifier changes and the key interval — with every entry stored
+// under it — changes hands atomically with the membership update.
+//
+// Both operations follow the writer protocol of every other membership
+// change: build a copy-on-write draft under Ring.mu, move the directory
+// entries, rebuild routing state from authoritative membership (the
+// post-convergence state Stabilize/FixFingers would reach), and publish with
+// one pointer swap. Lookups never observe a half-moved boundary. Because a
+// Node's ID is read lock-free by concurrent lookups, the node object is
+// replaced rather than mutated; callers holding the old *Node must re-resolve
+// it (NodeByAddr) after a successful call.
+
+// Advance moves node n clockwise to newID, which must lie strictly between
+// n.ID and its current successor's ID. n takes over the key interval
+// (n.ID, newID] from its successor: the successor's entries in that interval
+// migrate to n. This is the "predecessor advances" half of neighbor item
+// migration — an overloaded node's predecessor advances toward it, relieving
+// it of the bottom of its key interval. The replacement node object is
+// returned; the moved-entry count is the number of entries that changed
+// node (the advancing node's own directory travels with it and is not
+// counted).
+func (r *Ring) Advance(n *Node, newID uint64) (*Node, int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d := r.beginDraft()
+	if m, ok := d.s.members[n.ID]; !ok || m.node != n {
+		return nil, 0, fmt.Errorf("chord: advance of unknown node %s", n.Addr)
+	}
+	if len(d.s.sorted) < 2 {
+		return nil, 0, fmt.Errorf("chord: advance needs at least 2 nodes")
+	}
+	succID := r.oracleSuccessorIn(d.s, r.space.Add(n.ID, 1))
+	if !r.space.Between(newID, n.ID, succID) {
+		return nil, 0, fmt.Errorf("chord: advance target %d not in (%d, %d)", newID, n.ID, succID)
+	}
+	succ := d.s.members[succID].node
+
+	n2 := &Node{ID: newID, Addr: n.Addr, nextFinger: n.nextFinger}
+	n2.Dir.AddAll(n.Dir.TakeAll())
+	lo := r.space.Add(n.ID, 1)
+	moved := succ.Dir.TakeRange(lo, newID, lo > newID)
+	n2.Dir.AddAll(moved)
+
+	d.remove(n.ID)
+	d.insert(n2)
+	for _, id := range d.s.sorted {
+		r.rebuildNode(d, d.s.members[id].node)
+	}
+	r.publish(d)
+	mBoundaryMoves.Inc()
+	return n2, len(moved), nil
+}
+
+// Retreat moves node n counterclockwise to newID, which must lie strictly
+// between its predecessor's ID and n.ID. n gives up the key interval
+// (newID, n.ID] to its successor: its own entries in that interval migrate
+// there. This is the "overloaded node retreats" half of neighbor item
+// migration — shedding the top of its key interval downstream. The
+// replacement node object and the moved-entry count are returned.
+func (r *Ring) Retreat(n *Node, newID uint64) (*Node, int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d := r.beginDraft()
+	if m, ok := d.s.members[n.ID]; !ok || m.node != n {
+		return nil, 0, fmt.Errorf("chord: retreat of unknown node %s", n.Addr)
+	}
+	if len(d.s.sorted) < 2 {
+		return nil, 0, fmt.Errorf("chord: retreat needs at least 2 nodes")
+	}
+	predID := r.oraclePredecessorIn(d.s, n.ID)
+	if !r.space.Between(newID, predID, n.ID) {
+		return nil, 0, fmt.Errorf("chord: retreat target %d not in (%d, %d)", newID, predID, n.ID)
+	}
+	succID := r.oracleSuccessorIn(d.s, r.space.Add(n.ID, 1))
+	succ := d.s.members[succID].node
+
+	lo := r.space.Add(newID, 1)
+	moved := n.Dir.TakeRange(lo, n.ID, lo > n.ID)
+	succ.Dir.AddAll(moved)
+	n2 := &Node{ID: newID, Addr: n.Addr, nextFinger: n.nextFinger}
+	n2.Dir.AddAll(n.Dir.TakeAll())
+
+	d.remove(n.ID)
+	d.insert(n2)
+	for _, id := range d.s.sorted {
+		r.rebuildNode(d, d.s.members[id].node)
+	}
+	r.publish(d)
+	mBoundaryMoves.Inc()
+	return n2, len(moved), nil
+}

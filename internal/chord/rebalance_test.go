@@ -1,0 +1,219 @@
+package chord
+
+import (
+	"math/rand"
+	"testing"
+
+	"lorm/internal/directory"
+	"lorm/internal/resource"
+)
+
+func fillKeys(t *testing.T, r *Ring, n int, seed int64) []uint64 {
+	t.Helper()
+	nodes := r.Nodes()
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64() & (r.Space().Size() - 1)
+		e := directory.Entry{Key: keys[i], Info: resource.Info{Attr: "a", Value: float64(i), Owner: "o"}}
+		if _, err := r.Insert(nodes[0], keys[i], e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return keys
+}
+
+func totalStored(r *Ring) int {
+	total := 0
+	for _, sz := range r.DirectorySizes() {
+		total += sz
+	}
+	return total
+}
+
+func checkPlacement(t *testing.T, r *Ring, keys []uint64) {
+	t.Helper()
+	for _, k := range keys {
+		owner, _ := r.OwnerOf(k)
+		found := false
+		for _, e := range owner.Dir.Snapshot() {
+			if e.Key == k {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("key %d not on oracle owner after boundary move", k)
+		}
+	}
+}
+
+func TestAdvanceMovesBoundaryAndEntries(t *testing.T) {
+	r := buildRing(t, 40)
+	keys := fillKeys(t, r, 400, 11)
+	nodes := r.Nodes()
+	n := nodes[5]
+	succ := nodes[6]
+	// Advance half-way into the successor's interval.
+	newID := n.ID + r.space.Clockwise(n.ID, succ.ID)/2
+	if newID == n.ID {
+		t.Skip("adjacent IDs, no room to advance")
+	}
+	before := totalStored(r)
+	n2, moved, err := r.Advance(n, newID)
+	if err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	if n2.ID != newID || n2.Addr != n.Addr {
+		t.Fatalf("replacement node = %d/%s, want %d/%s", n2.ID, n2.Addr, newID, n.Addr)
+	}
+	if moved < 0 {
+		t.Fatalf("moved = %d", moved)
+	}
+	if got := totalStored(r); got != before {
+		t.Fatalf("entries not conserved: %d -> %d", before, got)
+	}
+	// The old node object must be gone from membership.
+	if got, ok := r.NodeByAddr(n.Addr); !ok || got != n2 {
+		t.Fatalf("NodeByAddr(%s) = %v, %v, want replacement", n.Addr, got, ok)
+	}
+	checkPlacement(t, r, keys)
+	// Lookups from every node still resolve to the oracle owner.
+	rng := rand.New(rand.NewSource(12))
+	cur := r.Nodes()
+	for i := 0; i < 300; i++ {
+		key := rng.Uint64() & (r.Space().Size() - 1)
+		route, err := r.Lookup(cur[rng.Intn(len(cur))], key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := r.OwnerOf(key)
+		if route.Root != want {
+			t.Fatalf("post-advance Lookup(%d) = %d, oracle %d", key, route.Root.ID, want.ID)
+		}
+	}
+}
+
+func TestRetreatMovesBoundaryAndEntries(t *testing.T) {
+	r := buildRing(t, 40)
+	keys := fillKeys(t, r, 400, 13)
+	nodes := r.Nodes()
+	n := nodes[9]
+	pred := nodes[8]
+	newID := pred.ID + r.space.Clockwise(pred.ID, n.ID)/2
+	if newID == pred.ID || newID == n.ID {
+		t.Skip("adjacent IDs, no room to retreat")
+	}
+	before := totalStored(r)
+	n2, moved, err := r.Retreat(n, newID)
+	if err != nil {
+		t.Fatalf("Retreat: %v", err)
+	}
+	if n2.ID != newID {
+		t.Fatalf("replacement ID = %d, want %d", n2.ID, newID)
+	}
+	if moved < 0 {
+		t.Fatalf("moved = %d", moved)
+	}
+	if got := totalStored(r); got != before {
+		t.Fatalf("entries not conserved: %d -> %d", before, got)
+	}
+	checkPlacement(t, r, keys)
+	rng := rand.New(rand.NewSource(14))
+	cur := r.Nodes()
+	for i := 0; i < 300; i++ {
+		key := rng.Uint64() & (r.Space().Size() - 1)
+		route, err := r.Lookup(cur[rng.Intn(len(cur))], key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := r.OwnerOf(key)
+		if route.Root != want {
+			t.Fatalf("post-retreat Lookup(%d) = %d, oracle %d", key, route.Root.ID, want.ID)
+		}
+	}
+}
+
+func TestAdvanceRetreatErrors(t *testing.T) {
+	r := buildRing(t, 10)
+	nodes := r.Nodes()
+	n := nodes[3]
+	succ := nodes[4]
+	pred := nodes[2]
+	// Target outside (n, succ) refused.
+	if _, _, err := r.Advance(n, succ.ID); err == nil {
+		t.Fatal("advance onto successor ID should error")
+	}
+	if _, _, err := r.Advance(n, n.ID); err == nil {
+		t.Fatal("advance to own ID should error")
+	}
+	if _, _, err := r.Retreat(n, pred.ID); err == nil {
+		t.Fatal("retreat onto predecessor ID should error")
+	}
+	if _, _, err := r.Retreat(n, n.ID); err == nil {
+		t.Fatal("retreat to own ID should error")
+	}
+	// Unknown node refused.
+	if _, _, err := r.Advance(&Node{ID: n.ID, Addr: "ghost"}, n.ID+1); err == nil {
+		t.Fatal("advance of foreign node object should error")
+	}
+	// Stale node object (already replaced) refused.
+	mid := n.ID + r.space.Clockwise(n.ID, succ.ID)/2
+	if mid != n.ID {
+		if _, _, err := r.Advance(n, mid); err != nil {
+			t.Fatalf("Advance: %v", err)
+		}
+		if _, _, err := r.Advance(n, mid+1); err == nil {
+			t.Fatal("advance of stale node object should error")
+		}
+	}
+	// Singleton ring refused.
+	single := New(Config{})
+	only, err := single.Join("only")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := single.Advance(only, only.ID+1); err == nil {
+		t.Fatal("advance on singleton should error")
+	}
+	if _, _, err := single.Retreat(only, only.ID-1); err == nil {
+		t.Fatal("retreat on singleton should error")
+	}
+}
+
+// Repeated random boundary moves must keep every entry on its oracle owner
+// and keep the ring routable.
+func TestBoundaryMoveChurn(t *testing.T) {
+	r := buildRing(t, 30)
+	keys := fillKeys(t, r, 300, 15)
+	rng := rand.New(rand.NewSource(16))
+	moves := 0
+	for i := 0; i < 60; i++ {
+		nodes := r.Nodes()
+		n := nodes[rng.Intn(len(nodes))]
+		next, _ := r.NextNode(n)
+		gapFwd := r.space.Clockwise(n.ID, next.ID)
+		if rng.Intn(2) == 0 && gapFwd > 1 {
+			if _, _, err := r.Advance(n, r.space.Add(n.ID, 1+rng.Uint64()%(gapFwd-1))); err != nil {
+				t.Fatalf("move %d advance: %v", i, err)
+			}
+			moves++
+		} else {
+			predID := r.oraclePredecessorIn(r.view(), n.ID)
+			gapBack := r.space.Clockwise(predID, n.ID)
+			if gapBack > 1 {
+				if _, _, err := r.Retreat(n, r.space.Add(predID, 1+rng.Uint64()%(gapBack-1))); err != nil {
+					t.Fatalf("move %d retreat: %v", i, err)
+				}
+				moves++
+			}
+		}
+	}
+	if moves == 0 {
+		t.Fatal("no boundary moves exercised")
+	}
+	if totalStored(r) != 300 {
+		t.Fatalf("entries not conserved over %d moves: %d", moves, totalStored(r))
+	}
+	checkPlacement(t, r, keys)
+}

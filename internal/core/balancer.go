@@ -1,0 +1,30 @@
+package core
+
+import (
+	"lorm/internal/discovery"
+	"lorm/internal/loadbalance"
+)
+
+var _ discovery.Balancer = (*System)(nil)
+
+// DirectoryLoads implements discovery.Balancer: per-node directory sizes in
+// ring order along the linearized Cycloid positions.
+func (s *System) DirectoryLoads() []discovery.NodeLoad {
+	nodes := s.overlay.Nodes()
+	out := make([]discovery.NodeLoad, len(nodes))
+	for i, n := range nodes {
+		out[i] = discovery.NodeLoad{Addr: n.Addr, Entries: n.Dir.Len()}
+	}
+	return out
+}
+
+// Rebalance implements discovery.Balancer: one neighbor item-migration
+// pass over the Cycloid overlay. LORM's cluster hashing spreads each
+// attribute over a 2^d-position cluster, so hotspot intervals contain many
+// key-groups and migration can split them — but only while the overlay has
+// free positions. At the paper's complete operating point (n = d·2^d)
+// every slot is taken and every hotspot reports blocked; the load
+// experiment deploys LORM sparse for exactly this reason.
+func (s *System) Rebalance() (discovery.MigrationStats, error) {
+	return loadbalance.RebalanceCycloid(s.overlay, loadbalance.Options{}), nil
+}

@@ -18,4 +18,6 @@ var (
 		"cycloid lookup hops that detoured around a dead preferred link")
 	mQueryFailures = metrics.Default().Counter("cycloid_query_failures_total",
 		"cycloid lookups that failed to resolve a root")
+	mBoundaryMoves = metrics.Default().Counter("cycloid_boundary_moves_total",
+		"cycloid ownership-boundary moves (Advance/Retreat) during rebalancing")
 )

@@ -1,0 +1,94 @@
+package cycloid
+
+import (
+	"fmt"
+)
+
+// Advance and Retreat move a node's linearized position so a key interval —
+// and every directory entry stored under it — changes ownership atomically
+// with the membership update. They are the Cycloid counterparts of the
+// chord primitives internal/loadbalance migrates items with; see
+// internal/chord/rebalance.go for the protocol rationale.
+//
+// Unlike Chord's 2^bits identifier ring, Cycloid's position space is dense
+// (capacity d·2^d), so a move is only possible when a free slot exists in
+// the open interval between the node and the neighbor it trades keys with.
+// The complete overlay of the paper's operating point (n = d·2^d) has no
+// free slots at all — rebalancing a complete LORM deployment is a no-op by
+// construction, which the load experiment measures rather than hides.
+//
+// As in chord, a Node's position is read lock-free by concurrent lookups,
+// so the node object is replaced rather than mutated; callers holding the
+// old *Node must re-resolve it (NodeByAddr) after a successful call.
+
+// Advance moves node n clockwise to the free slot newPos, strictly between
+// n.Pos and its ring successor's position. n takes over the key interval
+// (n.Pos, newPos] from the successor; the successor's entries in that
+// interval migrate to n. Returns the replacement node object and the number
+// of entries that changed node.
+func (o *Overlay) Advance(n *Node, newPos uint64) (*Node, int, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	d := o.beginDraft()
+	if !aliveIn(d.s, n.Pos) || d.s.members[n.Pos].node != n {
+		return nil, 0, fmt.Errorf("cycloid: advance of unknown node %s", n.Addr)
+	}
+	if len(d.s.sorted) < 2 {
+		return nil, 0, fmt.Errorf("cycloid: advance needs at least 2 nodes")
+	}
+	succPos := o.oracleSuccessorIn(d.s, (n.Pos+1)%o.capacity)
+	if newPos >= o.capacity || newPos == succPos || !o.betweenIncl(newPos, n.Pos, succPos) {
+		return nil, 0, fmt.Errorf("cycloid: advance target %d not in (%d, %d)", newPos, n.Pos, succPos)
+	}
+	succ := d.s.members[succPos].node
+
+	n2 := &Node{ID: o.IDOf(newPos), Pos: newPos, Addr: n.Addr}
+	n2.Dir.AddAll(n.Dir.TakeAll())
+	lo := (n.Pos + 1) % o.capacity
+	moved := succ.Dir.TakeRange(lo, newPos, lo > newPos)
+	n2.Dir.AddAll(moved)
+
+	d.remove(n.Pos)
+	d.insert(n2)
+	o.rebuildAll(d)
+	o.publish(d)
+	mBoundaryMoves.Inc()
+	return n2, len(moved), nil
+}
+
+// Retreat moves node n counterclockwise to the free slot newPos, strictly
+// between its ring predecessor's position and n.Pos. n gives up the key
+// interval (newPos, n.Pos] to its ring successor; its own entries in that
+// interval migrate there. Returns the replacement node object and the
+// number of entries that changed node.
+func (o *Overlay) Retreat(n *Node, newPos uint64) (*Node, int, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	d := o.beginDraft()
+	if !aliveIn(d.s, n.Pos) || d.s.members[n.Pos].node != n {
+		return nil, 0, fmt.Errorf("cycloid: retreat of unknown node %s", n.Addr)
+	}
+	if len(d.s.sorted) < 2 {
+		return nil, 0, fmt.Errorf("cycloid: retreat needs at least 2 nodes")
+	}
+	predPos := o.oraclePredecessorIn(d.s, n.Pos)
+	if newPos >= o.capacity || newPos == n.Pos || !o.betweenIncl(newPos, predPos, n.Pos) ||
+		aliveIn(d.s, newPos) {
+		return nil, 0, fmt.Errorf("cycloid: retreat target %d not in (%d, %d)", newPos, predPos, n.Pos)
+	}
+	succPos := o.oracleSuccessorIn(d.s, (n.Pos+1)%o.capacity)
+	succ := d.s.members[succPos].node
+
+	lo := (newPos + 1) % o.capacity
+	moved := n.Dir.TakeRange(lo, n.Pos, lo > n.Pos)
+	succ.Dir.AddAll(moved)
+	n2 := &Node{ID: o.IDOf(newPos), Pos: newPos, Addr: n.Addr}
+	n2.Dir.AddAll(n.Dir.TakeAll())
+
+	d.remove(n.Pos)
+	d.insert(n2)
+	o.rebuildAll(d)
+	o.publish(d)
+	mBoundaryMoves.Inc()
+	return n2, len(moved), nil
+}

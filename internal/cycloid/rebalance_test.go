@@ -1,0 +1,232 @@
+package cycloid
+
+import (
+	"math/rand"
+	"testing"
+
+	"lorm/internal/directory"
+	"lorm/internal/resource"
+)
+
+func fillKeys(t *testing.T, o *Overlay, n int, seed int64) []ID {
+	t.Helper()
+	nodes := o.Nodes()
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]ID, n)
+	for i := range keys {
+		keys[i] = randomID(o, rng)
+		e := directory.Entry{Key: o.Pos(keys[i]), Info: resource.Info{Attr: "a", Value: float64(i), Owner: "o"}}
+		if _, err := o.Insert(nodes[0], keys[i], e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return keys
+}
+
+func totalStored(o *Overlay) int {
+	total := 0
+	for _, sz := range o.DirectorySizes() {
+		total += sz
+	}
+	return total
+}
+
+func checkPlacement(t *testing.T, o *Overlay, keys []ID) {
+	t.Helper()
+	for _, k := range keys {
+		owner, _ := o.OwnerOf(k)
+		found := false
+		for _, e := range owner.Dir.Snapshot() {
+			if e.Key == o.Pos(k) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("key %v not on oracle owner after boundary move", k)
+		}
+	}
+}
+
+func TestAdvanceMovesBoundaryAndEntries(t *testing.T) {
+	o := buildSparse(t, 6, 40) // capacity 384, plenty of free slots
+	keys := fillKeys(t, o, 400, 21)
+	nodes := o.Nodes()
+	var n *Node
+	var newPos uint64
+	for _, cand := range nodes {
+		next, _ := o.NextNode(cand)
+		if gap := o.cwDist(cand.Pos, next.Pos); gap > 1 {
+			n = cand
+			newPos = (cand.Pos + 1 + gap/2) % o.capacity
+			if newPos == next.Pos {
+				newPos = (cand.Pos + 1) % o.capacity
+			}
+			break
+		}
+	}
+	if n == nil {
+		t.Fatal("no gap found in sparse overlay")
+	}
+	before := totalStored(o)
+	n2, moved, err := o.Advance(n, newPos)
+	if err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	if n2.Pos != newPos || n2.Addr != n.Addr || n2.ID != o.IDOf(newPos) {
+		t.Fatalf("replacement = pos %d id %v addr %s", n2.Pos, n2.ID, n2.Addr)
+	}
+	if moved < 0 {
+		t.Fatalf("moved = %d", moved)
+	}
+	if got := totalStored(o); got != before {
+		t.Fatalf("entries not conserved: %d -> %d", before, got)
+	}
+	if got, ok := o.NodeByAddr(n.Addr); !ok || got != n2 {
+		t.Fatalf("NodeByAddr(%s) = %v, %v, want replacement", n.Addr, got, ok)
+	}
+	checkPlacement(t, o, keys)
+	rng := rand.New(rand.NewSource(22))
+	cur := o.Nodes()
+	for i := 0; i < 300; i++ {
+		key := randomID(o, rng)
+		route, err := o.Lookup(cur[rng.Intn(len(cur))], key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := o.OwnerOf(key)
+		if route.Root != want {
+			t.Fatalf("post-advance Lookup(%v) = %v, oracle %v", key, route.Root.ID, want.ID)
+		}
+	}
+}
+
+func TestRetreatMovesBoundaryAndEntries(t *testing.T) {
+	o := buildSparse(t, 6, 40)
+	keys := fillKeys(t, o, 400, 23)
+	nodes := o.Nodes()
+	var n *Node
+	var newPos uint64
+	for _, cand := range nodes {
+		predPos := o.oraclePredecessorIn(o.view(), cand.Pos)
+		if gap := o.cwDist(predPos, cand.Pos); gap > 1 {
+			n = cand
+			newPos = (predPos + 1 + (gap-1)/2) % o.capacity
+			if newPos == cand.Pos {
+				newPos = (predPos + 1) % o.capacity
+			}
+			break
+		}
+	}
+	if n == nil {
+		t.Fatal("no gap found in sparse overlay")
+	}
+	before := totalStored(o)
+	n2, moved, err := o.Retreat(n, newPos)
+	if err != nil {
+		t.Fatalf("Retreat: %v", err)
+	}
+	if n2.Pos != newPos || n2.ID != o.IDOf(newPos) {
+		t.Fatalf("replacement = pos %d id %v, want pos %d", n2.Pos, n2.ID, newPos)
+	}
+	if moved < 0 {
+		t.Fatalf("moved = %d", moved)
+	}
+	if got := totalStored(o); got != before {
+		t.Fatalf("entries not conserved: %d -> %d", before, got)
+	}
+	checkPlacement(t, o, keys)
+	rng := rand.New(rand.NewSource(24))
+	cur := o.Nodes()
+	for i := 0; i < 300; i++ {
+		key := randomID(o, rng)
+		route, err := o.Lookup(cur[rng.Intn(len(cur))], key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := o.OwnerOf(key)
+		if route.Root != want {
+			t.Fatalf("post-retreat Lookup(%v) = %v, oracle %v", key, route.Root.ID, want.ID)
+		}
+	}
+}
+
+func TestAdvanceRetreatErrors(t *testing.T) {
+	o := buildSparse(t, 5, 20)
+	nodes := o.Nodes()
+	n := nodes[3]
+	next, _ := o.NextNode(n)
+	predPos := o.oraclePredecessorIn(o.view(), n.Pos)
+	if _, _, err := o.Advance(n, next.Pos); err == nil {
+		t.Fatal("advance onto successor position should error")
+	}
+	if _, _, err := o.Advance(n, n.Pos); err == nil {
+		t.Fatal("advance to own position should error")
+	}
+	if _, _, err := o.Advance(n, o.capacity); err == nil {
+		t.Fatal("advance out of capacity should error")
+	}
+	if _, _, err := o.Retreat(n, predPos); err == nil {
+		t.Fatal("retreat onto predecessor position should error")
+	}
+	if _, _, err := o.Retreat(n, n.Pos); err == nil {
+		t.Fatal("retreat to own position should error")
+	}
+	if _, _, err := o.Advance(&Node{Pos: n.Pos, Addr: "ghost"}, n.Pos+1); err == nil {
+		t.Fatal("advance of foreign node object should error")
+	}
+	// On a complete overlay every slot is taken: no move is ever legal.
+	oc := buildComplete(t, 4)
+	cn := oc.Nodes()[5]
+	cnext, _ := oc.NextNode(cn)
+	if _, _, err := oc.Advance(cn, cnext.Pos); err == nil {
+		t.Fatal("advance on complete overlay should error")
+	}
+	// Singleton refused.
+	os := MustNew(Config{D: 4})
+	only, err := os.Join("only")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := os.Advance(only, (only.Pos+1)%os.capacity); err == nil {
+		t.Fatal("advance on singleton should error")
+	}
+	if _, _, err := os.Retreat(only, (only.Pos+os.capacity-1)%os.capacity); err == nil {
+		t.Fatal("retreat on singleton should error")
+	}
+}
+
+func TestBoundaryMoveChurn(t *testing.T) {
+	o := buildSparse(t, 6, 30)
+	keys := fillKeys(t, o, 300, 25)
+	rng := rand.New(rand.NewSource(26))
+	moves := 0
+	for i := 0; i < 60; i++ {
+		nodes := o.Nodes()
+		n := nodes[rng.Intn(len(nodes))]
+		next, _ := o.NextNode(n)
+		gapFwd := o.cwDist(n.Pos, next.Pos)
+		if rng.Intn(2) == 0 && gapFwd > 1 {
+			if _, _, err := o.Advance(n, (n.Pos+1+rng.Uint64()%(gapFwd-1))%o.capacity); err != nil {
+				t.Fatalf("move %d advance: %v", i, err)
+			}
+			moves++
+		} else {
+			predPos := o.oraclePredecessorIn(o.view(), n.Pos)
+			gapBack := o.cwDist(predPos, n.Pos)
+			if gapBack > 1 {
+				if _, _, err := o.Retreat(n, (predPos+1+rng.Uint64()%(gapBack-1))%o.capacity); err != nil {
+					t.Fatalf("move %d retreat: %v", i, err)
+				}
+				moves++
+			}
+		}
+	}
+	if moves == 0 {
+		t.Fatal("no boundary moves exercised")
+	}
+	if totalStored(o) != 300 {
+		t.Fatalf("entries not conserved over %d moves: %d", moves, totalStored(o))
+	}
+	checkPlacement(t, o, keys)
+}

@@ -1,0 +1,178 @@
+package directory
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// sortedVals builds a value-sorted run from the given values.
+func sortedVals(vals []float64) []Entry {
+	es := make([]Entry, len(vals))
+	for i, v := range vals {
+		es[i] = entry(uint64(i), "a", v, "o")
+	}
+	return es
+}
+
+// The guarded interpolation bounds must return the exact index the binary
+// bounds return on every distribution, including the ones interpolation is
+// bad at (constant runs, heavy clustering, infinities at the edges).
+func TestInterpBoundsMatchBinary(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	distros := map[string]func(n int) []float64{
+		"uniform": func(n int) []float64 {
+			vals := make([]float64, n)
+			for i := range vals {
+				vals[i] = rng.Float64() * 1e6
+			}
+			return vals
+		},
+		"clustered": func(n int) []float64 {
+			vals := make([]float64, n)
+			for i := range vals {
+				// Almost everything at 0, a thin tail to 1e9.
+				if rng.Intn(100) == 0 {
+					vals[i] = rng.Float64() * 1e9
+				}
+			}
+			return vals
+		},
+		"constant": func(n int) []float64 {
+			return make([]float64, n)
+		},
+		"exponential": func(n int) []float64 {
+			vals := make([]float64, n)
+			for i := range vals {
+				vals[i] = math.Exp(rng.Float64() * 20)
+			}
+			return vals
+		},
+		"duplicates": func(n int) []float64 {
+			vals := make([]float64, n)
+			for i := range vals {
+				vals[i] = float64(rng.Intn(10))
+			}
+			return vals
+		},
+	}
+	for name, gen := range distros {
+		t.Run(name, func(t *testing.T) {
+			for _, n := range []int{0, 1, 31, 32, 1000, 20000} {
+				vals := gen(n)
+				s := sortedVals(vals)
+				sortEntriesByValue(s)
+				for q := 0; q < 500; q++ {
+					var probe float64
+					switch q % 3 {
+					case 0:
+						probe = rng.Float64() * 1e6
+					case 1:
+						if n > 0 {
+							probe = s[rng.Intn(n)].Info.Value
+						}
+					case 2:
+						probe = math.Exp(rng.Float64() * 20)
+					}
+					if got, want := lowerValInterp(s, probe), lowerVal(s, probe); got != want {
+						t.Fatalf("n=%d lowerValInterp(%v) = %d, want %d", n, probe, got, want)
+					}
+					if got, want := upperValInterp(s, probe), upperVal(s, probe); got != want {
+						t.Fatalf("n=%d upperValInterp(%v) = %d, want %d", n, probe, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func sortEntriesByValue(s []Entry) {
+	sort.Slice(s, func(i, j int) bool { return valueLess(s[i], s[j]) })
+}
+
+// An interpolation-enabled store must be observationally identical to the
+// default store under the full random operation mix.
+func TestInterpolationStoreEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rngA := rand.New(rand.NewSource(seed))
+			rngB := rand.New(rand.NewSource(seed))
+			var plain Store
+			var interp Store
+			interp.Configure(WithInterpolation())
+			for i := 0; i < 300; i++ {
+				// Drive both stores with identical operand streams.
+				switch rngA.Intn(3) {
+				case 0:
+					e := randEntry(rngA)
+					randEntry(rngB)
+					plain.Add(e)
+					interp.Add(e)
+				case 1:
+					batch := make([]Entry, rngA.Intn(150))
+					rngB.Intn(150)
+					for j := range batch {
+						batch[j] = randEntry(rngA)
+						randEntry(rngB)
+					}
+					plain.AddAll(batch)
+					interp.AddAll(batch)
+				case 2:
+					attr := propAttrs[rngA.Intn(len(propAttrs))]
+					lo := float64(rngA.Intn(1000))
+					hi := lo + float64(rngA.Intn(300))
+					rngB.Intn(len(propAttrs))
+					rngB.Intn(1000)
+					rngB.Intn(300)
+					got := interp.Match(attr, lo, hi)
+					want := plain.Match(attr, lo, hi)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("interp Match(%s,%v,%v) diverged: %d vs %d results",
+							attr, lo, hi, len(got), len(want))
+					}
+				}
+			}
+			got := canonical(interp.Snapshot())
+			want := canonical(plain.Snapshot())
+			if !reflect.DeepEqual(got, want) {
+				t.Fatal("final snapshots diverged")
+			}
+		})
+	}
+}
+
+func TestKeyCounts(t *testing.T) {
+	var s Store
+	if kc := s.KeyCounts(); len(kc) != 0 {
+		t.Fatalf("empty store KeyCounts = %v", kc)
+	}
+	// Keys deliberately span attributes: 7 holds cpu and mem entries.
+	s.Add(entry(7, "cpu", 1, "a"))
+	s.Add(entry(7, "mem", 2, "b"))
+	s.Add(entry(3, "cpu", 3, "c"))
+	s.Add(entry(9, "net", 4, "d"))
+	s.Add(entry(7, "cpu", 5, "e"))
+	got := s.KeyCounts()
+	want := []KeyCount{{Key: 3, Count: 1}, {Key: 7, Count: 3}, {Key: 9, Count: 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("KeyCounts = %v, want %v", got, want)
+	}
+	total := 0
+	for _, kc := range got {
+		total += kc.Count
+	}
+	if total != s.Len() {
+		t.Fatalf("KeyCounts total %d != Len %d", total, s.Len())
+	}
+	// The SWORD shape: every entry under one key is one indivisible group.
+	var pool Store
+	for i := 0; i < 50; i++ {
+		pool.Add(entry(42, "cpu", float64(i), "o"))
+	}
+	if kc := pool.KeyCounts(); len(kc) != 1 || kc[0] != (KeyCount{Key: 42, Count: 50}) {
+		t.Fatalf("single-key pool KeyCounts = %v", kc)
+	}
+}

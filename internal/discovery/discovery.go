@@ -101,6 +101,61 @@ type Crashable interface {
 	FailNode(addr string) (lostEntries int, err error)
 }
 
+// NodeLoad is one node's storage load: how many pieces of resource
+// information its directory holds. Unlike DirectorySizes it carries the
+// node's address, so imbalance reports can name hotspots and migration
+// plans can target them.
+type NodeLoad struct {
+	Addr    string
+	Entries int
+}
+
+// MigrationStats summarizes one rebalance pass.
+type MigrationStats struct {
+	// Passes is the number of planner passes executed (≥ 1).
+	Passes int
+	// Migrations is the number of boundary moves performed.
+	Migrations int
+	// EntriesMoved is the total number of directory entries that changed
+	// node across those migrations.
+	EntriesMoved int
+	// Blocked counts hotspots the planner could not shed anything from —
+	// for key-partitioned systems an occasional single-key pileup, for
+	// SWORD the structural common case (a whole attribute lives under one
+	// key, and one key cannot be split between nodes).
+	Blocked int
+}
+
+// Add accumulates another pass's stats.
+func (m *MigrationStats) Add(o MigrationStats) {
+	m.Passes += o.Passes
+	m.Migrations += o.Migrations
+	m.EntriesMoved += o.EntriesMoved
+	m.Blocked += o.Blocked
+}
+
+func (m MigrationStats) String() string {
+	return fmt.Sprintf("passes=%d migrations=%d moved=%d blocked=%d",
+		m.Passes, m.Migrations, m.EntriesMoved, m.Blocked)
+}
+
+// Balancer is implemented by systems that expose per-node load and a
+// neighbor item-migration pass. Rebalance must preserve query semantics
+// exactly: every query returns the same result multiset before and after
+// (entries only change which node stores them, never whether a range walk
+// finds them). A system unable to shed anything (SWORD's one-key-per-
+// attribute placement) still implements the interface — its Rebalance
+// reports the blocked hotspots instead of moving entries, which is itself
+// a measured result.
+type Balancer interface {
+	System
+	// DirectoryLoads samples every node's directory size with its address,
+	// in a deterministic order.
+	DirectoryLoads() []NodeLoad
+	// Rebalance runs one item-migration pass and reports what moved.
+	Rebalance() (MigrationStats, error)
+}
+
 // Finish completes a Result: joins owners and validates invariants. The
 // systems call it at the end of Discover so join semantics stay identical
 // across implementations.

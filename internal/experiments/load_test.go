@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The load experiment's headline property at test scale: SWORD's max/mean
+// stored-entry load factor strictly exceeds every value-spreading system
+// at every swept node count, and the rebalance pass strictly improves
+// LORM/Mercury/MAAN while never improving SWORD past them.
+func TestLoadBalanceOrdering(t *testing.T) {
+	p := Quick()
+	p.RangeQueries = 30
+	tables, err := LoadBalance(p, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 8 {
+		t.Fatalf("LoadBalance returned %d tables, want 8", len(tables))
+	}
+	factor := tables[0]
+	if got := len(factor.Rows); got != len(p.LoadSizes) {
+		t.Fatalf("load-factor table has %d rows, want %d", got, len(p.LoadSizes))
+	}
+	col := func(name string) []float64 {
+		c := factor.Column(name)
+		if c == nil {
+			t.Fatalf("load-factor table missing column %s", name)
+		}
+		return c
+	}
+	sword, lorm, mercury, maan := col("sword"), col("lorm"), col("mercury"), col("maan")
+	for i := range factor.Rows {
+		n := factor.Rows[i][0]
+		for name, c := range map[string][]float64{"lorm": lorm, "mercury": mercury, "maan": maan} {
+			if sword[i] <= c[i] {
+				t.Errorf("n=%0.f: sword load factor %0.3f does not exceed %s (%0.3f)", n, sword[i], name, c[i])
+			}
+		}
+		for _, name := range []string{"lorm", "mercury", "maan"} {
+			pre, post := col(name)[i], col(name+"_rebal")[i]
+			if post >= pre {
+				t.Errorf("n=%0.f: %s rebalance did not improve max/mean: %0.3f -> %0.3f", n, name, pre, post)
+			}
+		}
+		if pre, post := sword[i], col("sword_rebal")[i]; post > pre {
+			t.Errorf("n=%0.f: sword max/mean grew under rebalance: %0.3f -> %0.3f", n, pre, post)
+		}
+	}
+
+	migrations := tables[3]
+	for i, row := range migrations.Rows {
+		moved := false
+		for _, v := range row[1:] {
+			if v > 0 {
+				moved = true
+			}
+		}
+		if !moved {
+			t.Errorf("row %d of the migration table shows no migrations anywhere", i)
+		}
+	}
+
+	// The whole experiment must be deterministic: a second run reproduces
+	// every table cell bit for bit.
+	again, err := LoadBalance(p, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tables {
+		if !reflect.DeepEqual(tables[i].Rows, again[i].Rows) {
+			t.Errorf("table %q is not deterministic:\n%v\nvs\n%v", tables[i].Title, tables[i].Rows, again[i].Rows)
+		}
+	}
+}
+
+func TestLoadBalanceNoRebalance(t *testing.T) {
+	p := Quick()
+	p.LoadSizes = []int{96}
+	p.LoadSkews = []float64{1.5}
+	p.RangeQueries = 20
+	tables, err := LoadBalance(p, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// factor, gini, visits, skew factor, skew gini — no migration tables.
+	if len(tables) != 5 {
+		t.Fatalf("LoadBalance(rebalance=false) returned %d tables, want 5", len(tables))
+	}
+	for _, tbl := range tables {
+		for _, c := range tbl.Columns {
+			if len(c) > 6 && c[len(c)-6:] == "_rebal" {
+				t.Errorf("table %q has rebalance column %s without a rebalance pass", tbl.Title, c)
+			}
+		}
+	}
+}
+
+func TestLoadBalanceRejectsDegenerateSizes(t *testing.T) {
+	for _, n := range []int{64, 384} { // cluster size and complete capacity for d=6
+		p := Quick()
+		p.LoadSizes = []int{n}
+		if _, err := LoadBalance(p, true); err == nil {
+			t.Errorf("LoadBalance accepted degenerate size %d for d=%d", n, p.D)
+		}
+	}
+}

@@ -54,6 +54,17 @@ type Params struct {
 	// CrashFraction is the probability that a fault-plan event is an abrupt
 	// crash rather than a graceful departure (default 0.5).
 	CrashFraction float64
+	// LoadSizes is the node-count sweep of the load-distribution
+	// experiment. Every size must be strictly between 2^d (so each LORM
+	// attribute cluster spans several physical nodes) and the complete
+	// Cycloid size d·2^d (so the overlay keeps free positions for item
+	// migration); the default is {1.5·2^d, 3·2^d}.
+	LoadSizes []int
+	// LoadSkews is the Bounded Pareto shapes of the attribute-popularity
+	// distribution swept by the load experiment's skew table (default
+	// {1.2, 1.5, 2.0}; larger shapes concentrate announcements on fewer
+	// attributes).
+	LoadSkews []float64
 	// HubSample bounds how many Mercury hubs are physically built for the
 	// outlink experiment (per-hub routing state is i.i.d. across hubs, so
 	// the per-node total is measured over HubSample hubs and scaled by
@@ -96,6 +107,13 @@ func (p Params) withDefaults() Params {
 	if len(p.CrashRates) == 0 {
 		p.CrashRates = []float64{0.1, 0.2, 0.4}
 	}
+	if len(p.LoadSizes) == 0 && p.D >= 2 {
+		cluster := 1 << uint(p.D)
+		p.LoadSizes = []int{cluster + cluster/2, 3 * cluster}
+	}
+	if len(p.LoadSkews) == 0 {
+		p.LoadSkews = []float64{1.2, 1.5, 2.0}
+	}
 	return p
 }
 
@@ -129,7 +147,8 @@ func Paper() Params {
 		QueryRate: 100,
 		HubSample: 20,
 		Sizes:     []int{6, 7, 8, 9}, // d values: complete sizes 384, 896, 2048, 4608
-		Seed:      20090922,          // ICPP 2009
+		LoadSizes: []int{384, 768, 1536},
+		Seed:      20090922, // ICPP 2009
 	}.withDefaults()
 }
 

@@ -1,0 +1,118 @@
+// Package loadbalance is the load-accounting and item-migration subsystem:
+// a per-node traffic ledger fed by the routing fabric, an imbalance
+// detector over per-node directory loads, and a neighbor item-migration
+// planner that sheds key intervals from hotspot nodes to their ring
+// neighbors through the chord/cycloid boundary-move primitives.
+//
+// The paper classifies SWORD as "centralized" because every value of an
+// attribute lands on the single node owning H(attr); this package turns
+// that footnote into a measurement. Storage load is reported per node
+// (Report), and the migration planner operates at key-group granularity —
+// all entries under one overlay key are indivisible, so a SWORD attribute
+// pool can never be split between nodes and its hotspots show up as
+// `blocked` in MigrationStats rather than being quietly balanced away.
+package loadbalance
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"lorm/internal/discovery"
+	"lorm/internal/routing"
+)
+
+// Tally is one node's accumulated traffic: directory visits (the node
+// checked its directory and replied) and routing forwards (the node relayed
+// someone else's operation).
+type Tally struct {
+	Visits   uint64
+	Forwards uint64
+}
+
+// Total returns the node's total message handling load.
+func (t Tally) Total() uint64 { return t.Visits + t.Forwards }
+
+// Ledger is a per-node traffic ledger. Attach it to a system's routing
+// fabric (Fabric.Observe) and every operation's steps are charged to the
+// nodes that served them. The record path is lock-free — one sync.Map probe
+// plus one atomic add — and it reports NeedsPath() == false, so attaching a
+// Ledger never forces hop-path recording on the lookup fast path. Reads are
+// O(1) per node (two atomic loads, no locks).
+type Ledger struct {
+	m sync.Map // addr -> *tally
+}
+
+type tally struct {
+	visits   atomic.Uint64
+	forwards atomic.Uint64
+}
+
+func (l *Ledger) at(addr string) *tally {
+	if t, ok := l.m.Load(addr); ok {
+		return t.(*tally)
+	}
+	t, _ := l.m.LoadOrStore(addr, &tally{})
+	return t.(*tally)
+}
+
+// OpStep implements routing.Observer: each step is charged to the node that
+// handled it.
+func (l *Ledger) OpStep(_ *routing.Op, st routing.Step) {
+	t := l.at(st.Addr)
+	if st.Reason.Forwards() {
+		t.forwards.Add(1)
+	} else {
+		t.visits.Add(1)
+	}
+}
+
+// OpFinished implements routing.Observer; the ledger accounts per step.
+func (l *Ledger) OpFinished(*routing.Op, discovery.Cost) {}
+
+// NeedsPath implements routing.PathSkipper: the ledger reads steps as they
+// happen and never consults op.Path().
+func (l *Ledger) NeedsPath() bool { return false }
+
+// Tally returns one node's accumulated traffic. O(1).
+func (l *Ledger) Tally(addr string) Tally {
+	t, ok := l.m.Load(addr)
+	if !ok {
+		return Tally{}
+	}
+	tl := t.(*tally)
+	return Tally{Visits: tl.visits.Load(), Forwards: tl.forwards.Load()}
+}
+
+// Snapshot returns every node's tally. Concurrent recording may be torn
+// across nodes (each node's pair is read atomically).
+func (l *Ledger) Snapshot() map[string]Tally {
+	out := make(map[string]Tally)
+	l.m.Range(func(k, v any) bool {
+		tl := v.(*tally)
+		out[k.(string)] = Tally{Visits: tl.visits.Load(), Forwards: tl.forwards.Load()}
+		return true
+	})
+	return out
+}
+
+// VisitLoads converts the ledger's visit counts into the NodeLoad shape the
+// detector consumes, so traffic imbalance is analyzable with the same
+// Report as storage imbalance. Nodes in addrs with no recorded traffic
+// report zero (they are part of the population, not missing data).
+func (l *Ledger) VisitLoads(addrs []string) []discovery.NodeLoad {
+	out := make([]discovery.NodeLoad, len(addrs))
+	for i, a := range addrs {
+		out[i] = discovery.NodeLoad{Addr: a, Entries: int(l.Tally(a).Visits)}
+	}
+	return out
+}
+
+// Reset zeroes every tally, keeping the node set.
+func (l *Ledger) Reset() {
+	l.m.Range(func(_, v any) bool {
+		tl := v.(*tally)
+		tl.visits.Store(0)
+		tl.forwards.Store(0)
+		return true
+	})
+}

@@ -1,0 +1,18 @@
+package loadbalance
+
+import "lorm/internal/metrics"
+
+// Process-wide rebalancing counters. Every pass over every system in the
+// process aggregates here; cmd/metricscheck cross-checks them against the
+// directory handover counters (each migrated entry also passed through
+// directory.TakeRange, so entries_moved ≤ directory_entries_handed_over).
+var (
+	mPasses = metrics.Default().Counter("loadbalance_passes_total",
+		"item-migration planner passes executed")
+	mMigrations = metrics.Default().Counter("loadbalance_migrations_total",
+		"neighbor item migrations (boundary moves) performed")
+	mEntriesMoved = metrics.Default().Counter("loadbalance_entries_moved_total",
+		"directory entries moved between nodes by rebalancing")
+	mBlockedHotspots = metrics.Default().Counter("loadbalance_blocked_hotspots_total",
+		"hotspot nodes the planner could not shed anything from")
+)

@@ -1,0 +1,273 @@
+package loadbalance
+
+import (
+	"fmt"
+	"sort"
+
+	"lorm/internal/chord"
+	"lorm/internal/cycloid"
+	"lorm/internal/directory"
+	"lorm/internal/discovery"
+)
+
+// Options tunes one migration pass.
+type Options struct {
+	// Threshold is the max/mean load factor above which a node counts as a
+	// hotspot worth shedding. Defaults to 1.2 — below that, a boundary move
+	// churns entries for marginal gain.
+	Threshold float64
+	// MaxMigrations caps boundary moves per pass; ≤ 0 means 2× the node
+	// count, enough for the greedy planner to converge on any one sample.
+	MaxMigrations int
+}
+
+func (o Options) withDefaults(nodes int) Options {
+	if o.Threshold <= 0 {
+		o.Threshold = 1.2
+	}
+	if o.MaxMigrations <= 0 {
+		o.MaxMigrations = 2 * nodes
+	}
+	return o
+}
+
+// migrator abstracts the two overlays for the planner: the planner owns
+// policy (which hotspot, how much), the adapter owns mechanics (which keys,
+// which boundary move).
+type migrator interface {
+	// Loads returns every node's storage load in ring order.
+	Loads() []discovery.NodeLoad
+	// Shed plans both shed directions for the named node — a key-interval
+	// prefix to its ring predecessor (the predecessor advances) or a suffix
+	// to its ring successor (the node retreats) — under the per-direction
+	// entry budgets, and executes the larger viable one. It returns the
+	// number of entries actually moved; 0 means the node's key-groups fit
+	// neither budget (an indivisible pileup).
+	Shed(addr string, budgetPred, budgetSucc int) (int, error)
+}
+
+// runPass greedily sheds from the hottest node until every node is within
+// threshold of the mean, every remaining hotspot is blocked, or the
+// migration cap is reached. Each shed moves at most half the load gap to
+// the receiving neighbor, so the receiver always stays strictly below the
+// hotspot's old load — the global maximum never increases, and any
+// successful shed from the maximum node strictly reduces it (entry totals
+// are conserved, so the mean is untouched).
+func runPass(m migrator, opts Options) discovery.MigrationStats {
+	stats := discovery.MigrationStats{Passes: 1}
+	mPasses.Inc()
+	opts = opts.withDefaults(len(m.Loads()))
+	blocked := make(map[string]bool)
+	for stats.Migrations < opts.MaxMigrations {
+		loads := m.Loads()
+		n := len(loads)
+		if n < 2 {
+			break
+		}
+		total := 0
+		for _, l := range loads {
+			total += l.Entries
+		}
+		if total == 0 {
+			break
+		}
+		mean := float64(total) / float64(n)
+		hot := -1
+		for i, l := range loads {
+			if blocked[l.Addr] || float64(l.Entries) <= opts.Threshold*mean {
+				continue
+			}
+			if hot < 0 || l.Entries > loads[hot].Entries ||
+				(l.Entries == loads[hot].Entries && l.Addr < loads[hot].Addr) {
+				hot = i
+			}
+		}
+		if hot < 0 {
+			break
+		}
+		h := loads[hot]
+		budgetPred := (h.Entries - loads[(hot-1+n)%n].Entries) / 2
+		budgetSucc := (h.Entries - loads[(hot+1)%n].Entries) / 2
+		moved := 0
+		var err error
+		if budgetPred > 0 || budgetSucc > 0 {
+			moved, err = m.Shed(h.Addr, budgetPred, budgetSucc)
+		}
+		if err != nil || moved == 0 {
+			blocked[h.Addr] = true
+			stats.Blocked++
+			mBlockedHotspots.Inc()
+			continue
+		}
+		stats.Migrations++
+		stats.EntriesMoved += moved
+		mMigrations.Inc()
+		mEntriesMoved.Add(uint64(moved))
+	}
+	return stats
+}
+
+// shedPlan picks the boundary for one node's key-groups under both budgets.
+// Groups arrive in ring order starting just after the predecessor; ownID
+// marks the group stored exactly at the node's own identifier (sheddable
+// backward but never forward, since the forward boundary is the node ID
+// itself). The returned booleans say whether each direction is viable;
+// boundaries are expressed as the identifier the moving node ends up at.
+func shedPlan(groups []directory.KeyCount, ownID uint64, budgetPred, budgetSucc int,
+	fallbackRetreat uint64, haveFallback bool) (prefMoved int, prefBoundary uint64,
+	sufMoved int, sufBoundary uint64) {
+	cum := 0
+	for _, g := range groups {
+		if g.Key == ownID || cum+g.Count > budgetPred {
+			break
+		}
+		cum += g.Count
+		prefMoved, prefBoundary = cum, g.Key
+	}
+	cum = 0
+	for k := len(groups) - 1; k >= 0; k-- {
+		if cum+groups[k].Count > budgetSucc {
+			if cum > 0 {
+				sufMoved, sufBoundary = cum, groups[k].Key
+			}
+			break
+		}
+		cum += groups[k].Count
+		if k == 0 {
+			if haveFallback {
+				sufMoved, sufBoundary = cum, fallbackRetreat
+			} else if len(groups) > 1 {
+				// No free identifier before the first group: it stays behind.
+				sufMoved, sufBoundary = cum-groups[0].Count, groups[0].Key
+			}
+		}
+	}
+	return prefMoved, prefBoundary, sufMoved, sufBoundary
+}
+
+// --- Chord ---
+
+type chordMigrator struct{ r *chord.Ring }
+
+func (m chordMigrator) Loads() []discovery.NodeLoad {
+	nodes := m.r.Nodes() // ascending ID == ring order
+	out := make([]discovery.NodeLoad, len(nodes))
+	for i, n := range nodes {
+		out[i] = discovery.NodeLoad{Addr: n.Addr, Entries: n.Dir.Len()}
+	}
+	return out
+}
+
+func (m chordMigrator) Shed(addr string, budgetPred, budgetSucc int) (int, error) {
+	n, ok := m.r.NodeByAddr(addr)
+	if !ok {
+		return 0, fmt.Errorf("loadbalance: unknown node %s", addr)
+	}
+	nodes := m.r.Nodes()
+	if len(nodes) < 2 {
+		return 0, nil
+	}
+	idx := -1
+	for i, cand := range nodes {
+		if cand == n {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return 0, fmt.Errorf("loadbalance: stale node %s", addr)
+	}
+	pred := nodes[(idx-1+len(nodes))%len(nodes)]
+	groups := n.Dir.KeyCounts()
+	if len(groups) == 0 {
+		return 0, nil
+	}
+	sp := m.r.Space()
+	sort.Slice(groups, func(a, b int) bool {
+		return sp.Clockwise(pred.ID, groups[a].Key) < sp.Clockwise(pred.ID, groups[b].Key)
+	})
+	fallback := sp.Add(pred.ID, 1)
+	prefMoved, prefBoundary, sufMoved, sufBoundary := shedPlan(
+		groups, n.ID, budgetPred, budgetSucc, fallback, fallback != n.ID)
+	switch {
+	case prefMoved == 0 && sufMoved == 0:
+		return 0, nil
+	case prefMoved >= sufMoved:
+		_, moved, err := m.r.Advance(pred, prefBoundary)
+		return moved, err
+	default:
+		_, moved, err := m.r.Retreat(n, sufBoundary)
+		return moved, err
+	}
+}
+
+// RebalanceChord runs one item-migration pass over a chord ring.
+func RebalanceChord(r *chord.Ring, opts Options) discovery.MigrationStats {
+	return runPass(chordMigrator{r: r}, opts)
+}
+
+// --- Cycloid ---
+
+type cycloidMigrator struct{ o *cycloid.Overlay }
+
+func (m cycloidMigrator) Loads() []discovery.NodeLoad {
+	nodes := m.o.Nodes() // ascending position == ring order
+	out := make([]discovery.NodeLoad, len(nodes))
+	for i, n := range nodes {
+		out[i] = discovery.NodeLoad{Addr: n.Addr, Entries: n.Dir.Len()}
+	}
+	return out
+}
+
+func (m cycloidMigrator) Shed(addr string, budgetPred, budgetSucc int) (int, error) {
+	n, ok := m.o.NodeByAddr(addr)
+	if !ok {
+		return 0, fmt.Errorf("loadbalance: unknown node %s", addr)
+	}
+	nodes := m.o.Nodes()
+	if len(nodes) < 2 {
+		return 0, nil
+	}
+	idx := -1
+	for i, cand := range nodes {
+		if cand == n {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return 0, fmt.Errorf("loadbalance: stale node %s", addr)
+	}
+	pred := nodes[(idx-1+len(nodes))%len(nodes)]
+	groups := n.Dir.KeyCounts()
+	if len(groups) == 0 {
+		return 0, nil
+	}
+	ringCap := m.o.Capacity()
+	cw := func(a, b uint64) uint64 { return (b + ringCap - a) % ringCap }
+	sort.Slice(groups, func(a, b int) bool {
+		return cw(pred.Pos, groups[a].Key) < cw(pred.Pos, groups[b].Key)
+	})
+	fallback := (pred.Pos + 1) % ringCap
+	prefMoved, prefBoundary, sufMoved, sufBoundary := shedPlan(
+		groups, n.Pos, budgetPred, budgetSucc, fallback, fallback != n.Pos)
+	switch {
+	case prefMoved == 0 && sufMoved == 0:
+		return 0, nil
+	case prefMoved >= sufMoved:
+		_, moved, err := m.o.Advance(pred, prefBoundary)
+		return moved, err
+	default:
+		_, moved, err := m.o.Retreat(n, sufBoundary)
+		return moved, err
+	}
+}
+
+// RebalanceCycloid runs one item-migration pass over a cycloid overlay.
+// On a complete overlay (every slot populated — the paper's n = d·2^d
+// operating point) no identifier between two ring neighbors is ever free,
+// so every hotspot reports blocked; rebalancing LORM requires a sparse
+// deployment.
+func RebalanceCycloid(o *cycloid.Overlay, opts Options) discovery.MigrationStats {
+	return runPass(cycloidMigrator{o: o}, opts)
+}

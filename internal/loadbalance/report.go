@@ -1,0 +1,66 @@
+package loadbalance
+
+import (
+	"sort"
+
+	"lorm/internal/discovery"
+)
+
+// Report is the imbalance detector's output over one load sample.
+type Report struct {
+	// Nodes is the population size.
+	Nodes int
+	// TotalEntries and MeanEntries describe the aggregate.
+	TotalEntries int
+	MeanEntries  float64
+	// MaxEntries is the heaviest node's load; MaxMean is the max/mean load
+	// factor — the paper-facing imbalance number (1.0 = perfectly even).
+	MaxEntries int
+	MaxMean    float64
+	// Gini is the Gini coefficient of the load distribution in [0, 1):
+	// 0 = perfectly even, (n-1)/n = one node holds everything.
+	Gini float64
+	// Hotspots is the top-k heaviest nodes, descending (ties broken by
+	// address so the report is deterministic).
+	Hotspots []discovery.NodeLoad
+}
+
+// Analyze computes the imbalance report for one load sample, keeping the
+// topK heaviest nodes as hotspots. O(n log n) in the sample size.
+func Analyze(loads []discovery.NodeLoad, topK int) Report {
+	rep := Report{Nodes: len(loads)}
+	if len(loads) == 0 {
+		return rep
+	}
+	asc := append([]discovery.NodeLoad(nil), loads...)
+	sort.Slice(asc, func(i, j int) bool {
+		if asc[i].Entries != asc[j].Entries {
+			return asc[i].Entries < asc[j].Entries
+		}
+		return asc[i].Addr < asc[j].Addr
+	})
+	total := 0
+	weighted := 0 // Σ rank·load with ascending 1-based ranks, for Gini
+	for i, l := range asc {
+		total += l.Entries
+		weighted += (i + 1) * l.Entries
+	}
+	n := len(asc)
+	rep.TotalEntries = total
+	rep.MeanEntries = float64(total) / float64(n)
+	rep.MaxEntries = asc[n-1].Entries
+	if total > 0 {
+		rep.MaxMean = float64(rep.MaxEntries) / rep.MeanEntries
+		rep.Gini = 2*float64(weighted)/(float64(n)*float64(total)) - float64(n+1)/float64(n)
+	}
+	if topK > n {
+		topK = n
+	}
+	if topK > 0 {
+		rep.Hotspots = make([]discovery.NodeLoad, topK)
+		for i := 0; i < topK; i++ {
+			rep.Hotspots[i] = asc[n-1-i]
+		}
+	}
+	return rep
+}

@@ -1,0 +1,30 @@
+package maan
+
+import (
+	"lorm/internal/discovery"
+	"lorm/internal/loadbalance"
+)
+
+var _ discovery.Balancer = (*System)(nil)
+
+// DirectoryLoads implements discovery.Balancer: per-node directory sizes in
+// ring order.
+func (s *System) DirectoryLoads() []discovery.NodeLoad {
+	nodes := s.ring.Nodes()
+	out := make([]discovery.NodeLoad, len(nodes))
+	for i, n := range nodes {
+		out[i] = discovery.NodeLoad{Addr: n.Addr, Entries: n.Dir.Len()}
+	}
+	return out
+}
+
+// Rebalance implements discovery.Balancer. MAAN registers every piece
+// twice — once under H(attr) like SWORD, once under a value-derived key
+// spread over the ring — so a hotspot's directory mixes one indivisible
+// attribute pool with many small value-keyed groups. The planner sheds the
+// splittable value-keyed side (usually backward, by retreating the hotspot
+// away from its pool) and reports the pool itself blocked when it alone
+// keeps the node above threshold.
+func (s *System) Rebalance() (discovery.MigrationStats, error) {
+	return loadbalance.RebalanceChord(s.ring, loadbalance.Options{}), nil
+}

@@ -1,0 +1,56 @@
+package mercury
+
+import (
+	"sort"
+
+	"lorm/internal/discovery"
+	"lorm/internal/loadbalance"
+)
+
+var _ discovery.Balancer = (*System)(nil)
+
+// DirectoryLoads implements discovery.Balancer: a physical node's load is
+// the union of its per-hub directories (the same aggregation as
+// DirectorySizes), in sorted address order.
+func (s *System) DirectoryLoads() []discovery.NodeLoad {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	totals := make(map[string]int, len(s.addrs))
+	for addr := range s.addrs {
+		totals[addr] = 0
+	}
+	for h := range s.hubs {
+		for addr, n := range s.byAddr[h] {
+			totals[addr] += n.Dir.Len()
+		}
+	}
+	out := make([]discovery.NodeLoad, 0, len(totals))
+	for addr, entries := range totals {
+		out = append(out, discovery.NodeLoad{Addr: addr, Entries: entries})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// Rebalance implements discovery.Balancer: one item-migration pass per
+// attribute hub. Each hub is its own Chord ring with its own load
+// distribution, so imbalance is detected and shed hub by hub; a physical
+// node hot on one attribute sheds that hub's interval without disturbing
+// its placement in the others. Boundary moves replace node objects, so the
+// per-hub address index is rebuilt afterward.
+func (s *System) Rebalance() (discovery.MigrationStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var stats discovery.MigrationStats
+	for h, hub := range s.hubs {
+		stats.Add(loadbalance.RebalanceChord(hub, loadbalance.Options{}))
+		idx := s.byAddr[h]
+		for addr := range idx {
+			delete(idx, addr)
+		}
+		for _, n := range hub.Nodes() {
+			idx[n.Addr] = n
+		}
+	}
+	return stats, nil
+}

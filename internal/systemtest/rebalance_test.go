@@ -1,0 +1,194 @@
+package systemtest
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"lorm/internal/discovery"
+	"lorm/internal/loadbalance"
+	"lorm/internal/resource"
+	"lorm/internal/workload"
+)
+
+// ownerMultiset reduces a per-attribute result to its sorted owner list
+// with multiplicity — stronger than ownerSet: a rebalance pass moves
+// entries between directories but must not duplicate or drop any, so even
+// the multiplicities of each system's answers must survive it.
+func ownerMultiset(infos []resource.Info) []string {
+	out := make([]string, len(infos))
+	for i, in := range infos {
+		out[i] = in.Owner
+	}
+	sort.Strings(out)
+	return out
+}
+
+// buildSkewedDeployment builds a sparse deployment (free Cycloid slots,
+// several nodes per LORM cluster) and registers a Bounded-Pareto-skewed
+// announcement workload so every system has genuine hotspots.
+func buildSkewedDeployment(t *testing.T) (*Deployment, *workload.Generator) {
+	t.Helper()
+	schema := workload.ParetoSchema(8, 500, 1.5)
+	dep, err := Build(schema, 96, Options{D: 6, Bits: 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewGenerator(schema, 1.5)
+	for _, in := range gen.SkewedAnnouncements(workload.Split(1005, 0), 40, 1.5) {
+		if err := dep.RegisterEverywhere(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dep, gen
+}
+
+// fig5Queries generates the Figure 5 workload: multi-attribute range
+// queries with 1..4 attributes and expected quarter-domain coverage.
+func fig5Queries(gen *workload.Generator, count int) []resource.Query {
+	qrng := workload.Split(1005, 1)
+	queries := make([]resource.Query, 0, count)
+	for i := 0; i < count; i++ {
+		queries = append(queries, gen.RangeQuery(qrng, 1+i%4, 0.5, fmt.Sprintf("req-%04d", i)))
+	}
+	return queries
+}
+
+// The load-balance correctness property: a rebalance pass strictly reduces
+// the max/mean load factor of the value-spreading systems (LORM, Mercury,
+// MAAN) and changes no query result — every answer after migration is
+// identical, with multiplicity, to the unbalanced run and to the oracle.
+// SWORD's pass must never increase its factor and must report its
+// indivisible attribute pools as blocked.
+func TestRebalancePreservesAnswers(t *testing.T) {
+	dep, gen := buildSkewedDeployment(t)
+	queries := fig5Queries(gen, 60)
+
+	before := make(map[string][]*discovery.Result)
+	for _, sys := range dep.Systems() {
+		for qi, q := range queries {
+			res, err := sys.Discover(q)
+			if err != nil {
+				t.Fatalf("%s pre-rebalance query %d: %v", sys.Name(), qi, err)
+			}
+			before[sys.Name()] = append(before[sys.Name()], res)
+		}
+	}
+
+	pre := make(map[string]loadbalance.Report)
+	for _, sys := range dep.Systems() {
+		b := sys.(discovery.Balancer)
+		pre[sys.Name()] = loadbalance.Analyze(b.DirectoryLoads(), 3)
+		stats, err := b.Rebalance()
+		if err != nil {
+			t.Fatalf("%s rebalance: %v", sys.Name(), err)
+		}
+		post := loadbalance.Analyze(b.DirectoryLoads(), 3)
+		if post.TotalEntries != pre[sys.Name()].TotalEntries {
+			t.Fatalf("%s rebalance changed the entry total: %d -> %d",
+				sys.Name(), pre[sys.Name()].TotalEntries, post.TotalEntries)
+		}
+		switch sys.Name() {
+		case "lorm", "mercury", "maan":
+			if stats.Migrations == 0 {
+				t.Errorf("%s performed no migrations on a skewed workload (%+v)", sys.Name(), stats)
+			}
+			if post.MaxMean >= pre[sys.Name()].MaxMean {
+				t.Errorf("%s max/mean %0.3f did not improve (was %0.3f)",
+					sys.Name(), post.MaxMean, pre[sys.Name()].MaxMean)
+			}
+		case "sword":
+			if post.MaxMean > pre[sys.Name()].MaxMean {
+				t.Errorf("sword max/mean grew: %0.3f -> %0.3f", pre[sys.Name()].MaxMean, post.MaxMean)
+			}
+			if stats.Blocked == 0 {
+				t.Errorf("sword reported no blocked hotspots; its attribute pools are indivisible (%+v)", stats)
+			}
+		}
+	}
+
+	for _, sys := range dep.Systems() {
+		for qi, q := range queries {
+			got, err := sys.Discover(q)
+			if err != nil {
+				t.Fatalf("%s post-rebalance query %d: %v", sys.Name(), qi, err)
+			}
+			want := before[sys.Name()][qi]
+			if !equalStrings(got.Owners, want.Owners) {
+				t.Fatalf("%s query %d: owners changed by rebalance: %v -> %v",
+					sys.Name(), qi, want.Owners, got.Owners)
+			}
+			for attr, infos := range want.PerAttr {
+				if !equalStrings(ownerMultiset(got.PerAttr[attr]), ownerMultiset(infos)) {
+					t.Fatalf("%s query %d attr %s: result multiset changed by rebalance: %v -> %v",
+						sys.Name(), qi, attr, ownerMultiset(infos), ownerMultiset(got.PerAttr[attr]))
+				}
+			}
+			oracle, err := dep.Oracle.Discover(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalStrings(got.Owners, oracle.Owners) {
+				t.Fatalf("%s query %d: owners %v, oracle %v", sys.Name(), qi, got.Owners, oracle.Owners)
+			}
+		}
+	}
+}
+
+// Concurrency smoke for the migration path: queries race with rebalance
+// passes on every system without data races or errors (a query may
+// transiently observe an in-flight migration — that is churn semantics —
+// but once the passes finish, answers must again match the oracle
+// exactly).
+func TestRebalanceConcurrentWithQueries(t *testing.T) {
+	dep, gen := buildSkewedDeployment(t)
+	queries := fig5Queries(gen, 40)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(dep.Systems())*2)
+	for _, sys := range dep.Systems() {
+		sys := sys
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, q := range queries {
+				if _, err := sys.Discover(q); err != nil {
+					errs <- fmt.Errorf("%s discover: %w", sys.Name(), err)
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				if _, err := sys.(discovery.Balancer).Rebalance(); err != nil {
+					errs <- fmt.Errorf("%s rebalance: %w", sys.Name(), err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	for qi, q := range queries[:10] {
+		want, err := dep.Oracle.Discover(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sys := range dep.Systems() {
+			got, err := sys.Discover(q)
+			if err != nil {
+				t.Fatalf("%s settled query %d: %v", sys.Name(), qi, err)
+			}
+			if !equalStrings(got.Owners, want.Owners) {
+				t.Fatalf("%s settled query %d: owners %v, oracle %v", sys.Name(), qi, got.Owners, want.Owners)
+			}
+		}
+	}
+}

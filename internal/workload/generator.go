@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"lorm/internal/resource"
 )
@@ -67,6 +68,59 @@ func (g *Generator) Announcements(rng *rand.Rand, k int) []resource.Info {
 	infos := make([]resource.Info, 0, len(attrs)*k)
 	for _, a := range attrs {
 		for j := 0; j < k; j++ {
+			infos = append(infos, resource.Info{
+				Attr:  a.Name,
+				Value: g.Value(rng, a),
+				Owner: fmt.Sprintf("owner%04d", j),
+			})
+		}
+	}
+	return infos
+}
+
+// SkewedAnnouncements generates announcements with Bounded Pareto
+// attribute popularity: per-attribute piece counts are proportional to
+// weights sampled from BoundedPareto(1, m, skew) and scaled so the total
+// stays m·k — the same announcement volume as Announcements, concentrated
+// on few attributes instead of spread k-per-attribute. Values are drawn
+// from the generator's usual per-attribute distribution. skew <= 0 falls
+// back to uniform popularity.
+func (g *Generator) SkewedAnnouncements(rng *rand.Rand, k int, skew float64) []resource.Info {
+	attrs := g.schema.Attributes()
+	m := len(attrs)
+	if skew <= 0 || m < 2 {
+		return g.Announcements(rng, k)
+	}
+	pop, err := NewBoundedPareto(1, float64(m), skew)
+	if err != nil {
+		panic(fmt.Sprintf("workload: popularity distribution: %v", err))
+	}
+	weights := make([]float64, m)
+	var sum float64
+	for i := range weights {
+		weights[i] = pop.Sample(rng)
+		sum += weights[i]
+	}
+	total := m * k
+	counts := make([]int, m)
+	assigned := 0
+	for i, w := range weights {
+		counts[i] = int(w / sum * float64(total))
+		assigned += counts[i]
+	}
+	// Hand the rounding remainder to the heaviest attributes so the total
+	// is exactly m·k.
+	order := make([]int, m)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return weights[order[a]] > weights[order[b]] })
+	for r := 0; r < total-assigned; r++ {
+		counts[order[r%m]]++
+	}
+	infos := make([]resource.Info, 0, total)
+	for i, a := range attrs {
+		for j := 0; j < counts[i]; j++ {
 			infos = append(infos, resource.Info{
 				Attr:  a.Name,
 				Value: g.Value(rng, a),

@@ -323,3 +323,53 @@ func TestParetoSchemaBadAlphaDefaults(t *testing.T) {
 		t.Fatal("fallback alpha should still declare a CDF")
 	}
 }
+
+func TestSkewedAnnouncementsTotalAndSkew(t *testing.T) {
+	g := NewGenerator(ParetoSchema(20, 500, 1.5), 1.5)
+	infos := g.SkewedAnnouncements(Split(7, 0), 50, 1.5)
+	if len(infos) != 20*50 {
+		t.Fatalf("got %d announcements, want %d (total must stay m*k)", len(infos), 20*50)
+	}
+	perAttr := map[string]int{}
+	for _, in := range infos {
+		perAttr[in.Attr]++
+	}
+	max := 0
+	for _, c := range perAttr {
+		if c > max {
+			max = c
+		}
+	}
+	// Bounded Pareto popularity must concentrate pieces well beyond the
+	// uniform k-per-attribute split.
+	if max <= 2*50 {
+		t.Fatalf("heaviest attribute has %d pieces; popularity skew had no effect (uniform would be 50)", max)
+	}
+
+	again := g.SkewedAnnouncements(Split(7, 0), 50, 1.5)
+	if len(again) != len(infos) {
+		t.Fatal("skewed announcements are not deterministic")
+	}
+	for i := range infos {
+		if infos[i] != again[i] {
+			t.Fatalf("announcement %d differs between identical runs: %+v vs %+v", i, infos[i], again[i])
+		}
+	}
+}
+
+func TestSkewedAnnouncementsUniformFallback(t *testing.T) {
+	g := NewGenerator(testSchema(), 1.5)
+	infos := g.SkewedAnnouncements(Split(8, 0), 40, 0)
+	if len(infos) != 3*40 {
+		t.Fatalf("got %d announcements, want 120", len(infos))
+	}
+	perAttr := map[string]int{}
+	for _, in := range infos {
+		perAttr[in.Attr]++
+	}
+	for a, c := range perAttr {
+		if c != 40 {
+			t.Fatalf("skew <= 0 must fall back to uniform popularity; %s has %d pieces", a, c)
+		}
+	}
+}
