@@ -7,11 +7,12 @@
 //	lormsim -exp fig3a,fig4 -format csv
 //	lormsim -crash-rate 0.4          # crash-churn sweep (beyond the paper)
 //	lormsim -load-out results_load.txt  # load-distribution + rebalance sweep
+//	lormsim -hotkey-out results_hotkey.txt  # hot-key replication sweep
 //
 // Experiments: fig3a, fig3b, fig3c, fig3d, fig4a, fig4b, fig5a, fig5b,
 // fig6a, fig6b, all, plus the opt-in extras theorems, worstcase,
-// ablations, crash and load. Presets: quick, standard, paper. Individual
-// knobs (-n, -m, -k, -d, -seed, ...) override the preset.
+// ablations, crash, load and hotkey. Presets: quick, standard, paper.
+// Individual knobs (-n, -m, -k, -d, -seed, ...) override the preset.
 package main
 
 import (
@@ -37,22 +38,23 @@ func main() {
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("lormsim", flag.ContinueOnError)
 	var (
-		exp    = fs.String("exp", "all", "comma-separated experiments: fig3a fig3b fig3c fig3d fig4a fig4b fig5a fig5b fig6a fig6b all theorems worstcase ablations crash load")
-		preset = fs.String("preset", "standard", "parameter preset: quick, standard, paper")
-		format = fs.String("format", "text", "output format: text, csv")
-		nFlag  = fs.Int("n", 0, "override node count")
-		dFlag  = fs.Int("d", 0, "override Cycloid dimension")
-		mFlag  = fs.Int("m", 0, "override attribute count")
-		kFlag  = fs.Int("k", 0, "override pieces per attribute")
-		rqFlag = fs.Int("range-queries", 0, "override range queries per point")
-		cqFlag = fs.Int("churn-queries", 0, "override churn queries per rate")
-		seed   = fs.Int64("seed", 0, "override RNG seed")
-		trace  = fs.String("trace", "", "write per-discover hop-path trace lines to this file")
-		mout   = fs.String("metrics-out", "", "write the final metrics snapshot (JSON) to this file")
-		crRate = fs.Float64("crash-rate", 0, "fault-arrival rate for the crash experiment; setting it implies -exp crash")
-		crFrac = fs.Float64("crash-frac", 0, "probability a fault is an abrupt crash instead of a graceful departure (default 0.5)")
+		exp     = fs.String("exp", "all", "comma-separated experiments: fig3a fig3b fig3c fig3d fig4a fig4b fig5a fig5b fig6a fig6b all theorems worstcase ablations crash load hotkey")
+		preset  = fs.String("preset", "standard", "parameter preset: quick, standard, paper")
+		format  = fs.String("format", "text", "output format: text, csv")
+		nFlag   = fs.Int("n", 0, "override node count")
+		dFlag   = fs.Int("d", 0, "override Cycloid dimension")
+		mFlag   = fs.Int("m", 0, "override attribute count")
+		kFlag   = fs.Int("k", 0, "override pieces per attribute")
+		rqFlag  = fs.Int("range-queries", 0, "override range queries per point")
+		cqFlag  = fs.Int("churn-queries", 0, "override churn queries per rate")
+		seed    = fs.Int64("seed", 0, "override RNG seed")
+		trace   = fs.String("trace", "", "write per-discover hop-path trace lines to this file")
+		mout    = fs.String("metrics-out", "", "write the final metrics snapshot (JSON) to this file")
+		crRate  = fs.Float64("crash-rate", 0, "fault-arrival rate for the crash experiment; setting it implies -exp crash")
+		crFrac  = fs.Float64("crash-frac", 0, "probability a fault is an abrupt crash instead of a graceful departure (default 0.5)")
 		loadOut = fs.String("load-out", "", "write the load-distribution tables to this file; setting it implies -exp load")
 		rebal   = fs.Bool("rebalance", true, "run the item-migration pass in the load experiment and report post-rebalance load factors")
+		hotOut  = fs.String("hotkey-out", "", "write the hot-key replication sweep tables to this file; setting it implies -exp hotkey")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -157,9 +159,9 @@ func run(args []string, out *os.File) error {
 	for _, e := range strings.Split(*exp, ",") {
 		want[strings.TrimSpace(strings.ToLower(e))] = true
 	}
-	if !expSet && (*crRate > 0 || *loadOut != "") {
-		// -crash-rate or -load-out alone means "run that experiment", not
-		// the default -exp all on top of it.
+	if !expSet && (*crRate > 0 || *loadOut != "" || *hotOut != "") {
+		// -crash-rate, -load-out or -hotkey-out alone means "run that
+		// experiment", not the default -exp all on top of it.
 		want = map[string]bool{}
 	}
 	if *crRate > 0 {
@@ -167,6 +169,9 @@ func run(args []string, out *os.File) error {
 	}
 	if *loadOut != "" {
 		want["load"] = true
+	}
+	if *hotOut != "" {
+		want["hotkey"] = true
 	}
 	all := want["all"]
 	need := func(names ...string) bool {
@@ -383,6 +388,35 @@ func run(args []string, out *os.File) error {
 				}
 			}
 			fmt.Fprintf(os.Stderr, "[lormsim] load: %d tables written to %s\n", len(tables), *loadOut)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	if need("hotkey") && !all { // opt-in: not part of -exp all
+		if err := timed("hotkey", func() error {
+			factor, gini, err := experiments.HotKey(p)
+			if err != nil {
+				return err
+			}
+			if *hotOut == "" {
+				emit(factor, gini)
+				return nil
+			}
+			f, err := os.Create(*hotOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			for _, t := range []*stats.Table{factor, gini} {
+				if *format == "csv" {
+					fmt.Fprintf(f, "# %s\n%s\n", t.Title, t.CSV())
+				} else {
+					fmt.Fprintln(f, t.Text())
+				}
+			}
+			fmt.Fprintf(os.Stderr, "[lormsim] hotkey: tables written to %s\n", *hotOut)
 			return nil
 		}); err != nil {
 			return err

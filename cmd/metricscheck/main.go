@@ -6,10 +6,12 @@
 // query failures, crash and lost-entry counters) and that crashes actually
 // occurred. With -load it requires the loadbalance migration counters and
 // cross-checks them against the directory handover counters they must stay
-// consistent with. CI runs it after short simulations to catch regressions
-// in the observability pipeline.
+// consistent with. With -replication it requires the replication-layer
+// counters and cross-checks them against the fabric's reason-labeled step
+// counts. CI runs it after short simulations to catch regressions in the
+// observability pipeline.
 //
-// Usage: metricscheck [-crash] [-load] <snapshot.json>
+// Usage: metricscheck [-crash] [-load] [-replication] <snapshot.json>
 package main
 
 import (
@@ -32,11 +34,12 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("metricscheck", flag.ContinueOnError)
 	crash := fs.Bool("crash", false, "require the crash-churn failure counters (snapshot from lormsim -crash-rate)")
 	load := fs.Bool("load", false, "require the load-balance migration counters (snapshot from lormsim -load-out)")
+	replication := fs.Bool("replication", false, "require the replication counters (snapshot from lormsim -hotkey-out)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: metricscheck [-crash] [-load] <snapshot.json>")
+		return fmt.Errorf("usage: metricscheck [-crash] [-load] [-replication] <snapshot.json>")
 	}
 	data, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
@@ -77,8 +80,75 @@ func run(args []string) error {
 		}
 	}
 	if *load {
-		return checkLoad(&snap)
+		if err := checkLoad(&snap); err != nil {
+			return err
+		}
 	}
+	if *replication {
+		return checkReplication(&snap)
+	}
+	return nil
+}
+
+// checkReplication validates the replication-layer families a hot-key run
+// must produce, and cross-checks them against the fabric's reason-labeled
+// step counts: every replica read hit records exactly one replica-read
+// probe forward, so the two counters must agree exactly; Repair and hot-key
+// promotion place copies without routing an operation, so replicas placed
+// must be at least the replicate-reason steps.
+func checkReplication(snap *metrics.Snapshot) error {
+	value := func(name string) (float64, error) {
+		f, ok := snap.Family(name)
+		if !ok {
+			return 0, fmt.Errorf("replication counter family %s missing", name)
+		}
+		return f.Total(), nil
+	}
+	vals := map[string]float64{}
+	for _, name := range []string{
+		"replication_replicas_placed_total",
+		"replication_replicas_dropped_total",
+		"replication_replica_read_hits_total",
+		"replication_hotkey_promotions_total",
+		"replication_hotkey_demotions_total",
+	} {
+		v, err := value(name)
+		if err != nil {
+			return err
+		}
+		vals[name] = v
+	}
+	steps, ok := snap.Family("lorm_op_steps_total")
+	if !ok {
+		return fmt.Errorf("family lorm_op_steps_total missing")
+	}
+	byReason := map[string]float64{}
+	for _, m := range steps.Metrics {
+		byReason[m.Labels["reason"]] += m.Value
+	}
+	promotions := vals["replication_hotkey_promotions_total"]
+	if promotions <= 0 {
+		return fmt.Errorf("replication_hotkey_promotions_total is zero: no key-groups were promoted")
+	}
+	placed := vals["replication_replicas_placed_total"]
+	if placed <= 0 {
+		return fmt.Errorf("replication_replicas_placed_total is zero despite %.0f promotions", promotions)
+	}
+	hits := vals["replication_replica_read_hits_total"]
+	if hits <= 0 {
+		return fmt.Errorf("replication_replica_read_hits_total is zero: no reads were served by replicas")
+	}
+	if probes := byReason["replica-read"]; hits != probes {
+		return fmt.Errorf("replication_replica_read_hits_total (%.0f) != replica-read steps (%.0f): every planned read must record exactly one probe forward",
+			hits, probes)
+	}
+	if replicates := byReason["replicate"]; placed < replicates {
+		return fmt.Errorf("replication_replicas_placed_total (%.0f) below replicate steps (%.0f): placement accounting out of sync",
+			placed, replicates)
+	}
+	fmt.Printf("metricscheck: replication counters ok (%.0f placed, %.0f dropped, %.0f replica read hits, %.0f promotions, %.0f demotions)\n",
+		placed, vals["replication_replicas_dropped_total"], hits, promotions,
+		vals["replication_hotkey_demotions_total"])
 	return nil
 }
 

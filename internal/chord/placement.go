@@ -1,0 +1,70 @@
+package chord
+
+import "lorm/internal/replication"
+
+// Placement exposes the ring to the shared replication layer: holders are
+// resolved against the current immutable snapshot, and the successor chain
+// is the ring's own next-node relation (successor list with an oracle
+// fallback), so replica placement matches what a range walk would route to.
+func (r *Ring) Placement() replication.Placement { return ringPlacement{r} }
+
+type ringPlacement struct{ r *Ring }
+
+func holderFor(n *Node) replication.Holder {
+	return replication.Holder{Addr: n.Addr, Pos: n.ID, Dir: &n.Dir}
+}
+
+// Capacity returns the number of ring positions, 2^Bits.
+func (p ringPlacement) Capacity() uint64 { return p.r.space.Size() }
+
+// HolderAt returns the live node with exactly the given identifier.
+func (p ringPlacement) HolderAt(pos uint64) (replication.Holder, bool) {
+	s := p.r.view()
+	m, ok := s.members[pos]
+	if !ok {
+		return replication.Holder{}, false
+	}
+	return holderFor(m.node), true
+}
+
+// HolderOf returns the ground-truth root of the key.
+func (p ringPlacement) HolderOf(key uint64) (replication.Holder, bool) {
+	s := p.r.view()
+	if len(s.sorted) == 0 {
+		return replication.Holder{}, false
+	}
+	return holderFor(s.members[p.r.oracleSuccessorIn(s, key)].node), true
+}
+
+// SuccessorOf returns the live node following the given position: the
+// node's first live successor-list entry when the position is occupied
+// (NextNode semantics), the oracle successor of pos+1 otherwise.
+func (p ringPlacement) SuccessorOf(pos uint64) (replication.Holder, bool) {
+	s := p.r.view()
+	if len(s.sorted) == 0 {
+		return replication.Holder{}, false
+	}
+	cur, ok := s.members[pos]
+	if !ok {
+		succ := p.r.oracleSuccessorIn(s, p.r.space.Add(pos, 1))
+		if succ == pos {
+			return replication.Holder{}, false
+		}
+		return holderFor(s.members[succ].node), true
+	}
+	succ, succM, _ := p.r.successorIn(s, cur)
+	if succ == pos {
+		return replication.Holder{}, false
+	}
+	return holderFor(succM.node), true
+}
+
+// HolderRing returns every live node in ascending identifier order.
+func (p ringPlacement) HolderRing() []replication.Holder {
+	s := p.r.view()
+	out := make([]replication.Holder, len(s.sorted))
+	for i, id := range s.sorted {
+		out[i] = holderFor(s.members[id].node)
+	}
+	return out
+}

@@ -28,6 +28,7 @@ import (
 	"lorm/internal/directory"
 	"lorm/internal/discovery"
 	"lorm/internal/hashing"
+	"lorm/internal/replication"
 	"lorm/internal/resource"
 	"lorm/internal/ring"
 	"lorm/internal/routing"
@@ -50,7 +51,7 @@ type System struct {
 	schema    *resource.Schema
 	overlay   *cycloid.Overlay
 	cubeSpace ring.Space // d-bit space: consistent hash of attribute → cluster
-	replicas  int        // replication factor; < 2 means unreplicated (the paper's model)
+	rep       *replication.Replicator
 	fabric    *routing.Fabric
 }
 
@@ -75,6 +76,7 @@ func New(cfg Config) (*System, error) {
 		schema:    cfg.Schema,
 		overlay:   ov,
 		cubeSpace: ring.NewSpace(uint(cfg.D)),
+		rep:       replication.NewReplicator(ov.Placement()),
 		fabric:    routing.NewFabric("lorm"),
 	}, nil
 }
@@ -148,8 +150,9 @@ func (s *System) Register(info resource.Info) (cost discovery.Cost, err error) {
 		op.Finish()
 		return cost, err
 	}
-	// Replication extension: place copies on the root's ring successors.
-	s.replicate(op, route.Root, e)
+	// Replication extension: place copies on the root's ring successors
+	// (and invalidate any hot-key promotion of the re-announced key-group).
+	s.rep.Place(op, route.Root.Pos, e)
 	return op.Finish(), nil
 }
 
@@ -185,13 +188,53 @@ func (s *System) resolveSub(op *routing.Op, from *cycloid.Node, sub resource.Sub
 	loKey := cycloid.ID{K: s.cyclicOf(a, sub.Low), A: cluster}
 	hiKey := cycloid.ID{K: s.cyclicOf(a, sub.High), A: cluster}
 
+	// Replica-aware read: a single-key sub-query whose key-group is
+	// hot-promoted routes to the power-of-two-choices holder instead of the
+	// root; the losing candidate is probed (one ReasonReplicaRead forward),
+	// keeping Messages = Hops + Visited exact. Keys without a promotion —
+	// including everything while replication is off — take the unmodified
+	// root-walk path below.
+	if loKey == hiKey {
+		if plan, ok := s.rep.PlanRead(s.overlay.Pos(loKey)); ok {
+			route, err := s.overlay.LookupOp(op, from, s.overlay.IDOf(plan.Target.Pos))
+			if err != nil {
+				return nil, err
+			}
+			op.Visit(route.Root.Addr, route.Root.Pos)
+			op.Forward(plan.Probe.Addr, plan.Probe.Pos, routing.ReasonReplicaRead)
+			g := replication.NewGather()
+			g.AddBatch(route.Root.Dir.MatchEntriesAppend(nil, sub.Attr, sub.Low, sub.High))
+			return g.Infos(), nil
+		}
+	}
+
 	route, err := s.overlay.LookupOp(op, from, loKey)
 	if err != nil {
 		return nil, err
 	}
 	cur := route.Root
 	op.Visit(cur.Addr, cur.Pos)
-	matches := cur.Dir.MatchAppend(nil, sub.Attr, sub.Low, sub.High)
+
+	// With replicas in play the walk collects entries (keys included) into
+	// a Gather that suppresses replica copies per logical entry; otherwise
+	// matches append straight into the result, allocation-light.
+	var (
+		matches []resource.Info
+		g       *replication.Gather
+		ebuf    []directory.Entry
+	)
+	if s.rep.Active() {
+		g = replication.NewGather()
+	}
+	collect := func(n *cycloid.Node) {
+		if g != nil {
+			ebuf = n.Dir.MatchEntriesAppend(ebuf[:0], sub.Attr, sub.Low, sub.High)
+			g.AddBatch(ebuf)
+			return
+		}
+		matches = n.Dir.MatchAppend(matches, sub.Attr, sub.Low, sub.High)
+	}
+	collect(cur)
 
 	// Range walk: forward along intra-cluster successors until the walk's
 	// cumulative progress through the key space covers the upper bound
@@ -210,10 +253,10 @@ func (s *System) resolveSub(op *routing.Op, from *cycloid.Node, sub resource.Sub
 		cur = next
 		op.Forward(cur.Addr, cur.Pos, routing.ReasonRangeWalk)
 		op.Visit(cur.Addr, cur.Pos)
-		matches = cur.Dir.MatchAppend(matches, sub.Attr, sub.Low, sub.High)
+		collect(cur)
 	}
-	if s.Replicas() > 1 {
-		matches = dedupe(matches)
+	if g != nil {
+		return g.Infos(), nil
 	}
 	return matches, nil
 }
@@ -243,10 +286,11 @@ func (s *System) RemoveNode(addr string) error {
 func (s *System) NodeAddrs() []string { return s.overlay.Addrs() }
 
 // Maintain implements discovery.Dynamic: one self-organization round,
-// followed by a replica-repair pass when replication is enabled.
+// followed by a replica-repair pass when any replicas (base factor or
+// hot-key promotions) are in play.
 func (s *System) Maintain() {
 	s.overlay.Stabilize()
-	if s.Replicas() > 1 {
-		s.Repair()
+	if s.rep.Active() {
+		s.rep.Repair()
 	}
 }

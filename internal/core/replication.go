@@ -3,10 +3,8 @@ package core
 import (
 	"fmt"
 
-	"lorm/internal/cycloid"
-	"lorm/internal/directory"
-	"lorm/internal/resource"
-	"lorm/internal/routing"
+	"lorm/internal/discovery"
+	"lorm/internal/replication"
 )
 
 // Replication is a LORM extension beyond the paper's evaluation: the paper
@@ -16,47 +14,36 @@ import (
 // its root AND the root's r-1 ring successors; after abrupt failures a
 // Repair pass restores the invariant, so queries keep returning complete
 // answers as long as fewer than r consecutive nodes crash between repairs.
+//
+// The mechanics — placement, repair, dedupe, hot-key promotion and
+// replica-aware reads — live in the shared internal/replication layer over
+// the overlay's Placement view; this file is LORM's thin binding to it.
+
+var _ discovery.Replicated = (*System)(nil)
 
 // SetReplicas configures the replication factor (minimum 1 = the paper's
 // unreplicated behavior). It affects subsequent Register calls; call
 // Repair to bring previously stored entries up to the new factor.
-func (s *System) SetReplicas(r int) error {
-	if r < 1 {
-		return fmt.Errorf("core: replication factor %d < 1", r)
-	}
-	if int(uint64(r)) > int(s.overlay.Capacity()) {
-		return fmt.Errorf("core: replication factor %d exceeds overlay capacity", r)
-	}
-	s.replicas = r
-	return nil
-}
+func (s *System) SetReplicas(r int) error { return s.rep.SetFactor(r) }
 
 // Replicas returns the configured replication factor.
-func (s *System) Replicas() int {
-	if s.replicas < 1 {
-		return 1
-	}
-	return s.replicas
+func (s *System) Replicas() int { return s.rep.Factor() }
+
+// Repair restores the replica invariant after membership changes: every
+// logical piece ends up on exactly its current root and its successors up
+// to the key's effective fan-out — missing copies are recreated, surplus
+// and invalidated copies dropped. It is idempotent and returns the number
+// of copies added and removed.
+func (s *System) Repair() (added, removed int) { return s.rep.Repair() }
+
+// PromoteHot promotes the hottest key-groups to replicated reads, driven
+// by a traffic-ledger visit report; see replication.Replicator.PromoteHot.
+func (s *System) PromoteHot(visits []discovery.NodeLoad, opts replication.HotKeyOptions) int {
+	return s.rep.PromoteHot(visits, opts)
 }
 
-// replicate stores e on up to r-1 distinct successors of root, recording
-// each placement as a replicate-forward into op. Returns the number of
-// copies placed.
-func (s *System) replicate(op *routing.Op, root *cycloid.Node, e directory.Entry) int {
-	placed := 0
-	cur := root
-	for i := 1; i < s.Replicas(); i++ {
-		next, ok := s.overlay.NextNode(cur)
-		if !ok || next == root {
-			break // wrapped: fewer live nodes than replicas
-		}
-		cur = next
-		cur.Dir.Add(e)
-		op.Forward(cur.Addr, cur.Pos, routing.ReasonReplicate)
-		placed++
-	}
-	return placed
-}
+// Replicator exposes the replication layer for experiments and tests.
+func (s *System) Replicator() *replication.Replicator { return s.rep }
 
 // FailNode crashes a node abruptly (no handover, no repair) — the failure
 // model the replication extension exists for. It returns the number of
@@ -68,91 +55,4 @@ func (s *System) FailNode(addr string) (lostEntries int, err error) {
 		return 0, fmt.Errorf("core: no node with address %q", addr)
 	}
 	return s.overlay.Fail(n)
-}
-
-// entryIdent identifies one logical resource-information piece.
-type entryIdent struct {
-	key   uint64
-	attr  string
-	value float64
-	owner string
-}
-
-func identOf(e directory.Entry) entryIdent {
-	return entryIdent{key: e.Key, attr: e.Info.Attr, value: e.Info.Value, owner: e.Info.Owner}
-}
-
-// Repair restores the replica invariant after membership changes: every
-// logical piece ends up on exactly its current root and the root's r-1
-// successors — misplaced copies are moved, missing copies recreated,
-// surplus copies dropped. It is idempotent and returns the number of
-// copies added and removed.
-func (s *System) Repair() (added, removed int) {
-	r := s.Replicas()
-	nodes := s.overlay.Nodes()
-
-	// Inventory: which nodes hold which logical pieces.
-	holders := make(map[entryIdent]map[*cycloid.Node]bool)
-	entries := make(map[entryIdent]directory.Entry)
-	for _, n := range nodes {
-		for _, e := range n.Dir.Snapshot() {
-			id := identOf(e)
-			if holders[id] == nil {
-				holders[id] = make(map[*cycloid.Node]bool)
-			}
-			holders[id][n] = true
-			entries[id] = e
-		}
-	}
-
-	for id, held := range holders {
-		e := entries[id]
-		// Desired holders: the key's root and its r-1 successors.
-		root, err := s.overlay.OwnerOf(s.overlay.IDOf(e.Key))
-		if err != nil {
-			continue
-		}
-		desired := map[*cycloid.Node]bool{root: true}
-		cur := root
-		for i := 1; i < r; i++ {
-			next, ok := s.overlay.NextNode(cur)
-			if !ok || next == root {
-				break
-			}
-			cur = next
-			desired[cur] = true
-		}
-		for n := range desired {
-			if !held[n] {
-				n.Dir.Add(e)
-				added++
-			}
-		}
-		for n := range held {
-			if !desired[n] {
-				// Targeted removal: ident covers every Entry field, so Remove(e)
-				// deletes exactly the copies of this logical piece; loop in case
-				// the node somehow accumulated duplicates.
-				for n.Dir.Remove(e) {
-				}
-				removed++
-			}
-		}
-	}
-	return added, removed
-}
-
-// dedupe collapses replica copies in a match list to one entry per logical
-// piece; used by queries when replication is enabled.
-func dedupe(matches []resource.Info) []resource.Info {
-	seen := make(map[entryIdent]bool, len(matches))
-	out := matches[:0]
-	for _, in := range matches {
-		id := entryIdent{attr: in.Attr, value: in.Value, owner: in.Owner}
-		if !seen[id] {
-			seen[id] = true
-			out = append(out, in)
-		}
-	}
-	return out
 }

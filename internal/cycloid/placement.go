@@ -1,0 +1,69 @@
+package cycloid
+
+import "lorm/internal/replication"
+
+// Placement exposes the overlay to the shared replication layer: holders
+// are resolved against the current immutable snapshot and the successor
+// chain is the overlay's own next-node relation (ring successor link with
+// an oracle fallback), so replica placement matches what a range walk
+// would route to.
+func (o *Overlay) Placement() replication.Placement { return overlayPlacement{o} }
+
+type overlayPlacement struct{ o *Overlay }
+
+func holderFor(n *Node) replication.Holder {
+	return replication.Holder{Addr: n.Addr, Pos: n.Pos, Dir: &n.Dir}
+}
+
+// Capacity returns the number of linearized positions, d·2^d.
+func (p overlayPlacement) Capacity() uint64 { return p.o.capacity }
+
+// HolderAt returns the live node at exactly the given position.
+func (p overlayPlacement) HolderAt(pos uint64) (replication.Holder, bool) {
+	s := p.o.view()
+	if !aliveIn(s, pos) {
+		return replication.Holder{}, false
+	}
+	return holderFor(s.members[pos].node), true
+}
+
+// HolderOf returns the ground-truth owner of the key at the given
+// linearized position.
+func (p overlayPlacement) HolderOf(key uint64) (replication.Holder, bool) {
+	s := p.o.view()
+	if len(s.sorted) == 0 {
+		return replication.Holder{}, false
+	}
+	return holderFor(s.members[p.o.oracleSuccessorIn(s, key%p.o.capacity)].node), true
+}
+
+// SuccessorOf returns the live node following the given position: the
+// node's ring-successor link when the position is occupied (NextNode
+// semantics), the oracle successor of pos+1 otherwise.
+func (p overlayPlacement) SuccessorOf(pos uint64) (replication.Holder, bool) {
+	s := p.o.view()
+	if len(s.sorted) < 2 {
+		return replication.Holder{}, false
+	}
+	succ := pos
+	if aliveIn(s, pos) {
+		succ = stateOf(s, pos).ringSucc
+	}
+	if !aliveIn(s, succ) || succ == pos {
+		succ = p.o.oracleSuccessorIn(s, (pos+1)%p.o.capacity)
+	}
+	if succ == pos {
+		return replication.Holder{}, false
+	}
+	return holderFor(s.members[succ].node), true
+}
+
+// HolderRing returns every live node in ascending position order.
+func (p overlayPlacement) HolderRing() []replication.Holder {
+	s := p.o.view()
+	out := make([]replication.Holder, len(s.sorted))
+	for i, pos := range s.sorted {
+		out[i] = holderFor(s.members[pos].node)
+	}
+	return out
+}

@@ -543,6 +543,94 @@ func (s *Store) MatchAppend(dst []resource.Info, attr string, lo, hi float64) []
 	return dst
 }
 
+// MatchEntriesAppend is MatchAppend at Entry granularity: it appends the
+// stored entries (key included) matching [lo, hi] to dst in ascending value
+// order. Replica-aware readers use it so replication-layer deduplication can
+// distinguish two resources that agree on (attr, value, owner) but were
+// stored under different keys.
+func (s *Store) MatchEntriesAppend(dst []Entry, attr string, lo, hi float64) []Entry {
+	mMatches.Inc()
+	p := s.part(attr)
+	if p == nil {
+		return dst
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	m, st := p.vals.main, p.vals.stage
+	var i1, j1, i2, j2 int
+	if s.interp.Load() {
+		i1, j1 = lowerValInterp(m, lo), upperValInterp(m, hi)
+		i2, j2 = lowerValInterp(st, lo), upperValInterp(st, hi)
+	} else {
+		i1, j1 = lowerVal(m, lo), upperVal(m, hi)
+		i2, j2 = lowerVal(st, lo), upperVal(st, hi)
+	}
+	k := (j1 - i1) + (j2 - i2)
+	if k == 0 {
+		return dst
+	}
+	if cap(dst)-len(dst) < k {
+		grown := make([]Entry, len(dst), len(dst)+k)
+		copy(grown, dst)
+		dst = grown
+	}
+	a, b := m[i1:j1], st[i2:j2]
+	for len(a) > 0 && len(b) > 0 {
+		if valueLess(b[0], a[0]) {
+			dst = append(dst, b[0])
+			b = b[1:]
+		} else {
+			dst = append(dst, a[0])
+			a = a[1:]
+		}
+	}
+	dst = append(dst, a...)
+	dst = append(dst, b...)
+	mMatchEntries.Add(uint64(k))
+	return dst
+}
+
+// AtKey returns every entry stored under the given overlay key, across all
+// attributes, in attribute order and key order within an attribute — a pure
+// function of the stored multiset, like every other read. Hot-key promotion
+// uses it to copy one key-group wholesale.
+func (s *Store) AtKey(key uint64) []Entry {
+	var out []Entry
+	for _, p := range s.partitions() {
+		p.mu.RLock()
+		start := len(out)
+		for _, run := range [][]Entry{p.keys.main, p.keys.stage} {
+			i, j := lowerKey(run, key), upperKey(run, key)
+			out = append(out, run[i:j]...)
+		}
+		part := out[start:]
+		sort.Slice(part, func(i, j int) bool { return keyLess(part[i], part[j]) })
+		p.mu.RUnlock()
+	}
+	return out
+}
+
+// Contains reports whether the directory holds at least one entry equal to
+// e (key, attribute, value and owner all matching). Promotion paths use it
+// to avoid double-placing a copy a base-replication pass already stored.
+func (s *Store) Contains(e Entry) bool {
+	p := s.part(e.Info.Attr)
+	if p == nil {
+		return false
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	for _, run := range [][]Entry{p.keys.main, p.keys.stage} {
+		i := lowerKey(run, e.Key)
+		for ; i < len(run) && run[i].Key == e.Key; i++ {
+			if run[i] == e {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // TakeRange removes and returns every entry whose key lies in the interval
 // [keyLo, keyHi] — or, when wrapped, in [keyLo, max] ∪ [min, keyHi] (an
 // interval crossing the ring's zero point). It is the churn-handover

@@ -101,6 +101,27 @@ type Crashable interface {
 	FailNode(addr string) (lostEntries int, err error)
 }
 
+// Replicated is implemented by systems that keep redundant copies of
+// directory entries on successor-set holders (the shared
+// internal/replication layer). SetReplicas selects the base replication
+// factor r: every entry is stored on its root plus up to r−1 distinct
+// successors. Repair restores that holder invariant after churn — it adds
+// missing copies, drops copies from nodes that should no longer hold them
+// (including replicas invalidated by a re-announce), and is idempotent: a
+// second immediate call reports (0, 0).
+type Replicated interface {
+	System
+	// SetReplicas sets the base replication factor (r ≥ 1; r = 1 disables
+	// replication). It rejects factors below 1 or beyond the overlay's
+	// capacity.
+	SetReplicas(r int) error
+	// Replicas returns the configured base replication factor (≥ 1).
+	Replicas() int
+	// Repair re-establishes the holder invariant for every entry and
+	// reports how many copies it added and removed.
+	Repair() (added, removed int)
+}
+
 // NodeLoad is one node's storage load: how many pieces of resource
 // information its directory holds. Unlike DirectorySizes it carries the
 // node's address, so imbalance reports can name hotspots and migration

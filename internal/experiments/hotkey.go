@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lorm/internal/discovery"
+	"lorm/internal/loadbalance"
+	"lorm/internal/replication"
+	"lorm/internal/resource"
+	"lorm/internal/routing"
+	"lorm/internal/stats"
+	"lorm/internal/systemtest"
+	"lorm/internal/workload"
+)
+
+// hotPromoter is the promotion surface every system exposes alongside
+// discovery.Replicated (the options type keeps it out of the interface).
+type hotPromoter interface {
+	discovery.Replicated
+	PromoteHot([]discovery.NodeLoad, replication.HotKeyOptions) int
+}
+
+// HotKey runs the hot-key replication experiment: a read-heavy workload of
+// single-attribute exact queries whose popularity over the announced pieces
+// is Zipf-distributed, swept over replica fan-out {1, 2, 4, 8} (fan-out 1 =
+// promotion off). Each fan-out gets a fresh deployment of all four systems;
+// a warmup pass records per-node traffic in a loadbalance.Ledger, hot-key
+// promotion replicates the key-groups rooted on hot nodes across fan-out
+// holders, and a measured replay of the same query list reports the
+// per-node visit-load imbalance (max/mean and Gini).
+//
+// The paper's systems differ in what a "key-group" pools, so the sweep is
+// also a comparison of promotion granularity: SWORD and MAAN's attribute
+// index promote whole attribute pools, LORM promotes a quantile bucket of
+// an attribute's values, Mercury promotes a single value's key-group.
+func HotKey(p Params) (factor, gini *stats.Table, err error) {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	for _, f := range p.HotKeyFanouts {
+		if f < 1 {
+			return nil, nil, fmt.Errorf("experiments: hot-key fan-out %d < 1", f)
+		}
+	}
+	n := p.HotKeyNodes
+	if n == 0 {
+		if len(p.LoadSizes) > 0 {
+			n = p.LoadSizes[0]
+		} else {
+			n = p.N
+		}
+	}
+
+	schema := workload.ParetoSchema(p.M, p.Span, p.Alpha)
+	gen := workload.NewGenerator(schema, p.Alpha)
+	infos := gen.Announcements(workload.Split(p.Seed, 600), p.K)
+
+	// One Zipf-popular query list, replayed verbatim at every fan-out: rank
+	// r of the announcement list is read with probability ∝ 1/(1+r)^s.
+	qrng := workload.Split(p.Seed, 601)
+	zipf := rand.NewZipf(qrng, p.HotKeyZipf, 1, uint64(len(infos)-1))
+	queries := make([]resource.Query, 0, p.HotKeyQueries)
+	for j := 0; j < p.HotKeyQueries; j++ {
+		in := infos[zipf.Uint64()]
+		queries = append(queries, resource.Query{
+			Requester: fmt.Sprintf("requester-%04d", j),
+			Subs:      []resource.SubQuery{{Attr: in.Attr, Low: in.Value, High: in.Value}},
+		})
+	}
+
+	cols := append([]string{"fanout"}, loadOrder...)
+	factor = stats.NewTable("Hot-key replication: max/mean query-visit load factor vs replica fan-out", cols...)
+	gini = stats.NewTable("Hot-key replication: Gini coefficient of query visits vs replica fan-out", cols...)
+	factor.Notes = append(factor.Notes,
+		fmt.Sprintf("n=%d nodes, m=%d attributes, k=%d pieces/attr; %d exact queries, Zipf(s=%.2f) read popularity over the announcements",
+			n, p.M, p.K, p.HotKeyQueries, p.HotKeyZipf),
+		fmt.Sprintf("warmup pass marks nodes above %.2fx mean visits hot, promotes their most-read key-groups onto fanout-1 ring successors, then the same queries replay with power-of-two-choices replica reads", p.HotKeyThreshold),
+		"fanout=1 is the baseline (promotion off); promotion granularity is the system's key-group: sword/maan an attribute pool, lorm a value-quantile bucket, mercury one value")
+
+	addrs := systemtest.Addresses(n)
+	for _, f := range p.HotKeyFanouts {
+		dep, err := systemtest.Build(schema, n, systemtest.Options{D: p.D, Bits: p.Bits})
+		if err != nil {
+			return nil, nil, err
+		}
+		systems := dep.Systems()
+		ledgers := make(map[string]*loadbalance.Ledger)
+		for _, s := range systems {
+			attachTrace(p, s)
+			led := &loadbalance.Ledger{}
+			s.(routing.Instrumented).RoutingFabric().Observe(led)
+			ledgers[s.Name()] = led
+		}
+		if err := forEachParallel(infos, p.Workers, func(in resource.Info) error {
+			for _, s := range systems {
+				if _, err := s.Register(in); err != nil {
+					return fmt.Errorf("%s: %w", s.Name(), err)
+				}
+			}
+			return nil
+		}); err != nil {
+			return nil, nil, err
+		}
+
+		reports := make(map[string]loadbalance.Report)
+		promoted := make(map[string]int)
+		for _, s := range systems {
+			led := ledgers[s.Name()]
+			// Warmup: replicator read tallies and the ledger's hot-node
+			// report both accumulate here.
+			if _, _, err := runQueries(s, queries, p.Workers); err != nil {
+				return nil, nil, err
+			}
+			if f > 1 {
+				promoted[s.Name()] = s.(hotPromoter).PromoteHot(led.VisitLoads(addrs), replication.HotKeyOptions{
+					Fanout:    f,
+					Threshold: p.HotKeyThreshold,
+				})
+			}
+			// Measured replay: single worker, so the power-of-two-choices
+			// rotation is deterministic and the run reproducible.
+			led.Reset()
+			if _, _, err := runQueries(s, queries, 1); err != nil {
+				return nil, nil, err
+			}
+			reports[s.Name()] = loadbalance.Analyze(led.VisitLoads(addrs), 3)
+		}
+
+		fRow, gRow := []float64{float64(f)}, []float64{float64(f)}
+		for _, name := range loadOrder {
+			fRow = append(fRow, reports[name].MaxMean)
+			gRow = append(gRow, reports[name].Gini)
+		}
+		factor.AddRow(fRow...)
+		gini.AddRow(gRow...)
+		if f > 1 {
+			note := fmt.Sprintf("fanout=%d promoted key-groups:", f)
+			for _, name := range loadOrder {
+				note += fmt.Sprintf(" %s=%d", name, promoted[name])
+			}
+			factor.Notes = append(factor.Notes, note)
+		}
+	}
+	return factor, gini, nil
+}

@@ -65,6 +65,22 @@ type Params struct {
 	// {1.2, 1.5, 2.0}; larger shapes concentrate announcements on fewer
 	// attributes).
 	LoadSkews []float64
+	// HotKeyFanouts is the replica fan-out sweep of the hot-key replication
+	// experiment (default {1, 2, 4, 8}; 1 = promotion off, the baseline).
+	HotKeyFanouts []int
+	// HotKeyQueries is the number of single-attribute exact queries per
+	// sweep point (default 2000); the same query list replays at every
+	// fan-out.
+	HotKeyQueries int
+	// HotKeyZipf is the Zipf exponent of read popularity over the announced
+	// pieces (default 1.2; must be > 1 for math/rand Zipf).
+	HotKeyZipf float64
+	// HotKeyThreshold marks a node hot when its warmup visit load exceeds
+	// HotKeyThreshold × mean (default 1.5).
+	HotKeyThreshold float64
+	// HotKeyNodes is the deployment size of the hot-key experiment; 0 uses
+	// the first LoadSizes entry (falling back to N).
+	HotKeyNodes int
 	// HubSample bounds how many Mercury hubs are physically built for the
 	// outlink experiment (per-hub routing state is i.i.d. across hubs, so
 	// the per-node total is measured over HubSample hubs and scaled by
@@ -113,6 +129,18 @@ func (p Params) withDefaults() Params {
 	}
 	if len(p.LoadSkews) == 0 {
 		p.LoadSkews = []float64{1.2, 1.5, 2.0}
+	}
+	if len(p.HotKeyFanouts) == 0 {
+		p.HotKeyFanouts = []int{1, 2, 4, 8}
+	}
+	if p.HotKeyQueries <= 0 {
+		p.HotKeyQueries = 2000
+	}
+	if p.HotKeyZipf <= 1 {
+		p.HotKeyZipf = 1.2
+	}
+	if p.HotKeyThreshold <= 0 {
+		p.HotKeyThreshold = 1.5
 	}
 	return p
 }

@@ -19,6 +19,7 @@ import (
 	"lorm/internal/directory"
 	"lorm/internal/discovery"
 	"lorm/internal/hashing"
+	"lorm/internal/replication"
 	"lorm/internal/resource"
 	"lorm/internal/routing"
 )
@@ -39,6 +40,12 @@ type System struct {
 	ring   *chord.Ring
 	lph    []hashing.Locality // per-attribute value hash over the full ring
 	fabric *routing.Fabric
+
+	// Replication covers the two indices separately (see replicated.go):
+	// repValue crash-protects the value-keyed half, repAttr hot-key
+	// replicates the per-attribute pools.
+	repValue *replication.Replicator
+	repAttr  *replication.Replicator
 }
 
 var (
@@ -58,7 +65,22 @@ func New(cfg Config) (*System, error) {
 	for _, a := range cfg.Schema.Attributes() {
 		s.lph = append(s.lph, hashing.NewLocalityFrom(r.Space(), a))
 	}
+	s.repValue = replication.NewReplicator(r.Placement(), replication.WithFilter(s.isValueKeyed))
+	s.repAttr = replication.NewReplicator(r.Placement(), replication.WithFilter(s.isAttrKeyed))
 	return s, nil
+}
+
+// isValueKeyed reports whether an entry is the value-index copy of its
+// piece: stored under ℋ(value) rather than H(attr).
+func (s *System) isValueKeyed(e directory.Entry) bool {
+	idx := s.schema.Index(e.Info.Attr)
+	return idx >= 0 && e.Key == s.valueKey(idx, e.Info.Value)
+}
+
+// isAttrKeyed reports whether an entry is the attribute-index copy of its
+// piece: stored under H(attr).
+func (s *System) isAttrKeyed(e directory.Entry) bool {
+	return e.Key == s.attrKey(e.Info.Attr)
 }
 
 // RoutingFabric implements routing.Instrumented.
@@ -102,15 +124,25 @@ func (s *System) Register(info resource.Info) (cost discovery.Cost, err error) {
 	}
 	op := s.fabric.Begin(routing.OpRegister, info.Owner)
 	akey := s.attrKey(info.Attr)
-	if _, err := s.ring.InsertOp(op, from, akey, directory.Entry{Key: akey, Info: info}); err != nil {
+	ae := directory.Entry{Key: akey, Info: info}
+	ra, err := s.ring.InsertOp(op, from, akey, ae)
+	if err != nil {
 		op.Finish()
 		return cost, err
 	}
+	// repAttr's factor is pinned at 1, so this only invalidates a hot-key
+	// promotion of the re-announced attribute pool (no copies placed).
+	s.repAttr.Place(op, ra.Root.ID, ae)
 	vkey := s.valueKey(idx, info.Value)
-	if _, err := s.ring.InsertOp(op, from, vkey, directory.Entry{Key: vkey, Info: info}); err != nil {
+	ve := directory.Entry{Key: vkey, Info: info}
+	rv, err := s.ring.InsertOp(op, from, vkey, ve)
+	if err != nil {
 		op.Finish()
 		return cost, err
 	}
+	// Crash protection replicates the value-keyed copy onto the root's ring
+	// successors (and invalidates any hot promotion of the key-group).
+	s.repValue.Place(op, rv.Root.ID, ve)
 	return op.Finish(), nil
 }
 
@@ -141,15 +173,10 @@ func (s *System) resolveSub(op *routing.Op, requester string, sub resource.SubQu
 		return nil, err
 	}
 
-	// Lookup 1: attribute index. The attribute root pools the
-	// attribute-keyed copy of every piece and answers from it.
-	r1, err := s.ring.LookupOp(op, from, s.attrKey(sub.Attr))
-	if err != nil {
-		return nil, err
-	}
-	op.Visit(r1.Root.Addr, r1.Root.ID)
-	// Dedupe across the attribute-keyed and value-keyed copies; scratch is
-	// reused across nodes so each directory match is allocation-free.
+	// Dedupe across the attribute-keyed and value-keyed copies (and, with
+	// replication on, across replica holders — copies agree on owner and
+	// value); scratch is reused across nodes so each directory match is
+	// allocation-free.
 	seen := make(map[string]bool)
 	var matches, scratch []resource.Info
 	collect := func(n *chord.Node) {
@@ -161,11 +188,45 @@ func (s *System) resolveSub(op *routing.Op, requester string, sub resource.SubQu
 			}
 		}
 	}
-	collect(r1.Root)
 
-	// Lookup 2: value index, walking the ring for range queries.
+	// Lookup 1: attribute index. The attribute root pools the
+	// attribute-keyed copy of every piece and answers from it — unless the
+	// pool is hot-promoted, in which case the read fans out over the
+	// replica holders power-of-two-choices style, probing the loser.
+	akey := s.attrKey(sub.Attr)
+	if plan, ok := s.repAttr.PlanRead(akey); ok {
+		r1, err := s.ring.LookupOp(op, from, plan.Target.Pos)
+		if err != nil {
+			return nil, err
+		}
+		op.Visit(r1.Root.Addr, r1.Root.ID)
+		op.Forward(plan.Probe.Addr, plan.Probe.Pos, routing.ReasonReplicaRead)
+		collect(r1.Root)
+	} else {
+		r1, err := s.ring.LookupOp(op, from, akey)
+		if err != nil {
+			return nil, err
+		}
+		op.Visit(r1.Root.Addr, r1.Root.ID)
+		collect(r1.Root)
+	}
+
+	// Lookup 2: value index, walking the ring for range queries; an exact
+	// sub-query on a hot-promoted value key-group is replica-aware too.
 	loKey := s.valueKey(idx, sub.Low)
 	hiKey := s.valueKey(idx, sub.High)
+	if loKey == hiKey {
+		if plan, ok := s.repValue.PlanRead(loKey); ok {
+			r2, err := s.ring.LookupOp(op, from, plan.Target.Pos)
+			if err != nil {
+				return nil, err
+			}
+			op.Visit(r2.Root.Addr, r2.Root.ID)
+			op.Forward(plan.Probe.Addr, plan.Probe.Pos, routing.ReasonReplicaRead)
+			collect(r2.Root)
+			return matches, nil
+		}
+	}
 	r2, err := s.ring.LookupOp(op, from, loKey)
 	if err != nil {
 		return nil, err
@@ -229,8 +290,15 @@ func (s *System) FailNode(addr string) (lostEntries int, err error) {
 // NodeAddrs implements discovery.Dynamic.
 func (s *System) NodeAddrs() []string { return s.ring.Addrs() }
 
-// Maintain implements discovery.Dynamic.
+// Maintain implements discovery.Dynamic: one stabilization round, followed
+// by replica repair on whichever indices have replicas in play.
 func (s *System) Maintain() {
 	s.ring.Stabilize()
 	s.ring.FixFingers(0)
+	if s.repValue.Active() {
+		s.repValue.Repair()
+	}
+	if s.repAttr.Active() {
+		s.repAttr.Repair()
+	}
 }

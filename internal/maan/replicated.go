@@ -1,0 +1,56 @@
+package maan
+
+import (
+	"lorm/internal/discovery"
+	"lorm/internal/replication"
+)
+
+// MAAN registers every piece twice, and the two copies need different
+// replication treatment:
+//
+//   - The VALUE-keyed copies spread over the whole ring, so a crash loses a
+//     near-random slice of them. repValue replicates exactly this half (a
+//     WithFilter replicator keyed on ℋ(value)) — it is what SetReplicas
+//     configures and what the crash-churn experiment exercises.
+//   - The ATTRIBUTE-keyed copies pool k pieces on one node per attribute
+//     (Theorem 4.2's concentration). Crash-replicating them too would
+//     double write traffic for copies the value index already protects, so
+//     repAttr's base factor stays pinned at 1; it exists for hot-key
+//     promotion only, because under skewed read traffic the attribute
+//     pool's single root is MAAN's hottest node.
+//
+// Both replicators share the ring's Placement, so a key's holders are
+// always its root plus ring successors regardless of which index owns it.
+
+var _ discovery.Replicated = (*System)(nil)
+
+// SetReplicas configures the replication factor of the value index
+// (minimum 1 = unreplicated). It affects subsequent Register calls; call
+// Repair to bring previously stored entries up to the new factor.
+func (s *System) SetReplicas(r int) error { return s.repValue.SetFactor(r) }
+
+// Replicas returns the configured replication factor of the value index.
+func (s *System) Replicas() int { return s.repValue.Factor() }
+
+// Repair restores the replica invariant on both indices, summing the
+// copies added and removed. It is idempotent.
+func (s *System) Repair() (added, removed int) {
+	a1, r1 := s.repValue.Repair()
+	a2, r2 := s.repAttr.Repair()
+	return a1 + a2, r1 + r2
+}
+
+// PromoteHot promotes the hottest key-groups of both indices, driven by
+// one traffic report: attribute pools promote through repAttr, value
+// key-groups through repValue. It returns the total keys promoted.
+func (s *System) PromoteHot(visits []discovery.NodeLoad, opts replication.HotKeyOptions) int {
+	return s.repAttr.PromoteHot(visits, opts) + s.repValue.PromoteHot(visits, opts)
+}
+
+// ValueReplicator exposes the value-index replication layer, for
+// experiments and tests.
+func (s *System) ValueReplicator() *replication.Replicator { return s.repValue }
+
+// AttrReplicator exposes the attribute-index replication layer, for
+// experiments and tests.
+func (s *System) AttrReplicator() *replication.Replicator { return s.repAttr }

@@ -21,6 +21,7 @@ import (
 	"lorm/internal/directory"
 	"lorm/internal/discovery"
 	"lorm/internal/hashing"
+	"lorm/internal/replication"
 	"lorm/internal/resource"
 	"lorm/internal/routing"
 )
@@ -43,10 +44,11 @@ type System struct {
 	fabric *routing.Fabric
 
 	mu     sync.RWMutex
-	hubs   []*chord.Ring            // parallel to schema order
-	lph    []hashing.Locality       // per-attribute value hash
-	byAddr []map[string]*chord.Node // per-hub address index
-	addrs  map[string]bool          // physical membership
+	hubs   []*chord.Ring             // parallel to schema order
+	lph    []hashing.Locality        // per-attribute value hash
+	reps   []*replication.Replicator // per-hub replica management
+	byAddr []map[string]*chord.Node  // per-hub address index
+	addrs  map[string]bool           // physical membership
 }
 
 var (
@@ -74,6 +76,7 @@ func New(cfg Config) (*System, error) {
 		hub := chord.New(chord.Config{Bits: cfg.Bits, SuccListLen: cfg.SuccListLen, Salt: "hub:" + a.Name})
 		s.hubs = append(s.hubs, hub)
 		s.lph = append(s.lph, hashing.NewLocalityFrom(hub.Space(), a))
+		s.reps = append(s.reps, replication.NewReplicator(hub.Placement()))
 		s.byAddr = append(s.byAddr, make(map[string]*chord.Node))
 	}
 	return s, nil
@@ -133,10 +136,15 @@ func (s *System) Register(info resource.Info) (cost discovery.Cost, err error) {
 		return cost, err
 	}
 	op := s.fabric.Begin(routing.OpRegister, info.Owner)
-	if _, err := hub.InsertOp(op, from, key, directory.Entry{Key: key, Info: info}); err != nil {
+	e := directory.Entry{Key: key, Info: info}
+	route, err := hub.InsertOp(op, from, key, e)
+	if err != nil {
 		op.Finish()
 		return cost, err
 	}
+	// Replication extension: copies go on the hub root's ring successors,
+	// and a re-announce invalidates any hot-key promotion of the key-group.
+	s.reps[h].Place(op, route.Root.ID, e)
 	return op.Finish(), nil
 }
 
@@ -168,13 +176,52 @@ func (s *System) resolveSub(op *routing.Op, requester string, sub resource.SubQu
 	if err != nil {
 		return nil, err
 	}
+
+	// Replica-aware read: an exact sub-query on a hot-promoted key-group
+	// routes to the power-of-two-choices holder instead of the hub root,
+	// probing the losing candidate (one ReasonReplicaRead forward). Keys
+	// without a promotion take the unmodified root-walk path below.
+	if loKey == hiKey {
+		if plan, ok := s.reps[h].PlanRead(loKey); ok {
+			route, err := hub.LookupOp(op, from, plan.Target.Pos)
+			if err != nil {
+				return nil, err
+			}
+			op.Visit(route.Root.Addr, route.Root.ID)
+			op.Forward(plan.Probe.Addr, plan.Probe.Pos, routing.ReasonReplicaRead)
+			g := replication.NewGather()
+			g.AddBatch(route.Root.Dir.MatchEntriesAppend(nil, sub.Attr, sub.Low, sub.High))
+			return g.Infos(), nil
+		}
+	}
+
 	route, err := hub.LookupOp(op, from, loKey)
 	if err != nil {
 		return nil, err
 	}
 	cur := route.Root
 	op.Visit(cur.Addr, cur.ID)
-	matches := cur.Dir.MatchAppend(nil, sub.Attr, sub.Low, sub.High)
+
+	// With replicas in play the walk collects entries into a Gather that
+	// suppresses replica copies per logical entry; otherwise matches append
+	// straight into the result, allocation-light.
+	var (
+		matches []resource.Info
+		g       *replication.Gather
+		ebuf    []directory.Entry
+	)
+	if s.reps[h].Active() {
+		g = replication.NewGather()
+	}
+	collect := func(n *chord.Node) {
+		if g != nil {
+			ebuf = n.Dir.MatchEntriesAppend(ebuf[:0], sub.Attr, sub.Low, sub.High)
+			g.AddBatch(ebuf)
+			return
+		}
+		matches = n.Dir.MatchAppend(matches, sub.Attr, sub.Low, sub.High)
+	}
+	collect(cur)
 
 	// Range walk across the hub ring, tracking cumulative progress through
 	// the key interval so wrapped intervals terminate correctly.
@@ -190,7 +237,10 @@ func (s *System) resolveSub(op *routing.Op, requester string, sub resource.SubQu
 		cur = next
 		op.Forward(cur.Addr, cur.ID, routing.ReasonRangeWalk)
 		op.Visit(cur.Addr, cur.ID)
-		matches = cur.Dir.MatchAppend(matches, sub.Attr, sub.Low, sub.High)
+		collect(cur)
+	}
+	if g != nil {
+		return g.Infos(), nil
 	}
 	return matches, nil
 }
@@ -317,14 +367,19 @@ func (s *System) NodeAddrs() []string {
 	return out
 }
 
-// Maintain implements discovery.Dynamic: one stabilization round per hub.
+// Maintain implements discovery.Dynamic: one stabilization round per hub,
+// followed by a replica-repair pass on hubs with replicas in play.
 func (s *System) Maintain() {
 	s.mu.RLock()
 	hubs := append([]*chord.Ring(nil), s.hubs...)
+	reps := append([]*replication.Replicator(nil), s.reps...)
 	s.mu.RUnlock()
-	for _, hub := range hubs {
+	for h, hub := range hubs {
 		hub.Stabilize()
 		hub.FixFingers(0)
+		if reps[h].Active() {
+			reps[h].Repair()
+		}
 	}
 }
 

@@ -1,0 +1,78 @@
+package mercury
+
+import (
+	"lorm/internal/discovery"
+	"lorm/internal/replication"
+)
+
+// Mercury replicates per attribute hub: each hub ring owns one Replicator
+// over its own Placement, so a piece's copies land on the ring successors
+// of its root INSIDE the attribute's hub — hub membership is the same
+// physical node set, but each hub permutes it differently, so the replica
+// neighbors of a node differ per attribute, exactly as its routing
+// neighbors do.
+
+var _ discovery.Replicated = (*System)(nil)
+
+// SetReplicas configures the replication factor on every hub (minimum 1 =
+// unreplicated). It affects subsequent Register calls; call Repair to bring
+// previously stored entries up to the new factor.
+func (s *System) SetReplicas(r int) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, rep := range s.reps {
+		if err := rep.SetFactor(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Replicas returns the configured replication factor.
+func (s *System) Replicas() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.reps) == 0 {
+		return 1
+	}
+	return s.reps[0].Factor()
+}
+
+// Repair restores the replica invariant on every hub, summing the copies
+// added and removed across hubs. It is idempotent.
+func (s *System) Repair() (added, removed int) {
+	s.mu.RLock()
+	reps := append([]*replication.Replicator(nil), s.reps...)
+	s.mu.RUnlock()
+	for _, rep := range reps {
+		a, r := rep.Repair()
+		added += a
+		removed += r
+	}
+	return added, removed
+}
+
+// PromoteHot promotes the hottest key-groups of every hub, driven by one
+// physical-node traffic report: each hub's replicator checks which of its
+// own roots map to hot physical nodes and promotes its most-read keys
+// there. It returns the total number of keys promoted across hubs.
+func (s *System) PromoteHot(visits []discovery.NodeLoad, opts replication.HotKeyOptions) int {
+	s.mu.RLock()
+	reps := append([]*replication.Replicator(nil), s.reps...)
+	s.mu.RUnlock()
+	promoted := 0
+	for _, rep := range reps {
+		promoted += rep.PromoteHot(visits, opts)
+	}
+	return promoted
+}
+
+// HubReplicator exposes one attribute hub's replication layer, for
+// experiments and tests.
+func (s *System) HubReplicator(attr string) (*replication.Replicator, bool) {
+	h := s.hubOf(attr)
+	if h < 0 {
+		return nil, false
+	}
+	return s.reps[h], true
+}

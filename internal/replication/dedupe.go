@@ -1,0 +1,60 @@
+package replication
+
+import (
+	"lorm/internal/directory"
+	"lorm/internal/resource"
+)
+
+// Gather collects sub-query matches across the nodes a walk visits,
+// suppressing replica copies without suppressing genuine duplicates. The
+// identity of an entry includes its placement key — two distinct resources
+// that agree on (attr, value, owner) but were stored under different keys
+// both survive, fixing the latent bug of the old core-private dedupe.
+//
+// Multiplicity rule: copies of one identity seen on different nodes are
+// replicas (keep one), while copies co-resident on a single node are
+// genuine duplicates (a resource announced twice — the directory stores
+// duplicates). The gathered count of an identity is therefore the maximum
+// per-node count, and output preserves first-seen order.
+//
+// Usage: call Node before appending each visited node's matches, Add per
+// entry, Infos at the end. The zero value is not usable; call NewGather.
+type Gather struct {
+	emitted map[entryIdent]int
+	node    map[entryIdent]int
+	out     []resource.Info
+}
+
+// NewGather returns an empty collector.
+func NewGather() *Gather {
+	return &Gather{
+		emitted: make(map[entryIdent]int),
+		node:    make(map[entryIdent]int),
+	}
+}
+
+// Node marks the start of a new visited node's match batch.
+func (g *Gather) Node() {
+	clear(g.node)
+}
+
+// Add records one matching entry from the current node.
+func (g *Gather) Add(e directory.Entry) {
+	id := identOf(e)
+	g.node[id]++
+	if g.node[id] > g.emitted[id] {
+		g.emitted[id]++
+		g.out = append(g.out, e.Info)
+	}
+}
+
+// AddBatch records one node's whole match batch (Node + Add per entry).
+func (g *Gather) AddBatch(es []directory.Entry) {
+	g.Node()
+	for _, e := range es {
+		g.Add(e)
+	}
+}
+
+// Infos returns the gathered results in first-seen order.
+func (g *Gather) Infos() []resource.Info { return g.out }

@@ -1,0 +1,205 @@
+package replication
+
+import (
+	"sort"
+
+	"lorm/internal/discovery"
+)
+
+// HotKeyOptions tunes one hot-key promotion pass.
+type HotKeyOptions struct {
+	// Fanout is the number of holders a promoted key-group is spread
+	// across (root + Fanout−1 successors). Values below 2 make promotion a
+	// no-op.
+	Fanout int
+	// Threshold marks a node hot when its visit load exceeds
+	// Threshold × mean visit load. Values <= 0 default to 2.
+	Threshold float64
+	// MaxKeys caps how many keys one pass promotes; 0 means no cap.
+	MaxKeys int
+}
+
+// PromoteHot replicates the hottest key-groups onto successor-list nodes.
+// visits is the per-node traffic report (loadbalance.Ledger.VisitLoads):
+// a node is hot when its visits exceed Threshold × mean. The replicator's
+// own read tallies rank the keys; the most-read keys whose root is a hot
+// node are promoted — each key-group's entries are copied from the root
+// onto Fanout−1 successors (skipping copies base replication already
+// placed) and subsequent reads of the key fan out over the holders via
+// PlanRead. It returns the number of keys promoted.
+func (r *Replicator) PromoteHot(visits []discovery.NodeLoad, opts HotKeyOptions) int {
+	if opts.Fanout < 2 || len(visits) == 0 {
+		return 0
+	}
+	if opts.Threshold <= 0 {
+		opts.Threshold = 2
+	}
+	total := 0
+	for _, v := range visits {
+		total += v.Entries
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(visits))
+	hotAddr := make(map[string]bool)
+	for _, v := range visits {
+		if float64(v.Entries) > opts.Threshold*mean {
+			hotAddr[v.Addr] = true
+		}
+	}
+	if len(hotAddr) == 0 {
+		return 0
+	}
+
+	// Rank keys by read tally, most-read first, ties by key for determinism.
+	r.mu.Lock()
+	keys := make([]uint64, 0, len(r.reads))
+	for k := range r.reads {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if r.reads[keys[i]] != r.reads[keys[j]] {
+			return r.reads[keys[i]] > r.reads[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	r.mu.Unlock()
+
+	promoted := 0
+	for _, key := range keys {
+		if opts.MaxKeys > 0 && promoted >= opts.MaxKeys {
+			break
+		}
+		r.mu.Lock()
+		already := r.hot[key] >= opts.Fanout
+		r.mu.Unlock()
+		if already {
+			continue
+		}
+		root, ok := r.p.HolderOf(key)
+		if !ok || !hotAddr[root.Addr] {
+			continue
+		}
+		if r.promoteKey(key, root, opts.Fanout) {
+			promoted++
+		}
+	}
+	return promoted
+}
+
+// promoteKey copies the key-group from its root onto fanout−1 successors
+// and records the promoted fan-out. It reports false when the group is
+// empty or no distinct successor exists.
+func (r *Replicator) promoteKey(key uint64, root Holder, fanout int) bool {
+	src := root.Dir.AtKey(key)
+	if r.filter != nil {
+		kept := src[:0]
+		for _, e := range src {
+			if r.filter(e) {
+				kept = append(kept, e)
+			}
+		}
+		src = kept
+	}
+	if len(src) == 0 {
+		return false
+	}
+	holders := r.holdersFor(key, fanout)
+	if len(holders) < 2 {
+		return false
+	}
+	placed := 0
+	for _, h := range holders[1:] {
+		for _, e := range src {
+			if h.Dir.Contains(e) {
+				continue // base replication already holds this copy
+			}
+			h.Dir.Add(e)
+			placed++
+		}
+	}
+	r.mu.Lock()
+	r.hot[key] = fanout
+	r.mu.Unlock()
+	if placed > 0 {
+		mPlaced.Add(uint64(placed))
+	}
+	mPromotions.Inc()
+	return true
+}
+
+// Invalidate drops a key's hot promotion, typically because the key-group
+// changed (a re-announce). Reads revert to the root immediately — a stale
+// promoted copy is never served — and the orphaned copies are removed by
+// the next Repair pass. It reports whether the key was promoted.
+func (r *Replicator) Invalidate(key uint64) bool {
+	r.mu.Lock()
+	_, was := r.hot[key]
+	if was {
+		delete(r.hot, key)
+	}
+	r.mu.Unlock()
+	if was {
+		mDemotions.Inc()
+	}
+	return was
+}
+
+// HotKeys returns the promoted keys in ascending order (diagnostics and
+// tests).
+func (r *Replicator) HotKeys() []uint64 {
+	r.mu.Lock()
+	out := make([]uint64, 0, len(r.hot))
+	for k := range r.hot {
+		out = append(out, k)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ReadPlan is one replica-aware read decision: route the lookup to Target
+// (a live replica holder) and send a load probe to Probe, the losing
+// power-of-two-choices candidate. The caller records the probe as a
+// ReasonReplicaRead forward, so Messages = Hops + Visited stays exact.
+type ReadPlan struct {
+	Target Holder
+	Probe  Holder
+}
+
+// PlanRead plans a replica-aware read of one single-key sub-query. It
+// always tallies the read (hot-key detection feeds on these tallies) and
+// returns a plan only when the key is hot-promoted with at least two live
+// holders: two rotating candidate holders are compared power-of-two-choices
+// style on replica reads served so far, the less-loaded one becomes the
+// read target and the other is probed. Keys without a promotion — including
+// every key when replication is off — read at their root exactly as
+// before.
+func (r *Replicator) PlanRead(key uint64) (ReadPlan, bool) {
+	r.mu.Lock()
+	r.reads[key]++
+	fanout := r.hot[key]
+	if fanout < 2 {
+		r.mu.Unlock()
+		return ReadPlan{}, false
+	}
+	n := r.rr
+	r.rr++
+	r.mu.Unlock()
+	holders := r.holdersFor(key, fanout)
+	if len(holders) < 2 {
+		return ReadPlan{}, false
+	}
+	r.mu.Lock()
+	i := int(n % uint64(len(holders)))
+	j := int((n + 1) % uint64(len(holders)))
+	a, b := holders[i], holders[j]
+	if r.served[b.Addr] < r.served[a.Addr] {
+		a, b = b, a
+	}
+	r.served[a.Addr]++
+	r.mu.Unlock()
+	mReadHits.Inc()
+	return ReadPlan{Target: a, Probe: b}, true
+}

@@ -1,0 +1,22 @@
+package replication
+
+import "lorm/internal/metrics"
+
+// Process-wide replication counters. cmd/metricscheck -replication
+// cross-checks them against the fabric's reason-labeled step counts:
+// replica read hits equal ReasonReplicaRead steps exactly (each planned
+// read records exactly one probe forward), and replicas placed are at
+// least the ReasonReplicate steps (Repair and hot-key promotion place
+// copies without routing an operation).
+var (
+	mPlaced = metrics.Default().Counter("replication_replicas_placed_total",
+		"replica copies stored by placement, repair and hot-key promotion")
+	mDropped = metrics.Default().Counter("replication_replicas_dropped_total",
+		"surplus or invalidated replica copies removed by repair")
+	mReadHits = metrics.Default().Counter("replication_replica_read_hits_total",
+		"single-key reads served by a replica holder via power-of-two-choices")
+	mPromotions = metrics.Default().Counter("replication_hotkey_promotions_total",
+		"key-groups promoted to hot-key replication")
+	mDemotions = metrics.Default().Counter("replication_hotkey_demotions_total",
+		"hot-key promotions dropped by invalidation (re-announce) or demotion")
+)

@@ -1,0 +1,335 @@
+package replication_test
+
+import (
+	"testing"
+
+	"lorm/internal/directory"
+	"lorm/internal/discovery"
+	"lorm/internal/replication"
+	"lorm/internal/resource"
+	"lorm/internal/routing"
+)
+
+// fakeNode is one node of the fake overlay ring.
+type fakeNode struct {
+	addr string
+	pos  uint64
+	dir  directory.Store
+}
+
+// fakeRing implements replication.Placement over a fixed node list: the
+// overlay semantics (oracle roots, next-node successors) without a real
+// chord/cycloid instance.
+type fakeRing struct {
+	nodes []*fakeNode // ascending pos
+}
+
+func newFakeRing(poss ...uint64) *fakeRing {
+	r := &fakeRing{}
+	for i, p := range poss {
+		r.nodes = append(r.nodes, &fakeNode{addr: string(rune('a' + i)), pos: p})
+	}
+	return r
+}
+
+func (r *fakeRing) holder(n *fakeNode) replication.Holder {
+	return replication.Holder{Addr: n.addr, Pos: n.pos, Dir: &n.dir}
+}
+
+func (r *fakeRing) Capacity() uint64 { return 1 << 16 }
+
+func (r *fakeRing) HolderAt(pos uint64) (replication.Holder, bool) {
+	for _, n := range r.nodes {
+		if n.pos == pos {
+			return r.holder(n), true
+		}
+	}
+	return replication.Holder{}, false
+}
+
+func (r *fakeRing) HolderOf(key uint64) (replication.Holder, bool) {
+	if len(r.nodes) == 0 {
+		return replication.Holder{}, false
+	}
+	key %= r.Capacity()
+	for _, n := range r.nodes {
+		if n.pos >= key {
+			return r.holder(n), true
+		}
+	}
+	return r.holder(r.nodes[0]), true
+}
+
+func (r *fakeRing) SuccessorOf(pos uint64) (replication.Holder, bool) {
+	if len(r.nodes) < 2 {
+		return replication.Holder{}, false
+	}
+	for _, n := range r.nodes {
+		if n.pos > pos {
+			return r.holder(n), true
+		}
+	}
+	return r.holder(r.nodes[0]), true
+}
+
+func (r *fakeRing) HolderRing() []replication.Holder {
+	out := make([]replication.Holder, len(r.nodes))
+	for i, n := range r.nodes {
+		out[i] = r.holder(n)
+	}
+	return out
+}
+
+func entry(key uint64, attr string, value float64, owner string) directory.Entry {
+	return directory.Entry{Key: key, Info: resource.Info{Attr: attr, Value: value, Owner: owner}}
+}
+
+func beginOp() *routing.Op {
+	return routing.NewFabric("test").Begin(routing.OpRegister, "owner")
+}
+
+func countOf(n *fakeNode, e directory.Entry) int {
+	count := 0
+	for _, have := range n.dir.Snapshot() {
+		if have.Key == e.Key && have.Info == e.Info {
+			count++
+		}
+	}
+	return count
+}
+
+func TestSetFactorValidation(t *testing.T) {
+	rep := replication.NewReplicator(newFakeRing(10, 20, 30))
+	if err := rep.SetFactor(0); err == nil {
+		t.Fatal("factor 0 accepted")
+	}
+	if err := rep.SetFactor(1 << 20); err == nil {
+		t.Fatal("factor beyond capacity accepted")
+	}
+	if err := rep.SetFactor(3); err != nil {
+		t.Fatalf("factor 3 rejected: %v", err)
+	}
+	if got := rep.Factor(); got != 3 {
+		t.Fatalf("Factor() = %d, want 3", got)
+	}
+	if !rep.Active() {
+		t.Fatal("factor 3 should be Active")
+	}
+}
+
+func TestPlaceStoresCopiesOnSuccessors(t *testing.T) {
+	ring := newFakeRing(10, 20, 30, 40, 50)
+	rep := replication.NewReplicator(ring)
+	if err := rep.SetFactor(3); err != nil {
+		t.Fatal(err)
+	}
+	e := entry(15, "cpu", 1.5, "owner-a")
+	root := ring.nodes[1] // pos 20 owns key 15
+	root.dir.Add(e)
+
+	op := beginOp()
+	if placed := rep.Place(op, root.pos, e); placed != 2 {
+		t.Fatalf("Place placed %d copies, want 2", placed)
+	}
+	cost := op.Finish()
+	if cost.Messages != cost.Hops+cost.Visited {
+		t.Fatalf("cost identity broken: %+v", cost)
+	}
+	for _, i := range []int{2, 3} { // pos 30, 40: the two successors
+		if countOf(ring.nodes[i], e) != 1 {
+			t.Fatalf("successor %s missing its copy", ring.nodes[i].addr)
+		}
+	}
+	if countOf(ring.nodes[4], e) != 0 {
+		t.Fatal("copy beyond the factor's successor chain")
+	}
+}
+
+func TestPlaceWrapsOnSmallRing(t *testing.T) {
+	ring := newFakeRing(10, 20)
+	rep := replication.NewReplicator(ring)
+	if err := rep.SetFactor(4); err != nil {
+		t.Fatal(err)
+	}
+	e := entry(5, "cpu", 1.0, "owner-a")
+	ring.nodes[0].dir.Add(e)
+	if placed := rep.Place(beginOp(), ring.nodes[0].pos, e); placed != 1 {
+		t.Fatalf("Place on 2-node ring placed %d copies, want 1 (wrap)", placed)
+	}
+}
+
+func TestPlaceRespectsFilter(t *testing.T) {
+	ring := newFakeRing(10, 20, 30)
+	rep := replication.NewReplicator(ring, replication.WithFilter(func(e directory.Entry) bool {
+		return e.Info.Attr == "cpu"
+	}))
+	if err := rep.SetFactor(2); err != nil {
+		t.Fatal(err)
+	}
+	if placed := rep.Place(beginOp(), 10, entry(5, "mem", 1.0, "o")); placed != 0 {
+		t.Fatalf("filtered entry placed %d copies", placed)
+	}
+	if placed := rep.Place(beginOp(), 10, entry(5, "cpu", 1.0, "o")); placed != 1 {
+		t.Fatalf("accepted entry placed %d copies, want 1", placed)
+	}
+}
+
+func TestRepairRestoresAndIsIdempotent(t *testing.T) {
+	ring := newFakeRing(10, 20, 30, 40)
+	rep := replication.NewReplicator(ring)
+	if err := rep.SetFactor(2); err != nil {
+		t.Fatal(err)
+	}
+	e := entry(15, "cpu", 1.5, "owner-a")
+	ring.nodes[1].dir.Add(e) // root only: successor copy missing
+	stray := entry(35, "mem", 2.0, "owner-b")
+	ring.nodes[0].dir.Add(stray) // on pos 10; root of key 35 is pos 40
+	ring.nodes[3].dir.Add(stray)
+	ring.nodes[0].dir.Add(stray) // a second stray copy on the same node
+
+	added, removed := rep.Repair()
+	// Missing: e's successor copy (pos 30) and stray's successor copy (pos
+	// 10 is NOT a desired holder — root 40's successor wraps to 10... it is
+	// desired; the two surplus copies there already satisfy it).
+	if added == 0 {
+		t.Fatalf("Repair added nothing (added=%d removed=%d)", added, removed)
+	}
+	if a2, r2 := rep.Repair(); a2 != 0 || r2 != 0 {
+		t.Fatalf("second Repair not a no-op: (%d, %d)", a2, r2)
+	}
+	if countOf(ring.nodes[2], e) != 1 {
+		t.Fatal("repair did not recreate the missing successor copy")
+	}
+
+	// Drop the factor to 1: every replica copy is now surplus.
+	if err := rep.SetFactor(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, removed := rep.Repair(); removed == 0 {
+		t.Fatal("Repair at factor 1 removed no surplus copies")
+	}
+	if a2, r2 := rep.Repair(); a2 != 0 || r2 != 0 {
+		t.Fatalf("second Repair not a no-op after shrink: (%d, %d)", a2, r2)
+	}
+	if countOf(ring.nodes[2], e) != 0 {
+		t.Fatal("surplus copy survived factor shrink")
+	}
+}
+
+func promote(t *testing.T, rep *replication.Replicator, ring *fakeRing, key uint64, fanout int) {
+	t.Helper()
+	root, ok := ring.HolderOf(key)
+	if !ok {
+		t.Fatal("no root")
+	}
+	// Tally a read so the key ranks, then report the root as the only hot
+	// node.
+	rep.PlanRead(key)
+	loads := make([]discovery.NodeLoad, 0, len(ring.nodes))
+	for _, n := range ring.nodes {
+		l := discovery.NodeLoad{Addr: n.addr}
+		if n.addr == root.Addr {
+			l.Entries = 100
+		}
+		loads = append(loads, l)
+	}
+	if n := rep.PromoteHot(loads, replication.HotKeyOptions{Fanout: fanout}); n != 1 {
+		t.Fatalf("PromoteHot promoted %d keys, want 1", n)
+	}
+}
+
+func TestHotKeyPromotionAndPlanRead(t *testing.T) {
+	ring := newFakeRing(10, 20, 30, 40)
+	rep := replication.NewReplicator(ring)
+	const key = 15
+	root := ring.nodes[1]
+	group := []directory.Entry{
+		entry(key, "cpu", 1.5, "owner-a"),
+		entry(key, "cpu", 2.5, "owner-b"),
+	}
+	for _, e := range group {
+		root.dir.Add(e)
+	}
+
+	if _, ok := rep.PlanRead(key); ok {
+		t.Fatal("PlanRead planned a read with no promotion")
+	}
+	promote(t, rep, ring, key, 2)
+	if got := rep.HotKeys(); len(got) != 1 || got[0] != key {
+		t.Fatalf("HotKeys = %v, want [%d]", got, key)
+	}
+	for _, e := range group {
+		if countOf(ring.nodes[2], e) != 1 {
+			t.Fatal("promotion did not copy the key-group to the successor")
+		}
+	}
+
+	// Power-of-two-choices over the two holders: both serve, no holder is
+	// starved, and the probe is never the target.
+	targets := map[string]int{}
+	for i := 0; i < 20; i++ {
+		plan, ok := rep.PlanRead(key)
+		if !ok {
+			t.Fatal("PlanRead refused a promoted key")
+		}
+		if plan.Target.Addr == plan.Probe.Addr {
+			t.Fatal("target and probe are the same holder")
+		}
+		targets[plan.Target.Addr]++
+	}
+	if len(targets) != 2 || targets[root.addr] == 0 || targets[ring.nodes[2].addr] == 0 {
+		t.Fatalf("reads not spread over both holders: %v", targets)
+	}
+}
+
+// Regression for the old core-private dedupe, whose identity omitted the
+// placement key: two distinct resources agreeing on (attr, value, owner)
+// but stored under different keys were collapsed into one result.
+func TestGatherKeyedIdentityRegression(t *testing.T) {
+	g := replication.NewGather()
+	g.AddBatch([]directory.Entry{
+		entry(10, "cpu", 1.5, "owner-a"),
+		entry(20, "cpu", 1.5, "owner-a"), // same info, different key: distinct
+	})
+	if got := g.Infos(); len(got) != 2 {
+		t.Fatalf("distinct-key duplicates collapsed: got %d infos, want 2", len(got))
+	}
+}
+
+func TestGatherSuppressesReplicasKeepsDuplicates(t *testing.T) {
+	g := replication.NewGather()
+	e := entry(10, "cpu", 1.5, "owner-a")
+	g.AddBatch([]directory.Entry{e})    // root copy
+	g.AddBatch([]directory.Entry{e, e}) // replica holder with a genuine duplicate
+	g.AddBatch([]directory.Entry{e})    // second replica holder
+	// Max per-node count is 2: one announce plus one genuine duplicate.
+	if got := g.Infos(); len(got) != 2 {
+		t.Fatalf("got %d infos, want 2 (replicas suppressed, duplicate kept)", len(got))
+	}
+}
+
+func TestReannounceInvalidatesPromotion(t *testing.T) {
+	ring := newFakeRing(10, 20, 30, 40)
+	rep := replication.NewReplicator(ring)
+	const key = 15
+	root := ring.nodes[1]
+	e := entry(key, "cpu", 1.5, "owner-a")
+	root.dir.Add(e)
+	promote(t, rep, ring, key, 3)
+
+	// Re-announce the key: the promotion must drop immediately (reads
+	// revert to the root) and the next Repair removes the orphaned copies.
+	rep.Place(beginOp(), root.pos, e) // factor 1: invalidation only
+	if got := rep.HotKeys(); len(got) != 0 {
+		t.Fatalf("promotion survived a re-announce: %v", got)
+	}
+	if _, ok := rep.PlanRead(key); ok {
+		t.Fatal("PlanRead served a stale promoted replica")
+	}
+	if _, removed := rep.Repair(); removed == 0 {
+		t.Fatal("Repair dropped no orphaned promoted copies")
+	}
+	if countOf(ring.nodes[2], e) != 0 {
+		t.Fatal("orphaned promoted copy survived Repair")
+	}
+}

@@ -26,11 +26,13 @@ type MetricsObserver struct {
 	hops     *metrics.HistogramVec
 	visited  *metrics.HistogramVec
 	messages *metrics.HistogramVec
+	steps    *metrics.CounterVec
 
 	total atomic.Uint64 // all finished ops, for cheap progress heartbeats
 
-	mu      sync.RWMutex
-	handles map[seriesKey]*seriesHandles
+	mu          sync.RWMutex
+	handles     map[seriesKey]*seriesHandles
+	stepHandles map[string]*[numReasons]*metrics.Counter
 }
 
 type seriesKey struct {
@@ -51,16 +53,19 @@ type seriesHandles struct {
 // and pre-initializes series for every known system and kind.
 func NewMetricsObserver(reg *metrics.Registry) *MetricsObserver {
 	m := &MetricsObserver{
-		ops:      reg.CounterVec("lorm_ops_total", "finished register/discover operations", "system", "kind"),
-		hops:     reg.HistogramVec("lorm_op_hops", "logical routing hops per operation", "system", "kind"),
-		visited:  reg.HistogramVec("lorm_op_visited", "directory nodes visited per operation", "system", "kind"),
-		messages: reg.HistogramVec("lorm_op_messages", "messages per operation", "system", "kind"),
-		handles:  make(map[seriesKey]*seriesHandles),
+		ops:         reg.CounterVec("lorm_ops_total", "finished register/discover operations", "system", "kind"),
+		hops:        reg.HistogramVec("lorm_op_hops", "logical routing hops per operation", "system", "kind"),
+		visited:     reg.HistogramVec("lorm_op_visited", "directory nodes visited per operation", "system", "kind"),
+		messages:    reg.HistogramVec("lorm_op_messages", "messages per operation", "system", "kind"),
+		steps:       reg.CounterVec("lorm_op_steps_total", "recorded routing steps by reason", "system", "reason"),
+		handles:     make(map[seriesKey]*seriesHandles),
+		stepHandles: make(map[string]*[numReasons]*metrics.Counter),
 	}
 	for _, sys := range KnownSystems {
 		for _, kind := range []Kind{OpRegister, OpDiscover} {
 			m.handlesFor(sys, kind)
 		}
+		m.stepHandlesFor(sys)
 	}
 	return m
 }
@@ -90,12 +95,41 @@ func (m *MetricsObserver) handlesFor(system string, kind Kind) *seriesHandles {
 	return h
 }
 
+// stepHandlesFor resolves (and caches) one system's per-reason step
+// counters, so OpStep pays a read-locked map probe plus one atomic add.
+func (m *MetricsObserver) stepHandlesFor(system string) *[numReasons]*metrics.Counter {
+	m.mu.RLock()
+	h, ok := m.stepHandles[system]
+	m.mu.RUnlock()
+	if ok {
+		return h
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h, ok = m.stepHandles[system]; ok {
+		return h
+	}
+	h = new([numReasons]*metrics.Counter)
+	for r := 0; r < numReasons; r++ {
+		h[r] = m.steps.With(system, Reason(r).String())
+	}
+	m.stepHandles[system] = h
+	return h
+}
+
 // NeedsPath reports that this observer never reads op.Path(), letting the
 // fabric skip step recording when only metrics observers are attached.
 func (m *MetricsObserver) NeedsPath() bool { return false }
 
-// OpStep implements Observer; everything is derived at finish.
-func (m *MetricsObserver) OpStep(*Op, Step) {}
+// OpStep implements Observer: it counts every recorded step into the
+// reason-labeled lorm_op_steps_total family. cmd/metricscheck cross-checks
+// the replication counters against the replicate/replica-read series.
+func (m *MetricsObserver) OpStep(op *Op, st Step) {
+	if int(st.Reason) >= numReasons {
+		return
+	}
+	m.stepHandlesFor(op.System)[st.Reason].Inc()
+}
 
 // OpFinished implements Observer.
 func (m *MetricsObserver) OpFinished(op *Op, cost discovery.Cost) {

@@ -16,7 +16,8 @@ import (
 //
 // Reasons are encoded by Reason.Letter: f = finger-forward, w = range-walk,
 // r = replicate, v = directory-visit, d = detour (forward past a dead
-// preferred hop). The number of non-v steps equals the reported Hops and the
+// preferred hop), p = replica-read probe (power-of-two-choices load probe
+// of a second replica holder). The number of non-v steps equals the reported Hops and the
 // number of v steps equals Visited — consumers can (and the CLI test does)
 // re-derive the cost from the path.
 type TraceSink struct {

@@ -53,6 +53,17 @@ const (
 	// a finger forward — the Messages = Hops + Visited invariant holds
 	// unchanged under failures.
 	ReasonDetour
+	// ReasonReplicaRead is the probe message of a replica-aware read: a
+	// power-of-two-choices read contacts one replica holder (the lookup
+	// routes there and the visit is recorded as usual) and probes a second
+	// candidate holder for its load. The probe is a real message on the
+	// wire, so it counts toward Hops and the Messages = Hops + Visited
+	// invariant stays exact by construction.
+	ReasonReplicaRead
+
+	// numReasons bounds the Reason enum; per-reason accounting (the
+	// MetricsObserver step counters) sizes its tables with it.
+	numReasons = int(ReasonReplicaRead) + 1
 )
 
 // Forwards reports whether the reason counts as a logical routing hop.
@@ -70,6 +81,8 @@ func (r Reason) String() string {
 		return "directory-visit"
 	case ReasonDetour:
 		return "detour"
+	case ReasonReplicaRead:
+		return "replica-read"
 	}
 	return "unknown"
 }
@@ -87,6 +100,8 @@ func (r Reason) Letter() byte {
 		return 'v'
 	case ReasonDetour:
 		return 'd'
+	case ReasonReplicaRead:
+		return 'p'
 	}
 	return '?'
 }

@@ -1,0 +1,41 @@
+package sword
+
+import (
+	"lorm/internal/discovery"
+	"lorm/internal/replication"
+)
+
+// SWORD's placement unit is the whole attribute pool: H(attr) maps every
+// piece of an attribute to one key, so the pool's root holds all k of them
+// and a replica holder necessarily holds all k of them too — per-piece
+// replication would shred the one property SWORD buys with its terrible
+// load balance, namely that a range query is answered by a single
+// directory node. Replicating wholesale keeps that property on every
+// holder: a replica answers any range over the attribute exactly as the
+// root would, which is also why SWORD's replica-aware reads cover range
+// sub-queries, not just exact ones. The cost is symmetric — a crash loses
+// whole pools, a repair re-copies whole pools — and the directory
+// concentration of Theorem 4.4 is simply multiplied by the factor.
+
+var _ discovery.Replicated = (*System)(nil)
+
+// SetReplicas configures the replication factor (minimum 1 =
+// unreplicated). It affects subsequent Register calls; call Repair to
+// bring previously stored pools up to the new factor.
+func (s *System) SetReplicas(r int) error { return s.rep.SetFactor(r) }
+
+// Replicas returns the configured replication factor.
+func (s *System) Replicas() int { return s.rep.Factor() }
+
+// Repair restores the replica invariant: every attribute pool on exactly
+// its root plus effective-fan-out−1 successors. It is idempotent.
+func (s *System) Repair() (added, removed int) { return s.rep.Repair() }
+
+// PromoteHot promotes the hottest attribute pools to replicated reads,
+// driven by a traffic-ledger visit report.
+func (s *System) PromoteHot(visits []discovery.NodeLoad, opts replication.HotKeyOptions) int {
+	return s.rep.PromoteHot(visits, opts)
+}
+
+// Replicator exposes the replication layer for experiments and tests.
+func (s *System) Replicator() *replication.Replicator { return s.rep }

@@ -17,6 +17,7 @@ import (
 	"lorm/internal/directory"
 	"lorm/internal/discovery"
 	"lorm/internal/hashing"
+	"lorm/internal/replication"
 	"lorm/internal/resource"
 	"lorm/internal/routing"
 )
@@ -35,6 +36,7 @@ type Config struct {
 type System struct {
 	schema *resource.Schema
 	ring   *chord.Ring
+	rep    *replication.Replicator
 	fabric *routing.Fabric
 }
 
@@ -51,7 +53,12 @@ func New(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("sword: config needs a schema")
 	}
 	r := chord.New(chord.Config{Bits: cfg.Bits, SuccListLen: cfg.SuccListLen, Salt: "sword"})
-	return &System{schema: cfg.Schema, ring: r, fabric: routing.NewFabric("sword")}, nil
+	return &System{
+		schema: cfg.Schema,
+		ring:   r,
+		rep:    replication.NewReplicator(r.Placement()),
+		fabric: routing.NewFabric("sword"),
+	}, nil
 }
 
 // RoutingFabric implements routing.Instrumented.
@@ -89,10 +96,16 @@ func (s *System) Register(info resource.Info) (cost discovery.Cost, err error) {
 		return cost, err
 	}
 	op := s.fabric.Begin(routing.OpRegister, info.Owner)
-	if _, err := s.ring.InsertOp(op, from, key, directory.Entry{Key: key, Info: info}); err != nil {
+	e := directory.Entry{Key: key, Info: info}
+	route, err := s.ring.InsertOp(op, from, key, e)
+	if err != nil {
 		op.Finish()
 		return cost, err
 	}
+	// Replication extension: the attribute pool's copies go on the root's
+	// ring successors, and a re-announce invalidates any hot-key promotion
+	// of the pool.
+	s.rep.Place(op, route.Root.ID, e)
 	return op.Finish(), nil
 }
 
@@ -110,7 +123,21 @@ func (s *System) Discover(q resource.Query) (*discovery.Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		route, err := s.ring.LookupOp(op, from, s.attrKey(sub.Attr))
+		// Replica-aware read: every SWORD sub-query — range or exact — is a
+		// single-key read of the H(attr) pool, so when the pool is
+		// hot-promoted any sub-query can fan out over the wholesale pool
+		// copies power-of-two-choices style, probing the losing candidate.
+		key := s.attrKey(sub.Attr)
+		if plan, ok := s.rep.PlanRead(key); ok {
+			route, err := s.ring.LookupOp(op, from, plan.Target.Pos)
+			if err != nil {
+				return nil, err
+			}
+			op.Visit(route.Root.Addr, route.Root.ID)
+			op.Forward(plan.Probe.Addr, plan.Probe.Pos, routing.ReasonReplicaRead)
+			return route.Root.Dir.Match(sub.Attr, sub.Low, sub.High), nil
+		}
+		route, err := s.ring.LookupOp(op, from, key)
 		if err != nil {
 			return nil, err
 		}
@@ -158,8 +185,12 @@ func (s *System) FailNode(addr string) (lostEntries int, err error) {
 // NodeAddrs implements discovery.Dynamic.
 func (s *System) NodeAddrs() []string { return s.ring.Addrs() }
 
-// Maintain implements discovery.Dynamic.
+// Maintain implements discovery.Dynamic: one stabilization round, followed
+// by a replica-repair pass when any replicas are in play.
 func (s *System) Maintain() {
 	s.ring.Stabilize()
 	s.ring.FixFingers(0)
+	if s.rep.Active() {
+		s.rep.Repair()
+	}
 }

@@ -1,0 +1,273 @@
+package systemtest
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"lorm/internal/discovery"
+	"lorm/internal/loadbalance"
+	"lorm/internal/replication"
+	"lorm/internal/resource"
+	"lorm/internal/routing"
+	"lorm/internal/workload"
+)
+
+// hotSystem is what every system exposes on top of discovery.Replicated:
+// a hot-key promotion pass driven by a traffic report.
+type hotSystem interface {
+	discovery.Replicated
+	PromoteHot(visits []discovery.NodeLoad, opts replication.HotKeyOptions) int
+}
+
+// replicated asserts the whole deployment implements discovery.Replicated
+// and returns the systems under that interface.
+func replicated(t *testing.T, dep *Deployment) []discovery.Replicated {
+	t.Helper()
+	out := make([]discovery.Replicated, 0, 4)
+	for _, sys := range dep.Systems() {
+		rep, ok := sys.(discovery.Replicated)
+		if !ok {
+			t.Fatalf("%s does not implement discovery.Replicated", sys.Name())
+		}
+		out = append(out, rep)
+	}
+	return out
+}
+
+// checkOracle compares every system's answers on the query set against the
+// brute-force oracle: joined owner set and per-attribute owner sets.
+func checkOracle(t *testing.T, dep *Deployment, queries []resource.Query, when string) {
+	t.Helper()
+	for qi, q := range queries {
+		want, err := dep.Oracle.Discover(q)
+		if err != nil {
+			t.Fatalf("oracle on query %d: %v", qi, err)
+		}
+		for _, sys := range dep.Systems() {
+			got, err := sys.Discover(q)
+			if err != nil {
+				t.Fatalf("%s %s query %d: %v", sys.Name(), when, qi, err)
+			}
+			if !equalStrings(got.Owners, want.Owners) {
+				t.Fatalf("%s %s query %d (%v): owners %v, oracle %v",
+					sys.Name(), when, qi, q, got.Owners, want.Owners)
+			}
+			for attr, infos := range want.PerAttr {
+				if !equalStrings(ownerSet(got.PerAttr[attr]), ownerSet(infos)) {
+					t.Fatalf("%s %s query %d attr %s: owner set %v, oracle %v",
+						sys.Name(), when, qi, attr, ownerSet(got.PerAttr[attr]), ownerSet(infos))
+				}
+			}
+		}
+	}
+}
+
+// The replication layer's central property, table-driven over all four
+// systems as discovery.Replicated: with base factor r, Repair after any
+// crash/join sequence that destroys fewer than r holders per round restores
+// the holder invariant — every system keeps answering exactly like the
+// oracle — and a second immediate Repair is a no-op (idempotence).
+func TestRepairRestoresOracleAnswersAfterCrashAndJoin(t *testing.T) {
+	schema := resource.MustSchema(
+		resource.Attribute{Name: "cpu", Min: 100, Max: 3200},
+		resource.Attribute{Name: "mem", Min: 0, Max: 8192},
+		resource.Attribute{Name: "disk", Min: 1, Max: 2000},
+	)
+	dep, err := Build(schema, 96, Options{D: 6, Bits: 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const factor = 3
+	reps := replicated(t, dep)
+	for _, rep := range reps {
+		if err := rep.SetReplicas(0); err == nil {
+			t.Fatalf("%s accepted replication factor 0", rep.Name())
+		}
+		if err := rep.SetReplicas(factor); err != nil {
+			t.Fatalf("%s SetReplicas(%d): %v", rep.Name(), factor, err)
+		}
+		if got := rep.Replicas(); got != factor {
+			t.Fatalf("%s Replicas() = %d, want %d", rep.Name(), got, factor)
+		}
+	}
+
+	gen := workload.NewGenerator(schema, 1.5)
+	rng := workload.Split(1006, 0)
+	for _, in := range gen.Announcements(rng, 50) {
+		if err := dep.RegisterEverywhere(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Registration placed every copy, so the holder invariant already
+	// holds: the very first Repair must agree with Place and do nothing.
+	for _, rep := range reps {
+		if a, r := rep.Repair(); a != 0 || r != 0 {
+			t.Fatalf("%s Repair after clean registration: (%d, %d), want (0, 0)", rep.Name(), a, r)
+		}
+	}
+
+	qrng := workload.Split(1006, 1)
+	queries := make([]resource.Query, 0, 30)
+	for i := 0; i < 15; i++ {
+		queries = append(queries,
+			gen.ExactQuery(qrng, 1+i%3, fmt.Sprintf("req-%d", i)),
+			gen.RangeQuery(qrng, 1+i%3, 0.5, fmt.Sprintf("req-r-%d", i)),
+		)
+	}
+	checkOracle(t, dep, queries, "pre-fault")
+
+	// Four rounds of faults. Each round crashes two nodes — fewer than the
+	// factor, so no key-group can lose all its holders between repairs —
+	// and joins one fresh node, which shifts holder chains around the new
+	// ring position.
+	for round := 0; round < 4; round++ {
+		victims := dep.LORM.NodeAddrs()
+		sort.Strings(victims)
+		for v := 0; v < factor-1; v++ {
+			victim := victims[(round*37+v*11)%len(victims)]
+			for _, rep := range reps {
+				cr, ok := rep.(discovery.Crashable)
+				if !ok {
+					t.Fatalf("%s does not implement discovery.Crashable", rep.Name())
+				}
+				if _, err := cr.FailNode(victim); err != nil {
+					t.Fatalf("%s crash %s: %v", rep.Name(), victim, err)
+				}
+			}
+			victims = dep.LORM.NodeAddrs()
+			sort.Strings(victims)
+		}
+		joiner := fmt.Sprintf("joiner-%02d", round)
+		for _, rep := range reps {
+			if err := rep.(discovery.Dynamic).AddNode(joiner); err != nil {
+				t.Fatalf("%s join %s: %v", rep.Name(), joiner, err)
+			}
+		}
+		for _, rep := range reps {
+			rep.(discovery.Dynamic).Maintain()
+			rep.Repair()
+			if a, r := rep.Repair(); a != 0 || r != 0 {
+				t.Fatalf("%s round %d: second Repair not idempotent: (%d, %d)", rep.Name(), round, a, r)
+			}
+		}
+		checkOracle(t, dep, queries, fmt.Sprintf("round %d", round))
+	}
+}
+
+// Replica-aware reads under concurrency: promote hot keys on every system,
+// then hammer the same queries from many goroutines (run with -race) and
+// require every answer to stay oracle-exact while reads fan out over the
+// replica holders.
+func TestConcurrentReplicaReadsMatchOracle(t *testing.T) {
+	schema := resource.MustSchema(
+		resource.Attribute{Name: "cpu", Min: 100, Max: 3200},
+		resource.Attribute{Name: "mem", Min: 0, Max: 8192},
+	)
+	const n = 64
+	dep, err := Build(schema, n, Options{D: 6, Bits: 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewGenerator(schema, 1.5)
+	rng := workload.Split(1007, 0)
+	infos := gen.Announcements(rng, 40)
+	for _, in := range infos {
+		if err := dep.RegisterEverywhere(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A skewed read mix: three announcements hammered as exact queries
+	// (these become the hot keys) plus a couple of ranges for background.
+	hot := make([]resource.Query, 0, 3)
+	for i := 0; i < 3; i++ {
+		in := infos[i*7]
+		hot = append(hot, resource.Query{
+			Subs:      []resource.SubQuery{{Attr: in.Attr, Low: in.Value, High: in.Value}},
+			Requester: fmt.Sprintf("req-hot-%d", i),
+		})
+	}
+	qrng := workload.Split(1007, 1)
+	mixed := append([]resource.Query{}, hot...)
+	for i := 0; i < 3; i++ {
+		mixed = append(mixed, gen.RangeQuery(qrng, 1+i%2, 0.5, fmt.Sprintf("req-r-%d", i)))
+	}
+
+	addrs := Addresses(n)
+	for _, sys := range dep.Systems() {
+		hs, ok := sys.(hotSystem)
+		if !ok {
+			t.Fatalf("%s does not expose PromoteHot", sys.Name())
+		}
+		led := &loadbalance.Ledger{}
+		sys.(routing.Instrumented).RoutingFabric().Observe(led)
+		for i := 0; i < 60; i++ {
+			for _, q := range hot {
+				if _, err := sys.Discover(q); err != nil {
+					t.Fatalf("%s warmup: %v", sys.Name(), err)
+				}
+			}
+		}
+		promoted := hs.PromoteHot(led.VisitLoads(addrs), replication.HotKeyOptions{Fanout: 3, Threshold: 1.2})
+		if promoted == 0 {
+			t.Fatalf("%s promoted no keys after a skewed warmup", sys.Name())
+		}
+	}
+
+	// Oracle answers are fixed; compute them once up front.
+	type expect struct {
+		owners  []string
+		perAttr map[string][]string
+	}
+	wants := make([]expect, len(mixed))
+	for i, q := range mixed {
+		res, err := dep.Oracle.Discover(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = expect{owners: res.Owners, perAttr: map[string][]string{}}
+		for attr, infos := range res.PerAttr {
+			wants[i].perAttr[attr] = ownerSet(infos)
+		}
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				for qi, q := range mixed {
+					for _, sys := range dep.Systems() {
+						got, err := sys.Discover(q)
+						if err != nil {
+							errs <- fmt.Errorf("%s: %v", sys.Name(), err)
+							return
+						}
+						if !equalStrings(got.Owners, wants[qi].owners) {
+							errs <- fmt.Errorf("%s query %d: owners %v, oracle %v",
+								sys.Name(), qi, got.Owners, wants[qi].owners)
+							return
+						}
+						for attr, want := range wants[qi].perAttr {
+							if !equalStrings(ownerSet(got.PerAttr[attr]), want) {
+								errs <- fmt.Errorf("%s query %d attr %s: owner set %v, oracle %v",
+									sys.Name(), qi, attr, ownerSet(got.PerAttr[attr]), want)
+								return
+							}
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -80,10 +80,17 @@ type MetricsDigest struct {
 	// Directory index activity: stored pieces, range matches served, and
 	// entries migrated by churn handover, so remote clients see the
 	// gateway's storage workload alongside its routing workload.
-	DirAdds      uint64          `json:"dir_adds,omitempty"`
-	DirMatches   uint64          `json:"dir_matches,omitempty"`
-	DirHandovers uint64          `json:"dir_handovers,omitempty"`
-	Systems      []SystemMetrics `json:"systems,omitempty"`
+	DirAdds      uint64 `json:"dir_adds,omitempty"`
+	DirMatches   uint64 `json:"dir_matches,omitempty"`
+	DirHandovers uint64 `json:"dir_handovers,omitempty"`
+	// Replication-layer activity: replica copies placed and dropped, reads
+	// served by replica holders, and hot-key promotions/demotions.
+	ReplicasPlaced   uint64          `json:"replicas_placed,omitempty"`
+	ReplicasDropped  uint64          `json:"replicas_dropped,omitempty"`
+	ReplicaReadHits  uint64          `json:"replica_read_hits,omitempty"`
+	HotKeyPromotions uint64          `json:"hotkey_promotions,omitempty"`
+	HotKeyDemotions  uint64          `json:"hotkey_demotions,omitempty"`
+	Systems          []SystemMetrics `json:"systems,omitempty"`
 }
 
 // SystemMetrics is one system's slice of the digest.

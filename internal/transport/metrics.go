@@ -69,6 +69,16 @@ var (
 		"Range-match operations served by node directories (Match and MatchAppend).")
 	mdDirHandovers = metrics.Default().Counter("directory_entries_handed_over_total",
 		"Entries removed from a directory by handover paths (TakeRange, TakeIf, TakeAll).")
+	mdReplicasPlaced = metrics.Default().Counter("replication_replicas_placed_total",
+		"replica copies stored by placement, repair and hot-key promotion")
+	mdReplicasDropped = metrics.Default().Counter("replication_replicas_dropped_total",
+		"surplus or invalidated replica copies removed by repair")
+	mdReplicaReadHits = metrics.Default().Counter("replication_replica_read_hits_total",
+		"single-key reads served by a replica holder via power-of-two-choices")
+	mdHotKeyPromotions = metrics.Default().Counter("replication_hotkey_promotions_total",
+		"key-groups promoted to hot-key replication")
+	mdHotKeyDemotions = metrics.Default().Counter("replication_hotkey_demotions_total",
+		"hot-key promotions dropped by invalidation (re-announce) or demotion")
 )
 
 // countRequest bumps the per-verb request counter.

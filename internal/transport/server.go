@@ -273,6 +273,12 @@ func (s *Server) metricsDigest() *MetricsDigest {
 		DirAdds:       mdDirAdds.Value(),
 		DirMatches:    mdDirMatches.Value(),
 		DirHandovers:  mdDirHandovers.Value(),
+
+		ReplicasPlaced:   mdReplicasPlaced.Value(),
+		ReplicasDropped:  mdReplicasDropped.Value(),
+		ReplicaReadHits:  mdReplicaReadHits.Value(),
+		HotKeyPromotions: mdHotKeyPromotions.Value(),
+		HotKeyDemotions:  mdHotKeyDemotions.Value(),
 	}
 	for _, sd := range systems {
 		d.Systems = append(d.Systems, SystemMetrics{
