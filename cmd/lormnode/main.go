@@ -17,7 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -34,7 +34,9 @@ import (
 	"lorm/internal/mercury"
 	"lorm/internal/metrics"
 	"lorm/internal/resource"
+	"lorm/internal/routing"
 	"lorm/internal/sword"
+	"lorm/internal/tracing"
 	"lorm/internal/transport"
 )
 
@@ -145,32 +147,32 @@ func fitDimension(nodes int) int {
 	return 20
 }
 
-func buildSystem(name string, d int, bits uint, schema *resource.Schema, nodes int) (discovery.System, error) {
+func buildSystem(name string, d int, bits uint, schema *resource.Schema, nodes int, logger *slog.Logger) (discovery.System, error) {
 	addrs := make([]string, nodes)
 	for i := range addrs {
 		addrs[i] = fmt.Sprintf("peer-%04d", i)
 	}
 	switch name {
 	case "lorm":
-		sys, err := core.New(core.Config{D: d, Schema: schema})
+		sys, err := core.New(core.Config{D: d, Schema: schema, Logger: logger})
 		if err != nil {
 			return nil, err
 		}
 		return sys, sys.AddNodes(addrs)
 	case "mercury":
-		sys, err := mercury.New(mercury.Config{Bits: bits, Schema: schema})
+		sys, err := mercury.New(mercury.Config{Bits: bits, Schema: schema, Logger: logger})
 		if err != nil {
 			return nil, err
 		}
 		return sys, sys.AddNodes(addrs)
 	case "sword":
-		sys, err := sword.New(sword.Config{Bits: bits, Schema: schema})
+		sys, err := sword.New(sword.Config{Bits: bits, Schema: schema, Logger: logger})
 		if err != nil {
 			return nil, err
 		}
 		return sys, sys.AddNodes(addrs)
 	case "maan":
-		sys, err := maan.New(maan.Config{Bits: bits, Schema: schema})
+		sys, err := maan.New(maan.Config{Bits: bits, Schema: schema, Logger: logger})
 		if err != nil {
 			return nil, err
 		}
@@ -187,8 +189,16 @@ func cmdServe(args []string) error {
 	bits := fs.Uint("bits", 20, "Chord identifier bits (mercury/sword/maan)")
 	nodes := fs.Int("nodes", 256, "number of simulated peers in the deployment")
 	attrs := fs.String("attrs", "cpu:100:3200,mem:0:8192,disk:1:2000", "attribute schema")
-	mlisten := fs.String("metrics-listen", "", "serve /metrics, /healthz and /debug/pprof on this HTTP address")
+	mlisten := fs.String("metrics-listen", "", "serve /metrics, /healthz, /trace and /debug/pprof on this HTTP address")
+	logJSON := fs.Bool("log-json", false, "emit logs as structured JSON instead of text")
+	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	sample := fs.Float64("trace-sample", 0, "head-sampling probability for distributed tracing (0 disables, 1 samples everything)")
+	slowMS := fs.Float64("slow-ms", 0, "dump sampled operations at least this many milliseconds long to the log (0 disables)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := buildLogger(os.Stderr, *logJSON, *logLevel)
+	if err != nil {
 		return err
 	}
 	schema, err := parseAttrs(*attrs)
@@ -198,37 +208,67 @@ func cmdServe(args []string) error {
 	if *d == 0 {
 		*d = fitDimension(*nodes)
 	}
-	sys, err := buildSystem(*system, *d, *bits, schema, *nodes)
+	sys, err := buildSystem(*system, *d, *bits, schema, *nodes, logger)
 	if err != nil {
 		return err
 	}
-	logger := log.New(os.Stderr, "lormnode ", log.LstdFlags)
+	// The tracer is always attached (so /trace and the tracing counter
+	// families exist); the sampling rate decides whether it records spans.
+	tracer := tracing.New(tracing.Config{
+		Seed:          time.Now().UnixNano(),
+		SampleRate:    *sample,
+		SlowThreshold: time.Duration(*slowMS * float64(time.Millisecond)),
+		SlowLog:       os.Stderr,
+	})
+	if inst, ok := sys.(routing.Instrumented); ok {
+		inst.RoutingFabric().Observe(tracer)
+	}
 	srv, err := transport.NewServer(sys, *listen, logger)
 	if err != nil {
 		return err
 	}
-	logger.Printf("serving %s (%d peers, %d attributes) on %s", sys.Name(), sys.NodeCount(), schema.Len(), srv.Addr())
+	logger.Info("serving", "system", sys.Name(), "peers", sys.NodeCount(),
+		"attributes", schema.Len(), "addr", srv.Addr(), "trace_sample", *sample)
 	if *mlisten != "" {
-		msrv, maddr, err := startMetricsServer(*mlisten)
+		msrv, maddr, err := startMetricsServer(*mlisten, tracer)
 		if err != nil {
 			srv.Close()
 			return err
 		}
 		defer msrv.Close()
-		logger.Printf("metrics on http://%s/metrics (pprof under /debug/pprof/)", maddr)
+		logger.Info("observability endpoint up", "metrics", "http://"+maddr+"/metrics", "trace", "http://"+maddr+"/trace")
 	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	logger.Printf("shutting down")
+	logger.Info("shutting down")
 	return srv.Close()
+}
+
+// buildLogger assembles the serve logger: leveled, structured, text or JSON
+// on w — the single handler every component (transport server, slow-op
+// dumps' neighbor lines, membership events) logs through.
+func buildLogger(w *os.File, asJSON bool, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	if asJSON {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(h), nil
 }
 
 // startMetricsServer binds the observability HTTP endpoint: the process
 // metrics registry (Prometheus text, or JSON via ?format=json), a liveness
-// probe, and the runtime profiler. Returns the server and the bound
+// probe, the collected trace spans as JSONL (the cmd/lormtrace input
+// format), and the runtime profiler. Returns the server and the bound
 // address (addr may carry port 0).
-func startMetricsServer(addr string) (*http.Server, string, error) {
+func startMetricsServer(addr string, tracer *tracing.Tracer) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", fmt.Errorf("metrics listen %s: %w", addr, err)
@@ -238,6 +278,10 @@ func startMetricsServer(addr string) (*http.Server, string, error) {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+		tracer.Collector().WriteJSONL(w)
 	})
 	// Mount pprof explicitly: the side-effect registration in net/http/pprof
 	// targets http.DefaultServeMux, which this server does not use.

@@ -10,6 +10,8 @@ import (
 
 	"lorm/internal/metrics"
 	"lorm/internal/resource"
+	"lorm/internal/routing"
+	"lorm/internal/tracing"
 	"lorm/internal/transport"
 )
 
@@ -89,7 +91,7 @@ func TestBuildSystemVariants(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"lorm", "mercury", "sword", "maan"} {
-		sys, err := buildSystem(name, 5, 16, schema, 16)
+		sys, err := buildSystem(name, 5, 16, schema, 16, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -100,7 +102,7 @@ func TestBuildSystemVariants(t *testing.T) {
 			t.Fatalf("%s NodeCount = %d", name, sys.NodeCount())
 		}
 	}
-	if _, err := buildSystem("kazaa", 5, 16, schema, 4); err == nil {
+	if _, err := buildSystem("kazaa", 5, 16, schema, 4, nil); err == nil {
 		t.Fatal("unknown system accepted")
 	}
 }
@@ -134,9 +136,15 @@ func TestMetricsEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys, err := buildSystem("lorm", 5, 16, schema, 32)
+	sys, err := buildSystem("lorm", 5, 16, schema, 32, nil)
 	if err != nil {
 		t.Fatal(err)
+	}
+	tracer := tracing.New(tracing.Config{SampleRate: 1, Seed: 7})
+	if inst, ok := sys.(routing.Instrumented); ok {
+		inst.RoutingFabric().Observe(tracer)
+	} else {
+		t.Fatal("lorm system is not routing.Instrumented")
 	}
 	gw, err := transport.NewServer(sys, "127.0.0.1:0", nil)
 	if err != nil {
@@ -154,7 +162,7 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	msrv, maddr, err := startMetricsServer("127.0.0.1:0")
+	msrv, maddr, err := startMetricsServer("127.0.0.1:0", tracer)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,6 +215,23 @@ func TestMetricsEndpoint(t *testing.T) {
 
 	if code, body, _ := get("/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
 		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	code, body, _ = get("/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/trace status %d", code)
+	}
+	spans, err := tracing.ReadSpans(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("/trace body does not parse as span JSONL: %v", err)
+	}
+	foundOp := false
+	for _, sp := range spans {
+		if sp.IsOp() && sp.System == "lorm" && sp.Kind == "register" {
+			foundOp = true
+		}
+	}
+	if !foundOp {
+		t.Fatalf("/trace has no lorm register op span among %d spans", len(spans))
 	}
 	if code, _, _ := get("/debug/pprof/cmdline"); code != http.StatusOK {
 		t.Fatalf("/debug/pprof/cmdline status %d", code)

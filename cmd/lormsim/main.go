@@ -18,6 +18,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
@@ -26,6 +27,7 @@ import (
 	"lorm/internal/metrics"
 	"lorm/internal/routing"
 	"lorm/internal/stats"
+	"lorm/internal/tracing"
 )
 
 func main() {
@@ -55,10 +57,26 @@ func run(args []string, out *os.File) error {
 		loadOut = fs.String("load-out", "", "write the load-distribution tables to this file; setting it implies -exp load")
 		rebal   = fs.Bool("rebalance", true, "run the item-migration pass in the load experiment and report post-rebalance load factors")
 		hotOut  = fs.String("hotkey-out", "", "write the hot-key replication sweep tables to this file; setting it implies -exp hotkey")
+		spans   = fs.String("trace-spans", "", "write timed trace spans (JSONL, the cmd/lormtrace input) to this file")
+		sample  = fs.Float64("trace-sample", 1, "head-sampling probability for -trace-spans (deterministic in -seed)")
+		slowMS  = fs.Float64("slow-ms", 0, "dump sampled operations at least this many milliseconds long to stderr (0 disables)")
+		logLvl  = fs.String("log-level", "warn", "minimum stderr event-log level: debug, info, warn, error (debug shows churn joins/departures)")
+		logJSON = fs.Bool("log-json", false, "emit event logs as structured JSON instead of text")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLvl)); err != nil {
+		return fmt.Errorf("bad -log-level %q: %w", *logLvl, err)
+	}
+	hopts := &slog.HandlerOptions{Level: level}
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, hopts)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, hopts)
+	}
+	logger := slog.New(handler)
 
 	var p experiments.Params
 	switch *preset {
@@ -98,6 +116,9 @@ func run(args []string, out *os.File) error {
 	if *crFrac > 0 {
 		p.CrashFraction = *crFrac
 	}
+	// Membership events (churn joins/departures at Debug, crashes at Info)
+	// flow through the same leveled handler as every other event line.
+	p.Logger = logger
 	if *trace != "" {
 		f, err := os.Create(*trace)
 		if err != nil {
@@ -146,6 +167,38 @@ func run(args []string, out *os.File) error {
 			}
 			fmt.Fprintf(os.Stderr, "[lormsim] metrics: %d routing ops; snapshot written to %s\n",
 				obs.TotalOps(), *mout)
+		}()
+	}
+
+	if *spans != "" || *slowMS > 0 {
+		tracer := tracing.New(tracing.Config{
+			Seed:          p.Seed,
+			SampleRate:    *sample,
+			SlowThreshold: time.Duration(*slowMS * float64(time.Millisecond)),
+			SlowLog:       os.Stderr,
+		})
+		p.SpanObserver = tracer
+		defer func() {
+			col := tracer.Collector()
+			if evicted := col.Evicted(); evicted > 0 {
+				fmt.Fprintf(os.Stderr, "[lormsim] trace-spans: collector full, %d spans evicted (cap %d)\n",
+					evicted, col.Cap())
+			}
+			if *spans == "" {
+				return
+			}
+			f, ferr := os.Create(*spans)
+			if ferr != nil {
+				fmt.Fprintf(os.Stderr, "[lormsim] trace-spans: %v\n", ferr)
+				return
+			}
+			defer f.Close()
+			if werr := col.WriteJSONL(f); werr != nil {
+				fmt.Fprintf(os.Stderr, "[lormsim] trace-spans: %v\n", werr)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "[lormsim] trace-spans: %d spans written to %s (sample %g)\n",
+				col.Len(), *spans, *sample)
 		}()
 	}
 

@@ -4,12 +4,12 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
-	"regexp"
-	"strconv"
 	"strings"
 	"testing"
 
 	"lorm/internal/metrics"
+	"lorm/internal/routing"
+	"lorm/internal/tracing"
 )
 
 // run the CLI end to end at the quick preset, capturing stdout through a
@@ -73,35 +73,21 @@ func TestTraceConsistency(t *testing.T) {
 		t.Fatal("empty trace")
 	}
 	systems := map[string]bool{}
-	re := regexp.MustCompile(`^system=(\S+) op=discover tag=\S+ hops=(\d+) visited=(\d+) msgs=(\d+) path=(\S*)$`)
 	for _, line := range lines {
-		m := re.FindStringSubmatch(line)
-		if m == nil {
-			t.Fatalf("malformed trace line: %q", line)
+		tl, err := routing.ParseTraceLine(line)
+		if err != nil {
+			t.Fatalf("malformed trace line: %v: %q", err, line)
 		}
-		systems[m[1]] = true
-		hops, _ := strconv.Atoi(m[2])
-		visited, _ := strconv.Atoi(m[3])
-		msgs, _ := strconv.Atoi(m[4])
-		if msgs != hops+visited {
-			t.Fatalf("msgs %d != hops %d + visited %d: %q", msgs, hops, visited, line)
+		if tl.Op != routing.OpDiscover {
+			t.Fatalf("fig4a trace carries non-discover op %q: %q", tl.Op, line)
 		}
-		forwards, visits := 0, 0
-		if m[5] != "" {
-			for _, step := range strings.Split(m[5], ",") {
-				switch step[0] {
-				case 'f', 'w', 'r':
-					forwards++
-				case 'v':
-					visits++
-				default:
-					t.Fatalf("unknown step kind %q in %q", step, line)
-				}
-			}
+		systems[tl.System] = true
+		if tl.Cost.Messages != tl.Cost.Hops+tl.Cost.Visited {
+			t.Fatalf("msgs %d != hops %d + visited %d: %q",
+				tl.Cost.Messages, tl.Cost.Hops, tl.Cost.Visited, line)
 		}
-		if forwards != hops || visits != visited {
-			t.Fatalf("path sums (f=%d v=%d) disagree with header (hops=%d visited=%d): %q",
-				forwards, visits, hops, visited, line)
+		if got := routing.CostOfPath(tl.Path); got != tl.Cost {
+			t.Fatalf("path re-derives %+v, header says %+v: %q", got, tl.Cost, line)
 		}
 	}
 	for _, want := range []string{"lorm", "mercury", "sword", "maan"} {
@@ -156,6 +142,51 @@ func TestMetricsOut(t *testing.T) {
 	for _, want := range []string{"lorm", "mercury", "sword", "maan"} {
 		if bySystem[want] == 0 {
 			t.Errorf("no ops recorded for system %q", want)
+		}
+	}
+}
+
+// TestTraceSpansOut runs fig4a with -trace-spans at full sampling and
+// verifies the span JSONL parses, covers all four systems, and keeps every
+// step span parented under an op span of the same trace.
+func TestTraceSpansOut(t *testing.T) {
+	spath := filepath.Join(t.TempDir(), "spans.jsonl")
+	runCLI(t, "-exp", "fig4a", "-preset", "quick", "-trace-spans", spath)
+	f, err := os.Open(spath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	spans, err := tracing.ReadSpans(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) == 0 {
+		t.Fatal("no spans written")
+	}
+	ops := map[uint64]tracing.Span{} // op span ID -> span
+	systems := map[string]bool{}
+	for _, sp := range spans {
+		if sp.IsOp() {
+			ops[sp.Span] = sp
+			systems[sp.System] = true
+		}
+	}
+	for _, want := range []string{"lorm", "mercury", "sword", "maan"} {
+		if !systems[want] {
+			t.Errorf("no op spans from system %q", want)
+		}
+	}
+	for _, sp := range spans {
+		if sp.IsOp() {
+			continue
+		}
+		parent, ok := ops[sp.Parent]
+		if !ok {
+			t.Fatalf("step span %016x has no op parent %016x", sp.Span, sp.Parent)
+		}
+		if parent.Trace != sp.Trace {
+			t.Fatalf("step trace %016x != parent trace %016x", sp.Trace, parent.Trace)
 		}
 	}
 }

@@ -1,0 +1,342 @@
+// Command lormtrace analyzes collected trace spans: where operation time
+// goes, per system and per routing reason.
+//
+// Input is the span JSONL written by `lormsim -trace-spans`, a `lormnode
+// serve` /trace endpoint, or any tracing.Collector flush. Modes:
+//
+//	lormtrace spans.jsonl                  # latency breakdown + critical-path summary
+//	lormtrace -top 10 spans.jsonl          # the 10 slowest operations, span by span
+//	lormtrace -chrome trace.json spans.jsonl  # Chrome trace-event JSON for Perfetto
+//	lormtrace -paths trace.txt             # analyze TraceSink text lines instead
+//
+// The Chrome output loads directly in https://ui.perfetto.dev (or
+// chrome://tracing): one process row per system, one thread row per trace,
+// op spans as complete events and routing steps as instants.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"lorm/internal/routing"
+	"lorm/internal/stats"
+	"lorm/internal/tracing"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lormtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("lormtrace", flag.ContinueOnError)
+	chrome := fs.String("chrome", "", "also write Chrome trace-event JSON (Perfetto-loadable) to this file")
+	top := fs.Int("top", 0, "print the N slowest operations span by span")
+	paths := fs.Bool("paths", false, "input is TraceSink text lines (lormsim -trace) instead of span JSONL")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: lormtrace [-chrome out.json] [-top N] [-paths] FILE")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	if *paths {
+		return summarizePaths(f, out)
+	}
+	spans, err := tracing.ReadSpans(f)
+	if err != nil {
+		return err
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("no spans in %s", fs.Arg(0))
+	}
+	summarize(spans, out)
+	if *top > 0 {
+		printTop(spans, *top, out)
+	}
+	if *chrome != "" {
+		cf, err := os.Create(*chrome)
+		if err != nil {
+			return err
+		}
+		defer cf.Close()
+		n, err := writeChrome(spans, cf)
+		if err != nil {
+			return fmt.Errorf("chrome export: %w", err)
+		}
+		fmt.Fprintf(out, "\nchrome trace: %d events written to %s (load in https://ui.perfetto.dev)\n", n, *chrome)
+	}
+	return nil
+}
+
+// sysKind groups op spans by (system, kind) for the latency table.
+type sysKind struct{ system, kind string }
+
+// summarize prints the two core tables: per-system/per-kind op latency
+// quantiles, and per-system/per-reason step counts with gap-attributed
+// time (how much of the ops' critical path elapsed leading into each
+// reason's steps).
+func summarize(spans []tracing.Span, out io.Writer) {
+	ops := make(map[sysKind][]float64) // durations in µs
+	byParent := make(map[uint64][]tracing.Span)
+	var opSpans []tracing.Span
+	for _, sp := range spans {
+		if sp.IsOp() {
+			ops[sysKind{sp.System, sp.Kind}] = append(ops[sysKind{sp.System, sp.Kind}], float64(sp.Dur)/1e3)
+			opSpans = append(opSpans, sp)
+		} else {
+			byParent[sp.Parent] = append(byParent[sp.Parent], sp)
+		}
+	}
+
+	fmt.Fprintf(out, "operation latency (µs), %d op spans\n", len(opSpans))
+	fmt.Fprintf(out, "%-10s %-10s %8s %10s %10s %10s %10s\n", "system", "op", "count", "p50", "p99", "max", "mean")
+	for _, k := range sortedKeys(ops) {
+		s := stats.Summarize(ops[k])
+		fmt.Fprintf(out, "%-10s %-10s %8d %10.1f %10.1f %10.1f %10.1f\n",
+			k.system, k.kind, s.N, s.P50, s.P99, s.Max, s.Mean)
+	}
+
+	// Critical-path attribution: within each op, sort the step instants by
+	// time and attribute each inter-event gap to the step that ended it
+	// (the gap is the time spent reaching that step); the remainder from
+	// the last step to op end is the tail (join + reply assembly).
+	type reasonAgg struct {
+		count int
+		ns    int64
+	}
+	attr := make(map[string]map[string]*reasonAgg) // system -> reason -> agg
+	addGap := func(system, reason string, ns int64) {
+		m := attr[system]
+		if m == nil {
+			m = make(map[string]*reasonAgg)
+			attr[system] = m
+		}
+		a := m[reason]
+		if a == nil {
+			a = &reasonAgg{}
+			m[reason] = a
+		}
+		a.count++
+		a.ns += ns
+	}
+	for _, op := range opSpans {
+		steps := append([]tracing.Span(nil), byParent[op.Span]...)
+		sort.Slice(steps, func(i, j int) bool { return steps[i].Start < steps[j].Start })
+		prev := op.Start
+		for _, st := range steps {
+			addGap(op.System, st.Name, st.Start-prev)
+			prev = st.Start
+		}
+		addGap(op.System, "(tail)", op.Start+op.Dur-prev)
+	}
+	fmt.Fprintf(out, "\ncritical-path attribution (time elapsed reaching each step, by reason)\n")
+	fmt.Fprintf(out, "%-10s %-18s %10s %12s %12s\n", "system", "reason", "steps", "total µs", "mean µs")
+	for _, system := range sortedStrKeys(attr) {
+		m := attr[system]
+		for _, reason := range sortedStrKeys(m) {
+			a := m[reason]
+			fmt.Fprintf(out, "%-10s %-18s %10d %12.1f %12.1f\n",
+				system, reason, a.count, float64(a.ns)/1e3, float64(a.ns)/1e3/float64(a.count))
+		}
+	}
+}
+
+// printTop lists the n slowest ops with their step timelines.
+func printTop(spans []tracing.Span, n int, out io.Writer) {
+	byParent := make(map[uint64][]tracing.Span)
+	var opSpans []tracing.Span
+	for _, sp := range spans {
+		if sp.IsOp() {
+			opSpans = append(opSpans, sp)
+		} else {
+			byParent[sp.Parent] = append(byParent[sp.Parent], sp)
+		}
+	}
+	sort.Slice(opSpans, func(i, j int) bool { return opSpans[i].Dur > opSpans[j].Dur })
+	if n > len(opSpans) {
+		n = len(opSpans)
+	}
+	fmt.Fprintf(out, "\nslowest %d operations\n", n)
+	for _, op := range opSpans[:n] {
+		fmt.Fprintf(out, "%s %s/%s tag=%s trace=%016x hops=%d visited=%d remote=%v\n",
+			time.Duration(op.Dur), op.System, op.Kind, op.Tag, op.Trace, op.Hops, op.Visited, op.Remote)
+		steps := append([]tracing.Span(nil), byParent[op.Span]...)
+		sort.Slice(steps, func(i, j int) bool { return steps[i].Start < steps[j].Start })
+		for _, st := range steps {
+			fmt.Fprintf(out, "  +%-12s %-16s %s\n", time.Duration(st.Start-op.Start), st.Name, st.Addr)
+		}
+	}
+}
+
+// chromeEvent is one entry of the Chrome trace-event format ("JSON Object
+// Format", the array-of-events variant Perfetto and chrome://tracing load).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   uint64         `json:"tid"`
+	Scope string         `json:"s,omitempty"`    // instant scope
+	Cat   string         `json:"cat,omitempty"`  // event category
+	Args  map[string]any `json:"args,omitempty"` // free-form detail
+}
+
+// writeChrome exports spans as Chrome trace events: one pid per system
+// (named via metadata events), one tid per trace, op spans as "X" complete
+// events and steps as thread-scoped "i" instants.
+func writeChrome(spans []tracing.Span, w io.Writer) (int, error) {
+	pids := make(map[string]int)
+	pid := func(system string) int {
+		id, ok := pids[system]
+		if !ok {
+			id = len(pids) + 1
+			pids[system] = id
+		}
+		return id
+	}
+	events := make([]chromeEvent, 0, len(spans)+4)
+	for _, sp := range spans {
+		ev := chromeEvent{
+			Name: sp.Name,
+			TS:   float64(sp.Start) / 1e3,
+			PID:  pid(sp.System),
+			TID:  sp.Trace,
+			Cat:  sp.System,
+		}
+		if sp.IsOp() {
+			ev.Phase = "X"
+			ev.Dur = float64(sp.Dur) / 1e3
+			ev.Args = map[string]any{
+				"trace":   fmt.Sprintf("%016x", sp.Trace),
+				"tag":     sp.Tag,
+				"hops":    sp.Hops,
+				"visited": sp.Visited,
+				"remote":  sp.Remote,
+			}
+		} else {
+			ev.Phase = "i"
+			ev.Scope = "t"
+			ev.Args = map[string]any{"addr": sp.Addr}
+		}
+		events = append(events, ev)
+	}
+	// Name the per-system process rows.
+	for system, id := range pids {
+		events = append(events, chromeEvent{
+			Name:  "process_name",
+			Phase: "M",
+			PID:   id,
+			Args:  map[string]any{"name": system},
+		})
+	}
+	doc := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{TraceEvents: events}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(doc); err != nil {
+		return 0, err
+	}
+	return len(events), nil
+}
+
+// summarizePaths analyzes TraceSink text lines (the -trace format) with the
+// shared routing.ParseTraceLine decoder: untimed, but it still yields hop
+// distributions and per-reason step counts.
+func summarizePaths(r io.Reader, out io.Writer) error {
+	lines, err := readTraceLines(r)
+	if err != nil {
+		return err
+	}
+	if len(lines) == 0 {
+		return fmt.Errorf("no trace lines in input")
+	}
+	hops := make(map[sysKind][]float64)
+	reasons := make(map[string]map[string]int)
+	for _, tl := range lines {
+		k := sysKind{tl.System, string(tl.Op)}
+		hops[k] = append(hops[k], float64(tl.Cost.Hops))
+		m := reasons[tl.System]
+		if m == nil {
+			m = make(map[string]int)
+			reasons[tl.System] = m
+		}
+		for _, st := range tl.Path {
+			m[st.Reason.String()]++
+		}
+	}
+	fmt.Fprintf(out, "hop counts, %d trace lines (untimed path format)\n", len(lines))
+	fmt.Fprintf(out, "%-10s %-10s %8s %10s %10s %10s\n", "system", "op", "count", "p50", "p99", "max")
+	for _, k := range sortedKeys(hops) {
+		s := stats.Summarize(hops[k])
+		fmt.Fprintf(out, "%-10s %-10s %8d %10.1f %10.1f %10.1f\n", k.system, k.kind, s.N, s.P50, s.P99, s.Max)
+	}
+	fmt.Fprintf(out, "\nstep counts by reason\n")
+	for _, system := range sortedStrKeys(reasons) {
+		for _, reason := range sortedStrKeys(reasons[system]) {
+			fmt.Fprintf(out, "%-10s %-18s %10d\n", system, reason, reasons[system][reason])
+		}
+	}
+	return nil
+}
+
+// readTraceLines decodes every nonempty line with routing.ParseTraceLine.
+func readTraceLines(r io.Reader) ([]routing.TraceLine, error) {
+	var lines []routing.TraceLine
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	start := 0
+	for i := 0; i <= len(data); i++ {
+		if i == len(data) || data[i] == '\n' {
+			line := string(data[start:i])
+			start = i + 1
+			if len(line) == 0 {
+				continue
+			}
+			tl, err := routing.ParseTraceLine(line)
+			if err != nil {
+				return nil, err
+			}
+			lines = append(lines, tl)
+		}
+	}
+	return lines, nil
+}
+
+func sortedKeys(m map[sysKind][]float64) []sysKind {
+	keys := make([]sysKind, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].system != keys[j].system {
+			return keys[i].system < keys[j].system
+		}
+		return keys[i].kind < keys[j].kind
+	})
+	return keys
+}
+
+func sortedStrKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lorm/internal/tracing"
+)
+
+// writeSpanFile writes a small, hand-built two-trace span set: a lorm
+// discover with two steps, a maan register with one, plus a client root.
+func writeSpanFile(t *testing.T) string {
+	t.Helper()
+	c := tracing.NewCollector(32)
+	for _, sp := range []tracing.Span{
+		{Trace: 0x10, Span: 0x11, System: "client", Kind: tracing.ClientKind, Name: "discover", Start: 0, Dur: 9000},
+		{Trace: 0x10, Span: 0x12, Parent: 0x11, System: "lorm", Kind: "discover", Name: "discover",
+			Tag: "req-1", Start: 1000, Dur: 7000, Hops: 2, Visited: 1, Remote: true},
+		{Trace: 0x10, Span: 0x13, Parent: 0x12, System: "lorm", Name: "finger-forward", Addr: "cyc-1", Start: 2000},
+		{Trace: 0x10, Span: 0x14, Parent: 0x12, System: "lorm", Name: "directory-visit", Addr: "cyc-2", Start: 5000},
+		{Trace: 0x20, Span: 0x21, System: "maan", Kind: "register", Name: "register",
+			Tag: "own-1", Start: 0, Dur: 3000, Hops: 1},
+		{Trace: 0x20, Span: 0x22, Parent: 0x21, System: "maan", Name: "finger-forward", Addr: "chd-9", Start: 1500},
+	} {
+		c.Add(sp)
+	}
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := c.WriteJSONL(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSummaryAndTop(t *testing.T) {
+	path := writeSpanFile(t)
+	var out bytes.Buffer
+	if err := run([]string{"-top", "2", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"operation latency", "lorm", "discover", "maan", "register",
+		"critical-path attribution", "(tail)", "finger-forward",
+		"slowest 2 operations", "tag=req-1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("summary output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestRunChromeExport validates the Chrome trace-event JSON shape: a
+// traceEvents array whose phases are X (ops, with dur), i (step instants,
+// thread scope) and M (process metadata naming each system).
+func TestRunChromeExport(t *testing.T) {
+	path := writeSpanFile(t)
+	cpath := filepath.Join(t.TempDir(), "chrome.json")
+	var out bytes.Buffer
+	if err := run([]string{"-chrome", cpath, path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(cpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			Dur   float64        `json:"dur"`
+			PID   int            `json:"pid"`
+			Scope string         `json:"s"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("chrome JSON does not parse: %v", err)
+	}
+	phases := map[string]int{}
+	procNames := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		phases[ev.Phase]++
+		switch ev.Phase {
+		case "X":
+			if ev.Dur <= 0 {
+				t.Errorf("complete event %q has no duration", ev.Name)
+			}
+		case "i":
+			if ev.Scope != "t" {
+				t.Errorf("instant %q scope %q, want t", ev.Name, ev.Scope)
+			}
+		case "M":
+			if name, _ := ev.Args["name"].(string); name != "" {
+				procNames[name] = true
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev.Phase)
+		}
+		if ev.Phase != "M" && ev.PID == 0 {
+			t.Errorf("event %q has no pid", ev.Name)
+		}
+	}
+	if phases["X"] != 3 || phases["i"] != 3 {
+		t.Fatalf("phase counts %v, want 3 X and 3 i", phases)
+	}
+	for _, sys := range []string{"client", "lorm", "maan"} {
+		if !procNames[sys] {
+			t.Errorf("no process_name metadata for system %q", sys)
+		}
+	}
+}
+
+// TestRunPathsMode feeds TraceSink text lines through -paths.
+func TestRunPathsMode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.txt")
+	lines := "system=lorm op=discover tag=r1 hops=2 visited=1 msgs=3 path=f:a,w:b,v:c\n" +
+		"system=sword op=discover tag=r2 hops=1 visited=1 msgs=2 path=f:a,v:b\n"
+	if err := os.WriteFile(path, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-paths", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"hop counts", "lorm", "sword", "range-walk", "directory-visit"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("paths output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Fatal("missing file argument accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{empty}, &out); err == nil {
+		t.Fatal("empty span file accepted")
+	}
+}

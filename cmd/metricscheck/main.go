@@ -8,10 +8,13 @@
 // cross-checks them against the directory handover counters they must stay
 // consistent with. With -replication it requires the replication-layer
 // counters and cross-checks them against the fabric's reason-labeled step
-// counts. CI runs it after short simulations to catch regressions in the
-// observability pipeline.
+// counts. With -trace it requires the tracing families and cross-checks
+// them against the fabric op counters: every finished op is either sampled
+// or dropped, exactly, per system, and every slow-op detection produced
+// exactly one slow-op dump. CI runs it after short simulations to catch
+// regressions in the observability pipeline.
 //
-// Usage: metricscheck [-crash] [-load] [-replication] <snapshot.json>
+// Usage: metricscheck [-crash] [-load] [-replication] [-trace] <snapshot.json>
 package main
 
 import (
@@ -35,11 +38,12 @@ func run(args []string) error {
 	crash := fs.Bool("crash", false, "require the crash-churn failure counters (snapshot from lormsim -crash-rate)")
 	load := fs.Bool("load", false, "require the load-balance migration counters (snapshot from lormsim -load-out)")
 	replication := fs.Bool("replication", false, "require the replication counters (snapshot from lormsim -hotkey-out)")
+	trace := fs.Bool("trace", false, "require the tracing counters and cross-check them against the fabric op totals (snapshot from lormsim -trace-spans -metrics-out)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: metricscheck [-crash] [-load] [-replication] <snapshot.json>")
+		return fmt.Errorf("usage: metricscheck [-crash] [-load] [-replication] [-trace] <snapshot.json>")
 	}
 	data, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
@@ -85,8 +89,78 @@ func run(args []string) error {
 		}
 	}
 	if *replication {
-		return checkReplication(&snap)
+		if err := checkReplication(&snap); err != nil {
+			return err
+		}
 	}
+	if *trace {
+		return checkTrace(&snap)
+	}
+	return nil
+}
+
+// checkTrace validates the tracing families against the fabric's own op
+// accounting. The tracer increments exactly one of sampled/dropped per
+// finished op, so per system — and in total — the two must sum to the
+// fabric's lorm_ops_total exactly. Slow-op detections and slow-op dumps
+// are incremented together, so those totals must match exactly too.
+func checkTrace(snap *metrics.Snapshot) error {
+	perSystem := func(name string) (map[string]float64, error) {
+		f, ok := snap.Family(name)
+		if !ok {
+			return nil, fmt.Errorf("tracing counter family %s missing", name)
+		}
+		by := map[string]float64{}
+		for _, m := range f.Metrics {
+			by[m.Labels["system"]] += m.Value
+		}
+		return by, nil
+	}
+	sampled, err := perSystem("tracing_spans_sampled_total")
+	if err != nil {
+		return err
+	}
+	dropped, err := perSystem("tracing_spans_dropped_total")
+	if err != nil {
+		return err
+	}
+	slow, err := perSystem("tracing_slow_ops_total")
+	if err != nil {
+		return err
+	}
+	dumps, err := perSystem("tracing_slow_op_dumps_total")
+	if err != nil {
+		return err
+	}
+	ops, err := perSystem("lorm_ops_total")
+	if err != nil {
+		return err
+	}
+	var totalSampled, totalDropped, totalOps, totalSlow, totalDumps float64
+	for _, system := range []string{"lorm", "maan", "mercury", "sword"} {
+		s, d, o := sampled[system], dropped[system], ops[system]
+		if s+d != o {
+			return fmt.Errorf("system %s: sampled (%.0f) + dropped (%.0f) != fabric ops (%.0f): the tracer missed or double-counted operations",
+				system, s, d, o)
+		}
+		if sl, du := slow[system], dumps[system]; sl != du {
+			return fmt.Errorf("system %s: slow ops (%.0f) != slow-op dumps (%.0f)", system, sl, du)
+		}
+		totalSampled += s
+		totalDropped += d
+		totalOps += o
+		totalSlow += slow[system]
+		totalDumps += dumps[system]
+	}
+	if totalSampled+totalDropped != totalOps {
+		return fmt.Errorf("sampled (%.0f) + dropped (%.0f) != fabric ops (%.0f) in total",
+			totalSampled, totalDropped, totalOps)
+	}
+	if totalSampled <= 0 {
+		return fmt.Errorf("tracing_spans_sampled_total is zero: no operations were sampled")
+	}
+	fmt.Printf("metricscheck: tracing counters ok (%.0f sampled + %.0f dropped = %.0f ops; %.0f slow ops, %.0f dumps)\n",
+		totalSampled, totalDropped, totalOps, totalSlow, totalDumps)
 	return nil
 }
 

@@ -16,6 +16,8 @@ package churn
 
 import (
 	"fmt"
+	"io"
+	"log/slog"
 	"math"
 	"math/rand"
 
@@ -61,6 +63,10 @@ type Config struct {
 	// the post-crash repair hook (LORM replica repair) that restores the
 	// replication invariant before the next query can observe the hole.
 	Repair func()
+	// Logger, when non-nil, receives a structured line per membership event:
+	// joins and graceful departures at Debug, crashes (which lose data and
+	// trigger repair) at Info. Nil disables event logging.
+	Logger *slog.Logger
 }
 
 // Process wires a Dynamic system to a scheduler and keeps its membership
@@ -93,6 +99,9 @@ func New(sys discovery.Dynamic, sched *sim.Scheduler, cfg Config) (*Process, err
 	}
 	if cfg.MaintainEvery <= 0 {
 		cfg.MaintainEvery = 1
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	return &Process{cfg: cfg, sys: sys, sched: sched}, nil
 }
@@ -129,9 +138,11 @@ func (p *Process) join() {
 	if err := p.sys.AddNode(addr); err == nil {
 		p.Joins++
 		mJoins.Inc()
+		p.cfg.Logger.Debug("churn join", "system", p.sys.Name(), "node", addr, "t", p.sched.Now())
 	} else {
 		p.FailedOps++
 		mFailedOps.Inc()
+		p.cfg.Logger.Debug("churn join rejected", "system", p.sys.Name(), "node", addr, "err", err)
 	}
 	p.sched.After(p.exp(), p.join)
 }
@@ -143,9 +154,11 @@ func (p *Process) depart() {
 		if err := p.sys.RemoveNode(victim); err == nil {
 			p.Departures++
 			mDepartures.Inc()
+			p.cfg.Logger.Debug("churn depart", "system", p.sys.Name(), "node", victim, "t", p.sched.Now())
 		} else {
 			p.FailedOps++
 			mFailedOps.Inc()
+			p.cfg.Logger.Debug("churn depart rejected", "system", p.sys.Name(), "node", victim, "err", err)
 		}
 	}
 	p.sched.After(p.exp(), p.depart)
@@ -164,17 +177,21 @@ func (p *Process) fail(kind faults.Kind) {
 		case err != nil:
 			p.FailedOps++
 			mFailedOps.Inc()
+			p.cfg.Logger.Debug("churn fault rejected", "system", p.sys.Name(), "node", victim, "err", err)
 		case applied == faults.Crash:
 			p.Crashes++
 			mCrashes.Inc()
 			p.LostEntries += lost
 			mLostEntries.Add(uint64(lost))
+			p.cfg.Logger.Info("churn crash", "system", p.sys.Name(), "node", victim,
+				"lost_entries", lost, "repair", p.cfg.Repair != nil, "t", p.sched.Now())
 			if p.cfg.Repair != nil {
 				p.cfg.Repair()
 			}
 		default:
 			p.Departures++
 			mDepartures.Inc()
+			p.cfg.Logger.Debug("churn depart", "system", p.sys.Name(), "node", victim, "t", p.sched.Now())
 		}
 	}
 	ev := p.cfg.Faults.Next()

@@ -23,6 +23,7 @@ package core
 
 import (
 	"fmt"
+	"log/slog"
 
 	"lorm/internal/cycloid"
 	"lorm/internal/directory"
@@ -43,6 +44,9 @@ type Config struct {
 	Schema *resource.Schema
 	// Salt namespaces node identifiers when several overlays coexist.
 	Salt string
+	// Logger, when non-nil, receives structured replication lifecycle
+	// events (hot-key promotion/demotion) at Debug level.
+	Logger *slog.Logger
 }
 
 // System is a LORM deployment. It implements discovery.System and
@@ -76,7 +80,7 @@ func New(cfg Config) (*System, error) {
 		schema:    cfg.Schema,
 		overlay:   ov,
 		cubeSpace: ring.NewSpace(uint(cfg.D)),
-		rep:       replication.NewReplicator(ov.Placement()),
+		rep:       replication.NewReplicator(ov.Placement(), replication.WithLogger(cfg.Logger)),
 		fabric:    routing.NewFabric("lorm"),
 	}, nil
 }
@@ -134,7 +138,13 @@ func (s *System) RescID(attr string, value float64) (cycloid.ID, error) {
 // Register implements discovery.System: it announces one piece of
 // available-resource information via Insert(rescID, rescInfo), routing
 // from the node nearest the announcing owner.
-func (s *System) Register(info resource.Info) (cost discovery.Cost, err error) {
+func (s *System) Register(info resource.Info) (discovery.Cost, error) {
+	return s.RegisterTraced(info, discovery.TraceContext{})
+}
+
+// RegisterTraced implements discovery.Traced: Register parented under the
+// caller's trace context.
+func (s *System) RegisterTraced(info resource.Info, tc discovery.TraceContext) (cost discovery.Cost, err error) {
 	key, err := s.RescID(info.Attr, info.Value)
 	if err != nil {
 		return cost, err
@@ -143,7 +153,7 @@ func (s *System) Register(info resource.Info) (cost discovery.Cost, err error) {
 	if err != nil {
 		return cost, err
 	}
-	op := s.fabric.Begin(routing.OpRegister, info.Owner)
+	op := s.fabric.BeginTraced(routing.OpRegister, info.Owner, tc)
 	e := directory.Entry{Key: s.overlay.Pos(key), Info: info}
 	route, err := s.overlay.InsertOp(op, from, key, e)
 	if err != nil {
@@ -161,6 +171,12 @@ func (s *System) Register(info resource.Info) (cost discovery.Cost, err error) {
 // intra-cluster successors until the owner of the upper bound has been
 // consulted.
 func (s *System) Discover(q resource.Query) (*discovery.Result, error) {
+	return s.DiscoverTraced(q, discovery.TraceContext{})
+}
+
+// DiscoverTraced implements discovery.Traced: Discover parented under the
+// caller's trace context.
+func (s *System) DiscoverTraced(q resource.Query, tc discovery.TraceContext) (*discovery.Result, error) {
 	if err := q.Validate(s.schema); err != nil {
 		return nil, err
 	}
@@ -168,7 +184,7 @@ func (s *System) Discover(q resource.Query) (*discovery.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	op := s.fabric.Begin(routing.OpDiscover, q.Requester)
+	op := s.fabric.BeginTraced(routing.OpDiscover, q.Requester, tc)
 	defer op.Finish()
 	res, err := discovery.RunSubs(q, func(sub resource.SubQuery) ([]resource.Info, error) {
 		return s.resolveSub(op, from, sub)

@@ -73,6 +73,39 @@ type System interface {
 	OutlinkCounts() []int
 }
 
+// TraceContext identifies one distributed trace as it crosses process
+// boundaries: the trace it belongs to, the caller-side span the callee's
+// work should parent under, and the head-sampling decision made at the
+// trace root. The zero value means "no incoming context" — the callee's
+// tracer (if any) starts a fresh trace and makes its own sampling call.
+type TraceContext struct {
+	// TraceID identifies the whole end-to-end trace (nonzero when set).
+	TraceID uint64 `json:"trace_id"`
+	// SpanID is the caller-side span that should become the parent of the
+	// callee's root span.
+	SpanID uint64 `json:"span_id"`
+	// Sampled carries the head-sampling decision: when the root sampled the
+	// trace, every downstream participant records its spans too, so a trace
+	// is always complete or absent — never partial.
+	Sampled bool `json:"sampled"`
+}
+
+// Valid reports whether the context carries a real trace identity.
+func (tc TraceContext) Valid() bool { return tc.TraceID != 0 }
+
+// Traced is implemented by systems whose Register/Discover can join a
+// caller-provided trace: the variants behave identically to the System
+// methods but parent their routing-fabric spans under ctx. All four
+// systems implement it; transport servers use it to link server-side
+// spans to the client that carried ctx over the wire.
+type Traced interface {
+	System
+	// RegisterTraced is Register joined to the caller's trace context.
+	RegisterTraced(info resource.Info, ctx TraceContext) (Cost, error)
+	// DiscoverTraced is Discover joined to the caller's trace context.
+	DiscoverTraced(q resource.Query, ctx TraceContext) (*Result, error)
+}
+
 // Dynamic is implemented by systems that support churn: node joins and
 // graceful departures plus a periodic maintenance round.
 type Dynamic interface {

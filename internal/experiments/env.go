@@ -57,7 +57,7 @@ func NewEnv(p Params) (*Env, error) {
 // call it themselves so -trace and -metrics-out cover every deployment of a
 // run.
 func attachTrace(p Params, s discovery.System) {
-	if p.TraceObserver == nil && p.MetricsObserver == nil {
+	if p.TraceObserver == nil && p.MetricsObserver == nil && p.SpanObserver == nil {
 		return
 	}
 	inst, ok := s.(routing.Instrumented)
@@ -69,6 +69,9 @@ func attachTrace(p Params, s discovery.System) {
 	}
 	if p.MetricsObserver != nil {
 		inst.RoutingFabric().Observe(p.MetricsObserver)
+	}
+	if p.SpanObserver != nil {
+		inst.RoutingFabric().Observe(p.SpanObserver)
 	}
 }
 

@@ -89,8 +89,9 @@ func churnRun(env *Env, sys discovery.Dynamic, rate float64, rateIdx int) (hops,
 	p := env.P
 	var sched sim.Scheduler
 	proc, err := churn.New(sys, &sched, churn.Config{
-		Rate: rate,
-		Rng:  workload.Split(p.Seed, 300+rateIdx),
+		Rate:   rate,
+		Rng:    workload.Split(p.Seed, 300+rateIdx),
+		Logger: p.Logger,
 	})
 	if err != nil {
 		return 0, 0, 0, err

@@ -148,6 +148,7 @@ func crashRun(p Params, gen *workload.Generator, oracle *discovery.Oracle, sys d
 		MaintainEvery: 5,
 		Rng:           workload.Split(p.Seed, 600+streamIdx),
 		Faults:        plan,
+		Logger:        p.Logger,
 		Repair:        repair,
 	})
 	if err != nil {

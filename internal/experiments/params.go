@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"fmt"
+	"log/slog"
 	"runtime"
 
 	"lorm/internal/routing"
@@ -102,6 +103,14 @@ type Params struct {
 	// aggregates per-system op counts and hop/visited/message histograms
 	// into a metrics registry (cmd/lormsim -metrics-out).
 	MetricsObserver *routing.MetricsObserver
+	// SpanObserver, when non-nil, is attached alongside the other observers
+	// and turns operations into timed spans (cmd/lormsim -trace-spans); it
+	// is typically a *tracing.Tracer.
+	SpanObserver routing.Observer
+	// Logger, when non-nil, receives structured membership-event lines
+	// (churn joins/departures at Debug, crashes at Info) from every churn
+	// process a driver constructs (cmd/lormsim -log-level).
+	Logger *slog.Logger
 }
 
 func (p Params) withDefaults() Params {

@@ -2,6 +2,8 @@ package loadbalance
 
 import (
 	"fmt"
+	"io"
+	"log/slog"
 	"sort"
 
 	"lorm/internal/chord"
@@ -19,6 +21,9 @@ type Options struct {
 	// MaxMigrations caps boundary moves per pass; ≤ 0 means 2× the node
 	// count, enough for the greedy planner to converge on any one sample.
 	MaxMigrations int
+	// Logger, when non-nil, receives one structured Debug line per executed
+	// boundary move and per blocked hotspot. Nil disables event logging.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults(nodes int) Options {
@@ -27,6 +32,9 @@ func (o Options) withDefaults(nodes int) Options {
 	}
 	if o.MaxMigrations <= 0 {
 		o.MaxMigrations = 2 * nodes
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	return o
 }
@@ -97,12 +105,16 @@ func runPass(m migrator, opts Options) discovery.MigrationStats {
 			blocked[h.Addr] = true
 			stats.Blocked++
 			mBlockedHotspots.Inc()
+			opts.Logger.Debug("migration blocked", "node", h.Addr,
+				"entries", h.Entries, "mean", mean, "err", err)
 			continue
 		}
 		stats.Migrations++
 		stats.EntriesMoved += moved
 		mMigrations.Inc()
 		mEntriesMoved.Add(uint64(moved))
+		opts.Logger.Debug("migration", "node", h.Addr, "moved", moved,
+			"entries", h.Entries, "mean", mean)
 	}
 	return stats
 }

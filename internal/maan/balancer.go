@@ -7,6 +7,8 @@ import (
 
 var _ discovery.Balancer = (*System)(nil)
 
+var _ discovery.Traced = (*System)(nil)
+
 // DirectoryLoads implements discovery.Balancer: per-node directory sizes in
 // ring order.
 func (s *System) DirectoryLoads() []discovery.NodeLoad {

@@ -14,6 +14,7 @@ package maan
 
 import (
 	"fmt"
+	"log/slog"
 
 	"lorm/internal/chord"
 	"lorm/internal/directory"
@@ -32,6 +33,9 @@ type Config struct {
 	SuccListLen int
 	// Schema is the globally known attribute set.
 	Schema *resource.Schema
+	// Logger, when non-nil, receives structured replication lifecycle
+	// events (hot-key promotion/demotion) at Debug level.
+	Logger *slog.Logger
 }
 
 // System is a MAAN deployment: one Chord ring, dual-keyed placement.
@@ -65,8 +69,8 @@ func New(cfg Config) (*System, error) {
 	for _, a := range cfg.Schema.Attributes() {
 		s.lph = append(s.lph, hashing.NewLocalityFrom(r.Space(), a))
 	}
-	s.repValue = replication.NewReplicator(r.Placement(), replication.WithFilter(s.isValueKeyed))
-	s.repAttr = replication.NewReplicator(r.Placement(), replication.WithFilter(s.isAttrKeyed))
+	s.repValue = replication.NewReplicator(r.Placement(), replication.WithFilter(s.isValueKeyed), replication.WithLogger(cfg.Logger))
+	s.repAttr = replication.NewReplicator(r.Placement(), replication.WithFilter(s.isAttrKeyed), replication.WithLogger(cfg.Logger))
 	return s, nil
 }
 
@@ -113,7 +117,13 @@ func (s *System) valueKey(idx int, v float64) uint64 {
 
 // Register implements discovery.System: the information piece is split and
 // stored under both indices — two routed inserts.
-func (s *System) Register(info resource.Info) (cost discovery.Cost, err error) {
+func (s *System) Register(info resource.Info) (discovery.Cost, error) {
+	return s.RegisterTraced(info, discovery.TraceContext{})
+}
+
+// RegisterTraced implements discovery.Traced: Register parented under the
+// caller's trace context.
+func (s *System) RegisterTraced(info resource.Info, tc discovery.TraceContext) (cost discovery.Cost, err error) {
 	idx := s.schema.Index(info.Attr)
 	if idx < 0 {
 		return cost, fmt.Errorf("maan: unknown attribute %q", info.Attr)
@@ -122,7 +132,7 @@ func (s *System) Register(info resource.Info) (cost discovery.Cost, err error) {
 	if err != nil {
 		return cost, err
 	}
-	op := s.fabric.Begin(routing.OpRegister, info.Owner)
+	op := s.fabric.BeginTraced(routing.OpRegister, info.Owner, tc)
 	akey := s.attrKey(info.Attr)
 	ae := directory.Entry{Key: akey, Info: info}
 	ra, err := s.ring.InsertOp(op, from, akey, ae)
@@ -151,10 +161,16 @@ func (s *System) Register(info resource.Info) (cost discovery.Cost, err error) {
 // value index (the latter walking successors for ranges) — and merges the
 // answers.
 func (s *System) Discover(q resource.Query) (*discovery.Result, error) {
+	return s.DiscoverTraced(q, discovery.TraceContext{})
+}
+
+// DiscoverTraced implements discovery.Traced: Discover parented under the
+// caller's trace context.
+func (s *System) DiscoverTraced(q resource.Query, tc discovery.TraceContext) (*discovery.Result, error) {
 	if err := q.Validate(s.schema); err != nil {
 		return nil, err
 	}
-	op := s.fabric.Begin(routing.OpDiscover, q.Requester)
+	op := s.fabric.BeginTraced(routing.OpDiscover, q.Requester, tc)
 	defer op.Finish()
 	res, err := discovery.RunSubs(q, func(sub resource.SubQuery) ([]resource.Info, error) {
 		return s.resolveSub(op, q.Requester, sub)

@@ -9,6 +9,8 @@ import (
 
 var _ discovery.Balancer = (*System)(nil)
 
+var _ discovery.Traced = (*System)(nil)
+
 // DirectoryLoads implements discovery.Balancer: a physical node's load is
 // the union of its per-hub directories (the same aggregation as
 // DirectorySizes), in sorted address order.

@@ -14,6 +14,7 @@ package mercury
 
 import (
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 
@@ -35,6 +36,9 @@ type Config struct {
 	// Schema is the globally known attribute set; one hub is created per
 	// attribute.
 	Schema *resource.Schema
+	// Logger, when non-nil, receives structured replication lifecycle
+	// events (hot-key promotion/demotion) at Debug level.
+	Logger *slog.Logger
 }
 
 // System is a Mercury deployment: m parallel Chord hubs.
@@ -76,7 +80,7 @@ func New(cfg Config) (*System, error) {
 		hub := chord.New(chord.Config{Bits: cfg.Bits, SuccListLen: cfg.SuccListLen, Salt: "hub:" + a.Name})
 		s.hubs = append(s.hubs, hub)
 		s.lph = append(s.lph, hashing.NewLocalityFrom(hub.Space(), a))
-		s.reps = append(s.reps, replication.NewReplicator(hub.Placement()))
+		s.reps = append(s.reps, replication.NewReplicator(hub.Placement(), replication.WithLogger(cfg.Logger)))
 		s.byAddr = append(s.byAddr, make(map[string]*chord.Node))
 	}
 	return s, nil
@@ -124,7 +128,13 @@ func (s *System) NodeCount() int {
 
 // Register implements discovery.System: one insert, into the attribute's
 // hub, keyed by the locality-preserving hash of the value.
-func (s *System) Register(info resource.Info) (cost discovery.Cost, err error) {
+func (s *System) Register(info resource.Info) (discovery.Cost, error) {
+	return s.RegisterTraced(info, discovery.TraceContext{})
+}
+
+// RegisterTraced implements discovery.Traced: Register parented under the
+// caller's trace context.
+func (s *System) RegisterTraced(info resource.Info, tc discovery.TraceContext) (cost discovery.Cost, err error) {
 	h := s.hubOf(info.Attr)
 	if h < 0 {
 		return cost, fmt.Errorf("mercury: unknown attribute %q", info.Attr)
@@ -135,7 +145,7 @@ func (s *System) Register(info resource.Info) (cost discovery.Cost, err error) {
 	if err != nil {
 		return cost, err
 	}
-	op := s.fabric.Begin(routing.OpRegister, info.Owner)
+	op := s.fabric.BeginTraced(routing.OpRegister, info.Owner, tc)
 	e := directory.Entry{Key: key, Info: info}
 	route, err := hub.InsertOp(op, from, key, e)
 	if err != nil {
@@ -151,10 +161,16 @@ func (s *System) Register(info resource.Info) (cost discovery.Cost, err error) {
 // Discover implements discovery.System: each sub-query resolves in its own
 // hub, in parallel, and the results join on the owner address.
 func (s *System) Discover(q resource.Query) (*discovery.Result, error) {
+	return s.DiscoverTraced(q, discovery.TraceContext{})
+}
+
+// DiscoverTraced implements discovery.Traced: Discover parented under the
+// caller's trace context.
+func (s *System) DiscoverTraced(q resource.Query, tc discovery.TraceContext) (*discovery.Result, error) {
 	if err := q.Validate(s.schema); err != nil {
 		return nil, err
 	}
-	op := s.fabric.Begin(routing.OpDiscover, q.Requester)
+	op := s.fabric.BeginTraced(routing.OpDiscover, q.Requester, tc)
 	defer op.Finish()
 	res, err := discovery.RunSubs(q, func(sub resource.SubQuery) ([]resource.Info, error) {
 		return s.resolveSub(op, q.Requester, sub)

@@ -126,6 +126,8 @@ func (r *Replicator) promoteKey(key uint64, root Holder, fanout int) bool {
 		mPlaced.Add(uint64(placed))
 	}
 	mPromotions.Inc()
+	r.log.Debug("hotkey promoted", "key", key, "fanout", fanout,
+		"copies_placed", placed, "root", holders[0].Addr)
 	return true
 }
 
@@ -142,6 +144,7 @@ func (r *Replicator) Invalidate(key uint64) bool {
 	r.mu.Unlock()
 	if was {
 		mDemotions.Inc()
+		r.log.Debug("hotkey demoted", "key", key)
 	}
 	return was
 }

@@ -22,6 +22,8 @@ package replication
 
 import (
 	"fmt"
+	"io"
+	"log/slog"
 	"sync"
 
 	"lorm/internal/directory"
@@ -67,6 +69,16 @@ func WithFilter(f func(directory.Entry) bool) Option {
 	return func(r *Replicator) { r.filter = f }
 }
 
+// WithLogger routes structured hot-key lifecycle events (promotion,
+// demotion) to the given logger at Debug level. Nil keeps logging off.
+func WithLogger(l *slog.Logger) Option {
+	return func(r *Replicator) {
+		if l != nil {
+			r.log = l
+		}
+	}
+}
+
 // Replicator manages replica copies over one overlay: base placement on
 // register, churn repair, hot-key promotion and replica-aware read
 // planning. One system owns one Replicator per overlay (Mercury: one per
@@ -74,6 +86,7 @@ func WithFilter(f func(directory.Entry) bool) Option {
 type Replicator struct {
 	p      Placement
 	filter func(directory.Entry) bool
+	log    *slog.Logger
 
 	mu     sync.Mutex
 	factor int               // base replication factor, >= 1
@@ -88,6 +101,7 @@ type Replicator struct {
 func NewReplicator(p Placement, opts ...Option) *Replicator {
 	r := &Replicator{
 		p:      p,
+		log:    slog.New(slog.NewTextHandler(io.Discard, nil)),
 		factor: 1,
 		hot:    make(map[uint64]int),
 		reads:  make(map[uint64]uint64),

@@ -138,6 +138,13 @@ type Op struct {
 	observers []Observer
 	wantPath  bool // some attached observer consumes Path()
 
+	// tc is the operation's trace identity; tstate is an opaque slot a
+	// tracing observer may hang per-op state on. Both are written only
+	// during Begin/OpBegun — before the Op escapes to other goroutines —
+	// and read-only afterwards, so plain fields need no locking.
+	tc     discovery.TraceContext
+	tstate any
+
 	mu       sync.Mutex
 	forwards int
 	visits   int
@@ -179,6 +186,36 @@ func (op *Op) record(st Step) {
 		o.OpStep(op, st)
 	}
 }
+
+// Trace returns the operation's trace identity. For an Op begun through
+// BeginTraced with a valid incoming context it carries the caller's trace
+// ID; a tracing observer's OpBegun hook may replace it (SetTrace) with the
+// identity of the span it opened for this Op.
+func (op *Op) Trace() discovery.TraceContext {
+	if op == nil {
+		return discovery.TraceContext{}
+	}
+	return op.tc
+}
+
+// SetTrace replaces the operation's trace identity. It must only be called
+// from an observer's OpBegun hook — i.e. before the Op escapes Begin — so
+// the field stays effectively immutable to concurrent readers.
+func (op *Op) SetTrace(tc discovery.TraceContext) { op.tc = tc }
+
+// TraceState returns the opaque per-op slot a tracing observer stored via
+// SetTraceState, or nil. Reading it costs nothing on untraced ops, which is
+// what keeps the sampling-off fast path allocation-free.
+func (op *Op) TraceState() any {
+	if op == nil {
+		return nil
+	}
+	return op.tstate
+}
+
+// SetTraceState stores opaque per-op observer state. Like SetTrace it must
+// only be called from OpBegun, before the Op is shared across goroutines.
+func (op *Op) SetTraceState(v any) { op.tstate = v }
 
 // Cost derives the operation's communication cost from the recorded path.
 // This is the single place in the codebase where a discovery.Cost is
@@ -305,13 +342,35 @@ func wantsPath(obs []Observer) bool {
 	return false
 }
 
+// BeginObserver is optionally implemented by observers that need to see an
+// Op at creation time — before any step is recorded and before the Op is
+// shared across goroutines. A tracing observer uses the hook to make its
+// sampling decision and attach per-op span state (SetTrace/SetTraceState);
+// OpBegun is the only point where those setters are legal.
+type BeginObserver interface {
+	OpBegun(op *Op)
+}
+
 // Begin starts accounting one operation. The observer set is captured at
 // begin time, so attaching mid-operation affects only later Ops.
 func (f *Fabric) Begin(kind Kind, tag string) *Op {
+	return f.BeginTraced(kind, tag, discovery.TraceContext{})
+}
+
+// BeginTraced starts accounting one operation under a caller-provided trace
+// context (the wire-propagated identity of a remote caller's span). A zero
+// context is identical to Begin: any tracing observer starts a fresh trace.
+func (f *Fabric) BeginTraced(kind Kind, tag string, tc discovery.TraceContext) *Op {
 	f.mu.RLock()
 	obs := f.observers
 	f.mu.RUnlock()
-	return &Op{System: f.system, Kind: kind, Tag: tag, observers: obs, wantPath: wantsPath(obs)}
+	op := &Op{System: f.system, Kind: kind, Tag: tag, observers: obs, wantPath: wantsPath(obs), tc: tc}
+	for _, o := range obs {
+		if b, ok := o.(BeginObserver); ok {
+			b.OpBegun(op)
+		}
+	}
+	return op
 }
 
 // Instrumented is implemented by every system that routes its accounting

@@ -1,0 +1,89 @@
+package routing
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"lorm/internal/discovery"
+)
+
+// TraceLine is one parsed TraceSink line: the operation identity, the cost
+// the sink reported, and the decoded hop path. Step IDs are not carried on
+// the wire format, so parsed steps have ID 0.
+type TraceLine struct {
+	System string
+	Op     Kind
+	Tag    string
+	Cost   discovery.Cost
+	Path   []Step
+}
+
+// ReasonFromLetter decodes the compact single-character encoding written by
+// Reason.Letter. The second return is false for an unknown letter.
+func ReasonFromLetter(b byte) (Reason, bool) {
+	switch b {
+	case 'f':
+		return ReasonFingerForward, true
+	case 'w':
+		return ReasonRangeWalk, true
+	case 'r':
+		return ReasonReplicate, true
+	case 'v':
+		return ReasonDirectoryVisit, true
+	case 'd':
+		return ReasonDetour, true
+	case 'p':
+		return ReasonReplicaRead, true
+	}
+	return 0, false
+}
+
+// ParseTraceLine parses one line in the TraceSink format,
+//
+//	system=lorm op=discover tag=req-007 hops=9 visited=3 msgs=12 path=f:a,v:b
+//
+// validating field order, integer fields and path-step encoding. It is the
+// shared decoder for every consumer of trace files (cmd/lormtrace, the
+// lormsim trace-consistency test) so the format has exactly one reader to
+// match its one writer.
+func ParseTraceLine(line string) (TraceLine, error) {
+	var tl TraceLine
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) != 7 {
+		return tl, fmt.Errorf("routing: trace line has %d fields, want 7: %q", len(fields), line)
+	}
+	keys := [7]string{"system", "op", "tag", "hops", "visited", "msgs", "path"}
+	vals := [7]string{}
+	for i, f := range fields {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok || k != keys[i] {
+			return tl, fmt.Errorf("routing: trace field %d is %q, want %s=...", i, f, keys[i])
+		}
+		vals[i] = v
+	}
+	tl.System = vals[0]
+	tl.Op = Kind(vals[1])
+	tl.Tag = vals[2]
+	for i, dst := range []*int{&tl.Cost.Hops, &tl.Cost.Visited, &tl.Cost.Messages} {
+		n, err := strconv.Atoi(vals[3+i])
+		if err != nil {
+			return tl, fmt.Errorf("routing: trace field %s=%q: %v", keys[3+i], vals[3+i], err)
+		}
+		*dst = n
+	}
+	if vals[6] != "" {
+		for _, part := range strings.Split(vals[6], ",") {
+			letter, addr, ok := strings.Cut(part, ":")
+			if !ok || len(letter) != 1 {
+				return tl, fmt.Errorf("routing: trace path step %q, want <letter>:<addr>", part)
+			}
+			reason, ok := ReasonFromLetter(letter[0])
+			if !ok {
+				return tl, fmt.Errorf("routing: trace path step %q has unknown reason letter", part)
+			}
+			tl.Path = append(tl.Path, Step{Addr: addr, Reason: reason})
+		}
+	}
+	return tl, nil
+}

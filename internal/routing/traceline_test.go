@@ -1,0 +1,97 @@
+package routing
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestParseTraceLineRoundTrip drives a real op through a TraceSink and
+// parses the emitted line back: the one writer and the one reader of the
+// format must agree on every field.
+func TestParseTraceLineRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	f := NewFabric("lorm")
+	f.Observe(NewTraceSink(&buf))
+
+	op := f.Begin(OpDiscover, "req-007")
+	op.Forward("cyc-00120", 120, ReasonFingerForward)
+	op.Forward("cyc-00515", 515, ReasonRangeWalk)
+	op.Visit("cyc-00515", 515)
+	op.Forward("cyc-00516", 516, ReasonDetour)
+	op.Forward("cyc-00517", 517, ReasonReplicaRead)
+	op.Forward("cyc-00518", 518, ReasonReplicate)
+	wantCost := op.Finish()
+
+	line := strings.TrimSuffix(buf.String(), "\n")
+	tl, err := ParseTraceLine(line)
+	if err != nil {
+		t.Fatalf("ParseTraceLine(%q): %v", line, err)
+	}
+	if tl.System != "lorm" || tl.Op != OpDiscover || tl.Tag != "req-007" {
+		t.Fatalf("identity mismatch: %+v", tl)
+	}
+	if tl.Cost != wantCost {
+		t.Fatalf("cost %+v != finished cost %+v", tl.Cost, wantCost)
+	}
+	if got := CostOfPath(tl.Path); got != wantCost {
+		t.Fatalf("CostOfPath(parsed) = %+v, want %+v", got, wantCost)
+	}
+	wantReasons := []Reason{ReasonFingerForward, ReasonRangeWalk, ReasonDirectoryVisit,
+		ReasonDetour, ReasonReplicaRead, ReasonReplicate}
+	if len(tl.Path) != len(wantReasons) {
+		t.Fatalf("parsed %d steps, want %d", len(tl.Path), len(wantReasons))
+	}
+	for i, want := range wantReasons {
+		if tl.Path[i].Reason != want {
+			t.Fatalf("step %d reason %v, want %v", i, tl.Path[i].Reason, want)
+		}
+	}
+	if tl.Path[0].Addr != "cyc-00120" {
+		t.Fatalf("step 0 addr %q", tl.Path[0].Addr)
+	}
+}
+
+// TestParseTraceLineEmptyPath: a zero-hop op (e.g. a local directory-only
+// answer) emits path= with no steps, which must parse to an empty path.
+func TestParseTraceLineEmptyPath(t *testing.T) {
+	tl, err := ParseTraceLine("system=maan op=register tag=own-1 hops=0 visited=0 msgs=0 path=")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Path) != 0 || tl.Cost.Messages != 0 {
+		t.Fatalf("unexpected parse: %+v", tl)
+	}
+	if tl.System != "maan" || tl.Op != OpRegister {
+		t.Fatalf("identity mismatch: %+v", tl)
+	}
+}
+
+// TestReasonLetterRoundTrip: every Reason survives Letter/ReasonFromLetter.
+func TestReasonLetterRoundTrip(t *testing.T) {
+	for r := Reason(0); int(r) < numReasons; r++ {
+		got, ok := ReasonFromLetter(r.Letter())
+		if !ok || got != r {
+			t.Fatalf("reason %v: letter %q decoded to %v, ok=%v", r, r.Letter(), got, ok)
+		}
+	}
+	if _, ok := ReasonFromLetter('x'); ok {
+		t.Fatal("unknown letter accepted")
+	}
+}
+
+// TestParseTraceLineErrors: malformed lines are rejected, not guessed at.
+func TestParseTraceLineErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"system=lorm op=discover tag=a hops=1 visited=0 msgs=1", // missing path
+		"op=discover system=lorm tag=a hops=1 visited=0 msgs=1 path=", // wrong order
+		"system=lorm op=discover tag=a hops=one visited=0 msgs=1 path=", // non-integer
+		"system=lorm op=discover tag=a hops=1 visited=0 msgs=1 path=q:n1", // unknown letter
+		"system=lorm op=discover tag=a hops=1 visited=0 msgs=1 path=f-n1", // bad step syntax
+	} {
+		if _, err := ParseTraceLine(bad); err == nil {
+			t.Errorf("ParseTraceLine(%q) accepted", bad)
+		}
+	}
+}

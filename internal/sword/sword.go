@@ -12,6 +12,7 @@ package sword
 
 import (
 	"fmt"
+	"log/slog"
 
 	"lorm/internal/chord"
 	"lorm/internal/directory"
@@ -30,6 +31,9 @@ type Config struct {
 	SuccListLen int
 	// Schema is the globally known attribute set.
 	Schema *resource.Schema
+	// Logger, when non-nil, receives structured replication lifecycle
+	// events (hot-key promotion/demotion) at Debug level.
+	Logger *slog.Logger
 }
 
 // System is a SWORD deployment: one Chord ring, attribute-keyed placement.
@@ -56,7 +60,7 @@ func New(cfg Config) (*System, error) {
 	return &System{
 		schema: cfg.Schema,
 		ring:   r,
-		rep:    replication.NewReplicator(r.Placement()),
+		rep:    replication.NewReplicator(r.Placement(), replication.WithLogger(cfg.Logger)),
 		fabric: routing.NewFabric("sword"),
 	}, nil
 }
@@ -86,7 +90,13 @@ func (s *System) attrKey(attr string) uint64 {
 
 // Register implements discovery.System: one insert under H(attr); the
 // attribute root accumulates every piece of the attribute.
-func (s *System) Register(info resource.Info) (cost discovery.Cost, err error) {
+func (s *System) Register(info resource.Info) (discovery.Cost, error) {
+	return s.RegisterTraced(info, discovery.TraceContext{})
+}
+
+// RegisterTraced implements discovery.Traced: Register parented under the
+// caller's trace context.
+func (s *System) RegisterTraced(info resource.Info, tc discovery.TraceContext) (cost discovery.Cost, err error) {
 	if _, ok := s.schema.Lookup(info.Attr); !ok {
 		return cost, fmt.Errorf("sword: unknown attribute %q", info.Attr)
 	}
@@ -95,7 +105,7 @@ func (s *System) Register(info resource.Info) (cost discovery.Cost, err error) {
 	if err != nil {
 		return cost, err
 	}
-	op := s.fabric.Begin(routing.OpRegister, info.Owner)
+	op := s.fabric.BeginTraced(routing.OpRegister, info.Owner, tc)
 	e := directory.Entry{Key: key, Info: info}
 	route, err := s.ring.InsertOp(op, from, key, e)
 	if err != nil {
@@ -113,10 +123,16 @@ func (s *System) Register(info resource.Info) (cost discovery.Cost, err error) {
 // attribute root scans its pooled directory for the value range and the
 // search stops there ("in SWORD, the resource searching stops").
 func (s *System) Discover(q resource.Query) (*discovery.Result, error) {
+	return s.DiscoverTraced(q, discovery.TraceContext{})
+}
+
+// DiscoverTraced implements discovery.Traced: Discover parented under the
+// caller's trace context.
+func (s *System) DiscoverTraced(q resource.Query, tc discovery.TraceContext) (*discovery.Result, error) {
 	if err := q.Validate(s.schema); err != nil {
 		return nil, err
 	}
-	op := s.fabric.Begin(routing.OpDiscover, q.Requester)
+	op := s.fabric.BeginTraced(routing.OpDiscover, q.Requester, tc)
 	defer op.Finish()
 	res, err := discovery.RunSubs(q, func(sub resource.SubQuery) ([]resource.Info, error) {
 		from, err := s.ring.NodeNear(q.Requester)

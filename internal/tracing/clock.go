@@ -1,0 +1,23 @@
+package tracing
+
+import "time"
+
+// WallClock adapts real time to the routing.Clock seam. It reports seconds
+// since its creation using the monotonic clock, so span durations are immune
+// to wall-clock adjustments. This file is the only place in internal/routing
+// and internal/tracing allowed to touch the system clock (CI greps for
+// time.Now outside it); everything else reads time through routing.Clock, so
+// simulations substitute virtual time and tests substitute fakes.
+type WallClock struct {
+	base time.Time
+}
+
+// NewWallClock creates a wall clock anchored at the current instant.
+func NewWallClock() *WallClock {
+	return &WallClock{base: time.Now()}
+}
+
+// Now implements routing.Clock: seconds elapsed since the clock was created.
+func (w *WallClock) Now() float64 {
+	return time.Since(w.base).Seconds()
+}

@@ -1,0 +1,130 @@
+package tracing
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// DefaultCapacity bounds a Collector when the Config does not choose one:
+// 64k spans ≈ a few MB resident, enough for the quick-preset sweeps and a
+// generous slow-op window in a long-running node.
+const DefaultCapacity = 1 << 16
+
+// Collector is a bounded, lock-free span sink. Writers reserve a slot with
+// one atomic add and publish it with one atomic store; once the preallocated
+// slots are exhausted further spans are counted as evicted and dropped —
+// tracing must never be the thing that makes a hot path slow or unbounded.
+//
+// Snapshot observes the per-slot publish flags with acquire loads, so it
+// sees fully written spans only (the flag store is the release barrier) and
+// is safe to call while writers are active.
+type Collector struct {
+	slots   []Span
+	ready   []atomic.Bool
+	next    atomic.Uint64
+	evicted atomic.Uint64
+}
+
+// NewCollector creates a collector holding at most capacity spans
+// (DefaultCapacity when capacity <= 0).
+func NewCollector(capacity int) *Collector {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Collector{
+		slots: make([]Span, capacity),
+		ready: make([]atomic.Bool, capacity),
+	}
+}
+
+// Add stores one span; it reports false (and counts an eviction) when the
+// collector is full.
+func (c *Collector) Add(sp Span) bool {
+	i := c.next.Add(1) - 1
+	if i >= uint64(len(c.slots)) {
+		c.evicted.Add(1)
+		return false
+	}
+	c.slots[i] = sp
+	c.ready[i].Store(true)
+	return true
+}
+
+// Len returns the number of published spans.
+func (c *Collector) Len() int {
+	n := c.next.Load()
+	if n > uint64(len(c.slots)) {
+		n = uint64(len(c.slots))
+	}
+	count := 0
+	for i := uint64(0); i < n; i++ {
+		if c.ready[i].Load() {
+			count++
+		}
+	}
+	return count
+}
+
+// Cap returns the collector's span capacity.
+func (c *Collector) Cap() int { return len(c.slots) }
+
+// Evicted returns how many spans were dropped because the collector was
+// full.
+func (c *Collector) Evicted() uint64 { return c.evicted.Load() }
+
+// Snapshot copies every published span, in arrival order.
+func (c *Collector) Snapshot() []Span {
+	n := c.next.Load()
+	if n > uint64(len(c.slots)) {
+		n = uint64(len(c.slots))
+	}
+	out := make([]Span, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if c.ready[i].Load() {
+			out = append(out, c.slots[i])
+		}
+	}
+	return out
+}
+
+// WriteJSONL writes the current snapshot as one JSON object per line — the
+// interchange format cmd/lormtrace ingests and `lormnode serve` streams from
+// its /trace endpoint.
+func (c *Collector) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, sp := range c.Snapshot() {
+		if err := enc.Encode(sp); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSpans decodes a span-JSONL stream (the WriteJSONL format); blank
+// lines are skipped.
+func ReadSpans(r io.Reader) ([]Span, error) {
+	var spans []Span
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var sp Span
+		if err := json.Unmarshal(b, &sp); err != nil {
+			return nil, fmt.Errorf("tracing: span line %d: %w", line, err)
+		}
+		spans = append(spans, sp)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tracing: read spans: %w", err)
+	}
+	return spans, nil
+}

@@ -1,0 +1,384 @@
+// Package tracing is the span-structured timing layer over the routing
+// fabric: a Tracer observes every routing.Op, stamps the operation and each
+// recorded step with times from a routing.Clock (virtual in simulations,
+// wall under the transport), and publishes the resulting spans to a bounded
+// lock-free Collector. Head sampling is deterministic — the decision is a
+// hash of the trace ID, which is itself derived from a seed — so two runs
+// with the same seed sample the same traces, and a sampled trace is always
+// complete: the decision made at the root rides the wire inside
+// discovery.TraceContext and every downstream participant honors it.
+//
+// The overhead contract: with sampling off (rate 0, or an unsampled
+// incoming context) a traced fabric adds zero allocations and two atomic
+// adds per finished op to the hot path — OpBegun leaves the Op's trace
+// state nil, and every later hook exits on that nil check.
+package tracing
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lorm/internal/discovery"
+	"lorm/internal/metrics"
+	"lorm/internal/routing"
+)
+
+// Span is one timed interval (an operation) or timed point (a routing
+// step) of a trace. Op spans carry Kind, Tag and the final cost; step
+// spans carry the step's reason as Name and the node address, parent under
+// their op span, and have zero duration (a step is an instant: the moment
+// the forward or visit was recorded).
+type Span struct {
+	Trace  uint64 `json:"trace"`
+	Span   uint64 `json:"span"`
+	Parent uint64 `json:"parent,omitempty"`
+
+	System string `json:"system"`
+	Kind   string `json:"kind,omitempty"` // op/client spans only; empty for steps
+	Name   string `json:"name"`
+	Tag    string `json:"tag,omitempty"`
+	Addr   string `json:"addr,omitempty"` // step spans only
+
+	Start int64 `json:"start_ns"`
+	Dur   int64 `json:"dur_ns"`
+
+	Hops    int  `json:"hops,omitempty"`
+	Visited int  `json:"visited,omitempty"`
+	Remote  bool `json:"remote,omitempty"` // op began under a wire-propagated context
+}
+
+// IsOp reports whether the span is an operation (or client root) span
+// rather than a step instant.
+func (s Span) IsOp() bool { return s.Kind != "" }
+
+// ClientKind is the Kind of spans opened by StartClient — caller-side root
+// spans that are not fabric operations.
+const ClientKind = "client"
+
+// Config parameterizes a Tracer. The zero value is usable: wall clock,
+// process-default registry, sampling off (the zero-overhead mode),
+// DefaultCapacity collector, no slow-op log.
+type Config struct {
+	// Clock supplies span timestamps; nil means a fresh WallClock.
+	// Simulations pass their sim.Scheduler so spans carry virtual time.
+	Clock routing.Clock
+	// Registry receives the tracing counter families; nil means
+	// metrics.Default().
+	Registry *metrics.Registry
+	// Seed makes trace IDs — and therefore sampling decisions —
+	// deterministic. Two tracers with equal seeds over equal workloads
+	// sample the same trace IDs.
+	Seed int64
+	// SampleRate is the head-sampling probability in [0, 1]. Values >= 1
+	// sample everything; <= 0 samples nothing (the zero-overhead mode).
+	SampleRate float64
+	// Capacity bounds the collector (DefaultCapacity when <= 0).
+	Capacity int
+	// SlowThreshold, when positive, flags any op span of at least this
+	// duration as slow: the slow-op counter increments and the full span
+	// (with its steps) is dumped to SlowLog.
+	SlowThreshold time.Duration
+	// SlowLog receives slow-op dumps; nil means io.Discard (the counter
+	// and dump counter still advance together).
+	SlowLog io.Writer
+}
+
+// Tracer is the routing.Observer that turns fabric activity into spans.
+// Attach one to each instrumented fabric (it is safe to share a single
+// Tracer across all four systems' fabrics — spans carry the system name).
+type Tracer struct {
+	clock     routing.Clock
+	collector *Collector
+
+	seed      uint64
+	seq       atomic.Uint64 // trace-ID sequence
+	spanSeq   atomic.Uint64 // span-ID sequence
+	sampleAll bool
+	threshold uint64 // 53-bit comparison threshold; 0 samples nothing
+
+	slowNS  int64
+	slowMu  sync.Mutex
+	slowLog io.Writer
+
+	sampled *metrics.CounterVec
+	dropped *metrics.CounterVec
+	slow    *metrics.CounterVec
+	dumps   *metrics.CounterVec
+
+	mu      sync.RWMutex
+	handles map[string]*sysHandles
+}
+
+// sysHandles caches one system's pre-resolved counters so the per-op hooks
+// never pay the labeled lookup.
+type sysHandles struct {
+	sampled *metrics.Counter
+	dropped *metrics.Counter
+	slow    *metrics.Counter
+	dumps   *metrics.Counter
+}
+
+// opState is the per-sampled-op span assembly hung on the Op's trace slot.
+// Unsampled ops never allocate one — that nil is the whole fast path.
+type opState struct {
+	span Span
+
+	mu    sync.Mutex
+	steps []Span
+}
+
+// New creates a Tracer from cfg and registers the tracing counter families
+// (idempotently) on the registry.
+func New(cfg Config) *Tracer {
+	clock := cfg.Clock
+	if clock == nil {
+		clock = NewWallClock()
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.Default()
+	}
+	slowLog := cfg.SlowLog
+	if slowLog == nil {
+		slowLog = io.Discard
+	}
+	t := &Tracer{
+		clock:     clock,
+		collector: NewCollector(cfg.Capacity),
+		seed:      splitmix64(uint64(cfg.Seed) + 0x9e3779b97f4a7c15),
+		sampleAll: cfg.SampleRate >= 1,
+		threshold: sampleThreshold(cfg.SampleRate),
+		slowNS:    cfg.SlowThreshold.Nanoseconds(),
+		slowLog:   slowLog,
+		sampled:   reg.CounterVec("tracing_spans_sampled_total", "fabric operations sampled into op spans", "system"),
+		dropped:   reg.CounterVec("tracing_spans_dropped_total", "fabric operations finished without a sampled span", "system"),
+		slow:      reg.CounterVec("tracing_slow_ops_total", "sampled operations at or above the slow threshold", "system"),
+		dumps:     reg.CounterVec("tracing_slow_op_dumps_total", "slow-op dumps written to the slow log", "system"),
+		handles:   make(map[string]*sysHandles),
+	}
+	for _, sys := range routing.KnownSystems {
+		t.handlesFor(sys)
+	}
+	return t
+}
+
+// sampleThreshold maps a probability to a 53-bit integer threshold for
+// comparison against the top 53 bits of a hashed trace ID.
+func sampleThreshold(rate float64) uint64 {
+	if rate <= 0 {
+		return 0
+	}
+	if rate >= 1 {
+		return 1 << 53
+	}
+	return uint64(math.Round(rate * (1 << 53)))
+}
+
+// Collector exposes the tracer's span sink (for flushing, /trace, tests).
+func (t *Tracer) Collector() *Collector { return t.collector }
+
+// NeedsPath reports false: the tracer receives steps through OpStep and
+// never reads op.Path(), so attaching it does not force path recording.
+func (t *Tracer) NeedsPath() bool { return false }
+
+func (t *Tracer) handlesFor(system string) *sysHandles {
+	t.mu.RLock()
+	h, ok := t.handles[system]
+	t.mu.RUnlock()
+	if ok {
+		return h
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if h, ok = t.handles[system]; ok {
+		return h
+	}
+	h = &sysHandles{
+		sampled: t.sampled.With(system),
+		dropped: t.dropped.With(system),
+		slow:    t.slow.With(system),
+		dumps:   t.dumps.With(system),
+	}
+	t.handles[system] = h
+	return h
+}
+
+// splitmix64 is the SplitMix64 finalizer: a cheap, high-quality bijection
+// used both to derive trace IDs from the seeded sequence and to hash a
+// trace ID into its sampling decision.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (t *Tracer) newTraceID() uint64 {
+	for {
+		id := splitmix64(t.seed ^ t.seq.Add(1))
+		if id != 0 {
+			return id
+		}
+	}
+}
+
+func (t *Tracer) newSpanID() uint64 {
+	for {
+		id := splitmix64(t.seed ^ (t.spanSeq.Add(1) | 1<<63))
+		if id != 0 {
+			return id
+		}
+	}
+}
+
+// Sampled reports the head-sampling decision for a trace ID: a hash of the
+// ID compared against the rate threshold, so the decision is a pure
+// function of the ID — every participant that sees the same trace agrees.
+func (t *Tracer) Sampled(traceID uint64) bool {
+	if t.sampleAll {
+		return true
+	}
+	if t.threshold == 0 {
+		return false
+	}
+	return splitmix64(traceID)>>11 < t.threshold
+}
+
+func (t *Tracer) nowNS() int64 {
+	return int64(t.clock.Now() * 1e9)
+}
+
+// OpBegun implements routing.BeginObserver: it makes the sampling decision
+// and, for sampled ops, opens the op span and stamps the Op with its trace
+// identity so downstream wire calls propagate it. Unsampled ops are left
+// untouched — nil trace state is the zero-allocation fast path.
+func (t *Tracer) OpBegun(op *routing.Op) {
+	tc := op.Trace()
+	var trace, parent uint64
+	var remote bool
+	switch {
+	case tc.Valid() && !tc.Sampled:
+		// A remote root decided not to sample this trace; honor it so
+		// traces are never partial. The op still counts as dropped.
+		return
+	case tc.Valid():
+		trace, parent, remote = tc.TraceID, tc.SpanID, true
+	default:
+		trace = t.newTraceID()
+		if !t.Sampled(trace) {
+			// The unsampled path must not reach the opState allocation
+			// below — that is the zero-allocation contract.
+			return
+		}
+	}
+	st := &opState{}
+	st.span.Trace = trace
+	st.span.Parent = parent
+	st.span.Remote = remote
+	st.span.Span = t.newSpanID()
+	st.span.System = op.System
+	st.span.Kind = string(op.Kind)
+	st.span.Name = string(op.Kind)
+	st.span.Tag = op.Tag
+	st.span.Start = t.nowNS()
+	op.SetTrace(discovery.TraceContext{TraceID: st.span.Trace, SpanID: st.span.Span, Sampled: true})
+	op.SetTraceState(st)
+}
+
+// OpStep implements routing.Observer: sampled ops get one instant span per
+// recorded step, parented under the op span.
+func (t *Tracer) OpStep(op *routing.Op, step routing.Step) {
+	state := op.TraceState()
+	if state == nil {
+		return
+	}
+	st := state.(*opState)
+	sp := Span{
+		Trace:  st.span.Trace,
+		Span:   t.newSpanID(),
+		Parent: st.span.Span,
+		System: st.span.System,
+		Name:   step.Reason.String(),
+		Addr:   step.Addr,
+		Start:  t.nowNS(),
+	}
+	st.mu.Lock()
+	st.steps = append(st.steps, sp)
+	st.mu.Unlock()
+}
+
+// OpFinished implements routing.Observer: it closes the op span, publishes
+// it (and its steps) to the collector, and runs the slow-op check. Every
+// finished op increments exactly one of the sampled/dropped counters, so
+// their sum equals the fabric op total — the invariant metricscheck -trace
+// verifies.
+func (t *Tracer) OpFinished(op *routing.Op, cost discovery.Cost) {
+	h := t.handlesFor(op.System)
+	state := op.TraceState()
+	if state == nil {
+		h.dropped.Inc()
+		return
+	}
+	st := state.(*opState)
+	st.span.Dur = t.nowNS() - st.span.Start
+	st.span.Hops = cost.Hops
+	st.span.Visited = cost.Visited
+	h.sampled.Inc()
+	st.mu.Lock()
+	steps := st.steps
+	st.steps = nil
+	st.mu.Unlock()
+	t.collector.Add(st.span)
+	for _, sp := range steps {
+		t.collector.Add(sp)
+	}
+	if t.slowNS > 0 && st.span.Dur >= t.slowNS {
+		h.slow.Inc()
+		t.dumpSlow(st.span, steps)
+		h.dumps.Inc()
+	}
+}
+
+// dumpSlow writes one slow-op record: the op line followed by its steps,
+// indented — a self-contained text dump of the whole span tree.
+func (t *Tracer) dumpSlow(op Span, steps []Span) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SLOW op=%s system=%s tag=%s trace=%016x span=%016x dur=%s hops=%d visited=%d remote=%v\n",
+		op.Name, op.System, op.Tag, op.Trace, op.Span, time.Duration(op.Dur), op.Hops, op.Visited, op.Remote)
+	for _, sp := range steps {
+		fmt.Fprintf(&b, "  +%-12s %-15s addr=%s\n", time.Duration(sp.Start-op.Start), sp.Name, sp.Addr)
+	}
+	t.slowMu.Lock()
+	io.WriteString(t.slowLog, b.String())
+	t.slowMu.Unlock()
+}
+
+// StartClient opens a caller-side root span — the client half of a remote
+// call, outside any fabric op. It returns the wire context to send with the
+// request and a finish func that closes and publishes the span. When the
+// trace is not sampled the context still carries the (unsampled) identity,
+// so the remote side drops its spans too, and finish is a no-op.
+func (t *Tracer) StartClient(name string) (discovery.TraceContext, func()) {
+	traceID := t.newTraceID()
+	if !t.Sampled(traceID) {
+		return discovery.TraceContext{TraceID: traceID}, func() {}
+	}
+	sp := Span{
+		Trace:  traceID,
+		Span:   t.newSpanID(),
+		System: ClientKind,
+		Kind:   ClientKind,
+		Name:   name,
+		Start:  t.nowNS(),
+	}
+	tc := discovery.TraceContext{TraceID: traceID, SpanID: sp.Span, Sampled: true}
+	return tc, func() {
+		sp.Dur = t.nowNS() - sp.Start
+		t.collector.Add(sp)
+	}
+}

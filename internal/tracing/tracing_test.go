@@ -1,0 +1,267 @@
+package tracing
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"lorm/internal/discovery"
+	"lorm/internal/metrics"
+	"lorm/internal/routing"
+)
+
+// fakeClock is a hand-advanced routing.Clock for duration-sensitive tests.
+type fakeClock struct{ t float64 }
+
+func (c *fakeClock) Now() float64 { return c.t }
+
+// opCycle runs one representative fabric operation: two forwards, one
+// directory visit, finish.
+func opCycle(f *routing.Fabric) {
+	op := f.Begin(routing.OpDiscover, "bench")
+	op.Forward("n1", 1, routing.ReasonFingerForward)
+	op.Forward("n2", 2, routing.ReasonRangeWalk)
+	op.Visit("n3", 3)
+	op.Finish()
+}
+
+// TestZeroAllocWhenSamplingOff is the overhead contract: a fabric with a
+// rate-0 tracer attached allocates exactly as much per op as one without.
+func TestZeroAllocWhenSamplingOff(t *testing.T) {
+	base := routing.NewFabric("lorm")
+	base.Observe(routing.NewMetricsObserver(metrics.NewRegistry()))
+
+	traced := routing.NewFabric("lorm")
+	traced.Observe(routing.NewMetricsObserver(metrics.NewRegistry()))
+	traced.Observe(New(Config{Registry: metrics.NewRegistry(), SampleRate: 0}))
+
+	opCycle(base) // warm counter-handle caches outside the measurement
+	opCycle(traced)
+	baseAllocs := testing.AllocsPerRun(200, func() { opCycle(base) })
+	tracedAllocs := testing.AllocsPerRun(200, func() { opCycle(traced) })
+	if tracedAllocs > baseAllocs {
+		t.Fatalf("rate-0 tracer adds allocations: %.1f/op with tracer, %.1f/op without",
+			tracedAllocs, baseAllocs)
+	}
+}
+
+// sampledTraces runs n op cycles through a fresh fabric observed by a tracer
+// built from cfg and returns the set of sampled trace IDs.
+func sampledTraces(cfg Config, n int) map[uint64]bool {
+	tr := New(cfg)
+	f := routing.NewFabric("lorm")
+	f.Observe(tr)
+	for i := 0; i < n; i++ {
+		opCycle(f)
+	}
+	out := make(map[uint64]bool)
+	for _, sp := range tr.Collector().Snapshot() {
+		out[sp.Trace] = true
+	}
+	return out
+}
+
+// TestSamplingDeterminism: equal seeds over equal workloads sample the same
+// trace IDs; a different seed samples a different set.
+func TestSamplingDeterminism(t *testing.T) {
+	const n = 400
+	a := sampledTraces(Config{Registry: metrics.NewRegistry(), Seed: 42, SampleRate: 0.5}, n)
+	b := sampledTraces(Config{Registry: metrics.NewRegistry(), Seed: 42, SampleRate: 0.5}, n)
+	if len(a) == 0 || len(a) == n {
+		t.Fatalf("rate 0.5 sampled %d of %d traces — cannot exercise determinism", len(a), n)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed sampled %d vs %d traces", len(a), len(b))
+	}
+	for id := range a {
+		if !b[id] {
+			t.Fatalf("trace %016x sampled in run A but not run B", id)
+		}
+	}
+	c := sampledTraces(Config{Registry: metrics.NewRegistry(), Seed: 43, SampleRate: 0.5}, n)
+	same := 0
+	for id := range a {
+		if c[id] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical sampled trace sets")
+	}
+}
+
+// TestSampledPlusDroppedEqualsOps is the metricscheck -trace invariant at
+// the unit level: every finished op lands in exactly one of the two
+// counters.
+func TestSampledPlusDroppedEqualsOps(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tr := New(Config{Registry: reg, Seed: 7, SampleRate: 0.3})
+	f := routing.NewFabric("maan")
+	f.Observe(routing.NewMetricsObserver(reg), tr)
+	const n = 500
+	for i := 0; i < n; i++ {
+		opCycle(f)
+	}
+	snap := reg.Snapshot()
+	total := func(name string) float64 {
+		fam, ok := snap.Family(name)
+		if !ok {
+			t.Fatalf("family %s missing", name)
+		}
+		return fam.Total()
+	}
+	sampled := total("tracing_spans_sampled_total")
+	dropped := total("tracing_spans_dropped_total")
+	ops := total("lorm_ops_total")
+	if sampled+dropped != ops || ops != n {
+		t.Fatalf("sampled %v + dropped %v != ops %v (want %d)", sampled, dropped, ops, n)
+	}
+	if sampled == 0 || dropped == 0 {
+		t.Fatalf("rate 0.3 over %d ops should both sample and drop (got %v/%v)", n, sampled, dropped)
+	}
+}
+
+// TestRemoteContextHonored: an op begun under a wire-propagated context
+// keeps the caller's trace ID and parents under the caller's span; an
+// explicitly unsampled context suppresses spans entirely so traces are
+// never partial.
+func TestRemoteContextHonored(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tr := New(Config{Registry: reg, SampleRate: 0}) // local sampling off
+	f := routing.NewFabric("sword")
+	f.Observe(tr)
+
+	remote := discovery.TraceContext{TraceID: 0xabcd, SpanID: 0x1234, Sampled: true}
+	op := f.BeginTraced(routing.OpDiscover, "req", remote)
+	op.Visit("n1", 1)
+	op.Finish()
+
+	spans := tr.Collector().Snapshot()
+	var opSpan *Span
+	for i := range spans {
+		if spans[i].IsOp() {
+			opSpan = &spans[i]
+		}
+	}
+	if opSpan == nil {
+		t.Fatal("sampled remote context produced no op span")
+	}
+	if opSpan.Trace != remote.TraceID || opSpan.Parent != remote.SpanID || !opSpan.Remote {
+		t.Fatalf("op span %+v not parented under remote context %+v", opSpan, remote)
+	}
+
+	before := tr.Collector().Len()
+	unsampled := discovery.TraceContext{TraceID: 0xbeef, Sampled: false}
+	op = f.BeginTraced(routing.OpDiscover, "req", unsampled)
+	op.Visit("n1", 1)
+	op.Finish()
+	if got := tr.Collector().Len(); got != before {
+		t.Fatalf("unsampled remote context still published %d spans", got-before)
+	}
+}
+
+// TestCollectorBounded: the collector never grows past capacity and counts
+// evictions.
+func TestCollectorBounded(t *testing.T) {
+	c := NewCollector(4)
+	for i := 0; i < 10; i++ {
+		c.Add(Span{Trace: uint64(i + 1), Span: uint64(i + 1), System: "lorm", Name: "x"})
+	}
+	if c.Len() != 4 || c.Cap() != 4 {
+		t.Fatalf("Len/Cap = %d/%d, want 4/4", c.Len(), c.Cap())
+	}
+	if c.Evicted() != 6 {
+		t.Fatalf("Evicted = %d, want 6", c.Evicted())
+	}
+	if got := len(c.Snapshot()); got != 4 {
+		t.Fatalf("Snapshot returned %d spans, want 4", got)
+	}
+}
+
+// TestJSONLRoundTrip: WriteJSONL output parses back via ReadSpans.
+func TestJSONLRoundTrip(t *testing.T) {
+	c := NewCollector(8)
+	c.Add(Span{Trace: 1, Span: 2, System: "lorm", Kind: "discover", Name: "discover", Start: 10, Dur: 5})
+	c.Add(Span{Trace: 1, Span: 3, Parent: 2, System: "lorm", Name: "finger-forward", Addr: "n7", Start: 12})
+	var buf bytes.Buffer
+	if err := c.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := ReadSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("read %d spans, want 2", len(spans))
+	}
+	if !spans[0].IsOp() || spans[1].IsOp() {
+		t.Fatalf("op/step classification lost in round trip: %+v", spans)
+	}
+	if spans[1].Parent != spans[0].Span {
+		t.Fatal("parent link lost in round trip")
+	}
+}
+
+// TestSlowOpDump: an op crossing the threshold (under a fake clock) writes
+// exactly one dump with its steps, and the slow and dump counters advance
+// together.
+func TestSlowOpDump(t *testing.T) {
+	reg := metrics.NewRegistry()
+	clk := &fakeClock{}
+	var buf bytes.Buffer
+	tr := New(Config{
+		Registry: reg, Clock: clk, SampleRate: 1,
+		SlowThreshold: 5 * time.Millisecond, SlowLog: &buf,
+	})
+	f := routing.NewFabric("mercury")
+	f.Observe(tr)
+
+	op := f.Begin(routing.OpDiscover, "slowpoke")
+	clk.t = 0.002
+	op.Forward("n1", 1, routing.ReasonFingerForward)
+	clk.t = 0.010
+	op.Finish()
+
+	opCycle(f) // instantaneous under the fake clock: must NOT dump
+
+	dump := buf.String()
+	if n := strings.Count(dump, "SLOW "); n != 1 {
+		t.Fatalf("want exactly 1 SLOW record, got %d:\n%s", n, dump)
+	}
+	if !strings.Contains(dump, "system=mercury") || !strings.Contains(dump, "tag=slowpoke") ||
+		!strings.Contains(dump, "finger-forward") {
+		t.Fatalf("dump missing op identity or steps:\n%s", dump)
+	}
+	snap := reg.Snapshot()
+	slow, _ := snap.Family("tracing_slow_ops_total")
+	dumps, _ := snap.Family("tracing_slow_op_dumps_total")
+	if slow.Total() != 1 || dumps.Total() != 1 {
+		t.Fatalf("slow/dump counters = %v/%v, want 1/1", slow.Total(), dumps.Total())
+	}
+}
+
+// TestStartClient: the client root span carries the sampling decision on
+// the wire context, and finish publishes the span only when sampled.
+func TestStartClient(t *testing.T) {
+	tr := New(Config{Registry: metrics.NewRegistry(), SampleRate: 1})
+	tc, finish := tr.StartClient("discover")
+	if !tc.Valid() || !tc.Sampled {
+		t.Fatalf("full-rate client context not sampled: %+v", tc)
+	}
+	finish()
+	spans := tr.Collector().Snapshot()
+	if len(spans) != 1 || spans[0].Kind != ClientKind || spans[0].Trace != tc.TraceID {
+		t.Fatalf("unexpected client span set: %+v", spans)
+	}
+
+	off := New(Config{Registry: metrics.NewRegistry(), SampleRate: 0})
+	tc, finish = off.StartClient("discover")
+	if !tc.Valid() || tc.Sampled {
+		t.Fatalf("rate-0 client context should carry an unsampled identity: %+v", tc)
+	}
+	finish()
+	if off.Collector().Len() != 0 {
+		t.Fatal("rate-0 client finish published a span")
+	}
+}

@@ -235,8 +235,15 @@ func (c *Client) Ping() error {
 }
 
 // Register announces one piece of resource information.
-func (c *Client) Register(info resource.Info) (cost discovery.Cost, err error) {
-	resp, err := c.call(&Request{Op: OpRegister, Info: &info})
+func (c *Client) Register(info resource.Info) (discovery.Cost, error) {
+	return c.RegisterTraced(info, discovery.TraceContext{})
+}
+
+// RegisterTraced is Register carrying the caller's trace context over the
+// wire, so the gateway's server-side spans parent under the caller's span.
+// A zero context sends no trace field at all (byte-identical to Register).
+func (c *Client) RegisterTraced(info resource.Info, tc discovery.TraceContext) (cost discovery.Cost, err error) {
+	resp, err := c.call(&Request{Op: OpRegister, Info: &info, Trace: wireTrace(tc)})
 	if err != nil {
 		return cost, err
 	}
@@ -244,12 +251,27 @@ func (c *Client) Register(info resource.Info) (cost discovery.Cost, err error) {
 }
 
 // Discover resolves a multi-attribute (range) query remotely.
-func (c *Client) Discover(subs []resource.SubQuery, requester string) (owners []string, matches []resource.Info, cost discovery.Cost, err error) {
-	resp, err := c.call(&Request{Op: OpDiscover, Subs: subs, Requester: requester})
+func (c *Client) Discover(subs []resource.SubQuery, requester string) ([]string, []resource.Info, discovery.Cost, error) {
+	return c.DiscoverTraced(subs, requester, discovery.TraceContext{})
+}
+
+// DiscoverTraced is Discover carrying the caller's trace context over the
+// wire. A zero context sends no trace field at all.
+func (c *Client) DiscoverTraced(subs []resource.SubQuery, requester string, tc discovery.TraceContext) (owners []string, matches []resource.Info, cost discovery.Cost, err error) {
+	resp, err := c.call(&Request{Op: OpDiscover, Subs: subs, Requester: requester, Trace: wireTrace(tc)})
 	if err != nil {
 		return nil, nil, cost, err
 	}
 	return resp.Owners, resp.Matches, resp.Cost, nil
+}
+
+// wireTrace boxes a trace context for the wire; invalid contexts stay off
+// the frame entirely so untraced traffic is unchanged on the wire.
+func wireTrace(tc discovery.TraceContext) *discovery.TraceContext {
+	if !tc.Valid() {
+		return nil
+	}
+	return &tc
 }
 
 // Stats fetches the gateway's deployment summary.

@@ -50,6 +50,11 @@ type Request struct {
 	Subs      []resource.SubQuery `json:"subs,omitempty"`      // discover
 	Requester string              `json:"requester,omitempty"` // discover
 	Addr      string              `json:"addr,omitempty"`      // addnode / removenode
+	// Trace carries the caller's distributed-trace context on register and
+	// discover, so the server-side fabric spans parent under the caller's
+	// span. Optional and version-tolerant: old clients omit it, old servers
+	// ignore the unknown field, and behavior is identical either way.
+	Trace *discovery.TraceContext `json:"trace,omitempty"`
 }
 
 // Stats is the server-state summary returned by OpStats.
@@ -88,9 +93,14 @@ type MetricsDigest struct {
 	ReplicasPlaced   uint64          `json:"replicas_placed,omitempty"`
 	ReplicasDropped  uint64          `json:"replicas_dropped,omitempty"`
 	ReplicaReadHits  uint64          `json:"replica_read_hits,omitempty"`
-	HotKeyPromotions uint64          `json:"hotkey_promotions,omitempty"`
-	HotKeyDemotions  uint64          `json:"hotkey_demotions,omitempty"`
-	Systems          []SystemMetrics `json:"systems,omitempty"`
+	HotKeyPromotions uint64 `json:"hotkey_promotions,omitempty"`
+	HotKeyDemotions  uint64 `json:"hotkey_demotions,omitempty"`
+	// Tracing activity: operations sampled into spans, operations finished
+	// without a span, and slow-op detections, summed over systems.
+	SpansSampled uint64          `json:"spans_sampled,omitempty"`
+	SpansDropped uint64          `json:"spans_dropped,omitempty"`
+	SlowOps      uint64          `json:"slow_ops,omitempty"`
+	Systems      []SystemMetrics `json:"systems,omitempty"`
 }
 
 // SystemMetrics is one system's slice of the digest.

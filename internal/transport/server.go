@@ -1,10 +1,11 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
@@ -32,7 +33,7 @@ var (
 type Server struct {
 	sys discovery.System
 	ln  net.Listener
-	log *log.Logger
+	log *slog.Logger
 	// obs observes the served system's routing fabric when the system is
 	// routing.Instrumented; it feeds the process /metrics families and the
 	// OpStats digest. fabric keeps the handle for detaching on Close.
@@ -46,11 +47,17 @@ type Server struct {
 }
 
 // NewServer starts serving sys on addr (e.g. "127.0.0.1:7400"); addr with
-// port 0 picks a free port, available via Addr.
-func NewServer(sys discovery.System, addr string, logger *log.Logger) (*Server, error) {
+// port 0 picks a free port, available via Addr. logger receives leveled
+// structured events (accept failures at Warn, per-request lines at Debug
+// with verb/remote/duration and the trace ID when the request is sampled);
+// nil discards everything.
+func NewServer(sys discovery.System, addr string, logger *slog.Logger) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	s := &Server{sys: sys, ln: ln, log: logger, conns: make(map[net.Conn]bool)}
 	if inst, ok := sys.(routing.Instrumented); ok {
@@ -86,12 +93,6 @@ func (s *Server) Close() error {
 	return err
 }
 
-func (s *Server) logf(format string, args ...interface{}) {
-	if s.log != nil {
-		s.log.Printf(format, args...)
-	}
-}
-
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
 	for {
@@ -103,7 +104,7 @@ func (s *Server) acceptLoop() {
 			if closed || errors.Is(err, net.ErrClosed) {
 				return
 			}
-			s.logf("accept: %v", err)
+			s.log.Warn("accept failed", "err", err)
 			continue
 		}
 		s.mu.Lock()
@@ -148,12 +149,25 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return // EOF, deadline or protocol error: drop the connection
 		}
+		start := time.Now()
 		resp := s.handle(&req)
+		if s.log.Enabled(context.Background(), slog.LevelDebug) {
+			args := []any{
+				"verb", string(req.Op),
+				"remote", conn.RemoteAddr().String(),
+				"dur", time.Since(start),
+				"ok", resp.OK,
+			}
+			if req.Trace != nil && req.Trace.Sampled {
+				args = append(args, "trace", fmt.Sprintf("%016x", req.Trace.TraceID))
+			}
+			s.log.Debug("request", args...)
+		}
 		if serverWriteTimeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(serverWriteTimeout))
 		}
 		if err := writeFrame(cc, resp); err != nil {
-			s.logf("write to %s: %v", conn.RemoteAddr(), err)
+			s.log.Warn("response write failed", "remote", conn.RemoteAddr().String(), "err", err)
 			return
 		}
 	}
@@ -179,7 +193,13 @@ func (s *Server) handle(req *Request) *Response {
 		if req.Info == nil {
 			return fail("register without info")
 		}
-		cost, err := s.sys.Register(*req.Info)
+		var cost discovery.Cost
+		var err error
+		if tr, ok := s.traced(req); ok {
+			cost, err = tr.RegisterTraced(*req.Info, *req.Trace)
+		} else {
+			cost, err = s.sys.Register(*req.Info)
+		}
 		if err != nil {
 			return fail("register: %v", err)
 		}
@@ -190,7 +210,14 @@ func (s *Server) handle(req *Request) *Response {
 		if len(req.Subs) == 0 {
 			return fail("discover without sub-queries")
 		}
-		res, err := s.sys.Discover(resource.Query{Subs: req.Subs, Requester: req.Requester})
+		q := resource.Query{Subs: req.Subs, Requester: req.Requester}
+		var res *discovery.Result
+		var err error
+		if tr, ok := s.traced(req); ok {
+			res, err = tr.DiscoverTraced(q, *req.Trace)
+		} else {
+			res, err = s.sys.Discover(q)
+		}
 		if err != nil {
 			return fail("discover: %v", err)
 		}
@@ -257,6 +284,18 @@ func (s *Server) handle(req *Request) *Response {
 	return resp
 }
 
+// traced reports whether the request carries a trace context the served
+// system can join: old clients (no Trace field) and systems without the
+// Traced interface fall back to the plain verbs, so the protocol stays
+// version-tolerant in both directions.
+func (s *Server) traced(req *Request) (discovery.Traced, bool) {
+	if req.Trace == nil || !req.Trace.Valid() {
+		return nil, false
+	}
+	tr, ok := s.sys.(discovery.Traced)
+	return tr, ok
+}
+
 // metricsDigest condenses the fabric observer's view for the OpStats
 // reply; nil when the served system is not instrumented.
 func (s *Server) metricsDigest() *MetricsDigest {
@@ -279,6 +318,19 @@ func (s *Server) metricsDigest() *MetricsDigest {
 		ReplicaReadHits:  mdReplicaReadHits.Value(),
 		HotKeyPromotions: mdHotKeyPromotions.Value(),
 		HotKeyDemotions:  mdHotKeyDemotions.Value(),
+	}
+	// Tracing families are labeled by system and owned by the tracer, so
+	// the digest reads their totals from the process registry snapshot
+	// instead of re-registering them with a different label shape.
+	snap := metrics.Default().Snapshot()
+	if f, ok := snap.Family("tracing_spans_sampled_total"); ok {
+		d.SpansSampled = uint64(f.Total())
+	}
+	if f, ok := snap.Family("tracing_spans_dropped_total"); ok {
+		d.SpansDropped = uint64(f.Total())
+	}
+	if f, ok := snap.Family("tracing_slow_ops_total"); ok {
+		d.SlowOps = uint64(f.Total())
 	}
 	for _, sd := range systems {
 		d.Systems = append(d.Systems, SystemMetrics{

@@ -1,0 +1,120 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"lorm/internal/metrics"
+	"lorm/internal/resource"
+	"lorm/internal/tracing"
+)
+
+// TestTraceContextOverTCP is the end-to-end wire-propagation test: a
+// client-side root span's context rides a real loopback round trip, the
+// server-side fabric op parents under it, and the op's step spans parent
+// under the op — one connected trace across two tracers.
+func TestTraceContextOverTCP(t *testing.T) {
+	sys := testSystem(t)
+	serverTracer := tracing.New(tracing.Config{Registry: metrics.NewRegistry(), SampleRate: 1, Seed: 1})
+	sys.RoutingFabric().Observe(serverTracer)
+
+	srv, err := NewServer(sys, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cli, err := Dial(srv.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+
+	clientTracer := tracing.New(tracing.Config{Registry: metrics.NewRegistry(), SampleRate: 1, Seed: 2})
+
+	tc, finish := clientTracer.StartClient("register")
+	if _, err := cli.RegisterTraced(resource.Info{Attr: "cpu", Value: 2000, Owner: "site-a"}, tc); err != nil {
+		t.Fatal(err)
+	}
+	finish()
+
+	tc2, finish2 := clientTracer.StartClient("discover")
+	subs := []resource.SubQuery{{Attr: "cpu", Low: 1000, High: 3000}}
+	if _, _, _, err := cli.DiscoverTraced(subs, "req-1", tc2); err != nil {
+		t.Fatal(err)
+	}
+	finish2()
+
+	serverSpans := serverTracer.Collector().Snapshot()
+	byTrace := map[uint64][]tracing.Span{}
+	for _, sp := range serverSpans {
+		byTrace[sp.Trace] = append(byTrace[sp.Trace], sp)
+	}
+
+	check := func(name string, traceID, parentSpan uint64, wantKind string) {
+		t.Helper()
+		spans := byTrace[traceID]
+		if len(spans) == 0 {
+			t.Fatalf("%s: no server spans under client trace %016x", name, traceID)
+		}
+		var op *tracing.Span
+		for i := range spans {
+			if spans[i].IsOp() {
+				if op != nil {
+					t.Fatalf("%s: multiple op spans in one trace", name)
+				}
+				op = &spans[i]
+			}
+		}
+		if op == nil {
+			t.Fatalf("%s: no op span under trace %016x", name, traceID)
+		}
+		if op.Parent != parentSpan {
+			t.Fatalf("%s: op parent %016x != client span %016x", name, op.Parent, parentSpan)
+		}
+		if !op.Remote {
+			t.Fatalf("%s: server op not marked remote", name)
+		}
+		if op.Kind != wantKind {
+			t.Fatalf("%s: op kind %q, want %q", name, op.Kind, wantKind)
+		}
+		for _, sp := range spans {
+			if sp.IsOp() {
+				continue
+			}
+			if sp.Parent != op.Span {
+				t.Fatalf("%s: step span %016x parented under %016x, want op span %016x",
+					name, sp.Span, sp.Parent, op.Span)
+			}
+		}
+	}
+	check("register", tc.TraceID, tc.SpanID, "register")
+	check("discover", tc2.TraceID, tc2.SpanID, "discover")
+}
+
+// TestUntracedRequestCarriesNoContext: a plain Register/Discover sends no
+// trace field and the server starts no remote-parented span.
+func TestUntracedRequestCarriesNoContext(t *testing.T) {
+	sys := testSystem(t)
+	serverTracer := tracing.New(tracing.Config{Registry: metrics.NewRegistry(), SampleRate: 1, Seed: 3})
+	sys.RoutingFabric().Observe(serverTracer)
+
+	srv, err := NewServer(sys, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cli, err := Dial(srv.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+
+	if _, err := cli.Register(resource.Info{Attr: "cpu", Value: 1500, Owner: "site-z"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range serverTracer.Collector().Snapshot() {
+		if sp.Remote {
+			t.Fatalf("untraced request produced a remote-parented span: %+v", sp)
+		}
+	}
+}
