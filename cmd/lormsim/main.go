@@ -8,10 +8,12 @@
 //	lormsim -crash-rate 0.4          # crash-churn sweep (beyond the paper)
 //	lormsim -load-out results_load.txt  # load-distribution + rebalance sweep
 //	lormsim -hotkey-out results_hotkey.txt  # hot-key replication sweep
+//	lormsim -partition 30 -partition-heal 45  # healing partition + flash crowd
 //
 // Experiments: fig3a, fig3b, fig3c, fig3d, fig4a, fig4b, fig5a, fig5b,
 // fig6a, fig6b, all, plus the opt-in extras theorems, worstcase,
-// ablations, crash, load and hotkey. Presets: quick, standard, paper.
+// ablations, crash, load, hotkey and partition. Presets: quick,
+// standard, paper.
 // Individual knobs (-n, -m, -k, -d, -seed, ...) override the preset.
 package main
 
@@ -40,7 +42,7 @@ func main() {
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("lormsim", flag.ContinueOnError)
 	var (
-		exp     = fs.String("exp", "all", "comma-separated experiments: fig3a fig3b fig3c fig3d fig4a fig4b fig5a fig5b fig6a fig6b all theorems worstcase ablations crash load hotkey")
+		exp     = fs.String("exp", "all", "comma-separated experiments: fig3a fig3b fig3c fig3d fig4a fig4b fig5a fig5b fig6a fig6b all theorems worstcase ablations crash load hotkey partition")
 		preset  = fs.String("preset", "standard", "parameter preset: quick, standard, paper")
 		format  = fs.String("format", "text", "output format: text, csv")
 		nFlag   = fs.Int("n", 0, "override node count")
@@ -57,6 +59,11 @@ func run(args []string, out *os.File) error {
 		loadOut = fs.String("load-out", "", "write the load-distribution tables to this file; setting it implies -exp load")
 		rebal   = fs.Bool("rebalance", true, "run the item-migration pass in the load experiment and report post-rebalance load factors")
 		hotOut  = fs.String("hotkey-out", "", "write the hot-key replication sweep tables to this file; setting it implies -exp hotkey")
+		partAt  = fs.Float64("partition", 0, "form a healing network partition at this virtual time; setting it implies -exp partition")
+		partHl  = fs.Float64("partition-heal", 0, "heal the partition at this virtual time (must exceed -partition; default sweeps the preset durations)")
+		burst   = fs.Int("join-burst", 0, "flash-crowd join-burst size for the partition experiment; setting it implies -exp partition")
+		randSuc = fs.Bool("random-successors", false, "use ReCord-style randomized fingers in the Chord-based systems for the partition experiment; setting it implies -exp partition")
+		partOut = fs.String("partition-out", "", "write the partition/flash-crowd tables to this file; setting it implies -exp partition")
 		spans   = fs.String("trace-spans", "", "write timed trace spans (JSONL, the cmd/lormtrace input) to this file")
 		sample  = fs.Float64("trace-sample", 1, "head-sampling probability for -trace-spans (deterministic in -seed)")
 		slowMS  = fs.Float64("slow-ms", 0, "dump sampled operations at least this many milliseconds long to stderr (0 disables)")
@@ -116,6 +123,19 @@ func run(args []string, out *os.File) error {
 	if *crFrac > 0 {
 		p.CrashFraction = *crFrac
 	}
+	if *partAt > 0 {
+		p.PartitionAt = *partAt
+	}
+	if *partHl > 0 {
+		if *partHl <= p.PartitionAt {
+			return fmt.Errorf("-partition-heal %g must be later than -partition %g", *partHl, p.PartitionAt)
+		}
+		p.PartitionDurations = []float64{*partHl - p.PartitionAt}
+	}
+	if *burst > 0 {
+		p.JoinBursts = []int{*burst}
+	}
+	p.RandomSuccessors = *randSuc
 	// Membership events (churn joins/departures at Debug, crashes at Info)
 	// flow through the same leveled handler as every other event line.
 	p.Logger = logger
@@ -212,9 +232,10 @@ func run(args []string, out *os.File) error {
 	for _, e := range strings.Split(*exp, ",") {
 		want[strings.TrimSpace(strings.ToLower(e))] = true
 	}
-	if !expSet && (*crRate > 0 || *loadOut != "" || *hotOut != "") {
-		// -crash-rate, -load-out or -hotkey-out alone means "run that
-		// experiment", not the default -exp all on top of it.
+	partitionImplied := *partAt > 0 || *burst > 0 || *randSuc || *partOut != ""
+	if !expSet && (*crRate > 0 || *loadOut != "" || *hotOut != "" || partitionImplied) {
+		// -crash-rate, -load-out, -hotkey-out or a partition flag alone means
+		// "run that experiment", not the default -exp all on top of it.
 		want = map[string]bool{}
 	}
 	if *crRate > 0 {
@@ -225,6 +246,9 @@ func run(args []string, out *os.File) error {
 	}
 	if *hotOut != "" {
 		want["hotkey"] = true
+	}
+	if partitionImplied {
+		want["partition"] = true
 	}
 	all := want["all"]
 	need := func(names ...string) bool {
@@ -441,6 +465,35 @@ func run(args []string, out *os.File) error {
 				}
 			}
 			fmt.Fprintf(os.Stderr, "[lormsim] load: %d tables written to %s\n", len(tables), *loadOut)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	if need("partition") && !all { // opt-in: not part of -exp all
+		if err := timed("partition", func() error {
+			tables, err := experiments.Partition(p)
+			if err != nil {
+				return err
+			}
+			if *partOut == "" {
+				emit(tables...)
+				return nil
+			}
+			f, err := os.Create(*partOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			for _, t := range tables {
+				if *format == "csv" {
+					fmt.Fprintf(f, "# %s\n%s\n", t.Title, t.CSV())
+				} else {
+					fmt.Fprintln(f, t.Text())
+				}
+			}
+			fmt.Fprintf(os.Stderr, "[lormsim] partition: %d tables written to %s\n", len(tables), *partOut)
 			return nil
 		}); err != nil {
 			return err

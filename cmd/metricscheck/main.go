@@ -6,7 +6,11 @@
 // query failures, crash and lost-entry counters) and that crashes actually
 // occurred. With -load it requires the loadbalance migration counters and
 // cross-checks them against the directory handover counters they must stay
-// consistent with. With -replication it requires the replication-layer
+// consistent with. With -membership it requires the gossip-membership and
+// network-fault families of a partition run and cross-checks the detector
+// ledger (replies never exceed shuffles, confirmations and clears never
+// exceed suspicions) and the fault window (window failures reconcile with
+// the overlays' query-failure counters). With -replication it requires the replication-layer
 // counters and cross-checks them against the fabric's reason-labeled step
 // counts. With -trace it requires the tracing families and cross-checks
 // them against the fabric op counters: every finished op is either sampled
@@ -14,7 +18,7 @@
 // exactly one slow-op dump. CI runs it after short simulations to catch
 // regressions in the observability pipeline.
 //
-// Usage: metricscheck [-crash] [-load] [-replication] [-trace] <snapshot.json>
+// Usage: metricscheck [-crash] [-load] [-membership] [-replication] [-trace] <snapshot.json>
 package main
 
 import (
@@ -37,13 +41,14 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("metricscheck", flag.ContinueOnError)
 	crash := fs.Bool("crash", false, "require the crash-churn failure counters (snapshot from lormsim -crash-rate)")
 	load := fs.Bool("load", false, "require the load-balance migration counters (snapshot from lormsim -load-out)")
+	member := fs.Bool("membership", false, "require the gossip-membership and netfault counters (snapshot from lormsim -partition)")
 	replication := fs.Bool("replication", false, "require the replication counters (snapshot from lormsim -hotkey-out)")
 	trace := fs.Bool("trace", false, "require the tracing counters and cross-check them against the fabric op totals (snapshot from lormsim -trace-spans -metrics-out)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: metricscheck [-crash] [-load] [-replication] [-trace] <snapshot.json>")
+		return fmt.Errorf("usage: metricscheck [-crash] [-load] [-membership] [-replication] [-trace] <snapshot.json>")
 	}
 	data, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
@@ -85,6 +90,11 @@ func run(args []string) error {
 	}
 	if *load {
 		if err := checkLoad(&snap); err != nil {
+			return err
+		}
+	}
+	if *member {
+		if err := checkMembership(&snap); err != nil {
 			return err
 		}
 	}
@@ -161,6 +171,94 @@ func checkTrace(snap *metrics.Snapshot) error {
 	}
 	fmt.Printf("metricscheck: tracing counters ok (%.0f sampled + %.0f dropped = %.0f ops; %.0f slow ops, %.0f dumps)\n",
 		totalSampled, totalDropped, totalOps, totalSlow, totalDumps)
+	return nil
+}
+
+// checkMembership validates the gossip-membership and network-fault
+// families a partition run must produce, and cross-checks the invariants
+// that tie them together: a shuffle either completes with a reply or times
+// out, every suspicion closure (clear or confirmation) consumed an opened
+// suspicion, every partition formed was healed, and query failures observed
+// inside the fault window must be explainable — if any occurred, the
+// overlays' own unreachable-hop counters must have fired too.
+func checkMembership(snap *metrics.Snapshot) error {
+	value := func(name string) (float64, error) {
+		f, ok := snap.Family(name)
+		if !ok {
+			return 0, fmt.Errorf("membership counter family %s missing", name)
+		}
+		return f.Total(), nil
+	}
+	vals := map[string]float64{}
+	for _, name := range []string{
+		"membership_shuffles_total",
+		"membership_shuffle_replies_total",
+		"membership_shuffle_timeouts_total",
+		"membership_suspicions_total",
+		"membership_suspicions_cleared_total",
+		"membership_confirms_total",
+		"netfault_partitions_started_total",
+		"netfault_partitions_healed_total",
+		"netfault_blocked_messages_total",
+		"netfault_window_query_checks_total",
+		"netfault_window_query_failures_total",
+	} {
+		v, err := value(name)
+		if err != nil {
+			return err
+		}
+		vals[name] = v
+	}
+	shuffles := vals["membership_shuffles_total"]
+	if shuffles <= 0 {
+		return fmt.Errorf("membership_shuffles_total is zero: the gossip layer never ran")
+	}
+	if replies := vals["membership_shuffle_replies_total"]; replies > shuffles {
+		return fmt.Errorf("membership_shuffle_replies_total (%.0f) exceeds shuffles (%.0f)", replies, shuffles)
+	}
+	sus := vals["membership_suspicions_total"]
+	if sus <= 0 {
+		return fmt.Errorf("membership_suspicions_total is zero: the fault window suspected nobody")
+	}
+	if closed := vals["membership_suspicions_cleared_total"] + vals["membership_confirms_total"]; closed > sus {
+		return fmt.Errorf("suspicion closures (%.0f cleared + %.0f confirmed) exceed suspicions opened (%.0f)",
+			vals["membership_suspicions_cleared_total"], vals["membership_confirms_total"], sus)
+	}
+	started := vals["netfault_partitions_started_total"]
+	if started <= 0 {
+		return fmt.Errorf("netfault_partitions_started_total is zero: no partition was injected")
+	}
+	if healed := vals["netfault_partitions_healed_total"]; healed != started {
+		return fmt.Errorf("netfault_partitions_healed_total (%.0f) != started (%.0f): a partition never healed",
+			healed, started)
+	}
+	checks := vals["netfault_window_query_checks_total"]
+	fails := vals["netfault_window_query_failures_total"]
+	if checks <= 0 {
+		return fmt.Errorf("netfault_window_query_checks_total is zero: no query ran inside the fault window")
+	}
+	if fails > checks {
+		return fmt.Errorf("window query failures (%.0f) exceed window query checks (%.0f)", fails, checks)
+	}
+	// Window failures come from unreachable hops; when any occurred, the
+	// overlays must have recorded unreachable-successor failures too (the
+	// converse does not hold exactly: one failed range query can contain
+	// several sub-lookup failures, and oracle-mismatch failures record none).
+	overlayFails := 0.0
+	for _, name := range []string{"chord_query_failures_total", "cycloid_query_failures_total"} {
+		if f, ok := snap.Family(name); ok {
+			overlayFails += f.Total()
+		}
+	}
+	if fails > 0 && overlayFails <= 0 {
+		return fmt.Errorf("window query failures (%.0f) with zero overlay query failures: failure attribution broken", fails)
+	}
+	if vals["netfault_blocked_messages_total"] <= 0 {
+		return fmt.Errorf("netfault_blocked_messages_total is zero: the partition blocked nothing")
+	}
+	fmt.Printf("metricscheck: membership counters ok (%.0f shuffles, %.0f suspicions, %.0f cleared, %.0f confirms; %.0f/%.0f window failures, %.0f partitions healed)\n",
+		shuffles, sus, vals["membership_suspicions_cleared_total"], vals["membership_confirms_total"],
+		fails, checks, started)
 	return nil
 }
 

@@ -22,11 +22,13 @@ package chord
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
 
 	"lorm/internal/directory"
+	"lorm/internal/discovery"
 	"lorm/internal/hashing"
 	"lorm/internal/ring"
 )
@@ -44,6 +46,15 @@ type Config struct {
 	// Salt namespaces node identifiers, so the same physical addresses get
 	// independent positions in each Mercury hub.
 	Salt string
+	// FingerRng, when non-nil, switches finger construction to ReCord-style
+	// randomized successor selection: finger i points at a uniformly random
+	// member of the interval [id+2^i, id+2^(i+1)) instead of its first
+	// member. Any entry in the interval preserves the halving argument
+	// (lookups stay O(log n)), and the spread-out fingers buy routing
+	// diversity — fewer queries funnel through the same ranked successors.
+	// Draws happen under the ring's writer mutex, so a seeded source
+	// replays deterministically.
+	FingerRng *rand.Rand
 }
 
 func (c Config) withDefaults() Config {
@@ -123,6 +134,36 @@ type Ring struct {
 
 	mu   sync.Mutex // serializes writers; lookups never take it
 	snap atomic.Pointer[snapshot]
+
+	// reach is the installed network-fault plane (nil box or nil plane:
+	// fault-free). Lookups load it once per walk, like the snapshot.
+	reach atomic.Pointer[reachBox]
+}
+
+// reachBox wraps the Reachability interface value for atomic publication.
+type reachBox struct{ r discovery.Reachability }
+
+// SetReachability installs (or, with nil, removes) the network-fault plane
+// every subsequent lookup and range walk consults. Maintenance
+// (Stabilize/FixFingers) deliberately ignores the plane: it models each
+// side's local repair converging after the fault clears, and keeping it on
+// ground truth means a healed partition needs no extra repair protocol.
+func (r *Ring) SetReachability(p discovery.Reachability) {
+	r.reach.Store(&reachBox{r: p})
+}
+
+// reachOf returns the installed fault plane, nil when routing is fault-free.
+func (r *Ring) reachOf() discovery.Reachability {
+	if b := r.reach.Load(); b != nil {
+		return b.r
+	}
+	return nil
+}
+
+// unreachable reports that the from-node cannot currently reach the
+// to-node's address under the installed plane.
+func unreachable(reach discovery.Reachability, from, to *Node) bool {
+	return reach != nil && !reach.Reachable(from.Addr, to.Addr)
 }
 
 // ErrEmpty is returned by operations that need at least one live node.
@@ -297,9 +338,32 @@ func (r *Ring) rebuildNode(d *draft, n *Node) {
 		}
 	}
 	for i := uint(0); i < r.cfg.Bits; i++ {
-		st.fingers[i] = r.oracleSuccessorIn(d.s, r.space.Add(n.ID, uint64(1)<<i))
+		st.fingers[i] = r.fingerEntry(d.s, n.ID, i)
 	}
 	d.setState(n.ID, st)
+}
+
+// fingerEntry computes finger i of node id from the draft's membership:
+// the deterministic successor of id+2^i, or — under Config.FingerRng — a
+// uniformly random member of the finger interval [id+2^i, id+2^(i+1)),
+// ReCord's randomized successor selection. An empty interval falls back to
+// the deterministic successor, exactly Chord's rule.
+func (r *Ring) fingerEntry(s *snapshot, id uint64, i uint) uint64 {
+	lo := r.space.Add(id, uint64(1)<<i)
+	if r.cfg.FingerRng == nil || len(s.sorted) == 0 {
+		return r.oracleSuccessorIn(s, lo)
+	}
+	hi := r.space.Add(id, uint64(1)<<(i+1)) // exclusive upper bound; wraps to id at i = Bits-1
+	a := sort.Search(len(s.sorted), func(j int) bool { return s.sorted[j] >= lo })
+	b := sort.Search(len(s.sorted), func(j int) bool { return s.sorted[j] >= hi })
+	count := b - a
+	if lo > hi { // interval wraps through zero
+		count = len(s.sorted) - a + b
+	}
+	if count <= 0 {
+		return r.oracleSuccessorIn(s, lo)
+	}
+	return s.sorted[(a+r.cfg.FingerRng.Intn(count))%len(s.sorted)]
 }
 
 // successorIn returns a node's first live successor in the given view,
@@ -333,12 +397,13 @@ func memberOf(s *snapshot, n *Node) member {
 	return member{node: n}
 }
 
-// closestPrecedingIn returns the live routing-table entry of cur that most
-// closely precedes key in the given view; ok is false when none does.
-// detoured reports that a better-placed but dead finger (or successor) was
-// skipped on the way to the returned entry: the hop the caller takes routes
-// around a failure rather than down the preferred finger.
-func (r *Ring) closestPrecedingIn(s *snapshot, cur member, key uint64) (id uint64, m member, ok, detoured bool) {
+// closestPrecedingIn returns the live, reachable routing-table entry of cur
+// that most closely precedes key in the given view; ok is false when none
+// does. detoured reports that a better-placed but dead (or cut-off) finger
+// or successor was skipped on the way to the returned entry: the hop the
+// caller takes routes around a failure rather than down the preferred
+// finger.
+func (r *Ring) closestPrecedingIn(s *snapshot, reach discovery.Reachability, cur member, key uint64) (id uint64, m member, ok, detoured bool) {
 	st := cur.st()
 	self := cur.node.ID
 	for i := len(st.fingers) - 1; i >= 0; i-- {
@@ -346,7 +411,7 @@ func (r *Ring) closestPrecedingIn(s *snapshot, cur member, key uint64) (id uint6
 		if !r.space.Between(f, self, key) {
 			continue
 		}
-		if m, live := s.members[f]; live {
+		if m, live := s.members[f]; live && !unreachable(reach, cur.node, m.node) {
 			return f, m, true, detoured
 		}
 		detoured = true
@@ -356,7 +421,7 @@ func (r *Ring) closestPrecedingIn(s *snapshot, cur member, key uint64) (id uint6
 		if !r.space.Between(c, self, key) {
 			continue
 		}
-		if m, live := s.members[c]; live {
+		if m, live := s.members[c]; live && !unreachable(reach, cur.node, m.node) {
 			return c, m, true, detoured
 		}
 		detoured = true

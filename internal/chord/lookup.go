@@ -1,6 +1,7 @@
 package chord
 
 import (
+	"errors"
 	"fmt"
 
 	"lorm/internal/directory"
@@ -62,6 +63,12 @@ func forwardReason(detoured bool) routing.Reason {
 	return routing.ReasonFingerForward
 }
 
+// ErrUnreachable marks a lookup that could not cross an injected network
+// fault: the next required hop (the successor step, which Chord
+// correctness cannot skip) sits on the far side of a partition or
+// blackhole. The query fails rather than resolve a wrong root.
+var ErrUnreachable = errors.New("chord: next hop unreachable")
+
 func (r *Ring) lookupOn(s *snapshot, op *routing.Op, from *Node, key uint64) (Route, error) {
 	if len(s.sorted) == 0 {
 		return Route{}, ErrEmpty
@@ -73,6 +80,7 @@ func (r *Ring) lookupOn(s *snapshot, op *routing.Op, from *Node, key uint64) (Ro
 	if !ok || cur.node != from {
 		return Route{}, fmt.Errorf("chord: lookup from a node that is not a live member")
 	}
+	reach := r.reachOf()
 	hops := 0
 	// 4×Bits forwards is far beyond any legitimate path (log2 n + slack);
 	// exceeding it means routing state is corrupt.
@@ -90,18 +98,32 @@ func (r *Ring) lookupOn(s *snapshot, op *routing.Op, from *Node, key uint64) (Ro
 			return Route{Root: cur.node, Hops: hops}, nil
 		}
 		// Key between cur and its successor: the successor is the root.
+		// Unlike fingers, the successor step is the one hop correctness
+		// cannot route around — if the plane has cut it off, the lookup
+		// fails here instead of resolving a wrong root.
 		if r.space.BetweenIncl(key, cur.node.ID, succ) {
+			if unreachable(reach, cur.node, succM.node) {
+				mQueryFailures.Inc()
+				return Route{}, fmt.Errorf("%w: %s -> %s for key %d", ErrUnreachable, cur.node.Addr, succM.node.Addr, key)
+			}
 			op.Forward(succM.node.Addr, succ, forwardReason(succDetour))
 			return Route{Root: succM.node, Hops: hops + 1}, nil
 		}
 		next, detour := succM, succDetour
-		if _, m, ok, fDetour := r.closestPrecedingIn(s, cur, key); ok {
+		if _, m, ok, fDetour := r.closestPrecedingIn(s, reach, cur, key); ok {
 			next, detour = m, fDetour
-		} else if fDetour {
-			// Stale tables offer no progress; step to the successor, which
-			// always advances clockwise and therefore terminates. Every
-			// in-range finger was dead, so this successor step is a detour.
-			detour = true
+		} else {
+			if fDetour {
+				// Stale tables offer no progress; step to the successor, which
+				// always advances clockwise and therefore terminates. Every
+				// in-range finger was dead or cut off, so this successor step
+				// is a detour.
+				detour = true
+			}
+			if unreachable(reach, cur.node, succM.node) {
+				mQueryFailures.Inc()
+				return Route{}, fmt.Errorf("%w: %s -> %s for key %d", ErrUnreachable, cur.node.Addr, succM.node.Addr, key)
+			}
 		}
 		cur = next
 		op.Forward(cur.node.Addr, cur.node.ID, forwardReason(detour))
@@ -130,13 +152,18 @@ func (r *Ring) InsertOp(op *routing.Op, from *Node, key uint64, e directory.Entr
 
 // NextNode returns the live node that immediately follows n in ring order
 // — the "immediate successor" a range query walks to. The second return is
-// false when n is the only node. Callers record the walk step into their
-// own routing.Op (the reason — range walk versus replica placement — is
-// theirs to know).
+// false when n is the only node, or when an installed fault plane has cut
+// n off from its successor: the walk truncates at the fault boundary, and
+// the incomplete result is the caller's (oracle-visible) failure. Callers
+// record the walk step into their own routing.Op (the reason — range walk
+// versus replica placement — is theirs to know).
 func (r *Ring) NextNode(n *Node) (*Node, bool) {
 	s := r.view()
 	succ, succM, _ := r.successorIn(s, memberOf(s, n))
 	if succ == n.ID {
+		return n, false
+	}
+	if unreachable(r.reachOf(), n, succM.node) {
 		return n, false
 	}
 	return succM.node, true

@@ -173,11 +173,12 @@ func (r *Ring) FixFingers(perNode int) {
 		}
 		for j := 0; j < perNode; j++ {
 			i := (n.nextFinger + j) % int(r.cfg.Bits)
-			target := r.space.Add(n.ID, uint64(1)<<uint(i))
 			// Oracle repair: periodic fix-fingers converges to ground truth
 			// in the protocol; we jump straight there, which reproduces the
-			// post-convergence state without simulating every probe.
-			st.fingers[i] = r.oracleSuccessorIn(d.s, target)
+			// post-convergence state without simulating every probe. Under
+			// Config.FingerRng the converged-to entry is a fresh randomized
+			// pick, so refreshes keep re-spreading the fingers.
+			st.fingers[i] = r.fingerEntry(d.s, n.ID, uint(i))
 		}
 		n.nextFinger = (n.nextFinger + perNode) % int(r.cfg.Bits)
 	}

@@ -1,0 +1,155 @@
+package chord
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"lorm/internal/netfault"
+)
+
+// buildRingCfg populates a ring with n addressed nodes under the given
+// configuration.
+func buildRingCfg(t *testing.T, n int, cfg Config) *Ring {
+	t.Helper()
+	r := New(cfg)
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("node-%04d", i)
+	}
+	if err := r.AddBulk(addrs); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// splitMinority returns the addresses of the first `k` nodes in ring order
+// — a deterministic minority side for partition tests.
+func splitMinority(r *Ring, k int) []string {
+	nodes := r.Nodes()
+	out := make([]string, 0, k)
+	for _, n := range nodes[:k] {
+		out = append(out, n.Addr)
+	}
+	return out
+}
+
+func TestLookupFailsAcrossPartitionAndHealsCleanly(t *testing.T) {
+	r := buildRingCfg(t, 64, Config{Bits: 16})
+	nodes := r.Nodes()
+	minority := splitMinority(r, 16)
+	inMinority := make(map[string]bool, len(minority))
+	for _, a := range minority {
+		inMinority[a] = true
+	}
+
+	plane := netfault.NewPlane(1)
+	r.SetReachability(plane)
+	if err := plane.StartPartition("cut", minority); err != nil {
+		t.Fatal(err)
+	}
+
+	from := nodes[0] // minority side (ring order start)
+	if !inMinority[from.Addr] {
+		t.Fatalf("test setup: %s not in minority", from.Addr)
+	}
+	crossFails, sameSide := 0, 0
+	for i := 0; i < 128; i++ {
+		key := uint64(i) * 512
+		owner, err := r.OwnerOf(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		route, err := r.Lookup(from, key)
+		if inMinority[owner.Addr] {
+			sameSide++
+			// Same-side keys may still fail when the only route crosses the
+			// cut, but a resolved root must never be wrong.
+			if err == nil && route.Root != owner {
+				t.Fatalf("key %d resolved to %s, oracle owner %s", key, route.Root.Addr, owner.Addr)
+			}
+			continue
+		}
+		// Cross-partition key: the final successor step cannot be taken and
+		// no node on this side passes the ownership check, so the lookup
+		// must fail rather than resolve a wrong root.
+		if err == nil {
+			t.Fatalf("lookup for far-side key %d resolved to %s during partition", key, route.Root.Addr)
+		}
+		if errors.Is(err, ErrUnreachable) {
+			crossFails++
+		}
+	}
+	if crossFails == 0 || sameSide == 0 {
+		t.Fatalf("degenerate split: %d unreachable failures, %d same-side keys", crossFails, sameSide)
+	}
+
+	// A minority node whose true successor is across the cut truncates
+	// range walks at the boundary.
+	last := nodes[15]
+	if next, ok := r.NextNode(last); ok {
+		if !inMinority[next.Addr] {
+			t.Fatalf("NextNode(%s) crossed the cut to %s", last.Addr, next.Addr)
+		}
+	}
+
+	plane.Heal("cut")
+	for i := 0; i < 128; i++ {
+		key := uint64(i) * 512
+		owner, _ := r.OwnerOf(key)
+		route, err := r.Lookup(from, key)
+		if err != nil {
+			t.Fatalf("post-heal lookup for %d failed: %v", key, err)
+		}
+		if route.Root != owner {
+			t.Fatalf("post-heal key %d resolved to %s, oracle owner %s", key, route.Root.Addr, owner.Addr)
+		}
+	}
+}
+
+func TestRandomizedFingersStayInIntervalAndResolve(t *testing.T) {
+	det := buildRingCfg(t, 128, Config{Bits: 16})
+	rnd := buildRingCfg(t, 128, Config{Bits: 16, FingerRng: rand.New(rand.NewSource(7))})
+	rnd2 := buildRingCfg(t, 128, Config{Bits: 16, FingerRng: rand.New(rand.NewSource(7))})
+
+	sDet, sRnd, sRnd2 := det.view(), rnd.view(), rnd2.view()
+	differs := 0
+	for _, id := range sRnd.sorted {
+		stR, stR2, stD := sRnd.members[id].st(), sRnd2.members[id].st(), sDet.members[id].st()
+		for i := range stR.fingers {
+			if stR.fingers[i] != stR2.fingers[i] {
+				t.Fatalf("same seed produced different finger %d on node %d", i, id)
+			}
+			if stR.fingers[i] != stD.fingers[i] {
+				differs++
+			}
+			// The randomized entry must live in [id+2^i, id+2^(i+1)) when
+			// that interval is populated, else equal the deterministic
+			// successor fallback.
+			lo := rnd.space.Add(id, uint64(1)<<uint(i))
+			hi := rnd.space.Add(id, uint64(1)<<uint(i+1))
+			f := stR.fingers[i]
+			inInterval := f == lo || (f != hi && rnd.space.Between(f, lo, hi))
+			if !inInterval && f != rnd.oracleSuccessorIn(sRnd, lo) {
+				t.Fatalf("node %d finger %d = %d outside [%d, %d) and not the fallback", id, i, f, lo, hi)
+			}
+		}
+	}
+	if differs == 0 {
+		t.Fatal("randomized fingers never diverged from deterministic ones")
+	}
+
+	from := rnd.Nodes()[0]
+	for i := 0; i < 256; i++ {
+		key := uint64(i) * 257
+		owner, _ := rnd.OwnerOf(key)
+		route, err := rnd.Lookup(from, key)
+		if err != nil {
+			t.Fatalf("randomized-finger lookup for %d failed: %v", key, err)
+		}
+		if route.Root != owner {
+			t.Fatalf("randomized-finger key %d resolved to %s, owner %s", key, route.Root.Addr, owner.Addr)
+		}
+	}
+}

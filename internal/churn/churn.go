@@ -63,10 +63,28 @@ type Config struct {
 	// the post-crash repair hook (LORM replica repair) that restores the
 	// replication invariant before the next query can observe the hole.
 	Repair func()
+	// Membership, when non-nil, mirrors every membership event into a
+	// gossip/failure-detection layer — and REROUTES crashes: instead of
+	// applying FailNode omnisciently the instant the fault plan fires, the
+	// crash is injected into the membership layer only. The overlay learns
+	// about the failure when the detector confirms it and its OnConfirm
+	// hook (wired by the experiment) applies FailNode, so detection latency
+	// is part of the simulated trajectory. Joins and graceful departures
+	// still apply to the system immediately and are mirrored to the hook.
+	Membership Membership
 	// Logger, when non-nil, receives a structured line per membership event:
 	// joins and graceful departures at Debug, crashes (which lose data and
 	// trigger repair) at Info. Nil disables event logging.
 	Logger *slog.Logger
+}
+
+// Membership is the event surface of a peer-sampling/failure-detection
+// layer (membership.Service implements it). Crash does not remove the
+// node — it marks it unresponsive so the failure detector has to find it.
+type Membership interface {
+	Join(addr string)
+	Leave(addr string)
+	Crash(addr string)
 }
 
 // Process wires a Dynamic system to a scheduler and keeps its membership
@@ -138,6 +156,9 @@ func (p *Process) join() {
 	if err := p.sys.AddNode(addr); err == nil {
 		p.Joins++
 		mJoins.Inc()
+		if p.cfg.Membership != nil {
+			p.cfg.Membership.Join(addr)
+		}
 		p.cfg.Logger.Debug("churn join", "system", p.sys.Name(), "node", addr, "t", p.sched.Now())
 	} else {
 		p.FailedOps++
@@ -154,6 +175,9 @@ func (p *Process) depart() {
 		if err := p.sys.RemoveNode(victim); err == nil {
 			p.Departures++
 			mDepartures.Inc()
+			if p.cfg.Membership != nil {
+				p.cfg.Membership.Leave(victim)
+			}
 			p.cfg.Logger.Debug("churn depart", "system", p.sys.Name(), "node", victim, "t", p.sched.Now())
 		} else {
 			p.FailedOps++
@@ -172,6 +196,19 @@ func (p *Process) fail(kind faults.Kind) {
 	addrs := p.sys.NodeAddrs()
 	if len(addrs) > 1 {
 		victim := addrs[p.cfg.Rng.Intn(len(addrs))]
+		if kind == faults.Crash && p.cfg.Membership != nil {
+			// Detector-mediated path: the crash reaches only the membership
+			// layer here. FailNode (and the lost-entry accounting plus the
+			// Repair hook) runs when the detector confirms the failure.
+			p.Crashes++
+			mCrashes.Inc()
+			p.cfg.Membership.Crash(victim)
+			p.cfg.Logger.Info("churn crash injected via membership",
+				"system", p.sys.Name(), "node", victim, "t", p.sched.Now())
+			ev := p.cfg.Faults.Next()
+			p.sched.After(ev.After, func() { p.fail(ev.Kind) })
+			return
+		}
 		applied, lost, err := faults.Apply(p.sys, kind, victim)
 		switch {
 		case err != nil:
@@ -191,6 +228,9 @@ func (p *Process) fail(kind faults.Kind) {
 		default:
 			p.Departures++
 			mDepartures.Inc()
+			if p.cfg.Membership != nil {
+				p.cfg.Membership.Leave(victim)
+			}
 			p.cfg.Logger.Debug("churn depart", "system", p.sys.Name(), "node", victim, "t", p.sched.Now())
 		}
 	}

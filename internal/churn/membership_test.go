@@ -1,0 +1,81 @@
+package churn
+
+import (
+	"testing"
+
+	"lorm/internal/faults"
+	"lorm/internal/sim"
+	"lorm/internal/workload"
+)
+
+// recorder implements the Membership hook and records every event.
+type recorder struct {
+	joins, leaves, crashes []string
+}
+
+func (r *recorder) Join(addr string)  { r.joins = append(r.joins, addr) }
+func (r *recorder) Leave(addr string) { r.leaves = append(r.leaves, addr) }
+func (r *recorder) Crash(addr string) { r.crashes = append(r.crashes, addr) }
+
+// With a Membership hook installed, crash events must be rerouted: the
+// system keeps every node (FailNode is the detector's job, not the fault
+// plan's) while the hook sees the crash, and graceful joins/departures are
+// both applied and mirrored.
+func TestMembershipHookReroutesCrashes(t *testing.T) {
+	sys := buildLORM(t, 100)
+	before := sys.NodeCount()
+	var sched sim.Scheduler
+	plan, err := faults.New(faults.Config{
+		Rate:          0.5,
+		CrashFraction: 1, // every event is a crash
+		Rng:           workload.Split(7, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &recorder{}
+	p, err := New(sys, &sched, Config{
+		Rate:       0, // no joins: node count must stay exactly flat
+		Rng:        workload.Split(7, 1),
+		Faults:     plan,
+		Membership: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	sched.RunUntil(100)
+
+	if p.Crashes == 0 || len(rec.crashes) != p.Crashes {
+		t.Fatalf("hook saw %d crashes, process counted %d (want equal, > 0)", len(rec.crashes), p.Crashes)
+	}
+	if got := sys.NodeCount(); got != before {
+		t.Fatalf("node count changed %d -> %d: a crash reached the system without detector confirmation", before, got)
+	}
+	if p.LostEntries != 0 {
+		t.Fatalf("%d entries lost without any FailNode call", p.LostEntries)
+	}
+}
+
+// The hook mirrors the graceful path without changing its behavior.
+func TestMembershipHookMirrorsJoinsAndLeaves(t *testing.T) {
+	sys := buildLORM(t, 100)
+	var sched sim.Scheduler
+	rec := &recorder{}
+	p, err := New(sys, &sched, Config{
+		Rate:       0.4,
+		Rng:        workload.Split(8, 0),
+		Membership: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	sched.RunUntil(100)
+	if p.Joins == 0 || len(rec.joins) != p.Joins {
+		t.Fatalf("hook saw %d joins, process counted %d (want equal, > 0)", len(rec.joins), p.Joins)
+	}
+	if p.Departures == 0 || len(rec.leaves) != p.Departures {
+		t.Fatalf("hook saw %d leaves, process counted %d (want equal, > 0)", len(rec.leaves), p.Departures)
+	}
+}

@@ -1,0 +1,13 @@
+package core
+
+import "lorm/internal/discovery"
+
+var _ discovery.NetAware = (*System)(nil)
+
+// SetReachability implements discovery.NetAware: every subsequent lookup
+// and intra-cluster range walk consults the plane, so queries that would
+// have to cross a partition or blackhole fail (or truncate) instead of
+// resolving against nodes their messages cannot reach.
+func (s *System) SetReachability(r discovery.Reachability) {
+	s.overlay.SetReachability(r)
+}

@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 
 	"lorm/internal/directory"
+	"lorm/internal/discovery"
 	"lorm/internal/hashing"
 	"lorm/internal/ring"
 )
@@ -138,6 +139,35 @@ type Overlay struct {
 
 	mu   sync.Mutex // serializes writers; lookups never take it
 	snap atomic.Pointer[snapshot]
+
+	// reach is the installed network-fault plane (nil box or nil plane:
+	// fault-free). Lookups load it once per walk, like the snapshot.
+	reach atomic.Pointer[reachBox]
+}
+
+// reachBox wraps the Reachability interface value for atomic publication.
+type reachBox struct{ r discovery.Reachability }
+
+// SetReachability installs (or, with nil, removes) the network-fault plane
+// every subsequent lookup and range walk consults. Maintenance
+// (Stabilize) deliberately ignores the plane: it models each side's local
+// repair converging after the fault clears.
+func (o *Overlay) SetReachability(p discovery.Reachability) {
+	o.reach.Store(&reachBox{r: p})
+}
+
+// reachOf returns the installed fault plane, nil when routing is fault-free.
+func (o *Overlay) reachOf() discovery.Reachability {
+	if b := o.reach.Load(); b != nil {
+		return b.r
+	}
+	return nil
+}
+
+// unreachable reports that the from-node cannot currently reach the node at
+// position `to` under the installed plane.
+func unreachable(s *snapshot, reach discovery.Reachability, from *Node, to uint64) bool {
+	return reach != nil && !reach.Reachable(from.Addr, s.members[to].node.Addr)
 }
 
 // New creates an empty overlay of dimension cfg.D.

@@ -1,0 +1,78 @@
+package cycloid
+
+import (
+	"fmt"
+	"testing"
+
+	"lorm/internal/netfault"
+)
+
+func TestLookupFailsAcrossPartitionAndHealsCleanly(t *testing.T) {
+	o := MustNew(Config{D: 5})
+	addrs := make([]string, 100)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("node-%04d", i)
+	}
+	if err := o.AddBulk(addrs); err != nil {
+		t.Fatal(err)
+	}
+	nodes := o.Nodes()
+	// Minority: the first quarter of the linearized ring.
+	inMinority := make(map[string]bool)
+	var minority []string
+	for _, n := range nodes[:len(nodes)/4] {
+		minority = append(minority, n.Addr)
+		inMinority[n.Addr] = true
+	}
+	plane := netfault.NewPlane(1)
+	o.SetReachability(plane)
+	if err := plane.StartPartition("cut", minority); err != nil {
+		t.Fatal(err)
+	}
+
+	from := nodes[0]
+	crossFails, crossTotal := 0, 0
+	for i := 0; i < 128; i++ {
+		key := ID{K: i % o.D(), A: uint64(i * 3)}
+		owner, err := o.OwnerOf(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		route, lerr := o.Lookup(from, key)
+		if inMinority[owner.Addr] {
+			// Same-side keys may still fail when the only route crosses the
+			// cut, but a resolved root must never be wrong.
+			if lerr == nil && route.Root != owner {
+				t.Fatalf("key %v resolved to %s, oracle owner %s", key, route.Root.Addr, owner.Addr)
+			}
+			continue
+		}
+		crossTotal++
+		if lerr == nil {
+			t.Fatalf("lookup for far-side key %v resolved to %s during partition", key, route.Root.Addr)
+		}
+		crossFails++
+	}
+	if crossFails == 0 {
+		t.Fatalf("degenerate split: no cross-partition keys among %d", crossTotal)
+	}
+
+	// NextNode truncates a range walk at the fault boundary.
+	boundary := nodes[len(nodes)/4-1]
+	if next, ok := o.NextNode(boundary); ok && !inMinority[next.Addr] {
+		t.Fatalf("NextNode(%s) crossed the cut to %s", boundary.Addr, next.Addr)
+	}
+
+	plane.Heal("cut")
+	for i := 0; i < 128; i++ {
+		key := ID{K: i % o.D(), A: uint64(i * 3)}
+		owner, _ := o.OwnerOf(key)
+		route, err := o.Lookup(from, key)
+		if err != nil {
+			t.Fatalf("post-heal lookup for %v failed: %v", key, err)
+		}
+		if route.Root != owner {
+			t.Fatalf("post-heal key %v resolved to %s, oracle owner %s", key, route.Root.Addr, owner.Addr)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package cycloid
 
 import (
+	"errors"
 	"fmt"
 
 	"lorm/internal/directory"
@@ -103,6 +104,11 @@ func forwardReason(detoured bool) routing.Reason {
 // ErrEmpty mirrors chord.ErrEmpty for the Cycloid overlay.
 var ErrEmpty = fmt.Errorf("cycloid: overlay has no nodes")
 
+// ErrUnreachable marks a lookup that could not cross an injected network
+// fault: the next required hop (the ring-successor step the fallback walk
+// cannot skip) sits on the far side of a partition or blackhole.
+var ErrUnreachable = errors.New("cycloid: next hop unreachable")
+
 func (o *Overlay) lookupOn(s *snapshot, op *routing.Op, from *Node, key ID) (Route, error) {
 	if len(s.sorted) == 0 {
 		return Route{}, ErrEmpty
@@ -117,6 +123,7 @@ func (o *Overlay) lookupOn(s *snapshot, op *routing.Op, from *Node, key ID) (Rou
 	if cur.node != from {
 		return Route{}, fmt.Errorf("cycloid: lookup from a node that is not a live member")
 	}
+	reach := o.reachOf()
 	keyPos := o.Pos(key)
 	hops := 0
 	maxHops := 8*o.d + len(s.sorted) // phase budget plus a full fallback walk
@@ -136,14 +143,16 @@ func (o *Overlay) lookupOn(s *snapshot, op *routing.Op, from *Node, key ID) (Rou
 			cm := o.measure(cur.node.Pos, key)
 			// best tracks the chosen live link; deadBest the best progress a
 			// dead link would have offered — when the latter wins, the hop
-			// actually taken is a detour around that failure.
+			// actually taken is a detour around that failure. A live link the
+			// fault plane has cut off counts as dead: the message would not
+			// arrive.
 			best, deadBest := cm, cm
 			for _, l := range linksRawIn(cur) {
 				if l == noLink {
 					continue
 				}
 				m := o.measure(l, key)
-				if aliveIn(s, l) {
+				if aliveIn(s, l) && !unreachable(s, reach, cur.node, l) {
 					if m < best {
 						best, next = m, l
 					}
@@ -169,7 +178,7 @@ func (o *Overlay) lookupOn(s *snapshot, op *routing.Op, from *Node, key ID) (Rou
 					continue
 				}
 				dist := o.cwDist(l, keyPos)
-				if aliveIn(s, l) {
+				if aliveIn(s, l) && !unreachable(s, reach, cur.node, l) {
 					if dist < best {
 						best, next = dist, l
 					}
@@ -187,6 +196,14 @@ func (o *Overlay) lookupOn(s *snapshot, op *routing.Op, from *Node, key ID) (Rou
 						detour = true // ring successor itself is dead
 					}
 					succ = o.oracleSuccessorIn(s, (cur.node.Pos+1)%o.capacity)
+				}
+				// The successor step is the one hop correctness cannot route
+				// around — if the plane has cut it off, the lookup fails here
+				// instead of wandering the far side's positions.
+				if unreachable(s, reach, cur.node, succ) {
+					mQueryFailures.Inc()
+					return Route{}, fmt.Errorf("%w: %s -> %s for key %v",
+						ErrUnreachable, cur.node.Addr, s.members[succ].node.Addr, key)
 				}
 				next = succ
 			}
@@ -241,6 +258,12 @@ func (o *Overlay) NextNode(n *Node) (*Node, bool) {
 	succ := stateOf(s, n.Pos).ringSucc
 	if !aliveIn(s, succ) || succ == n.Pos {
 		succ = o.oracleSuccessorIn(s, (n.Pos+1)%o.capacity)
+	}
+	// An installed fault plane that cuts n off from its successor truncates
+	// the walk at the fault boundary; the incomplete result is the caller's
+	// (oracle-visible) failure.
+	if unreachable(s, o.reachOf(), n, succ) {
+		return n, false
 	}
 	return s.members[succ].node, true
 }

@@ -134,6 +134,30 @@ type Crashable interface {
 	FailNode(addr string) (lostEntries int, err error)
 }
 
+// Reachability is a directed link predicate over node addresses: can a
+// message sent by `from` reach `to` right now? The zero answer for healthy
+// networks is "always true"; internal/netfault implements this interface
+// with named partitions and one-way blackholes. Implementations must be
+// safe for concurrent use — overlay lookups consult them lock-free.
+//
+// The predicate models the network, not the process table: a node that is
+// alive but on the far side of a partition is unreachable, while a crashed
+// node is simply absent from the overlay. Directedness matters — asymmetric
+// links (A reaches B, B cannot reach A) are representable and exercised by
+// the blackhole tests.
+type Reachability interface {
+	Reachable(from, to string) bool
+}
+
+// NetAware is implemented by systems whose overlays can route around (and
+// fail on) injected network faults: SetReachability installs the fault
+// plane every subsequent lookup and range walk consults. A nil plane
+// restores fault-free routing.
+type NetAware interface {
+	System
+	SetReachability(r Reachability)
+}
+
 // Replicated is implemented by systems that keep redundant copies of
 // directory entries on successor-set holders (the shared
 // internal/replication layer). SetReplicas selects the base replication

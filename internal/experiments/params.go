@@ -55,6 +55,35 @@ type Params struct {
 	// CrashFraction is the probability that a fault-plan event is an abrupt
 	// crash rather than a graceful departure (default 0.5).
 	CrashFraction float64
+	// PartitionAt is the virtual time at which the healing-partition
+	// experiment forms its partition (default 30).
+	PartitionAt float64
+	// PartitionDurations is the partition-duration sweep in virtual seconds
+	// (default {10, 20}). Every duration must stay below
+	// MembershipConfirmAfter: cross-partition suspicions of live nodes then
+	// stay false suspicions that clear on heal instead of split-brain
+	// confirmations that would fail live nodes out of the overlays.
+	PartitionDurations []float64
+	// PartitionFraction is the fraction of nodes on the minority side of
+	// the partition (default 0.25).
+	PartitionFraction float64
+	// PartitionCrashRate, when positive, composes a Poisson crash plan with
+	// the partition window: crashes reach the membership layer only, and
+	// FailNode fires when the failure detector confirms them. The default 0
+	// keeps every node alive so the headline sweep's post-heal failure rate
+	// is exactly zero.
+	PartitionCrashRate float64
+	// JoinBursts is the flash-crowd sweep: how many nodes join at the same
+	// instant (default {8, 32}). Flash runs use the first LoadSizes
+	// deployment size so the Cycloid has free slots for the newcomers.
+	JoinBursts []int
+	// MembershipConfirmAfter is the failure detector's confirmation timeout
+	// in virtual seconds (default 30).
+	MembershipConfirmAfter float64
+	// RandomSuccessors switches the Chord-based systems (SWORD, MAAN) to
+	// ReCord-style randomized finger selection in the partition and flash
+	// runs; the ReCord hop table compares both settings regardless.
+	RandomSuccessors bool
 	// LoadSizes is the node-count sweep of the load-distribution
 	// experiment. Every size must be strictly between 2^d (so each LORM
 	// attribute cluster spans several physical nodes) and the complete
@@ -131,6 +160,21 @@ func (p Params) withDefaults() Params {
 	}
 	if len(p.CrashRates) == 0 {
 		p.CrashRates = []float64{0.1, 0.2, 0.4}
+	}
+	if p.PartitionAt <= 0 {
+		p.PartitionAt = 30
+	}
+	if len(p.PartitionDurations) == 0 {
+		p.PartitionDurations = []float64{10, 20}
+	}
+	if p.PartitionFraction <= 0 || p.PartitionFraction >= 1 {
+		p.PartitionFraction = 0.25
+	}
+	if len(p.JoinBursts) == 0 {
+		p.JoinBursts = []int{8, 32}
+	}
+	if p.MembershipConfirmAfter <= 0 {
+		p.MembershipConfirmAfter = 30
 	}
 	if len(p.LoadSizes) == 0 && p.D >= 2 {
 		cluster := 1 << uint(p.D)
@@ -211,8 +255,8 @@ func Quick() Params {
 		ChurnQueries: 200, ChurnRates: []float64{0.2, 0.4},
 		CrashRates: []float64{0.2, 0.4},
 		QueryRate:  100,
-		HubSample: 5,
-		Sizes:     []int{5, 6},
-		Seed:      1,
+		HubSample:  5,
+		Sizes:      []int{5, 6},
+		Seed:       1,
 	}.withDefaults()
 }

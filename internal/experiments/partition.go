@@ -1,0 +1,490 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lorm/internal/discovery"
+	"lorm/internal/faults"
+	"lorm/internal/maan"
+	"lorm/internal/membership"
+	"lorm/internal/netfault"
+	"lorm/internal/resource"
+	"lorm/internal/sim"
+	"lorm/internal/stats"
+	"lorm/internal/sword"
+	"lorm/internal/systemtest"
+	"lorm/internal/workload"
+)
+
+// partitionSettle is the post-heal observation window: long enough for the
+// failure detector to clear every false suspicion (a few shuffle rounds)
+// and for the query stream to demonstrate a zero failure rate.
+const partitionSettle = 30.0
+
+// flashAt is the virtual time the flash-crowd burst joins, and
+// flashHorizon the total virtual duration of a flash run.
+const (
+	flashAt      = 10.0
+	flashHorizon = 50.0
+)
+
+// Partition runs the network-fault evaluation the paper's graceful churn
+// model excludes, in three parts:
+//
+//  1. Healing partition: all four systems serve the figure-6 query load
+//     while a seeded netfault.Plane cuts a minority of nodes away at
+//     PartitionAt and heals the cut after each swept duration. Queries
+//     that error or mismatch the static oracle count as failures,
+//     bucketed into during-window and post-heal phases. A Cyclon-style
+//     membership layer gossips through the same plane, so the partition
+//     also produces false suspicions that must all clear after the heal;
+//     reconvergence is the time from heal until the last observed
+//     failure (queries) and until no false suspicion remains (detector).
+//  2. Flash crowd: JoinBursts nodes join all four systems at the same
+//     instant of a smaller (non-complete) deployment; the query stream
+//     measures whether the burst disturbs correctness and the membership
+//     layer reports how widely the newcomers have spread.
+//  3. ReCord hops: SWORD and MAAN rebuilt with deterministic versus
+//     randomized (ReCord-style) fingers answer the same exact-match
+//     query set, comparing the hop-count cost of randomization.
+//
+// Node crashes compose with the partition when PartitionCrashRate > 0:
+// crash events reach only the membership layer, and Crashable.FailNode
+// fires when the failure detector confirms the failure — never from the
+// fault plan directly.
+func Partition(p Params) ([]*stats.Table, error) {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	for _, d := range p.PartitionDurations {
+		if d >= p.MembershipConfirmAfter {
+			return nil, fmt.Errorf(
+				"experiments: partition duration %g ≥ confirm timeout %g would split-brain live nodes",
+				d, p.MembershipConfirmAfter)
+		}
+	}
+
+	failTbl := stats.NewTable("Healing partition: query-failure rate during and after the fault window",
+		"duration", "lorm_during", "lorm_post", "mercury_during", "mercury_post",
+		"sword_during", "sword_post", "maan_during", "maan_post")
+	failTbl.Notes = append(failTbl.Notes,
+		fmt.Sprintf("n=%d, partition of %g of the ring at t=%g, %d queries per system over each run",
+			p.N, p.PartitionFraction, p.PartitionAt, p.ChurnQueries),
+		"failure = Discover error or owner set differing from the static oracle",
+		"post = failure rate from heal to end of run; reconvergence requires it to reach 0")
+	detTbl := stats.NewTable("Healing partition: reconvergence and failure-detector behavior",
+		"duration", "lorm_reconv_s", "mercury_reconv_s", "sword_reconv_s", "maan_reconv_s",
+		"detector_settle_s", "suspicions", "false_suspicions", "cleared", "confirms", "lost_entries")
+	detTbl.Notes = append(detTbl.Notes,
+		"reconv_s = time from heal to the last failed query of that system (0 = immediate)",
+		"detector_settle_s = time from heal until no false suspicion remains open",
+		"suspicion columns aggregate the shared membership layer across all four systems")
+
+	for _, dur := range p.PartitionDurations {
+		fr, dr, err := partitionPoint(p, dur)
+		if err != nil {
+			return nil, err
+		}
+		failTbl.AddRow(fr...)
+		detTbl.AddRow(dr...)
+	}
+
+	flashTbl, err := flashCrowd(p)
+	if err != nil {
+		return nil, err
+	}
+	hopsTbl, err := recordHops(p)
+	if err != nil {
+		return nil, err
+	}
+	return []*stats.Table{failTbl, detTbl, flashTbl, hopsTbl}, nil
+}
+
+// partitionPoint runs one healing-partition trajectory: all four systems
+// over one scheduler, one fault plane and one shared membership layer.
+func partitionPoint(p Params, dur float64) (failRow, detRow []float64, err error) {
+	schema := workload.ParetoSchema(p.M, p.Span, p.Alpha)
+	complete := p.N == p.D*(1<<uint(p.D))
+	opts := systemtest.Options{D: p.D, Bits: p.Bits, CompleteLORM: complete}
+	if p.RandomSuccessors {
+		opts.FingerRng = workload.Split(p.Seed, 950)
+	}
+	dep, err := systemtest.Build(schema, p.N, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	gen := workload.NewGenerator(schema, p.Alpha)
+	for _, s := range dep.Systems() {
+		attachTrace(p, s)
+	}
+	for _, in := range gen.Announcements(workload.Split(p.Seed, 0), p.K) {
+		if err := dep.RegisterEverywhere(in); err != nil {
+			return nil, nil, err
+		}
+	}
+	systems := []discovery.Dynamic{dep.LORM, dep.Mercury, dep.SWORD, dep.MAAN}
+
+	// One physical network: each overlay consults the same fault plane, and
+	// the membership layer gossips through it.
+	var sched sim.Scheduler
+	plane := netfault.NewPlane(p.Seed)
+	plane.SetLogger(p.Logger)
+	for _, sys := range systems {
+		sys.(discovery.NetAware).SetReachability(plane)
+	}
+	svc, err := membership.New(membership.Config{
+		ConfirmAfter: p.MembershipConfirmAfter,
+		Rng:          workload.Split(p.Seed, 910),
+		Net:          plane,
+		Logger:       p.Logger,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	addrs := systemtest.Addresses(p.N)
+	svc.Bootstrap(addrs)
+	svc.Start(&sched)
+
+	// Detector-mediated failure handling: the overlays learn about a crash
+	// only when the membership layer confirms it.
+	lost := 0
+	svc.OnConfirm(func(addr string) {
+		for i, sys := range systems {
+			_, l, aerr := faults.Apply(sys, faults.Crash, addr)
+			if aerr == nil && i == 0 {
+				lost += l // count the loss once, on LORM (repaired below)
+			}
+		}
+		dep.LORM.Repair()
+	})
+	if p.PartitionCrashRate > 0 {
+		plan, perr := faults.New(faults.Config{
+			Rate:          p.PartitionCrashRate,
+			CrashFraction: 1,
+			Rng:           workload.Split(p.Seed, 920),
+		})
+		if perr != nil {
+			return nil, nil, perr
+		}
+		crng := workload.Split(p.Seed, 930)
+		var next func(ev faults.Event)
+		next = func(ev faults.Event) {
+			if members := svc.Members(); len(members) > 1 {
+				svc.Crash(members[crng.Intn(len(members))])
+			}
+			nev := plan.Next()
+			sched.After(nev.After, func() { next(nev) })
+		}
+		ev := plan.Next()
+		sched.After(ev.After, func() { next(ev) })
+	}
+
+	// Periodic stabilization, as in the crash experiment. Maintenance
+	// deliberately ignores the plane (local repair converges after heal).
+	var maintain func()
+	maintain = func() {
+		for _, sys := range systems {
+			sys.Maintain()
+		}
+		sched.After(5, maintain)
+	}
+	sched.After(5, maintain)
+
+	healAt := p.PartitionAt + dur
+	horizon := healAt + partitionSettle
+	k := int(float64(p.N) * p.PartitionFraction)
+	if k < 1 {
+		k = 1
+	}
+	minority := append([]string(nil), addrs[:k]...)
+	if complete {
+		// A complete LORM population has its own cyc-… address space; the
+		// same machines must land on the minority side there too, so the cut
+		// severs the same fraction of every overlay.
+		lormNodes := dep.LORM.Overlay().Nodes()
+		lk := int(float64(len(lormNodes)) * p.PartitionFraction)
+		for _, n := range lormNodes[:lk] {
+			minority = append(minority, n.Addr)
+		}
+	}
+	sched.At(p.PartitionAt, func() {
+		if err := plane.StartPartition("cut", minority); err != nil {
+			panic(err) // single named set on a fresh plane cannot collide
+		}
+	})
+	sched.At(healAt, func() { plane.Heal("cut") })
+
+	// Detector settle: first post-heal second with no open false suspicion.
+	detectorSettle := horizon - healAt
+	settled := false
+	for t := healAt + 0.5; t < horizon; t++ {
+		at := t
+		sched.At(at, func() {
+			if !settled && svc.OpenFalseSuspicions() == 0 {
+				settled = true
+				detectorSettle = at - healAt
+			}
+		})
+	}
+
+	type phaseCount struct {
+		checks, fails [3]int // pre, during, post
+		lastPostFail  float64
+	}
+	counts := make([]phaseCount, len(systems))
+	qrate := float64(p.ChurnQueries) / horizon
+	for si, sys := range systems {
+		si, sys := si, sys
+		qrng := workload.Split(p.Seed, 800+si)
+		for i := 0; i < p.ChurnQueries; i++ {
+			at := float64(i) / qrate
+			q := gen.RangeQuery(qrng, Fig6Attrs, 0.5, fmt.Sprintf("part-req-%05d", i))
+			sched.At(at, func() {
+				phase := 0
+				switch {
+				case at >= healAt:
+					phase = 2
+				case at >= p.PartitionAt:
+					phase = 1
+				}
+				failed := false
+				res, qerr := sys.Discover(q)
+				if qerr != nil {
+					failed = true
+				} else if want, oerr := dep.Oracle.Discover(q); oerr != nil || !sameOwners(res.Owners, want.Owners) {
+					failed = true
+				}
+				c := &counts[si]
+				c.checks[phase]++
+				if failed {
+					c.fails[phase]++
+					if phase == 2 {
+						c.lastPostFail = at
+					}
+				}
+				if plane.PartitionActive() {
+					netfault.CountWindowQuery(failed)
+				}
+			})
+		}
+	}
+	sched.RunUntil(horizon + 1)
+
+	rate := func(c phaseCount, phase int) float64 {
+		if c.checks[phase] == 0 {
+			return 0
+		}
+		return float64(c.fails[phase]) / float64(c.checks[phase])
+	}
+	failRow = []float64{dur}
+	detRow = []float64{dur}
+	for si := range systems {
+		failRow = append(failRow, rate(counts[si], 1), rate(counts[si], 2))
+		reconv := 0.0
+		if counts[si].lastPostFail > 0 {
+			reconv = counts[si].lastPostFail - healAt
+		}
+		detRow = append(detRow, reconv)
+	}
+	st := svc.Stats()
+	detRow = append(detRow, detectorSettle,
+		float64(st.Suspicions), float64(st.FalseSuspicions), float64(st.Cleared),
+		float64(st.Confirms), float64(lost))
+	return failRow, detRow, nil
+}
+
+// flashCrowd sweeps JoinBursts: a burst of simultaneous joins against a
+// deployment with free Cycloid slots, measuring post-burst query failures
+// and how widely gossip has spread the newcomers by the end of the run.
+func flashCrowd(p Params) (*stats.Table, error) {
+	n := p.N
+	if len(p.LoadSizes) > 0 {
+		n = p.LoadSizes[0] // non-complete: the Cycloid keeps free slots
+	}
+	tbl := stats.NewTable("Flash crowd: query-failure rate after a simultaneous join burst",
+		"burst", "lorm_fail", "mercury_fail", "sword_fail", "maan_fail", "newcomer_known_frac")
+	tbl.Notes = append(tbl.Notes,
+		fmt.Sprintf("n=%d before the burst at t=%g, %d queries per system over %g virtual seconds",
+			n, flashAt, p.ChurnQueries, flashHorizon),
+		"fail = post-burst failure rate (error or oracle mismatch); joins must not disturb correctness",
+		"newcomer_known_frac = fraction of incumbents holding a given newcomer in their gossip cache at the end")
+
+	for bi, burst := range p.JoinBursts {
+		schema := workload.ParetoSchema(p.M, p.Span, p.Alpha)
+		opts := systemtest.Options{D: p.D, Bits: p.Bits}
+		if p.RandomSuccessors {
+			opts.FingerRng = workload.Split(p.Seed, 960+bi)
+		}
+		dep, err := systemtest.Build(schema, n, opts)
+		if err != nil {
+			return nil, err
+		}
+		gen := workload.NewGenerator(schema, p.Alpha)
+		for _, s := range dep.Systems() {
+			attachTrace(p, s)
+		}
+		for _, in := range gen.Announcements(workload.Split(p.Seed, 0), p.K) {
+			if err := dep.RegisterEverywhere(in); err != nil {
+				return nil, err
+			}
+		}
+		systems := []discovery.Dynamic{dep.LORM, dep.Mercury, dep.SWORD, dep.MAAN}
+
+		var sched sim.Scheduler
+		svc, err := membership.New(membership.Config{
+			ConfirmAfter: p.MembershipConfirmAfter,
+			Rng:          workload.Split(p.Seed, 940+bi),
+			Logger:       p.Logger,
+		})
+		if err != nil {
+			return nil, err
+		}
+		svc.Bootstrap(systemtest.Addresses(n))
+		svc.Start(&sched)
+
+		newcomers := make([]string, burst)
+		for j := range newcomers {
+			newcomers[j] = fmt.Sprintf("flash-%04d", j)
+		}
+		sched.At(flashAt, func() {
+			for _, addr := range newcomers {
+				for _, sys := range systems {
+					if err := sys.AddNode(addr); err != nil {
+						panic(fmt.Sprintf("flash join %s into %s: %v", addr, sys.Name(), err))
+					}
+				}
+				svc.Join(addr)
+			}
+		})
+		var maintain func()
+		maintain = func() {
+			for _, sys := range systems {
+				sys.Maintain()
+			}
+			sched.After(5, maintain)
+		}
+		sched.After(5, maintain)
+
+		fails := make([]int, len(systems))
+		checks := make([]int, len(systems))
+		qrate := float64(p.ChurnQueries) / flashHorizon
+		for si, sys := range systems {
+			si, sys := si, sys
+			qrng := workload.Split(p.Seed, 850+10*bi+si)
+			for i := 0; i < p.ChurnQueries; i++ {
+				at := float64(i) / qrate
+				if at < flashAt {
+					continue // only the post-burst stream is scored
+				}
+				q := gen.RangeQuery(qrng, Fig6Attrs, 0.5, fmt.Sprintf("flash-req-%05d", i))
+				sched.At(at, func() {
+					checks[si]++
+					res, qerr := sys.Discover(q)
+					if qerr != nil {
+						fails[si]++
+						return
+					}
+					want, oerr := dep.Oracle.Discover(q)
+					if oerr != nil || !sameOwners(res.Owners, want.Owners) {
+						fails[si]++
+					}
+				})
+			}
+		}
+		sched.RunUntil(flashHorizon + 1)
+
+		known := 0.0
+		incumbents := n - 1 + burst // everyone but the newcomer itself
+		for _, addr := range newcomers {
+			known += float64(svc.KnownBy(addr)) / float64(incumbents)
+		}
+		if burst > 0 {
+			known /= float64(burst)
+		}
+		row := []float64{float64(burst)}
+		for si := range systems {
+			r := 0.0
+			if checks[si] > 0 {
+				r = float64(fails[si]) / float64(checks[si])
+			}
+			row = append(row, r)
+		}
+		tbl.AddRow(append(row, known)...)
+	}
+	return tbl, nil
+}
+
+// recordHops compares deterministic against ReCord-style randomized
+// fingers on the two Chord-based systems over an identical exact-match
+// query set. Randomized fingers trade a slightly longer average route for
+// path diversity; the table quantifies that cost.
+func recordHops(p Params) (*stats.Table, error) {
+	tbl := stats.NewTable("ReCord fingers: exact-match hops, deterministic vs randomized",
+		"randomized", "sword_hops", "maan_hops", "sword_p99", "maan_p99")
+	tbl.Notes = append(tbl.Notes,
+		fmt.Sprintf("n=%d, %d single-attribute exact queries per setting (identical query set)",
+			p.N, p.Requesters*p.QueriesPerRequester),
+		"randomized: each finger drawn uniformly from its interval [id+2^i, id+2^(i+1))")
+
+	schema := workload.ParetoSchema(p.M, p.Span, p.Alpha)
+	gen := workload.NewGenerator(schema, p.Alpha)
+	infos := gen.Announcements(workload.Split(p.Seed, 0), p.K)
+	qrng := workload.Split(p.Seed, 970)
+	queries := make([]resource.Query, 0, p.Requesters*p.QueriesPerRequester)
+	for r := 0; r < p.Requesters; r++ {
+		requester := fmt.Sprintf("requester-%03d", r)
+		for j := 0; j < p.QueriesPerRequester; j++ {
+			queries = append(queries, gen.ExactQuery(qrng, 1, requester))
+		}
+	}
+
+	for _, randomized := range []bool{false, true} {
+		swCfg := sword.Config{Bits: p.Bits, Schema: schema}
+		maCfg := maan.Config{Bits: p.Bits, Schema: schema}
+		if randomized {
+			swCfg.FingerRng = workload.Split(p.Seed, 971)
+			maCfg.FingerRng = workload.Split(p.Seed, 972)
+		}
+		sw, err := sword.New(swCfg)
+		if err != nil {
+			return nil, err
+		}
+		ma, err := maan.New(maCfg)
+		if err != nil {
+			return nil, err
+		}
+		addrs := systemtest.Addresses(p.N)
+		if err := sw.AddNodes(addrs); err != nil {
+			return nil, err
+		}
+		if err := ma.AddNodes(addrs); err != nil {
+			return nil, err
+		}
+		attachTrace(p, sw)
+		attachTrace(p, ma)
+		for _, in := range infos {
+			if _, err := sw.Register(in); err != nil {
+				return nil, err
+			}
+			if _, err := ma.Register(in); err != nil {
+				return nil, err
+			}
+		}
+		swHops, _, err := runQueries(sw, queries, p.Workers)
+		if err != nil {
+			return nil, err
+		}
+		maHops, _, err := runQueries(ma, queries, p.Workers)
+		if err != nil {
+			return nil, err
+		}
+		flag := 0.0
+		if randomized {
+			flag = 1
+		}
+		tbl.AddRow(flag, swHops.Summary().Mean, maHops.Summary().Mean,
+			swHops.Quantile(0.99), maHops.Quantile(0.99))
+	}
+	return tbl, nil
+}

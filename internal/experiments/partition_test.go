@@ -1,0 +1,91 @@
+package experiments
+
+import "testing"
+
+// The acceptance criterion of the partition experiment: with a seeded
+// healing partition, all four systems fail queries during the window and
+// reconverge after the heal — the post-heal failure rate is exactly zero
+// and every false suspicion the detector opened has cleared.
+func TestPartitionReconvergesAfterHeal(t *testing.T) {
+	p := Quick()
+	p.PartitionDurations = []float64{10}
+	tables, err := Partition(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 4 {
+		t.Fatalf("want 4 tables, got %d", len(tables))
+	}
+	failTbl, detTbl, flashTbl, hopsTbl := tables[0], tables[1], tables[2], tables[3]
+
+	systems := []string{"lorm", "mercury", "sword", "maan"}
+	duringAny := false
+	for _, sys := range systems {
+		during := failTbl.Column(sys + "_during")
+		post := failTbl.Column(sys + "_post")
+		for i := range post {
+			if post[i] != 0 {
+				t.Errorf("%s post-heal failure rate = %g at row %d, want 0", sys, post[i], i)
+			}
+			if during[i] > 0 {
+				duringAny = true
+			}
+		}
+	}
+	if !duringAny {
+		t.Error("no system failed any query during the partition window — the fault injected nothing")
+	}
+
+	// The detector opened suspicions across the cut (all false: every node
+	// stayed alive) and cleared every one of them after the heal.
+	sus := detTbl.Column("suspicions")
+	falseSus := detTbl.Column("false_suspicions")
+	cleared := detTbl.Column("cleared")
+	confirms := detTbl.Column("confirms")
+	settle := detTbl.Column("detector_settle_s")
+	for i := range sus {
+		if sus[i] == 0 {
+			t.Errorf("row %d: partition opened no suspicions", i)
+		}
+		if falseSus[i] != sus[i] {
+			t.Errorf("row %d: %g of %g suspicions false, want all (no node crashed)", i, falseSus[i], sus[i])
+		}
+		if cleared[i] != sus[i] {
+			t.Errorf("row %d: cleared %g of %g suspicions", i, cleared[i], sus[i])
+		}
+		if confirms[i] != 0 {
+			t.Errorf("row %d: %g live nodes confirmed dead (split-brain)", i, confirms[i])
+		}
+		if settle[i] >= partitionSettle {
+			t.Errorf("row %d: detector never settled (%g s)", i, settle[i])
+		}
+	}
+
+	// Flash crowd: joins must not disturb correctness, and gossip must have
+	// spread the newcomers at least somewhat.
+	for _, sys := range systems {
+		for i, v := range flashTbl.Column(sys + "_fail") {
+			if v != 0 {
+				t.Errorf("flash row %d: %s failure rate %g after join burst, want 0", i, sys, v)
+			}
+		}
+	}
+	for i, v := range flashTbl.Column("newcomer_known_frac") {
+		if v <= 0 {
+			t.Errorf("flash row %d: newcomers unknown to every incumbent", i)
+		}
+	}
+
+	// ReCord: both settings answer every query; hops stay in a sane band.
+	for _, col := range []string{"sword_hops", "maan_hops"} {
+		vals := hopsTbl.Column(col)
+		if len(vals) != 2 {
+			t.Fatalf("hops table: want 2 rows, got %d", len(vals))
+		}
+		for i, v := range vals {
+			if v <= 0 {
+				t.Errorf("hops table row %d: %s = %g, want > 0", i, col, v)
+			}
+		}
+	}
+}

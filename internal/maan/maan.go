@@ -15,6 +15,7 @@ package maan
 import (
 	"fmt"
 	"log/slog"
+	"math/rand"
 
 	"lorm/internal/chord"
 	"lorm/internal/directory"
@@ -36,6 +37,10 @@ type Config struct {
 	// Logger, when non-nil, receives structured replication lifecycle
 	// events (hot-key promotion/demotion) at Debug level.
 	Logger *slog.Logger
+	// FingerRng, when non-nil, enables ReCord-style randomized finger
+	// selection on the ring (see chord.Config.FingerRng); seeded sources
+	// replay deterministically.
+	FingerRng *rand.Rand
 }
 
 // System is a MAAN deployment: one Chord ring, dual-keyed placement.
@@ -64,7 +69,7 @@ func New(cfg Config) (*System, error) {
 	if cfg.Schema == nil {
 		return nil, fmt.Errorf("maan: config needs a schema")
 	}
-	r := chord.New(chord.Config{Bits: cfg.Bits, SuccListLen: cfg.SuccListLen, Salt: "maan"})
+	r := chord.New(chord.Config{Bits: cfg.Bits, SuccListLen: cfg.SuccListLen, Salt: "maan", FingerRng: cfg.FingerRng})
 	s := &System{schema: cfg.Schema, ring: r, fabric: routing.NewFabric("maan")}
 	for _, a := range cfg.Schema.Attributes() {
 		s.lph = append(s.lph, hashing.NewLocalityFrom(r.Space(), a))

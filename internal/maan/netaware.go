@@ -1,0 +1,11 @@
+package maan
+
+import "lorm/internal/discovery"
+
+var _ discovery.NetAware = (*System)(nil)
+
+// SetReachability implements discovery.NetAware: every subsequent lookup
+// and value-keyed range walk consults the plane.
+func (s *System) SetReachability(r discovery.Reachability) {
+	s.ring.SetReachability(r)
+}

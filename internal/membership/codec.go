@@ -1,0 +1,130 @@
+package membership
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire format for gossip shuffle messages. The simulated exchange encodes
+// and decodes every sample through this codec so the bytes a real
+// deployment would put on the wire are exercised continuously, and the
+// fuzz harness covers the same decoder the protocol runs on.
+//
+// Layout (all integers unsigned varints unless noted):
+//
+//	magic   [2]byte  0xg7 'G','S'  (fixed)
+//	version byte     1
+//	kind    byte     1=request 2=reply
+//	from    uvarint length + bytes
+//	count   uvarint
+//	peers   count × (uvarint length + addr bytes, uvarint age)
+const (
+	codecVersion = 1
+
+	// KindRequest is the shuffle-initiator half of an exchange.
+	KindRequest = 1
+	// KindReply is the responder half.
+	KindReply = 2
+
+	// maxAddrLen bounds a single address; anything longer is a corrupt or
+	// hostile frame.
+	maxAddrLen = 256
+	// maxPeers bounds the descriptor list; shuffles carry at most a cache's
+	// worth of peers, so anything larger is rejected before allocation.
+	maxPeers = 1024
+)
+
+var codecMagic = [2]byte{'G', 'S'}
+
+// Message is one decoded shuffle frame.
+type Message struct {
+	Kind  byte
+	From  string
+	Peers []Peer
+}
+
+// Append encodes the message onto buf and returns the extended slice.
+func (m Message) Append(buf []byte) []byte {
+	buf = append(buf, codecMagic[0], codecMagic[1], codecVersion, m.Kind)
+	buf = binary.AppendUvarint(buf, uint64(len(m.From)))
+	buf = append(buf, m.From...)
+	buf = binary.AppendUvarint(buf, uint64(len(m.Peers)))
+	for _, p := range m.Peers {
+		buf = binary.AppendUvarint(buf, uint64(len(p.Addr)))
+		buf = append(buf, p.Addr...)
+		buf = binary.AppendUvarint(buf, uint64(p.Age))
+	}
+	return buf
+}
+
+// Decode parses one shuffle frame. It never panics on arbitrary input and
+// refuses to allocate more than the declared, bounds-checked sizes.
+func Decode(data []byte) (Message, error) {
+	var m Message
+	if len(data) < 4 {
+		return m, fmt.Errorf("membership: frame too short (%d bytes)", len(data))
+	}
+	if data[0] != codecMagic[0] || data[1] != codecMagic[1] {
+		return m, fmt.Errorf("membership: bad magic %q", data[:2])
+	}
+	if data[2] != codecVersion {
+		return m, fmt.Errorf("membership: unsupported version %d", data[2])
+	}
+	m.Kind = data[3]
+	if m.Kind != KindRequest && m.Kind != KindReply {
+		return m, fmt.Errorf("membership: unknown message kind %d", m.Kind)
+	}
+	rest := data[4:]
+	from, rest, err := readString(rest, "from")
+	if err != nil {
+		return m, err
+	}
+	m.From = from
+	count, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return m, fmt.Errorf("membership: truncated peer count")
+	}
+	if count > maxPeers {
+		return m, fmt.Errorf("membership: peer count %d exceeds limit %d", count, maxPeers)
+	}
+	rest = rest[n:]
+	if count > 0 {
+		m.Peers = make([]Peer, 0, count)
+	}
+	for i := uint64(0); i < count; i++ {
+		var addr string
+		addr, rest, err = readString(rest, "peer addr")
+		if err != nil {
+			return m, err
+		}
+		age, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return m, fmt.Errorf("membership: truncated age for peer %d", i)
+		}
+		if age > 1<<32-1 {
+			return m, fmt.Errorf("membership: peer age %d overflows uint32", age)
+		}
+		rest = rest[n:]
+		m.Peers = append(m.Peers, Peer{Addr: addr, Age: uint32(age)})
+	}
+	if len(rest) != 0 {
+		return m, fmt.Errorf("membership: %d trailing bytes after frame", len(rest))
+	}
+	return m, nil
+}
+
+// readString reads one uvarint-prefixed string with bounds checks.
+func readString(data []byte, what string) (string, []byte, error) {
+	l, n := binary.Uvarint(data)
+	if n <= 0 {
+		return "", nil, fmt.Errorf("membership: truncated %s length", what)
+	}
+	if l > maxAddrLen {
+		return "", nil, fmt.Errorf("membership: %s length %d exceeds limit %d", what, l, maxAddrLen)
+	}
+	data = data[n:]
+	if uint64(len(data)) < l {
+		return "", nil, fmt.Errorf("membership: %s truncated (want %d bytes, have %d)", what, l, len(data))
+	}
+	return string(data[:l]), data[l:], nil
+}

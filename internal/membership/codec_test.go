@@ -1,0 +1,47 @@
+package membership
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	msgs := []Message{
+		{Kind: KindRequest, From: "node-0001"},
+		{Kind: KindReply, From: "node-0002", Peers: []Peer{
+			{Addr: "node-0003", Age: 0},
+			{Addr: "node-0004", Age: 17},
+			{Addr: "a-much-longer-address.example:9000", Age: 1<<32 - 1},
+		}},
+	}
+	for _, in := range msgs {
+		out, err := Decode(in.Append(nil))
+		if err != nil {
+			t.Fatalf("decode of freshly encoded %+v failed: %v", in, err)
+		}
+		if out.Kind != in.Kind || out.From != in.From || !reflect.DeepEqual(out.Peers, in.Peers) {
+			t.Fatalf("round trip mangled message: %+v -> %+v", in, out)
+		}
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	valid := Message{Kind: KindRequest, From: "n1",
+		Peers: []Peer{{Addr: "n2", Age: 3}}}.Append(nil)
+	cases := map[string][]byte{
+		"empty":          {},
+		"short":          valid[:3],
+		"bad magic":      append([]byte{'X', 'Y'}, valid[2:]...),
+		"bad version":    append([]byte{'G', 'S', 99}, valid[3:]...),
+		"bad kind":       append([]byte{'G', 'S', codecVersion, 9}, valid[4:]...),
+		"truncated body": valid[:len(valid)-2],
+		"trailing junk":  append(append([]byte{}, valid...), 0xff),
+		// Declares 500 peers but carries none: must error, not allocate.
+		"lying count": append(append([]byte{}, valid[:6]...), 0xf4, 0x03),
+	}
+	for name, data := range cases {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("%s: Decode accepted malformed frame", name)
+		}
+	}
+}

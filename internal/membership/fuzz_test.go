@@ -1,0 +1,67 @@
+package membership
+
+import "testing"
+
+// FuzzDecodeShuffle feeds arbitrary bytes to the gossip frame decoder: it
+// must never panic or over-allocate, only return errors. (Runs its seed
+// corpus — f.Add plus testdata/fuzz — under plain `go test`; use
+// `go test -fuzz FuzzDecodeShuffle` to explore.)
+func FuzzDecodeShuffle(f *testing.F) {
+	valid := Message{Kind: KindReply, From: "node-0001", Peers: []Peer{
+		{Addr: "node-0002", Age: 4}, {Addr: "node-0003", Age: 0},
+	}}.Append(nil)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte{'G', 'S', codecVersion, KindRequest})
+	f.Add([]byte("not a gossip frame"))
+	// Header that declares maxPeers+1 descriptors.
+	f.Add(append([]byte{'G', 'S', codecVersion, KindRequest, 0}, 0x81, 0x08))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data) // must not panic
+		if err == nil {
+			// Whatever decodes must re-encode and decode back identically.
+			again, err2 := Decode(m.Append(nil))
+			if err2 != nil {
+				t.Fatalf("re-decode of valid frame failed: %v", err2)
+			}
+			if again.Kind != m.Kind || again.From != m.From || len(again.Peers) != len(m.Peers) {
+				t.Fatalf("re-encode changed frame: %+v -> %+v", m, again)
+			}
+		}
+	})
+}
+
+// FuzzShuffleRoundTrip: every encodable message must decode back equal.
+func FuzzShuffleRoundTrip(f *testing.F) {
+	f.Add(byte(KindRequest), "node-0001", "node-0002", uint32(0))
+	f.Add(byte(KindReply), "n", "", uint32(1<<32-1))
+	f.Fuzz(func(t *testing.T, kind byte, from, peer string, age uint32) {
+		if kind != KindRequest && kind != KindReply {
+			kind = KindRequest
+		}
+		if len(from) > maxAddrLen {
+			from = from[:maxAddrLen]
+		}
+		if len(peer) > maxAddrLen {
+			peer = peer[:maxAddrLen]
+		}
+		in := Message{Kind: kind, From: from}
+		if peer != "" {
+			in.Peers = []Peer{{Addr: peer, Age: age}}
+		}
+		out, err := Decode(in.Append(nil))
+		if err != nil {
+			t.Fatalf("decode of freshly encoded frame failed: %v", err)
+		}
+		if out.Kind != in.Kind || out.From != in.From || len(out.Peers) != len(in.Peers) {
+			t.Fatalf("round trip mangled message: %+v -> %+v", in, out)
+		}
+		for i := range in.Peers {
+			if out.Peers[i] != in.Peers[i] {
+				t.Fatalf("peer %d mangled: %+v -> %+v", i, in.Peers[i], out.Peers[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,638 @@
+// Package membership is a Cyclon-style peer-sampling service with a
+// heartbeat failure detector — the gossip substrate under both overlays.
+//
+// Every node keeps a bounded cache of peer descriptors {addr, age}. Once
+// per shuffle period it ages its cache, picks the oldest descriptor, and
+// exchanges a small sample with that peer; fresh descriptors displace the
+// oldest ones, so unresponsive peers wash out of caches by age while
+// information about live peers keeps mixing epidemically. Shuffle requests
+// and replies travel through an optional Network predicate — plug in a
+// netfault.Plane and partitions, blackholes and message drop act on the
+// gossip exactly as they act on queries.
+//
+// Failure detection is driven by contact, not by a global table: a shuffle
+// that goes unanswered makes the initiator suspect the target; suspects
+// are probed every round, a successful probe clears the suspicion (a
+// cleared suspicion of a live node is a false suspicion — the detector's
+// measured error rate), and a suspicion that stays unanswered for
+// ConfirmAfter is confirmed. Confirmation fires the OnConfirm hook exactly
+// once per node — the experiments wire it to discovery.Crashable.FailNode,
+// so overlay-level failure handling happens only when the gossip layer has
+// actually detected the failure, never from the omniscient fault plan. A
+// partition that outlasts ConfirmAfter therefore produces split-brain
+// confirmations of live nodes, exactly the tradeoff a real deployment
+// tunes ConfirmAfter against.
+//
+// The service is deterministic: one seeded RNG drives every draw, nodes
+// tick in a stable order, and identical seeds replay identical views (see
+// TestReplayIdenticalViews). All public methods are safe for concurrent
+// use; simulation runs drive Tick from a sim.Scheduler while churn
+// processes call Join/Leave/Crash from scheduled events.
+package membership
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"log/slog"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"lorm/internal/sim"
+)
+
+// Network decides message delivery between nodes; netfault.Plane
+// implements it. A nil Network delivers everything.
+type Network interface {
+	Deliver(from, to string) bool
+}
+
+// Config parameterizes a Service.
+type Config struct {
+	// CacheSize bounds each node's peer cache (default 16).
+	CacheSize int
+	// ShuffleLen is the number of descriptors exchanged per shuffle
+	// (default 8, capped at CacheSize).
+	ShuffleLen int
+	// ShuffleEvery is the virtual-time shuffle period (default 1s).
+	ShuffleEvery float64
+	// ConfirmAfter is how long a suspicion must stay unanswered before the
+	// detector confirms the failure and fires OnConfirm (default 30s).
+	// Partitions shorter than this heal into cleared false suspicions;
+	// longer ones produce split-brain confirmations of live nodes.
+	ConfirmAfter float64
+	// Rng drives every random draw; required (seed it for replays).
+	Rng *rand.Rand
+	// Net filters shuffle and probe messages; nil delivers everything.
+	Net Network
+	// Logger, when non-nil, receives structured detector events:
+	// suspicions and clears at Debug, confirmations at Info.
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize <= 0 {
+		c.CacheSize = 16
+	}
+	if c.ShuffleLen <= 0 {
+		c.ShuffleLen = 8
+	}
+	if c.ShuffleLen > c.CacheSize {
+		c.ShuffleLen = c.CacheSize
+	}
+	if c.ShuffleEvery <= 0 {
+		c.ShuffleEvery = 1
+	}
+	if c.ConfirmAfter <= 0 {
+		c.ConfirmAfter = 30
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return c
+}
+
+// Peer is one cache descriptor: a peer address and the age (in shuffle
+// rounds) since the descriptor was created.
+type Peer struct {
+	Addr string
+	Age  uint32
+}
+
+// suspicion is one monitor's open case against a target.
+type suspicion struct {
+	since    float64 // when the failed contact was observed
+	wasFalse bool    // target was actually alive when suspected
+}
+
+// view is one node's gossip state.
+type view struct {
+	cache    []Peer
+	suspects map[string]suspicion
+	// stopped marks a crashed node: it stays in the address space (and in
+	// other caches) but neither initiates nor answers shuffles, so the
+	// detector has to find it the hard way.
+	stopped bool
+}
+
+// Stats is the service's cumulative detector ledger.
+type Stats struct {
+	Shuffles, Replies, Timeouts   uint64
+	Suspicions, Cleared           uint64
+	FalseSuspicions, FalseCleared uint64
+	Confirms                      uint64
+	Joins, Leaves, Crashes        uint64
+}
+
+// Service simulates the peer-sampling layer of one deployment: every
+// node's cache plus the shared failure detector.
+type Service struct {
+	cfg Config
+
+	mu        sync.Mutex
+	views     map[string]*view
+	order     []string // deterministic tick order (insertion order)
+	confirmed map[string]bool
+	onConfirm func(addr string)
+	stats     Stats
+	now       float64
+}
+
+// New validates the configuration and creates an empty service.
+func New(cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Rng == nil {
+		return nil, fmt.Errorf("membership: config needs an Rng")
+	}
+	return &Service{
+		cfg:       cfg,
+		views:     make(map[string]*view),
+		confirmed: make(map[string]bool),
+	}, nil
+}
+
+// OnConfirm installs the confirmation hook: called exactly once per
+// confirmed node, outside the service lock, in deterministic order. The
+// experiments point it at discovery.Crashable.FailNode.
+func (s *Service) OnConfirm(fn func(addr string)) {
+	s.mu.Lock()
+	s.onConfirm = fn
+	s.mu.Unlock()
+}
+
+// Bootstrap creates a view for every address and seeds each cache with
+// CacheSize random other members — the converged state a long-running
+// gossip reaches, matching the experiments' pre-built overlays.
+func (s *Service) Bootstrap(addrs []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, a := range addrs {
+		if s.views[a] == nil {
+			s.views[a] = &view{suspects: make(map[string]suspicion)}
+			s.order = append(s.order, a)
+		}
+	}
+	for _, a := range addrs {
+		v := s.views[a]
+		want := s.cfg.CacheSize
+		if want > len(s.order)-1 {
+			want = len(s.order) - 1
+		}
+		seen := map[string]bool{a: true}
+		for len(v.cache) < want {
+			p := s.order[s.cfg.Rng.Intn(len(s.order))]
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			v.cache = append(v.cache, Peer{Addr: p})
+		}
+	}
+}
+
+// Start schedules the periodic tick loop on the scheduler.
+func (s *Service) Start(sched *sim.Scheduler) {
+	var loop func()
+	loop = func() {
+		s.Tick(sched.Now())
+		sched.After(s.cfg.ShuffleEvery, loop)
+	}
+	sched.After(s.cfg.ShuffleEvery, loop)
+}
+
+// Members returns the live (non-crashed) addresses in tick order.
+func (s *Service) Members() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.order))
+	for _, a := range s.order {
+		if v := s.views[a]; v != nil && !v.stopped {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Join admits a newcomer: it learns one seeded-random live contact, and
+// that contact learns it — the minimal introduction a join protocol
+// provides; gossip spreads the descriptor from there.
+func (s *Service) Join(addr string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.views[addr] != nil || s.confirmed[addr] {
+		return
+	}
+	v := &view{suspects: make(map[string]suspicion)}
+	// Deterministic contact selection: a bounded number of draws over the
+	// tick order, skipping crashed nodes.
+	for tries := 0; tries < 8 && len(s.order) > 0; tries++ {
+		c := s.order[s.cfg.Rng.Intn(len(s.order))]
+		if cv := s.views[c]; cv != nil && !cv.stopped {
+			v.cache = append(v.cache, Peer{Addr: c})
+			cv.cache = s.insert(cv.cache, Peer{Addr: addr})
+			break
+		}
+	}
+	s.views[addr] = v
+	s.order = append(s.order, addr)
+	s.stats.Joins++
+	mJoins.Inc()
+	s.cfg.Logger.Debug("membership join", "node", addr, "t", s.now)
+}
+
+// Leave removes a node gracefully. The departure announcement propagates
+// reliably (the graceful model of the paper), so every cache and open
+// suspicion referencing the node is dropped.
+func (s *Service) Leave(addr string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.views[addr] == nil {
+		return
+	}
+	s.removeEverywhere(addr)
+	s.stats.Leaves++
+	mLeaves.Inc()
+	s.cfg.Logger.Debug("membership leave", "node", addr, "t", s.now)
+}
+
+// Crash marks a node unresponsive without removing it: it stops answering
+// shuffles and probes, and stays in peer caches until the detector
+// suspects and confirms it. This is the seam the churn layer's crash
+// events use instead of calling FailNode directly.
+func (s *Service) Crash(addr string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := s.views[addr]
+	if v == nil || v.stopped {
+		return
+	}
+	v.stopped = true
+	s.stats.Crashes++
+	mCrashes.Inc()
+	s.cfg.Logger.Debug("membership crash injected", "node", addr, "t", s.now)
+}
+
+// removeEverywhere drops every trace of addr (view, cache entries, open
+// suspicions); the caller holds s.mu.
+func (s *Service) removeEverywhere(addr string) {
+	delete(s.views, addr)
+	for i, a := range s.order {
+		if a == addr {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	for _, a := range s.order {
+		v := s.views[a]
+		if v == nil {
+			continue
+		}
+		for i := 0; i < len(v.cache); i++ {
+			if v.cache[i].Addr == addr {
+				v.cache = append(v.cache[:i], v.cache[i+1:]...)
+				i--
+			}
+		}
+		delete(v.suspects, addr)
+	}
+}
+
+// insert adds a descriptor to a cache, deduplicating by address (younger
+// age wins) and evicting the oldest entry when the cache overflows.
+func (s *Service) insert(cache []Peer, p Peer) []Peer {
+	for i := range cache {
+		if cache[i].Addr == p.Addr {
+			if p.Age < cache[i].Age {
+				cache[i].Age = p.Age
+			}
+			return cache
+		}
+	}
+	cache = append(cache, p)
+	if len(cache) > s.cfg.CacheSize {
+		oldest := 0
+		for i := range cache {
+			if cache[i].Age > cache[oldest].Age {
+				oldest = i
+			}
+		}
+		cache = append(cache[:oldest], cache[oldest+1:]...)
+		mEvictions.Inc()
+	}
+	return cache
+}
+
+// deliver asks the network (if any) whether a message arrives.
+func (s *Service) deliver(from, to string) bool {
+	return s.cfg.Net == nil || s.cfg.Net.Deliver(from, to)
+}
+
+// responsive reports whether the node at addr would answer a message.
+func (s *Service) responsive(addr string) bool {
+	v := s.views[addr]
+	return v != nil && !v.stopped
+}
+
+// reachableBothWays models one request/response exchange: the request must
+// arrive, the peer must be up, and the response must come back.
+func (s *Service) reachableBothWays(from, to string) bool {
+	return s.deliver(from, to) && s.responsive(to) && s.deliver(to, from)
+}
+
+// Tick runs one shuffle round for every live node at virtual time `now`:
+// probe open suspicions, age the cache, shuffle with the oldest peer, and
+// suspect peers that fail to answer. Confirmation hooks collected during
+// the round fire after the lock is released, in deterministic order.
+func (s *Service) Tick(now float64) {
+	s.mu.Lock()
+	s.now = now
+	var confirmedNow []string
+	// s.order grows only at the tail (joins during hooks run later), so a
+	// plain index loop over the starting length is stable.
+	n := len(s.order)
+	for i := 0; i < n && i < len(s.order); i++ {
+		addr := s.order[i]
+		v := s.views[addr]
+		if v == nil || v.stopped {
+			continue
+		}
+		confirmedNow = append(confirmedNow, s.probeSuspects(addr, v, now)...)
+		s.shuffle(addr, v, now)
+	}
+	hook := s.onConfirm
+	s.mu.Unlock()
+	if hook != nil {
+		for _, addr := range confirmedNow {
+			hook(addr)
+		}
+	}
+}
+
+// probeSuspects sends one direct heartbeat per open suspicion and returns
+// the nodes whose failure this round confirmed; the caller holds s.mu.
+func (s *Service) probeSuspects(addr string, v *view, now float64) (confirmed []string) {
+	if len(v.suspects) == 0 {
+		return nil
+	}
+	targets := make([]string, 0, len(v.suspects))
+	for q := range v.suspects {
+		targets = append(targets, q)
+	}
+	sort.Strings(targets) // map order is random; probes must replay
+	for _, q := range targets {
+		sus := v.suspects[q]
+		if s.views[q] == nil {
+			delete(v.suspects, q) // target already confirmed or departed
+			continue
+		}
+		if s.reachableBothWays(addr, q) {
+			delete(v.suspects, q)
+			v.cache = s.insert(v.cache, Peer{Addr: q})
+			s.stats.Cleared++
+			mSuspicionsCleared.Inc()
+			if sus.wasFalse {
+				s.stats.FalseCleared++
+			}
+			s.cfg.Logger.Debug("membership suspicion cleared",
+				"monitor", addr, "node", q, "t", now, "suspected_for", now-sus.since)
+			continue
+		}
+		if now-sus.since >= s.cfg.ConfirmAfter && !s.confirmed[q] {
+			s.confirmed[q] = true
+			s.stats.Confirms++
+			mConfirms.Inc()
+			s.cfg.Logger.Info("membership failure confirmed",
+				"monitor", addr, "node", q, "t", now, "suspected_for", now-sus.since)
+			s.removeEverywhere(q)
+			confirmed = append(confirmed, q)
+		}
+	}
+	return confirmed
+}
+
+// shuffle runs one Cyclon exchange for addr; the caller holds s.mu.
+func (s *Service) shuffle(addr string, v *view, now float64) {
+	for i := range v.cache {
+		v.cache[i].Age++
+	}
+	if len(v.cache) == 0 {
+		return
+	}
+	// Cyclon: shuffle with the oldest descriptor, removing it from the
+	// cache up front — if the peer is gone it has just washed out.
+	oldest := 0
+	for i := range v.cache {
+		if v.cache[i].Age > v.cache[oldest].Age {
+			oldest = i
+		}
+	}
+	q := v.cache[oldest]
+	v.cache = append(v.cache[:oldest], v.cache[oldest+1:]...)
+	if s.views[q.Addr] == nil {
+		return // stale descriptor of a confirmed/departed node: drop silently
+	}
+
+	// The request sample travels through the wire codec — the same bytes a
+	// real deployment would gossip — so the codec is exercised by every
+	// simulated exchange, not just its unit tests.
+	req := Message{Kind: KindRequest, From: addr,
+		Peers: s.sampleLocked(v, q.Addr, s.cfg.ShuffleLen-1)}
+	req.Peers = append(req.Peers, Peer{Addr: addr}) // self, age 0
+	s.stats.Shuffles++
+	mShuffles.Inc()
+
+	decoded, err := Decode(req.Append(nil))
+	if err != nil || !s.reachableBothWays(addr, q.Addr) {
+		s.stats.Timeouts++
+		mShuffleTimeouts.Inc()
+		if _, open := v.suspects[q.Addr]; !open {
+			wasFalse := s.responsive(q.Addr)
+			v.suspects[q.Addr] = suspicion{since: now, wasFalse: wasFalse}
+			s.stats.Suspicions++
+			mSuspicions.Inc()
+			if wasFalse {
+				s.stats.FalseSuspicions++
+			}
+			s.cfg.Logger.Debug("membership suspicion",
+				"monitor", addr, "node", q.Addr, "alive", wasFalse, "t", now)
+		}
+		return
+	}
+	qv := s.views[q.Addr]
+	reply := Message{Kind: KindReply, From: q.Addr,
+		Peers: s.sampleLocked(qv, addr, s.cfg.ShuffleLen)}
+	replyDecoded, err := Decode(reply.Append(nil))
+	if err != nil {
+		s.stats.Timeouts++
+		mShuffleTimeouts.Inc()
+		return
+	}
+	s.stats.Replies++
+	mShuffleReplies.Inc()
+	for _, p := range decoded.Peers {
+		if p.Addr != q.Addr && s.views[p.Addr] != nil {
+			qv.cache = s.insert(qv.cache, p)
+		}
+	}
+	for _, p := range replyDecoded.Peers {
+		if p.Addr != addr && s.views[p.Addr] != nil {
+			v.cache = s.insert(v.cache, p)
+		}
+	}
+	// Contact succeeded both ways: any open suspicions between the pair
+	// are cleared by the exchange itself.
+	s.clearSuspicion(v, addr, q.Addr, now)
+	s.clearSuspicion(qv, q.Addr, addr, now)
+}
+
+// clearSuspicion closes monitor's open case against target after a
+// successful contact; the caller holds s.mu.
+func (s *Service) clearSuspicion(monitorView *view, monitor, target string, now float64) {
+	sus, open := monitorView.suspects[target]
+	if !open {
+		return
+	}
+	delete(monitorView.suspects, target)
+	s.stats.Cleared++
+	mSuspicionsCleared.Inc()
+	if sus.wasFalse {
+		s.stats.FalseCleared++
+	}
+	s.cfg.Logger.Debug("membership suspicion cleared",
+		"monitor", monitor, "node", target, "t", now, "suspected_for", now-sus.since)
+}
+
+// sampleLocked draws up to k distinct descriptors from a view's cache;
+// the caller holds s.mu.
+func (s *Service) sampleLocked(v *view, exclude string, k int) []Peer {
+	if k <= 0 || len(v.cache) == 0 {
+		return nil
+	}
+	idx := s.cfg.Rng.Perm(len(v.cache))
+	out := make([]Peer, 0, k)
+	for _, i := range idx {
+		if len(out) >= k {
+			break
+		}
+		if v.cache[i].Addr == exclude {
+			continue
+		}
+		out = append(out, v.cache[i])
+	}
+	return out
+}
+
+// Sample returns up to k peer addresses from a node's current cache — the
+// peer-sampling answer other layers (e.g. randomized neighbor selection)
+// build on.
+func (s *Service) Sample(addr string, k int) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := s.views[addr]
+	if v == nil {
+		return nil
+	}
+	peers := s.sampleLocked(v, addr, k)
+	out := make([]string, len(peers))
+	for i, p := range peers {
+		out[i] = p.Addr
+	}
+	return out
+}
+
+// Stats returns the cumulative detector ledger.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// SuspectCount returns the number of open suspicion edges across all
+// monitors.
+func (s *Service) SuspectCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, a := range s.order {
+		if v := s.views[a]; v != nil {
+			n += len(v.suspects)
+		}
+	}
+	return n
+}
+
+// OpenFalseSuspicions returns the number of open suspicion edges whose
+// target is actually alive — the detector's standing error. A healed run
+// must drive this to zero.
+func (s *Service) OpenFalseSuspicions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, a := range s.order {
+		v := s.views[a]
+		if v == nil {
+			continue
+		}
+		for q := range v.suspects {
+			if s.responsive(q) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// KnownBy returns how many other nodes currently hold addr in their cache
+// — the flash-crowd experiment's integration measure for newcomers.
+func (s *Service) KnownBy(addr string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, a := range s.order {
+		if a == addr {
+			continue
+		}
+		v := s.views[a]
+		if v == nil {
+			continue
+		}
+		for _, p := range v.cache {
+			if p.Addr == addr {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// Fingerprint hashes every view (address, cache descriptors in order, open
+// suspicions) into one value — the replay test's equality check.
+func (s *Service) Fingerprint() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	addrs := append([]string(nil), s.order...)
+	sort.Strings(addrs)
+	h := fnv.New64a()
+	for _, a := range addrs {
+		v := s.views[a]
+		if v == nil {
+			continue
+		}
+		fmt.Fprintf(h, "%s|%v|", a, v.stopped)
+		for _, p := range v.cache {
+			fmt.Fprintf(h, "%s@%d,", p.Addr, p.Age)
+		}
+		sus := make([]string, 0, len(v.suspects))
+		for q := range v.suspects {
+			sus = append(sus, q)
+		}
+		sort.Strings(sus)
+		for _, q := range sus {
+			fmt.Fprintf(h, "!%s@%g", q, v.suspects[q].since)
+		}
+		h.Write([]byte{'\n'})
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,221 @@
+package membership
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"lorm/internal/netfault"
+)
+
+func addrs(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("node-%04d", i)
+	}
+	return out
+}
+
+func newService(t *testing.T, seed int64, cfg Config) *Service {
+	t.Helper()
+	cfg.Rng = rand.New(rand.NewSource(seed))
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// A crashed node must be suspected via failed shuffles, stay suspected,
+// and be confirmed (firing OnConfirm exactly once) after ConfirmAfter.
+func TestCrashDetectedAndConfirmed(t *testing.T) {
+	s := newService(t, 1, Config{ConfirmAfter: 10})
+	s.Bootstrap(addrs(40))
+	var confirmed []string
+	s.OnConfirm(func(a string) { confirmed = append(confirmed, a) })
+
+	s.Crash("node-0007")
+	now := 0.0
+	for i := 0; i < 60 && len(confirmed) == 0; i++ {
+		now++
+		s.Tick(now)
+	}
+	if len(confirmed) != 1 || confirmed[0] != "node-0007" {
+		t.Fatalf("expected exactly one confirmation of node-0007, got %v", confirmed)
+	}
+	st := s.Stats()
+	if st.Confirms != 1 {
+		t.Fatalf("Confirms = %d, want 1", st.Confirms)
+	}
+	if st.Suspicions == 0 || st.Timeouts == 0 {
+		t.Fatalf("crash produced no suspicions/timeouts: %+v", st)
+	}
+	// A crash detection is a true suspicion (at least the confirming one).
+	if st.FalseSuspicions >= st.Suspicions {
+		t.Fatalf("all %d suspicions were false despite a real crash", st.Suspicions)
+	}
+	// The confirmed node is gone from every view.
+	for _, a := range s.Members() {
+		if a == "node-0007" {
+			t.Fatal("confirmed node still listed as member")
+		}
+	}
+	if n := s.KnownBy("node-0007"); n != 0 {
+		t.Fatalf("confirmed node still cached by %d peers", n)
+	}
+	// Running longer never re-confirms.
+	for i := 0; i < 20; i++ {
+		now++
+		s.Tick(now)
+	}
+	if len(confirmed) != 1 {
+		t.Fatalf("node confirmed more than once: %v", confirmed)
+	}
+}
+
+// A partition shorter than ConfirmAfter produces only false suspicions,
+// all of which clear after the heal; no confirmation ever fires.
+func TestPartitionFalseSuspicionsClearAfterHeal(t *testing.T) {
+	s := newService(t, 2, Config{ConfirmAfter: 30})
+	plane := netfault.NewPlane(2)
+	s.cfg.Net = plane
+	s.Bootstrap(addrs(60))
+	var confirmed []string
+	s.OnConfirm(func(a string) { confirmed = append(confirmed, a) })
+
+	now := 0.0
+	for i := 0; i < 5; i++ { // settle
+		now++
+		s.Tick(now)
+	}
+	minority := addrs(60)[:15]
+	if err := plane.StartPartition("cut", minority); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 15; i++ { // well under ConfirmAfter
+		now++
+		s.Tick(now)
+	}
+	st := s.Stats()
+	if st.Suspicions == 0 || st.FalseSuspicions != st.Suspicions {
+		t.Fatalf("partition of live nodes: want all suspicions false, got %d/%d",
+			st.FalseSuspicions, st.Suspicions)
+	}
+	if s.OpenFalseSuspicions() == 0 {
+		t.Fatal("no open false suspicions during the partition")
+	}
+	plane.Heal("cut")
+	for i := 0; i < 40 && s.SuspectCount() > 0; i++ {
+		now++
+		s.Tick(now)
+	}
+	if n := s.OpenFalseSuspicions(); n != 0 {
+		t.Fatalf("%d false suspicions still open after heal", n)
+	}
+	if s.SuspectCount() != 0 {
+		t.Fatalf("%d suspicions still open after heal", s.SuspectCount())
+	}
+	st = s.Stats()
+	if st.FalseCleared != st.FalseSuspicions {
+		t.Fatalf("cleared %d of %d false suspicions", st.FalseCleared, st.FalseSuspicions)
+	}
+	if len(confirmed) != 0 {
+		t.Fatalf("short partition confirmed live nodes: %v", confirmed)
+	}
+}
+
+// Join introduces a newcomer through one contact and gossip spreads its
+// descriptor; Leave removes every trace.
+func TestJoinSpreadsAndLeaveForgets(t *testing.T) {
+	s := newService(t, 3, Config{})
+	s.Bootstrap(addrs(30))
+	s.Join("newcomer")
+	if got := s.KnownBy("newcomer"); got != 1 {
+		t.Fatalf("right after join, newcomer known by %d nodes, want 1", got)
+	}
+	now := 0.0
+	for i := 0; i < 25; i++ {
+		now++
+		s.Tick(now)
+	}
+	if got := s.KnownBy("newcomer"); got < 3 {
+		t.Fatalf("after 25 rounds newcomer only known by %d nodes", got)
+	}
+	if sample := s.Sample("newcomer", 4); len(sample) == 0 {
+		t.Fatal("newcomer's cache is empty after gossip rounds")
+	}
+	s.Leave("newcomer")
+	if got := s.KnownBy("newcomer"); got != 0 {
+		t.Fatalf("after leave, newcomer still known by %d nodes", got)
+	}
+	st := s.Stats()
+	if st.Joins != 1 || st.Leaves != 1 {
+		t.Fatalf("joins/leaves = %d/%d, want 1/1", st.Joins, st.Leaves)
+	}
+}
+
+// Identical seeds must replay identical views tick for tick — the
+// deterministic-replay guarantee the experiments rely on.
+func TestReplayIdenticalViews(t *testing.T) {
+	run := func() (*Service, []uint64) {
+		s := newService(t, 42, Config{CacheSize: 12, ShuffleLen: 6})
+		plane := netfault.NewPlane(42)
+		s.cfg.Net = plane
+		s.Bootstrap(addrs(50))
+		var prints []uint64
+		now := 0.0
+		for i := 0; i < 30; i++ {
+			now++
+			if i == 5 {
+				plane.StartPartition("cut", addrs(50)[:10])
+				s.Crash("node-0033")
+			}
+			if i == 15 {
+				plane.Heal("cut")
+				s.Join("late-joiner")
+			}
+			s.Tick(now)
+			prints = append(prints, s.Fingerprint())
+		}
+		return s, prints
+	}
+	a, pa := run()
+	b, pb := run()
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("replay diverged at tick %d: %x vs %x", i, pa[i], pb[i])
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("replay stats diverged:\n%+v\n%+v", a.Stats(), b.Stats())
+	}
+	// Sanity: different seeds actually produce different histories.
+	c := newService(t, 43, Config{CacheSize: 12, ShuffleLen: 6})
+	c.Bootstrap(addrs(50))
+	for i := 0; i < 30; i++ {
+		c.Tick(float64(i + 1))
+	}
+	if c.Fingerprint() == a.Fingerprint() {
+		t.Fatal("different seeds produced identical fingerprints")
+	}
+}
+
+// Cache sizes stay bounded and descriptors of departed peers wash out by
+// age rather than lingering forever.
+func TestCacheBoundedAndStaleWashout(t *testing.T) {
+	s := newService(t, 4, Config{CacheSize: 8, ShuffleLen: 4})
+	s.Bootstrap(addrs(40))
+	now := 0.0
+	for i := 0; i < 50; i++ {
+		now++
+		s.Tick(now)
+	}
+	s.mu.Lock()
+	for a, v := range s.views {
+		if len(v.cache) > 8 {
+			s.mu.Unlock()
+			t.Fatalf("%s cache grew to %d entries (bound 8)", a, len(v.cache))
+		}
+	}
+	s.mu.Unlock()
+}

@@ -1,0 +1,30 @@
+package membership
+
+import "lorm/internal/metrics"
+
+// Process-wide gossip counters, aggregated across every Service in the
+// process. metricscheck -membership reconciles these invariants: replies
+// never exceed shuffles, confirms never exceed suspicions, cleared never
+// exceeds suspicions.
+var (
+	mShuffles = metrics.Default().Counter("membership_shuffles_total",
+		"gossip shuffle exchanges initiated")
+	mShuffleReplies = metrics.Default().Counter("membership_shuffle_replies_total",
+		"gossip shuffle exchanges that completed with a reply")
+	mShuffleTimeouts = metrics.Default().Counter("membership_shuffle_timeouts_total",
+		"gossip shuffle exchanges that timed out")
+	mSuspicions = metrics.Default().Counter("membership_suspicions_total",
+		"failure-detector suspicions opened")
+	mSuspicionsCleared = metrics.Default().Counter("membership_suspicions_cleared_total",
+		"failure-detector suspicions cleared by later contact")
+	mConfirms = metrics.Default().Counter("membership_confirms_total",
+		"failure-detector confirmations (suspicions promoted to failures)")
+	mJoins = metrics.Default().Counter("membership_joins_total",
+		"nodes admitted to the membership layer")
+	mLeaves = metrics.Default().Counter("membership_leaves_total",
+		"graceful departures processed by the membership layer")
+	mCrashes = metrics.Default().Counter("membership_crashes_injected_total",
+		"crash events injected into the membership layer")
+	mEvictions = metrics.Default().Counter("membership_cache_evictions_total",
+		"peer-cache descriptors evicted by age on overflow")
+)

@@ -1,0 +1,73 @@
+package membership
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentChurnStress hammers the service with concurrent shuffle
+// ticks, joins, leaves, crashes and read-side queries. Run with -race:
+// the point is that the shuffle exchange holds its locking discipline
+// under churn, not any particular outcome.
+func TestConcurrentChurnStress(t *testing.T) {
+	s := newService(t, 9, Config{CacheSize: 10, ShuffleLen: 5, ConfirmAfter: 5})
+	s.Bootstrap(addrs(64))
+	s.OnConfirm(func(string) {})
+
+	const rounds = 40
+	var wg sync.WaitGroup
+	wg.Add(4)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			s.Tick(float64(i + 1))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < rounds; i++ {
+			s.Join(fmt.Sprintf("joiner-%03d", i))
+			if i%3 == 0 {
+				s.Leave(fmt.Sprintf("joiner-%03d", rng.Intn(i+1)))
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			s.Crash(fmt.Sprintf("node-%04d", i%16))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			_ = s.Members()
+			_ = s.Stats()
+			_ = s.SuspectCount()
+			_ = s.Sample(fmt.Sprintf("node-%04d", 20+i%16), 4)
+			_ = s.KnownBy("node-0030")
+			_ = s.Fingerprint()
+		}
+	}()
+	wg.Wait()
+
+	// Invariants survive the storm: counters are consistent and every
+	// surviving cache respects its bound.
+	st := s.Stats()
+	if st.Replies > st.Shuffles {
+		t.Fatalf("replies %d exceed shuffles %d", st.Replies, st.Shuffles)
+	}
+	if st.Cleared+st.Confirms > st.Suspicions { // every close consumed an open case
+		t.Fatalf("inconsistent detector ledger: %+v", st)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for a, v := range s.views {
+		if len(v.cache) > s.cfg.CacheSize {
+			t.Fatalf("%s cache grew to %d entries under churn", a, len(v.cache))
+		}
+	}
+}

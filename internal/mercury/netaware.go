@@ -1,0 +1,16 @@
+package mercury
+
+import "lorm/internal/discovery"
+
+var _ discovery.NetAware = (*System)(nil)
+
+// SetReachability implements discovery.NetAware: the plane fans out to
+// every attribute hub — all hubs share the physical network, so a
+// partition cuts the same node pairs in each of them.
+func (s *System) SetReachability(r discovery.Reachability) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, hub := range s.hubs {
+		hub.SetReachability(r)
+	}
+}

@@ -1,0 +1,59 @@
+package netfault
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// faultConn applies the plane's directed faults to the from→to direction
+// of a real connection: writes into a blackholed or dropped link are
+// swallowed (reported as successful, bytes vanish in flight), so the peer
+// never sees the request and the caller's read runs into its deadline —
+// exactly how an asymmetric link failure presents to a TCP client.
+type faultConn struct {
+	net.Conn
+	p        *Plane
+	from, to string
+}
+
+func (c *faultConn) Write(b []byte) (int, error) {
+	if d := c.p.Delay(c.from, c.to); d > 0 {
+		time.Sleep(time.Duration(d * float64(time.Second)))
+	}
+	if !c.p.Deliver(c.from, c.to) {
+		return len(b), nil
+	}
+	return c.Conn.Write(b)
+}
+
+// WrapConn subjects an established connection's from→to direction to the
+// plane's faults. The reverse direction is untouched — pair two wraps to
+// fault both ways.
+func (p *Plane) WrapConn(c net.Conn, from, to string) net.Conn {
+	return &faultConn{Conn: c, p: p, from: from, to: to}
+}
+
+// Dialer adapts the plane to the transport client's Options.Dialer seam:
+// new connections from the named endpoint fail to establish while the
+// from→to link is down (a SYN into a partition or blackhole never
+// arrives), and established ones flow through WrapConn. The base dial
+// does the real connecting; pass nil for net.DialTimeout.
+func (p *Plane) Dialer(from string, base func(addr string, timeout time.Duration) (net.Conn, error)) func(addr string, timeout time.Duration) (net.Conn, error) {
+	if base == nil {
+		base = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	return func(addr string, timeout time.Duration) (net.Conn, error) {
+		if !p.Reachable(from, addr) {
+			mBlockedMessages.Inc()
+			return nil, &net.OpError{Op: "dial", Net: "tcp", Err: fmt.Errorf("netfault: %s cannot reach %s", from, addr)}
+		}
+		c, err := base(addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return p.WrapConn(c, from, addr), nil
+	}
+}

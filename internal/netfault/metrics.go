@@ -1,0 +1,34 @@
+package netfault
+
+import "lorm/internal/metrics"
+
+// Process-wide fault-plane counters, aggregated across every Plane in the
+// process (the partition experiment runs one per system per sweep point).
+var (
+	mPartitionsStarted = metrics.Default().Counter("netfault_partitions_started_total",
+		"named network partition sets formed by fault planes")
+	mPartitionsHealed = metrics.Default().Counter("netfault_partitions_healed_total",
+		"named network partition sets healed by fault planes")
+	mBlackholes = metrics.Default().Counter("netfault_blackholes_total",
+		"directed one-way blackholes installed by fault planes")
+	mBlockedMessages = metrics.Default().Counter("netfault_blocked_messages_total",
+		"messages blocked by an active partition or blackhole")
+	mDroppedMessages = metrics.Default().Counter("netfault_dropped_messages_total",
+		"messages dropped by the probabilistic loss model")
+	mWindowQueryChecks = metrics.Default().Counter("netfault_window_query_checks_total",
+		"queries issued while a partition window was active")
+	mWindowQueryFailures = metrics.Default().Counter("netfault_window_query_failures_total",
+		"queries that failed while a partition window was active")
+)
+
+// CountWindowQuery records one query issued during an active partition
+// window; failed reports whether it erred or mismatched the oracle. The
+// experiment driver owns the query loop, so the window attribution lives
+// here rather than in the overlays — metricscheck reconciles these against
+// the overlays' *_query_failures_total.
+func CountWindowQuery(failed bool) {
+	mWindowQueryChecks.Inc()
+	if failed {
+		mWindowQueryFailures.Inc()
+	}
+}

@@ -1,0 +1,256 @@
+// Package netfault injects network-level faults under the overlays: named
+// partition sets that form and heal on a schedule, directed one-way
+// blackholes (asymmetric reachability), probabilistic message drop, and
+// per-link added delay. A Plane implements discovery.Reachability, so the
+// same object plugs into chord/cycloid lookups (via SetReachability), the
+// membership gossip layer (via Deliver) and the transport client (via
+// WrapConn/Dialer) — one seeded fault model, three seams.
+//
+// Unlike the faults package — whose Poisson plans kill processes — the
+// Plane never touches membership: every node stays alive and keeps its
+// directory; only messages between the wrong pairs of nodes stop flowing.
+// That is exactly the failure class the paper's graceful-churn model cannot
+// express, and it composes freely with crash plans (a run may partition the
+// network while a faults.Plan crashes nodes inside it).
+package netfault
+
+import (
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"lorm/internal/discovery"
+)
+
+// Plane is one seeded network-fault model. The zero rule set is a perfect
+// network: Reachable and Deliver answer true without taking the lock, so an
+// idle Plane adds one atomic load to the lookup hot path.
+type Plane struct {
+	// active counts installed rules (partition groups, blackholes, drop
+	// probability); the fast path checks it before locking.
+	active atomic.Int64
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	logger *slog.Logger
+	// group maps a node address to the name of the partition set holding it;
+	// nodes in different groups (or one grouped, one not) cannot exchange
+	// messages. Membership in at most one named set keeps heal semantics
+	// unambiguous.
+	group      map[string]string
+	partitions map[string][]string
+	black      map[string]map[string]bool // black[from][to]: from→to messages vanish
+	drop       float64                    // per-message drop probability
+	delay      map[string]map[string]float64
+
+	started, healed int // partition lifecycle tallies for reports
+}
+
+var _ discovery.Reachability = (*Plane)(nil)
+
+// NewPlane creates a fault plane whose probabilistic draws (message drop)
+// replay deterministically for the same seed.
+func NewPlane(seed int64) *Plane {
+	return &Plane{
+		rng:        rand.New(rand.NewSource(seed)),
+		group:      make(map[string]string),
+		partitions: make(map[string][]string),
+		black:      make(map[string]map[string]bool),
+		delay:      make(map[string]map[string]float64),
+	}
+}
+
+// SetLogger directs partition/blackhole lifecycle events (Info level) to
+// the given logger; nil disables them.
+func (p *Plane) SetLogger(l *slog.Logger) {
+	p.mu.Lock()
+	p.logger = l
+	p.mu.Unlock()
+}
+
+// StartPartition isolates the named member set from the rest of the
+// network: members keep full connectivity among themselves, every link
+// crossing the set boundary goes dark in both directions. Starting a name
+// that is already active is an error; nodes already held by another active
+// partition set are rejected so each address belongs to at most one set.
+func (p *Plane) StartPartition(name string, members []string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.partitions[name]; dup {
+		return fmt.Errorf("netfault: partition %q already active", name)
+	}
+	for _, m := range members {
+		if g, held := p.group[m]; held {
+			return fmt.Errorf("netfault: node %s already in partition %q", m, g)
+		}
+	}
+	set := append([]string(nil), members...)
+	p.partitions[name] = set
+	for _, m := range set {
+		p.group[m] = name
+	}
+	p.started++
+	mPartitionsStarted.Inc()
+	p.active.Add(1)
+	if p.logger != nil {
+		p.logger.Info("netfault partition formed", "name", name, "members", len(set))
+	}
+	return nil
+}
+
+// Heal dissolves the named partition set, restoring full connectivity for
+// its members. Healing an unknown name reports false.
+func (p *Plane) Heal(name string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	set, ok := p.partitions[name]
+	if !ok {
+		return false
+	}
+	delete(p.partitions, name)
+	for _, m := range set {
+		delete(p.group, m)
+	}
+	p.healed++
+	mPartitionsHealed.Inc()
+	p.active.Add(-1)
+	if p.logger != nil {
+		p.logger.Info("netfault partition healed", "name", name, "members", len(set))
+	}
+	return true
+}
+
+// PartitionActive reports whether any named partition set is currently
+// formed (experiments use it to classify query failures into the fault
+// window).
+func (p *Plane) PartitionActive() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.partitions) > 0
+}
+
+// Partitions returns the lifetime started/healed tallies.
+func (p *Plane) Partitions() (started, healed int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.started, p.healed
+}
+
+// Blackhole makes every from→to message vanish while leaving the reverse
+// direction intact — the asymmetric-link fault. Idempotent.
+func (p *Plane) Blackhole(from, to string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.black[from] == nil {
+		p.black[from] = make(map[string]bool)
+	}
+	if !p.black[from][to] {
+		p.black[from][to] = true
+		mBlackholes.Inc()
+		p.active.Add(1)
+		if p.logger != nil {
+			p.logger.Info("netfault blackhole", "from", from, "to", to)
+		}
+	}
+}
+
+// ClearBlackhole removes a directed blackhole; clearing one that is not
+// installed is a no-op.
+func (p *Plane) ClearBlackhole(from, to string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.black[from][to] {
+		delete(p.black[from], to)
+		p.active.Add(-1)
+		if p.logger != nil {
+			p.logger.Info("netfault blackhole cleared", "from", from, "to", to)
+		}
+	}
+}
+
+// SetDrop sets the probability that an otherwise-deliverable message is
+// dropped (0 disables). Drops are drawn from the plane's seeded RNG, so a
+// run replays exactly.
+func (p *Plane) SetDrop(prob float64) error {
+	if prob < 0 || prob >= 1 {
+		return fmt.Errorf("netfault: drop probability %v outside [0,1)", prob)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.drop == 0 && prob > 0 {
+		p.active.Add(1)
+	} else if p.drop > 0 && prob == 0 {
+		p.active.Add(-1)
+	}
+	p.drop = prob
+	return nil
+}
+
+// SetDelay installs an added one-way delay (virtual seconds) on the from→to
+// link; 0 removes it. Delay never blocks delivery — consumers that model
+// latency (the transport conn wrapper, future sim transports) read it via
+// Delay.
+func (p *Plane) SetDelay(from, to string, d float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if d <= 0 {
+		if p.delay[from] != nil {
+			delete(p.delay[from], to)
+		}
+		return
+	}
+	if p.delay[from] == nil {
+		p.delay[from] = make(map[string]float64)
+	}
+	p.delay[from][to] = d
+}
+
+// Delay returns the added one-way delay on the from→to link.
+func (p *Plane) Delay(from, to string) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.delay[from][to]
+}
+
+// Reachable implements discovery.Reachability: the deterministic
+// connectivity answer (partitions and blackholes; probabilistic drop is
+// Deliver's business). A message from a node to itself is always
+// deliverable.
+func (p *Plane) Reachable(from, to string) bool {
+	if p.active.Load() == 0 || from == to {
+		return true
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.reachableLocked(from, to)
+}
+
+func (p *Plane) reachableLocked(from, to string) bool {
+	if p.group[from] != p.group[to] {
+		return false
+	}
+	return !p.black[from][to]
+}
+
+// Deliver decides the fate of one from→to message: false when the link is
+// down (partition or blackhole — counted as blocked) or the seeded drop
+// draw fires (counted as dropped). The gossip layer routes every shuffle
+// request and reply through this predicate.
+func (p *Plane) Deliver(from, to string) bool {
+	if p.active.Load() == 0 || from == to {
+		return true
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.reachableLocked(from, to) {
+		mBlockedMessages.Inc()
+		return false
+	}
+	if p.drop > 0 && p.rng.Float64() < p.drop {
+		mDroppedMessages.Inc()
+		return false
+	}
+	return true
+}

@@ -1,0 +1,109 @@
+package netfault
+
+import "testing"
+
+func TestPartitionReachability(t *testing.T) {
+	p := NewPlane(1)
+	if !p.Reachable("a", "b") {
+		t.Fatal("fresh plane must be fully connected")
+	}
+	if err := p.StartPartition("minority", []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		from, to string
+		want     bool
+	}{
+		{"a", "b", true},  // same side
+		{"c", "d", true},  // same side (majority)
+		{"a", "c", false}, // across the cut
+		{"c", "a", false}, // across the cut, reverse
+		{"a", "a", true},  // self-delivery
+	} {
+		if got := p.Reachable(tc.from, tc.to); got != tc.want {
+			t.Errorf("Reachable(%s,%s) = %v, want %v", tc.from, tc.to, got, tc.want)
+		}
+		if got := p.Deliver(tc.from, tc.to); got != tc.want {
+			t.Errorf("Deliver(%s,%s) = %v, want %v", tc.from, tc.to, got, tc.want)
+		}
+	}
+	if !p.PartitionActive() {
+		t.Fatal("PartitionActive must report the formed set")
+	}
+	if err := p.StartPartition("minority", []string{"x"}); err == nil {
+		t.Fatal("duplicate partition name must be rejected")
+	}
+	if err := p.StartPartition("other", []string{"a"}); err == nil {
+		t.Fatal("a node may belong to at most one active set")
+	}
+	if !p.Heal("minority") {
+		t.Fatal("heal of an active set must succeed")
+	}
+	if p.Heal("minority") {
+		t.Fatal("double heal must report false")
+	}
+	if !p.Reachable("a", "c") || p.PartitionActive() {
+		t.Fatal("healing must restore full connectivity")
+	}
+	if started, healed := p.Partitions(); started != 1 || healed != 1 {
+		t.Fatalf("lifecycle tallies = (%d, %d), want (1, 1)", started, healed)
+	}
+}
+
+func TestBlackholeIsDirected(t *testing.T) {
+	p := NewPlane(1)
+	p.Blackhole("a", "b")
+	if p.Reachable("a", "b") {
+		t.Fatal("blackholed direction must be dark")
+	}
+	if !p.Reachable("b", "a") {
+		t.Fatal("reverse direction must stay up — the link is asymmetric")
+	}
+	p.ClearBlackhole("a", "b")
+	if !p.Reachable("a", "b") {
+		t.Fatal("cleared blackhole must restore the direction")
+	}
+}
+
+func TestDropIsSeededAndBounded(t *testing.T) {
+	if err := NewPlane(1).SetDrop(1.0); err == nil {
+		t.Fatal("drop probability 1.0 must be rejected")
+	}
+	run := func(seed int64) []bool {
+		p := NewPlane(seed)
+		if err := p.SetDrop(0.5); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = p.Deliver("a", "b")
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	dropped := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must replay the same drop sequence")
+		}
+		if !a[i] {
+			dropped++
+		}
+	}
+	if dropped == 0 || dropped == len(a) {
+		t.Fatalf("drop 0.5 over %d messages lost %d — model inactive or total", len(a), dropped)
+	}
+}
+
+func TestIdlePlaneFastPathAfterFullHeal(t *testing.T) {
+	p := NewPlane(1)
+	p.Blackhole("a", "b")
+	if err := p.StartPartition("s", []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	p.ClearBlackhole("a", "b")
+	p.Heal("s")
+	if p.active.Load() != 0 {
+		t.Fatalf("rule count = %d after clearing every rule, want 0 (fast path disabled)", p.active.Load())
+	}
+}

@@ -1,0 +1,11 @@
+package sword
+
+import "lorm/internal/discovery"
+
+var _ discovery.NetAware = (*System)(nil)
+
+// SetReachability implements discovery.NetAware: every subsequent lookup
+// on the attribute-keyed ring consults the plane.
+func (s *System) SetReachability(r discovery.Reachability) {
+	s.ring.SetReachability(r)
+}

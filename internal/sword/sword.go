@@ -13,6 +13,7 @@ package sword
 import (
 	"fmt"
 	"log/slog"
+	"math/rand"
 
 	"lorm/internal/chord"
 	"lorm/internal/directory"
@@ -34,6 +35,10 @@ type Config struct {
 	// Logger, when non-nil, receives structured replication lifecycle
 	// events (hot-key promotion/demotion) at Debug level.
 	Logger *slog.Logger
+	// FingerRng, when non-nil, enables ReCord-style randomized finger
+	// selection on the ring (see chord.Config.FingerRng); seeded sources
+	// replay deterministically.
+	FingerRng *rand.Rand
 }
 
 // System is a SWORD deployment: one Chord ring, attribute-keyed placement.
@@ -56,7 +61,7 @@ func New(cfg Config) (*System, error) {
 	if cfg.Schema == nil {
 		return nil, fmt.Errorf("sword: config needs a schema")
 	}
-	r := chord.New(chord.Config{Bits: cfg.Bits, SuccListLen: cfg.SuccListLen, Salt: "sword"})
+	r := chord.New(chord.Config{Bits: cfg.Bits, SuccListLen: cfg.SuccListLen, Salt: "sword", FingerRng: cfg.FingerRng})
 	return &System{
 		schema: cfg.Schema,
 		ring:   r,

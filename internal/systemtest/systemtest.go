@@ -7,6 +7,7 @@ package systemtest
 
 import (
 	"fmt"
+	"math/rand"
 
 	"lorm/internal/core"
 	"lorm/internal/discovery"
@@ -50,6 +51,11 @@ type Options struct {
 	// experiment does not need it — constructing m rings dominates setup
 	// time for large m.
 	SkipMercury bool
+	// FingerRng, when non-nil, switches the Chord-based systems (SWORD,
+	// MAAN) to ReCord-style randomized finger selection, each entry drawn
+	// uniformly from its finger interval instead of taking the interval's
+	// first successor.
+	FingerRng *rand.Rand
 }
 
 // Build constructs all systems over n shared node addresses.
@@ -87,7 +93,7 @@ func Build(schema *resource.Schema, n int, opts Options) (*Deployment, error) {
 		d.Mercury = m
 	}
 
-	s, err := sword.New(sword.Config{Bits: opts.Bits, Schema: schema})
+	s, err := sword.New(sword.Config{Bits: opts.Bits, Schema: schema, FingerRng: opts.FingerRng})
 	if err != nil {
 		return nil, err
 	}
@@ -96,7 +102,7 @@ func Build(schema *resource.Schema, n int, opts Options) (*Deployment, error) {
 	}
 	d.SWORD = s
 
-	a, err := maan.New(maan.Config{Bits: opts.Bits, Schema: schema})
+	a, err := maan.New(maan.Config{Bits: opts.Bits, Schema: schema, FingerRng: opts.FingerRng})
 	if err != nil {
 		return nil, err
 	}

@@ -30,6 +30,10 @@ type Options struct {
 	// attempt k sleeps around RetryBackoff·2^(k-1) with ±50% jitter, capped
 	// at one second (default 50ms).
 	RetryBackoff time.Duration
+	// Dialer, when non-nil, replaces net.DialTimeout for every connect and
+	// reconnect — the seam fault-injection tests use to put a netfault
+	// plane between the client and the gateway.
+	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
 }
 
 func (o Options) withDefaults() Options {
@@ -118,7 +122,13 @@ func (c *Client) redialLocked() error {
 		c.conn = nil
 		mClientRedials.Inc()
 	}
-	conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	dial := c.opts.Dialer
+	if dial == nil {
+		dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	conn, err := dial(c.addr, c.opts.DialTimeout)
 	if err != nil {
 		return fmt.Errorf("transport: dial %s: %w", c.addr, err)
 	}

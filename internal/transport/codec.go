@@ -90,11 +90,20 @@ type MetricsDigest struct {
 	DirHandovers uint64 `json:"dir_handovers,omitempty"`
 	// Replication-layer activity: replica copies placed and dropped, reads
 	// served by replica holders, and hot-key promotions/demotions.
-	ReplicasPlaced   uint64          `json:"replicas_placed,omitempty"`
-	ReplicasDropped  uint64          `json:"replicas_dropped,omitempty"`
-	ReplicaReadHits  uint64          `json:"replica_read_hits,omitempty"`
+	ReplicasPlaced   uint64 `json:"replicas_placed,omitempty"`
+	ReplicasDropped  uint64 `json:"replicas_dropped,omitempty"`
+	ReplicaReadHits  uint64 `json:"replica_read_hits,omitempty"`
 	HotKeyPromotions uint64 `json:"hotkey_promotions,omitempty"`
 	HotKeyDemotions  uint64 `json:"hotkey_demotions,omitempty"`
+	// Membership and network-fault activity: failure-detector suspicions
+	// opened/cleared/confirmed, partition sets formed and healed, and
+	// messages blocked by partitions or blackholes.
+	Suspicions        uint64 `json:"suspicions,omitempty"`
+	SuspicionsCleared uint64 `json:"suspicions_cleared,omitempty"`
+	FailuresConfirmed uint64 `json:"failures_confirmed,omitempty"`
+	PartitionsStarted uint64 `json:"partitions_started,omitempty"`
+	PartitionsHealed  uint64 `json:"partitions_healed,omitempty"`
+	MessagesBlocked   uint64 `json:"messages_blocked,omitempty"`
 	// Tracing activity: operations sampled into spans, operations finished
 	// without a span, and slow-op detections, summed over systems.
 	SpansSampled uint64          `json:"spans_sampled,omitempty"`

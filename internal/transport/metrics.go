@@ -79,6 +79,18 @@ var (
 		"key-groups promoted to hot-key replication")
 	mdHotKeyDemotions = metrics.Default().Counter("replication_hotkey_demotions_total",
 		"hot-key promotions dropped by invalidation (re-announce) or demotion")
+	mdMemberSuspicions = metrics.Default().Counter("membership_suspicions_total",
+		"failure-detector suspicions opened")
+	mdMemberCleared = metrics.Default().Counter("membership_suspicions_cleared_total",
+		"failure-detector suspicions cleared by later contact")
+	mdMemberConfirms = metrics.Default().Counter("membership_confirms_total",
+		"failure-detector confirmations (suspicions promoted to failures)")
+	mdNetPartitions = metrics.Default().Counter("netfault_partitions_started_total",
+		"named network partition sets formed by fault planes")
+	mdNetHealed = metrics.Default().Counter("netfault_partitions_healed_total",
+		"named network partition sets healed by fault planes")
+	mdNetBlocked = metrics.Default().Counter("netfault_blocked_messages_total",
+		"messages blocked by an active partition or blackhole")
 )
 
 // countRequest bumps the per-verb request counter.

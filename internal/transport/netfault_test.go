@@ -1,0 +1,56 @@
+package transport
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"lorm/internal/netfault"
+)
+
+// A one-way blackhole between client and gateway must surface as failed
+// calls — the client's writes vanish in flight, every retry and redial
+// runs into its deadline — and clearing the blackhole must let the same
+// client recover over a fresh connection without outside help.
+func TestClientRecoversAfterBlackholeClears(t *testing.T) {
+	addr, accepts := fakeGateway(t, func(conn net.Conn, n int) {
+		for okPing(conn) {
+		}
+	})
+
+	plane := netfault.NewPlane(1)
+	opts := fastOpts()
+	opts.CallTimeout = 300 * time.Millisecond
+	opts.Dialer = plane.Dialer("client", nil)
+	cli, err := DialOptions(addr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.Ping(); err != nil {
+		t.Fatalf("ping over healthy link: %v", err)
+	}
+
+	// Asymmetric fault: the client→gateway direction goes dark. New dials
+	// are refused by the plane and in-flight writes are swallowed, so the
+	// call must exhaust its retries and fail.
+	plane.Blackhole("client", addr)
+	redialsBefore := mClientRedials.Value()
+	if err := cli.Ping(); err == nil {
+		t.Fatal("ping succeeded through a client→gateway blackhole")
+	}
+	if mClientRetries.Value() == 0 {
+		t.Error("no retry was counted while the blackhole was active")
+	}
+
+	plane.ClearBlackhole("client", addr)
+	if err := cli.Ping(); err != nil {
+		t.Fatalf("ping after clearing the blackhole: %v", err)
+	}
+	if mClientRedials.Value() <= redialsBefore {
+		t.Error("recovery did not redial: the poisoned connection was reused")
+	}
+	if accepts.Load() < 2 {
+		t.Fatalf("gateway saw %d connections, want at least 2 (original + post-heal redial)", accepts.Load())
+	}
+}

@@ -318,6 +318,13 @@ func (s *Server) metricsDigest() *MetricsDigest {
 		ReplicaReadHits:  mdReplicaReadHits.Value(),
 		HotKeyPromotions: mdHotKeyPromotions.Value(),
 		HotKeyDemotions:  mdHotKeyDemotions.Value(),
+
+		Suspicions:        mdMemberSuspicions.Value(),
+		SuspicionsCleared: mdMemberCleared.Value(),
+		FailuresConfirmed: mdMemberConfirms.Value(),
+		PartitionsStarted: mdNetPartitions.Value(),
+		PartitionsHealed:  mdNetHealed.Value(),
+		MessagesBlocked:   mdNetBlocked.Value(),
 	}
 	// Tracing families are labeled by system and owned by the tracer, so
 	// the digest reads their totals from the process registry snapshot
