@@ -7,6 +7,11 @@
 //   - BENCH_figures.json — headline metrics of every evaluation figure at
 //     the Quick preset plus wall-clock generation time, gathered in-process.
 //
+// A third baseline, BENCH_cluster.json, is written by cmd/lormcluster (a
+// real many-process run, not something benchdump can regenerate in-process);
+// `benchdump -check` validates it alongside the other two, including the
+// ≥2x pipelined-vs-serialized client speedup claim.
+//
 // The figure metric values are deterministic (fixed preset seed), so
 // regenerating BENCH_figures.json changes only the timing fields; the
 // microbenchmark timings vary with the machine. CI regenerates both files
@@ -93,9 +98,10 @@ func run(args []string) error {
 	}
 	dirJSON := filepath.Join(*dir, "BENCH_directory.json")
 	figJSON := filepath.Join(*dir, "BENCH_figures.json")
+	clusterJSON := filepath.Join(*dir, "BENCH_cluster.json")
 
 	if *check {
-		return checkFiles(dirJSON, figJSON)
+		return checkFiles(dirJSON, figJSON, clusterJSON)
 	}
 
 	if !*skipBench {
@@ -294,9 +300,68 @@ func runFigures() (*FiguresDump, error) {
 	return dump, nil
 }
 
-// checkFiles validates that both baselines exist, parse, and are non-empty
+// clusterBaseline mirrors the BENCH_cluster.json layout cmd/lormcluster
+// emits; only the fields the checker validates are declared, so the two
+// commands can evolve their documents independently.
+type clusterBaseline struct {
+	Params struct {
+		Nodes   int `json:"Nodes"`
+		Clients int `json:"Clients"`
+	} `json:"params"`
+	Ops map[string]struct {
+		Count    int     `json:"count"`
+		Failures int     `json:"failures"`
+		P50us    float64 `json:"p50_us"`
+		P99us    float64 `json:"p99_us"`
+		P999us   float64 `json:"p999_us"`
+	} `json:"ops"`
+	Comparison *struct {
+		Callers int     `json:"callers"`
+		Speedup float64 `json:"speedup"`
+	} `json:"pipeline_comparison"`
+}
+
+// checkCluster validates one BENCH_cluster.json document: both op classes
+// measured with zero failures and ordered latency quantiles, and the
+// pipelined client at least 2x faster than the serialized window=1 client
+// — the headline claim of the transport work, so a regression fails CI.
+func checkCluster(path string) error {
+	var cb clusterBaseline
+	if err := readJSON(path, &cb); err != nil {
+		return err
+	}
+	if cb.Params.Nodes < 1 || cb.Params.Clients < 1 {
+		return fmt.Errorf("%s: implausible params %+v", path, cb.Params)
+	}
+	for _, op := range []string{"announce", "query"} {
+		s, ok := cb.Ops[op]
+		if !ok {
+			return fmt.Errorf("%s: op %q missing", path, op)
+		}
+		if s.Count <= 0 {
+			return fmt.Errorf("%s: op %q recorded no operations", path, op)
+		}
+		if s.Failures != 0 {
+			return fmt.Errorf("%s: op %q has %d failures", path, op, s.Failures)
+		}
+		if !(s.P50us > 0 && s.P50us <= s.P99us && s.P99us <= s.P999us) {
+			return fmt.Errorf("%s: op %q quantiles not ordered: p50=%g p99=%g p999=%g",
+				path, op, s.P50us, s.P99us, s.P999us)
+		}
+	}
+	if cb.Comparison == nil {
+		return fmt.Errorf("%s: pipeline_comparison missing", path)
+	}
+	if cb.Comparison.Speedup < 2 {
+		return fmt.Errorf("%s: pipelined speedup %.2fx below the required 2x at %d callers",
+			path, cb.Comparison.Speedup, cb.Comparison.Callers)
+	}
+	return nil
+}
+
+// checkFiles validates that the baselines exist, parse, and are non-empty
 // — the CI guard against the perf tooling rotting silently.
-func checkFiles(dirJSON, figJSON string) error {
+func checkFiles(dirJSON, figJSON, clusterJSON string) error {
 	var dd DirectoryDump
 	if err := readJSON(dirJSON, &dd); err != nil {
 		return err
@@ -341,8 +406,12 @@ func checkFiles(dirJSON, figJSON string) error {
 			return fmt.Errorf("%s: figure %s missing", figJSON, want)
 		}
 	}
-	fmt.Printf("benchdump: %s (%d benchmarks) and %s (%d figures) parse\n",
-		dirJSON, len(dd.Benchmarks), figJSON, len(fd.Figures))
+	if err := checkCluster(clusterJSON); err != nil {
+		return err
+	}
+
+	fmt.Printf("benchdump: %s (%d benchmarks), %s (%d figures) and %s parse\n",
+		dirJSON, len(dd.Benchmarks), figJSON, len(fd.Figures), clusterJSON)
 	return nil
 }
 

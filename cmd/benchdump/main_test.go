@@ -61,15 +61,20 @@ func TestCheckFilesRoundTrip(t *testing.T) {
 			{Figure: "load", Metrics: map[string]float64{"sword-load-factor": 25}},
 		},
 	}
+	cb := validClusterBaseline()
 	dj := filepath.Join(dir, "BENCH_directory.json")
 	fj := filepath.Join(dir, "BENCH_figures.json")
+	cj := filepath.Join(dir, "BENCH_cluster.json")
 	if err := writeJSON(dj, dd); err != nil {
 		t.Fatal(err)
 	}
 	if err := writeJSON(fj, fd); err != nil {
 		t.Fatal(err)
 	}
-	if err := checkFiles(dj, fj); err != nil {
+	if err := writeJSON(cj, cb); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkFiles(dj, fj, cj); err != nil {
 		t.Fatalf("round-trip check failed: %v", err)
 	}
 
@@ -78,7 +83,69 @@ func TestCheckFilesRoundTrip(t *testing.T) {
 	if err := writeJSON(dj, dd); err != nil {
 		t.Fatal(err)
 	}
-	if err := checkFiles(dj, fj); err == nil {
+	if err := checkFiles(dj, fj, cj); err == nil {
 		t.Fatal("check passed with missing benchmarks")
+	}
+}
+
+// validClusterBaseline builds a clusterBaseline that passes checkCluster.
+func validClusterBaseline() *clusterBaseline {
+	cb := &clusterBaseline{Ops: map[string]struct {
+		Count    int     `json:"count"`
+		Failures int     `json:"failures"`
+		P50us    float64 `json:"p50_us"`
+		P99us    float64 `json:"p99_us"`
+		P999us   float64 `json:"p999_us"`
+	}{
+		"announce": {Count: 100, P50us: 1000, P99us: 2000, P999us: 3000},
+		"query":    {Count: 200, P50us: 1500, P99us: 2500, P999us: 3500},
+	}}
+	cb.Params.Nodes = 4
+	cb.Params.Clients = 8
+	cb.Comparison = &struct {
+		Callers int     `json:"callers"`
+		Speedup float64 `json:"speedup"`
+	}{Callers: 8, Speedup: 4.5}
+	return cb
+}
+
+func TestCheckClusterRejects(t *testing.T) {
+	dir := t.TempDir()
+	write := func(mutate func(*clusterBaseline)) string {
+		cb := validClusterBaseline()
+		mutate(cb)
+		path := filepath.Join(dir, "BENCH_cluster.json")
+		if err := writeJSON(path, cb); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	if err := checkCluster(write(func(cb *clusterBaseline) {})); err != nil {
+		t.Fatalf("valid baseline rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*clusterBaseline)
+	}{
+		{"query failures", func(cb *clusterBaseline) {
+			s := cb.Ops["query"]
+			s.Failures = 3
+			cb.Ops["query"] = s
+		}},
+		{"missing op", func(cb *clusterBaseline) { delete(cb.Ops, "announce") }},
+		{"unordered quantiles", func(cb *clusterBaseline) {
+			s := cb.Ops["announce"]
+			s.P99us = s.P50us / 2
+			cb.Ops["announce"] = s
+		}},
+		{"speedup below 2x", func(cb *clusterBaseline) { cb.Comparison.Speedup = 1.4 }},
+		{"missing comparison", func(cb *clusterBaseline) { cb.Comparison = nil }},
+		{"zero nodes", func(cb *clusterBaseline) { cb.Params.Nodes = 0 }},
+	}
+	for _, tc := range cases {
+		if err := checkCluster(write(tc.mutate)); err == nil {
+			t.Errorf("%s: checkCluster accepted the document", tc.name)
+		}
 	}
 }

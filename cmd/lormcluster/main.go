@@ -1,0 +1,618 @@
+// Command lormcluster benchmarks the transport against a real many-process
+// cluster: it spawns N `lormnode serve` gateways on loopback TCP, drives an
+// open-loop announce/query mix from M concurrent clients through the
+// pipelined client, and reports per-op latency quantiles and throughput.
+//
+// The load is open-loop: every operation has a scheduled arrival time on a
+// fixed timetable derived from -rate, and its latency is measured from that
+// scheduled arrival — not from when the client got around to sending it —
+// so queueing delay under overload is charged to the result instead of
+// silently omitted.
+//
+// Output:
+//   - cluster_latency.csv / cluster_throughput.csv under -out
+//   - a BENCH_cluster.json-style baseline document at -json
+//     (validated by `benchdump -check`)
+//   - a merged metrics snapshot (driver + every gateway) at -metrics-out
+//     (validated by `metricscheck -transport`)
+//
+// Example:
+//
+//	lormcluster -nodes 8 -clients 64 -rate 5000
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lorm/internal/experiments"
+	"lorm/internal/metrics"
+	"lorm/internal/resource"
+	"lorm/internal/transport"
+)
+
+// attrDomain mirrors the default lormnode schema; announced values and
+// query ranges are drawn from these domains.
+type attrDomain struct {
+	name     string
+	min, max float64
+}
+
+var domains = []attrDomain{
+	{"cpu", 100, 3200},
+	{"mem", 0, 8192},
+	{"disk", 1, 2000},
+}
+
+const schemaSpec = "cpu:100:3200,mem:0:8192,disk:1:2000"
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lormcluster:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lormcluster", flag.ContinueOnError)
+	def := experiments.DefaultCluster()
+	nodes := fs.Int("nodes", def.Nodes, "gateway processes to spawn")
+	peers := fs.Int("peers", def.Peers, "simulated peers inside each gateway")
+	system := fs.String("system", def.System, "discovery system: lorm, mercury, sword, maan")
+	clients := fs.Int("clients", def.Clients, "concurrent driver clients")
+	window := fs.Int("window", def.Window, "pipelined in-flight window per client")
+	rate := fs.Float64("rate", def.Rate, "open-loop arrival rate, operations/second across the driver")
+	duration := fs.Duration("duration", def.Duration, "open-loop phase length")
+	announceFrac := fs.Float64("announce-frac", def.AnnounceFrac, "fraction of operations that are announces")
+	batch := fs.Int("batch", def.BatchSize, "operations per batch frame (1 uses singular verbs)")
+	hopLatency := fs.Duration("hop-latency", def.HopLatency, "per-overlay-message delay each gateway emulates")
+	seed := fs.Int64("seed", def.Seed, "workload randomness seed")
+	nodeBin := fs.String("node-bin", "lormnode", "path to the lormnode binary")
+	outDir := fs.String("out", ".", "directory for latency/throughput CSVs")
+	jsonOut := fs.String("json", "", "write the baseline JSON document here (empty skips)")
+	metricsOut := fs.String("metrics-out", "", "write the merged driver+gateway metrics snapshot here (empty skips)")
+	compare := fs.Bool("compare", true, "run the closed-loop window=1 vs window=N pipeline comparison")
+	compareCallers := fs.Int("compare-callers", 8, "concurrent callers in the pipeline comparison")
+	compareDuration := fs.Duration("compare-duration", 3*time.Second, "length of each pipeline comparison run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	params := experiments.ClusterParams{
+		Nodes: *nodes, Peers: *peers, System: *system,
+		Clients: *clients, Window: *window, Rate: *rate,
+		Duration: *duration, AnnounceFrac: *announceFrac,
+		BatchSize: *batch, HopLatency: *hopLatency, Seed: *seed,
+	}
+	if err := params.Validate(); err != nil {
+		return err
+	}
+
+	cluster, err := spawnCluster(*nodeBin, params)
+	if err != nil {
+		return err
+	}
+	defer cluster.stop()
+	fmt.Fprintf(os.Stderr, "lormcluster: %d gateways up (%s, %d peers each, hop latency %v)\n",
+		len(cluster.addrs), params.System, params.Peers, params.HopLatency)
+
+	rec, wall, err := driveOpenLoop(cluster.addrs, params)
+	if err != nil {
+		return err
+	}
+
+	var cmp *comparison
+	if *compare {
+		cmp, err = runComparison(cluster.addrs[0], *compareCallers, params.Window, *compareDuration, params.Seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "lormcluster: pipeline comparison window=1 %.0f ops/s, window=%d %.0f ops/s (%.1fx)\n",
+			1/cmp.secPerOpLow(), cmp.WindowHigh, 1/cmp.secPerOpHigh(), cmp.Speedup)
+	}
+
+	summaries := rec.summarize(wall)
+	if err := writeCSVs(*outDir, summaries); err != nil {
+		return err
+	}
+	if *jsonOut != "" {
+		if err := writeBaseline(*jsonOut, params, summaries, cmp); err != nil {
+			return err
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeMergedMetrics(*metricsOut, cluster.metricsAddrs); err != nil {
+			return err
+		}
+	}
+
+	for _, s := range summaries {
+		fmt.Printf("%-9s ops=%-7d fail=%-4d p50=%.0fµs p99=%.0fµs p999=%.0fµs throughput=%.0f ops/s\n",
+			s.Op, s.Count, s.Failures, s.P50us, s.P99us, s.P999us, s.OpsPerSec)
+	}
+	var failures int
+	for _, s := range summaries {
+		failures += s.Failures
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d operations failed", failures)
+	}
+	return nil
+}
+
+// ---- cluster process management ----
+
+type cluster struct {
+	procs        []*exec.Cmd
+	addrs        []string
+	metricsAddrs []string
+	dir          string
+}
+
+// spawnCluster launches params.Nodes lormnode gateways on port 0 and waits
+// for each to publish its bound addresses through addr files.
+func spawnCluster(nodeBin string, params experiments.ClusterParams) (*cluster, error) {
+	dir, err := os.MkdirTemp("", "lormcluster-")
+	if err != nil {
+		return nil, err
+	}
+	c := &cluster{dir: dir}
+	for i := 0; i < params.Nodes; i++ {
+		addrFile := filepath.Join(dir, fmt.Sprintf("node%d.addr", i))
+		maddrFile := filepath.Join(dir, fmt.Sprintf("node%d.maddr", i))
+		cmd := exec.Command(nodeBin, "serve",
+			"-listen", "127.0.0.1:0",
+			"-system", params.System,
+			"-nodes", strconv.Itoa(params.Peers),
+			"-attrs", schemaSpec,
+			"-metrics-listen", "127.0.0.1:0",
+			"-addr-file", addrFile,
+			"-metrics-addr-file", maddrFile,
+			"-hop-latency", params.HopLatency.String(),
+			"-log-level", "warn",
+		)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			c.stop()
+			return nil, fmt.Errorf("spawn gateway %d: %w", i, err)
+		}
+		c.procs = append(c.procs, cmd)
+	}
+	for i := 0; i < params.Nodes; i++ {
+		addr, err := waitForAddrFile(filepath.Join(dir, fmt.Sprintf("node%d.addr", i)), 30*time.Second)
+		if err != nil {
+			c.stop()
+			return nil, fmt.Errorf("gateway %d did not come up: %w", i, err)
+		}
+		maddr, err := waitForAddrFile(filepath.Join(dir, fmt.Sprintf("node%d.maddr", i)), 30*time.Second)
+		if err != nil {
+			c.stop()
+			return nil, fmt.Errorf("gateway %d metrics endpoint did not come up: %w", i, err)
+		}
+		c.addrs = append(c.addrs, addr)
+		c.metricsAddrs = append(c.metricsAddrs, maddr)
+	}
+	return c, nil
+}
+
+func (c *cluster) stop() {
+	for _, cmd := range c.procs {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+		}
+	}
+	for _, cmd := range c.procs {
+		cmd.Wait()
+	}
+	if c.dir != "" {
+		os.RemoveAll(c.dir)
+	}
+}
+
+// waitForAddrFile polls for the atomically-renamed addr file lormnode
+// writes once its listener is bound.
+func waitForAddrFile(path string, timeout time.Duration) (string, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		b, err := os.ReadFile(path)
+		if addr := strings.TrimSpace(string(b)); err == nil && addr != "" {
+			return addr, nil
+		}
+		if time.Now().After(deadline) {
+			if err == nil {
+				err = fmt.Errorf("addr file %s empty", path)
+			}
+			return "", err
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// ---- workload generation ----
+
+// frame is one scheduled batch of homogeneous operations.
+type frame struct {
+	announce bool
+	infos    []resource.Info
+	queries  []transport.BatchQuery
+}
+
+// genFrame draws one announce or query frame from the client's seeded
+// randomness. Queries span two attributes with ranges covering about a
+// quarter of each domain, the multi-attribute shape the paper measures.
+func genFrame(r *rand.Rand, announceFrac float64, size, clientIdx, seq int) frame {
+	if r.Float64() < announceFrac {
+		f := frame{announce: true}
+		for i := 0; i < size; i++ {
+			d := domains[r.Intn(len(domains))]
+			f.infos = append(f.infos, resource.Info{
+				Attr:  d.name,
+				Value: d.min + r.Float64()*(d.max-d.min),
+				Owner: fmt.Sprintf("site-%d-%d-%d", clientIdx, seq, i),
+			})
+		}
+		return f
+	}
+	f := frame{}
+	requester := fmt.Sprintf("req-%d", clientIdx)
+	for i := 0; i < size; i++ {
+		f.queries = append(f.queries, transport.BatchQuery{
+			Subs:      []resource.SubQuery{rangeQuery(r, domains[0]), rangeQuery(r, domains[1])},
+			Requester: requester,
+		})
+	}
+	return f
+}
+
+// rangeQuery draws a range covering ~25% of d's domain, clamped to it.
+func rangeQuery(r *rand.Rand, d attrDomain) resource.SubQuery {
+	width := 0.25 * (d.max - d.min)
+	lo := d.min + r.Float64()*(d.max-d.min-width)
+	return resource.SubQuery{Attr: d.name, Low: lo, High: lo + width}
+}
+
+// ---- open-loop driver ----
+
+var latencyVec = metrics.Default().HistogramVec("cluster_op_latency_us",
+	"open-loop operation latency from scheduled arrival to completion, microseconds", "op")
+
+// recorder accumulates per-op latency samples and failure counts.
+type recorder struct {
+	mu   sync.Mutex
+	lat  map[string][]float64 // microseconds
+	fail map[string]int
+}
+
+func newRecorder() *recorder {
+	return &recorder{lat: make(map[string][]float64), fail: make(map[string]int)}
+}
+
+// record charges one frame's outcome: every op in the frame completed (or
+// failed) when its frame did, so the frame latency is recorded once per op.
+func (rec *recorder) record(op string, n, failed int, latency time.Duration) {
+	us := float64(latency.Microseconds())
+	h := latencyVec.With(op)
+	rec.mu.Lock()
+	for i := 0; i < n; i++ {
+		rec.lat[op] = append(rec.lat[op], us)
+		h.Observe(us)
+	}
+	rec.fail[op] += failed
+	rec.mu.Unlock()
+}
+
+// opSummary is the per-op result row.
+type opSummary struct {
+	Op        string  `json:"op"`
+	Count     int     `json:"count"`
+	Failures  int     `json:"failures"`
+	P50us     float64 `json:"p50_us"`
+	P99us     float64 `json:"p99_us"`
+	P999us    float64 `json:"p999_us"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+func (rec *recorder) summarize(wall time.Duration) []opSummary {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	var out []opSummary
+	for _, op := range []string{"announce", "query"} {
+		lat := rec.lat[op]
+		out = append(out, opSummary{
+			Op:        op,
+			Count:     len(lat),
+			Failures:  rec.fail[op],
+			P50us:     quantile(lat, 0.50),
+			P99us:     quantile(lat, 0.99),
+			P999us:    quantile(lat, 0.999),
+			OpsPerSec: float64(len(lat)) / wall.Seconds(),
+		})
+	}
+	return out
+}
+
+// quantile returns the nearest-rank q-quantile of samples (unsorted ok).
+func quantile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	idx := int(q*float64(len(s))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// driveOpenLoop runs the announce/query mix: each client dials one gateway
+// with a pipelined connection and issues frames on its fixed timetable.
+func driveOpenLoop(addrs []string, params experiments.ClusterParams) (*recorder, time.Duration, error) {
+	conns := make([]*transport.Client, params.Clients)
+	for i := range conns {
+		cli, err := transport.DialOptions(addrs[i%len(addrs)], transport.Options{
+			Window:      params.Window,
+			CallTimeout: 30 * time.Second,
+		})
+		if err != nil {
+			for _, c := range conns[:i] {
+				c.Close()
+			}
+			return nil, 0, fmt.Errorf("dial gateway: %w", err)
+		}
+		conns[i] = cli
+	}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+
+	rec := newRecorder()
+	// Per-client frame interval: rate is ops/s across the driver, each
+	// frame carries BatchSize ops, and Clients clients share the load.
+	frameInterval := time.Duration(float64(params.BatchSize) / (params.Rate / float64(params.Clients)) * float64(time.Second))
+	start := time.Now()
+	end := start.Add(params.Duration)
+
+	var wg sync.WaitGroup       // issuing clients
+	var inflight sync.WaitGroup // dispatched frames
+	for ci := 0; ci < params.Clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(params.Seed + int64(ci)))
+			cli := conns[ci]
+			// Stagger clients across one interval so arrivals spread
+			// instead of pulsing in lockstep.
+			offset := frameInterval * time.Duration(ci) / time.Duration(params.Clients)
+			for n := 0; ; n++ {
+				due := start.Add(offset + time.Duration(n)*frameInterval)
+				if due.After(end) {
+					return
+				}
+				if d := time.Until(due); d > 0 {
+					time.Sleep(d)
+				}
+				f := genFrame(r, params.AnnounceFrac, params.BatchSize, ci, n)
+				inflight.Add(1)
+				go func(due time.Time, f frame) {
+					defer inflight.Done()
+					issueFrame(cli, f, due, rec)
+				}(due, f)
+			}
+		}(ci)
+	}
+	wg.Wait()
+	inflight.Wait()
+	wall := time.Since(start)
+	return rec, wall, nil
+}
+
+// issueFrame sends one frame and records its outcome; latency runs from the
+// scheduled arrival `due`, charging queueing delay to the measurement.
+func issueFrame(cli *transport.Client, f frame, due time.Time, rec *recorder) {
+	op, n := "query", len(f.queries)
+	if f.announce {
+		op, n = "announce", len(f.infos)
+	}
+	var results []transport.BatchResult
+	var err error
+	switch {
+	case f.announce && n == 1:
+		_, err = cli.Register(f.infos[0])
+	case f.announce:
+		results, err = cli.RegisterBatch(f.infos)
+	case n == 1:
+		_, _, _, err = cli.Discover(f.queries[0].Subs, f.queries[0].Requester)
+	default:
+		results, err = cli.DiscoverBatch(f.queries)
+	}
+	failed := 0
+	if err != nil {
+		failed = n
+	} else {
+		for _, r := range results {
+			if !r.OK {
+				failed++
+			}
+		}
+	}
+	rec.record(op, n, failed, time.Since(due))
+}
+
+// ---- closed-loop pipeline comparison ----
+
+// comparison is the window=1 vs window=N closed-loop result: the same
+// caller count and workload against the same gateway, so the ratio
+// isolates what request pipelining buys.
+type comparison struct {
+	Callers       int     `json:"callers"`
+	WindowLow     int     `json:"window_low"`
+	WindowHigh    int     `json:"window_high"`
+	OpsPerSecLow  float64 `json:"ops_per_sec_low"`
+	OpsPerSecHigh float64 `json:"ops_per_sec_high"`
+	Speedup       float64 `json:"speedup"`
+}
+
+func (c *comparison) secPerOpLow() float64  { return 1 / c.OpsPerSecLow }
+func (c *comparison) secPerOpHigh() float64 { return 1 / c.OpsPerSecHigh }
+
+func runComparison(addr string, callers, window int, dur time.Duration, seed int64) (*comparison, error) {
+	low, err := measureClosedLoop(addr, callers, 1, dur, seed)
+	if err != nil {
+		return nil, err
+	}
+	high, err := measureClosedLoop(addr, callers, window, dur, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &comparison{
+		Callers:       callers,
+		WindowLow:     1,
+		WindowHigh:    window,
+		OpsPerSecLow:  low,
+		OpsPerSecHigh: high,
+		Speedup:       high / low,
+	}, nil
+}
+
+// measureClosedLoop runs `callers` goroutines issuing back-to-back
+// discovers over one shared connection for dur and returns ops/second.
+func measureClosedLoop(addr string, callers, window int, dur time.Duration, seed int64) (float64, error) {
+	cli, err := transport.DialOptions(addr, transport.Options{Window: window, CallTimeout: 30 * time.Second})
+	if err != nil {
+		return 0, err
+	}
+	defer cli.Close()
+	var ops atomic.Int64
+	start := time.Now()
+	deadline := start.Add(dur)
+	var wg sync.WaitGroup
+	errc := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed + int64(i)))
+			requester := fmt.Sprintf("cmp-%d", i)
+			for time.Now().Before(deadline) {
+				subs := []resource.SubQuery{rangeQuery(r, domains[0]), rangeQuery(r, domains[1])}
+				if _, _, _, err := cli.Discover(subs, requester); err != nil {
+					errc <- err
+					return
+				}
+				ops.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return 0, fmt.Errorf("comparison discover: %w", err)
+	default:
+	}
+	return float64(ops.Load()) / time.Since(start).Seconds(), nil
+}
+
+// ---- outputs ----
+
+func writeCSVs(dir string, summaries []opSummary) error {
+	lat := [][]string{{"op", "count", "failures", "p50_us", "p99_us", "p999_us"}}
+	thr := [][]string{{"op", "ops", "ops_per_sec"}}
+	for _, s := range summaries {
+		lat = append(lat, []string{s.Op, strconv.Itoa(s.Count), strconv.Itoa(s.Failures),
+			fmt.Sprintf("%.1f", s.P50us), fmt.Sprintf("%.1f", s.P99us), fmt.Sprintf("%.1f", s.P999us)})
+		thr = append(thr, []string{s.Op, strconv.Itoa(s.Count), fmt.Sprintf("%.1f", s.OpsPerSec)})
+	}
+	if err := writeCSV(filepath.Join(dir, "cluster_latency.csv"), lat); err != nil {
+		return err
+	}
+	return writeCSV(filepath.Join(dir, "cluster_throughput.csv"), thr)
+}
+
+func writeCSV(path string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(rows); err != nil {
+		f.Close()
+		return err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// baseline is the BENCH_cluster.json document layout, the third committed
+// benchmark baseline next to BENCH.json and BENCH_figures.json.
+type baseline struct {
+	GeneratedUnix int64                     `json:"generated_unix"`
+	Params        experiments.ClusterParams `json:"params"`
+	Ops           map[string]opSummary      `json:"ops"`
+	Comparison    *comparison               `json:"pipeline_comparison,omitempty"`
+}
+
+func writeBaseline(path string, params experiments.ClusterParams, summaries []opSummary, cmp *comparison) error {
+	doc := baseline{
+		GeneratedUnix: time.Now().Unix(),
+		Params:        params,
+		Ops:           make(map[string]opSummary, len(summaries)),
+		Comparison:    cmp,
+	}
+	for _, s := range summaries {
+		doc.Ops[s.Op] = s
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// writeMergedMetrics merges the driver's own registry snapshot with every
+// gateway's /metrics?format=json document into one cluster-wide snapshot,
+// the input `metricscheck -transport` validates.
+func writeMergedMetrics(path string, metricsAddrs []string) error {
+	merged := metrics.Default().Snapshot()
+	client := &http.Client{Timeout: 10 * time.Second}
+	for _, addr := range metricsAddrs {
+		resp, err := client.Get("http://" + addr + "/metrics?format=json")
+		if err != nil {
+			return fmt.Errorf("scrape %s: %w", addr, err)
+		}
+		var snap metrics.Snapshot
+		err = json.NewDecoder(resp.Body).Decode(&snap)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("scrape %s: %w", addr, err)
+		}
+		merged = merged.Merge(snap)
+	}
+	b, err := json.MarshalIndent(merged, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

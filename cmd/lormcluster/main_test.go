@@ -1,0 +1,124 @@
+package main
+
+import (
+	"encoding/csv"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestQuantileNearestRank(t *testing.T) {
+	samples := make([]float64, 100)
+	for i := range samples {
+		samples[i] = float64(i + 1) // 1..100
+	}
+	// Shuffle to prove quantile sorts a copy.
+	r := rand.New(rand.NewSource(7))
+	r.Shuffle(len(samples), func(i, j int) { samples[i], samples[j] = samples[j], samples[i] })
+
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.50, 50},
+		{0.99, 99},
+		{0.999, 100},
+	}
+	for _, tc := range cases {
+		if got := quantile(samples, tc.q); got != tc.want {
+			t.Errorf("quantile(1..100, %g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+	if got := quantile(nil, 0.5); got != 0 {
+		t.Errorf("quantile(nil) = %g, want 0", got)
+	}
+	if got := quantile([]float64{42}, 0.999); got != 42 {
+		t.Errorf("quantile([42], 0.999) = %g, want 42", got)
+	}
+}
+
+func TestRangeQueryStaysInDomain(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, d := range domains {
+		for i := 0; i < 1000; i++ {
+			q := rangeQuery(r, d)
+			if q.Low < d.min || q.High > d.max || q.Low > q.High {
+				t.Fatalf("%s: query [%g,%g] outside domain [%g,%g]", d.name, q.Low, q.High, d.min, d.max)
+			}
+			if !q.IsRange() {
+				t.Fatalf("%s: query [%g,%g] degenerated to a point", d.name, q.Low, q.High)
+			}
+		}
+	}
+}
+
+func TestGenFrameMixAndShape(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	announces := 0
+	const frames, size = 2000, 8
+	for i := 0; i < frames; i++ {
+		f := genFrame(r, 0.3, size, 5, i)
+		if f.announce {
+			announces++
+			if len(f.infos) != size || len(f.queries) != 0 {
+				t.Fatalf("announce frame carries %d infos, %d queries", len(f.infos), len(f.queries))
+			}
+			for _, in := range f.infos {
+				if in.Owner == "" || in.Attr == "" {
+					t.Fatalf("announce item missing owner or attr: %+v", in)
+				}
+			}
+		} else {
+			if len(f.queries) != size || len(f.infos) != 0 {
+				t.Fatalf("query frame carries %d queries, %d infos", len(f.queries), len(f.infos))
+			}
+			for _, q := range f.queries {
+				if len(q.Subs) != 2 || q.Requester == "" {
+					t.Fatalf("query item malformed: %+v", q)
+				}
+			}
+		}
+	}
+	frac := float64(announces) / frames
+	if frac < 0.25 || frac > 0.35 {
+		t.Errorf("announce fraction %.3f far from configured 0.3", frac)
+	}
+}
+
+func TestGenFrameDeterministicPerSeed(t *testing.T) {
+	a := rand.New(rand.NewSource(9))
+	b := rand.New(rand.NewSource(9))
+	for i := 0; i < 50; i++ {
+		fa := genFrame(a, 0.5, 4, 1, i)
+		fb := genFrame(b, 0.5, 4, 1, i)
+		if fa.announce != fb.announce || len(fa.infos) != len(fb.infos) || len(fa.queries) != len(fb.queries) {
+			t.Fatalf("frame %d diverged under identical seeds", i)
+		}
+	}
+}
+
+func TestWriteCSVs(t *testing.T) {
+	dir := t.TempDir()
+	summaries := []opSummary{
+		{Op: "announce", Count: 30, Failures: 0, P50us: 100, P99us: 500, P999us: 900, OpsPerSec: 3},
+		{Op: "query", Count: 70, Failures: 1, P50us: 200, P99us: 700, P999us: 1100, OpsPerSec: 7},
+	}
+	if err := writeCSVs(dir, summaries); err != nil {
+		t.Fatal(err)
+	}
+	for name, wantRows := range map[string]int{"cluster_latency.csv": 3, "cluster_throughput.csv": 3} {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := csv.NewReader(f).ReadAll()
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != wantRows {
+			t.Errorf("%s: %d rows, want %d", name, len(rows), wantRows)
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 
 	"lorm/internal/core"
 	"lorm/internal/discovery"
+	"lorm/internal/emulate"
 	"lorm/internal/maan"
 	"lorm/internal/mercury"
 	"lorm/internal/metrics"
@@ -190,6 +191,9 @@ func cmdServe(args []string) error {
 	nodes := fs.Int("nodes", 256, "number of simulated peers in the deployment")
 	attrs := fs.String("attrs", "cpu:100:3200,mem:0:8192,disk:1:2000", "attribute schema")
 	mlisten := fs.String("metrics-listen", "", "serve /metrics, /healthz, /trace and /debug/pprof on this HTTP address")
+	addrFile := fs.String("addr-file", "", "write the bound gateway address to this file once listening (for port-0 spawners like lormcluster)")
+	maddrFile := fs.String("metrics-addr-file", "", "write the bound observability HTTP address to this file once listening")
+	hopLatency := fs.Duration("hop-latency", 0, "emulate this much wide-area delay per overlay message (0 disables)")
 	logJSON := fs.Bool("log-json", false, "emit logs as structured JSON instead of text")
 	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	sample := fs.Float64("trace-sample", 0, "head-sampling probability for distributed tracing (0 disables, 1 samples everything)")
@@ -221,14 +225,27 @@ func cmdServe(args []string) error {
 		SlowLog:       os.Stderr,
 	})
 	if inst, ok := sys.(routing.Instrumented); ok {
-		inst.RoutingFabric().Observe(tracer)
+		if f := inst.RoutingFabric(); f != nil {
+			f.Observe(tracer)
+		}
 	}
-	srv, err := transport.NewServer(sys, *listen, logger)
+	// Wide-area emulation wraps the system after tracer attachment so spans
+	// keep observing the raw fabric; the served verbs pay the per-message
+	// delay a real grid deployment would.
+	served := emulate.WithHopLatency(sys, *hopLatency)
+	srv, err := transport.NewServer(served, *listen, logger)
 	if err != nil {
 		return err
 	}
 	logger.Info("serving", "system", sys.Name(), "peers", sys.NodeCount(),
-		"attributes", schema.Len(), "addr", srv.Addr(), "trace_sample", *sample)
+		"attributes", schema.Len(), "addr", srv.Addr(), "trace_sample", *sample,
+		"hop_latency", *hopLatency)
+	if *addrFile != "" {
+		if err := writeAddrFile(*addrFile, srv.Addr()); err != nil {
+			srv.Close()
+			return err
+		}
+	}
 	if *mlisten != "" {
 		msrv, maddr, err := startMetricsServer(*mlisten, tracer)
 		if err != nil {
@@ -237,12 +254,29 @@ func cmdServe(args []string) error {
 		}
 		defer msrv.Close()
 		logger.Info("observability endpoint up", "metrics", "http://"+maddr+"/metrics", "trace", "http://"+maddr+"/trace")
+		if *maddrFile != "" {
+			if err := writeAddrFile(*maddrFile, maddr); err != nil {
+				srv.Close()
+				return err
+			}
+		}
 	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	logger.Info("shutting down")
 	return srv.Close()
+}
+
+// writeAddrFile publishes a bound address for a spawning process: written
+// to a temp file first and renamed into place so a watcher never reads a
+// partial address.
+func writeAddrFile(path, addr string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(addr+"\n"), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // buildLogger assembles the serve logger: leveled, structured, text or JSON

@@ -18,7 +18,15 @@
 // exactly one slow-op dump. CI runs it after short simulations to catch
 // regressions in the observability pipeline.
 //
-// Usage: metricscheck [-crash] [-load] [-membership] [-replication] [-trace] <snapshot.json>
+// -transport is a standalone mode for snapshots produced by cmd/lormcluster
+// (one merged document covering the driver process and every gateway): it
+// skips the four-system simulation checks and instead validates the
+// pipelined-transport ledger — pipelined calls happened, nothing is left
+// in flight, the observed in-flight peak respects the configured window,
+// and every operation accepted inside a batch frame was dispatched exactly
+// once.
+//
+// Usage: metricscheck [-crash] [-load] [-membership] [-replication] [-trace] [-transport] <snapshot.json>
 package main
 
 import (
@@ -44,11 +52,12 @@ func run(args []string) error {
 	member := fs.Bool("membership", false, "require the gossip-membership and netfault counters (snapshot from lormsim -partition)")
 	replication := fs.Bool("replication", false, "require the replication counters (snapshot from lormsim -hotkey-out)")
 	trace := fs.Bool("trace", false, "require the tracing counters and cross-check them against the fabric op totals (snapshot from lormsim -trace-spans -metrics-out)")
+	transport := fs.Bool("transport", false, "validate only the pipelined-transport ledger (snapshot from lormcluster -metrics-out)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: metricscheck [-crash] [-load] [-membership] [-replication] [-trace] <snapshot.json>")
+		return fmt.Errorf("usage: metricscheck [-crash] [-load] [-membership] [-replication] [-trace] [-transport] <snapshot.json>")
 	}
 	data, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
@@ -60,6 +69,11 @@ func run(args []string) error {
 	}
 	if len(snap.Families) == 0 {
 		return fmt.Errorf("snapshot has no metric families")
+	}
+	if *transport {
+		// Cluster snapshots cover one serving system driven over TCP, not
+		// the four-system simulation, so the base checks don't apply.
+		return checkTransport(&snap)
 	}
 	ops, ok := snap.Family("lorm_ops_total")
 	if !ok {
@@ -106,6 +120,82 @@ func run(args []string) error {
 	if *trace {
 		return checkTrace(&snap)
 	}
+	return nil
+}
+
+// checkTransport validates the pipelined-transport ledger of a merged
+// cluster snapshot: pipelined calls were actually dispatched, every
+// in-flight slot was released (the gauge settles to zero once the run
+// drains), the observed in-flight peak never exceeded the configured
+// window, and per batch verb the operations accepted inside batch frames
+// equal the items individually dispatched — no item silently skipped or
+// double-run.
+func checkTransport(snap *metrics.Snapshot) error {
+	value := func(name string) (float64, error) {
+		f, ok := snap.Family(name)
+		if !ok {
+			return 0, fmt.Errorf("transport family %s missing", name)
+		}
+		return f.Total(), nil
+	}
+	calls, err := value("transport_pipeline_calls_total")
+	if err != nil {
+		return err
+	}
+	if calls <= 0 {
+		return fmt.Errorf("transport_pipeline_calls_total is zero: no pipelined calls ran")
+	}
+	inflight, err := value("transport_pipeline_inflight")
+	if err != nil {
+		return err
+	}
+	if inflight != 0 {
+		return fmt.Errorf("transport_pipeline_inflight is %.0f after the run: a window slot leaked", inflight)
+	}
+	peak, err := value("transport_pipeline_inflight_peak")
+	if err != nil {
+		return err
+	}
+	slots, err := value("transport_pipeline_window_slots")
+	if err != nil {
+		return err
+	}
+	if peak > slots {
+		return fmt.Errorf("in-flight peak (%.0f) exceeds configured window slots (%.0f)", peak, slots)
+	}
+	perVerb := func(name string) (map[string]float64, error) {
+		f, ok := snap.Family(name)
+		if !ok {
+			return nil, fmt.Errorf("transport family %s missing", name)
+		}
+		by := map[string]float64{}
+		for _, m := range f.Metrics {
+			by[m.Labels["verb"]] += m.Value
+		}
+		return by, nil
+	}
+	ops, err := perVerb("transport_batch_ops_total")
+	if err != nil {
+		return err
+	}
+	dispatched, err := perVerb("transport_batch_dispatched_total")
+	if err != nil {
+		return err
+	}
+	var totalBatched float64
+	for _, verb := range []string{"registerbatch", "discoverbatch"} {
+		if ops[verb] != dispatched[verb] {
+			return fmt.Errorf("verb %s: batched ops (%.0f) != dispatched items (%.0f)",
+				verb, ops[verb], dispatched[verb])
+		}
+		totalBatched += ops[verb]
+	}
+	if totalBatched <= 0 {
+		return fmt.Errorf("batch counters are zero: no batch verbs ran")
+	}
+	breaks, _ := value("transport_pipeline_breaks_total")
+	fmt.Printf("metricscheck: transport counters ok (%.0f pipelined calls, peak %.0f ≤ window %.0f, %.0f batched ops == dispatched, %.0f pipe breaks)\n",
+		calls, peak, slots, totalBatched, breaks)
 	return nil
 }
 

@@ -1,0 +1,99 @@
+package emulate
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"lorm/internal/core"
+	"lorm/internal/discovery"
+	"lorm/internal/resource"
+	"lorm/internal/routing"
+)
+
+func testSystem(t *testing.T) *core.System {
+	t.Helper()
+	schema := resource.MustSchema(
+		resource.Attribute{Name: "cpu", Min: 100, Max: 3200},
+	)
+	sys, err := core.New(core.Config{D: 4, Schema: schema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make([]string, 16)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("node-%02d", i)
+	}
+	if err := sys.AddNodes(addrs); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestZeroLatencyReturnsUnwrapped(t *testing.T) {
+	sys := testSystem(t)
+	if got := WithHopLatency(sys, 0); got != discovery.System(sys) {
+		t.Fatalf("WithHopLatency(sys, 0) = %T, want the original system", got)
+	}
+}
+
+func TestHopLatencyChargesMessages(t *testing.T) {
+	sys := testSystem(t)
+	wrapped := WithHopLatency(sys, time.Millisecond)
+
+	start := time.Now()
+	cost, err := wrapped.Register(resource.Info{Attr: "cpu", Value: 1000, Owner: "owner-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if cost.Messages <= 0 {
+		t.Fatalf("register cost has no messages: %v", cost)
+	}
+	if want := time.Duration(cost.Messages) * time.Millisecond; elapsed < want {
+		t.Fatalf("register took %v, want at least %v (%d messages × 1ms)", elapsed, want, cost.Messages)
+	}
+
+	start = time.Now()
+	res, err := wrapped.Discover(resource.Query{
+		Subs:      []resource.SubQuery{{Attr: "cpu", Low: 100, High: 3200}},
+		Requester: "req-a",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed = time.Since(start)
+	if want := time.Duration(res.Cost.Messages) * time.Millisecond; elapsed < want {
+		t.Fatalf("discover took %v, want at least %v (%d messages × 1ms)", elapsed, want, res.Cost.Messages)
+	}
+}
+
+func TestHopLatencyPreservesFaces(t *testing.T) {
+	sys := testSystem(t)
+	wrapped := WithHopLatency(sys, time.Microsecond)
+
+	inst, ok := wrapped.(routing.Instrumented)
+	if !ok {
+		t.Fatal("wrapper lost the Instrumented face")
+	}
+	if inst.RoutingFabric() != sys.RoutingFabric() {
+		t.Fatal("wrapper does not expose the underlying fabric")
+	}
+	if _, ok := wrapped.(discovery.Traced); !ok {
+		t.Fatal("wrapper lost the Traced face")
+	}
+	dyn, ok := wrapped.(discovery.Dynamic)
+	if !ok {
+		t.Fatal("wrapper lost the Dynamic face")
+	}
+	before := wrapped.NodeCount()
+	if err := dyn.AddNode("node-new"); err != nil {
+		t.Fatal(err)
+	}
+	if got := wrapped.NodeCount(); got != before+1 {
+		t.Fatalf("node count after join = %d, want %d", got, before+1)
+	}
+	if len(dyn.NodeAddrs()) != before+1 {
+		t.Fatalf("NodeAddrs length = %d, want %d", len(dyn.NodeAddrs()), before+1)
+	}
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+)
+
+// ClusterParams bundles the knobs of the many-process cluster benchmark
+// (cmd/lormcluster): N gateway processes over loopback TCP, M concurrent
+// driver clients issuing an open-loop announce/query mix through the
+// pipelined transport. Unlike Params — which drives in-process simulations
+// — these govern real sockets, real processes and wall-clock time.
+type ClusterParams struct {
+	// Nodes is how many lormnode gateway processes to spawn.
+	Nodes int
+	// Peers is the simulated peer count inside each gateway's deployment.
+	Peers int
+	// System is the discovery system each gateway serves.
+	System string
+	// Clients is how many concurrent driver clients share the load; each
+	// holds one pipelined connection per gateway.
+	Clients int
+	// Window is the pipelined client's in-flight window.
+	Window int
+	// Rate is the open-loop arrival rate in operations per second across
+	// the whole driver; operations are scheduled on a fixed timetable
+	// regardless of completions, so measured latency includes queueing
+	// (no coordinated omission).
+	Rate float64
+	// Duration is how long the open-loop phase runs.
+	Duration time.Duration
+	// AnnounceFrac is the fraction of operations that are announces
+	// (registers); the rest are range queries.
+	AnnounceFrac float64
+	// BatchSize is the number of operations carried per batch frame; 1
+	// issues singular verbs.
+	BatchSize int
+	// HopLatency is the per-overlay-message wide-area delay each gateway
+	// emulates (lormnode -hop-latency); 0 leaves gateways at CPU speed.
+	HopLatency time.Duration
+	// Seed fixes the workload's value/query randomness.
+	Seed int64
+}
+
+// DefaultCluster is the committed-baseline configuration: 8 gateways, 64
+// clients, 2000 ops/s for 10 seconds, a 30% announce mix, and 200µs of
+// emulated per-message wide-area delay so transport pipelining is measured
+// against realistic service times. The rate is chosen to keep the offered
+// load below a small host's saturation point, so the recorded quantiles
+// reflect service latency rather than unbounded open-loop queueing.
+func DefaultCluster() ClusterParams {
+	return ClusterParams{
+		Nodes:        8,
+		Peers:        64,
+		System:       "lorm",
+		Clients:      64,
+		Window:       64,
+		Rate:         2000,
+		Duration:     10 * time.Second,
+		AnnounceFrac: 0.3,
+		BatchSize:    8,
+		HopLatency:   200 * time.Microsecond,
+		Seed:         1,
+	}
+}
+
+// Validate rejects configurations the harness cannot run.
+func (p ClusterParams) Validate() error {
+	switch {
+	case p.Nodes < 1:
+		return fmt.Errorf("cluster: need at least 1 node, got %d", p.Nodes)
+	case p.Peers < 2:
+		return fmt.Errorf("cluster: need at least 2 simulated peers per gateway, got %d", p.Peers)
+	case p.Clients < 1:
+		return fmt.Errorf("cluster: need at least 1 client, got %d", p.Clients)
+	case p.Window < 1:
+		return fmt.Errorf("cluster: window must be at least 1, got %d", p.Window)
+	case p.Rate <= 0:
+		return fmt.Errorf("cluster: rate must be positive, got %g", p.Rate)
+	case p.Duration <= 0:
+		return fmt.Errorf("cluster: duration must be positive, got %v", p.Duration)
+	case p.AnnounceFrac < 0 || p.AnnounceFrac > 1:
+		return fmt.Errorf("cluster: announce fraction %g outside [0,1]", p.AnnounceFrac)
+	case p.BatchSize < 1:
+		return fmt.Errorf("cluster: batch size must be at least 1, got %d", p.BatchSize)
+	case p.HopLatency < 0:
+		return fmt.Errorf("cluster: hop latency must be non-negative, got %v", p.HopLatency)
+	}
+	switch p.System {
+	case "lorm", "mercury", "sword", "maan":
+	default:
+		return fmt.Errorf("cluster: unknown system %q", p.System)
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+package experiments
+
+import "testing"
+
+func TestDefaultClusterValidates(t *testing.T) {
+	if err := DefaultCluster().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*ClusterParams)
+	}{
+		{"zero nodes", func(p *ClusterParams) { p.Nodes = 0 }},
+		{"one peer", func(p *ClusterParams) { p.Peers = 1 }},
+		{"zero clients", func(p *ClusterParams) { p.Clients = 0 }},
+		{"zero window", func(p *ClusterParams) { p.Window = 0 }},
+		{"zero rate", func(p *ClusterParams) { p.Rate = 0 }},
+		{"zero duration", func(p *ClusterParams) { p.Duration = 0 }},
+		{"announce frac above 1", func(p *ClusterParams) { p.AnnounceFrac = 1.5 }},
+		{"zero batch", func(p *ClusterParams) { p.BatchSize = 0 }},
+		{"negative hop latency", func(p *ClusterParams) { p.HopLatency = -1 }},
+		{"unknown system", func(p *ClusterParams) { p.System = "pastry" }},
+	}
+	for _, tc := range cases {
+		p := DefaultCluster()
+		tc.mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, p)
+		}
+	}
+}

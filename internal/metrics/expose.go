@@ -71,6 +71,99 @@ func (f FamilySnapshot) Total() float64 {
 	return t
 }
 
+// Merge combines another snapshot into a copy of this one, the tool for
+// assembling a cluster-wide view from per-process /metrics documents
+// (cmd/lormcluster). Families are matched by name and series by labels:
+// counter and gauge values add, histogram counts, sums and per-bucket
+// counts add (both sides share the registry's bucket scheme). Families or
+// series present in only one side carry over unchanged.
+func (s Snapshot) Merge(o Snapshot) Snapshot {
+	var out Snapshot
+	seen := make(map[string]bool, len(s.Families))
+	for _, f := range s.Families {
+		seen[f.Name] = true
+		if of, ok := o.Family(f.Name); ok && of.Type == f.Type {
+			out.Families = append(out.Families, mergeFamily(f, of))
+			continue
+		}
+		out.Families = append(out.Families, f)
+	}
+	for _, of := range o.Families {
+		if !seen[of.Name] {
+			out.Families = append(out.Families, of)
+		}
+	}
+	return out
+}
+
+func mergeFamily(a, b FamilySnapshot) FamilySnapshot {
+	out := FamilySnapshot{Name: a.Name, Help: a.Help, Type: a.Type}
+	matched := make([]bool, len(b.Metrics))
+	for _, m := range a.Metrics {
+		merged := m
+		for i, bm := range b.Metrics {
+			if !matched[i] && labelsEqual(m.Labels, bm.Labels) {
+				matched[i] = true
+				merged = mergeMetric(m, bm)
+				break
+			}
+		}
+		out.Metrics = append(out.Metrics, merged)
+	}
+	for i, bm := range b.Metrics {
+		if !matched[i] {
+			out.Metrics = append(out.Metrics, bm)
+		}
+	}
+	return out
+}
+
+func labelsEqual(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeMetric adds two series of the same family. Histogram buckets are
+// cumulative and trimmed after the highest non-empty bound, so the shorter
+// side reads as its total count beyond its trimmed tail.
+func mergeMetric(a, b MetricSnapshot) MetricSnapshot {
+	out := MetricSnapshot{Labels: a.Labels, Value: a.Value + b.Value}
+	if a.Count == 0 && b.Count == 0 && len(a.Buckets) == 0 && len(b.Buckets) == 0 {
+		return out
+	}
+	out.Count = a.Count + b.Count
+	out.Sum = a.Sum + b.Sum
+	finite := len(a.Buckets) - 1 // bucket lists end with the +Inf tail
+	if n := len(b.Buckets) - 1; n > finite {
+		finite = n
+	}
+	cumAt := func(m MetricSnapshot, i int) uint64 {
+		if i < len(m.Buckets)-1 {
+			return m.Buckets[i].Count
+		}
+		return m.Count // beyond the trimmed tail every bound holds the total
+	}
+	for i := 0; i < finite; i++ {
+		le := a.Buckets
+		if len(b.Buckets) > len(a.Buckets) {
+			le = b.Buckets
+		}
+		out.Buckets = append(out.Buckets, BucketSnapshot{
+			Le:    le[i].Le,
+			Count: cumAt(a, i) + cumAt(b, i),
+		})
+	}
+	out.Buckets = append(out.Buckets, BucketSnapshot{Le: "+Inf", Count: out.Count})
+	return out
+}
+
 // Snapshot captures every family of the registry. Writers are never
 // blocked; the result is a momentary view.
 func (r *Registry) Snapshot() Snapshot {

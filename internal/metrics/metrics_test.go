@@ -49,9 +49,9 @@ func TestRegistrationIdempotent(t *testing.T) {
 
 func TestBucketIndexAndBounds(t *testing.T) {
 	cases := []struct {
-		v    float64
-		idx  int
-		le   float64
+		v   float64
+		idx int
+		le  float64
 	}{
 		{0, 0, 0}, {1, 1, 1}, {2, 2, 3}, {3, 2, 3}, {4, 3, 7},
 		{7, 3, 7}, {8, 4, 15}, {0.5, 1, 1}, {1.2, 2, 3}, {1023, 10, 1023}, {1024, 11, 2047},
@@ -241,6 +241,69 @@ func TestSnapshotJSONRoundTrip(t *testing.T) {
 	}
 	if hf.Metrics[0].Buckets[len(hf.Metrics[0].Buckets)-1].Le != "+Inf" {
 		t.Fatalf("buckets must end at +Inf: %+v", hf.Metrics[0].Buckets)
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	a := NewRegistry()
+	a.CounterVec("ops_total", "ops", "system").With("lorm").Add(5)
+	a.Counter("only_in_a_total", "").Add(3)
+	ha := a.HistogramVec("lat", "latency", "op").With("query")
+	ha.ObserveInt(1)
+	ha.ObserveInt(100)
+
+	b := NewRegistry()
+	b.CounterVec("ops_total", "ops", "system").With("lorm").Add(7)
+	b.CounterVec("ops_total", "ops", "system").With("maan").Add(2)
+	b.Counter("only_in_b_total", "").Add(4)
+	hb := b.HistogramVec("lat", "latency", "op").With("query")
+	hb.ObserveInt(100000)
+
+	merged := a.Snapshot().Merge(b.Snapshot())
+
+	f, ok := merged.Family("ops_total")
+	if !ok || f.Total() != 14 {
+		t.Fatalf("merged ops_total = %+v (ok=%v), want total 14", f, ok)
+	}
+	bySystem := map[string]float64{}
+	for _, m := range f.Metrics {
+		bySystem[m.Labels["system"]] += m.Value
+	}
+	if bySystem["lorm"] != 12 || bySystem["maan"] != 2 {
+		t.Fatalf("merged per-system values = %v", bySystem)
+	}
+	for _, name := range []string{"only_in_a_total", "only_in_b_total"} {
+		if f, ok := merged.Family(name); !ok || f.Total() == 0 {
+			t.Fatalf("one-sided family %s lost in merge: %+v (ok=%v)", name, f, ok)
+		}
+	}
+
+	lat, ok := merged.Family("lat")
+	if !ok {
+		t.Fatal("merged lat family missing")
+	}
+	m := lat.Metrics[0]
+	if m.Count != 3 || m.Sum != 100101 {
+		t.Fatalf("merged histogram count=%d sum=%v, want 3 and 100101", m.Count, m.Sum)
+	}
+	last := m.Buckets[len(m.Buckets)-1]
+	if last.Le != "+Inf" || last.Count != 3 {
+		t.Fatalf("merged +Inf bucket = %+v, want count 3", last)
+	}
+	// Cumulative counts must never decrease across bounds.
+	var prev uint64
+	for _, bk := range m.Buckets {
+		if bk.Count < prev {
+			t.Fatalf("cumulative bucket counts decrease: %+v", m.Buckets)
+		}
+		prev = bk.Count
+	}
+	// The short side's trimmed tail must read as its total: bounds between
+	// 100 and 100000 hold a's 2 observations.
+	for _, bk := range m.Buckets[:len(m.Buckets)-1] {
+		if bk.Le == "128" && bk.Count != 2 {
+			t.Fatalf("bucket le=128 count = %d, want 2 (a's total)", bk.Count)
+		}
 	}
 }
 

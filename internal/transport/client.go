@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -34,6 +35,12 @@ type Options struct {
 	// reconnect — the seam fault-injection tests use to put a netfault
 	// plane between the client and the gateway.
 	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
+	// Window bounds how many data-verb calls (register/discover and their
+	// batch forms) may be in flight on the multiplexed connection at once
+	// (default 32). Window 1 restores one-request-per-round-trip behavior;
+	// control verbs (ping/stats/membership) bypass the window so they can
+	// never queue behind a saturating batch workload.
+	Window int
 }
 
 func (o Options) withDefaults() Options {
@@ -52,28 +59,32 @@ func (o Options) withDefaults() Options {
 	if o.RetryBackoff <= 0 {
 		o.RetryBackoff = 50 * time.Millisecond
 	}
+	if o.Window <= 0 {
+		o.Window = 32
+	}
 	return o
 }
 
-// Client is a synchronous connection to a gateway server. It is safe for
-// concurrent use: calls are serialized over the single connection (the
-// protocol is strict request/response per connection; open several clients
-// for parallelism).
+// Client is a multiplexed connection to a gateway server, safe for
+// concurrent use: N concurrent callers share one socket through a
+// pipelined request/response pipe (see pipeline.go) with a bounded
+// in-flight window, instead of serializing a full round trip each. Window
+// 1 restores the legacy one-request-per-round-trip behavior.
 //
 // The client survives transport faults: a call that fails at the wire
 // level — write error, read error, per-call deadline, response-ID
-// mismatch — poisons the connection, and the next attempt redials instead
-// of reading from a desynchronized stream. Idempotent operations (ping,
-// stats, discover) are retried with exponential backoff; mutating
-// operations fail fast once the request may have been processed.
+// mismatch — kills the pipe (failing all outstanding calls fast), and the
+// next attempt redials instead of reading from a desynchronized stream.
+// Idempotent operations (ping, stats, discover and discover batches) are
+// retried with exponential backoff; mutating operations fail fast once
+// the request may have been processed.
 type Client struct {
 	addr string
 	opts Options
 
 	mu     sync.Mutex
-	conn   net.Conn
-	broken bool
-	next   uint64
+	p      *pipe
+	closed bool
 }
 
 // Dial connects to a gateway with the given dial timeout and default
@@ -92,7 +103,7 @@ func DialOptions(addr string, opts Options) (*Client, error) {
 			time.Sleep(backoff(c.opts.RetryBackoff, attempt))
 		}
 		c.mu.Lock()
-		err := c.redialLocked()
+		_, err := c.pipeLocked()
 		c.mu.Unlock()
 		if err == nil {
 			return c, nil
@@ -102,24 +113,37 @@ func DialOptions(addr string, opts Options) (*Client, error) {
 	return nil, lastErr
 }
 
-// Close tears down the connection.
+// Close tears down the connection and fails any outstanding calls.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.conn == nil {
-		return nil
+	p := c.p
+	c.p = nil
+	c.closed = true
+	c.mu.Unlock()
+	if p != nil {
+		p.close()
 	}
-	err := c.conn.Close()
-	c.conn = nil
-	c.broken = false
-	return err
+	return nil
 }
 
-// redialLocked replaces the connection; callers hold c.mu.
-func (c *Client) redialLocked() error {
-	if c.conn != nil {
-		c.conn.Close()
-		c.conn = nil
+// pipe returns a live pipe, redialing if the previous one died.
+func (c *Client) pipe() (*pipe, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pipeLocked()
+}
+
+// pipeLocked replaces a dead pipe with a fresh connection; callers hold
+// c.mu. A redial (as opposed to the first dial) is counted.
+func (c *Client) pipeLocked() (*pipe, error) {
+	if c.closed {
+		return nil, errClientClosed
+	}
+	if c.p != nil {
+		if !c.p.broken() {
+			return c.p, nil
+		}
+		c.p = nil
 		mClientRedials.Inc()
 	}
 	dial := c.opts.Dialer
@@ -130,11 +154,10 @@ func (c *Client) redialLocked() error {
 	}
 	conn, err := dial(c.addr, c.opts.DialTimeout)
 	if err != nil {
-		return fmt.Errorf("transport: dial %s: %w", c.addr, err)
+		return nil, fmt.Errorf("transport: dial %s: %w", c.addr, err)
 	}
-	c.conn = conn
-	c.broken = false
-	return nil
+	c.p = newPipe(conn, c.opts.Window)
+	return c.p, nil
 }
 
 // serverError is an application-level failure relayed in a well-formed
@@ -145,10 +168,11 @@ type serverError struct{ msg string }
 func (e *serverError) Error() string { return "transport: server error: " + e.msg }
 
 // idempotent reports whether op can be safely replayed after the original
-// request may already have been processed by the server.
+// request may already have been processed by the server. Register batches
+// are mutating like their singular form; discover batches are read-only.
 func idempotent(op Op) bool {
 	switch op {
-	case OpPing, OpStats, OpDiscover:
+	case OpPing, OpStats, OpDiscover, OpDiscoverBatch:
 		return true
 	}
 	return false
@@ -171,11 +195,12 @@ func backoff(base time.Duration, attempt int) time.Duration {
 	return half + time.Duration(rand.Int63n(int64(half)+1))
 }
 
-// call performs one round trip, redialing poisoned connections and
-// retrying with backoff per the client options.
+// call performs one pipelined exchange, redialing dead pipes and retrying
+// with backoff per the client options. The client mutex is held only while
+// resolving the pipe, never across the round trip, so concurrent callers —
+// including control verbs issued alongside a saturating batch workload —
+// proceed in parallel on the shared connection.
 func (c *Client) call(req *Request) (*Response, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
@@ -185,13 +210,21 @@ func (c *Client) call(req *Request) (*Response, error) {
 			mClientRetries.Inc()
 			time.Sleep(backoff(c.opts.RetryBackoff, attempt))
 		}
-		if c.conn == nil || c.broken {
-			if err := c.redialLocked(); err != nil {
-				lastErr = err // dial errors are retryable for every op
-				continue
+		p, err := c.pipe()
+		if err != nil {
+			if errors.Is(err, errClientClosed) {
+				return nil, err
 			}
+			lastErr = err // dial errors are retryable for every op
+			continue
 		}
-		resp, err := c.roundTrip(req)
+		// Each attempt gets its own Request copy: a dead pipe's writer may
+		// still be encoding the previous attempt's frame when the retry
+		// stamps a new connection-local ID. The payload slices are shared
+		// read-only; only the header fields are written.
+		attemptReq := *req
+		pc := &pendingCall{req: &attemptReq, windowed: windowed(req.Op), done: make(chan struct{})}
+		resp, err := p.do(pc, c.opts.CallTimeout)
 		if err == nil {
 			return resp, nil
 		}
@@ -199,9 +232,9 @@ func (c *Client) call(req *Request) (*Response, error) {
 		if errors.As(err, &se) {
 			return nil, err
 		}
-		// Wire-level failure: the stream can no longer be trusted to pair
-		// requests with responses, so mark it for redial.
-		c.broken = true
+		// Wire-level failure: the pipe is already dead, the next attempt
+		// redials. Only a call's own missed deadline counts as a timeout —
+		// collateral errPipelineBroken failures carry the cause by message.
 		lastErr = err
 		if isTimeout(err) {
 			mClientTimeouts.Inc()
@@ -210,32 +243,6 @@ func (c *Client) call(req *Request) (*Response, error) {
 			return nil, err // request may have been processed: don't replay
 		}
 	}
-}
-
-// roundTrip writes one request and reads its response on the current
-// connection; callers hold c.mu.
-func (c *Client) roundTrip(req *Request) (*Response, error) {
-	c.next++
-	req.ID = c.next
-	req.Version = Version
-	if c.opts.CallTimeout > 0 {
-		c.conn.SetDeadline(time.Now().Add(c.opts.CallTimeout))
-		defer c.conn.SetDeadline(time.Time{})
-	}
-	if err := writeFrame(c.conn, req); err != nil {
-		return nil, err
-	}
-	var resp Response
-	if err := readFrame(c.conn, &resp); err != nil {
-		return nil, err
-	}
-	if resp.ID != req.ID {
-		return nil, fmt.Errorf("transport: response id %d for request %d", resp.ID, req.ID)
-	}
-	if !resp.OK {
-		return nil, &serverError{msg: resp.Error}
-	}
-	return &resp, nil
 }
 
 // Ping checks liveness.
@@ -294,6 +301,98 @@ func (c *Client) Stats() (Stats, error) {
 		return Stats{}, fmt.Errorf("transport: stats response without payload")
 	}
 	return *resp.Stats, nil
+}
+
+// RegisterBatch announces many pieces in one frame, amortizing codec and
+// syscall cost; items fail independently in the returned results. Against
+// a pre-batch gateway it transparently falls back to per-item registers.
+func (c *Client) RegisterBatch(infos []resource.Info) ([]BatchResult, error) {
+	return c.RegisterBatchTraced(infos, discovery.TraceContext{})
+}
+
+// RegisterBatchTraced is RegisterBatch carrying the caller's trace context;
+// every item's server-side spans parent under the same caller span.
+func (c *Client) RegisterBatchTraced(infos []resource.Info, tc discovery.TraceContext) ([]BatchResult, error) {
+	if len(infos) == 0 {
+		return nil, fmt.Errorf("transport: empty register batch")
+	}
+	resp, err := c.call(&Request{Op: OpRegisterBatch, Infos: infos, Trace: wireTrace(tc)})
+	if isUnknownOp(err) {
+		results := make([]BatchResult, len(infos))
+		for i, info := range infos {
+			cost, err := c.RegisterTraced(info, tc)
+			results[i] = singleResult(cost, nil, nil, err)
+			if err != nil && !isServerError(err) {
+				return nil, err // transport failure mid-fallback: give up
+			}
+		}
+		return results, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return batchResults(resp, len(infos))
+}
+
+// DiscoverBatch resolves many multi-attribute queries in one frame; items
+// fail independently in the returned results. Against a pre-batch gateway
+// it transparently falls back to per-item discovers.
+func (c *Client) DiscoverBatch(queries []BatchQuery) ([]BatchResult, error) {
+	return c.DiscoverBatchTraced(queries, discovery.TraceContext{})
+}
+
+// DiscoverBatchTraced is DiscoverBatch carrying the caller's trace context.
+func (c *Client) DiscoverBatchTraced(queries []BatchQuery, tc discovery.TraceContext) ([]BatchResult, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("transport: empty discover batch")
+	}
+	resp, err := c.call(&Request{Op: OpDiscoverBatch, Queries: queries, Trace: wireTrace(tc)})
+	if isUnknownOp(err) {
+		results := make([]BatchResult, len(queries))
+		for i, q := range queries {
+			owners, matches, cost, err := c.DiscoverTraced(q.Subs, q.Requester, tc)
+			results[i] = singleResult(cost, owners, matches, err)
+			if err != nil && !isServerError(err) {
+				return nil, err
+			}
+		}
+		return results, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return batchResults(resp, len(queries))
+}
+
+// batchResults validates a batch response's shape: exactly one result per
+// item, in order.
+func batchResults(resp *Response, want int) ([]BatchResult, error) {
+	if len(resp.Results) != want {
+		return nil, fmt.Errorf("transport: batch response has %d results for %d items", len(resp.Results), want)
+	}
+	return resp.Results, nil
+}
+
+// singleResult boxes one fallback call's outcome as a batch item.
+func singleResult(cost discovery.Cost, owners []string, matches []resource.Info, err error) BatchResult {
+	if err != nil {
+		return BatchResult{Error: err.Error()}
+	}
+	return BatchResult{OK: true, Cost: cost, Owners: owners, Matches: matches}
+}
+
+// isUnknownOp detects the definitive server-side rejection an old gateway
+// gives a batch verb it does not know, the signal to fall back to singles.
+func isUnknownOp(err error) bool {
+	var se *serverError
+	return errors.As(err, &se) && strings.Contains(se.msg, "unknown op")
+}
+
+// isServerError reports whether err is an application-level failure (the
+// connection stayed healthy; per-item fallback can continue).
+func isServerError(err error) bool {
+	var se *serverError
+	return errors.As(err, &se)
 }
 
 // AddNode joins a new node into the gateway's deployment.

@@ -13,10 +13,12 @@
 package transport
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 
 	"lorm/internal/discovery"
 	"lorm/internal/resource"
@@ -31,15 +33,39 @@ const MaxFrame = 16 << 20
 // Op enumerates the remote operations.
 type Op string
 
-// Remote operations.
+// Remote operations. The batch verbs amortize codec and syscall cost: one
+// frame carries many registers or discovers, dispatched server-side into
+// the same discovery.System calls as their singular forms. They are
+// version-tolerant additions — the new Request/Response fields are
+// omitempty, so old peers ignore them, and a new client talking to an old
+// server gets a clean "unknown op" error it can fall back from.
 const (
-	OpPing     Op = "ping"
-	OpRegister Op = "register"
-	OpDiscover Op = "discover"
-	OpStats    Op = "stats"
-	OpAddNode  Op = "addnode"
-	OpRemove   Op = "removenode"
+	OpPing          Op = "ping"
+	OpRegister      Op = "register"
+	OpDiscover      Op = "discover"
+	OpRegisterBatch Op = "registerbatch"
+	OpDiscoverBatch Op = "discoverbatch"
+	OpStats         Op = "stats"
+	OpAddNode       Op = "addnode"
+	OpRemove        Op = "removenode"
 )
+
+// BatchQuery is one discover inside an OpDiscoverBatch frame.
+type BatchQuery struct {
+	Subs      []resource.SubQuery `json:"subs"`
+	Requester string              `json:"requester,omitempty"`
+}
+
+// BatchResult is one item's outcome inside a batch response. Items fail
+// independently: a malformed register does not poison its batch frame,
+// it just carries its own error.
+type BatchResult struct {
+	OK      bool            `json:"ok"`
+	Error   string          `json:"error,omitempty"`
+	Cost    discovery.Cost  `json:"cost,omitempty"`
+	Owners  []string        `json:"owners,omitempty"`  // discover items
+	Matches []resource.Info `json:"matches,omitempty"` // discover items
+}
 
 // Request is the client→server message.
 type Request struct {
@@ -50,10 +76,13 @@ type Request struct {
 	Subs      []resource.SubQuery `json:"subs,omitempty"`      // discover
 	Requester string              `json:"requester,omitempty"` // discover
 	Addr      string              `json:"addr,omitempty"`      // addnode / removenode
+	Infos     []resource.Info     `json:"infos,omitempty"`     // registerbatch
+	Queries   []BatchQuery        `json:"queries,omitempty"`   // discoverbatch
 	// Trace carries the caller's distributed-trace context on register and
-	// discover, so the server-side fabric spans parent under the caller's
-	// span. Optional and version-tolerant: old clients omit it, old servers
-	// ignore the unknown field, and behavior is identical either way.
+	// discover (and their batch forms, where every item parents under the
+	// same caller span), so the server-side fabric spans parent under the
+	// caller's span. Optional and version-tolerant: old clients omit it, old
+	// servers ignore the unknown field, and behavior is identical either way.
 	Trace *discovery.TraceContext `json:"trace,omitempty"`
 }
 
@@ -106,10 +135,19 @@ type MetricsDigest struct {
 	MessagesBlocked   uint64 `json:"messages_blocked,omitempty"`
 	// Tracing activity: operations sampled into spans, operations finished
 	// without a span, and slow-op detections, summed over systems.
-	SpansSampled uint64          `json:"spans_sampled,omitempty"`
-	SpansDropped uint64          `json:"spans_dropped,omitempty"`
-	SlowOps      uint64          `json:"slow_ops,omitempty"`
-	Systems      []SystemMetrics `json:"systems,omitempty"`
+	SpansSampled uint64 `json:"spans_sampled,omitempty"`
+	SpansDropped uint64 `json:"spans_dropped,omitempty"`
+	SlowOps      uint64 `json:"slow_ops,omitempty"`
+	// Pipelined-transport activity: calls through multiplexed client pipes,
+	// pipes torn down by wire failures, and the batch-verb ledger (items
+	// carried in batch frames vs items individually executed — the two must
+	// agree, metricscheck -transport enforces it). Client counters are
+	// nonzero only in processes that also run clients.
+	PipelineCalls   uint64          `json:"pipeline_calls,omitempty"`
+	PipelineBreaks  uint64          `json:"pipeline_breaks,omitempty"`
+	BatchOps        uint64          `json:"batch_ops,omitempty"`
+	BatchDispatched uint64          `json:"batch_dispatched,omitempty"`
+	Systems         []SystemMetrics `json:"systems,omitempty"`
 }
 
 // SystemMetrics is one system's slice of the digest.
@@ -129,28 +167,58 @@ type Response struct {
 	Cost    discovery.Cost  `json:"cost,omitempty"`
 	Matches []resource.Info `json:"matches,omitempty"` // discover: flattened per-attr matches
 	Owners  []string        `json:"owners,omitempty"`  // discover: joined owners
+	Results []BatchResult   `json:"results,omitempty"` // registerbatch / discoverbatch
 	Stats   *Stats          `json:"stats,omitempty"`   // stats
 }
 
-// writeFrame encodes v as JSON and writes one length-prefixed frame.
+// encodeBuf pairs a reusable frame buffer with a JSON encoder bound to it,
+// so the steady-state encode path allocates nothing but the JSON itself.
+type encodeBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encodePool = sync.Pool{New: func() interface{} {
+	e := &encodeBuf{}
+	e.enc = json.NewEncoder(&e.buf)
+	return e
+}}
+
+// payloadPool recycles readFrame payload slices. Oversized buffers are not
+// repooled so a single huge frame cannot pin memory for the process life.
+var payloadPool = sync.Pool{New: func() interface{} {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+const payloadPoolCap = 1 << 20
+
+// writeFrame encodes v as JSON into a pooled buffer and writes header and
+// payload as one length-prefixed frame in a single Write — one syscall per
+// frame instead of two, and zero steady-state buffer allocations.
 func writeFrame(w io.Writer, v interface{}) error {
-	payload, err := json.Marshal(v)
-	if err != nil {
+	e := encodePool.Get().(*encodeBuf)
+	e.buf.Reset()
+	e.buf.Write([]byte{0, 0, 0, 0}) // header placeholder, patched below
+	if err := e.enc.Encode(v); err != nil {
+		// A json.Encoder remembers its first error; drop this one from the
+		// pool rather than repool a poisoned encoder.
 		return fmt.Errorf("transport: encode: %w", err)
 	}
-	if len(payload) > MaxFrame {
-		return fmt.Errorf("transport: frame of %d bytes exceeds cap", len(payload))
+	frame := e.buf.Bytes()
+	n := len(frame) - 4
+	if n > MaxFrame {
+		encodePool.Put(e)
+		return fmt.Errorf("transport: frame of %d bytes exceeds cap", n)
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err = w.Write(payload)
+	binary.BigEndian.PutUint32(frame[:4], uint32(n))
+	_, err := w.Write(frame)
+	encodePool.Put(e)
 	return err
 }
 
-// readFrame reads one length-prefixed frame and decodes it into v.
+// readFrame reads one length-prefixed frame into a pooled buffer and
+// decodes it into v.
 func readFrame(r io.Reader, v interface{}) error {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -160,7 +228,16 @@ func readFrame(r io.Reader, v interface{}) error {
 	if n > MaxFrame {
 		return fmt.Errorf("transport: incoming frame of %d bytes exceeds cap", n)
 	}
-	payload := make([]byte, n)
+	bp := payloadPool.Get().(*[]byte)
+	if uint32(cap(*bp)) < n {
+		*bp = make([]byte, n)
+	}
+	payload := (*bp)[:n]
+	defer func() {
+		if cap(*bp) <= payloadPoolCap {
+			payloadPool.Put(bp)
+		}
+	}()
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return fmt.Errorf("transport: short frame: %w", err)
 	}

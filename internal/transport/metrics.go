@@ -2,6 +2,7 @@ package transport
 
 import (
 	"net"
+	"sync/atomic"
 
 	"lorm/internal/metrics"
 )
@@ -23,12 +24,14 @@ var (
 	mRequestVec = metrics.Default().CounterVec("transport_requests_total",
 		"requests handled by gateway servers", "verb")
 	mRequests = map[Op]*metrics.Counter{
-		OpPing:     mRequestVec.With(string(OpPing)),
-		OpRegister: mRequestVec.With(string(OpRegister)),
-		OpDiscover: mRequestVec.With(string(OpDiscover)),
-		OpStats:    mRequestVec.With(string(OpStats)),
-		OpAddNode:  mRequestVec.With(string(OpAddNode)),
-		OpRemove:   mRequestVec.With(string(OpRemove)),
+		OpPing:          mRequestVec.With(string(OpPing)),
+		OpRegister:      mRequestVec.With(string(OpRegister)),
+		OpDiscover:      mRequestVec.With(string(OpDiscover)),
+		OpRegisterBatch: mRequestVec.With(string(OpRegisterBatch)),
+		OpDiscoverBatch: mRequestVec.With(string(OpDiscoverBatch)),
+		OpStats:         mRequestVec.With(string(OpStats)),
+		OpAddNode:       mRequestVec.With(string(OpAddNode)),
+		OpRemove:        mRequestVec.With(string(OpRemove)),
 	}
 	mRequestsUnknown = mRequestVec.With("unknown")
 	mIdleDisconnects = metrics.Default().Counter("transport_server_idle_disconnects_total",
@@ -44,6 +47,81 @@ var (
 		"client calls that missed their per-call deadline")
 	mClientRedials = metrics.Default().Counter("transport_client_redials_total",
 		"connections re-established after a broken or poisoned transport")
+)
+
+// Pipelined-client counters and gauges. The inflight gauge counts only
+// windowed (data-verb) calls, the population the window bounds; the peak
+// and window-slots gauges are monotone maxima — in-flight calls observed
+// at once, and in-flight capacity (the sum of concurrently live pipes'
+// windows) configured at once — so a snapshot can check
+// inflight-peak ≤ window-slots after the fact (metricscheck -transport).
+var (
+	mPipelineCalls = metrics.Default().Counter("transport_pipeline_calls_total",
+		"calls dispatched through multiplexed client pipelines")
+	mPipelineBreaks = metrics.Default().Counter("transport_pipeline_breaks_total",
+		"client pipelines torn down by a wire failure or missed deadline")
+	mPipelineInflight = metrics.Default().Gauge("transport_pipeline_inflight",
+		"data-verb calls currently in flight across client pipelines")
+	mPipelineInflightPeak = metrics.Default().Gauge("transport_pipeline_inflight_peak",
+		"highest observed in-flight data-verb call count")
+	mPipelineWindowSlots = metrics.Default().Gauge("transport_pipeline_window_slots",
+		"highest total in-flight window capacity across concurrently live client pipelines")
+)
+
+// pipelineLiveSlots sums the window sizes of currently live pipes; the
+// slots gauge records its high-water mark, which bounds every in-flight
+// peak the process can have observed.
+var pipelineLiveSlots atomic.Int64
+
+// trackPipelineWindow accounts a new pipe's window and raises the
+// window-slots gauge if the live capacity hit a new max.
+func trackPipelineWindow(w int) {
+	cur := pipelineLiveSlots.Add(int64(w))
+	for {
+		prev := mPipelineWindowSlots.Value()
+		if cur <= prev {
+			return
+		}
+		// Gauge has no CAS; a concurrent larger Set can only raise the value
+		// further, and this loop re-checks until the max is stable.
+		mPipelineWindowSlots.Set(cur)
+		if mPipelineWindowSlots.Value() >= cur {
+			return
+		}
+	}
+}
+
+// untrackPipelineWindow releases a dead pipe's window capacity.
+func untrackPipelineWindow(w int) {
+	pipelineLiveSlots.Add(int64(-w))
+}
+
+// trackPipelineInflight raises the in-flight peak gauge to the current
+// in-flight count if it is a new max.
+func trackPipelineInflight() {
+	cur := mPipelineInflight.Value()
+	for {
+		peak := mPipelineInflightPeak.Value()
+		if cur <= peak {
+			return
+		}
+		mPipelineInflightPeak.Set(cur)
+	}
+}
+
+// Batch-verb accounting: ops-in-frames is bumped once per decoded batch
+// frame with the item count, dispatched once per item actually executed
+// against the discovery system — metricscheck -transport requires the two
+// to agree exactly (no item silently skipped or double-run).
+var (
+	mBatchOpsVec = metrics.Default().CounterVec("transport_batch_ops_total",
+		"operations carried inside batch frames accepted by gateway servers", "verb")
+	mBatchDispatchedVec = metrics.Default().CounterVec("transport_batch_dispatched_total",
+		"batch items individually executed (or rejected) by gateway servers", "verb")
+	mBatchRegisterOps        = mBatchOpsVec.With(string(OpRegisterBatch))
+	mBatchDiscoverOps        = mBatchOpsVec.With(string(OpDiscoverBatch))
+	mBatchRegisterDispatched = mBatchDispatchedVec.With(string(OpRegisterBatch))
+	mBatchDiscoverDispatched = mBatchDispatchedVec.With(string(OpDiscoverBatch))
 )
 
 // Failure-injection counters surfaced in the OpStats digest. Registration

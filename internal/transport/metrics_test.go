@@ -2,6 +2,7 @@ package transport
 
 import (
 	"fmt"
+	"net"
 	"testing"
 	"time"
 
@@ -91,15 +92,15 @@ func TestDecodeErrorCounted(t *testing.T) {
 	defer srv.Close()
 
 	before := mDecodeErrors.Value()
-	cli, err := Dial(srv.Addr(), 0)
+	conn, err := net.Dial("tcp", srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
 	// A frame header claiming more than MaxFrame bytes is a decode error.
-	if _, err := cli.conn.Write([]byte{0xff, 0xff, 0xff, 0xff}); err != nil {
+	if _, err := conn.Write([]byte{0xff, 0xff, 0xff, 0xff}); err != nil {
 		t.Fatal(err)
 	}
-	cli.Close()
+	conn.Close()
 	// The server goroutine counts the bad frame asynchronously; closing the
 	// server instead would abort the pending read with net.ErrClosed.
 	deadline := time.Now().Add(2 * time.Second)

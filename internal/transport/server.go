@@ -25,6 +25,15 @@ var (
 	serverWriteTimeout = 15 * time.Second
 )
 
+// serverConnConcurrency bounds how many requests one connection may have
+// executing at once. Pipelined clients keep many requests in flight;
+// handling them concurrently (responses matched by ID, written under a
+// per-connection mutex, order irrelevant) means a cheap control verb is
+// never stuck behind a slow batch on the same socket. Serial legacy
+// clients have at most one outstanding request and never observe
+// reordering. Package variable so tests can shrink it.
+var serverConnConcurrency = 32
+
 // Server fronts a discovery.System on a TCP listener. Each connection is
 // served by its own goroutine; requests on one connection are handled
 // sequentially (the protocol is request/response), while separate
@@ -61,9 +70,12 @@ func NewServer(sys discovery.System, addr string, logger *slog.Logger) (*Server,
 	}
 	s := &Server{sys: sys, ln: ln, log: logger, conns: make(map[net.Conn]bool)}
 	if inst, ok := sys.(routing.Instrumented); ok {
-		s.fabric = inst.RoutingFabric()
-		s.obs = routing.NewMetricsObserver(metrics.Default())
-		s.fabric.Observe(s.obs)
+		// Wrappers (emulate.HopLatency) report nil for an uninstrumented core.
+		if f := inst.RoutingFabric(); f != nil {
+			s.fabric = f
+			s.obs = routing.NewMetricsObserver(metrics.Default())
+			s.fabric.Observe(s.obs)
+		}
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -124,7 +136,11 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	// handlers tracks this connection's in-flight request goroutines; the
+	// connection is closed only after they have all written (or failed).
+	var handlers sync.WaitGroup
 	defer func() {
+		handlers.Wait()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -132,12 +148,15 @@ func (s *Server) serveConn(conn net.Conn) {
 		mActiveConns.Dec()
 	}()
 	cc := countingConn{Conn: conn}
+	// writeMu serializes response frames from concurrent handlers.
+	var writeMu sync.Mutex
+	sem := make(chan struct{}, serverConnConcurrency)
 	for {
 		if serverReadTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(serverReadTimeout))
 		}
-		var req Request
-		if err := readFrame(cc, &req); err != nil {
+		req := new(Request) // each in-flight handler owns its request
+		if err := readFrame(cc, req); err != nil {
 			switch {
 			case isTimeout(err):
 				// Half-open or abandoned peer: reclaim the goroutine and fd.
@@ -149,27 +168,35 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return // EOF, deadline or protocol error: drop the connection
 		}
-		start := time.Now()
-		resp := s.handle(&req)
-		if s.log.Enabled(context.Background(), slog.LevelDebug) {
-			args := []any{
-				"verb", string(req.Op),
-				"remote", conn.RemoteAddr().String(),
-				"dur", time.Since(start),
-				"ok", resp.OK,
+		sem <- struct{}{}
+		handlers.Add(1)
+		go func() {
+			defer handlers.Done()
+			defer func() { <-sem }()
+			start := time.Now()
+			resp := s.handle(req)
+			if s.log.Enabled(context.Background(), slog.LevelDebug) {
+				args := []any{
+					"verb", string(req.Op),
+					"remote", conn.RemoteAddr().String(),
+					"dur", time.Since(start),
+					"ok", resp.OK,
+				}
+				if req.Trace != nil && req.Trace.Sampled {
+					args = append(args, "trace", fmt.Sprintf("%016x", req.Trace.TraceID))
+				}
+				s.log.Debug("request", args...)
 			}
-			if req.Trace != nil && req.Trace.Sampled {
-				args = append(args, "trace", fmt.Sprintf("%016x", req.Trace.TraceID))
+			writeMu.Lock()
+			defer writeMu.Unlock()
+			if serverWriteTimeout > 0 {
+				conn.SetWriteDeadline(time.Now().Add(serverWriteTimeout))
 			}
-			s.log.Debug("request", args...)
-		}
-		if serverWriteTimeout > 0 {
-			conn.SetWriteDeadline(time.Now().Add(serverWriteTimeout))
-		}
-		if err := writeFrame(cc, resp); err != nil {
-			s.log.Warn("response write failed", "remote", conn.RemoteAddr().String(), "err", err)
-			return
-		}
+			if err := writeFrame(cc, resp); err != nil {
+				s.log.Warn("response write failed", "remote", conn.RemoteAddr().String(), "err", err)
+				conn.Close() // wake the read loop; remaining handlers fail fast
+			}
+		}()
 	}
 }
 
@@ -227,6 +254,66 @@ func (s *Server) handle(req *Request) *Response {
 		for _, infos := range res.PerAttr {
 			resp.Matches = append(resp.Matches, infos...)
 		}
+
+	case OpRegisterBatch:
+		if len(req.Infos) == 0 {
+			return fail("registerbatch without infos")
+		}
+		mBatchRegisterOps.Add(uint64(len(req.Infos)))
+		tr, traced := s.traced(req)
+		results := make([]BatchResult, len(req.Infos))
+		for i := range req.Infos {
+			var cost discovery.Cost
+			var err error
+			if traced {
+				cost, err = tr.RegisterTraced(req.Infos[i], *req.Trace)
+			} else {
+				cost, err = s.sys.Register(req.Infos[i])
+			}
+			mBatchRegisterDispatched.Inc()
+			if err != nil {
+				results[i] = BatchResult{Error: err.Error()}
+				continue
+			}
+			results[i] = BatchResult{OK: true, Cost: cost}
+		}
+		resp.OK = true
+		resp.Results = results
+
+	case OpDiscoverBatch:
+		if len(req.Queries) == 0 {
+			return fail("discoverbatch without queries")
+		}
+		mBatchDiscoverOps.Add(uint64(len(req.Queries)))
+		tr, traced := s.traced(req)
+		results := make([]BatchResult, len(req.Queries))
+		for i, bq := range req.Queries {
+			if len(bq.Subs) == 0 {
+				mBatchDiscoverDispatched.Inc()
+				results[i] = BatchResult{Error: "discover without sub-queries"}
+				continue
+			}
+			q := resource.Query{Subs: bq.Subs, Requester: bq.Requester}
+			var res *discovery.Result
+			var err error
+			if traced {
+				res, err = tr.DiscoverTraced(q, *req.Trace)
+			} else {
+				res, err = s.sys.Discover(q)
+			}
+			mBatchDiscoverDispatched.Inc()
+			if err != nil {
+				results[i] = BatchResult{Error: err.Error()}
+				continue
+			}
+			br := BatchResult{OK: true, Cost: res.Cost, Owners: res.Owners}
+			for _, infos := range res.PerAttr {
+				br.Matches = append(br.Matches, infos...)
+			}
+			results[i] = br
+		}
+		resp.OK = true
+		resp.Results = results
 
 	case OpStats:
 		sizes := s.sys.DirectorySizes()
@@ -325,6 +412,11 @@ func (s *Server) metricsDigest() *MetricsDigest {
 		PartitionsStarted: mdNetPartitions.Value(),
 		PartitionsHealed:  mdNetHealed.Value(),
 		MessagesBlocked:   mdNetBlocked.Value(),
+
+		PipelineCalls:   mPipelineCalls.Value(),
+		PipelineBreaks:  mPipelineBreaks.Value(),
+		BatchOps:        mBatchRegisterOps.Value() + mBatchDiscoverOps.Value(),
+		BatchDispatched: mBatchRegisterDispatched.Value() + mBatchDiscoverDispatched.Value(),
 	}
 	// Tracing families are labeled by system and owned by the tracer, so
 	// the digest reads their totals from the process registry snapshot
