@@ -65,7 +65,7 @@ func BenchmarkFig3aOutlinks(b *testing.B) {
 func BenchmarkFig3bDirectoryMAAN(b *testing.B) {
 	env := getEnv(b)
 	for i := 0; i < b.N; i++ {
-		tbl, _, _ := experiments.Fig3bcd(env)
+		tbl, _, _, _ := experiments.Fig3bcd(env)
 		b.ReportMetric(tbl.Column("maan")[1], "maan-avg-dir")
 		b.ReportMetric(tbl.Column("lorm")[1], "lorm-avg-dir")
 	}
@@ -76,7 +76,7 @@ func BenchmarkFig3bDirectoryMAAN(b *testing.B) {
 func BenchmarkFig3cDirectorySWORD(b *testing.B) {
 	env := getEnv(b)
 	for i := 0; i < b.N; i++ {
-		_, tbl, _ := experiments.Fig3bcd(env)
+		_, tbl, _, _ := experiments.Fig3bcd(env)
 		b.ReportMetric(tbl.Column("sword")[2], "sword-p99-dir")
 		b.ReportMetric(tbl.Column("lorm")[2], "lorm-p99-dir")
 	}
@@ -87,7 +87,7 @@ func BenchmarkFig3cDirectorySWORD(b *testing.B) {
 func BenchmarkFig3dDirectoryMercury(b *testing.B) {
 	env := getEnv(b)
 	for i := 0; i < b.N; i++ {
-		_, _, tbl := experiments.Fig3bcd(env)
+		_, _, tbl, _ := experiments.Fig3bcd(env)
 		b.ReportMetric(tbl.Column("mercury")[2], "mercury-p99-dir")
 		b.ReportMetric(tbl.Column("lorm")[2], "lorm-p99-dir")
 	}

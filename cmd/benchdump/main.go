@@ -10,7 +10,10 @@
 // A third baseline, BENCH_cluster.json, is written by cmd/lormcluster (a
 // real many-process run, not something benchdump can regenerate in-process);
 // `benchdump -check` validates it alongside the other two, including the
-// ≥2x pipelined-vs-serialized client speedup claim.
+// ≥2x pipelined-vs-serialized client speedup claim. It also re-parses the
+// results_art.txt sweep (written by `lormsim -art-out`) and re-asserts the
+// ART headline: hop columns present for every system, sizes strictly
+// increasing, and ART sub-logarithmic against every O(log n) curve.
 //
 // The figure metric values are deterministic (fixed preset seed), so
 // regenerating BENCH_figures.json changes only the timing fields; the
@@ -40,6 +43,7 @@ import (
 	"time"
 
 	"lorm/internal/experiments"
+	"lorm/internal/stats"
 )
 
 // BenchResult is one parsed `go test -bench` line.
@@ -99,9 +103,10 @@ func run(args []string) error {
 	dirJSON := filepath.Join(*dir, "BENCH_directory.json")
 	figJSON := filepath.Join(*dir, "BENCH_figures.json")
 	clusterJSON := filepath.Join(*dir, "BENCH_cluster.json")
+	artTXT := filepath.Join(*dir, "results_art.txt")
 
 	if *check {
-		return checkFiles(dirJSON, figJSON, clusterJSON)
+		return checkFiles(dirJSON, figJSON, clusterJSON, artTXT)
 	}
 
 	if !*skipBench {
@@ -230,7 +235,7 @@ func runFigures() (*FiguresDump, error) {
 	})
 
 	start = time.Now()
-	b, c, d := experiments.Fig3bcd(env)
+	b, c, d, e := experiments.Fig3bcd(env)
 	ms3 := float64(time.Since(start).Microseconds()) / 1000
 	dump.Figures = append(dump.Figures,
 		FigureResult{Figure: "fig3b", Millis: ms3, Metrics: map[string]float64{
@@ -239,6 +244,8 @@ func runFigures() (*FiguresDump, error) {
 			"sword-p99-dir": c.Column("sword")[2], "lorm-p99-dir": c.Column("lorm")[2]}},
 		FigureResult{Figure: "fig3d", Millis: 0, Metrics: map[string]float64{
 			"mercury-p99-dir": d.Column("mercury")[2], "lorm-p99-dir": d.Column("lorm")[2]}},
+		FigureResult{Figure: "fig3e", Millis: 0, Metrics: map[string]float64{
+			"art-avg-dir": e.Column("art")[1], "lorm-avg-dir": e.Column("lorm")[1]}},
 	)
 
 	start = time.Now()
@@ -359,9 +366,94 @@ func checkCluster(path string) error {
 	return nil
 }
 
+// parseResultsTable reconstructs a stats.Table from the text format
+// `lormsim` writes: a `== title ==` line, indented notes, then a
+// whitespace-aligned header row followed by numeric rows. The header is
+// recognized as the first line whose leading field is a column name rather
+// than a number; everything before it is title/notes.
+func parseResultsTable(path string) (*stats.Table, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var tbl *stats.Table
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "==") {
+			continue
+		}
+		if tbl == nil {
+			if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
+				if fields[0] == "n" || fields[0] == "attrs" || fields[0] == "rate" || fields[0] == "stat" {
+					tbl = stats.NewTable(path, fields...)
+				}
+				continue // a note line, or the header we just consumed
+			}
+			return nil, fmt.Errorf("%s: data row %q before any header", path, sc.Text())
+		}
+		row := make([]float64, len(fields))
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad cell %q in row %q", path, f, sc.Text())
+			}
+			row[i] = v
+		}
+		if len(row) != len(tbl.Columns) {
+			return nil, fmt.Errorf("%s: row %q has %d cells, header has %d columns",
+				path, sc.Text(), len(row), len(tbl.Columns))
+		}
+		tbl.AddRow(row...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if tbl == nil {
+		return nil, fmt.Errorf("%s: no table header found", path)
+	}
+	return tbl, nil
+}
+
+// checkARTResults re-validates a written results_art.txt sweep: every hop
+// column present and positive, network sizes strictly increasing, and the
+// ART sub-logarithmic assertion still holding on the file as written — so
+// a stale or hand-edited sweep cannot claim the headline result.
+func checkARTResults(path string) error {
+	tbl, err := parseResultsTable(path)
+	if err != nil {
+		return err
+	}
+	sizes := tbl.Column("n")
+	if len(sizes) < 2 {
+		return fmt.Errorf("%s: sweep has %d rows, need at least 2", path, len(sizes))
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] <= sizes[i-1] {
+			return fmt.Errorf("%s: network sizes not strictly increasing at row %d (%.0f after %.0f)",
+				path, i, sizes[i], sizes[i-1])
+		}
+	}
+	for _, col := range tbl.Columns[1:] {
+		vals := tbl.Column(col)
+		if len(vals) != len(sizes) {
+			return fmt.Errorf("%s: column %s missing", path, col)
+		}
+		for i, v := range vals {
+			if v <= 0 {
+				return fmt.Errorf("%s: column %s row %d is %.3f, want > 0", path, col, i, v)
+			}
+		}
+	}
+	if err := experiments.ARTSubLogAssert(tbl); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
 // checkFiles validates that the baselines exist, parse, and are non-empty
 // — the CI guard against the perf tooling rotting silently.
-func checkFiles(dirJSON, figJSON, clusterJSON string) error {
+func checkFiles(dirJSON, figJSON, clusterJSON, artTXT string) error {
 	var dd DirectoryDump
 	if err := readJSON(dirJSON, &dd); err != nil {
 		return err
@@ -409,9 +501,12 @@ func checkFiles(dirJSON, figJSON, clusterJSON string) error {
 	if err := checkCluster(clusterJSON); err != nil {
 		return err
 	}
+	if err := checkARTResults(artTXT); err != nil {
+		return err
+	}
 
-	fmt.Printf("benchdump: %s (%d benchmarks), %s (%d figures) and %s parse\n",
-		dirJSON, len(dd.Benchmarks), figJSON, len(fd.Figures), clusterJSON)
+	fmt.Printf("benchdump: %s (%d benchmarks), %s (%d figures), %s and %s parse\n",
+		dirJSON, len(dd.Benchmarks), figJSON, len(fd.Figures), clusterJSON, artTXT)
 	return nil
 }
 

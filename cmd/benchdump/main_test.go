@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"path/filepath"
 	"testing"
 )
@@ -65,6 +66,7 @@ func TestCheckFilesRoundTrip(t *testing.T) {
 	dj := filepath.Join(dir, "BENCH_directory.json")
 	fj := filepath.Join(dir, "BENCH_figures.json")
 	cj := filepath.Join(dir, "BENCH_cluster.json")
+	aj := filepath.Join(dir, "results_art.txt")
 	if err := writeJSON(dj, dd); err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +76,10 @@ func TestCheckFilesRoundTrip(t *testing.T) {
 	if err := writeJSON(cj, cb); err != nil {
 		t.Fatal(err)
 	}
-	if err := checkFiles(dj, fj, cj); err != nil {
+	if err := os.WriteFile(aj, []byte(validARTSweep), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkFiles(dj, fj, cj, aj); err != nil {
 		t.Fatalf("round-trip check failed: %v", err)
 	}
 
@@ -83,8 +88,49 @@ func TestCheckFilesRoundTrip(t *testing.T) {
 	if err := writeJSON(dj, dd); err != nil {
 		t.Fatal(err)
 	}
-	if err := checkFiles(dj, fj, cj); err == nil {
+	if err := checkFiles(dj, fj, cj, aj); err == nil {
 		t.Fatal("check passed with missing benchmarks")
+	}
+}
+
+// validARTSweep is a minimal results_art.txt in the lormsim text format
+// that satisfies checkARTResults: sizes strictly increasing, every hop
+// column positive, and the art column sub-logarithmic against the rest.
+const validARTSweep = `== ART scaling: average hops per exact query vs network size ==
+   analysis_chord = log2(n)/2, the Chord lookup reference
+  n    lorm  mercury  sword   maan    art  analysis_chord
+128   4.980    4.350  4.310  8.780  2.200           3.500
+256   6.980    4.710  4.920  9.600  2.400               4
+512  10.200    5.210  5.490  10.650 2.630           4.500
+`
+
+func TestCheckARTResultsRejects(t *testing.T) {
+	dir := t.TempDir()
+	write := func(content string) string {
+		path := filepath.Join(dir, "results_art.txt")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	if err := checkARTResults(write(validARTSweep)); err != nil {
+		t.Fatalf("valid sweep rejected: %v", err)
+	}
+	cases := []struct {
+		name    string
+		content string
+	}{
+		{"missing header", "== title ==\n1 2 3\n"},
+		{"one row", "  n  lorm  mercury  sword  maan  art  analysis_chord\n128 4 4 4 8 2 3.5\n"},
+		{"sizes not increasing", "  n  lorm  mercury  sword  maan  art  analysis_chord\n256 4 4 4 8 2 4\n128 5 5 5 9 2.2 3.5\n"},
+		{"zero hop cell", "  n  lorm  mercury  sword  maan  art  analysis_chord\n128 4 4 4 8 0 3.5\n256 5 5 5 9 2.2 4\n"},
+		{"art not sub-log", "  n  lorm  mercury  sword  maan  art  analysis_chord\n128 4 4 4 8 2 3.5\n256 5 5 5 9 6 4\n"},
+		{"missing art column", "  n  lorm  mercury  sword  maan  analysis_chord\n128 4 4 4 8 3.5\n256 5 5 5 9 4\n"},
+	}
+	for _, tc := range cases {
+		if err := checkARTResults(write(tc.content)); err == nil {
+			t.Errorf("%s: checkARTResults accepted the file", tc.name)
+		}
 	}
 }
 

@@ -71,7 +71,7 @@ func run(args []string) error {
 	def := experiments.DefaultCluster()
 	nodes := fs.Int("nodes", def.Nodes, "gateway processes to spawn")
 	peers := fs.Int("peers", def.Peers, "simulated peers inside each gateway")
-	system := fs.String("system", def.System, "discovery system: lorm, mercury, sword, maan")
+	system := fs.String("system", def.System, "discovery system: lorm, mercury, sword, maan, art")
 	clients := fs.Int("clients", def.Clients, "concurrent driver clients")
 	window := fs.Int("window", def.Window, "pipelined in-flight window per client")
 	rate := fs.Float64("rate", def.Rate, "open-loop arrival rate, operations/second across the driver")

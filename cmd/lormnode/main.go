@@ -28,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"lorm/internal/art"
 	"lorm/internal/core"
 	"lorm/internal/discovery"
 	"lorm/internal/emulate"
@@ -178,6 +179,12 @@ func buildSystem(name string, d int, bits uint, schema *resource.Schema, nodes i
 			return nil, err
 		}
 		return sys, sys.AddNodes(addrs)
+	case "art":
+		sys, err := art.New(art.Config{Bits: bits, Schema: schema, Logger: logger})
+		if err != nil {
+			return nil, err
+		}
+		return sys, sys.AddNodes(addrs)
 	}
 	return nil, fmt.Errorf("unknown system %q", name)
 }
@@ -185,7 +192,7 @@ func buildSystem(name string, d int, bits uint, schema *resource.Schema, nodes i
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:7400", "TCP listen address")
-	system := fs.String("system", "lorm", "discovery system: lorm, mercury, sword, maan")
+	system := fs.String("system", "lorm", "discovery system: lorm, mercury, sword, maan, art")
 	d := fs.Int("d", 0, "Cycloid dimension (lorm); 0 auto-sizes to the peer count")
 	bits := fs.Uint("bits", 20, "Chord identifier bits (mercury/sword/maan)")
 	nodes := fs.Int("nodes", 256, "number of simulated peers in the deployment")

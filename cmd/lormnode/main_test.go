@@ -90,7 +90,7 @@ func TestBuildSystemVariants(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, name := range []string{"lorm", "mercury", "sword", "maan"} {
+	for _, name := range []string{"lorm", "mercury", "sword", "maan", "art"} {
 		sys, err := buildSystem(name, 5, 16, schema, 16, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)

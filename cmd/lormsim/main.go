@@ -9,10 +9,11 @@
 //	lormsim -load-out results_load.txt  # load-distribution + rebalance sweep
 //	lormsim -hotkey-out results_hotkey.txt  # hot-key replication sweep
 //	lormsim -partition 30 -partition-heal 45  # healing partition + flash crowd
+//	lormsim -art-out results_art.txt  # ART sub-logarithmic scaling sweep
 //
-// Experiments: fig3a, fig3b, fig3c, fig3d, fig4a, fig4b, fig5a, fig5b,
-// fig6a, fig6b, all, plus the opt-in extras theorems, worstcase,
-// ablations, crash, load, hotkey and partition. Presets: quick,
+// Experiments: fig3a, fig3b, fig3c, fig3d, fig3e, fig4a, fig4b, fig5a,
+// fig5b, fig6a, fig6b, all, plus the opt-in extras theorems, worstcase,
+// ablations, crash, load, hotkey, partition and art. Presets: quick,
 // standard, paper.
 // Individual knobs (-n, -m, -k, -d, -seed, ...) override the preset.
 package main
@@ -42,7 +43,7 @@ func main() {
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("lormsim", flag.ContinueOnError)
 	var (
-		exp     = fs.String("exp", "all", "comma-separated experiments: fig3a fig3b fig3c fig3d fig4a fig4b fig5a fig5b fig6a fig6b all theorems worstcase ablations crash load hotkey partition")
+		exp     = fs.String("exp", "all", "comma-separated experiments: fig3a fig3b fig3c fig3d fig3e fig4a fig4b fig5a fig5b fig6a fig6b all theorems worstcase ablations crash load hotkey partition art")
 		preset  = fs.String("preset", "standard", "parameter preset: quick, standard, paper")
 		format  = fs.String("format", "text", "output format: text, csv")
 		nFlag   = fs.Int("n", 0, "override node count")
@@ -59,6 +60,7 @@ func run(args []string, out *os.File) error {
 		loadOut = fs.String("load-out", "", "write the load-distribution tables to this file; setting it implies -exp load")
 		rebal   = fs.Bool("rebalance", true, "run the item-migration pass in the load experiment and report post-rebalance load factors")
 		hotOut  = fs.String("hotkey-out", "", "write the hot-key replication sweep tables to this file; setting it implies -exp hotkey")
+		artOut  = fs.String("art-out", "", "write the ART scaling-sweep table to this file; setting it implies -exp art")
 		partAt  = fs.Float64("partition", 0, "form a healing network partition at this virtual time; setting it implies -exp partition")
 		partHl  = fs.Float64("partition-heal", 0, "heal the partition at this virtual time (must exceed -partition; default sweeps the preset durations)")
 		burst   = fs.Int("join-burst", 0, "flash-crowd join-burst size for the partition experiment; setting it implies -exp partition")
@@ -233,9 +235,10 @@ func run(args []string, out *os.File) error {
 		want[strings.TrimSpace(strings.ToLower(e))] = true
 	}
 	partitionImplied := *partAt > 0 || *burst > 0 || *randSuc || *partOut != ""
-	if !expSet && (*crRate > 0 || *loadOut != "" || *hotOut != "" || partitionImplied) {
-		// -crash-rate, -load-out, -hotkey-out or a partition flag alone means
-		// "run that experiment", not the default -exp all on top of it.
+	if !expSet && (*crRate > 0 || *loadOut != "" || *hotOut != "" || *artOut != "" || partitionImplied) {
+		// -crash-rate, -load-out, -hotkey-out, -art-out or a partition flag
+		// alone means "run that experiment", not the default -exp all on top
+		// of it.
 		want = map[string]bool{}
 	}
 	if *crRate > 0 {
@@ -246,6 +249,9 @@ func run(args []string, out *os.File) error {
 	}
 	if *hotOut != "" {
 		want["hotkey"] = true
+	}
+	if *artOut != "" {
+		want["art"] = true
 	}
 	if partitionImplied {
 		want["partition"] = true
@@ -313,12 +319,12 @@ func run(args []string, out *os.File) error {
 		return env, err
 	}
 
-	if need("fig3b", "fig3c", "fig3d") {
+	if need("fig3b", "fig3c", "fig3d", "fig3e") {
 		e, err := getEnv()
 		if err != nil {
 			return err
 		}
-		b, c, d := experiments.Fig3bcd(e)
+		b, c, d, e3 := experiments.Fig3bcd(e)
 		if all || want["fig3b"] {
 			emit(b)
 		}
@@ -327,6 +333,9 @@ func run(args []string, out *os.File) error {
 		}
 		if all || want["fig3d"] {
 			emit(d)
+		}
+		if all || want["fig3e"] {
+			emit(e3)
 		}
 	}
 
@@ -523,6 +532,33 @@ func run(args []string, out *os.File) error {
 				}
 			}
 			fmt.Fprintf(os.Stderr, "[lormsim] hotkey: tables written to %s\n", *hotOut)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	if need("art") && !all { // opt-in: not part of -exp all
+		if err := timed("art", func() error {
+			tbl, err := experiments.ARTSweep(p)
+			if err != nil {
+				return err
+			}
+			if *artOut == "" {
+				emit(tbl)
+				return nil
+			}
+			f, err := os.Create(*artOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if *format == "csv" {
+				fmt.Fprintf(f, "# %s\n%s\n", tbl.Title, tbl.CSV())
+			} else {
+				fmt.Fprintln(f, tbl.Text())
+			}
+			fmt.Fprintf(os.Stderr, "[lormsim] art: table written to %s\n", *artOut)
 			return nil
 		}); err != nil {
 			return err

@@ -40,7 +40,7 @@ func TestRunFig3aQuickText(t *testing.T) {
 
 func TestRunFig4CSV(t *testing.T) {
 	out := runCLI(t, "-exp", "fig4a", "-preset", "quick", "-format", "csv")
-	if !strings.Contains(out, "attrs,maan,lorm,mercury,sword") {
+	if !strings.Contains(out, "attrs,lorm,mercury,sword,maan,art") {
 		t.Fatalf("CSV header missing:\n%s", out)
 	}
 	lines := strings.Split(strings.TrimSpace(out), "\n")
@@ -90,7 +90,7 @@ func TestTraceConsistency(t *testing.T) {
 			t.Fatalf("path re-derives %+v, header says %+v: %q", got, tl.Cost, line)
 		}
 	}
-	for _, want := range []string{"lorm", "mercury", "sword", "maan"} {
+	for _, want := range []string{"lorm", "mercury", "sword", "maan", "art"} {
 		if !systems[want] {
 			t.Errorf("no trace lines from system %q", want)
 		}
@@ -116,7 +116,7 @@ func TestRunTheoremsQuick(t *testing.T) {
 }
 
 // TestMetricsOut runs fig4a with -metrics-out and verifies the snapshot
-// parses and carries discover ops for all four systems.
+// parses and carries discover ops for every registered system.
 func TestMetricsOut(t *testing.T) {
 	mpath := filepath.Join(t.TempDir(), "metrics.json")
 	runCLI(t, "-exp", "fig4a", "-preset", "quick", "-metrics-out", mpath)
@@ -139,7 +139,7 @@ func TestMetricsOut(t *testing.T) {
 	for _, m := range ops.Metrics {
 		bySystem[m.Labels["system"]] += m.Value
 	}
-	for _, want := range []string{"lorm", "mercury", "sword", "maan"} {
+	for _, want := range []string{"lorm", "mercury", "sword", "maan", "art"} {
 		if bySystem[want] == 0 {
 			t.Errorf("no ops recorded for system %q", want)
 		}
@@ -147,7 +147,7 @@ func TestMetricsOut(t *testing.T) {
 }
 
 // TestTraceSpansOut runs fig4a with -trace-spans at full sampling and
-// verifies the span JSONL parses, covers all four systems, and keeps every
+// verifies the span JSONL parses, covers every registered system, and keeps every
 // step span parented under an op span of the same trace.
 func TestTraceSpansOut(t *testing.T) {
 	spath := filepath.Join(t.TempDir(), "spans.jsonl")
@@ -172,7 +172,7 @@ func TestTraceSpansOut(t *testing.T) {
 			systems[sp.System] = true
 		}
 	}
-	for _, want := range []string{"lorm", "mercury", "sword", "maan"} {
+	for _, want := range []string{"lorm", "mercury", "sword", "maan", "art"} {
 		if !systems[want] {
 			t.Errorf("no op spans from system %q", want)
 		}

@@ -10,7 +10,11 @@
 // network-fault families of a partition run and cross-checks the detector
 // ledger (replies never exceed shuffles, confirmations and clears never
 // exceed suspicions) and the fault window (window failures reconcile with
-// the overlays' query-failure counters). With -replication it requires the replication-layer
+// the overlays' query-failure counters). With -art it requires the ART trie
+// counters and cross-checks them against the fabric: descent steps equal
+// the trie-descent-labeled step counts exactly and never exceed ART's total
+// steps, and every bucket split handed its sub-interval over exactly once.
+// With -replication it requires the replication-layer
 // counters and cross-checks them against the fabric's reason-labeled step
 // counts. With -trace it requires the tracing families and cross-checks
 // them against the fabric op counters: every finished op is either sampled
@@ -26,7 +30,7 @@
 // and every operation accepted inside a batch frame was dispatched exactly
 // once.
 //
-// Usage: metricscheck [-crash] [-load] [-membership] [-replication] [-trace] [-transport] <snapshot.json>
+// Usage: metricscheck [-crash] [-load] [-membership] [-art] [-replication] [-trace] [-transport] <snapshot.json>
 package main
 
 import (
@@ -50,6 +54,7 @@ func run(args []string) error {
 	crash := fs.Bool("crash", false, "require the crash-churn failure counters (snapshot from lormsim -crash-rate)")
 	load := fs.Bool("load", false, "require the load-balance migration counters (snapshot from lormsim -load-out)")
 	member := fs.Bool("membership", false, "require the gossip-membership and netfault counters (snapshot from lormsim -partition)")
+	artCheck := fs.Bool("art", false, "require the ART trie counters and cross-check them against the fabric step counts (snapshot from lormsim -art-out)")
 	replication := fs.Bool("replication", false, "require the replication counters (snapshot from lormsim -hotkey-out)")
 	trace := fs.Bool("trace", false, "require the tracing counters and cross-check them against the fabric op totals (snapshot from lormsim -trace-spans -metrics-out)")
 	transport := fs.Bool("transport", false, "validate only the pipelined-transport ledger (snapshot from lormcluster -metrics-out)")
@@ -57,7 +62,7 @@ func run(args []string) error {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: metricscheck [-crash] [-load] [-membership] [-replication] [-trace] [-transport] <snapshot.json>")
+		return fmt.Errorf("usage: metricscheck [-crash] [-load] [-membership] [-art] [-replication] [-trace] [-transport] <snapshot.json>")
 	}
 	data, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
@@ -87,13 +92,13 @@ func run(args []string) error {
 	for _, m := range ops.Metrics {
 		bySystem[m.Labels["system"]] += m.Value
 	}
-	for _, want := range []string{"lorm", "maan", "mercury", "sword"} {
+	for _, want := range []string{"lorm", "maan", "mercury", "sword", "art"} {
 		if bySystem[want] == 0 {
 			return fmt.Errorf("no ops recorded for system %q", want)
 		}
 	}
-	fmt.Printf("metricscheck: %d families, %.0f routing ops (lorm=%.0f maan=%.0f mercury=%.0f sword=%.0f)\n",
-		len(snap.Families), total, bySystem["lorm"], bySystem["maan"], bySystem["mercury"], bySystem["sword"])
+	fmt.Printf("metricscheck: %d families, %.0f routing ops (lorm=%.0f maan=%.0f mercury=%.0f sword=%.0f art=%.0f)\n",
+		len(snap.Families), total, bySystem["lorm"], bySystem["maan"], bySystem["mercury"], bySystem["sword"], bySystem["art"])
 	if err := checkDirectory(&snap); err != nil {
 		return err
 	}
@@ -109,6 +114,11 @@ func run(args []string) error {
 	}
 	if *member {
 		if err := checkMembership(&snap); err != nil {
+			return err
+		}
+	}
+	if *artCheck {
+		if err := checkART(&snap); err != nil {
 			return err
 		}
 	}
@@ -237,7 +247,7 @@ func checkTrace(snap *metrics.Snapshot) error {
 		return err
 	}
 	var totalSampled, totalDropped, totalOps, totalSlow, totalDumps float64
-	for _, system := range []string{"lorm", "maan", "mercury", "sword"} {
+	for _, system := range []string{"lorm", "maan", "mercury", "sword", "art"} {
 		s, d, o := sampled[system], dropped[system], ops[system]
 		if s+d != o {
 			return fmt.Errorf("system %s: sampled (%.0f) + dropped (%.0f) != fabric ops (%.0f): the tracer missed or double-counted operations",
@@ -349,6 +359,74 @@ func checkMembership(snap *metrics.Snapshot) error {
 	fmt.Printf("metricscheck: membership counters ok (%.0f shuffles, %.0f suspicions, %.0f cleared, %.0f confirms; %.0f/%.0f window failures, %.0f partitions healed)\n",
 		shuffles, sus, vals["membership_suspicions_cleared_total"], vals["membership_confirms_total"],
 		fails, checks, started)
+	return nil
+}
+
+// checkART validates the ART trie families and cross-checks them against
+// the fabric's labeled step counts. The trie router increments its descent
+// counter exactly once per trie-descent forward, so art_descent_steps_total
+// must equal the trie-descent-labeled steps of system "art" exactly — and
+// can never exceed ART's total steps (descents are a subset of its hops).
+// Splits and handovers are tied one-to-one: a bucket split hands its upper
+// sub-interval to exactly one sibling. Trie rebuilds must have happened at
+// least once, because every deployment build triggers one.
+func checkART(snap *metrics.Snapshot) error {
+	value := func(name string) (float64, error) {
+		f, ok := snap.Family(name)
+		if !ok {
+			return 0, fmt.Errorf("art counter family %s missing", name)
+		}
+		return f.Total(), nil
+	}
+	vals := map[string]float64{}
+	for _, name := range []string{
+		"art_descent_steps_total",
+		"art_descent_fallbacks_total",
+		"art_trie_rebuilds_total",
+		"art_bucket_splits_total",
+		"art_bucket_handovers_total",
+	} {
+		v, err := value(name)
+		if err != nil {
+			return err
+		}
+		vals[name] = v
+	}
+	steps, ok := snap.Family("lorm_op_steps_total")
+	if !ok {
+		return fmt.Errorf("family lorm_op_steps_total missing")
+	}
+	var descentSteps, artSteps float64
+	for _, m := range steps.Metrics {
+		if m.Labels["system"] != "art" {
+			continue
+		}
+		artSteps += m.Value
+		if m.Labels["reason"] == "trie-descent" {
+			descentSteps += m.Value
+		}
+	}
+	descents := vals["art_descent_steps_total"]
+	if descents <= 0 {
+		return fmt.Errorf("art_descent_steps_total is zero: the trie router never descended")
+	}
+	if descents != descentSteps {
+		return fmt.Errorf("art_descent_steps_total (%.0f) != trie-descent steps (%.0f): every descent must record exactly one labeled forward",
+			descents, descentSteps)
+	}
+	if descentSteps > artSteps {
+		return fmt.Errorf("trie-descent steps (%.0f) exceed ART's total steps (%.0f)", descentSteps, artSteps)
+	}
+	if rebuilds := vals["art_trie_rebuilds_total"]; rebuilds <= 0 {
+		return fmt.Errorf("art_trie_rebuilds_total is zero: the trie view was never built")
+	}
+	splits := vals["art_bucket_splits_total"]
+	if handovers := vals["art_bucket_handovers_total"]; splits != handovers {
+		return fmt.Errorf("art_bucket_splits_total (%.0f) != art_bucket_handovers_total (%.0f): a split must hand over exactly once",
+			splits, handovers)
+	}
+	fmt.Printf("metricscheck: art counters ok (%.0f descents == labeled steps, ≤ %.0f total art steps; %.0f fallbacks, %.0f rebuilds, %.0f splits == handovers)\n",
+		descents, artSteps, vals["art_descent_fallbacks_total"], vals["art_trie_rebuilds_total"], splits)
 	return nil
 }
 

@@ -1,6 +1,6 @@
-// Comparison: the paper's four systems side by side on one workload.
+// Comparison: every registered system side by side on one workload.
 //
-// Builds LORM, Mercury, SWORD and MAAN over the same 384 peers, registers
+// Builds LORM, Mercury, SWORD, MAAN and ART over the same 384 peers, registers
 // an identical Bounded-Pareto workload in each, and prints a compact
 // version of the paper's evaluation: directory balance (Figures 3(b)–(d)),
 // non-range hop costs (Figure 4) and range-query visited nodes (Figure 5),
@@ -126,7 +126,7 @@ func verify(dep *systemtest.Deployment, gen *workload.Generator, seed int64) {
 			}
 		}
 	}
-	fmt.Println("\nverified: all four systems return exactly the brute-force oracle's answers on 50 random range queries")
+	fmt.Println("\nverified: all five systems return exactly the brute-force oracle's answers on 50 random range queries")
 }
 
 func sameOwners(a, b *discovery.Result) bool {

@@ -119,7 +119,10 @@ func AnalysisChordHopsFromMAAN(_ Params, maanMeasured float64) float64 {
 
 // RangeVisitedNodes returns the model's visited directory nodes for an
 // mq-attribute range query (proof of Theorem 4.9, average case):
-// Mercury m(1+n/4), MAAN m(2+n/4), LORM m(1+d/4), SWORD m.
+// Mercury m(1+n/4), MAAN m(2+n/4), LORM m(1+d/4), SWORD m. The "art" case
+// extends the model beyond the paper: ART's sector mapping confines an
+// attribute to the n/m nodes of its value sector, so a quarter-domain range
+// walks 1 + n/(4m) directories per attribute.
 func RangeVisitedNodes(p Params, system string, mq int) float64 {
 	per := 0.0
 	switch system {
@@ -131,6 +134,8 @@ func RangeVisitedNodes(p Params, system string, mq int) float64 {
 		per = 1 + float64(p.D)/4
 	case "sword":
 		per = 1
+	case "art":
+		per = 1 + float64(p.N)/(4*float64(p.M))
 	}
 	return float64(mq) * per
 }

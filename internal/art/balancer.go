@@ -1,0 +1,32 @@
+package art
+
+import (
+	"lorm/internal/discovery"
+	"lorm/internal/loadbalance"
+)
+
+var _ discovery.Balancer = (*System)(nil)
+
+var _ discovery.Traced = (*System)(nil)
+
+// DirectoryLoads implements discovery.Balancer: per-node bucket sizes in
+// ring order.
+func (s *System) DirectoryLoads() []discovery.NodeLoad {
+	nodes := s.ring.Nodes()
+	out := make([]discovery.NodeLoad, len(nodes))
+	for i, n := range nodes {
+		out[i] = discovery.NodeLoad{Addr: n.Addr, Entries: n.Dir.Len()}
+	}
+	return out
+}
+
+// Rebalance implements discovery.Balancer. ART spreads value-keyed entries
+// like LORM's value index, so the ID-shift planner applies unchanged;
+// boundary moves replace node objects, so the trie view is rebuilt
+// afterwards — descent tables would otherwise point at retired nodes and
+// every route would fall back.
+func (s *System) Rebalance() (discovery.MigrationStats, error) {
+	stats := loadbalance.RebalanceChord(s.ring, loadbalance.Options{})
+	s.rebuildView()
+	return stats, nil
+}

@@ -1,0 +1,98 @@
+package art
+
+import (
+	"fmt"
+	"testing"
+
+	"lorm/internal/routing"
+)
+
+// FuzzGeometry checks the trie partition invariants for arbitrary
+// identifier widths and key pairs: level widths tile the bit space,
+// sharedDepth is symmetric and consistent with childLo, and the full-depth
+// cluster of a key is the key itself.
+func FuzzGeometry(f *testing.F) {
+	f.Add(uint(18), uint64(0x2F00F), uint64(0x2F3FF))
+	f.Add(uint(20), uint64(0), uint64(1)<<19)
+	f.Add(uint(1), uint64(1), uint64(0))
+	f.Add(uint(63), uint64(1)<<62, uint64(1)<<62-1)
+	f.Fuzz(func(t *testing.T, bits uint, a, b uint64) {
+		bits = bits%63 + 1
+		mask := uint64(1)<<bits - 1
+		a, b = a&mask, b&mask
+		g := newGeometry(bits)
+		var sum uint
+		for _, w := range g.widths {
+			if w == 0 || w > 8 {
+				t.Fatalf("bits=%d widths=%v", bits, g.widths)
+			}
+			sum += w
+		}
+		if sum != bits || g.cum[g.levels()] != bits {
+			t.Fatalf("bits=%d widths=%v cum=%v", bits, g.widths, g.cum)
+		}
+		d := g.sharedDepth(a, b)
+		if d != g.sharedDepth(b, a) {
+			t.Fatalf("sharedDepth not symmetric: %d vs %d", d, g.sharedDepth(b, a))
+		}
+		if g.childLo(a, d) != g.childLo(b, d) {
+			t.Fatalf("depth-%d clusters differ: %#x vs %#x", d, g.childLo(a, d), g.childLo(b, d))
+		}
+		if d < g.levels() && g.childLo(a, d+1) == g.childLo(b, d+1) {
+			t.Fatalf("sharedDepth %d not maximal for %#x/%#x", d, a, b)
+		}
+		if g.childLo(a, g.levels()) != a {
+			t.Fatalf("full-depth cluster of %#x is %#x", a, g.childLo(a, g.levels()))
+		}
+		for tt := 1; tt <= g.levels(); tt++ {
+			if lo := g.childLo(a, tt); lo > a {
+				t.Fatalf("childLo(%#x, %d) = %#x above the key", a, tt, lo)
+			}
+		}
+	})
+}
+
+// FuzzDescent drives the trie-descent and bucket-split codepaths: a small
+// deployment routes an arbitrary key from an arbitrary start node — with
+// and without an interleaved join (the split path) — and must always
+// resolve to the fresh-view owner of the key.
+func FuzzDescent(f *testing.F) {
+	f.Add(uint8(12), uint64(0), false)
+	f.Add(uint8(40), uint64(1)<<17, true)
+	f.Add(uint8(3), uint64(123456), true)
+	f.Fuzz(func(t *testing.T, n uint8, key uint64, join bool) {
+		size := int(n)%48 + 2
+		s, err := New(Config{Bits: 18, Schema: testSchema()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs := make([]string, size)
+		for i := range addrs {
+			addrs[i] = fmt.Sprintf("node-%04d", i)
+		}
+		if err := s.AddNodes(addrs); err != nil {
+			t.Fatal(err)
+		}
+		if join {
+			// The joiner splits its successor's bucket and stays invisible
+			// to the descent until the next rebuild.
+			if err := s.AddNode(fmt.Sprintf("joiner-%d", key%7)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		key &= uint64(1)<<18 - 1
+		from := s.ring.Nodes()[int(key)%s.ring.Size()]
+		op := s.fabric.Begin(routing.OpDiscover, "fuzz")
+		got, err := s.route(op, from, key)
+		cost := op.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s.ring.Owns(got, key) {
+			t.Fatalf("route(%d) = %s, does not own the key", key, got.Addr)
+		}
+		if cost.Messages != cost.Hops+cost.Visited {
+			t.Fatalf("cost invariant broken: %+v", cost)
+		}
+	})
+}

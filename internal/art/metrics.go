@@ -1,0 +1,20 @@
+package art
+
+import "lorm/internal/metrics"
+
+// ART-specific counters on the default registry. cmd/metricscheck -art
+// cross-checks them against the shared op metrics: descent steps must equal
+// the trie-descent step series and never exceed total hops, and every
+// bucket split must execute as exactly one handover.
+var (
+	mDescentSteps = metrics.Default().Counter("art_descent_steps_total",
+		"trie-descent forwards taken by ART routing")
+	mDescentFallbacks = metrics.Default().Counter("art_descent_fallbacks_total",
+		"ART routes completed by the ring lookup after a stale or exhausted descent")
+	mTrieRebuilds = metrics.Default().Counter("art_trie_rebuilds_total",
+		"trie view rebuilds (bulk add, Maintain, rebalance)")
+	mBucketSplits = metrics.Default().Counter("art_bucket_splits_total",
+		"value buckets split by a node join")
+	mBucketHandovers = metrics.Default().Counter("art_bucket_handovers_total",
+		"bucket handovers executed for splits")
+)

@@ -1,0 +1,11 @@
+package art
+
+import "lorm/internal/discovery"
+
+var _ discovery.NetAware = (*System)(nil)
+
+// SetReachability implements discovery.NetAware: every subsequent descent
+// hop, fallback lookup and lateral range walk consults the plane.
+func (s *System) SetReachability(r discovery.Reachability) {
+	s.ring.SetReachability(r)
+}

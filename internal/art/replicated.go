@@ -1,0 +1,31 @@
+package art
+
+import (
+	"lorm/internal/discovery"
+	"lorm/internal/replication"
+)
+
+var _ discovery.Replicated = (*System)(nil)
+
+// ART stores each piece once, under its value key, so one unfiltered
+// replicator over the ring's Placement protects everything: a key's
+// holders are its bucket root plus ring successors.
+
+// SetReplicas configures the replication factor (minimum 1 =
+// unreplicated). It affects subsequent Register calls; call Repair to
+// bring previously stored entries up to the new factor.
+func (s *System) SetReplicas(r int) error { return s.rep.SetFactor(r) }
+
+// Replicas returns the configured replication factor.
+func (s *System) Replicas() int { return s.rep.Factor() }
+
+// Repair restores the replica invariant across all buckets. Idempotent.
+func (s *System) Repair() (added, removed int) { return s.rep.Repair() }
+
+// PromoteHot promotes the hottest key-groups by observed visit traffic.
+func (s *System) PromoteHot(visits []discovery.NodeLoad, opts replication.HotKeyOptions) int {
+	return s.rep.PromoteHot(visits, opts)
+}
+
+// Replicator exposes the replication layer, for experiments and tests.
+func (s *System) Replicator() *replication.Replicator { return s.rep }

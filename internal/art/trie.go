@@ -1,0 +1,92 @@
+package art
+
+import (
+	"sort"
+
+	"lorm/internal/chord"
+)
+
+// trieGeometry is the static shape of the decentralized trie over the
+// identifier space: a fixed partition of the Bits-bit key into level
+// prefixes. A depth-t cluster is the set of identifiers sharing their top
+// cum[t] bits; level t splits every depth-(t-1) cluster into 2^width[t-1]
+// children. Widths double from 2 and cap at 8 — the LRT recipe — so the
+// trie reaches single-node clusters in O(log_b log K) levels for a key
+// space of K identifiers, which is what makes the descent sub-logarithmic
+// in n.
+type trieGeometry struct {
+	bits   uint
+	widths []uint // per-level prefix widths, widths[0] is level 1
+	cum    []uint // cum[t] = bits fixed by depth t; cum[0]=0, cum[L]=bits
+}
+
+// newGeometry partitions a Bits-bit identifier into doubling level widths.
+func newGeometry(bits uint) trieGeometry {
+	g := trieGeometry{bits: bits, cum: []uint{0}}
+	w, rem := uint(2), bits
+	for rem > 0 {
+		if w > 8 {
+			w = 8
+		}
+		if w > rem {
+			w = rem
+		}
+		g.widths = append(g.widths, w)
+		rem -= w
+		g.cum = append(g.cum, bits-rem)
+		if w < 8 {
+			w *= 2
+		}
+	}
+	return g
+}
+
+// levels returns the trie depth L; depth-L clusters are single identifiers.
+func (g trieGeometry) levels() int { return len(g.widths) }
+
+// sharedDepth returns the deepest t such that a and b lie in the same
+// depth-t cluster (equal top cum[t] bits); 0 means they share only the
+// root.
+func (g trieGeometry) sharedDepth(a, b uint64) int {
+	for t := g.levels(); t >= 1; t-- {
+		shift := g.bits - g.cum[t]
+		if a>>shift == b>>shift {
+			return t
+		}
+	}
+	return 0
+}
+
+// childLo returns the lowest identifier of key's depth-t cluster: key with
+// everything below the cum[t]-bit prefix zeroed. The cluster representative
+// is the ring successor of this bound.
+func (g trieGeometry) childLo(key uint64, t int) uint64 {
+	shift := g.bits - g.cum[t]
+	return (key >> shift) << shift
+}
+
+// trieView is the stale membership snapshot the descent routes over: the
+// node set as of the last trie rebuild, ascending by identifier. Per-node
+// conceptual routing tables (each cluster-node's representative links into
+// sibling clusters) are all derivable from this one view — the
+// representative of a cluster is the successor of its low bound — so one
+// shared sorted list stands in for n tables without changing any routed
+// path. Staleness is deliberate: nodes that joined, failed or moved since
+// the last rebuild are handled by per-hop liveness checks and the ring
+// fallback, never by peeking at fresh membership.
+type trieView struct {
+	nodes []*chord.Node // ascending ID
+}
+
+// successor returns the first node at or after key in ring order (wrapping),
+// or nil for an empty view.
+func (v *trieView) successor(key uint64) *chord.Node {
+	if v == nil || len(v.nodes) == 0 {
+		return nil
+	}
+	i := sort.Search(len(v.nodes), func(i int) bool { return v.nodes[i].ID >= key })
+	if i == len(v.nodes) {
+		i = 0
+	}
+	return v.nodes[i]
+}

@@ -169,6 +169,22 @@ func (r *Ring) NextNode(n *Node) (*Node, bool) {
 	return succM.node, true
 }
 
+// Alive reports whether n is a current live member: the same node object,
+// not merely a node occupying the same identifier. Overlays layered on the
+// ring (ART's trie descent) use it to validate stale routing-table entries
+// before forwarding to them.
+func (r *Ring) Alive(n *Node) bool {
+	m, ok := r.view().members[n.ID]
+	return ok && m.node == n
+}
+
+// Reachable reports whether the installed network-fault plane (if any)
+// currently lets from talk to to. With no plane installed every pair is
+// reachable.
+func (r *Ring) Reachable(from, to *Node) bool {
+	return !unreachable(r.reachOf(), from, to)
+}
+
 // NodeByAddr finds a live node by address; O(n), intended for tests and
 // the churn driver's victim selection.
 func (r *Ring) NodeByAddr(addr string) (*Node, bool) {

@@ -51,7 +51,7 @@ type Result struct {
 
 // System is a DHT-based grid resource discovery service.
 type System interface {
-	// Name identifies the approach ("lorm", "mercury", "sword", "maan").
+	// Name identifies the approach ("lorm", "mercury", "sword", "maan", "art").
 	Name() string
 	// Schema returns the globally known attribute types.
 	Schema() *resource.Schema

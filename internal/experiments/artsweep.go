@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"lorm/internal/resource"
+	"lorm/internal/stats"
+	"lorm/internal/systemtest"
+	"lorm/internal/workload"
+)
+
+// artSweepAttrs is the attribute count of the ART scaling sweep. It is
+// deliberately small: Mercury builds one physical ring per attribute, and
+// the sweep reaches 2^14 nodes — m=8 keeps the five-system build tractable
+// at every size while leaving ART's sector mapping non-trivial.
+const artSweepAttrs = 8
+
+// artSweepPieces is the announcement count per attribute at each sweep
+// point — enough to populate the value buckets queries traverse without
+// registration dominating the per-size setup.
+const artSweepPieces = 50
+
+// ARTSweep measures how each system's exact-query hop count scales with
+// network size, the headline experiment of the ART extension: the four
+// paper systems route in O(log n) (O(d) for LORM, with d growing as the
+// Cycloid fills), while ART's trie descent deepens only with the trie
+// level count — sub-logarithmic in n — so its curve must flatten away from
+// everyone else's as n grows.
+//
+// Each ARTSizes point builds a fresh five-system deployment (LORM at the
+// smallest dimension whose complete Cycloid holds n nodes), registers a
+// light workload and runs ARTQueries single-attribute exact queries,
+// identical across systems. The analysis_chord column is the (1/2)·log2 n
+// Chord reference. ARTSubLogAssert guards the claim before the table is
+// returned.
+func ARTSweep(p Params) (*stats.Table, error) {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	names := systemNames()
+	cols := append([]string{"n"}, names...)
+	cols = append(cols, "analysis_chord")
+	tbl := stats.NewTable("ART scaling: average hops per exact query vs network size", cols...)
+	tbl.Notes = append(tbl.Notes,
+		fmt.Sprintf("m=%d attributes, %d pieces/attr, %d single-attribute exact queries per size",
+			artSweepAttrs, artSweepPieces, p.ARTQueries),
+		"lorm runs at the smallest d with d*2^d >= n, so its hop count grows with d",
+		"analysis_chord = log2(n)/2, the Chord lookup reference",
+		"art descends a trie whose depth grows with the id-space level count, not log n")
+
+	schema := workload.ParetoSchema(artSweepAttrs, p.Span, p.Alpha)
+	gen := workload.NewGenerator(schema, p.Alpha)
+	for si, n := range p.ARTSizes {
+		d := 2
+		for d*(1<<uint(d)) < n {
+			d++
+		}
+		dep, err := systemtest.Build(schema, n, systemtest.Options{D: d, Bits: p.Bits})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: art sweep n=%d: %w", n, err)
+		}
+		for _, s := range dep.Systems() {
+			attachTrace(p, s)
+		}
+		for _, in := range gen.Announcements(workload.Split(p.Seed, 1000+si), artSweepPieces) {
+			if err := dep.RegisterEverywhere(in); err != nil {
+				return nil, fmt.Errorf("experiments: art sweep n=%d: %w", n, err)
+			}
+		}
+
+		qrng := workload.Split(p.Seed, 1100+si)
+		queries := make([]resource.Query, p.ARTQueries)
+		for i := range queries {
+			queries[i] = gen.ExactQuery(qrng, 1, fmt.Sprintf("art-req-%05d", i))
+		}
+		row := []float64{float64(n)}
+		for _, sys := range dep.Systems() {
+			hops, _, err := runQueries(sys, queries, p.Workers)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: art sweep n=%d %s: %w", n, sys.Name(), err)
+			}
+			row = append(row, hops.Summary().Mean)
+		}
+		row = append(row, math.Log2(float64(n))/2)
+		tbl.AddRow(row...)
+	}
+	if err := ARTSubLogAssert(tbl); err != nil {
+		return nil, err
+	}
+	tbl.Notes = append(tbl.Notes, "sub-logarithmic assertion passed: art below every system at max n, with strictly smaller growth")
+	return tbl, nil
+}

@@ -87,7 +87,7 @@ func (p ClusterParams) Validate() error {
 		return fmt.Errorf("cluster: hop latency must be non-negative, got %v", p.HopLatency)
 	}
 	switch p.System {
-	case "lorm", "mercury", "sword", "maan":
+	case "lorm", "mercury", "sword", "maan", "art":
 	default:
 		return fmt.Errorf("cluster: unknown system %q", p.System)
 	}

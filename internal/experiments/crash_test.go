@@ -40,7 +40,7 @@ func TestFig6bCrashShape(t *testing.T) {
 	if lost1[last] == 0 {
 		t.Error("unreplicated LORM lost no entries at the highest crash rate")
 	}
-	for _, col := range []string{"mercury", "sword", "maan"} {
+	for _, col := range []string{"mercury", "sword", "maan", "art"} {
 		vals := lostTbl.Column(col)
 		total := 0.0
 		for _, v := range vals {

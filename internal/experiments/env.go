@@ -106,6 +106,25 @@ func (e *Env) systemsByName() map[string]discovery.System {
 	return out
 }
 
+// systemNames is the deployment registry's name list — the measured-column
+// order of every multi-system table, so a system added to the registry
+// shows up in every sweep without touching the drivers.
+func systemNames() []string { return systemtest.Names() }
+
+// dynamicSystems asserts every deployed system supports churn and returns
+// them in registry order.
+func dynamicSystems(dep *systemtest.Deployment) ([]discovery.Dynamic, error) {
+	out := make([]discovery.Dynamic, 0, len(dep.Systems()))
+	for _, s := range dep.Systems() {
+		dyn, ok := s.(discovery.Dynamic)
+		if !ok {
+			return nil, fmt.Errorf("experiments: %s does not support churn", s.Name())
+		}
+		out = append(out, dyn)
+	}
+	return out, nil
+}
+
 // newLORM builds a standalone LORM system for the single-system ablation
 // runs, complete when p.N equals the Cycloid capacity.
 func newLORM(p Params, schema *resource.Schema) (*core.System, error) {

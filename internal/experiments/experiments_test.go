@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"math"
 	"testing"
 
 	"lorm/internal/stats"
@@ -82,7 +83,7 @@ func TestFig3aShape(t *testing.T) {
 // the average-size relations of Theorem 4.2.
 func TestFig3bcdShapes(t *testing.T) {
 	env := quickEnv(t)
-	b, c, d := Fig3bcd(env)
+	b, c, d, e := Fig3bcd(env)
 
 	get := func(tbl *stats.Table, col string, stat float64) float64 {
 		sc := tbl.Column("stat")
@@ -108,6 +109,10 @@ func TestFig3bcdShapes(t *testing.T) {
 	mercAvg := get(d, "mercury", 0)
 	if ratio := mercAvg / lormAvgB; ratio < 0.95 || ratio > 1.05 {
 		t.Errorf("Mercury/LORM average ratio = %.3f, want 1", ratio)
+	}
+	artAvg := get(e, "art", 0)
+	if ratio := artAvg / lormAvgB; ratio < 0.95 || ratio > 1.05 {
+		t.Errorf("ART/LORM average ratio = %.3f, want 1 (single registration)", ratio)
 	}
 
 	// 99th percentiles: the attribute-pooling systems blow up.
@@ -231,6 +236,37 @@ func TestFig6Shape(t *testing.T) {
 		if !(vm[i] > vl[i]*5) {
 			t.Errorf("rate row %d: visited ordering broken: mercury %v vs lorm %v", i, vm[i], vl[i])
 		}
+	}
+}
+
+// The ART scaling sweep: one row per size, the sub-logarithmic guard
+// holding even at quick scale, and the Chord reference column following
+// (1/2)·log2 n exactly.
+func TestARTSweepSubLog(t *testing.T) {
+	p := Quick()
+	tbl, err := ARTSweep(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(p.ARTSizes) {
+		t.Fatalf("rows = %d, want %d", len(tbl.Rows), len(p.ARTSizes))
+	}
+	if err := ARTSubLogAssert(tbl); err != nil {
+		t.Fatal(err)
+	}
+	ns := tbl.Column("n")
+	ref := tbl.Column("analysis_chord")
+	for i := range tbl.Rows {
+		want := math.Log2(ns[i]) / 2
+		if math.Abs(ref[i]-want) > 1e-9 {
+			t.Errorf("row %d: analysis_chord %v, want %v", i, ref[i], want)
+		}
+	}
+	// ART's absolute level: bounded by the trie depth even at the smallest
+	// size, so the curve starts below the Chord reference's largest value.
+	art := tbl.Column("art")
+	if art[0] >= ref[len(ref)-1]+1 {
+		t.Errorf("art hops at n=%v already %v; expected a flat sub-logarithmic curve", ns[0], art[0])
 	}
 }
 

@@ -14,16 +14,21 @@ import (
 // attributes per query (1..MaxAttrs). The paper's setup — 100 randomly
 // chosen requesters sending 10 queries each — is reproduced per point.
 //
-// The returned tables carry measured series for MAAN, LORM, Mercury and
-// SWORD plus the two analysis curves derived from MAAN's measurement:
+// The returned tables carry a measured series per registered system plus
+// the two analysis curves derived from MAAN's measurement:
 // "Analysis-LORM" = MAAN / (log n / d) (Theorem 4.7) and
 // "Analysis-SWORD/Mercury" = MAAN / 2 (Theorem 4.8).
 func Fig4(env *Env) (avg, total *stats.Table, err error) {
 	p := env.P
 	ap := env.AnalysisParams()
-	avgCols := []string{"attrs", "maan", "lorm", "mercury", "sword",
-		"p99_maan", "p99_lorm", "p99_mercury", "p99_sword", "analysis_lorm", "analysis_chord"}
-	totalCols := []string{"attrs", "maan", "lorm", "mercury", "sword", "analysis_lorm", "analysis_chord"}
+	names := systemNames()
+	avgCols := append([]string{"attrs"}, names...)
+	for _, name := range names {
+		avgCols = append(avgCols, "p99_"+name)
+	}
+	avgCols = append(avgCols, "analysis_lorm", "analysis_chord")
+	totalCols := append([]string{"attrs"}, names...)
+	totalCols = append(totalCols, "analysis_lorm", "analysis_chord")
 	avg = stats.NewTable("Figure 4(a): average hops per non-range query vs attributes", avgCols...)
 	total = stats.NewTable("Figure 4(b): total hops for all non-range queries vs attributes", totalCols...)
 	for _, t := range []*stats.Table{avg, total} {
@@ -57,13 +62,23 @@ func Fig4(env *Env) (avg, total *stats.Table, err error) {
 			sums[name] = hops.Sum()
 			p99s[name] = hops.Quantile(0.99)
 		}
-		avg.AddRow(float64(mq), means["maan"], means["lorm"], means["mercury"], means["sword"],
-			p99s["maan"], p99s["lorm"], p99s["mercury"], p99s["sword"],
+		avgRow := []float64{float64(mq)}
+		totalRow := []float64{float64(mq)}
+		for _, name := range names {
+			avgRow = append(avgRow, means[name])
+			totalRow = append(totalRow, sums[name])
+		}
+		for _, name := range names {
+			avgRow = append(avgRow, p99s[name])
+		}
+		avgRow = append(avgRow,
 			analysis.AnalysisLORMHopsFromMAAN(ap, means["maan"]),
 			analysis.AnalysisChordHopsFromMAAN(ap, means["maan"]))
-		total.AddRow(float64(mq), sums["maan"], sums["lorm"], sums["mercury"], sums["sword"],
+		totalRow = append(totalRow,
 			analysis.AnalysisLORMHopsFromMAAN(ap, sums["maan"]),
 			analysis.AnalysisChordHopsFromMAAN(ap, sums["maan"]))
+		avg.AddRow(avgRow...)
+		total.AddRow(totalRow...)
 	}
 	return avg, total, nil
 }

@@ -23,15 +23,17 @@ import (
 func Fig5(env *Env) (total, avg *stats.Table, err error) {
 	p := env.P
 	ap := env.AnalysisParams()
-	cols := []string{"attrs",
-		"mercury", "maan", "lorm", "sword",
-		"analysis_mercury", "analysis_maan", "analysis_lorm", "analysis_sword"}
+	names := systemNames()
+	cols := append([]string{"attrs"}, names...)
+	for _, name := range names {
+		cols = append(cols, "analysis_"+name)
+	}
 	total = stats.NewTable("Figure 5(a): total visited nodes for all range queries vs attributes", cols...)
 	avg = stats.NewTable("Figure 5(b): average visited nodes per range query vs attributes", cols...)
 	for _, t := range []*stats.Table{total, avg} {
 		t.Notes = append(t.Notes,
 			fmt.Sprintf("n=%d, %d range queries per point, expected range width = 1/4 domain", p.N, p.RangeQueries),
-			"analysis per attribute: mercury 1+n/4, maan 2+n/4, lorm 1+d/4, sword 1 (Thm 4.9)")
+			"analysis per attribute: mercury 1+n/4, maan 2+n/4, lorm 1+d/4, sword 1 (Thm 4.9); art 1+n/4m (sector extension)")
 	}
 
 	for mq := 1; mq <= p.MaxAttrs; mq++ {
@@ -51,19 +53,19 @@ func Fig5(env *Env) (total, avg *stats.Table, err error) {
 			means[name] = visited.Summary().Mean
 			sums[name] = visited.Sum()
 		}
-		anaRow := func(scale float64) []float64 {
-			out := make([]float64, 4)
-			for i, name := range []string{"mercury", "maan", "lorm", "sword"} {
-				out[i] = analysis.RangeVisitedNodes(ap, name, mq) * scale
-			}
-			return out
+		totalRow := []float64{float64(mq)}
+		avgRow := []float64{float64(mq)}
+		for _, name := range names {
+			totalRow = append(totalRow, sums[name])
+			avgRow = append(avgRow, means[name])
 		}
-		at := anaRow(float64(p.RangeQueries))
-		total.AddRow(float64(mq), sums["mercury"], sums["maan"], sums["lorm"], sums["sword"],
-			at[0], at[1], at[2], at[3])
-		aa := anaRow(1)
-		avg.AddRow(float64(mq), means["mercury"], means["maan"], means["lorm"], means["sword"],
-			aa[0], aa[1], aa[2], aa[3])
+		for _, name := range names {
+			ana := analysis.RangeVisitedNodes(ap, name, mq)
+			totalRow = append(totalRow, ana*float64(p.RangeQueries))
+			avgRow = append(avgRow, ana)
+		}
+		total.AddRow(totalRow...)
+		avg.AddRow(avgRow...)
 	}
 	return total, avg, nil
 }

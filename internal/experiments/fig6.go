@@ -34,11 +34,16 @@ func Fig6(p Params) (hopsTbl, visitedTbl *stats.Table, err error) {
 		return nil, nil, err
 	}
 	ap := analysis.Params{N: p.N, M: p.M, K: p.K, D: p.D}
-	hopsTbl = stats.NewTable("Figure 6(a): average hops per non-range query vs churn rate R",
-		"rate", "maan", "lorm", "mercury", "sword", "analysis_lorm", "analysis_chord", "failures")
-	visitedTbl = stats.NewTable("Figure 6(b): average visited nodes per range query vs churn rate R",
-		"rate", "mercury", "maan", "lorm", "sword",
-		"analysis_mercury", "analysis_maan", "analysis_lorm", "analysis_sword", "failures")
+	names := systemNames()
+	hopsCols := append([]string{"rate"}, names...)
+	hopsCols = append(hopsCols, "analysis_lorm", "analysis_chord", "failures")
+	visitedCols := append([]string{"rate"}, names...)
+	for _, name := range names {
+		visitedCols = append(visitedCols, "analysis_"+name)
+	}
+	visitedCols = append(visitedCols, "failures")
+	hopsTbl = stats.NewTable("Figure 6(a): average hops per non-range query vs churn rate R", hopsCols...)
+	visitedTbl = stats.NewTable("Figure 6(b): average visited nodes per range query vs churn rate R", visitedCols...)
 	for _, t := range []*stats.Table{hopsTbl, visitedTbl} {
 		t.Notes = append(t.Notes,
 			fmt.Sprintf("n=%d, %d queries per rate at %g/s virtual time, %d attributes per query",
@@ -67,17 +72,22 @@ func Fig6(p Params) (hopsTbl, visitedTbl *stats.Table, err error) {
 			visitMeans[name] = v
 			failures += f
 		}
-		hopsTbl.AddRow(rate, hopMeans["maan"], hopMeans["lorm"], hopMeans["mercury"], hopMeans["sword"],
+		hopsRow := []float64{rate}
+		visitedRow := []float64{rate}
+		for _, name := range names {
+			hopsRow = append(hopsRow, hopMeans[name])
+			visitedRow = append(visitedRow, visitMeans[name])
+		}
+		hopsRow = append(hopsRow,
 			analysis.NonRangeHops(ap, "lorm", Fig6Attrs),
 			analysis.NonRangeHops(ap, "mercury", Fig6Attrs),
 			float64(failures))
-		visitedTbl.AddRow(rate,
-			visitMeans["mercury"], visitMeans["maan"], visitMeans["lorm"], visitMeans["sword"],
-			analysis.RangeVisitedNodes(ap, "mercury", Fig6Attrs),
-			analysis.RangeVisitedNodes(ap, "maan", Fig6Attrs),
-			analysis.RangeVisitedNodes(ap, "lorm", Fig6Attrs),
-			analysis.RangeVisitedNodes(ap, "sword", Fig6Attrs),
-			float64(failures))
+		for _, name := range names {
+			visitedRow = append(visitedRow, analysis.RangeVisitedNodes(ap, name, Fig6Attrs))
+		}
+		visitedRow = append(visitedRow, float64(failures))
+		hopsTbl.AddRow(hopsRow...)
+		visitedTbl.AddRow(visitedRow...)
 	}
 	return hopsTbl, visitedTbl, nil
 }

@@ -39,14 +39,19 @@ const crashHorizon = 200.0
 // oracle comparison is what surfaces that. LORM runs at replication
 // factors 1, 2 and 3 with post-crash replica Repair as the crash hook, so
 // the failure-rate column is expected to fall monotonically in r; the
-// unreplicated baselines (Mercury, SWORD, MAAN) have nothing to repair
-// from and keep losing entries for good.
+// other registered systems run unreplicated as baselines — nothing to
+// repair from, so they keep losing entries for good.
 func Fig6bCrash(p Params) (failTbl, lostTbl *stats.Table, err error) {
 	p = p.withDefaults()
 	if err := p.Validate(); err != nil {
 		return nil, nil, err
 	}
-	cols := []string{"rate", "lorm_r1", "lorm_r2", "lorm_r3", "mercury", "sword", "maan"}
+	cols := []string{"rate", "lorm_r1", "lorm_r2", "lorm_r3"}
+	for _, name := range systemNames() {
+		if name != "lorm" {
+			cols = append(cols, name)
+		}
+	}
 	failTbl = stats.NewTable("Crash churn: query-failure rate vs fault rate R", cols...)
 	lostTbl = stats.NewTable("Crash churn: directory entries lost vs fault rate R", cols...)
 	for _, t := range []*stats.Table{failTbl, lostTbl} {
@@ -111,7 +116,14 @@ func Fig6bCrash(p Params) (failTbl, lostTbl *stats.Table, err error) {
 			failRow = append(failRow, fr)
 			lostRow = append(lostRow, float64(lost))
 		}
-		for _, sys := range []discovery.Dynamic{dep.Mercury, dep.SWORD, dep.MAAN} {
+		baselines, err := dynamicSystems(dep)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, sys := range baselines {
+			if sys.Name() == "lorm" {
+				continue // covered by the replication sweep above
+			}
 			fr, lost, err := crashRun(p, gen, dep.Oracle, sys, rate, 10*ri+5, nil)
 			if err != nil {
 				return nil, nil, err

@@ -13,9 +13,9 @@ import (
 	"lorm/internal/workload"
 )
 
-// loadOrder is the system column order of every load table (the Figure 5
-// convention).
-var loadOrder = []string{"mercury", "maan", "lorm", "sword"}
+// loadOrder is the system column order of every load table — the registry
+// order, so new systems appear in the load and hot-key sweeps for free.
+var loadOrder = systemtest.Names()
 
 // loadPoint is one measured deployment of the load experiment: per-system
 // storage imbalance before and (optionally) after a rebalance pass, the
@@ -29,8 +29,8 @@ type loadPoint struct {
 }
 
 // measureLoadPoint builds a fresh deployment of n nodes, registers the
-// Bounded-Pareto-skewed announcement workload in all four systems, and
-// measures load distributions. Unlike the figure environments, LORM is
+// Bounded-Pareto-skewed announcement workload in every registered system,
+// and measures load distributions. Unlike the figure environments, LORM is
 // always deployed sparse — the node sizes are validated to keep free
 // Cycloid positions, since a complete overlay structurally blocks every
 // boundary move.
@@ -115,9 +115,9 @@ func measureLoadPoint(p Params, n, seedIdx int, skew float64, withVisits, rebala
 	return pt, nil
 }
 
-// loadCols builds a load-table header: the sweep variable, the four
-// systems, and — when a rebalance pass runs — the four post-rebalance
-// columns.
+// loadCols builds a load-table header: the sweep variable, one column per
+// registered system, and — when a rebalance pass runs — the matching
+// post-rebalance columns.
 func loadCols(first string, rebalance bool) []string {
 	cols := append([]string{first}, loadOrder...)
 	if rebalance {

@@ -111,6 +111,13 @@ type Params struct {
 	// HotKeyNodes is the deployment size of the hot-key experiment; 0 uses
 	// the first LoadSizes entry (falling back to N).
 	HotKeyNodes int
+	// ARTSizes is the network-size sweep of the ART scaling experiment
+	// (default 2^7..2^14). Each size builds a fresh five-system deployment,
+	// so the sweep dominates the run time of `-exp art` at full scale.
+	ARTSizes []int
+	// ARTQueries is the number of single-attribute exact queries per ART
+	// sweep point (default 300).
+	ARTQueries int
 	// HubSample bounds how many Mercury hubs are physically built for the
 	// outlink experiment (per-hub routing state is i.i.d. across hubs, so
 	// the per-node total is measured over HubSample hubs and scaled by
@@ -195,6 +202,14 @@ func (p Params) withDefaults() Params {
 	if p.HotKeyThreshold <= 0 {
 		p.HotKeyThreshold = 1.5
 	}
+	if len(p.ARTSizes) == 0 {
+		for e := uint(7); e <= 14; e++ {
+			p.ARTSizes = append(p.ARTSizes, 1<<e)
+		}
+	}
+	if p.ARTQueries <= 0 {
+		p.ARTQueries = 300
+	}
 	return p
 }
 
@@ -257,6 +272,8 @@ func Quick() Params {
 		QueryRate:  100,
 		HubSample:  5,
 		Sizes:      []int{5, 6},
+		ARTSizes:   []int{128, 256, 512},
+		ARTQueries: 100,
 		Seed:       1,
 	}.withDefaults()
 }

@@ -31,7 +31,7 @@ const (
 // Partition runs the network-fault evaluation the paper's graceful churn
 // model excludes, in three parts:
 //
-//  1. Healing partition: all four systems serve the figure-6 query load
+//  1. Healing partition: every registered system serves the figure-6 query load
 //     while a seeded netfault.Plane cuts a minority of nodes away at
 //     PartitionAt and heals the cut after each swept duration. Queries
 //     that error or mismatch the static oracle count as failures,
@@ -40,7 +40,7 @@ const (
 //     also produces false suspicions that must all clear after the heal;
 //     reconvergence is the time from heal until the last observed
 //     failure (queries) and until no false suspicion remains (detector).
-//  2. Flash crowd: JoinBursts nodes join all four systems at the same
+//  2. Flash crowd: JoinBursts nodes join every system at the same
 //     instant of a smaller (non-complete) deployment; the query stream
 //     measures whether the burst disturbs correctness and the membership
 //     layer reports how widely the newcomers have spread.
@@ -65,21 +65,28 @@ func Partition(p Params) ([]*stats.Table, error) {
 		}
 	}
 
+	names := systemNames()
+	failCols := []string{"duration"}
+	detCols := []string{"duration"}
+	for _, name := range names {
+		failCols = append(failCols, name+"_during", name+"_post")
+		detCols = append(detCols, name+"_reconv_s")
+	}
+	detCols = append(detCols,
+		"detector_settle_s", "suspicions", "false_suspicions", "cleared", "confirms", "lost_entries")
 	failTbl := stats.NewTable("Healing partition: query-failure rate during and after the fault window",
-		"duration", "lorm_during", "lorm_post", "mercury_during", "mercury_post",
-		"sword_during", "sword_post", "maan_during", "maan_post")
+		failCols...)
 	failTbl.Notes = append(failTbl.Notes,
 		fmt.Sprintf("n=%d, partition of %g of the ring at t=%g, %d queries per system over each run",
 			p.N, p.PartitionFraction, p.PartitionAt, p.ChurnQueries),
 		"failure = Discover error or owner set differing from the static oracle",
 		"post = failure rate from heal to end of run; reconvergence requires it to reach 0")
 	detTbl := stats.NewTable("Healing partition: reconvergence and failure-detector behavior",
-		"duration", "lorm_reconv_s", "mercury_reconv_s", "sword_reconv_s", "maan_reconv_s",
-		"detector_settle_s", "suspicions", "false_suspicions", "cleared", "confirms", "lost_entries")
+		detCols...)
 	detTbl.Notes = append(detTbl.Notes,
 		"reconv_s = time from heal to the last failed query of that system (0 = immediate)",
 		"detector_settle_s = time from heal until no false suspicion remains open",
-		"suspicion columns aggregate the shared membership layer across all four systems")
+		"suspicion columns aggregate the shared membership layer across every system")
 
 	for _, dur := range p.PartitionDurations {
 		fr, dr, err := partitionPoint(p, dur)
@@ -101,8 +108,9 @@ func Partition(p Params) ([]*stats.Table, error) {
 	return []*stats.Table{failTbl, detTbl, flashTbl, hopsTbl}, nil
 }
 
-// partitionPoint runs one healing-partition trajectory: all four systems
-// over one scheduler, one fault plane and one shared membership layer.
+// partitionPoint runs one healing-partition trajectory: every registered
+// system over one scheduler, one fault plane and one shared membership
+// layer.
 func partitionPoint(p Params, dur float64) (failRow, detRow []float64, err error) {
 	schema := workload.ParetoSchema(p.M, p.Span, p.Alpha)
 	complete := p.N == p.D*(1<<uint(p.D))
@@ -123,7 +131,10 @@ func partitionPoint(p Params, dur float64) (failRow, detRow []float64, err error
 			return nil, nil, err
 		}
 	}
-	systems := []discovery.Dynamic{dep.LORM, dep.Mercury, dep.SWORD, dep.MAAN}
+	systems, err := dynamicSystems(dep)
+	if err != nil {
+		return nil, nil, err
+	}
 
 	// One physical network: each overlay consults the same fault plane, and
 	// the membership layer gossips through it.
@@ -302,8 +313,13 @@ func flashCrowd(p Params) (*stats.Table, error) {
 	if len(p.LoadSizes) > 0 {
 		n = p.LoadSizes[0] // non-complete: the Cycloid keeps free slots
 	}
+	flashCols := []string{"burst"}
+	for _, name := range systemNames() {
+		flashCols = append(flashCols, name+"_fail")
+	}
+	flashCols = append(flashCols, "newcomer_known_frac")
 	tbl := stats.NewTable("Flash crowd: query-failure rate after a simultaneous join burst",
-		"burst", "lorm_fail", "mercury_fail", "sword_fail", "maan_fail", "newcomer_known_frac")
+		flashCols...)
 	tbl.Notes = append(tbl.Notes,
 		fmt.Sprintf("n=%d before the burst at t=%g, %d queries per system over %g virtual seconds",
 			n, flashAt, p.ChurnQueries, flashHorizon),
@@ -329,7 +345,10 @@ func flashCrowd(p Params) (*stats.Table, error) {
 				return nil, err
 			}
 		}
-		systems := []discovery.Dynamic{dep.LORM, dep.Mercury, dep.SWORD, dep.MAAN}
+		systems, err := dynamicSystems(dep)
+		if err != nil {
+			return nil, err
+		}
 
 		var sched sim.Scheduler
 		svc, err := membership.New(membership.Config{

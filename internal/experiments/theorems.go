@@ -94,3 +94,39 @@ func TheoremCheck(env *Env) (*stats.Table, error) {
 		analysis.WorstCaseRangeContacted(ap, "mercury", 1)-analysis.WorstCaseRangeContacted(ap, "lorm", 1))
 	return tbl, nil
 }
+
+// ARTSubLogAssert is the ART extension's theorem-style guard over a
+// measured ARTSweep table: at the largest swept size ART's mean hop count
+// must be strictly below every O(log n) system's, and its growth across
+// the sweep (last minus first point) strictly smaller than each of theirs.
+// Together the two checks reject both a mislabeled constant offset and a
+// curve that merely starts low but scales like the others.
+func ARTSubLogAssert(tbl *stats.Table) error {
+	sizes := tbl.Column("n")
+	if len(sizes) < 2 {
+		return fmt.Errorf("experiments: ART sweep needs at least 2 sizes, got %d", len(sizes))
+	}
+	art := tbl.Column("art")
+	if len(art) != len(sizes) {
+		return fmt.Errorf("experiments: ART sweep missing art column")
+	}
+	last := len(sizes) - 1
+	for _, name := range systemNames() {
+		if name == "art" {
+			continue
+		}
+		sys := tbl.Column(name)
+		if len(sys) != len(sizes) {
+			return fmt.Errorf("experiments: ART sweep missing %s column", name)
+		}
+		if !(art[last] < sys[last]) {
+			return fmt.Errorf("experiments: ART hops %.2f not below %s hops %.2f at n=%.0f",
+				art[last], name, sys[last], sizes[last])
+		}
+		if !(art[last]-art[0] < sys[last]-sys[0]) {
+			return fmt.Errorf("experiments: ART hop growth %.2f not below %s growth %.2f over n=%.0f..%.0f",
+				art[last]-art[0], name, sys[last]-sys[0], sizes[0], sizes[last])
+		}
+	}
+	return nil
+}

@@ -16,8 +16,10 @@ import (
 // LORM saves at least m·n contacted nodes here; this driver measures it.
 func WorstCase(env *Env) (*stats.Table, error) {
 	p := env.P
-	tbl := stats.NewTable("Theorem 4.10: worst-case (full-domain) range queries",
-		"attrs", "mercury", "maan", "lorm", "sword", "wc_mercury", "wc_maan", "wc_lorm_bound")
+	names := systemNames()
+	cols := append([]string{"attrs"}, names...)
+	cols = append(cols, "wc_mercury", "wc_maan", "wc_lorm_bound")
+	tbl := stats.NewTable("Theorem 4.10: worst-case (full-domain) range queries", cols...)
 	tbl.Notes = append(tbl.Notes,
 		fmt.Sprintf("n=%d; visited nodes per query whose range covers the whole domain", p.N),
 		"wc_* are the Theorem 4.10 worst-case contacted-node terms (probing only, routing excluded)")
@@ -51,11 +53,15 @@ func WorstCase(env *Env) (*stats.Table, error) {
 			}
 			means[name] = visited.Summary().Mean
 		}
-		tbl.AddRow(float64(mq),
-			means["mercury"], means["maan"], means["lorm"], means["sword"],
+		row := []float64{float64(mq)}
+		for _, name := range names {
+			row = append(row, means[name])
+		}
+		row = append(row,
 			float64(mq)*float64(p.N),   // Mercury probes all n per attribute
 			float64(mq)*float64(p.N+1), // MAAN adds the attribute root
 			float64(mq)*float64(p.D+1)) // LORM bounded by the cluster
+		tbl.AddRow(row...)
 	}
 	return tbl, nil
 }

@@ -9,10 +9,11 @@ import (
 	"lorm/internal/metrics"
 )
 
-// KnownSystems lists the four discovery systems the paper compares; the
-// MetricsObserver pre-initializes every (system, kind) series for them so a
-// scrape shows all four labels at zero before any traffic arrives.
-var KnownSystems = []string{"lorm", "maan", "mercury", "sword"}
+// KnownSystems lists the paper's four discovery systems plus ART, the
+// sub-logarithmic fifth; the MetricsObserver pre-initializes every
+// (system, kind) series for them so a scrape shows all labels at zero
+// before any traffic arrives.
+var KnownSystems = []string{"art", "lorm", "maan", "mercury", "sword"}
 
 // MetricsObserver mirrors every finished operation of the fabrics it is
 // attached to into a metrics.Registry: an op counter plus hop/visited/

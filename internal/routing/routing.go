@@ -60,10 +60,17 @@ const (
 	// wire, so it counts toward Hops and the Messages = Hops + Visited
 	// invariant stays exact by construction.
 	ReasonReplicaRead
+	// ReasonTrieDescent is an ART overlay forward descending the
+	// decentralized trie: one jump from a cluster-node to the representative
+	// of the next deeper trie cluster sharing a longer identifier prefix
+	// with the target key. Like a finger forward it is a real message on the
+	// wire and counts toward Hops; the trie shape makes the number of such
+	// steps per lookup O(log_b log n) instead of O(log n).
+	ReasonTrieDescent
 
 	// numReasons bounds the Reason enum; per-reason accounting (the
 	// MetricsObserver step counters) sizes its tables with it.
-	numReasons = int(ReasonReplicaRead) + 1
+	numReasons = int(ReasonTrieDescent) + 1
 )
 
 // Forwards reports whether the reason counts as a logical routing hop.
@@ -83,6 +90,8 @@ func (r Reason) String() string {
 		return "detour"
 	case ReasonReplicaRead:
 		return "replica-read"
+	case ReasonTrieDescent:
+		return "trie-descent"
 	}
 	return "unknown"
 }
@@ -102,6 +111,8 @@ func (r Reason) Letter() byte {
 		return 'd'
 	case ReasonReplicaRead:
 		return 'p'
+	case ReasonTrieDescent:
+		return 't'
 	}
 	return '?'
 }

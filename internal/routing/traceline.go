@@ -35,6 +35,8 @@ func ReasonFromLetter(b byte) (Reason, bool) {
 		return ReasonDetour, true
 	case 'p':
 		return ReasonReplicaRead, true
+	case 't':
+		return ReasonTrieDescent, true
 	}
 	return 0, false
 }

@@ -57,7 +57,7 @@ func fig5Queries(gen *workload.Generator, count int) []resource.Query {
 
 // The load-balance correctness property: a rebalance pass strictly reduces
 // the max/mean load factor of the value-spreading systems (LORM, Mercury,
-// MAAN) and changes no query result — every answer after migration is
+// MAAN, ART) and changes no query result — every answer after migration is
 // identical, with multiplicity, to the unbalanced run and to the oracle.
 // SWORD's pass must never increase its factor and must report its
 // indivisible attribute pools as blocked.
@@ -90,7 +90,7 @@ func TestRebalancePreservesAnswers(t *testing.T) {
 				sys.Name(), pre[sys.Name()].TotalEntries, post.TotalEntries)
 		}
 		switch sys.Name() {
-		case "lorm", "mercury", "maan":
+		case "lorm", "mercury", "maan", "art":
 			if stats.Migrations == 0 {
 				t.Errorf("%s performed no migrations on a skewed workload (%+v)", sys.Name(), stats)
 			}

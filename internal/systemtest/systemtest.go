@@ -1,14 +1,16 @@
 // Package systemtest provides shared construction helpers for spinning up
-// all four discovery systems — LORM, Mercury, SWORD, MAAN — over identical
-// node populations, plus the brute-force oracle. The cross-system
-// equivalence tests, the experiment harness's smoke tests and the examples
-// all build deployments through these helpers.
+// every registered discovery system — LORM, Mercury, SWORD, MAAN, ART —
+// over identical node populations, plus the brute-force oracle. The
+// cross-system equivalence tests, the experiment harness's smoke tests and
+// the examples all build deployments through these helpers; the set of
+// systems itself lives in the registry (registry.go).
 package systemtest
 
 import (
 	"fmt"
 	"math/rand"
 
+	"lorm/internal/art"
 	"lorm/internal/core"
 	"lorm/internal/discovery"
 	"lorm/internal/maan"
@@ -17,8 +19,9 @@ import (
 	"lorm/internal/sword"
 )
 
-// Deployment bundles the four systems plus the oracle, built over the same
-// schema and node count.
+// Deployment bundles the registered systems plus the oracle, built over the
+// same schema and node count. All holds them in registry order; the typed
+// fields exist for tests that poke system-specific surfaces.
 type Deployment struct {
 	Schema  *resource.Schema
 	N       int
@@ -26,7 +29,10 @@ type Deployment struct {
 	Mercury *mercury.System
 	SWORD   *sword.System
 	MAAN    *maan.System
+	ART     *art.System
 	Oracle  *discovery.Oracle
+
+	All []discovery.System
 }
 
 // Addresses returns the canonical synthetic node addresses node-0000…
@@ -52,13 +58,14 @@ type Options struct {
 	// time for large m.
 	SkipMercury bool
 	// FingerRng, when non-nil, switches the Chord-based systems (SWORD,
-	// MAAN) to ReCord-style randomized finger selection, each entry drawn
-	// uniformly from its finger interval instead of taking the interval's
-	// first successor.
+	// MAAN, ART's fallback ring) to ReCord-style randomized finger
+	// selection, each entry drawn uniformly from its finger interval
+	// instead of taking the interval's first successor.
 	FingerRng *rand.Rand
 }
 
-// Build constructs all systems over n shared node addresses.
+// Build constructs every registered (non-skipped) system over n shared node
+// addresses.
 func Build(schema *resource.Schema, n int, opts Options) (*Deployment, error) {
 	if opts.D == 0 {
 		opts.D = 8
@@ -68,60 +75,23 @@ func Build(schema *resource.Schema, n int, opts Options) (*Deployment, error) {
 	}
 	d := &Deployment{Schema: schema, N: n, Oracle: discovery.NewOracle(schema)}
 	addrs := Addresses(n)
-
-	l, err := core.New(core.Config{D: opts.D, Schema: schema})
-	if err != nil {
-		return nil, err
-	}
-	if opts.CompleteLORM {
-		if err := l.PopulateComplete(); err != nil {
-			return nil, err
+	for _, spec := range registry {
+		if spec.Skipped != nil && spec.Skipped(opts) {
+			continue
 		}
-	} else if err := l.AddNodes(addrs); err != nil {
-		return nil, err
-	}
-	d.LORM = l
-
-	if !opts.SkipMercury {
-		m, err := mercury.New(mercury.Config{Bits: opts.Bits, Schema: schema})
+		sys, err := spec.Build(d, schema, addrs, opts)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("systemtest: build %s: %w", spec.Name, err)
 		}
-		if err := m.AddNodes(addrs); err != nil {
-			return nil, err
-		}
-		d.Mercury = m
+		d.All = append(d.All, sys)
 	}
-
-	s, err := sword.New(sword.Config{Bits: opts.Bits, Schema: schema, FingerRng: opts.FingerRng})
-	if err != nil {
-		return nil, err
-	}
-	if err := s.AddNodes(addrs); err != nil {
-		return nil, err
-	}
-	d.SWORD = s
-
-	a, err := maan.New(maan.Config{Bits: opts.Bits, Schema: schema, FingerRng: opts.FingerRng})
-	if err != nil {
-		return nil, err
-	}
-	if err := a.AddNodes(addrs); err != nil {
-		return nil, err
-	}
-	d.MAAN = a
 	return d, nil
 }
 
-// Systems returns the constructed systems (excluding the oracle), skipping
-// any that were elided.
+// Systems returns the constructed systems (excluding the oracle) in
+// registry order, skipping any that were elided.
 func (d *Deployment) Systems() []discovery.System {
-	out := []discovery.System{d.LORM}
-	if d.Mercury != nil {
-		out = append(out, d.Mercury)
-	}
-	out = append(out, d.SWORD, d.MAAN)
-	return out
+	return append([]discovery.System(nil), d.All...)
 }
 
 // RegisterEverywhere registers the info in every system and the oracle.

@@ -143,10 +143,16 @@ type MetricsDigest struct {
 	// carried in batch frames vs items individually executed — the two must
 	// agree, metricscheck -transport enforces it). Client counters are
 	// nonzero only in processes that also run clients.
-	PipelineCalls   uint64          `json:"pipeline_calls,omitempty"`
-	PipelineBreaks  uint64          `json:"pipeline_breaks,omitempty"`
-	BatchOps        uint64          `json:"batch_ops,omitempty"`
-	BatchDispatched uint64          `json:"batch_dispatched,omitempty"`
+	PipelineCalls   uint64 `json:"pipeline_calls,omitempty"`
+	PipelineBreaks  uint64 `json:"pipeline_breaks,omitempty"`
+	BatchOps        uint64 `json:"batch_ops,omitempty"`
+	BatchDispatched uint64 `json:"batch_dispatched,omitempty"`
+	// ART trie activity: trie-descent forwards, descents completed by the
+	// ring fallback, and value-bucket splits — nonzero only in gateways
+	// serving the art system.
+	TrieDescents    uint64          `json:"trie_descents,omitempty"`
+	TrieFallbacks   uint64          `json:"trie_fallbacks,omitempty"`
+	TrieBucketSplit uint64          `json:"trie_bucket_splits,omitempty"`
 	Systems         []SystemMetrics `json:"systems,omitempty"`
 }
 

@@ -169,6 +169,12 @@ var (
 		"named network partition sets healed by fault planes")
 	mdNetBlocked = metrics.Default().Counter("netfault_blocked_messages_total",
 		"messages blocked by an active partition or blackhole")
+	mdARTDescents = metrics.Default().Counter("art_descent_steps_total",
+		"trie-descent forwards taken by ART routing")
+	mdARTFallbacks = metrics.Default().Counter("art_descent_fallbacks_total",
+		"ART routes completed by the ring lookup after a stale or exhausted descent")
+	mdARTBucketSplits = metrics.Default().Counter("art_bucket_splits_total",
+		"value buckets split by a node join")
 )
 
 // countRequest bumps the per-verb request counter.

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"lorm/internal/art"
 	"lorm/internal/resource"
 )
 
@@ -54,6 +55,54 @@ func TestStatsReplyCarriesMetricsDigest(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("digest systems %+v missing served system %q", st.Metrics.Systems, st.System)
+	}
+}
+
+func TestStatsDigestCarriesTrieCounters(t *testing.T) {
+	schema := resource.MustSchema(
+		resource.Attribute{Name: "cpu", Min: 100, Max: 3200},
+	)
+	sys, err := art.New(art.Config{Bits: 16, Schema: schema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make([]string, 48)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("node-%04d", i)
+	}
+	if err := sys.AddNodes(addrs); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(sys, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	before := mdARTDescents.Value()
+	if _, err := cli.Register(resource.Info{Attr: "cpu", Value: 1800, Owner: "o1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := cli.Discover([]resource.SubQuery{
+		{Attr: "cpu", Low: 1800, High: 1800},
+	}, "req-1"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cli.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Metrics == nil {
+		t.Fatal("stats reply has no metrics digest")
+	}
+	if st.Metrics.TrieDescents <= before {
+		t.Fatalf("digest trie descents = %d, want > %d (counters are process-wide)",
+			st.Metrics.TrieDescents, before)
 	}
 }
 

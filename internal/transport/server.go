@@ -417,6 +417,10 @@ func (s *Server) metricsDigest() *MetricsDigest {
 		PipelineBreaks:  mPipelineBreaks.Value(),
 		BatchOps:        mBatchRegisterOps.Value() + mBatchDiscoverOps.Value(),
 		BatchDispatched: mBatchRegisterDispatched.Value() + mBatchDiscoverDispatched.Value(),
+
+		TrieDescents:    mdARTDescents.Value(),
+		TrieFallbacks:   mdARTFallbacks.Value(),
+		TrieBucketSplit: mdARTBucketSplits.Value(),
 	}
 	// Tracing families are labeled by system and owned by the tracer, so
 	// the digest reads their totals from the process registry snapshot
